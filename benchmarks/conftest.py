@@ -1,0 +1,12 @@
+"""Benchmark collection configuration.
+
+Benchmarks live outside ``testpaths`` and are run explicitly with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each file regenerates one table or figure of the paper: it sweeps the
+figure's x-axis, prints the measured series in the paper's layout, and
+asserts the qualitative result (who wins, how trends move).  Trees and
+data sets are cached in :mod:`_harness` and shared across files within
+one pytest process.
+"""

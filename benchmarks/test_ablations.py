@@ -1,0 +1,238 @@
+"""Ablations of the reproduction's design choices (DESIGN.md §5, §7.6).
+
+Not figures from the paper — these isolate the knobs the paper mentions
+in passing or that the reproduction had to choose:
+
+* forced reinsertion in the integral-3D strategy (the R*-tree heuristic);
+* TIA buffer size (the paper fixes 10 slots);
+* interval semantics (Section 3's *intersects* vs Section 4.3's
+  *contained* wording);
+* exact vs root-bound aggregate normalisation (DESIGN.md §5);
+* the z-coordinate refresh after drift (the paper's Section 8.2 remark
+  on periodic reinsertion/rebuild);
+* TIA backends (paged B+-tree vs multi-version B-tree vs in-memory).
+"""
+
+import time
+
+import pytest
+
+from _harness import get_dataset, get_tree, get_workload, measure_index, print_series
+from repro import TARTree
+from repro.core.grouping import Integral3DGrouping
+from repro.core.knnta import knnta_search
+from repro.core.scan import sequential_scan
+from repro.datasets.workload import generate_queries
+from repro.temporal.tia import IntervalSemantics
+
+NAME = "GS"
+
+
+def test_ablation_forced_reinsertion(benchmark):
+    """R*-tree forced reinsertion improves integral-3D packing."""
+    data = get_dataset(NAME)
+    workload = get_workload(NAME)
+
+    with_reinsert = get_tree(NAME)
+    no_reinsert_strategy = Integral3DGrouping()
+    no_reinsert_strategy.uses_reinsert = False
+    without_reinsert = TARTree.build(data, strategy=no_reinsert_strategy)
+
+    on = measure_index(with_reinsert, workload)
+    off = measure_index(without_reinsert, workload)
+    print_series(
+        "Ablation (%s): forced reinsertion in integral-3D" % NAME,
+        "metric",
+        ["node accesses", "nodes in tree"],
+        {
+            "reinsert on": [on.node_accesses, with_reinsert.node_count()],
+            "reinsert off": [off.node_accesses, without_reinsert.node_count()],
+        },
+    )
+    # Reinsertion must not hurt; it usually packs nodes tighter.
+    assert on.node_accesses <= off.node_accesses * 1.15
+    benchmark(knnta_search, with_reinsert, workload[0])
+
+
+def test_ablation_tia_buffer_slots(benchmark):
+    """More TIA buffer slots -> fewer simulated page reads per query."""
+    data = get_dataset(NAME)
+    queries = list(get_workload(NAME))[:100]
+    slots_sweep = (0, 2, 10, 50)
+    misses = []
+    for slots in slots_sweep:
+        tree = get_tree(NAME, tia_buffer_slots=slots)
+        misses.append(measure_index(tree, queries).tia_pages)
+    print_series(
+        "Ablation (%s): TIA buffer slots vs TIA page reads/query" % NAME,
+        "slots",
+        slots_sweep,
+        {"page reads": misses},
+    )
+    assert misses[-1] <= misses[0]
+    assert misses == sorted(misses, reverse=True) or misses[0] > misses[-1]
+    benchmark(knnta_search, get_tree(NAME), queries[0])
+
+
+def test_ablation_interval_semantics(benchmark):
+    """CONTAINED counts fewer epochs than INTERSECTS, never more."""
+    tree = get_tree(NAME)
+    queries = list(get_workload(NAME))[:100]
+    totals = {IntervalSemantics.INTERSECTS: 0.0, IntervalSemantics.CONTAINED: 0.0}
+    for query in queries:
+        for semantics in totals:
+            adjusted = query._replace(semantics=semantics)
+            normalizer = tree.normalizer(query.interval, semantics, exact=True)
+            results = knnta_search(tree, adjusted, normalizer=normalizer)
+            scan = sequential_scan(tree, adjusted, normalizer=normalizer)
+            assert [round(r.score, 9) for r in results] == [
+                round(r.score, 9) for r in scan
+            ]
+            totals[semantics] += sum(
+                tree.tia_aggregate(tree.poi_tia(r.poi_id), query.interval, semantics)
+                for r in results
+            )
+    print_series(
+        "Ablation (%s): interval semantics (total aggregate of results)" % NAME,
+        "semantics",
+        ["intersects", "contained"],
+        {
+            "sum": [
+                totals[IntervalSemantics.INTERSECTS],
+                totals[IntervalSemantics.CONTAINED],
+            ]
+        },
+    )
+    assert totals[IntervalSemantics.CONTAINED] <= totals[IntervalSemantics.INTERSECTS]
+    benchmark(knnta_search, tree, queries[0])
+
+
+def test_ablation_normalizer_exactness(benchmark):
+    """The root-bound normaliser is a true upper bound; both are exact
+    in ranking (same top-k IDs up to ties in either scoring)."""
+    tree = get_tree(NAME)
+    queries = list(get_workload(NAME))[:60]
+    bound_nodes = exact_nodes = 0
+    for query in queries:
+        bound = tree.normalizer(query.interval, query.semantics)
+        exact = tree.normalizer(query.interval, query.semantics, exact=True)
+        assert bound.g_max >= exact.g_max
+        snap = tree.stats.snapshot()
+        knnta_search(tree, query, normalizer=bound)
+        bound_nodes += tree.stats.diff(snap).rtree_nodes
+        snap = tree.stats.snapshot()
+        knnta_search(tree, query, normalizer=exact)
+        exact_nodes += tree.stats.diff(snap).rtree_nodes
+    print_series(
+        "Ablation (%s): aggregate normaliser" % NAME,
+        "normaliser",
+        ["root bound", "exact"],
+        {"node accesses/query": [bound_nodes / 60, exact_nodes / 60]},
+    )
+    benchmark(knnta_search, tree, queries[0])
+
+
+def test_ablation_refresh_after_drift(benchmark):
+    """Section 8.2: periodic reinsertion restores degraded placement.
+
+    Build on the first 40% of history (freezing z-coordinates), stream
+    the remaining 60%, then refresh; the refreshed tree must not be
+    slower and the content must be unchanged.
+    """
+    data = get_dataset(NAME)
+    early = data.snapshot(0.4)
+    tree = TARTree.build(early, until_time=data.tc)
+    clock = tree.clock
+    late_counts = {}
+    for poi_id, epochs in data.epoch_counts(clock, list(tree.poi_ids())).items():
+        for epoch, count in epochs.items():
+            already = tree.poi_tia(poi_id).get(epoch)
+            if count > already:
+                late_counts.setdefault(epoch, {})[poi_id] = count - already
+    for epoch in sorted(late_counts):
+        tree.digest_epoch(epoch, late_counts[epoch])
+    tree.check_invariants()
+
+    queries = generate_queries(data, n_queries=100, seed=20)
+    drifted = measure_index(tree, queries)
+    content_before = {
+        poi_id: dict(tree.poi_tia(poi_id).items()) for poi_id in tree.poi_ids()
+    }
+    tree.refresh_aggregate_dimension()
+    tree.check_invariants()
+    refreshed = measure_index(tree, queries)
+    assert {
+        poi_id: dict(tree.poi_tia(poi_id).items()) for poi_id in tree.poi_ids()
+    } == content_before
+
+    print_series(
+        "Ablation (%s): z-coordinate refresh after drift" % NAME,
+        "state",
+        ["drifted", "refreshed"],
+        {"node accesses/query": [drifted.node_accesses, refreshed.node_accesses]},
+    )
+    assert refreshed.node_accesses <= drifted.node_accesses * 1.1
+    benchmark(knnta_search, tree, queries[0])
+
+
+def test_ablation_bulk_loading(benchmark):
+    """STR bulk loading vs one-at-a-time insertion: build time and the
+    query quality of the resulting trees."""
+    data = get_dataset(NAME)
+    queries = list(get_workload(NAME))[:100]
+
+    start = time.perf_counter()
+    incremental = TARTree.build(data, tia_backend="memory")
+    incremental_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    bulk = TARTree.build(data, bulk=True, tia_backend="memory")
+    bulk_seconds = time.perf_counter() - start
+    bulk.check_invariants()
+
+    inc_measure = measure_index(incremental, queries)
+    bulk_measure = measure_index(bulk, queries)
+    print_series(
+        "Ablation (%s): STR bulk loading vs incremental build" % NAME,
+        "method",
+        ["build s", "node accesses/q"],
+        {
+            "incremental": [incremental_seconds, inc_measure.node_accesses],
+            "bulk (STR)": [bulk_seconds, bulk_measure.node_accesses],
+        },
+        fmt="%10.3f",
+    )
+    assert bulk_seconds < incremental_seconds
+    # Packed trees may trade a little pruning for build speed, but must
+    # stay in the same class.
+    assert bulk_measure.node_accesses <= inc_measure.node_accesses * 1.6
+    # And they answer identically.
+    for query in queries[:10]:
+        a = [round(r.score, 9) for r in knnta_search(bulk, query)]
+        b = [round(r.score, 9) for r in knnta_search(incremental, query)]
+        assert a == b
+    benchmark(knnta_search, bulk, queries[0])
+
+
+@pytest.mark.parametrize("backend", ["memory", "paged", "mvbt"])
+def test_ablation_tia_backend(benchmark, backend):
+    """Build cost and query cost across the three TIA backends."""
+    data = get_dataset("LA")
+    start = time.perf_counter()
+    tree = TARTree.build(data, tia_backend=backend)
+    build_seconds = time.perf_counter() - start
+    queries = generate_queries(data, n_queries=100, seed=21)
+    result = measure_index(tree, queries)
+    print_series(
+        "Ablation (LA): TIA backend = %s" % backend,
+        "metric",
+        ["build s", "cpu ms/q", "tia pages/q"],
+        {backend: [build_seconds, result.cpu_ms, result.tia_pages]},
+        fmt="%10.3f",
+    )
+    # All backends answer identically.
+    reference = TARTree.build(data, tia_backend="memory")
+    query = queries[0]
+    assert [round(r.score, 9) for r in knnta_search(tree, query)] == [
+        round(r.score, 9) for r in knnta_search(reference, query)
+    ]
+    benchmark(knnta_search, tree, query)

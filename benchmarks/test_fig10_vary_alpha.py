@@ -1,0 +1,79 @@
+"""Figure 10 — TAR-tree vs alternatives, varying alpha0.
+
+For alpha0 in {0.1 .. 0.9} the paper reports per-query CPU time and node
+accesses (GW, GS).  As alpha0 approaches 1, IND-spa improves and IND-agg
+deteriorates (each is optimised for one dimension), while the TAR-tree
+stays almost flat and never loses to the specialist on its home turf.
+"""
+
+import pytest
+
+from _harness import (
+    STRATEGIES,
+    STRATEGY_LABELS,
+    geometric_mean_ratio,
+    get_tree,
+    get_workload,
+    measure_baseline,
+    measure_index,
+    print_series,
+)
+from repro.core.knnta import knnta_search
+
+ALPHA_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig10_vary_alpha(benchmark, name):
+    trees = {s: get_tree(name, strategy=s) for s in STRATEGIES}
+    workload = get_workload(name)
+
+    # Warm the TIA buffers so the first sweep point is not measured cold.
+    for tree in trees.values():
+        measure_index(tree, list(workload)[:40])
+
+    cpu = {STRATEGY_LABELS[s]: [] for s in STRATEGIES}
+    cpu["baseline"] = []
+    nodes = {STRATEGY_LABELS[s]: [] for s in STRATEGIES}
+    for alpha0 in ALPHA_VALUES:
+        queries = workload.with_params(alpha0=alpha0)
+        for strategy in STRATEGIES:
+            result = measure_index(trees[strategy], queries)
+            cpu[STRATEGY_LABELS[strategy]].append(result.cpu_ms)
+            nodes[STRATEGY_LABELS[strategy]].append(result.node_accesses)
+        cpu["baseline"].append(
+            measure_baseline(trees["integral3d"], queries).cpu_ms
+        )
+
+    print_series(
+        "Figure 10(%s): CPU time (ms) per query vs alpha0" % name,
+        "alpha0",
+        ALPHA_VALUES,
+        cpu,
+        fmt="%10.3f",
+    )
+    print_series(
+        "Figure 10(%s): node accesses per query vs alpha0" % name,
+        "alpha0",
+        ALPHA_VALUES,
+        nodes,
+        fmt="%10.1f",
+    )
+
+    # The TAR-tree beats both alternatives and the scan on average CPU.
+    for rival in ("IND-spa", "IND-agg", "baseline"):
+        assert geometric_mean_ratio(cpu["TAR-tree"], cpu[rival]) > 1.0, rival
+
+    # Even at the specialists' favourite extremes the TAR-tree stays
+    # competitive: alpha0=0.9 favours IND-spa, 0.1 favours IND-agg.  (At
+    # the reproduction's scale the 3-D tree pays its 36-vs-50 fan-out
+    # penalty on pure-spatial queries, so allow a constant factor.)
+    assert nodes["TAR-tree"][-1] <= nodes["IND-spa"][-1] * 1.7
+    assert nodes["TAR-tree"][0] <= nodes["IND-agg"][0] * 1.7
+    assert cpu["TAR-tree"][-1] <= cpu["IND-spa"][-1] * 1.3
+    assert cpu["TAR-tree"][0] <= cpu["IND-agg"][0] * 2.5
+
+    # IND-agg deteriorates as the spatial weight grows.
+    assert nodes["IND-agg"][-1] > nodes["IND-agg"][0]
+
+    benchmark(knnta_search, trees["integral3d"], workload[0])

@@ -1,0 +1,72 @@
+"""Figure 11 — effect of the epoch length (1, 3, 7, 14, 28 days).
+
+Longer epochs mean fewer records per aggregate computation, so CPU time
+falls for every method (including the baseline); for the TAR-tree longer
+epochs also strengthen pruning (a parent's per-epoch maximum is closer
+to the child aggregates), so node accesses fall too.  The TAR-tree wins
+at every epoch length.
+"""
+
+import pytest
+
+from _harness import (
+    STRATEGIES,
+    STRATEGY_LABELS,
+    geometric_mean_ratio,
+    get_tree,
+    get_workload,
+    measure_baseline,
+    measure_index,
+    print_series,
+)
+from repro.core.knnta import knnta_search
+
+EPOCH_LENGTHS = (1, 3, 7, 14, 28)
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig11_epoch_length(benchmark, name):
+    workload = get_workload(name)
+
+    cpu = {STRATEGY_LABELS[s]: [] for s in STRATEGIES}
+    cpu["baseline"] = []
+    nodes = {STRATEGY_LABELS[s]: [] for s in STRATEGIES}
+    for length in EPOCH_LENGTHS:
+        for strategy in STRATEGIES:
+            tree = get_tree(name, strategy=strategy, epoch_length=float(length))
+            result = measure_index(tree, workload)
+            cpu[STRATEGY_LABELS[strategy]].append(result.cpu_ms)
+            nodes[STRATEGY_LABELS[strategy]].append(result.node_accesses)
+        baseline_tree = get_tree(name, epoch_length=float(length))
+        cpu["baseline"].append(measure_baseline(baseline_tree, workload).cpu_ms)
+
+    print_series(
+        "Figure 11(%s): CPU time (ms) per query vs epoch length (days)" % name,
+        "epoch",
+        EPOCH_LENGTHS,
+        cpu,
+        fmt="%10.3f",
+    )
+    print_series(
+        "Figure 11(%s): node accesses per query vs epoch length (days)" % name,
+        "epoch",
+        EPOCH_LENGTHS,
+        nodes,
+        fmt="%10.1f",
+    )
+
+    # CPU time decreases with the epoch length for every method
+    # (comparing the extremes; middle points may wobble).
+    for label, series in cpu.items():
+        assert series[-1] < series[0], label
+
+    # Longer epochs strengthen the TAR-tree's pruning.
+    assert nodes["TAR-tree"][-1] < nodes["TAR-tree"][0]
+
+    # The TAR-tree outperforms the others in CPU at every epoch length
+    # on average, and is never beaten on node accesses by IND-agg.
+    for rival in ("IND-spa", "IND-agg", "baseline"):
+        assert geometric_mean_ratio(cpu["TAR-tree"], cpu[rival]) > 1.0, rival
+    assert geometric_mean_ratio(nodes["TAR-tree"], nodes["IND-agg"]) > 1.0
+
+    benchmark(knnta_search, get_tree(name), workload[0])

@@ -1,0 +1,79 @@
+"""Figure 14 — minimum weight adjustment vs alpha0.
+
+For alpha0 in {0.1 .. 0.9} at k = 10 the paper finds the pruning
+algorithm ahead of the enumerating baseline at every weight, with
+enumerating weakest (slowest) when the weights are skewed (dominance
+pruning loses power around 0.1/0.9) and pruning cheapest exactly there
+(skylines are small when one criterion dominates).
+"""
+
+import time
+
+import pytest
+
+from _harness import get_tree, get_workload, print_series
+from repro.core.mwa import mwa_enumerating, mwa_pruning
+
+ALPHA_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+N_QUERIES = 5
+K = 10
+
+
+def _measure(method, tree, queries):
+    snap = tree.stats.snapshot()
+    start = time.perf_counter()
+    results = [method(tree, query) for query in queries]
+    elapsed = time.perf_counter() - start
+    delta = tree.stats.diff(snap)
+    n = len(queries)
+    return 1000.0 * elapsed / n, delta.rtree_nodes / n, results
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig14_mwa_vary_alpha(benchmark, name):
+    tree = get_tree(name)
+    base_queries = list(get_workload(name))[:N_QUERIES]
+
+    cpu = {"enumerating": [], "pruning": []}
+    nodes = {"enumerating": [], "pruning": []}
+    for alpha0 in ALPHA_VALUES:
+        queries = [q._replace(alpha0=alpha0, k=K) for q in base_queries]
+        enum_cpu, enum_nodes, enum_results = _measure(
+            mwa_enumerating, tree, queries
+        )
+        prune_cpu, prune_nodes, prune_results = _measure(
+            mwa_pruning, tree, queries
+        )
+        cpu["enumerating"].append(enum_cpu)
+        cpu["pruning"].append(prune_cpu)
+        nodes["enumerating"].append(enum_nodes)
+        nodes["pruning"].append(prune_nodes)
+        for a, b in zip(enum_results, prune_results):
+            if a.gamma_lower is not None or b.gamma_lower is not None:
+                assert a.gamma_lower == pytest.approx(b.gamma_lower)
+            if a.gamma_upper is not None or b.gamma_upper is not None:
+                assert a.gamma_upper == pytest.approx(b.gamma_upper)
+
+    print_series(
+        "Figure 14(%s): MWA CPU time (ms) vs alpha0" % name,
+        "alpha0",
+        ALPHA_VALUES,
+        cpu,
+        fmt="%10.1f",
+    )
+    print_series(
+        "Figure 14(%s): MWA node accesses vs alpha0" % name,
+        "alpha0",
+        ALPHA_VALUES,
+        nodes,
+        fmt="%10.1f",
+    )
+
+    # The pruning algorithm wins at every weight, by a clear margin.
+    for enum_value, prune_value in zip(cpu["enumerating"], cpu["pruning"]):
+        assert prune_value < enum_value
+    for enum_value, prune_value in zip(nodes["enumerating"], nodes["pruning"]):
+        assert prune_value < enum_value / 2
+
+    query = base_queries[0]._replace(k=K)
+    benchmark(mwa_pruning, tree, query)

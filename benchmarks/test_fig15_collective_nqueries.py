@@ -1,0 +1,83 @@
+"""Figure 15 — collective vs individual processing, varying #queries.
+
+The paper batches 100 .. 10,000 queries: with collective processing the
+per-query CPU time and node accesses fall as the batch grows (more
+queries share each node fetch), while individual processing is flat.
+Individual processing runs with unbuffered TIAs (the paper's setup for
+this experiment).
+
+The reproduction sweeps {100, 500, 1000, 5000} (the 10,000-point adds
+nothing but wall-clock at our scale).
+"""
+
+import pytest
+
+from _harness import (
+    get_dataset,
+    get_tree,
+    measure_collective,
+    measure_individual,
+    print_series,
+)
+from repro.core.collective import CollectiveProcessor
+from repro.datasets.workload import generate_queries
+
+BATCH_SIZES = (100, 500, 1000, 5000)
+INTERVAL_PRESETS = tuple(2 ** i for i in range(4))  # a few UI presets
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig15_collective_vary_queries(benchmark, name):
+    data = get_dataset(name)
+    collective_tree = get_tree(name)
+    unbuffered_tree = get_tree(name, tia_buffer_slots=0)
+
+    cpu = {"individual": [], "collective": []}
+    nodes = {"individual": [], "collective": []}
+    for batch_size in BATCH_SIZES:
+        queries = list(
+            generate_queries(
+                data,
+                n_queries=batch_size,
+                interval_days_choices=INTERVAL_PRESETS,
+                seed=15,
+            )
+        )
+        collective = measure_collective(collective_tree, queries)
+        individual = measure_individual(unbuffered_tree, queries)
+        cpu["collective"].append(collective.cpu_ms)
+        cpu["individual"].append(individual.cpu_ms)
+        nodes["collective"].append(collective.node_accesses)
+        nodes["individual"].append(individual.node_accesses)
+
+    print_series(
+        "Figure 15(%s): CPU time (ms) per query vs #queries" % name,
+        "#queries",
+        BATCH_SIZES,
+        cpu,
+        fmt="%10.3f",
+    )
+    print_series(
+        "Figure 15(%s): node accesses per query vs #queries" % name,
+        "#queries",
+        BATCH_SIZES,
+        nodes,
+        fmt="%10.2f",
+    )
+
+    # Collective beats individual at every batch size, and its per-query
+    # node accesses fall as the batch grows.
+    for coll, ind in zip(nodes["collective"], nodes["individual"]):
+        assert coll < ind
+    assert nodes["collective"][-1] < nodes["collective"][0] / 2
+
+    # Individual processing is insensitive to the batch size.
+    individual_nodes = nodes["individual"]
+    assert max(individual_nodes) < min(individual_nodes) * 1.5
+
+    queries = list(
+        generate_queries(
+            data, n_queries=50, interval_days_choices=INTERVAL_PRESETS, seed=15
+        )
+    )
+    benchmark(CollectiveProcessor(collective_tree).run, queries)

@@ -1,0 +1,91 @@
+"""Figure 16 — collective vs individual, varying the number of query types.
+
+Queries are grouped by their time interval ("query type"); with more
+distinct intervals in the batch the aggregate-computation sharing
+declines, so collective processing loses some of its edge — but the
+paper finds it degrades gracefully beyond ~10 types and stays several
+times faster than individual processing throughout {1, 5, 10, 50, 100}
+types.
+"""
+
+import random
+
+import pytest
+
+from _harness import (
+    get_dataset,
+    get_tree,
+    measure_collective,
+    measure_individual,
+    print_series,
+)
+from repro.core.collective import CollectiveProcessor
+from repro.core.query import KNNTAQuery
+from repro.temporal.epochs import TimeInterval
+
+TYPE_COUNTS = (1, 5, 10, 50, 100)
+BATCH_SIZE = 1000
+
+
+def _typed_queries(data, n_types, seed):
+    """A batch whose intervals are drawn from exactly ``n_types`` presets."""
+    rng = random.Random(seed)
+    presets = []
+    for i in range(n_types):
+        length = float(2 ** (i % 10))
+        length = min(length, data.span_days)
+        start = data.t0 + rng.random() * (data.span_days - length)
+        presets.append(TimeInterval(start, start + length))
+    locations = list(data.positions.values())
+    return [
+        KNNTAQuery(rng.choice(locations), rng.choice(presets), k=10, alpha0=0.3)
+        for _ in range(BATCH_SIZE)
+    ]
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig16_collective_vary_types(benchmark, name):
+    data = get_dataset(name)
+    collective_tree = get_tree(name)
+    unbuffered_tree = get_tree(name, tia_buffer_slots=0)
+
+    cpu = {"individual": [], "collective": []}
+    nodes = {"individual": [], "collective": []}
+    for n_types in TYPE_COUNTS:
+        queries = _typed_queries(data, n_types, seed=16)
+        collective = measure_collective(collective_tree, queries)
+        individual = measure_individual(unbuffered_tree, queries)
+        cpu["collective"].append(collective.cpu_ms)
+        cpu["individual"].append(individual.cpu_ms)
+        nodes["collective"].append(collective.node_accesses)
+        nodes["individual"].append(individual.node_accesses)
+
+    print_series(
+        "Figure 16(%s): CPU time (ms) per query vs #query types" % name,
+        "#types",
+        TYPE_COUNTS,
+        cpu,
+        fmt="%10.3f",
+    )
+    print_series(
+        "Figure 16(%s): node accesses per query vs #query types" % name,
+        "#types",
+        TYPE_COUNTS,
+        nodes,
+        fmt="%10.2f",
+    )
+
+    # Collective processing outperforms individual at every type count
+    # in node accesses (deterministic) and overall in CPU (wall-clock is
+    # compared across the sweep to stay robust against scheduler noise).
+    for coll, ind in zip(nodes["collective"], nodes["individual"]):
+        assert coll < ind
+    assert sum(cpu["collective"]) < sum(cpu["individual"])
+
+    # Sharing declines with more types, but degrades gracefully: going
+    # from 10 to 100 types costs less than 4x in node accesses.
+    ten = TYPE_COUNTS.index(10)
+    assert nodes["collective"][-1] < nodes["collective"][ten] * 4
+
+    queries = _typed_queries(data, 5, seed=16)[:50]
+    benchmark(CollectiveProcessor(collective_tree).run, queries)

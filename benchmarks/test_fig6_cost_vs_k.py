@@ -1,0 +1,97 @@
+"""Figure 6 — cost-analysis validation varying k.
+
+The paper compares the estimated vs measured (a, b) ranking score of the
+k-th POI ``f(p_k)`` and (c, d) number of leaf node accesses, for
+k in {1, 5, 10, 50, 100} on GW and GS with alpha0 = 0.3.  The estimates
+should be close for k >= 5 and exhibit the same growing trend.
+
+Validation queries use the full history interval and the exact aggregate
+normaliser, matching the cost model's unit-cube geometry (DESIGN.md §4).
+"""
+
+import pytest
+
+from _harness import get_dataset, get_tree, print_series
+from repro.core.costmodel import CostModel
+from repro.core.knnta import knnta_search
+from repro.datasets.workload import generate_queries
+from repro.temporal.epochs import TimeInterval
+
+K_VALUES = (1, 5, 10, 50, 100)
+ALPHA0 = 0.3
+N_QUERIES = 60
+
+
+def _setup(name):
+    data = get_dataset(name)
+    tree = get_tree(name)
+    interval = TimeInterval(data.t0, data.tc)
+    normalizer = tree.normalizer(interval, exact=True)
+    aggregates = [
+        tree.poi_tia(pid).aggregate(tree.clock, interval) for pid in tree.poi_ids()
+    ]
+    model = CostModel.from_aggregates(aggregates, capacity=tree.capacity)
+    queries = [
+        q._replace(interval=interval)
+        for q in generate_queries(data, n_queries=N_QUERIES, alpha0=ALPHA0, seed=5)
+    ]
+    return tree, model, normalizer, queries
+
+
+def _measure(tree, queries, normalizer, k):
+    fpk_total = 0.0
+    leaves_total = 0
+    for query in queries:
+        snap = tree.stats.snapshot()
+        results = knnta_search(tree, query._replace(k=k), normalizer=normalizer)
+        leaves_total += tree.stats.diff(snap).rtree_leaf
+        fpk_total += results[-1].score
+    return fpk_total / len(queries), leaves_total / len(queries)
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig6_cost_validation_vary_k(benchmark, name):
+    tree, model, normalizer, queries = _setup(name)
+
+    measured_fpk, measured_leaves = [], []
+    for k in K_VALUES:
+        fpk, leaves = _measure(tree, queries, normalizer, k)
+        measured_fpk.append(fpk)
+        measured_leaves.append(leaves)
+    estimated_fpk = [model.estimate_fpk(k, ALPHA0) for k in K_VALUES]
+    estimated_leaves = [
+        model.estimate_node_accesses(k=k, alpha0=ALPHA0) for k in K_VALUES
+    ]
+
+    print_series(
+        "Figure 6(%s): f(pk), measured vs estimated" % name,
+        "k",
+        K_VALUES,
+        {"measured": measured_fpk, "estimated": estimated_fpk},
+        fmt="%10.3f",
+    )
+    print_series(
+        "Figure 6(%s): leaf node accesses, measured vs estimated" % name,
+        "k",
+        K_VALUES,
+        {"measured": measured_leaves, "estimated": estimated_leaves},
+        fmt="%10.1f",
+    )
+
+    # f(pk) increases with k, and the estimates are close for k >= 5.
+    assert measured_fpk == sorted(measured_fpk)
+    assert estimated_fpk == sorted(estimated_fpk)
+    for k, measured, estimated in zip(K_VALUES, measured_fpk, estimated_fpk):
+        if k >= 5:
+            assert estimated == pytest.approx(measured, rel=0.5), "k=%d" % k
+
+    # Node accesses grow with k; estimates share the trend and stay in
+    # the same order of magnitude.
+    assert measured_leaves == sorted(measured_leaves)
+    assert estimated_leaves == sorted(estimated_leaves)
+    for measured, estimated in zip(measured_leaves, estimated_leaves):
+        assert measured / 6 <= estimated <= measured * 6
+
+    benchmark(
+        knnta_search, tree, queries[0]._replace(k=10), normalizer=normalizer
+    )

@@ -1,0 +1,89 @@
+"""Figure 7 — cost-analysis validation varying alpha0.
+
+Estimated vs measured ``f(p_k)`` and leaf node accesses for
+alpha0 in {0.1, 0.3, 0.5, 0.7, 0.9} at k = 10 (GW, GS).  The paper finds
+the ``f(p_k)`` estimates nearly identical to the measurements across the
+whole range, with the node-access estimate degrading only near
+alpha0 = 0.9 (power-law fitting error close to x-min).
+"""
+
+import pytest
+
+from _harness import get_dataset, get_tree, print_series
+from repro.core.costmodel import CostModel
+from repro.core.knnta import knnta_search
+from repro.datasets.workload import generate_queries
+from repro.temporal.epochs import TimeInterval
+
+ALPHA_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+K = 10
+N_QUERIES = 60
+
+
+def _setup(name):
+    data = get_dataset(name)
+    tree = get_tree(name)
+    interval = TimeInterval(data.t0, data.tc)
+    normalizer = tree.normalizer(interval, exact=True)
+    aggregates = [
+        tree.poi_tia(pid).aggregate(tree.clock, interval) for pid in tree.poi_ids()
+    ]
+    model = CostModel.from_aggregates(aggregates, capacity=tree.capacity)
+    queries = [
+        q._replace(interval=interval, k=K)
+        for q in generate_queries(data, n_queries=N_QUERIES, k=K, seed=6)
+    ]
+    return tree, model, normalizer, queries
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig7_cost_validation_vary_alpha(benchmark, name):
+    tree, model, normalizer, queries = _setup(name)
+
+    measured_fpk, measured_leaves = [], []
+    for alpha0 in ALPHA_VALUES:
+        fpk_total, leaves_total = 0.0, 0
+        for query in queries:
+            adjusted = query._replace(alpha0=alpha0)
+            snap = tree.stats.snapshot()
+            results = knnta_search(tree, adjusted, normalizer=normalizer)
+            leaves_total += tree.stats.diff(snap).rtree_leaf
+            fpk_total += results[-1].score
+        measured_fpk.append(fpk_total / len(queries))
+        measured_leaves.append(leaves_total / len(queries))
+
+    estimated_fpk = [model.estimate_fpk(K, a) for a in ALPHA_VALUES]
+    estimated_leaves = [
+        model.estimate_node_accesses(k=K, alpha0=a) for a in ALPHA_VALUES
+    ]
+
+    print_series(
+        "Figure 7(%s): f(pk), measured vs estimated" % name,
+        "alpha0",
+        ALPHA_VALUES,
+        {"measured": measured_fpk, "estimated": estimated_fpk},
+        fmt="%10.3f",
+    )
+    print_series(
+        "Figure 7(%s): leaf node accesses, measured vs estimated" % name,
+        "alpha0",
+        ALPHA_VALUES,
+        {"measured": measured_leaves, "estimated": estimated_leaves},
+        fmt="%10.1f",
+    )
+
+    # f(pk) estimates track the measurements across the weight range.
+    for alpha0, measured, estimated in zip(
+        ALPHA_VALUES, measured_fpk, estimated_fpk
+    ):
+        assert estimated == pytest.approx(measured, rel=0.5), "alpha0=%s" % alpha0
+
+    # Node-access estimates stay within an order of magnitude away from
+    # the extremes (the paper notes degradation toward alpha0 = 0.9).
+    for alpha0, measured, estimated in zip(
+        ALPHA_VALUES, measured_leaves, estimated_leaves
+    ):
+        if 0.2 <= alpha0 <= 0.8 and measured > 0:
+            assert measured / 8 <= estimated <= measured * 8, "alpha0=%s" % alpha0
+
+    benchmark(knnta_search, tree, queries[0], normalizer=normalizer)

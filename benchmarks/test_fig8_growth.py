@@ -1,0 +1,73 @@
+"""Figure 8 — performance as the LBSN grows (20% .. 100% snapshots).
+
+The paper takes snapshots at 20%..100% of each data set's time span,
+rebuilds the indexes and reports per-query CPU time and node accesses.
+The TAR-tree runs several times faster than IND-spa/IND-agg and greatly
+faster than the baseline at every snapshot, and its node accesses stay
+lowest and stable as the network grows.
+"""
+
+import pytest
+
+from _harness import (
+    STRATEGIES,
+    STRATEGY_LABELS,
+    geometric_mean_ratio,
+    get_dataset,
+    get_tree,
+    measure_baseline,
+    measure_index,
+    print_series,
+)
+from repro.core.knnta import knnta_search
+from repro.datasets.workload import generate_queries
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+N_QUERIES = 120
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig8_growth(benchmark, name):
+    cpu = {STRATEGY_LABELS[s]: [] for s in STRATEGIES}
+    cpu["baseline"] = []
+    nodes = {STRATEGY_LABELS[s]: [] for s in STRATEGIES}
+    for fraction in FRACTIONS:
+        snapshot = get_dataset(name, fraction)
+        queries = generate_queries(snapshot, n_queries=N_QUERIES, seed=8)
+        for strategy in STRATEGIES:
+            tree = get_tree(name, strategy=strategy, fraction=fraction)
+            result = measure_index(tree, queries)
+            cpu[STRATEGY_LABELS[strategy]].append(result.cpu_ms)
+            nodes[STRATEGY_LABELS[strategy]].append(result.node_accesses)
+        baseline_tree = get_tree(name, fraction=fraction)
+        cpu["baseline"].append(measure_baseline(baseline_tree, queries).cpu_ms)
+
+    labels = ["%d%%" % int(f * 100) for f in FRACTIONS]
+    print_series(
+        "Figure 8(%s): CPU time (ms) per query vs LBSN growth" % name,
+        "time",
+        labels,
+        cpu,
+        fmt="%10.3f",
+    )
+    print_series(
+        "Figure 8(%s): node accesses per query vs LBSN growth" % name,
+        "time",
+        labels,
+        nodes,
+        fmt="%10.1f",
+    )
+
+    # The TAR-tree is fastest on average across the growth sweep and far
+    # faster than the baseline at the full snapshot.
+    for rival in ("IND-spa", "IND-agg", "baseline"):
+        assert geometric_mean_ratio(cpu["TAR-tree"], cpu[rival]) > 1.0, rival
+    assert cpu["baseline"][-1] / cpu["TAR-tree"][-1] > 3.0
+
+    # Node accesses: never worse than IND-agg, competitive with IND-spa.
+    assert geometric_mean_ratio(nodes["TAR-tree"], nodes["IND-agg"]) > 1.0
+    assert geometric_mean_ratio(nodes["TAR-tree"], nodes["IND-spa"]) > 0.85
+
+    full_tree = get_tree(name)
+    queries = generate_queries(get_dataset(name), n_queries=1, seed=8)
+    benchmark(knnta_search, full_tree, queries[0])

@@ -1,0 +1,72 @@
+"""Figure 9 — TAR-tree vs IND-spa / IND-agg / baseline, varying k.
+
+For k in {1, 5, 10, 50, 100} the paper reports (a, b) CPU time and
+(c, d) node accesses per query on GW and GS.  The TAR-tree constantly
+outperforms the others; costs grow with k, and beyond k = 10 the
+alternatives' node accesses grow much faster than the TAR-tree's.
+"""
+
+import pytest
+
+from _harness import (
+    STRATEGIES,
+    STRATEGY_LABELS,
+    geometric_mean_ratio,
+    get_tree,
+    get_workload,
+    measure_baseline,
+    measure_index,
+    print_series,
+)
+from repro.core.knnta import knnta_search
+
+K_VALUES = (1, 5, 10, 50, 100)
+
+
+@pytest.mark.parametrize("name", ["GW", "GS"])
+def test_fig9_vary_k(benchmark, name):
+    trees = {s: get_tree(name, strategy=s) for s in STRATEGIES}
+    workload = get_workload(name)
+
+    cpu = {STRATEGY_LABELS[s]: [] for s in STRATEGIES}
+    cpu["baseline"] = []
+    nodes = {STRATEGY_LABELS[s]: [] for s in STRATEGIES}
+    for k in K_VALUES:
+        queries = workload.with_params(k=k)
+        for strategy in STRATEGIES:
+            result = measure_index(trees[strategy], queries)
+            cpu[STRATEGY_LABELS[strategy]].append(result.cpu_ms)
+            nodes[STRATEGY_LABELS[strategy]].append(result.node_accesses)
+        cpu["baseline"].append(
+            measure_baseline(trees["integral3d"], queries).cpu_ms
+        )
+
+    print_series(
+        "Figure 9(%s): CPU time (ms) per query vs k" % name, "k", K_VALUES, cpu,
+        fmt="%10.3f",
+    )
+    print_series(
+        "Figure 9(%s): node accesses per query vs k" % name, "k", K_VALUES, nodes,
+        fmt="%10.1f",
+    )
+
+    tar_nodes = nodes["TAR-tree"]
+    # Node accesses: the TAR-tree beats IND-agg outright and stays within
+    # noise of IND-spa at small k (at the reproduction's reduced scale the
+    # paper's large-k gap is attenuated; see EXPERIMENTS.md).
+    assert geometric_mean_ratio(tar_nodes, nodes["IND-agg"]) > 1.0
+    assert geometric_mean_ratio(tar_nodes, nodes["IND-spa"]) > 0.9
+    assert tar_nodes[-1] <= nodes["IND-agg"][-1]
+
+    # Node accesses increase with k for every index.
+    for label, series in nodes.items():
+        assert series[0] <= series[-1], label
+
+    # CPU time: the TAR-tree is the fastest index on average and runs
+    # far faster than the sequential-scan baseline.
+    for rival in ("IND-spa", "IND-agg"):
+        assert geometric_mean_ratio(cpu["TAR-tree"], cpu[rival]) > 1.0, rival
+    assert geometric_mean_ratio(cpu["TAR-tree"], cpu["baseline"]) > 3.0
+
+    queries = workload.with_params(k=10)
+    benchmark(knnta_search, trees["integral3d"], queries[0])

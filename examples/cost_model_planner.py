@@ -1,0 +1,69 @@
+"""Using the cost analysis as a query-cost planner.
+
+Run with::
+
+    python examples/cost_model_planner.py
+
+Section 6's analysis "can also be used as a cost model for query
+optimization purposes".  This example fits the model to an indexed data
+set and uses it the way an optimizer would: predicting, *without
+touching the index*, how expensive a kNNTA query will be for different
+``k`` and weight settings, then validating the predictions against real
+measurements.
+"""
+
+from repro import TARTree, TimeInterval, datasets
+from repro.core.costmodel import CostModel
+from repro.core.knnta import knnta_search
+from repro.datasets.workload import generate_queries
+
+
+def main():
+    print("Building a Foursquare-like (GS) data set and TAR-tree ...")
+    data = datasets.make("GS", scale=0.3, seed=9)
+    tree = TARTree.build(data)
+    print("  %s" % tree)
+
+    interval = TimeInterval(data.t0, data.tc)
+    aggregates = [
+        tree.poi_tia(poi_id).aggregate(tree.clock, interval)
+        for poi_id in tree.poi_ids()
+    ]
+    model = CostModel.from_aggregates(aggregates, capacity=tree.capacity)
+    print("  fitted cost model: %s" % model)
+
+    print("\nPredicted query cost (leaf node accesses), no index touched:")
+    print("%8s %10s %10s %10s" % ("k", "a0=0.1", "a0=0.3", "a0=0.7"))
+    for k in (1, 10, 100):
+        row = [model.estimate_node_accesses(k=k, alpha0=a) for a in (0.1, 0.3, 0.7)]
+        print("%8d %10.1f %10.1f %10.1f" % (k, *row))
+
+    print("\nValidating the k column at alpha0 = 0.3 against measurements:")
+    normalizer = tree.normalizer(interval, exact=True)
+    queries = [
+        q._replace(interval=interval)
+        for q in generate_queries(data, n_queries=40, seed=2)
+    ]
+    print("%8s %12s %12s" % ("k", "estimated", "measured"))
+    for k in (1, 10, 100):
+        snapshot = tree.stats.snapshot()
+        for query in queries:
+            knnta_search(tree, query._replace(k=k), normalizer=normalizer)
+        measured = tree.stats.diff(snapshot).rtree_leaf / len(queries)
+        estimated = model.estimate_node_accesses(k=k, alpha0=0.3)
+        print("%8d %12.1f %12.1f" % (k, estimated, measured))
+
+    print(
+        "\nAn optimizer can use these estimates to, e.g., cap interactive"
+        "\nqueries at a k whose predicted cost fits the latency budget, or"
+        "\nto route heavy analytical queries to the scan path instead."
+    )
+    budget = 25.0
+    k = 1
+    while model.estimate_node_accesses(k=k + 1, alpha0=0.3) <= budget and k < 500:
+        k += 1
+    print("Largest k within a %d-leaf-access budget at alpha0=0.3: k = %d" % (budget, k))
+
+
+if __name__ == "__main__":
+    main()

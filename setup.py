@@ -1,0 +1,11 @@
+"""Thin setup.py kept for legacy editable installs.
+
+The execution environment has no network access and lacks the ``wheel``
+package, so PEP 660 editable installs fail; ``pip install -e .
+--no-use-pep517 --no-build-isolation`` uses this file instead.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

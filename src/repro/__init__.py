@@ -1,0 +1,52 @@
+"""repro — a reproduction of "K-Nearest Neighbor Temporal Aggregate Queries".
+
+The library implements the TAR-tree index, the kNNTA query, the paper's
+cost model and its two query enhancements (minimum weight adjustment and
+collective processing), together with every substrate they rest on: an
+R*-tree, temporal indexes on the aggregate, a disk/buffer simulation,
+skyline algorithms, discrete power-law fitting, and synthetic LBSN data
+generators calibrated to the paper's data sets.
+
+Quickstart::
+
+    from repro import datasets, TARTree, TimeInterval
+
+    data = datasets.make("NYC", scale=0.05, seed=7)
+    tree = TARTree.build(data)
+    results = tree.knnta(q=(0.4, 0.6), interval=TimeInterval(0, 28),
+                         k=10, alpha0=0.3)
+"""
+
+__version__ = "0.1.0"
+
+from repro.core.collective import CollectiveProcessor
+from repro.core.costmodel import CostModel
+from repro.core.knnta import knnta_browse, knnta_search
+from repro.core.mwa import minimum_weight_adjustment, weight_adjustment_sequence
+from repro.core.query import KNNTAQuery, QueryResult
+from repro.core.scan import sequential_scan
+from repro.core.tar_tree import POI, TARTree
+from repro.storage.stats import AccessStats
+from repro.temporal.epochs import EpochClock, TimeInterval, VariedEpochClock
+from repro.temporal.tia import AggregateKind, IntervalSemantics
+
+__all__ = [
+    "TARTree",
+    "POI",
+    "KNNTAQuery",
+    "QueryResult",
+    "TimeInterval",
+    "EpochClock",
+    "VariedEpochClock",
+    "IntervalSemantics",
+    "AggregateKind",
+    "AccessStats",
+    "CostModel",
+    "CollectiveProcessor",
+    "knnta_search",
+    "knnta_browse",
+    "sequential_scan",
+    "minimum_weight_adjustment",
+    "weight_adjustment_sequence",
+    "__version__",
+]

@@ -1,0 +1,200 @@
+"""Discrete power-law fitting (Clauset, Shalizi & Newman, 2009).
+
+The paper's Table 2 fits ``p(x) = x^-beta / zeta(beta, x_min)`` to the
+per-POI aggregate values of each data set and reports the estimated
+``beta``, the KS-minimising lower bound ``x_min`` and a bootstrap
+goodness-of-fit p-value ("the power-law hypothesis is ruled out if
+p-value <= 0.1").  This module implements the full recipe:
+
+* ``beta`` by numerical maximum likelihood (Hurwitz-zeta normalised);
+* ``x_min`` by scanning candidates and minimising the KS distance
+  between the empirical tail and the fitted model;
+* the p-value by the semi-parametric bootstrap: synthetic data sets mix
+  draws from the fitted tail with resamples of the empirical body, are
+  re-fitted from scratch, and the p-value is the fraction whose KS
+  distance exceeds the observed one.
+"""
+
+import math
+from typing import NamedTuple
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+from scipy.special import zeta as hurwitz_zeta
+
+_BETA_BOUNDS = (1.05, 8.0)
+
+
+class PowerLawFit(NamedTuple):
+    """A fitted discrete power law."""
+
+    beta: float
+    xmin: int
+    ks_distance: float
+    n_tail: int
+    n_total: int
+
+
+class GoodnessOfFit(NamedTuple):
+    """Bootstrap goodness-of-fit for a :class:`PowerLawFit`."""
+
+    p_value: float
+    ks_observed: float
+    n_bootstrap: int
+
+    @property
+    def plausible(self):
+        """True when the power-law hypothesis survives (p-value > 0.1)."""
+        return self.p_value > 0.1
+
+
+def powerlaw_cdf(x, beta, xmin):
+    """``P(X <= x)`` for the discrete power law with support ``>= xmin``."""
+    x = np.asarray(x, dtype=np.float64)
+    tail = hurwitz_zeta(beta, np.floor(x) + 1.0) / hurwitz_zeta(beta, xmin)
+    return 1.0 - tail
+
+
+def _mle_beta(tail_values, xmin):
+    """Numerical maximum-likelihood exponent for a tail sample."""
+    log_sum = float(np.sum(np.log(tail_values)))
+    n = len(tail_values)
+
+    def nll(beta):
+        return n * math.log(hurwitz_zeta(beta, xmin)) + beta * log_sum
+
+    result = minimize_scalar(nll, bounds=_BETA_BOUNDS, method="bounded")
+    return float(result.x)
+
+
+def _ks_distance(tail_values, beta, xmin):
+    """KS distance between the empirical tail CDF and the model CDF.
+
+    For discrete data the statistic compares the two CDFs at the observed
+    values directly (Clauset et al., eq. 3.9) — the continuous two-sided
+    convention would report spurious gaps at every atom.
+    """
+    values = np.asarray(tail_values, dtype=np.float64)
+    unique, counts = np.unique(values, return_counts=True)
+    empirical = np.cumsum(counts) / values.size  # P(X <= x)
+    model = powerlaw_cdf(unique, beta, xmin)
+    return float(np.max(np.abs(empirical - model)))
+
+
+def fit_discrete_powerlaw(data, xmin=None, xmin_candidates=None, max_candidates=80):
+    """Fit a discrete power law to positive integer observations.
+
+    Parameters
+    ----------
+    data:
+        Iterable of positive values (non-positive entries are dropped).
+    xmin:
+        Fix the lower bound instead of estimating it.
+    xmin_candidates:
+        Candidate lower bounds to scan (defaults to the unique observed
+        values, thinned to at most ``max_candidates``).
+    """
+    values = np.asarray([v for v in data if v > 0], dtype=np.int64)
+    if values.size < 2:
+        raise ValueError("need at least two positive observations")
+    if xmin is not None:
+        xmin = int(xmin)
+        tail = values[values >= xmin]
+        if tail.size < 2:
+            raise ValueError("fewer than two observations above xmin=%d" % xmin)
+        beta = _mle_beta(tail, xmin)
+        ks = _ks_distance(tail, beta, xmin)
+        return PowerLawFit(beta, xmin, ks, int(tail.size), int(values.size))
+
+    if xmin_candidates is None:
+        unique = np.unique(values)
+        if unique.size > max_candidates:
+            picks = np.linspace(0, unique.size - 1, max_candidates).astype(int)
+            unique = unique[np.unique(picks)]
+        xmin_candidates = unique.tolist()
+
+    best = None
+    for candidate in xmin_candidates:
+        candidate = int(candidate)
+        tail = values[values >= candidate]
+        if tail.size < 10:
+            continue
+        beta = _mle_beta(tail, candidate)
+        ks = _ks_distance(tail, beta, candidate)
+        if best is None or ks < best.ks_distance:
+            best = PowerLawFit(beta, candidate, ks, int(tail.size), int(values.size))
+    if best is None:
+        raise ValueError("no viable xmin candidate (tails all too small)")
+    return best
+
+
+def sample_discrete_powerlaw(rng, beta, xmin, size, exact_cap=100000):
+    """Draw discrete power-law variates ``>= xmin``.
+
+    Exact inverse-CDF sampling over ``[xmin, exact_cap]`` (Clauset et al.
+    appendix D); the vanishing mass beyond the cap falls back to the
+    continuous approximation ``floor((c - 1/2)(1 - u)^(-1/(beta-1)) + 1/2)``,
+    where the approximation error is negligible.  The exact table matters
+    for small ``xmin``, where the pure approximation visibly biases the
+    first few atoms and would distort goodness-of-fit p-values.
+    """
+    xmin = int(xmin)
+    support = np.arange(xmin, exact_cap + 1, dtype=np.float64)
+    pmf = support ** (-beta) / hurwitz_zeta(beta, xmin)
+    cdf = np.cumsum(pmf)
+    u = rng.random(size)
+    indices = np.searchsorted(cdf, u, side="left")
+    result = np.empty(size, dtype=np.int64)
+    in_table = indices < support.size
+    result[in_table] = (xmin + indices[in_table]).astype(np.int64)
+    overflow = ~in_table
+    if overflow.any():
+        # Conditional tail beyond the table: continuous approximation
+        # re-anchored at the cap.
+        v = rng.random(int(overflow.sum()))
+        result[overflow] = np.floor(
+            (exact_cap + 0.5) * np.power(1.0 - v, -1.0 / (beta - 1.0)) + 0.5
+        ).astype(np.int64)
+    return result
+
+
+def goodness_of_fit(data, fit=None, n_bootstrap=100, seed=0, refit_kwargs=None):
+    """Semi-parametric bootstrap p-value for the power-law hypothesis.
+
+    Each synthetic data set keeps the empirical body (values below
+    ``xmin``) with probability ``1 - n_tail/n`` and draws from the fitted
+    tail otherwise, then is re-fitted from scratch; the p-value is the
+    fraction of synthetic KS distances at least the observed one.
+    Clauset et al. suggest rejecting the hypothesis when the p-value is
+    <= 0.1.
+    """
+    values = np.asarray([v for v in data if v > 0], dtype=np.int64)
+    if fit is None:
+        fit = fit_discrete_powerlaw(values)
+    refit_kwargs = dict(refit_kwargs or {})
+    rng = np.random.default_rng(seed)
+    body = values[values < fit.xmin]
+    n = values.size
+    tail_probability = fit.n_tail / n
+    exceed = 0
+    for _ in range(n_bootstrap):
+        from_tail = rng.random(n) < tail_probability
+        n_tail = int(from_tail.sum())
+        synthetic = np.empty(n, dtype=np.int64)
+        if n_tail:
+            synthetic[:n_tail] = sample_discrete_powerlaw(rng, fit.beta, fit.xmin, n_tail)
+        n_body = n - n_tail
+        if n_body:
+            if body.size:
+                synthetic[n_tail:] = rng.choice(body, size=n_body)
+            else:
+                synthetic[n_tail:] = sample_discrete_powerlaw(
+                    rng, fit.beta, fit.xmin, n_body
+                )
+        try:
+            synthetic_fit = fit_discrete_powerlaw(synthetic, **refit_kwargs)
+        except ValueError:
+            continue
+        if synthetic_fit.ks_distance >= fit.ks_distance:
+            exceed += 1
+    return GoodnessOfFit(exceed / float(n_bootstrap), fit.ks_distance, n_bootstrap)

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands cover the library's end-to-end flow without writing code:
+
+* ``generate`` — synthesise a data set (one of the paper's presets,
+  scaled) and save it as ``.npz``.
+* ``fit`` — fit the Table 2 power law to a saved data set.
+* ``build`` — build a TAR-tree over a saved data set and persist it.
+* ``query`` — answer a kNNTA query against a saved tree, reporting the
+  ranked POIs and the simulated I/O cost.
+* ``mwa`` — suggest the minimum weight adjustment for a query.
+
+Example session::
+
+    python -m repro generate --preset GS --scale 0.05 --out gs.npz
+    python -m repro fit gs.npz
+    python -m repro build gs.npz --strategy integral3d --out gs-tree.json
+    python -m repro query gs-tree.json --x 50 --y 50 --last-days 28 --k 5
+    python -m repro mwa gs-tree.json --x 50 --y 50 --last-days 28 --k 5
+"""
+
+import argparse
+import sys
+
+from repro.temporal.epochs import TimeInterval
+
+
+def _add_query_arguments(parser):
+    parser.add_argument("tree", help="tree file written by 'build'")
+    parser.add_argument("--x", type=float, required=True, help="query point x")
+    parser.add_argument("--y", type=float, required=True, help="query point y")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--last-days",
+        type=float,
+        help="query the trailing interval of this many days",
+    )
+    group.add_argument(
+        "--interval",
+        nargs=2,
+        type=float,
+        metavar=("START", "END"),
+        help="explicit query interval",
+    )
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--alpha0", type=float, default=0.3)
+
+
+def _resolve_interval(tree, args):
+    if args.interval is not None:
+        return TimeInterval(args.interval[0], args.interval[1])
+    return TimeInterval(tree.current_time - args.last_days, tree.current_time)
+
+
+def build_parser():
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TAR-tree / kNNTA queries (EDBT 2015 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesise a data set and save it as .npz"
+    )
+    generate.add_argument(
+        "--preset", default="NYC", help="NYC, LA, GW or GS (Table 4)"
+    )
+    generate.add_argument("--scale", type=float, default=0.05)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+
+    fit = commands.add_parser(
+        "fit", help="fit the Table 2 power law to a saved data set"
+    )
+    fit.add_argument("dataset", help="data set file written by 'generate'")
+    fit.add_argument("--bootstrap", type=int, default=20, help="p-value resamples")
+    fit.add_argument("--seed", type=int, default=0)
+
+    build = commands.add_parser(
+        "build", help="build a TAR-tree over a saved data set"
+    )
+    build.add_argument("dataset", help="data set file written by 'generate'")
+    build.add_argument(
+        "--strategy",
+        default="integral3d",
+        help="integral3d (TAR-tree), spatial (IND-spa) or aggregate (IND-agg)",
+    )
+    build.add_argument("--epoch-days", type=float, default=7.0)
+    build.add_argument("--node-size", type=int, default=1024)
+    build.add_argument("--tia-backend", default="paged",
+                       help="paged, memory or mvbt")
+    build.add_argument("--out", required=True)
+
+    query = commands.add_parser("query", help="answer one kNNTA query")
+    _add_query_arguments(query)
+    query.add_argument(
+        "--scan",
+        action="store_true",
+        help="also run the sequential-scan baseline and cross-check",
+    )
+
+    mwa = commands.add_parser(
+        "mwa", help="suggest the minimum weight adjustment for a query"
+    )
+    _add_query_arguments(mwa)
+    mwa.add_argument(
+        "--method", default="pruning", help="pruning or enumerating"
+    )
+
+    return parser
+
+
+def _command_generate(args, out):
+    from repro import datasets
+    from repro.storage.serialize import save_dataset
+
+    data = datasets.make(args.preset, scale=args.scale, seed=args.seed)
+    save_dataset(data, args.out)
+    print(
+        "wrote %s: %d POIs, %d check-ins over %.0f days (%d effective)"
+        % (
+            args.out,
+            data.num_pois,
+            data.total_checkins(),
+            data.span_days,
+            len(data.effective_poi_ids()),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _command_fit(args, out):
+    from repro.analysis.powerlaw import fit_discrete_powerlaw, goodness_of_fit
+    from repro.storage.serialize import load_dataset
+
+    data = load_dataset(args.dataset)
+    totals = [v for v in data.totals().values() if v > 0]
+    fit = fit_discrete_powerlaw(totals)
+    gof = goodness_of_fit(totals, fit, n_bootstrap=args.bootstrap, seed=args.seed)
+    print(
+        "%s: n=%d beta=%.2f xmin=%d KS=%.4f p-value=%.2f (%s)"
+        % (
+            data.name,
+            fit.n_total,
+            fit.beta,
+            fit.xmin,
+            fit.ks_distance,
+            gof.p_value,
+            "plausible power law" if gof.plausible else "power law rejected",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _command_build(args, out):
+    from repro.core.tar_tree import TARTree
+    from repro.storage.serialize import load_dataset, save_tree
+
+    data = load_dataset(args.dataset)
+    tree = TARTree.build(
+        data,
+        epoch_length=args.epoch_days,
+        strategy=args.strategy,
+        node_size=args.node_size,
+        tia_backend=args.tia_backend,
+    )
+    save_tree(tree, args.out)
+    print(
+        "wrote %s: %s (%d nodes, height %d)"
+        % (args.out, tree, tree.node_count(), tree.height),
+        file=out,
+    )
+    return 0
+
+
+def _command_query(args, out):
+    from repro.core.knnta import knnta_search
+    from repro.core.query import KNNTAQuery
+    from repro.core.scan import sequential_scan
+    from repro.storage.serialize import load_tree
+
+    tree = load_tree(args.tree)
+    interval = _resolve_interval(tree, args)
+    query = KNNTAQuery((args.x, args.y), interval, k=args.k, alpha0=args.alpha0)
+    snapshot = tree.stats.snapshot()
+    results = knnta_search(tree, query)
+    cost = tree.stats.diff(snapshot)
+    print(
+        "top-%d at (%g, %g) over [%g, %g], alpha0=%g:"
+        % (args.k, args.x, args.y, interval.start, interval.end, args.alpha0),
+        file=out,
+    )
+    for rank, result in enumerate(results, start=1):
+        poi = tree.poi(result.poi_id)
+        print(
+            "  #%-3d %-12s (%8.2f, %8.2f)  score=%.4f  d=%.3f  g=%.3f"
+            % (rank, result.poi_id, poi.x, poi.y, result.score,
+               result.distance, result.aggregate),
+            file=out,
+        )
+    print(
+        "cost: %d node accesses, %d TIA page reads"
+        % (cost.rtree_nodes, cost.tia_pages),
+        file=out,
+    )
+    if args.scan:
+        expected = sequential_scan(tree, query)
+        matches = [r.poi_id for r in results] == [r.poi_id for r in expected]
+        print("scan cross-check: %s" % ("OK" if matches else "MISMATCH"), file=out)
+        return 0 if matches else 1
+    return 0
+
+
+def _command_mwa(args, out):
+    from repro.core.mwa import minimum_weight_adjustment
+    from repro.core.query import KNNTAQuery
+    from repro.storage.serialize import load_tree
+
+    tree = load_tree(args.tree)
+    interval = _resolve_interval(tree, args)
+    query = KNNTAQuery((args.x, args.y), interval, k=args.k, alpha0=args.alpha0)
+    result = minimum_weight_adjustment(tree, query, method=args.method)
+    print("current alpha0 = %g" % args.alpha0, file=out)
+    if result.gamma_lower is not None:
+        print("  decrease past %.4f to change the top-%d" % (
+            result.gamma_lower, args.k
+        ), file=out)
+    if result.gamma_upper is not None:
+        print("  increase past %.4f to change the top-%d" % (
+            result.gamma_upper, args.k
+        ), file=out)
+    if result.minimum_adjustment is None:
+        print("  the top-%d is immutable under weight changes" % args.k, file=out)
+    else:
+        print("  minimum adjustment: %.4f" % result.minimum_adjustment, file=out)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "fit": _command_fit,
+    "build": _command_build,
+    "query": _command_query,
+    "mwa": _command_mwa,
+}
+
+
+def main(argv=None, out=None):
+    """Entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

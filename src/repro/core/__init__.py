@@ -1,0 +1,43 @@
+"""The paper's primary contribution: TAR-tree, kNNTA query and enhancements.
+
+* :mod:`repro.core.query` — query/result value types and normalisation.
+* :mod:`repro.core.tar_tree` — the TAR-tree index (Section 4).
+* :mod:`repro.core.grouping` — the three entry grouping strategies
+  (Section 5): spatial (``IND-spa``), aggregate-distribution
+  (``IND-agg``) and the paper's integral-3D strategy.
+* :mod:`repro.core.knnta` — best-first kNNTA search (Section 4.3).
+* :mod:`repro.core.scan` — the sequential-scan baseline (Section 3.2).
+* :mod:`repro.core.costmodel` — the node-access cost analysis (Section 6).
+* :mod:`repro.core.mwa` — minimum weight adjustment (Section 7.1).
+* :mod:`repro.core.collective` — collective query processing (Section 7.2).
+"""
+
+from repro.core.collective import CollectiveProcessor
+from repro.core.costmodel import CostModel
+from repro.core.grouping import (
+    AggregateGrouping,
+    Integral3DGrouping,
+    SpatialGrouping,
+    resolve_strategy,
+)
+from repro.core.knnta import knnta_search
+from repro.core.mwa import minimum_weight_adjustment
+from repro.core.query import KNNTAQuery, QueryResult
+from repro.core.scan import sequential_scan
+from repro.core.tar_tree import POI, TARTree
+
+__all__ = [
+    "TARTree",
+    "POI",
+    "KNNTAQuery",
+    "QueryResult",
+    "CostModel",
+    "CollectiveProcessor",
+    "SpatialGrouping",
+    "AggregateGrouping",
+    "Integral3DGrouping",
+    "resolve_strategy",
+    "knnta_search",
+    "sequential_scan",
+    "minimum_weight_adjustment",
+]

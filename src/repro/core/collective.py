@@ -1,0 +1,149 @@
+"""Collective processing of kNNTA query batches (Section 7.2).
+
+A batch of ``c`` queries runs ``c`` best-first searches with ``c``
+priority queues, but node accesses are shared: at each step the node
+demanded by the *most* queue fronts is fetched once and expanded into
+every queue that wanted it.  Queries with the same time interval are
+additionally grouped so the aggregate computation on each TIA in the
+fetched node happens once per interval rather than once per query —
+effective in practice because applications offer only a few interval
+presets ("one day", "one week", ...).
+"""
+
+import heapq
+import itertools
+from collections import defaultdict
+
+from repro.core.knnta import knnta_search
+from repro.core.query import QueryResult
+
+
+class _QueryState:
+    """Per-query search state inside a collective batch."""
+
+    __slots__ = ("query", "normalizer", "heap", "results")
+
+    def __init__(self, query, normalizer):
+        self.query = query
+        self.normalizer = normalizer
+        self.heap = []
+        self.results = []
+
+    @property
+    def done(self):
+        return len(self.results) >= self.query.k or not self.heap
+
+    def push(self, entry, raw_distance, raw_aggregate):
+        distance, aggregate = self.normalizer.components(raw_distance, raw_aggregate)
+        score = self.query.alpha0 * distance + self.query.alpha1 * (1.0 - aggregate)
+        heapq.heappush(
+            self.heap, (score, next(_tie), entry, distance, aggregate)
+        )
+
+    def drain_leaves(self):
+        """Eject result POIs while the queue front is a leaf entry."""
+        while self.heap and len(self.results) < self.query.k:
+            score, _, entry, distance, aggregate = self.heap[0]
+            if not entry.is_leaf_entry:
+                break
+            heapq.heappop(self.heap)
+            self.results.append(QueryResult(entry.item, score, distance, aggregate))
+
+    def front_node(self):
+        """The child node the queue front demands, or ``None``."""
+        if not self.heap or len(self.results) >= self.query.k:
+            return None
+        entry = self.heap[0][2]
+        return None if entry.is_leaf_entry else entry.child
+
+
+_tie = itertools.count()
+
+
+class CollectiveProcessor:
+    """Processes batches of kNNTA queries with shared index traversal."""
+
+    def __init__(self, tree):
+        self.tree = tree
+
+    def run(self, queries):
+        """Answer every query in ``queries``; returns per-query result lists.
+
+        Node accesses recorded into ``tree.stats`` count each physically
+        fetched node once, however many queries consumed it — the batch's
+        whole point.
+        """
+        tree = self.tree
+        normalizers = {}
+        states = []
+        for query in queries:
+            query.validate()
+            key = (query.interval, query.semantics)
+            if key not in normalizers:
+                normalizers[key] = tree.normalizer(query.interval, query.semantics)
+            states.append(_QueryState(query, normalizers[key]))
+        if not tree.root.entries:
+            return [state.results for state in states]
+
+        tree.record_node_access(tree.root)
+        self._expand(tree.root, states)
+
+        # Demand map: node -> states whose queue front points at it.  A
+        # state's front only changes when its demanded node is fetched,
+        # so registration stays valid between fetches and each fetch
+        # costs O(consumers), not O(batch).
+        demand = defaultdict(list)
+
+        def register(state):
+            state.drain_leaves()
+            node = state.front_node()
+            if node is not None:
+                demand[node].append(state)
+
+        for state in states:
+            register(state)
+        while demand:
+            # Greedy: fetch the node wanted by the most queues first.
+            node = max(demand, key=lambda n: len(demand[n]))
+            consumers = demand.pop(node)
+            for state in consumers:
+                heapq.heappop(state.heap)
+            tree.record_node_access(node)
+            self._expand(node, consumers)
+            for state in consumers:
+                register(state)
+        return [state.results for state in states]
+
+    def _expand(self, node, states):
+        """Push ``node``'s entries into every state, sharing aggregates.
+
+        States are grouped by (interval, semantics); each group computes
+        the per-entry aggregate once.
+        """
+        tree = self.tree
+        groups = defaultdict(list)
+        for state in states:
+            groups[(state.query.interval, state.query.semantics)].append(state)
+        for (interval, semantics), members in groups.items():
+            for entry in node.entries:
+                raw_aggregate = tree.tia_aggregate(entry.tia, interval, semantics)
+                for state in members:
+                    raw_distance = entry.mbr.min_dist(state.query.point)
+                    state.push(entry, raw_distance, raw_aggregate)
+
+
+def process_individually(tree, queries):
+    """Baseline: answer each query independently (Section 8.4's rival).
+
+    The paper's *individual* configuration gives the TIAs no buffer; set
+    that through the tree's construction (``tia_buffer_slots=0``) — this
+    function just runs :func:`~repro.core.knnta.knnta_search` per query.
+    """
+    normalizers = {}
+    results = []
+    for query in queries:
+        key = (query.interval, query.semantics)
+        if key not in normalizers:
+            normalizers[key] = tree.normalizer(query.interval, query.semantics)
+        results.append(knnta_search(tree, query, normalizer=normalizers[key]))
+    return results

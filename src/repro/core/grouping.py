@@ -1,0 +1,232 @@
+"""Entry grouping strategies for the TAR-tree (Section 5).
+
+The BFS answers kNNTA queries correctly on *any* TAR-tree instance
+(Property 1 holds regardless of grouping), but the grouping decides how
+many nodes the search touches.  Three strategies are implemented:
+
+* :class:`SpatialGrouping` (``IND-spa``) — the plain R*-tree criteria on
+  the raw 2-D spatial extents (Section 5.1).
+* :class:`AggregateGrouping` (``IND-agg``) — groups entries with similar
+  aggregate distributions, measured by Manhattan distance between their
+  per-epoch vectors (Section 5.1).
+* :class:`Integral3DGrouping` — the paper's strategy (Section 5.2):
+  entries are grouped as 3-D boxes whose first two dimensions are the
+  normalised spatial coordinates and whose third is
+  ``z = 1 - lambda_hat / max(lambda_hat)`` with ``lambda_hat`` the POI's
+  mean per-epoch aggregate (its estimated Poisson check-in rate).
+
+A strategy only drives *placement* (choose-subtree, split, forced
+reinsertion).  Query processing always reads the spatial extents from the
+entry MBRs and the aggregates from the TIAs, exactly as the paper
+prescribes.
+"""
+
+from repro.spatial.geometry import Rect
+from repro.spatial.rstar import (
+    reinsert_indices,
+    rstar_choose_subtree,
+    rstar_split_groups,
+)
+
+
+def tia_manhattan(tia_a, tia_b):
+    """Manhattan distance between two aggregate distributions.
+
+    Sums ``|a_e - b_e|`` over every epoch present in either TIA, matching
+    the paper's example (distance between the TIAs of POIs *c* and *g* in
+    Table 1 is 0 + 1 + 1 = 2).
+    """
+    a = dict(tia_a.items())
+    total = 0
+    for epoch, value in tia_b.items():
+        total += abs(a.pop(epoch, 0) - value)
+    total += sum(a.values())
+    return total
+
+
+class GroupingStrategy:
+    """Placement policy interface used by :class:`~repro.core.tar_tree.TARTree`."""
+
+    name = "abstract"
+    dims = 2
+    uses_reinsert = True
+
+    def leaf_rect(self, poi, tree):
+        """Grouping-space rectangle for a new POI entry."""
+        raise NotImplementedError
+
+    def choose_child(self, node, entry, tree):
+        """Index of the entry of ``node`` that should receive ``entry``."""
+        raise NotImplementedError
+
+    def split_groups(self, node, tree):
+        """Two index tuples partitioning ``node.entries`` for a split."""
+        raise NotImplementedError
+
+    def reinsert_victims(self, node, tree):
+        """Indices of entries to force-reinsert on overflow."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s()" % type(self).__name__
+
+
+class _RectGrouping(GroupingStrategy):
+    """Shared R*-tree mechanics for rectangle-keyed strategies."""
+
+    def choose_child(self, node, entry, tree):
+        rects = [e.rect for e in node.entries]
+        return rstar_choose_subtree(
+            rects, entry.rect, children_are_leaves=(node.level == 1)
+        )
+
+    def split_groups(self, node, tree):
+        rects = [e.rect for e in node.entries]
+        return rstar_split_groups(rects, tree.min_fill)
+
+    def reinsert_victims(self, node, tree):
+        rects = [e.rect for e in node.entries]
+        return reinsert_indices(rects, tree.reinsert_count)
+
+
+class SpatialGrouping(_RectGrouping):
+    """``IND-spa``: group purely by spatial extents, as an R*-tree does.
+
+    Strong spatial pruning, but nodes become tall hyper-rectangles in the
+    aggregate dimension (Figure 5(a)), so queries weighted toward the
+    aggregate touch many nodes whose POIs cannot qualify.
+    """
+
+    name = "spatial"
+    dims = 2
+
+    def leaf_rect(self, poi, tree):
+        return Rect.from_point((poi.x, poi.y))
+
+
+class Integral3DGrouping(_RectGrouping):
+    """The paper's integral 3-D strategy (Section 5.2).
+
+    Entries are grouped as 3-D boxes: the two spatial dimensions
+    normalised by the world extents plus
+    ``z = 1 - lambda_hat / max(lambda_hat)``, so that entries close in
+    space *and* in expected check-in rate share nodes.  Node extents then
+    follow the power law of the data (small boxes among the dense
+    low-aggregate layers, Figure 4), preserving pruning power in every
+    dimension.
+    """
+
+    name = "integral3d"
+    dims = 3
+
+    def leaf_rect(self, poi, tree):
+        x, y = tree.normalized_position(poi)
+        z = tree.aggregate_coordinate(poi.poi_id)
+        return Rect((x, y, z), (x, y, z))
+
+
+class AggregateGrouping(GroupingStrategy):
+    """``IND-agg``: group entries with similar aggregate distributions.
+
+    Insertion descends into the child whose TIA has the smallest
+    Manhattan distance to the POI's aggregate vector; splits pick the two
+    entries farthest apart as seeds and redistribute the rest to the
+    nearer seed (maximising the distance between the new nodes).  Spatial
+    proximity is ignored, so nodes sprawl spatially (Figure 5(b)).
+    """
+
+    name = "aggregate"
+    dims = 2
+    uses_reinsert = False
+
+    def leaf_rect(self, poi, tree):
+        return Rect.from_point((poi.x, poi.y))
+
+    def choose_child(self, node, entry, tree):
+        best_index = 0
+        best_distance = None
+        for i, candidate in enumerate(node.entries):
+            distance = tia_manhattan(candidate.tia, entry.tia)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_index = i
+        return best_index
+
+    def split_groups(self, node, tree):
+        entries = node.entries
+        vectors = [dict(e.tia.items()) for e in entries]
+        total = len(entries)
+        seed_a, seed_b = self._pick_seeds(vectors)
+        order = sorted(
+            (i for i in range(total) if i not in (seed_a, seed_b)),
+            key=lambda i: self._distance(vectors[i], vectors[seed_a])
+            - self._distance(vectors[i], vectors[seed_b]),
+        )
+        min_fill = tree.min_fill
+        group_a = [seed_a]
+        group_b = [seed_b]
+        remaining = len(order)
+        for i in order:
+            # Honour the minimum fill: once a group must absorb all the
+            # remaining entries to reach min_fill, stop choosing freely.
+            if len(group_a) + remaining <= min_fill:
+                group_a.append(i)
+            elif len(group_b) + remaining <= min_fill:
+                group_b.append(i)
+            else:
+                da = self._distance(vectors[i], vectors[seed_a])
+                db = self._distance(vectors[i], vectors[seed_b])
+                (group_a if da <= db else group_b).append(i)
+            remaining -= 1
+        return tuple(group_a), tuple(group_b)
+
+    def reinsert_victims(self, node, tree):
+        raise NotImplementedError("IND-agg does not use forced reinsertion")
+
+    @staticmethod
+    def _distance(vector_a, vector_b):
+        total = 0
+        for epoch, value in vector_b.items():
+            total += abs(vector_a.get(epoch, 0) - value)
+        for epoch, value in vector_a.items():
+            if epoch not in vector_b:
+                total += value
+        return total
+
+    def _pick_seeds(self, vectors):
+        best_pair = (0, min(1, len(vectors) - 1))
+        best_distance = -1
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                distance = self._distance(vectors[i], vectors[j])
+                if distance > best_distance:
+                    best_distance = distance
+                    best_pair = (i, j)
+        return best_pair
+
+
+_STRATEGIES = {
+    "spatial": SpatialGrouping,
+    "ind-spa": SpatialGrouping,
+    "aggregate": AggregateGrouping,
+    "ind-agg": AggregateGrouping,
+    "integral3d": Integral3DGrouping,
+    "tar": Integral3DGrouping,
+}
+
+
+def resolve_strategy(strategy):
+    """Return a strategy instance from a name or pass an instance through.
+
+    Accepted names: ``"spatial"``/``"ind-spa"``, ``"aggregate"``/
+    ``"ind-agg"``, ``"integral3d"``/``"tar"``.
+    """
+    if isinstance(strategy, GroupingStrategy):
+        return strategy
+    try:
+        return _STRATEGIES[strategy.lower()]()
+    except (KeyError, AttributeError):
+        raise ValueError(
+            "unknown grouping strategy %r; choose from %s"
+            % (strategy, sorted(set(_STRATEGIES)))
+        ) from None

@@ -1,0 +1,112 @@
+"""Best-first kNNTA search over the TAR-tree (Section 4.3).
+
+The entries of the root are seeded into a priority queue keyed by their
+ranking-score lower bound; the front entry is repeatedly ejected — leaf
+entries emit their POI as the next result, internal entries expand their
+child node (one node access) and enqueue its entries.  The ranking
+function is *consistent* (an entry's score never exceeds a child's,
+Property 1), so the first ``k`` POIs ejected are exactly the top-``k``,
+and by Berchtold et al. the search only ever accesses nodes intersecting
+the final search region — the optimality the cost model of Section 6
+estimates.
+"""
+
+import heapq
+import itertools
+
+from repro.core.query import QueryResult
+
+
+def knnta_search(tree, query, normalizer=None):
+    """Answer ``query`` on ``tree``; returns ranked :class:`QueryResult` s.
+
+    ``normalizer`` defaults to the tree's root-bound normaliser for the
+    query interval (see ``TARTree.normalizer``).  Node accesses and TIA
+    page accesses are recorded into ``tree.stats``.
+    """
+    query.validate()
+    if normalizer is None:
+        normalizer = tree.normalizer(query.interval, query.semantics)
+    results = []
+    root = tree.root
+    if not root.entries:
+        return results
+    tie = itertools.count()
+    heap = []
+    tree.record_node_access(root)
+
+    def push(entry):
+        raw_distance = entry.mbr.min_dist(query.point)
+        raw_aggregate = tree.tia_aggregate(
+            entry.tia, query.interval, query.semantics
+        )
+        distance, aggregate = normalizer.components(raw_distance, raw_aggregate)
+        score = query.alpha0 * distance + query.alpha1 * (1.0 - aggregate)
+        heapq.heappush(heap, (score, next(tie), entry, distance, aggregate))
+
+    for entry in root.entries:
+        push(entry)
+    k = query.k
+    while heap and len(results) < k:
+        score, _, entry, distance, aggregate = heapq.heappop(heap)
+        if entry.is_leaf_entry:
+            results.append(QueryResult(entry.item, score, distance, aggregate))
+            continue
+        child = entry.child
+        tree.record_node_access(child)
+        for child_entry in child.entries:
+            push(child_entry)
+    return results
+
+
+def knnta_browse(tree, query, normalizer=None):
+    """Yield results one at a time in ranking order (distance browsing).
+
+    The incremental form of :func:`knnta_search` (Hjaltason & Samet's
+    *distance browsing*): the caller can consume as many results as it
+    needs — "give me more" after inspecting the first few — without
+    deciding ``k`` up front.  ``query.k`` is ignored; node accesses are
+    charged lazily, only as far as the consumer iterates.
+    """
+    query.validate()
+    if normalizer is None:
+        normalizer = tree.normalizer(query.interval, query.semantics)
+    root = tree.root
+    if not root.entries:
+        return
+    tie = itertools.count()
+    heap = []
+
+    def push(entry):
+        raw_distance = entry.mbr.min_dist(query.point)
+        raw_aggregate = tree.tia_aggregate(
+            entry.tia, query.interval, query.semantics
+        )
+        distance, aggregate = normalizer.components(raw_distance, raw_aggregate)
+        score = query.alpha0 * distance + query.alpha1 * (1.0 - aggregate)
+        heapq.heappush(heap, (score, next(tie), entry, distance, aggregate))
+
+    tree.record_node_access(root)
+    for entry in root.entries:
+        push(entry)
+    while heap:
+        score, _, entry, distance, aggregate = heapq.heappop(heap)
+        if entry.is_leaf_entry:
+            yield QueryResult(entry.item, score, distance, aggregate)
+            continue
+        child = entry.child
+        tree.record_node_access(child)
+        for child_entry in child.entries:
+            push(child_entry)
+
+
+def knnta_search_exhaustive(tree, query, normalizer=None):
+    """Rank *every* POI by BFS order.
+
+    Equivalent to :func:`knnta_search` with ``k = len(tree)`` but keeps
+    the caller's ``k`` untouched; returns the full ranked list.
+    """
+    if normalizer is None:
+        normalizer = tree.normalizer(query.interval, query.semantics)
+    full = query._replace(k=max(1, len(tree)))
+    return knnta_search(tree, full, normalizer=normalizer)

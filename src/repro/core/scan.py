@@ -1,0 +1,73 @@
+"""The sequential-scan baseline (Section 3.2).
+
+Assuming check-ins are pre-counted per epoch, the straightforward
+approach sums each POI's per-epoch counts over the query interval,
+scores every POI and keeps the top-k — time
+``O(m'N + N log m + k log N)`` with ``m'`` epochs in the interval and
+``N`` POIs.  It is exact, so besides serving as the paper's *baseline*
+curve it is the ground truth the index implementations are tested
+against.
+"""
+
+import heapq
+
+from repro.core.query import QueryResult
+from repro.spatial.geometry import point_distance
+
+
+def sequential_scan(tree, query, normalizer=None):
+    """Answer ``query`` by scanning every indexed POI of ``tree``.
+
+    Returns the same ranked :class:`~repro.core.query.QueryResult` list
+    as :func:`repro.core.knnta.knnta_search` (ties may order
+    differently).  Shares the tree's normaliser so scores are directly
+    comparable.
+    """
+    query.validate()
+    if normalizer is None:
+        normalizer = tree.normalizer(query.interval, query.semantics)
+    alpha0 = query.alpha0
+    alpha1 = query.alpha1
+    heap = []
+    order = 0
+    for poi_id in tree.poi_ids():
+        poi = tree.poi(poi_id)
+        raw_distance = point_distance(poi.point, query.point)
+        raw_aggregate = tree.tia_aggregate(
+            tree.poi_tia(poi_id), query.interval, query.semantics
+        )
+        distance, aggregate = normalizer.components(raw_distance, raw_aggregate)
+        score = alpha0 * distance + alpha1 * (1.0 - aggregate)
+        item = (-score, order, poi_id, distance, aggregate)
+        order += 1
+        if len(heap) < query.k:
+            heapq.heappush(heap, item)
+        elif item[0] > heap[0][0]:
+            heapq.heapreplace(heap, item)
+    ranked = sorted(heap, key=lambda item: (-item[0], item[1]))
+    return [
+        QueryResult(poi_id, -neg_score, distance, aggregate)
+        for neg_score, _, poi_id, distance, aggregate in ranked
+    ]
+
+
+def full_ranking(tree, query, normalizer=None):
+    """Score and rank *every* indexed POI (used by MWA ground truth)."""
+    query.validate()
+    if normalizer is None:
+        normalizer = tree.normalizer(query.interval, query.semantics)
+    alpha0 = query.alpha0
+    alpha1 = query.alpha1
+    results = []
+    for poi_id in tree.poi_ids():
+        poi = tree.poi(poi_id)
+        distance, aggregate = normalizer.components(
+            point_distance(poi.point, query.point),
+            tree.tia_aggregate(
+                tree.poi_tia(poi_id), query.interval, query.semantics
+            ),
+        )
+        score = alpha0 * distance + alpha1 * (1.0 - aggregate)
+        results.append(QueryResult(poi_id, score, distance, aggregate))
+    results.sort(key=lambda r: (r.score, str(r.poi_id)))
+    return results

@@ -1,0 +1,748 @@
+"""The TAR-tree (temporal aggregate R-tree), Section 4.
+
+A TAR-tree is an R-tree variant in which *every entry* — leaf and
+internal — points to a TIA (temporal index on the aggregate).  A leaf
+entry's TIA stores the per-epoch check-in counts of its POI; an internal
+entry's TIA stores, for each epoch, the maximum over the TIAs in its
+child node.  That max-invariant is what makes the BFS ranking function
+consistent (Property 1) and hence the search correct.
+
+The spatial and aggregate components are deliberately separate (the paper
+notes aggregate updates are far more frequent than spatial ones):
+check-ins are digested per epoch through :meth:`TARTree.digest_epoch`,
+which touches only the affected leaf-to-root paths, while POI insertion
+follows the configured entry grouping strategy
+(:mod:`repro.core.grouping`).
+"""
+
+import math
+
+from repro.core.grouping import resolve_strategy
+from repro.core.query import KNNTAQuery, Normalizer
+from repro.spatial.geometry import Rect
+from repro.spatial.rstar import Entry, Node
+from repro.storage.pager import node_capacity
+from repro.storage.stats import AccessStats
+from repro.temporal.epochs import EpochClock
+from repro.temporal.tia import (
+    DEFAULT_TIA_BUFFER_SLOTS,
+    DEFAULT_TIA_PAGE_SIZE,
+    AggregateKind,
+    IntervalSemantics,
+    make_tia_factory,
+)
+
+DEFAULT_NODE_SIZE = 1024
+DEFAULT_EPOCH_LENGTH_DAYS = 7.0
+
+
+class POI:
+    """A point of interest: an identifier plus a 2-D location."""
+
+    __slots__ = ("poi_id", "x", "y")
+
+    def __init__(self, poi_id, x, y):
+        self.poi_id = poi_id
+        self.x = float(x)
+        self.y = float(y)
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(
+                "POI %r needs finite coordinates, got (%r, %r)" % (poi_id, x, y)
+            )
+
+    @property
+    def point(self):
+        return (self.x, self.y)
+
+    def __repr__(self):
+        return "POI(%r, %g, %g)" % (self.poi_id, self.x, self.y)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, POI)
+            and self.poi_id == other.poi_id
+            and self.x == other.x
+            and self.y == other.y
+        )
+
+    def __hash__(self):
+        return hash((self.poi_id, self.x, self.y))
+
+
+class TARTree:
+    """The temporal aggregate R-tree.
+
+    Parameters
+    ----------
+    world:
+        2-D :class:`~repro.spatial.geometry.Rect` bounding every POI; its
+        diagonal is the spatial normalisation constant.
+    clock:
+        Epoch clock (:class:`~repro.temporal.epochs.EpochClock` or
+        :class:`~repro.temporal.epochs.VariedEpochClock`).
+    current_time:
+        The application's current time ``tc``; the denominator of the
+        integral-3D ``lambda-hat`` statistic.
+    strategy:
+        Entry grouping strategy — ``"integral3d"`` (the paper's TAR-tree),
+        ``"spatial"`` (``IND-spa``) or ``"aggregate"`` (``IND-agg``), or a
+        :class:`~repro.core.grouping.GroupingStrategy` instance.
+    node_size:
+        R-tree node size in bytes; the entry capacity follows from the
+        strategy's grouping dimensionality (1024 bytes gives 50 for 2-D
+        and 36 for 3-D entries, as in the paper).
+    tia_backend / tia_page_size / tia_buffer_slots:
+        TIA configuration (see :mod:`repro.temporal.tia`).
+    stats:
+        Shared :class:`~repro.storage.stats.AccessStats`; one is created
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        world,
+        clock,
+        current_time,
+        strategy="integral3d",
+        node_size=DEFAULT_NODE_SIZE,
+        tia_backend="paged",
+        tia_page_size=DEFAULT_TIA_PAGE_SIZE,
+        tia_buffer_slots=DEFAULT_TIA_BUFFER_SLOTS,
+        stats=None,
+        min_fill_ratio=0.4,
+        reinsert_ratio=0.3,
+        aggregate_kind=AggregateKind.COUNT,
+    ):
+        if world.dims != 2:
+            raise ValueError("the world rectangle must be 2-D")
+        self.world = world
+        self.clock = clock
+        self.current_time = float(current_time)
+        if isinstance(aggregate_kind, str):
+            aggregate_kind = AggregateKind(aggregate_kind.lower())
+        self.aggregate_kind = aggregate_kind
+        self.strategy = resolve_strategy(strategy)
+        self.node_size = node_size
+        self.capacity = node_capacity(node_size, self.strategy.dims)
+        self.min_fill = max(1, int(math.ceil(self.capacity * min_fill_ratio)))
+        self.reinsert_count = max(1, int(self.capacity * reinsert_ratio))
+        self.stats = stats if stats is not None else AccessStats()
+        self._tia_factory = make_tia_factory(
+            tia_backend,
+            stats=self.stats,
+            page_size=tia_page_size,
+            buffer_slots=tia_buffer_slots,
+        )
+        self.tia_backend = tia_backend
+        self.root = Node(level=0)
+        self._pois = {}
+        self._poi_tias = {}
+        self._leaf_of = {}
+        self._global_epoch_max = {}
+        self._global_max_dirty = False
+        self._max_mean_rate = 0.0
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        dataset,
+        clock=None,
+        epoch_length=DEFAULT_EPOCH_LENGTH_DAYS,
+        strategy="integral3d",
+        until_time=None,
+        bulk=False,
+        **kwargs,
+    ):
+        """Build a TAR-tree over a data set's effective POIs.
+
+        The per-POI check-in histories up to ``until_time`` (default: the
+        data set's current time) are digested into the TIAs before the
+        POIs are placed, so the integral-3D strategy sees the true
+        ``lambda-hat`` of every POI — matching the paper's setting of
+        indexing an existing LBSN snapshot.
+
+        With ``bulk=True`` the tree is STR-packed in the strategy's
+        grouping space (one sort pass per dimension) instead of inserted
+        one POI at a time — much faster for large snapshots, supported
+        for the rectangle-keyed strategies (integral-3D and ``IND-spa``).
+        """
+        if clock is None:
+            clock = EpochClock(dataset.t0, epoch_length)
+        current_time = dataset.tc if until_time is None else until_time
+        tree = cls(
+            world=dataset.world,
+            clock=clock,
+            current_time=current_time,
+            strategy=strategy,
+            **kwargs,
+        )
+        poi_ids = dataset.effective_poi_ids()
+        counts = dataset.epoch_counts(clock, poi_ids)
+        num_epochs = tree.num_epochs
+        if num_epochs > 0:
+            tree._max_mean_rate = max(
+                (sum(c.values()) / num_epochs for c in counts.values()),
+                default=0.0,
+            )
+        poi_histories = [
+            (POI(poi_id, *dataset.positions[poi_id]), counts[poi_id])
+            for poi_id in poi_ids
+        ]
+        if bulk:
+            tree.bulk_load(poi_histories)
+        else:
+            for poi, history in poi_histories:
+                tree.insert_poi(poi, history)
+        return tree
+
+    def bulk_load(self, poi_histories):
+        """STR-pack ``[(POI, {epoch: agg}), ...]`` into an empty tree.
+
+        Packs in the grouping strategy's rectangle space (see
+        :mod:`repro.spatial.bulk`), so the bulk-loaded tree clusters
+        entries by the same criteria the incremental algorithms optimise.
+        Only rectangle-keyed strategies support bulk loading; ``IND-agg``
+        groups by distribution distance and must be built incrementally.
+        """
+        from repro.core.grouping import AggregateGrouping
+        from repro.spatial.bulk import str_partition
+
+        if isinstance(self.strategy, AggregateGrouping):
+            raise ValueError(
+                "IND-agg groups by distribution distance; bulk loading is "
+                "only supported for rectangle-keyed strategies"
+            )
+        if self._size:
+            raise ValueError("bulk_load requires an empty tree")
+        if not poi_histories:
+            return
+        num_epochs = self.num_epochs
+        if num_epochs > 0:
+            rate = max(
+                sum(history.values()) / num_epochs for _, history in poi_histories
+            )
+            if rate > self._max_mean_rate:
+                self._max_mean_rate = rate
+
+        entries = []
+        maxima = self.global_epoch_max()
+        for poi, history in poi_histories:
+            if poi.poi_id in self._pois:
+                raise ValueError("POI %r is already indexed" % (poi.poi_id,))
+            if not self.world.contains_point(poi.point):
+                raise ValueError(
+                    "POI %r lies outside the world %r" % (poi, self.world)
+                )
+            tia = self._tia_factory()
+            if history:
+                tia.replace_all(history)
+            self._pois[poi.poi_id] = poi
+            self._poi_tias[poi.poi_id] = tia
+            for epoch, value in history.items():
+                if value > maxima.get(epoch, 0):
+                    maxima[epoch] = value
+            entries.append(
+                Entry(
+                    self.strategy.leaf_rect(poi, self),
+                    item=poi.poi_id,
+                    mbr=Rect.from_point(poi.point),
+                    tia=tia,
+                )
+            )
+
+        level = 0
+        while len(entries) > self.capacity:
+            groups = str_partition(
+                [entry.rect.center for entry in entries],
+                self.capacity,
+                min_fill=self.min_fill,
+            )
+            parents = []
+            for group in groups:
+                node = Node(level=level)
+                node.entries = [entries[i] for i in group]
+                for entry in node.entries:
+                    if entry.child is not None:
+                        entry.child.parent = node
+                    else:
+                        self._leaf_of[entry.item] = node
+                parents.append(self._make_parent_entry(node))
+            entries = parents
+            level += 1
+        root = Node(level=level)
+        root.entries = entries
+        for entry in root.entries:
+            if entry.child is not None:
+                entry.child.parent = root
+            else:
+                self._leaf_of[entry.item] = root
+        self.root = root
+        self._size = len(poi_histories)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self._size
+
+    def __contains__(self, poi_id):
+        return poi_id in self._pois
+
+    @property
+    def height(self):
+        return self.root.level + 1
+
+    @property
+    def num_epochs(self):
+        """Epochs elapsed by ``current_time`` (the ``m`` of Section 3)."""
+        return self.clock.num_epochs(self.current_time)
+
+    def poi(self, poi_id):
+        """Return the registered :class:`POI` for ``poi_id``."""
+        return self._pois[poi_id]
+
+    def poi_ids(self):
+        return self._pois.keys()
+
+    def poi_tia(self, poi_id):
+        """The leaf TIA of ``poi_id`` (its own per-epoch counts)."""
+        return self._poi_tias[poi_id]
+
+    def node_count(self):
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)
+        return count
+
+    # ------------------------------------------------------------------
+    # Normalisation helpers (used by grouping and by queries)
+    # ------------------------------------------------------------------
+
+    def normalized_position(self, poi):
+        """Spatial coordinates scaled into the unit square."""
+        wx = self.world.extent(0) or 1.0
+        wy = self.world.extent(1) or 1.0
+        return (
+            (poi.x - self.world.lows[0]) / wx,
+            (poi.y - self.world.lows[1]) / wy,
+        )
+
+    def max_mean_rate(self):
+        """Largest ``lambda-hat`` seen so far (integral-3D normaliser)."""
+        return self._max_mean_rate
+
+    def aggregate_coordinate(self, poi_id):
+        """The integral-3D third coordinate ``z = 1 - lambda_hat / max``."""
+        if self._max_mean_rate <= 0.0:
+            return 1.0
+        rate = self._poi_tias[poi_id].mean_rate(self.num_epochs)
+        return 1.0 - rate / self._max_mean_rate
+
+    def global_epoch_max(self):
+        """Per-epoch maxima over all POIs: ``{epoch_index: max agg}``.
+
+        This is exactly the information the root-level TIAs bound; the
+        tree maintains it directly so queries can normalise ``g``.
+        """
+        if self._global_max_dirty:
+            fresh = {}
+            for tia in self._poi_tias.values():
+                for epoch, value in tia.items():
+                    if value > fresh.get(epoch, 0):
+                        fresh[epoch] = value
+            self._global_epoch_max = fresh
+            self._global_max_dirty = False
+        return self._global_epoch_max
+
+    def tia_aggregate(self, tia, interval, semantics=IntervalSemantics.INTERSECTS):
+        """Evaluate the tree's aggregate kind on a TIA over ``interval``."""
+        return tia.aggregate(self.clock, interval, semantics, self.aggregate_kind)
+
+    def max_aggregate_bound(self, interval, semantics=IntervalSemantics.INTERSECTS):
+        """Upper bound on any POI's aggregate over ``interval``.
+
+        Combines the global per-epoch maxima over the matching epochs —
+        a sum for count/sum aggregates, a max for the max aggregate; used
+        as the default ``g`` normaliser (see DESIGN.md §5).
+        """
+        maxima = self.global_epoch_max()
+        epoch_range = self.clock.epoch_range(interval, semantics)
+        values = (maxima.get(epoch, 0) for epoch in epoch_range)
+        if self.aggregate_kind is AggregateKind.MAX:
+            return max(values, default=0)
+        return sum(values)
+
+    def normalizer(self, interval, semantics=IntervalSemantics.INTERSECTS, exact=False):
+        """Build the per-query :class:`~repro.core.query.Normalizer`.
+
+        With ``exact=True`` the aggregate normaliser is the true maximum
+        POI aggregate over ``interval`` (one scan over the leaf TIAs);
+        otherwise it is the root-level upper bound.
+        """
+        d_max = self.world.diagonal()
+        if exact:
+            g_max = max(
+                (
+                    self.tia_aggregate(tia, interval, semantics)
+                    for tia in self._poi_tias.values()
+                ),
+                default=0,
+            )
+        else:
+            g_max = self.max_aggregate_bound(interval, semantics)
+        return Normalizer.create(d_max, g_max)
+
+    # ------------------------------------------------------------------
+    # POI insertion / deletion
+    # ------------------------------------------------------------------
+
+    def insert_poi(self, poi, epoch_aggregates=None):
+        """Insert ``poi``, optionally with an existing check-in history.
+
+        ``epoch_aggregates`` is ``{epoch_index: count}``; the counts are
+        loaded into the POI's TIA before placement so every grouping
+        strategy sees the aggregate information.
+        """
+        if poi.poi_id in self._pois:
+            raise ValueError("POI %r is already indexed" % (poi.poi_id,))
+        if not self.world.contains_point(poi.point):
+            raise ValueError("POI %r lies outside the world %r" % (poi, self.world))
+        tia = self._tia_factory()
+        if epoch_aggregates:
+            tia.replace_all(epoch_aggregates)
+        self._pois[poi.poi_id] = poi
+        self._poi_tias[poi.poi_id] = tia
+        rate = tia.mean_rate(self.num_epochs)
+        if rate > self._max_mean_rate:
+            self._max_mean_rate = rate
+        entry = Entry(
+            self.strategy.leaf_rect(poi, self),
+            item=poi.poi_id,
+            mbr=Rect.from_point(poi.point),
+            tia=tia,
+        )
+        self._insert_entry(entry, level=0, reinserted_levels=set())
+        if epoch_aggregates:
+            maxima = self.global_epoch_max()
+            for epoch, value in epoch_aggregates.items():
+                if value > maxima.get(epoch, 0):
+                    maxima[epoch] = value
+        self._size += 1
+
+    def delete_poi(self, poi_id):
+        """Remove ``poi_id``; returns ``True`` when it was indexed."""
+        if poi_id not in self._pois:
+            return False
+        leaf = self._leaf_of[poi_id]
+        for i, entry in enumerate(leaf.entries):
+            if entry.item == poi_id:
+                del leaf.entries[i]
+                break
+        else:
+            raise AssertionError("registry points at a leaf missing POI %r" % (poi_id,))
+        del self._pois[poi_id]
+        del self._poi_tias[poi_id]
+        del self._leaf_of[poi_id]
+        self._condense(leaf)
+        if not self.root.is_leaf and len(self.root.entries) == 1:
+            self.root = self.root.entries[0].child
+            self.root.parent = None
+        self._global_max_dirty = True
+        self._size -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Check-in digestion (Section 4.2, "Inserting Check-ins")
+    # ------------------------------------------------------------------
+
+    def digest_epoch(self, epoch_index, counts):
+        """Digest one finished epoch's check-in counts.
+
+        ``counts`` maps POI ids to the epoch's contribution: the number
+        of check-ins for count/sum aggregates, or the epoch's peak value
+        for the max aggregate.  Each non-zero value is stored in the
+        POI's TIA and the per-epoch maxima along the leaf-to-root path
+        are raised — the batch update procedure of Section 4.2.
+        """
+        maxima = self.global_epoch_max()
+        is_max_kind = self.aggregate_kind is AggregateKind.MAX
+        for poi_id, delta in counts.items():
+            if delta <= 0:
+                continue
+            if poi_id not in self._pois:
+                raise KeyError("cannot digest check-ins for unknown POI %r" % (poi_id,))
+            tia = self._poi_tias[poi_id]
+            if is_max_kind:
+                tia.raise_to(epoch_index, delta)
+            else:
+                tia.add(epoch_index, delta)
+            value = tia.get(epoch_index)
+            if value > maxima.get(epoch_index, 0):
+                maxima[epoch_index] = value
+            node = self._leaf_of[poi_id]
+            while node.parent is not None:
+                parent = node.parent
+                if not parent.entry_for_child(node).tia.raise_to(epoch_index, value):
+                    break
+                node = parent
+        ts, te = self.clock.bounds(epoch_index)
+        if math.isfinite(te) and te > self.current_time:
+            self.current_time = te
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def knnta(self, q, interval, k=10, alpha0=0.3,
+              semantics=IntervalSemantics.INTERSECTS, normalizer=None):
+        """Answer a kNNTA query; see :func:`repro.core.knnta.knnta_search`."""
+        from repro.core.knnta import knnta_search
+
+        query = KNNTAQuery(tuple(q), interval, k, alpha0, semantics)
+        return knnta_search(self, query, normalizer=normalizer)
+
+    def entry_score(self, entry, query, normalizer):
+        """Ranking score lower bound of an entry (Section 4.3).
+
+        Weighted sum of MINDIST from the query point to the entry's MBR
+        and the aggregate its TIA reports over the query interval.  For a
+        leaf entry both components are exact, so the BFS pops POIs in
+        true score order.
+        """
+        distance = entry.mbr.min_dist(query.point)
+        aggregate = self.tia_aggregate(entry.tia, query.interval, query.semantics)
+        return normalizer.score(query.alpha0, distance, aggregate)
+
+    def record_node_access(self, node):
+        """Count one node access in the shared stats."""
+        self.stats.record_node(node.is_leaf)
+
+    # ------------------------------------------------------------------
+    # Maintenance internals
+    # ------------------------------------------------------------------
+
+    def _insert_entry(self, entry, level, reinserted_levels):
+        node = self.root
+        while node.level > level:
+            index = self.strategy.choose_child(node, entry, self)
+            node = node.entries[index].child
+        node.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = node
+        elif node.is_leaf:
+            self._leaf_of[entry.item] = node
+        self._propagate_addition(node, entry)
+        if len(node.entries) > self.capacity:
+            self._overflow(node, reinserted_levels)
+
+    def _propagate_addition(self, node, added_entry):
+        """Grow ancestor rects/MBRs/TIAs to cover a newly added entry."""
+        added_items = list(added_entry.tia.items())
+        while node.parent is not None:
+            parent = node.parent
+            parent_entry = parent.entry_for_child(node)
+            parent_entry.rect = parent_entry.rect.union(added_entry.rect)
+            parent_entry.mbr = parent_entry.mbr.union(added_entry.mbr)
+            for epoch, value in added_items:
+                parent_entry.tia.raise_to(epoch, value)
+            node = parent
+
+    def _overflow(self, node, reinserted_levels):
+        can_reinsert = (
+            self.strategy.uses_reinsert
+            and node is not self.root
+            and node.level not in reinserted_levels
+        )
+        if can_reinsert:
+            reinserted_levels.add(node.level)
+            self._force_reinsert(node, reinserted_levels)
+        else:
+            self._split(node, reinserted_levels)
+
+    def _force_reinsert(self, node, reinserted_levels):
+        victims = set(self.strategy.reinsert_victims(node, self))
+        removed = [node.entries[i] for i in victims]
+        node.entries = [
+            entry for i, entry in enumerate(node.entries) if i not in victims
+        ]
+        self._recompute_upward(node)
+        for entry in removed:
+            self._insert_entry(entry, node.level, reinserted_levels)
+
+    def _split(self, node, reinserted_levels):
+        group_a, group_b = self.strategy.split_groups(node, self)
+        entries = node.entries
+        sibling = Node(level=node.level)
+        node.entries = [entries[i] for i in group_a]
+        sibling.entries = [entries[i] for i in group_b]
+        for entry in sibling.entries:
+            if entry.child is not None:
+                entry.child.parent = sibling
+            else:
+                self._leaf_of[entry.item] = sibling
+
+        if node is self.root:
+            new_root = Node(level=node.level + 1)
+            new_root.entries.append(self._make_parent_entry(node))
+            new_root.entries.append(self._make_parent_entry(sibling))
+            node.parent = new_root
+            sibling.parent = new_root
+            self.root = new_root
+            return
+
+        parent = node.parent
+        self._refresh_parent_entry(parent.entry_for_child(node), node)
+        parent.entries.append(self._make_parent_entry(sibling))
+        sibling.parent = parent
+        self._recompute_upward(parent)
+        if len(parent.entries) > self.capacity:
+            self._overflow(parent, reinserted_levels)
+
+    def _make_parent_entry(self, child_node):
+        entry = Entry(
+            Rect.union_all(e.rect for e in child_node.entries),
+            child=child_node,
+            mbr=Rect.union_all(e.mbr for e in child_node.entries),
+            tia=self._tia_factory(),
+        )
+        entry.tia.replace_all(self._epoch_maxima(child_node.entries))
+        return entry
+
+    def _refresh_parent_entry(self, entry, child_node):
+        entry.rect = Rect.union_all(e.rect for e in child_node.entries)
+        entry.mbr = Rect.union_all(e.mbr for e in child_node.entries)
+        entry.tia.replace_all(self._epoch_maxima(child_node.entries))
+
+    @staticmethod
+    def _epoch_maxima(entries):
+        maxima = {}
+        for entry in entries:
+            for epoch, value in entry.tia.items():
+                if value > maxima.get(epoch, 0):
+                    maxima[epoch] = value
+        return maxima
+
+    def _recompute_upward(self, node):
+        """Exactly refresh ancestor entries after removals or splits."""
+        while node.parent is not None:
+            parent = node.parent
+            self._refresh_parent_entry(parent.entry_for_child(node), node)
+            node = parent
+
+    def _condense(self, node):
+        orphans = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self.min_fill:
+                parent.entries.remove(parent.entry_for_child(node))
+                orphans.append((node.level, list(node.entries)))
+                node = parent
+            else:
+                self._recompute_upward(node)
+                node = self.root  # path fully refreshed; stop the walk
+        for level, entries in orphans:
+            for entry in entries:
+                self._insert_entry(entry, level, reinserted_levels=set())
+
+    # ------------------------------------------------------------------
+    # Periodic maintenance (Section 8.2's suggested reinsert/rebuild)
+    # ------------------------------------------------------------------
+
+    def refresh_aggregate_dimension(self):
+        """Re-place every POI using its *current* ``lambda-hat``.
+
+        The integral-3D z-coordinate is computed at insertion time and
+        drifts as epochs accrue.  The paper suggests periodically
+        reinserting entries (or rebuilding) when performance degrades;
+        this method implements that refresh in place.  It is a no-op for
+        the other strategies' placement quality but safe to call.
+        """
+        num_epochs = self.num_epochs
+        if num_epochs > 0 and self._poi_tias:
+            self._max_mean_rate = max(
+                tia.mean_rate(num_epochs) for tia in self._poi_tias.values()
+            )
+        pois = [
+            (self._pois[poi_id], dict(self._poi_tias[poi_id].items()))
+            for poi_id in list(self._pois)
+        ]
+        self.root = Node(level=0)
+        self._pois.clear()
+        self._poi_tias.clear()
+        self._leaf_of.clear()
+        self._global_epoch_max = {}
+        self._global_max_dirty = False
+        self._size = 0
+        for poi, epochs in pois:
+            self.insert_poi(poi, epochs)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check_invariants(self):
+        """Assert every structural and aggregate invariant of the tree.
+
+        Verifies parent pointers, fill bounds, exact MBR/grouping-rect
+        coverage, the leaf registry, the per-epoch max property of every
+        internal TIA (Property 1's precondition), and the global
+        per-epoch maxima.
+        """
+        count = 0
+        stack = [(self.root, None)]
+        while stack:
+            node, parent = stack.pop()
+            assert node.parent is parent, "broken parent pointer"
+            if node is not self.root:
+                assert self.min_fill <= len(node.entries), (
+                    "node underfull: %d < %d" % (len(node.entries), self.min_fill)
+                )
+            assert len(node.entries) <= self.capacity, "node overfull"
+            if node.is_leaf:
+                for entry in node.entries:
+                    assert entry.item in self._pois, "leaf entry for unknown POI"
+                    assert self._leaf_of[entry.item] is node, "stale leaf registry"
+                    assert entry.tia is self._poi_tias[entry.item], "TIA registry mismatch"
+                count += len(node.entries)
+            else:
+                for entry in node.entries:
+                    child = entry.child
+                    assert child is not None and child.level == node.level - 1
+                    assert entry.rect == Rect.union_all(
+                        e.rect for e in child.entries
+                    ), "stale grouping rect"
+                    assert entry.mbr == Rect.union_all(
+                        e.mbr for e in child.entries
+                    ), "stale MBR"
+                    expected = self._epoch_maxima(child.entries)
+                    actual = dict(entry.tia.items())
+                    assert actual == expected, (
+                        "internal TIA violates the max property: %r != %r"
+                        % (actual, expected)
+                    )
+                    stack.append((child, node))
+        assert count == self._size == len(self._pois), "size bookkeeping broken"
+        expected_global = {}
+        for tia in self._poi_tias.values():
+            for epoch, value in tia.items():
+                if value > expected_global.get(epoch, 0):
+                    expected_global[epoch] = value
+        assert self.global_epoch_max() == expected_global, "global epoch maxima stale"
+
+    def __repr__(self):
+        return "TARTree(strategy=%s, pois=%d, height=%d, capacity=%d)" % (
+            self.strategy.name,
+            self._size,
+            self.height,
+            self.capacity,
+        )

@@ -1,0 +1,307 @@
+"""Synthetic LBSN generator.
+
+A data set is a set of POIs with spatial coordinates plus a stream of
+check-ins (timestamps per POI).  The generator reproduces the two
+marginals the paper's analysis rests on:
+
+* **Aggregate marginal** — per-POI check-in totals follow a power law
+  with exponent ``beta`` above a lower bound ``xmin`` (Table 2), with a
+  shallower-sloped body below ``xmin`` (as in real LBSN data, where pure
+  power-law behaviour only starts at ``xmin``).  The tail is sampled with
+  the standard Clauset et al. (2009) approximation
+  ``x = floor((xmin - 1/2) * (1 - u)^(-1/(beta - 1)) + 1/2)``.
+* **Spatial marginal** — POIs cluster around a configurable number of
+  hot spots (Gaussian blobs with power-law cluster weights) over a
+  uniform background, mimicking venues concentrating in city centres.
+
+Check-in timestamps spread over each POI's lifetime (a random birth time
+followed by activity to the end of the span), skewed toward later times
+to model LBSN growth — which is what Figure 8's growing-snapshot
+experiment exercises.
+"""
+
+import numpy as np
+
+from repro.spatial.geometry import Rect
+
+
+class Dataset:
+    """POIs plus their check-in timestamps.
+
+    Attributes
+    ----------
+    name:
+        Label (e.g. ``"GW"`` or ``"GW@60%"`` for a snapshot).
+    world:
+        2-D :class:`~repro.spatial.geometry.Rect` bounding the POIs.
+    t0, tc:
+        Application start and current time (units: days).
+    positions:
+        ``{poi_id: (x, y)}``.
+    checkin_times:
+        ``{poi_id: sorted numpy array of timestamps}`` (possibly empty).
+    threshold:
+        Minimum total check-ins for a POI to be an *effective public POI*
+        (the paper indexes only those: 15/10/100/50 for NYC/LA/GW/GS).
+    """
+
+    def __init__(self, name, world, t0, tc, positions, checkin_times, threshold=1):
+        if tc <= t0:
+            raise ValueError("tc must exceed t0")
+        self.name = name
+        self.world = world
+        self.t0 = float(t0)
+        self.tc = float(tc)
+        self.positions = positions
+        self.checkin_times = checkin_times
+        self.threshold = threshold
+
+    # -- basic statistics -----------------------------------------------------
+
+    @property
+    def num_pois(self):
+        return len(self.positions)
+
+    def total_checkins(self):
+        return sum(times.size for times in self.checkin_times.values())
+
+    def totals(self):
+        """``{poi_id: total check-ins}`` including zero-activity POIs."""
+        return {
+            poi_id: self.checkin_times.get(poi_id, _EMPTY).size
+            for poi_id in self.positions
+        }
+
+    def effective_poi_ids(self):
+        """IDs of POIs meeting the effective-POI threshold, sorted."""
+        return sorted(
+            poi_id
+            for poi_id, times in self.checkin_times.items()
+            if times.size >= self.threshold
+        )
+
+    @property
+    def span_days(self):
+        return self.tc - self.t0
+
+    # -- derived views ----------------------------------------------------------
+
+    def snapshot(self, fraction, name=None):
+        """Return the data set as of ``t0 + fraction * span`` (Figure 8).
+
+        Check-ins after the cut are dropped; POI positions are kept (the
+        effective-POI filter naturally shrinks the indexed set).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1], got %r" % (fraction,))
+        cut = self.t0 + fraction * self.span_days
+        clipped = {
+            poi_id: times[: np.searchsorted(times, cut, side="right")]
+            for poi_id, times in self.checkin_times.items()
+        }
+        label = name or "%s@%d%%" % (self.name, round(fraction * 100))
+        return Dataset(
+            label, self.world, self.t0, cut, self.positions, clipped, self.threshold
+        )
+
+    def epoch_counts(self, clock, poi_ids=None):
+        """Per-POI, per-epoch check-in counts under ``clock``.
+
+        Returns ``{poi_id: {epoch_index: count}}`` with only non-zero
+        epochs present.  ``poi_ids`` restricts the output (defaults to the
+        effective POIs).
+        """
+        if poi_ids is None:
+            poi_ids = self.effective_poi_ids()
+        result = {}
+        uniform_length = getattr(clock, "epoch_length", None)
+        boundaries = getattr(clock, "boundaries", None)
+        for poi_id in poi_ids:
+            times = self.checkin_times.get(poi_id, _EMPTY)
+            if times.size == 0:
+                result[poi_id] = {}
+                continue
+            if uniform_length is not None:
+                indices = np.floor(
+                    (times - clock.t0) / uniform_length + 1e-9
+                ).astype(np.int64)
+            else:
+                indices = np.searchsorted(boundaries, times, side="right") - 1
+                indices = np.clip(indices, 0, len(boundaries) - 1)
+            uniques, counts = np.unique(indices, return_counts=True)
+            result[poi_id] = {
+                int(epoch): int(count) for epoch, count in zip(uniques, counts)
+            }
+        return result
+
+    def __repr__(self):
+        return "Dataset(%r, pois=%d, checkins=%d, span=%.0fd)" % (
+            self.name,
+            self.num_pois,
+            self.total_checkins(),
+            self.span_days,
+        )
+
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+def sample_powerlaw_tail(rng, beta, xmin, size):
+    """Sample discrete power-law values ``>= xmin`` with exponent ``beta``.
+
+    Delegates to the exact inverse-CDF sampler of
+    :func:`repro.analysis.powerlaw.sample_discrete_powerlaw`, so the
+    generated tails match what the Table 2 fitting pipeline assumes.
+    """
+    if beta <= 1.0:
+        raise ValueError("beta must exceed 1, got %r" % (beta,))
+    from repro.analysis.powerlaw import sample_discrete_powerlaw
+
+    return sample_discrete_powerlaw(rng, beta, int(xmin), size)
+
+
+def _body_pmf(xmin, mean_target):
+    """Truncated-geometric pmf on ``[1, xmin)`` with roughly ``mean_target``.
+
+    A geometric (exponential-decay) body is what real LBSN data shows
+    below the power-law region: it deviates sharply from any power law,
+    which is exactly the signal the CSN ``xmin`` scan keys on — a
+    power-law-shaped body would blur the fitted ``xmin`` and exponent.
+    """
+    support = np.arange(1, max(2, xmin), dtype=np.float64)
+    ratio = max(1e-6, 1.0 - 1.0 / max(1.05, mean_target))
+    weights = ratio ** support
+    weights /= weights.sum()
+    return support.astype(np.int64), weights
+
+
+def sample_body(rng, xmin, body_mean, size):
+    """Sample the sub-``xmin`` body (truncated geometric, see `_body_pmf`)."""
+    support, weights = _body_pmf(xmin, body_mean)
+    return rng.choice(support, size=size, p=weights)
+
+
+def _calibrate_body(xmin, target_mean):
+    """Pick the body mean so the mixture keeps a populated tail.
+
+    The body mean must sit safely below the target mean, otherwise the
+    tail fraction solves to zero (e.g. GW: mean rate 5 but ``xmin`` 85)
+    and no POI would ever reach the effective-POI threshold.
+    """
+    mean_target = max(1.05, min(0.6 * target_mean, xmin / 2.0))
+    support, weights = _body_pmf(xmin, mean_target)
+    return mean_target, float(support @ weights)
+
+
+def _solve_tail_fraction(target_mean, tail_mean, body_mean):
+    """Mixture weight q with q*tail_mean + (1-q)*body_mean = target_mean."""
+    if tail_mean <= body_mean:
+        return 1.0
+    q = (target_mean - body_mean) / (tail_mean - body_mean)
+    return min(1.0, max(0.0, q))
+
+
+def generate(
+    name,
+    n_pois,
+    n_checkins,
+    span_days,
+    beta,
+    xmin,
+    threshold=1,
+    n_clusters=32,
+    cluster_sigma_ratio=0.02,
+    background_fraction=0.1,
+    growth_exponent=0.6,
+    popularity_correlation=True,
+    world_extent=100.0,
+    seed=0,
+):
+    """Generate a synthetic LBSN :class:`Dataset`.
+
+    Parameters mirror the published statistics: ``n_pois``/``n_checkins``/
+    ``span_days`` from Table 4, ``beta``/``xmin`` from Table 2.  The
+    expected total check-ins matches ``n_checkins``; the realised total
+    varies with sampling noise.
+
+    ``growth_exponent`` < 1 skews timestamps toward the end of the span
+    (LBSN growth); 1.0 gives uniform activity over each POI's lifetime.
+
+    ``popularity_correlation`` makes a POI's chance of a power-law-tail
+    total proportional to its cluster's weight: popular venues concentrate
+    in popular districts, as in real LBSNs.  The marginal distribution of
+    totals is unchanged — only where the tail POIs sit.  ``False`` places
+    popularity independently of location.
+    """
+    if n_pois < 1:
+        raise ValueError("n_pois must be >= 1")
+    rng = np.random.default_rng(seed)
+    world = Rect((0.0, 0.0), (world_extent, world_extent))
+
+    # --- spatial marginal: clustered hot spots over a uniform background.
+    centers = rng.random((n_clusters, 2)) * world_extent
+    cluster_weights = np.arange(1, n_clusters + 1, dtype=np.float64) ** -1.1
+    rng.shuffle(cluster_weights)
+    cluster_weights /= cluster_weights.sum()
+    n_background = int(n_pois * background_fraction)
+    n_clustered = n_pois - n_background
+    assignment = rng.choice(n_clusters, size=n_clustered, p=cluster_weights)
+    sigma = cluster_sigma_ratio * world_extent
+    clustered = centers[assignment] + rng.normal(0.0, sigma, (n_clustered, 2))
+    background = rng.random((n_background, 2)) * world_extent
+    coordinates = np.clip(
+        np.concatenate([clustered, background]), 0.0, world_extent
+    )
+    # Per-POI propensity to be popular: its cluster's weight (background
+    # POIs take the lightest cluster's weight).
+    propensity = np.concatenate(
+        [cluster_weights[assignment], np.full(n_background, cluster_weights.min())]
+    )
+    order = rng.permutation(n_pois)
+    coordinates = coordinates[order]
+    propensity = propensity[order]
+    positions = {i: (float(x), float(y)) for i, (x, y) in enumerate(coordinates)}
+
+    # --- aggregate marginal: power-law tail above xmin, shallow body below.
+    target_mean = n_checkins / float(n_pois)
+    tail_mean = float(np.mean(sample_powerlaw_tail(rng, beta, xmin, 20000)))
+    if xmin > 1:
+        body_mean_target, body_mean = _calibrate_body(xmin, target_mean)
+    else:
+        body_mean = 0.0
+    tail_fraction = _solve_tail_fraction(target_mean, tail_mean, body_mean)
+    if popularity_correlation:
+        tail_probability = propensity / propensity.mean() * tail_fraction
+        tail_probability = np.clip(tail_probability, 0.0, 1.0)
+        scale_back = tail_fraction * n_pois / max(tail_probability.sum(), 1e-12)
+        tail_probability = np.clip(tail_probability * scale_back, 0.0, 1.0)
+    else:
+        tail_probability = np.full(n_pois, tail_fraction)
+    in_tail = rng.random(n_pois) < tail_probability
+    totals = np.zeros(n_pois, dtype=np.int64)
+    n_tail = int(in_tail.sum())
+    if n_tail:
+        totals[in_tail] = sample_powerlaw_tail(rng, beta, xmin, n_tail)
+    n_body = n_pois - n_tail
+    if n_body and xmin > 1:
+        totals[~in_tail] = sample_body(rng, xmin, body_mean_target, n_body)
+    elif n_body:
+        totals[~in_tail] = 1
+
+    # --- temporal marginal: birth time + growth-skewed activity.
+    t0 = 0.0
+    tc = float(span_days)
+    births = rng.random(n_pois) * (0.6 * span_days)
+    checkin_times = {}
+    for poi_id in range(n_pois):
+        count = int(totals[poi_id])
+        if count == 0:
+            checkin_times[poi_id] = _EMPTY
+            continue
+        birth = births[poi_id]
+        u = rng.random(count) ** growth_exponent
+        times = birth + u * (tc - birth)
+        times.sort()
+        checkin_times[poi_id] = np.minimum(times, tc - 1e-6)
+
+    return Dataset(name, world, t0, tc, positions, checkin_times, threshold)

@@ -1,0 +1,79 @@
+"""Presets mirroring the paper's four data sets (Tables 2 and 4).
+
+============  =========  ===========  =========  =====  ======  ==========
+name          POIs       check-ins    span       beta   xmin    threshold
+============  =========  ===========  =========  =====  ======  ==========
+NYC           72,626     237,784      ~38 mo     3.20   31      15
+LA            45,591     127,924      ~30 mo     3.07   16      10
+GW (Gowalla)  1,280,969  6,442,803    ~21 mo     2.82   85      100
+GS (4sq/TW)   182,968    1,385,223    ~7 mo      2.19   59      50
+============  =========  ===========  =========  =====  ======  ==========
+
+Full-scale GW is impractical for a pure-Python R-tree build, so
+:func:`make` takes a ``scale`` factor applied to both the POI count and
+the check-in volume (the per-POI activity distribution is unchanged).
+EXPERIMENTS.md records the scales used for each reproduced figure.
+"""
+
+from typing import NamedTuple
+
+from repro.datasets.generator import generate
+
+
+class DatasetSpec(NamedTuple):
+    """Published statistics for one of the paper's data sets."""
+
+    name: str
+    n_pois: int
+    n_checkins: int
+    span_days: int
+    beta: float
+    xmin: int
+    threshold: int
+
+
+DATASET_SPECS = {
+    "NYC": DatasetSpec("NYC", 72626, 237784, 1156, 3.20, 31, 15),
+    "LA": DatasetSpec("LA", 45591, 127924, 911, 3.07, 16, 10),
+    "GW": DatasetSpec("GW", 1280969, 6442803, 637, 2.82, 85, 100),
+    "GS": DatasetSpec("GS", 182968, 1385223, 212, 2.19, 59, 50),
+}
+
+
+def make(name, scale=1.0, seed=0, **overrides):
+    """Build a synthetic stand-in for one of the paper's data sets.
+
+    Parameters
+    ----------
+    name:
+        ``"NYC"``, ``"LA"``, ``"GW"`` or ``"GS"``.
+    scale:
+        Fraction of the published POI count and check-in volume to
+        generate (``0 < scale <= 1``); per-POI statistics are preserved.
+    seed:
+        Generator seed.
+    overrides:
+        Extra keyword arguments forwarded to
+        :func:`repro.datasets.generator.generate` (e.g. ``n_clusters``).
+    """
+    try:
+        spec = DATASET_SPECS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            "unknown data set %r; choose from %s"
+            % (name, sorted(DATASET_SPECS))
+        ) from None
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1], got %r" % (scale,))
+    params = dict(
+        name=spec.name,
+        n_pois=max(1, int(spec.n_pois * scale)),
+        n_checkins=max(1, int(spec.n_checkins * scale)),
+        span_days=spec.span_days,
+        beta=spec.beta,
+        xmin=spec.xmin,
+        threshold=spec.threshold,
+        seed=seed,
+    )
+    params.update(overrides)
+    return generate(**params)

@@ -1,0 +1,69 @@
+"""Streaming check-ins from a data set into a live TAR-tree.
+
+The paper's setting is an index built over a snapshot that then digests
+new epochs as they close (Section 4.2).  These helpers turn a
+:class:`~repro.datasets.generator.Dataset` into that stream:
+
+* :func:`epoch_stream` yields ``(epoch_index, {poi_id: count})`` batches
+  for the epochs between two times;
+* :func:`catch_up` brings a tree's TIAs exactly in line with a data
+  set's history (used by the growth experiments and by deployments that
+  rebuild from a checkpoint and replay the tail).
+"""
+
+
+def epoch_stream(dataset, clock, start_time=None, end_time=None, poi_ids=None):
+    """Yield ``(epoch_index, counts)`` for epochs closing in a time range.
+
+    ``counts`` maps POI ids to check-ins during that epoch.  Epochs with
+    no check-ins are skipped.  ``poi_ids`` restricts the stream (default:
+    the data set's effective POIs).
+    """
+    if start_time is None:
+        start_time = dataset.t0
+    if end_time is None:
+        end_time = dataset.tc
+    first_epoch = clock.epoch_of(max(start_time, clock.t0))
+    last_epoch = clock.epoch_of(max(end_time, clock.t0))
+    per_poi = dataset.epoch_counts(clock, poi_ids)
+    per_epoch = {}
+    for poi_id, epochs in per_poi.items():
+        for epoch, count in epochs.items():
+            if first_epoch <= epoch <= last_epoch:
+                per_epoch.setdefault(epoch, {})[poi_id] = count
+    for epoch in sorted(per_epoch):
+        yield epoch, per_epoch[epoch]
+
+
+def catch_up(tree, dataset):
+    """Digest whatever ``dataset`` records beyond the tree's TIA content.
+
+    For every indexed POI, compares the data set's per-epoch counts with
+    the TIA and digests the positive differences epoch by epoch — after
+    which each leaf TIA equals the data set's history exactly.  Returns
+    the number of check-ins digested.
+
+    Only meaningful for count/sum aggregate trees, where per-epoch values
+    accumulate; raises for a max-aggregate tree (its epochs are peaks,
+    not counts — digest those directly).
+    """
+    from repro.temporal.tia import AggregateKind
+
+    if tree.aggregate_kind is AggregateKind.MAX:
+        raise ValueError(
+            "catch_up() reconciles additive histories; digest peak values "
+            "directly for a max-aggregate tree"
+        )
+    full = dataset.epoch_counts(tree.clock, list(tree.poi_ids()))
+    pending = {}
+    for poi_id, epochs in full.items():
+        tia = tree.poi_tia(poi_id)
+        for epoch, count in epochs.items():
+            delta = count - tia.get(epoch)
+            if delta > 0:
+                pending.setdefault(epoch, {})[poi_id] = delta
+    digested = 0
+    for epoch in sorted(pending):
+        tree.digest_epoch(epoch, pending[epoch])
+        digested += sum(pending[epoch].values())
+    return digested

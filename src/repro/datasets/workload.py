@@ -1,0 +1,88 @@
+"""Query workload generation (Section 8, Experiments Setup).
+
+The paper generates 1,000 queries per data set "with the query point
+uniformly sampled from the data set and the query time interval uniformly
+sampled from 2^0, 2^1, ..., 2^9 days"; defaults are k = 10 and
+alpha0 = 0.3.
+"""
+
+import random
+
+from repro.core.query import KNNTAQuery
+from repro.temporal.epochs import TimeInterval
+
+DEFAULT_INTERVAL_CHOICES = tuple(2 ** i for i in range(10))
+
+
+class QueryWorkload:
+    """A reproducible batch of kNNTA queries over a data set."""
+
+    def __init__(self, queries, seed):
+        self.queries = list(queries)
+        self.seed = seed
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self):
+        return len(self.queries)
+
+    def __getitem__(self, index):
+        return self.queries[index]
+
+    def with_params(self, k=None, alpha0=None):
+        """Copy of the workload with ``k`` and/or ``alpha0`` replaced."""
+        queries = [
+            KNNTAQuery(
+                point=q.point,
+                interval=q.interval,
+                k=q.k if k is None else k,
+                alpha0=q.alpha0 if alpha0 is None else alpha0,
+            )
+            for q in self.queries
+        ]
+        return QueryWorkload(queries, self.seed)
+
+
+def generate_queries(
+    dataset,
+    n_queries=1000,
+    k=10,
+    alpha0=0.3,
+    interval_days_choices=DEFAULT_INTERVAL_CHOICES,
+    anchor="uniform",
+    seed=0,
+):
+    """Generate a :class:`QueryWorkload` for ``dataset``.
+
+    Query points are sampled uniformly from the POI locations.  Interval
+    *lengths* are sampled uniformly from ``interval_days_choices``; the
+    interval is placed either uniformly within the data set span
+    (``anchor="uniform"``) or ending at the current time
+    (``anchor="end"``, the "last X days" pattern).  Lengths are clipped to
+    the span.
+    """
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    if anchor not in ("uniform", "end"):
+        raise ValueError("anchor must be 'uniform' or 'end', got %r" % (anchor,))
+    rng = random.Random(seed)
+    locations = list(dataset.positions.values())
+    span = dataset.span_days
+    queries = []
+    for _ in range(n_queries):
+        point = rng.choice(locations)
+        length = min(float(rng.choice(interval_days_choices)), span)
+        if anchor == "end":
+            start = dataset.tc - length
+        else:
+            start = dataset.t0 + rng.random() * (span - length)
+        queries.append(
+            KNNTAQuery(
+                point=point,
+                interval=TimeInterval(start, start + length),
+                k=k,
+                alpha0=alpha0,
+            )
+        )
+    return QueryWorkload(queries, seed)

@@ -1,0 +1,16 @@
+"""Related-work structures the paper positions the TAR-tree against.
+
+Section 2 discusses the aRB-tree (Papadias et al., "Historical
+spatio-temporal aggregation"), which answers *temporal range aggregate*
+queries — "return the number of cars in the city center during the last
+hour" — and explains why it cannot be adapted to the kNNTA query: it
+returns aggregate values rather than ranked POIs, and its per-entry
+B-trees index timestamps, so varied-length epochs do not fit.  The
+implementation here makes those arguments concrete (and testable) and
+gives the library a genuine temporal range-aggregate index as a bonus.
+"""
+
+from repro.related.arb_tree import ARBTree
+from repro.related.sketch import FMSketch, SketchIndex
+
+__all__ = ["ARBTree", "FMSketch", "SketchIndex"]

@@ -1,0 +1,330 @@
+"""The aRB-tree: historical spatio-temporal range aggregation.
+
+An aRB-tree (Papadias et al.; the paper's reference [26]) combines an
+R-tree over space with, at every entry, a B-tree over time storing the
+historical aggregate of the entry's whole subtree per timestamp.  A
+temporal range aggregate query ``(rect, interval)`` — e.g. "how many
+check-ins happened downtown last week" — descends only into entries
+*partially* covered by ``rect``: a fully covered entry contributes its
+own B-tree total without visiting the subtree, which is the structure's
+entire point.
+
+Differences from the TAR-tree, deliberately preserved because they are
+what Section 2 of the kNNTA paper argues:
+
+* per-entry temporal indexes store the **sum** over the subtree (an
+  aggregate value), not the per-epoch maximum — good for totals,
+  useless as a ranking upper bound for individual POIs;
+* the query returns a **number**, not POIs;
+* the temporal component indexes **equi-length epochs** ("timestamps");
+  the constructor rejects varied-length clocks.
+
+Implementation notes: the spatial skeleton is built with the same
+R*-tree machinery as the TAR-tree (via STR bulk packing for static
+builds and R*-style insertion for maintenance); the per-entry B-trees
+reuse :class:`~repro.temporal.tia.PagedTIA` with sum semantics and the
+same buffer/access accounting, so query costs are comparable with the
+rest of the library.
+"""
+
+from repro.core.tar_tree import POI
+from repro.spatial.bulk import str_partition
+from repro.spatial.geometry import Rect
+from repro.spatial.rstar import (
+    Entry,
+    Node,
+    rstar_choose_subtree,
+    rstar_split_groups,
+)
+from repro.storage.pager import node_capacity
+from repro.storage.stats import AccessStats
+from repro.temporal.epochs import EpochClock
+from repro.temporal.tia import (
+    DEFAULT_TIA_BUFFER_SLOTS,
+    DEFAULT_TIA_PAGE_SIZE,
+    IntervalSemantics,
+    make_tia_factory,
+)
+
+
+class ARBTree:
+    """R-tree + per-entry temporal B-trees for range aggregate queries.
+
+    Parameters mirror :class:`~repro.core.tar_tree.TARTree` where they
+    overlap.  Only :class:`~repro.temporal.epochs.EpochClock` (uniform
+    epochs) is accepted — the defining restriction of the structure.
+    """
+
+    def __init__(
+        self,
+        world,
+        clock,
+        node_size=1024,
+        tia_backend="paged",
+        tia_page_size=DEFAULT_TIA_PAGE_SIZE,
+        tia_buffer_slots=DEFAULT_TIA_BUFFER_SLOTS,
+        stats=None,
+        min_fill_ratio=0.4,
+    ):
+        if not isinstance(clock, EpochClock):
+            raise TypeError(
+                "the aRB-tree's B-trees index equi-length timestamps; "
+                "varied-length epochs are exactly what it cannot handle "
+                "(use the TAR-tree instead)"
+            )
+        if world.dims != 2:
+            raise ValueError("the world rectangle must be 2-D")
+        self.world = world
+        self.clock = clock
+        self.capacity = node_capacity(node_size, dims=2)
+        self.min_fill = max(1, int(self.capacity * min_fill_ratio))
+        self.stats = stats if stats is not None else AccessStats()
+        self._tia_factory = make_tia_factory(
+            tia_backend,
+            stats=self.stats,
+            page_size=tia_page_size,
+            buffer_slots=tia_buffer_slots,
+        )
+        self.root = Node(level=0)
+        self._pois = {}
+        self._poi_tias = {}
+        self._leaf_of = {}
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, dataset, clock=None, epoch_length=7.0, **kwargs):
+        """Bulk-build over a data set's effective POIs (STR packing)."""
+        if clock is None:
+            clock = EpochClock(dataset.t0, epoch_length)
+        tree = cls(world=dataset.world, clock=clock, **kwargs)
+        poi_ids = dataset.effective_poi_ids()
+        counts = dataset.epoch_counts(clock, poi_ids)
+        entries = []
+        for poi_id in poi_ids:
+            poi = POI(poi_id, *dataset.positions[poi_id])
+            tia = tree._tia_factory()
+            tia.replace_all(counts[poi_id])
+            tree._pois[poi.poi_id] = poi
+            tree._poi_tias[poi.poi_id] = tia
+            entries.append(
+                Entry(Rect.from_point(poi.point), item=poi.poi_id, tia=tia)
+            )
+        tree._pack(entries)
+        tree._size = len(poi_ids)
+        return tree
+
+    def _pack(self, entries):
+        level = 0
+        while len(entries) > self.capacity:
+            groups = str_partition(
+                [entry.rect.center for entry in entries],
+                self.capacity,
+                min_fill=self.min_fill,
+            )
+            parents = []
+            for group in groups:
+                node = Node(level=level)
+                node.entries = [entries[i] for i in group]
+                for entry in node.entries:
+                    if entry.child is not None:
+                        entry.child.parent = node
+                    else:
+                        self._leaf_of[entry.item] = node
+                parents.append(self._make_parent_entry(node))
+            entries = parents
+            level += 1
+        root = Node(level=level)
+        root.entries = entries
+        for entry in root.entries:
+            if entry.child is not None:
+                entry.child.parent = root
+            else:
+                self._leaf_of[entry.item] = root
+        self.root = root
+
+    def _make_parent_entry(self, node):
+        entry = Entry(
+            Rect.union_all(e.rect for e in node.entries),
+            child=node,
+            tia=self._tia_factory(),
+        )
+        sums = {}
+        for child in node.entries:
+            for epoch, value in child.tia.items():
+                sums[epoch] = sums.get(epoch, 0) + value
+        entry.tia.replace_all(sums)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert_poi(self, poi, epoch_aggregates=None):
+        """Insert one POI (R*-style placement, additive TIA propagation)."""
+        if poi.poi_id in self._pois:
+            raise ValueError("POI %r is already indexed" % (poi.poi_id,))
+        tia = self._tia_factory()
+        if epoch_aggregates:
+            tia.replace_all(epoch_aggregates)
+        self._pois[poi.poi_id] = poi
+        self._poi_tias[poi.poi_id] = tia
+        entry = Entry(Rect.from_point(poi.point), item=poi.poi_id, tia=tia)
+        node = self.root
+        while not node.is_leaf:
+            rects = [e.rect for e in node.entries]
+            index = rstar_choose_subtree(
+                rects, entry.rect, children_are_leaves=(node.level == 1)
+            )
+            node = node.entries[index].child
+        node.entries.append(entry)
+        self._leaf_of[poi.poi_id] = node
+        self._propagate_addition(node, entry)
+        self._size += 1
+        if len(node.entries) > self.capacity:
+            self._split(node)
+
+    def digest_epoch(self, epoch_index, counts):
+        """Add one epoch's check-in counts along the affected paths."""
+        for poi_id, delta in counts.items():
+            if delta <= 0:
+                continue
+            tia = self._poi_tias[poi_id]
+            tia.add(epoch_index, delta)
+            node = self._leaf_of[poi_id]
+            while node.parent is not None:
+                parent = node.parent
+                parent.entry_for_child(node).tia.add(epoch_index, delta)
+                node = parent
+
+    def _propagate_addition(self, node, entry):
+        items = list(entry.tia.items())
+        while node.parent is not None:
+            parent = node.parent
+            parent_entry = parent.entry_for_child(node)
+            parent_entry.rect = parent_entry.rect.union(entry.rect)
+            for epoch, value in items:
+                parent_entry.tia.add(epoch, value)
+            node = parent
+
+    def _split(self, node):
+        group_a, group_b = rstar_split_groups(
+            [e.rect for e in node.entries], self.min_fill
+        )
+        entries = node.entries
+        sibling = Node(level=node.level)
+        node.entries = [entries[i] for i in group_a]
+        sibling.entries = [entries[i] for i in group_b]
+        for entry in sibling.entries:
+            if entry.child is not None:
+                entry.child.parent = sibling
+            else:
+                self._leaf_of[entry.item] = sibling
+        if node is self.root:
+            new_root = Node(level=node.level + 1)
+            new_root.entries.append(self._make_parent_entry(node))
+            new_root.entries.append(self._make_parent_entry(sibling))
+            node.parent = new_root
+            sibling.parent = new_root
+            self.root = new_root
+            return
+        parent = node.parent
+        stale = parent.entry_for_child(node)
+        self._refresh_parent_entry(stale, node)
+        parent.entries.append(self._make_parent_entry(sibling))
+        sibling.parent = parent
+        # Ancestors keep correct sums (the split moved values, total
+        # unchanged) but need their rects refreshed.
+        walker = parent
+        while walker.parent is not None:
+            up = walker.parent
+            up.entry_for_child(walker).rect = Rect.union_all(
+                e.rect for e in walker.entries
+            )
+            walker = up
+        if len(parent.entries) > self.capacity:
+            self._split(parent)
+
+    def _refresh_parent_entry(self, entry, node):
+        entry.rect = Rect.union_all(e.rect for e in node.entries)
+        sums = {}
+        for child in node.entries:
+            for epoch, value in child.tia.items():
+                sums[epoch] = sums.get(epoch, 0) + value
+        entry.tia.replace_all(sums)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_aggregate(self, rect, interval, semantics=IntervalSemantics.INTERSECTS):
+        """Total check-ins of POIs in ``rect`` during ``interval``.
+
+        Entries fully inside ``rect`` contribute their subtree total from
+        their own B-tree *without being descended* — the aRB-tree's
+        selling point.  Note the distinct-counting caveat of the original
+        structure does not arise here because check-ins are point events.
+        """
+        if not self.root.entries:
+            return 0
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self.stats.record_node(node.is_leaf)
+            for entry in node.entries:
+                if not entry.rect.intersects(rect):
+                    continue
+                if rect.contains_rect(entry.rect):
+                    total += entry.tia.aggregate(self.clock, interval, semantics)
+                elif entry.child is not None:
+                    stack.append(entry.child)
+                # A partially covered *leaf* entry is a point not inside
+                # the rect (points are either contained or disjoint), so
+                # nothing to add.
+        return total
+
+    def __len__(self):
+        return self._size
+
+    def node_count(self):
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)
+        return count
+
+    def check_invariants(self):
+        """Structural and sum-consistency checks."""
+        stack = [(self.root, None)]
+        count = 0
+        while stack:
+            node, parent = stack.pop()
+            assert node.parent is parent, "broken parent pointer"
+            if node.is_leaf:
+                count += len(node.entries)
+                for entry in node.entries:
+                    assert self._leaf_of[entry.item] is node
+            else:
+                for entry in node.entries:
+                    child = entry.child
+                    assert child.level == node.level - 1
+                    assert entry.rect == Rect.union_all(
+                        e.rect for e in child.entries
+                    ), "stale rect"
+                    sums = {}
+                    for grandchild in child.entries:
+                        for epoch, value in grandchild.tia.items():
+                            sums[epoch] = sums.get(epoch, 0) + value
+                    assert dict(entry.tia.items()) == sums, "stale subtree sum"
+                    stack.append((child, node))
+        assert count == self._size
+
+    def __repr__(self):
+        return "ARBTree(pois=%d, nodes=%d)" % (self._size, self.node_count())

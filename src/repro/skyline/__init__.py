@@ -1,0 +1,17 @@
+"""Skyline algorithms.
+
+The MWA pruning algorithm (Section 7.1) reduces the minimum weight
+adjustment to two skylines in the ``(s_0, s_1)`` score space: the skyline
+of the lower-ranked POIs and the reverse skyline (maximal points) of the
+top-k.  This package provides:
+
+* :mod:`repro.skyline.bnl` — block-nested-loop skyline over in-memory
+  point lists (used for the top-k side and as a test oracle).
+* :mod:`repro.skyline.bbs` — branch-and-bound skyline (Papadias et al.)
+  over the TAR-tree, counting node accesses.
+"""
+
+from repro.skyline.bnl import dominates, skyline_of_points
+from repro.skyline.bbs import bbs_skyline
+
+__all__ = ["dominates", "skyline_of_points", "bbs_skyline"]

@@ -1,0 +1,78 @@
+"""Branch-and-bound skyline (BBS) over the TAR-tree.
+
+BBS (Papadias et al., SIGMOD 2003) runs best-first on an R-tree using the
+L1 distance of each entry's lower-left corner, pruning entries dominated
+by the skyline found so far.  Here the two dimensions are the kNNTA
+score components ``s_0`` (normalised spatial distance) and ``s_1``
+(``1 -`` normalised aggregate): an entry's MBR MINDIST lower-bounds every
+child's ``s_0`` and its TIA aggregate upper-bounds every child's
+aggregate, so the entry's corner lower-bounds ``(s_0, s_1)`` — exactly
+the property BBS needs.  The paper notes the TAR-tree "also enables
+efficient answering of the skyline query"; this is that algorithm, used
+by the MWA pruning approach (Section 7.1).
+"""
+
+import heapq
+import itertools
+
+from repro.skyline.bnl import dominates
+
+
+def _corner(tree, entry, query, normalizer):
+    distance, aggregate = normalizer.components(
+        entry.mbr.min_dist(query.point),
+        tree.tia_aggregate(entry.tia, query.interval, query.semantics),
+    )
+    return (distance, 1.0 - aggregate)
+
+
+def bbs_skyline(tree, query, normalizer=None, exclude=frozenset()):
+    """Skyline of the POIs of ``tree`` in kNNTA score space.
+
+    Parameters
+    ----------
+    tree / query:
+        The TAR-tree and the query supplying the point, interval,
+        semantics and (via ``normalizer``) the score normalisation.
+    exclude:
+        POI ids to ignore — the MWA algorithm excludes the top-k.
+
+    Returns ``[(poi_id, (s0, s1)), ...]`` in ascending ``s0 + s1`` order.
+    Node accesses are recorded into ``tree.stats``.
+    """
+    if normalizer is None:
+        normalizer = tree.normalizer(query.interval, query.semantics)
+    root = tree.root
+    if not root.entries:
+        return []
+    skyline = []
+    heap = []
+    tie = itertools.count()
+    tree.record_node_access(root)
+    for entry in root.entries:
+        corner = _corner(tree, entry, query, normalizer)
+        heapq.heappush(heap, (corner[0] + corner[1], next(tie), corner, entry))
+    while heap:
+        _, _, corner, entry = heapq.heappop(heap)
+        if any(dominates(point, corner) for _, point in skyline):
+            continue
+        if entry.is_leaf_entry:
+            if entry.item not in exclude:
+                skyline.append((entry.item, corner))
+            continue
+        child = entry.child
+        tree.record_node_access(child)
+        for child_entry in child.entries:
+            child_corner = _corner(tree, child_entry, query, normalizer)
+            if any(dominates(point, child_corner) for _, point in skyline):
+                continue
+            heapq.heappush(
+                heap,
+                (
+                    child_corner[0] + child_corner[1],
+                    next(tie),
+                    child_corner,
+                    child_entry,
+                ),
+            )
+    return skyline

@@ -1,0 +1,62 @@
+"""Block-nested-loop skyline over in-memory points.
+
+Points are tuples of comparable coordinates; *smaller is better* in every
+dimension by default (``reverse=True`` flips to larger-is-better, the
+"dominating condition reversed" form the MWA algorithm applies to the
+top-k POIs).
+"""
+
+
+def dominates(a, b, reverse=False):
+    """True when ``a`` dominates ``b``.
+
+    With ``reverse=False``: ``a`` is no worse (<=) in every dimension and
+    strictly better (<) in at least one.  With ``reverse=True`` the
+    comparisons flip.
+    """
+    strictly_better = False
+    if reverse:
+        for av, bv in zip(a, b):
+            if av < bv:
+                return False
+            if av > bv:
+                strictly_better = True
+    else:
+        for av, bv in zip(a, b):
+            if av > bv:
+                return False
+            if av < bv:
+                strictly_better = True
+    return strictly_better
+
+
+def skyline_of_points(points, reverse=False):
+    """Return the skyline (Pareto-optimal subset) of ``points``.
+
+    Duplicates of skyline points are kept once.  The classic
+    block-nested-loop: maintain a window of incomparable points and test
+    each candidate against it.
+    """
+    window = []
+    for point in points:
+        dominated = False
+        survivors = []
+        for kept in window:
+            if dominates(kept, point, reverse):
+                dominated = True
+                survivors = None
+                break
+            if not dominates(point, kept, reverse):
+                survivors.append(kept)
+        if dominated:
+            continue
+        survivors.append(point)
+        window = survivors
+    # Deduplicate exact ties while preserving order.
+    seen = set()
+    unique = []
+    for point in window:
+        if point not in seen:
+            seen.add(point)
+            unique.append(point)
+    return unique

@@ -1,0 +1,85 @@
+"""Sort-tile-recursive (STR) bulk loading.
+
+Building the TAR-tree one insertion at a time costs a choose-subtree
+descent plus occasional splits and reinsertions per POI.  When the whole
+data set is known up front (the paper's snapshot setting), STR packing
+(Leutenegger et al., ICDE 1997) builds the same kind of tree in one
+sorting pass per dimension: sort by the first coordinate, cut into
+vertical slabs, sort each slab by the next coordinate, and so on,
+emitting balanced groups of at most ``capacity`` entries.
+
+The partitioner works in the grouping space of the active strategy (2-D
+for ``IND-spa``, 3-D for integral-3D), so a bulk-loaded tree clusters
+entries by exactly the criteria the incremental algorithms optimise.
+"""
+
+import math
+
+
+def _balanced_group_sizes(total, capacity, min_fill, fill_ratio):
+    """Sizes of consecutive groups: balanced, within [min_fill, capacity].
+
+    Chooses the group count so every group holds roughly
+    ``fill_ratio * capacity`` entries while never violating the R-tree
+    fill bounds (a single trailing group may hold fewer than ``min_fill``
+    only when ``total`` itself is that small).
+    """
+    if total <= capacity:
+        return [total]
+    target = max(min_fill, int(capacity * fill_ratio))
+    groups = max(2, int(math.ceil(total / float(target))))
+    # Keep every group at or above min_fill.
+    while groups > 1 and total // groups < min_fill:
+        groups -= 1
+    # Never exceed the hard capacity (possible only for extreme
+    # min_fill ratios); capacity beats the fill floor.
+    if int(math.ceil(total / float(groups))) > capacity:
+        groups = int(math.ceil(total / float(capacity)))
+    base = total // groups
+    remainder = total % groups
+    return [base + 1 if i < remainder else base for i in range(groups)]
+
+
+def str_partition(points, capacity, min_fill=1, fill_ratio=0.9):
+    """Partition ``points`` into STR tiles of at most ``capacity``.
+
+    ``points`` is a sequence of coordinate tuples (any dimensionality).
+    Returns a list of index groups (lists of indices into ``points``),
+    each of size within ``[min_fill, capacity]`` (except when fewer than
+    ``min_fill`` points exist overall).
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    indices = list(range(len(points)))
+    if not indices:
+        return []
+    dims = len(points[0])
+    return _str_recurse(points, indices, dims, 0, capacity, min_fill, fill_ratio)
+
+
+def _str_recurse(points, indices, dims, axis, capacity, min_fill, fill_ratio):
+    indices = sorted(indices, key=lambda i: points[i][axis])
+    total = len(indices)
+    if axis == dims - 1 or total <= capacity:
+        sizes = _balanced_group_sizes(total, capacity, min_fill, fill_ratio)
+        groups = []
+        offset = 0
+        for size in sizes:
+            groups.append(indices[offset : offset + size])
+            offset += size
+        return groups
+
+    # Number of leaves this subtree will produce, spread over slabs so
+    # that each slab recursively tiles the remaining dimensions.
+    target = max(min_fill, int(capacity * fill_ratio))
+    n_leaves = max(1, int(math.ceil(total / float(target))))
+    remaining = dims - axis
+    slabs = max(1, int(math.ceil(n_leaves ** (1.0 / remaining))))
+    slab_size = int(math.ceil(total / float(slabs)))
+    groups = []
+    for start in range(0, total, slab_size):
+        slab = indices[start : start + slab_size]
+        groups.extend(
+            _str_recurse(points, slab, dims, axis + 1, capacity, min_fill, fill_ratio)
+        )
+    return groups

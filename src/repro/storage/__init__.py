@@ -1,0 +1,39 @@
+"""Disk and buffer simulation substrate.
+
+The paper measures query cost primarily in *node accesses* because the
+TAR-tree is assumed to be disk resident.  This package provides the
+simulation pieces that make such measurements meaningful in a pure-Python
+reproduction:
+
+* :mod:`repro.storage.pager` — node/page sizing rules that derive entry
+  capacities from a node size in bytes (1024 bytes yields capacities of
+  50 and 36 for 2- and 3-dimensional entries, exactly as in the paper).
+* :mod:`repro.storage.buffer` — an LRU buffer pool; the paper assigns each
+  TIA a maximum of 10 buffer slots.
+* :mod:`repro.storage.stats` — access counters shared by the R-tree layer
+  and the temporal indexes.
+"""
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pager import (
+    COORD_BYTES,
+    NODE_HEADER_BYTES,
+    POINTER_BYTES,
+    TEMPORAL_RECORD_BYTES,
+    node_capacity,
+    tia_leaf_capacity,
+    tia_internal_capacity,
+)
+from repro.storage.stats import AccessStats
+
+__all__ = [
+    "AccessStats",
+    "LRUBufferPool",
+    "node_capacity",
+    "tia_leaf_capacity",
+    "tia_internal_capacity",
+    "NODE_HEADER_BYTES",
+    "COORD_BYTES",
+    "POINTER_BYTES",
+    "TEMPORAL_RECORD_BYTES",
+]

@@ -1,0 +1,78 @@
+"""An LRU buffer pool for simulated disk pages.
+
+The paper keeps the R-tree in memory but makes the TIAs disk resident,
+assigning "each TIA ... a maximum of 10 buffer slots".  A buffered page
+access is free; a miss costs one (simulated) disk page access.  For the
+*individual* query-processing baseline in Section 8.4 the TIAs get no
+buffer at all, which is modelled here by ``capacity=0``.
+"""
+
+from collections import OrderedDict
+
+
+class LRUBufferPool:
+    """A least-recently-used buffer over opaque page identifiers.
+
+    Parameters
+    ----------
+    capacity:
+        Number of page slots.  ``0`` disables buffering entirely (every
+        access is a miss).
+
+    The pool does not store page contents — the library keeps all data in
+    Python objects — it only simulates the hit/miss behaviour needed for
+    faithful page-access accounting.
+    """
+
+    __slots__ = ("capacity", "_slots", "hits", "misses")
+
+    def __init__(self, capacity):
+        if capacity < 0:
+            raise ValueError("buffer capacity must be >= 0, got %d" % capacity)
+        self.capacity = capacity
+        self._slots = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page_id):
+        """Touch ``page_id``; return ``True`` on a buffer hit."""
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        slots = self._slots
+        if page_id in slots:
+            slots.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        slots[page_id] = True
+        if len(slots) > self.capacity:
+            slots.popitem(last=False)
+        return False
+
+    def invalidate(self, page_id):
+        """Drop ``page_id`` from the pool (e.g. after a page is freed)."""
+        self._slots.pop(page_id, None)
+
+    def clear(self):
+        """Empty the pool without resetting the hit/miss counters."""
+        self._slots.clear()
+
+    def reset_counters(self):
+        """Zero the hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._slots)
+
+    def __contains__(self, page_id):
+        return page_id in self._slots
+
+    def __repr__(self):
+        return "LRUBufferPool(capacity=%d, resident=%d, hits=%d, misses=%d)" % (
+            self.capacity,
+            len(self._slots),
+            self.hits,
+            self.misses,
+        )

@@ -1,0 +1,82 @@
+"""Node and page sizing rules.
+
+The paper (Section 8, *Experiments Setup*) sets the R-tree node size to
+1024 bytes "and hence the node capacities are 50 and 36 for 2- and
+3-dimensional entries respectively".  Those numbers are consistent with a
+16-byte node header, 4-byte coordinates and 4-byte child pointers:
+
+* 2-D entry: 4 coordinates x 4 bytes + 4-byte pointer = 20 bytes, so
+  ``(1024 - 16) // 20 == 50``.
+* 3-D entry: 6 coordinates x 4 bytes + 4-byte pointer = 28 bytes, so
+  ``(1024 - 16) // 28 == 36``.
+
+This module encodes that layout so every index in the library derives its
+fan-out from a node size in bytes, which is the knob varied in Figure 12.
+"""
+
+NODE_HEADER_BYTES = 16
+"""Bytes reserved at the start of every node/page for bookkeeping."""
+
+COORD_BYTES = 4
+"""Bytes per stored coordinate (single-precision float on disk)."""
+
+POINTER_BYTES = 4
+"""Bytes per child pointer / record identifier."""
+
+TEMPORAL_RECORD_BYTES = 12
+"""Bytes per ``<ts, te, agg>`` temporal record (three 4-byte fields)."""
+
+_MIN_CAPACITY = 4
+
+
+def entry_bytes(dims):
+    """Return the on-disk size of one R-tree entry with ``dims`` dimensions.
+
+    An entry stores a ``dims``-dimensional rectangle (two coordinates per
+    dimension) plus a child pointer.
+    """
+    if dims < 1:
+        raise ValueError("dims must be >= 1, got %r" % (dims,))
+    return 2 * dims * COORD_BYTES + POINTER_BYTES
+
+
+def node_capacity(node_size_bytes, dims):
+    """Return the entry capacity of a node of ``node_size_bytes`` bytes.
+
+    >>> node_capacity(1024, 2)
+    50
+    >>> node_capacity(1024, 3)
+    36
+    """
+    capacity = (node_size_bytes - NODE_HEADER_BYTES) // entry_bytes(dims)
+    if capacity < _MIN_CAPACITY:
+        raise ValueError(
+            "node size %d bytes holds only %d %d-D entries; need at least %d"
+            % (node_size_bytes, capacity, dims, _MIN_CAPACITY)
+        )
+    return capacity
+
+
+def tia_leaf_capacity(page_size_bytes):
+    """Return how many temporal records fit in one TIA leaf page."""
+    capacity = (page_size_bytes - NODE_HEADER_BYTES) // TEMPORAL_RECORD_BYTES
+    if capacity < _MIN_CAPACITY:
+        raise ValueError(
+            "page size %d bytes holds only %d temporal records; need at least %d"
+            % (page_size_bytes, capacity, _MIN_CAPACITY)
+        )
+    return capacity
+
+
+def tia_internal_capacity(page_size_bytes):
+    """Return how many router entries fit in one TIA internal page.
+
+    A router entry is a 4-byte separator key plus a 4-byte child pointer.
+    """
+    capacity = (page_size_bytes - NODE_HEADER_BYTES) // (COORD_BYTES + POINTER_BYTES)
+    if capacity < _MIN_CAPACITY:
+        raise ValueError(
+            "page size %d bytes holds only %d router entries; need at least %d"
+            % (page_size_bytes, capacity, _MIN_CAPACITY)
+        )
+    return capacity

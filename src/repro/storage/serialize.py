@@ -1,0 +1,182 @@
+"""Persistence for data sets and TAR-trees.
+
+Two formats:
+
+* **Data sets** — ``save_dataset`` / ``load_dataset`` store the POI
+  positions and raw check-in timestamps in a single ``.npz`` archive
+  (exact round trip).
+* **Trees** — ``save_tree`` / ``load_tree`` store the index *content*
+  (configuration plus every POI's location and per-epoch history, in
+  insertion order) as JSON.  Loading rebuilds the tree by replaying the
+  insertions, which is deterministic, so a reloaded tree answers every
+  query identically; the physical node layout is reconstructed rather
+  than copied.  POI identifiers must be JSON-representable scalars
+  (str/int); this is asserted at save time.
+"""
+
+import json
+
+import numpy as np
+
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock, VariedEpochClock
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Data sets
+# ---------------------------------------------------------------------------
+
+
+def save_dataset(dataset, path):
+    """Write ``dataset`` to ``path`` as a ``.npz`` archive."""
+    poi_ids = sorted(dataset.positions)
+    positions = np.array(
+        [dataset.positions[poi_id] for poi_id in poi_ids], dtype=np.float64
+    )
+    times = [
+        np.asarray(dataset.checkin_times.get(poi_id, ()), dtype=np.float64)
+        for poi_id in poi_ids
+    ]
+    lengths = np.array([t.size for t in times], dtype=np.int64)
+    flat_times = (
+        np.concatenate(times) if times else np.empty(0, dtype=np.float64)
+    )
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        name=np.str_(dataset.name),
+        world=np.array(dataset.world.lows + dataset.world.highs),
+        t0=np.float64(dataset.t0),
+        tc=np.float64(dataset.tc),
+        threshold=np.int64(dataset.threshold),
+        poi_ids=np.array(poi_ids),
+        positions=positions,
+        lengths=lengths,
+        times=flat_times,
+    )
+
+
+def load_dataset(path):
+    """Read a :class:`~repro.datasets.generator.Dataset` written by
+    :func:`save_dataset`."""
+    from repro.datasets.generator import Dataset
+
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError("unsupported dataset format version %d" % version)
+        world_values = archive["world"]
+        world = Rect(world_values[:2], world_values[2:])
+        poi_ids = [_plain(v) for v in archive["poi_ids"]]
+        positions_array = archive["positions"]
+        lengths = archive["lengths"]
+        flat_times = archive["times"]
+        positions = {
+            poi_id: (float(x), float(y))
+            for poi_id, (x, y) in zip(poi_ids, positions_array)
+        }
+        checkin_times = {}
+        offset = 0
+        for poi_id, length in zip(poi_ids, lengths):
+            checkin_times[poi_id] = flat_times[offset : offset + int(length)].copy()
+            offset += int(length)
+        return Dataset(
+            str(archive["name"]),
+            world,
+            float(archive["t0"]),
+            float(archive["tc"]),
+            positions,
+            checkin_times,
+            int(archive["threshold"]),
+        )
+
+
+def _plain(value):
+    """Convert a numpy scalar to the nearest Python scalar."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Trees
+# ---------------------------------------------------------------------------
+
+
+def _clock_to_json(clock):
+    if isinstance(clock, EpochClock):
+        return {"type": "uniform", "t0": clock.t0, "epoch_length": clock.epoch_length}
+    if isinstance(clock, VariedEpochClock):
+        return {"type": "varied", "boundaries": list(clock.boundaries)}
+    raise TypeError("cannot serialise clock of type %s" % type(clock).__name__)
+
+
+def _clock_from_json(payload):
+    if payload["type"] == "uniform":
+        return EpochClock(payload["t0"], payload["epoch_length"])
+    if payload["type"] == "varied":
+        return VariedEpochClock(payload["boundaries"])
+    raise ValueError("unknown clock type %r" % (payload["type"],))
+
+
+def save_tree(tree, path):
+    """Write the logical content and configuration of ``tree`` as JSON."""
+    pois = []
+    for poi_id in tree.poi_ids():
+        if not isinstance(poi_id, (str, int)):
+            raise TypeError(
+                "POI id %r is not JSON-representable; use str or int ids"
+                % (poi_id,)
+            )
+        poi = tree.poi(poi_id)
+        history = [[int(e), v] for e, v in tree.poi_tia(poi_id).items()]
+        pois.append([poi_id, poi.x, poi.y, history])
+    payload = {
+        "version": _FORMAT_VERSION,
+        "world": {"lows": list(tree.world.lows), "highs": list(tree.world.highs)},
+        "clock": _clock_to_json(tree.clock),
+        "current_time": tree.current_time,
+        "strategy": tree.strategy.name,
+        "node_size": tree.node_size,
+        "tia_backend": tree.tia_backend,
+        "aggregate_kind": tree.aggregate_kind.value,
+        "max_mean_rate": tree.max_mean_rate(),
+        "pois": pois,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_tree(path, stats=None, **overrides):
+    """Rebuild a TAR-tree written by :func:`save_tree`.
+
+    ``overrides`` are forwarded to the ``TARTree`` constructor (e.g. a
+    different ``tia_buffer_slots``); the indexed content is always the
+    saved one.
+    """
+    from repro.core.tar_tree import POI, TARTree
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload["version"] != _FORMAT_VERSION:
+        raise ValueError("unsupported tree format version %d" % payload["version"])
+    config = dict(
+        world=Rect(payload["world"]["lows"], payload["world"]["highs"]),
+        clock=_clock_from_json(payload["clock"]),
+        current_time=payload["current_time"],
+        strategy=payload["strategy"],
+        node_size=payload["node_size"],
+        tia_backend=payload["tia_backend"],
+        aggregate_kind=payload["aggregate_kind"],
+        stats=stats,
+    )
+    config.update(overrides)
+    tree = TARTree(**config)
+    # Restore the lambda-hat normaliser before placement so integral-3D
+    # z-coordinates match the saved tree's.
+    tree._max_mean_rate = payload["max_mean_rate"]
+    for poi_id, x, y, history in payload["pois"]:
+        tree.insert_poi(POI(poi_id, x, y), {int(e): v for e, v in history})
+    return tree

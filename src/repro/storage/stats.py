@@ -1,0 +1,88 @@
+"""Access accounting shared by the spatial and temporal indexes.
+
+Node accesses are the paper's primary cost metric (Section 5: "The
+performance of the BFS on the TAR-tree is roughly proportional to the
+number of accessed nodes").  Every index in this library takes an
+:class:`AccessStats` instance and records accesses into it, so a caller
+can snapshot/diff around a query to attribute costs precisely.
+"""
+
+
+class AccessStats:
+    """Mutable counters for simulated I/O.
+
+    Attributes
+    ----------
+    rtree_internal:
+        Internal (non-leaf) R-tree node accesses.
+    rtree_leaf:
+        Leaf R-tree node accesses.
+    tia_pages:
+        TIA page accesses that missed the buffer (i.e. simulated disk reads).
+    tia_buffer_hits:
+        TIA page accesses satisfied by a buffer slot.
+    """
+
+    __slots__ = ("rtree_internal", "rtree_leaf", "tia_pages", "tia_buffer_hits")
+
+    def __init__(self):
+        self.rtree_internal = 0
+        self.rtree_leaf = 0
+        self.tia_pages = 0
+        self.tia_buffer_hits = 0
+
+    @property
+    def rtree_nodes(self):
+        """Total R-tree node accesses (internal + leaf)."""
+        return self.rtree_internal + self.rtree_leaf
+
+    @property
+    def total_io(self):
+        """All simulated disk reads: R-tree nodes plus unbuffered TIA pages."""
+        return self.rtree_nodes + self.tia_pages
+
+    def record_node(self, is_leaf):
+        """Record one R-tree node access."""
+        if is_leaf:
+            self.rtree_leaf += 1
+        else:
+            self.rtree_internal += 1
+
+    def record_tia_page(self, buffered):
+        """Record one TIA page access; ``buffered`` marks a buffer hit."""
+        if buffered:
+            self.tia_buffer_hits += 1
+        else:
+            self.tia_pages += 1
+
+    def reset(self):
+        """Zero every counter."""
+        self.rtree_internal = 0
+        self.rtree_leaf = 0
+        self.tia_pages = 0
+        self.tia_buffer_hits = 0
+
+    def snapshot(self):
+        """Return an immutable copy of the current counter values."""
+        return (
+            self.rtree_internal,
+            self.rtree_leaf,
+            self.tia_pages,
+            self.tia_buffer_hits,
+        )
+
+    def diff(self, earlier_snapshot):
+        """Return a new :class:`AccessStats` holding counts since a snapshot."""
+        delta = AccessStats()
+        delta.rtree_internal = self.rtree_internal - earlier_snapshot[0]
+        delta.rtree_leaf = self.rtree_leaf - earlier_snapshot[1]
+        delta.tia_pages = self.tia_pages - earlier_snapshot[2]
+        delta.tia_buffer_hits = self.tia_buffer_hits - earlier_snapshot[3]
+        return delta
+
+    def __repr__(self):
+        return (
+            "AccessStats(rtree_internal=%d, rtree_leaf=%d, "
+            "tia_pages=%d, tia_buffer_hits=%d)"
+            % (self.rtree_internal, self.rtree_leaf, self.tia_pages, self.tia_buffer_hits)
+        )

@@ -1,0 +1,32 @@
+"""Temporal substrate: epoch clocks and temporal indexes on the aggregate.
+
+The paper discretises the time axis into epochs (uniform or of varied
+lengths) and attaches to every TAR-tree entry a *TIA* — a temporal index
+storing one ``<ts, te, agg>`` record per epoch with a non-zero aggregate.
+This package provides:
+
+* :mod:`repro.temporal.epochs` — :class:`TimeInterval`,
+  :class:`EpochClock` (uniform epochs) and :class:`VariedEpochClock`.
+* :mod:`repro.temporal.records` — the ``<ts, te, agg>`` record type.
+* :mod:`repro.temporal.tia` — the TIA interface with an in-memory backend
+  and a paged B+-tree backend whose page accesses flow through an LRU
+  buffer pool (10 slots by default, as in the paper).
+* :mod:`repro.temporal.mvbt` — a multi-version B-tree (Becker et al.),
+  the temporal index the paper's implementation used, offered as an
+  alternative versioned store.
+"""
+
+from repro.temporal.epochs import EpochClock, TimeInterval, VariedEpochClock
+from repro.temporal.records import TemporalRecord
+from repro.temporal.tia import IntervalSemantics, MemoryTIA, PagedTIA, make_tia_factory
+
+__all__ = [
+    "EpochClock",
+    "VariedEpochClock",
+    "TimeInterval",
+    "TemporalRecord",
+    "IntervalSemantics",
+    "MemoryTIA",
+    "PagedTIA",
+    "make_tia_factory",
+]

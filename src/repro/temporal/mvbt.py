@@ -1,0 +1,394 @@
+"""A multi-version B-tree (Becker et al., VLDBJ 1996) TIA backend.
+
+The paper implements the TIA with "the disk-based multi-version B-tree
+... as it has been proven to be asymptotically optimal".  An MVBT is a
+partially persistent B+-tree: every entry carries a version interval
+``[vstart, vend)``; updates never destroy old states, so the index can
+be queried *as of any past version* in logarithmic time.
+
+Structure implemented here:
+
+* Every entry is ``(key, vstart, vend, payload)``; live entries have
+  ``vend = None``.  Leaf payloads are aggregate values; internal
+  payloads are child pages, with ``key`` the child's smallest live key
+  at creation (the usual MVBT router).
+* A page *overflows* when its total entry count (live + dead) exceeds
+  the capacity.  Overflow triggers a **version split**: the live entries
+  are copied into a fresh page and the old page is logically killed.  If
+  the copied set violates the strong condition, the fresh page is
+  additionally **key split**.  The old page stays reachable from
+  historical roots, which is what makes time-travel queries work.
+* A **root log** maps version ranges to root pages, so a query at
+  version ``v`` starts from the root that was current at ``v``.
+
+Deviation from the full Becker et al. construction: the weak-underflow
+*merge* step is omitted.  The TAR-tree's TIA workload only inserts new
+epochs and raises per-epoch maxima (an update = kill + reinsert, which
+keeps live counts constant), so strong underflow never arises there;
+deleting keys is still *correct* (entries are killed), it merely loses
+the amortised-space guarantee.  This trade-off is documented in
+DESIGN.md.
+
+All page touches go through the same LRU buffer / access accounting as
+:class:`~repro.temporal.tia.PagedTIA`.
+"""
+
+import itertools
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pager import NODE_HEADER_BYTES
+from repro.temporal.tia import (
+    BaseTIA,
+    DEFAULT_TIA_BUFFER_SLOTS,
+    DEFAULT_TIA_PAGE_SIZE,
+)
+
+_MVBT_ENTRY_BYTES = 20  # key, vstart, vend, payload, flags: 4 bytes each
+_page_ids = itertools.count()
+
+
+class _Entry:
+    __slots__ = ("key", "vstart", "vend", "payload")
+
+    def __init__(self, key, vstart, vend, payload):
+        self.key = key
+        self.vstart = vstart
+        self.vend = vend
+        self.payload = payload
+
+    def alive_at(self, version):
+        return self.vstart <= version and (self.vend is None or version < self.vend)
+
+    @property
+    def live(self):
+        return self.vend is None
+
+    def __repr__(self):
+        return "(%r, v[%s,%s), %r)" % (self.key, self.vstart, self.vend, self.payload)
+
+
+class _Page:
+    __slots__ = ("page_id", "level", "entries", "dead")
+
+    def __init__(self, level):
+        self.page_id = next(_page_ids)
+        self.level = level  # 0 = leaf
+        self.entries = []
+        self.dead = False
+
+    @property
+    def is_leaf(self):
+        return self.level == 0
+
+    def live_entries(self):
+        return [entry for entry in self.entries if entry.live]
+
+    def __repr__(self):
+        return "_Page(id=%d, level=%d, entries=%d)" % (
+            self.page_id, self.level, len(self.entries)
+        )
+
+
+class MVBTTIA(BaseTIA):
+    """TIA backed by a multi-version B-tree.
+
+    Implements the full :class:`~repro.temporal.tia.BaseTIA` interface at
+    the *current* version, plus time-travel reads:
+    :meth:`get_at`, :meth:`range_sum_at` and :meth:`items_at` evaluate
+    the index as of any earlier version.  Every mutating call advances
+    the version counter by one.
+    """
+
+    def __init__(
+        self,
+        stats=None,
+        page_size=DEFAULT_TIA_PAGE_SIZE,
+        buffer_slots=DEFAULT_TIA_BUFFER_SLOTS,
+    ):
+        self.stats = stats
+        capacity = (page_size - NODE_HEADER_BYTES) // _MVBT_ENTRY_BYTES
+        if capacity < 4:
+            raise ValueError("page size %d too small for an MVBT page" % page_size)
+        self.capacity = capacity
+        # Strong condition bounds for the live set of a fresh page.
+        self.strong_min = max(1, capacity // 5)
+        self.strong_max = capacity - self.strong_min
+        self.buffer = LRUBufferPool(buffer_slots)
+        self.version = 0
+        root = _Page(level=0)
+        self._root_log = [(0, root)]  # (first version, root page)
+        self._live_count = 0
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+
+    def _touch(self, page):
+        hit = self.buffer.access(page.page_id)
+        if self.stats is not None:
+            self.stats.record_tia_page(buffered=hit)
+
+    def _root_at(self, version):
+        root = self._root_log[0][1]
+        for first_version, candidate in self._root_log:
+            if first_version <= version:
+                root = candidate
+            else:
+                break
+        return root
+
+    @property
+    def _root(self):
+        return self._root_log[-1][1]
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _descend(self, key, version):
+        """Return ``(leaf, path)``; path items are (page, entry taken)."""
+        page = self._root_at(version)
+        path = []
+        while not page.is_leaf:
+            self._touch(page)
+            chosen = None
+            for entry in page.entries:
+                if not entry.alive_at(version):
+                    continue
+                if entry.key <= key and (
+                    chosen is None or entry.key > chosen.key
+                ):
+                    chosen = entry
+            if chosen is None:
+                # Key precedes every router: take the smallest live child.
+                alive = [e for e in page.entries if e.alive_at(version)]
+                if not alive:
+                    return None, path
+                chosen = min(alive, key=lambda e: e.key)
+            path.append((page, chosen))
+            page = chosen.payload
+        self._touch(page)
+        return page, path
+
+    def get(self, epoch_index):
+        return self.get_at(epoch_index, self.version)
+
+    def get_at(self, epoch_index, version):
+        """The aggregate stored for ``epoch_index`` as of ``version``."""
+        leaf, _ = self._descend(epoch_index, version)
+        if leaf is None:
+            return 0
+        for entry in leaf.entries:
+            if entry.key == epoch_index and entry.alive_at(version):
+                return entry.payload
+        return 0
+
+    def range_sum(self, first_epoch, last_epoch):
+        return self.range_sum_at(first_epoch, last_epoch, self.version)
+
+    def range_sum_at(self, first_epoch, last_epoch, version):
+        """Sum of aggregates over ``[first, last]`` as of ``version``."""
+        if last_epoch < first_epoch:
+            return 0
+        total = 0
+        stack = [self._root_at(version)]
+        while stack:
+            page = stack.pop()
+            self._touch(page)
+            if page.is_leaf:
+                for entry in page.entries:
+                    if (
+                        entry.alive_at(version)
+                        and first_epoch <= entry.key <= last_epoch
+                    ):
+                        total += entry.payload
+                continue
+            alive = sorted(
+                (e for e in page.entries if e.alive_at(version)),
+                key=lambda e: e.key,
+            )
+            for i, entry in enumerate(alive):
+                # Child i covers [router_i, router_{i+1}); the leftmost
+                # child may also hold keys below its router, so its lower
+                # bound is effectively -infinity.
+                lower = entry.key if i > 0 else None
+                upper = alive[i + 1].key if i + 1 < len(alive) else None
+                if upper is not None and upper <= first_epoch:
+                    continue
+                if lower is not None and lower > last_epoch:
+                    break
+                stack.append(entry.payload)
+        return total
+
+    def range_max(self, first_epoch, last_epoch):
+        return self.range_max_at(first_epoch, last_epoch, self.version)
+
+    def range_max_at(self, first_epoch, last_epoch, version):
+        """Largest aggregate over ``[first, last]`` as of ``version``."""
+        if last_epoch < first_epoch:
+            return 0
+        best = 0
+        stack = [self._root_at(version)]
+        while stack:
+            page = stack.pop()
+            self._touch(page)
+            if page.is_leaf:
+                for entry in page.entries:
+                    if (
+                        entry.alive_at(version)
+                        and first_epoch <= entry.key <= last_epoch
+                        and entry.payload > best
+                    ):
+                        best = entry.payload
+                continue
+            alive = sorted(
+                (e for e in page.entries if e.alive_at(version)),
+                key=lambda e: e.key,
+            )
+            for i, entry in enumerate(alive):
+                lower = entry.key if i > 0 else None
+                upper = alive[i + 1].key if i + 1 < len(alive) else None
+                if upper is not None and upper <= first_epoch:
+                    continue
+                if lower is not None and lower > last_epoch:
+                    break
+                stack.append(entry.payload)
+        return best
+
+    def items(self):
+        return self.items_at(self.version)
+
+    def items_at(self, version):
+        """Iterate ``(epoch_index, agg)`` as of ``version`` (no I/O charge)."""
+        result = []
+        stack = [self._root_at(version)]
+        while stack:
+            page = stack.pop()
+            for entry in page.entries:
+                if not entry.alive_at(version):
+                    continue
+                if page.is_leaf:
+                    result.append((entry.key, entry.payload))
+                else:
+                    stack.append(entry.payload)
+        return iter(sorted(result))
+
+    def __len__(self):
+        return self._live_count
+
+    def page_count(self):
+        """Number of reachable pages across all versions."""
+        seen = set()
+        stack = [root for _, root in self._root_log]
+        while stack:
+            page = stack.pop()
+            if page.page_id in seen:
+                continue
+            seen.add(page.page_id)
+            if not page.is_leaf:
+                stack.extend(
+                    entry.payload for entry in page.entries
+                )
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def set(self, epoch_index, agg):
+        if agg < 0:
+            raise ValueError("aggregate must be >= 0, got %r" % (agg,))
+        self.version += 1
+        version = self.version
+        leaf, path = self._descend(epoch_index, version)
+        if leaf is None:
+            raise AssertionError("descend lost the live path")
+        existing = None
+        for entry in leaf.entries:
+            if entry.key == epoch_index and entry.live:
+                existing = entry
+                break
+        if existing is not None:
+            if agg == 0:
+                existing.vend = version
+                if existing.vstart == version:
+                    leaf.entries.remove(existing)
+                self._live_count -= 1
+                return
+            if existing.vstart == version:
+                existing.payload = agg
+                return
+            existing.vend = version
+            leaf.entries.append(_Entry(epoch_index, version, None, agg))
+            self._handle_overflow(leaf, path, version)
+            return
+        if agg == 0:
+            return
+        leaf.entries.append(_Entry(epoch_index, version, None, agg))
+        self._live_count += 1
+        self._handle_overflow(leaf, path, version)
+
+    def replace_all(self, epoch_aggregates):
+        # One logical version per bulk replacement: kill everything, then
+        # insert the new content at the next version.
+        for key, _ in list(self.items()):
+            self.set(key, 0)
+        for key in sorted(epoch_aggregates):
+            value = epoch_aggregates[key]
+            if value > 0:
+                self.set(key, value)
+
+    # ------------------------------------------------------------------
+    # Version and key splits
+    # ------------------------------------------------------------------
+
+    def _handle_overflow(self, page, path, version):
+        if len(page.entries) <= self.capacity:
+            return
+        live = sorted(page.live_entries(), key=lambda e: e.key)
+        # Kill the old page: every live entry ends now; copies carry on.
+        for entry in live:
+            entry.vend = version
+        page.dead = True
+
+        fresh_pages = []
+        if len(live) > self.strong_max:
+            middle = len(live) // 2
+            halves = (live[:middle], live[middle:])
+        else:
+            halves = (live,)
+        for half in halves:
+            fresh = _Page(level=page.level)
+            fresh.entries = [
+                _Entry(entry.key, version, None, entry.payload) for entry in half
+            ]
+            fresh_pages.append(fresh)
+
+        if not path:
+            self._install_new_root(page, fresh_pages, version)
+            return
+        parent, parent_entry = path[-1]
+        parent_entry.vend = version
+        if parent_entry.vstart == version:
+            parent.entries.remove(parent_entry)
+        for fresh in fresh_pages:
+            router = fresh.entries[0].key if fresh.entries else parent_entry.key
+            parent.entries.append(_Entry(router, version, None, fresh))
+        self._handle_overflow(parent, path[:-1], version)
+
+    def _install_new_root(self, old_root, fresh_pages, version):
+        if len(fresh_pages) == 1:
+            self._root_log.append((version, fresh_pages[0]))
+            return
+        new_root = _Page(level=old_root.level + 1)
+        for fresh in fresh_pages:
+            router = fresh.entries[0].key if fresh.entries else 0
+            new_root.entries.append(_Entry(router, version, None, fresh))
+        self._root_log.append((version, new_root))
+
+    def __repr__(self):
+        return "MVBTTIA(%d live epochs, version=%d, pages=%d)" % (
+            self._live_count,
+            self.version,
+            self.page_count(),
+        )

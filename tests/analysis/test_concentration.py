@@ -1,0 +1,101 @@
+"""Concentration statistics (the paper's 80/20 observation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.concentration import (
+    gini_coefficient,
+    lorenz_curve,
+    pareto_share,
+)
+
+
+class TestParetoShare:
+    def test_uniform_distribution(self):
+        assert pareto_share([5] * 100, 0.2) == pytest.approx(0.2)
+
+    def test_fully_concentrated(self):
+        values = [0] * 99 + [100]
+        assert pareto_share(values, 0.01) == pytest.approx(1.0)
+
+    def test_empty_and_zero(self):
+        assert pareto_share([], 0.2) == 0.0
+        assert pareto_share([0, 0, 0], 0.2) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            pareto_share([1, 2], 0.0)
+        with pytest.raises(ValueError):
+            pareto_share([1, 2], 1.5)
+
+    def test_powerlaw_data_is_top_heavy(self):
+        from repro.analysis.powerlaw import sample_discrete_powerlaw
+
+        rng = np.random.default_rng(0)
+        sample = sample_discrete_powerlaw(rng, beta=2.0, xmin=1, size=20000)
+        share = pareto_share(sample, 0.2)
+        # The paper's "roughly 80% of check-ins at 20% of the POIs".
+        assert share > 0.6
+
+    def test_synthetic_lbsn_is_top_heavy(self):
+        from repro import datasets
+
+        data = datasets.make("GS", scale=0.02, seed=1)
+        totals = [v for v in data.totals().values()]
+        assert pareto_share(totals, 0.2) > 0.6
+
+
+class TestGini:
+    def test_equal_values_are_zero(self):
+        assert gini_coefficient([7] * 50 ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_near_one(self):
+        values = [0] * 999 + [1]
+        assert gini_coefficient(values) > 0.99
+
+    def test_empty(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 100, size=500)
+        assert 0.0 <= gini_coefficient(values) <= 1.0
+
+
+class TestLorenz:
+    def test_endpoints(self):
+        curve = lorenz_curve([1, 2, 3, 4], points=5)
+        assert curve[0] == (0.0, 0.0)
+        assert curve[-1][0] == 1.0
+        assert curve[-1][1] == pytest.approx(1.0)
+
+    def test_convexity_for_unequal_data(self):
+        curve = lorenz_curve([1, 1, 1, 100], points=11)
+        shares = [mass for _, mass in curve]
+        assert shares == sorted(shares)
+        # Lorenz curve lies below the diagonal for unequal data.
+        assert all(mass <= fraction + 1e-9 for fraction, mass in curve)
+
+    def test_equal_data_is_diagonal(self):
+        curve = lorenz_curve([3, 3, 3], points=4)
+        for fraction, mass in curve:
+            assert mass == pytest.approx(fraction, abs=1e-9)
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([1, 2], points=1)
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+def test_property_pareto_share_at_least_fraction(values):
+    # The top 20% always hold at least 20% of the mass (when any exists).
+    share = pareto_share(values, 0.2)
+    if sum(values) > 0:
+        assert share >= 0.2 - 1e-6 or share >= (1 / len(values)) - 1e-6
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+def test_property_gini_within_unit_interval(values):
+    assert -1e-9 <= gini_coefficient(values) <= 1.0

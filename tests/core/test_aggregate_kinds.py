@@ -1,0 +1,147 @@
+"""Aggregate kinds beyond count: SUM and MAX (Section 3.1's extension)."""
+
+import random
+
+import pytest
+
+from repro import POI, TARTree, TimeInterval
+from repro.core.knnta import knnta_search
+from repro.core.query import KNNTAQuery
+from repro.core.scan import sequential_scan
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock
+from repro.temporal.tia import AggregateKind, MemoryTIA
+
+
+def make_tree(kind, **kwargs):
+    return TARTree(
+        world=Rect((0.0, 0.0), (100.0, 100.0)),
+        clock=EpochClock(0.0, 1.0),
+        current_time=12.0,
+        aggregate_kind=kind,
+        tia_backend=kwargs.pop("tia_backend", "memory"),
+        **kwargs,
+    )
+
+
+def random_histories(n, seed, epochs=12, high=30):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        history = {
+            e: rng.randrange(1, high)
+            for e in range(epochs)
+            if rng.random() < 0.5
+        }
+        out.append((POI(i, rng.random() * 100, rng.random() * 100), history))
+    return out
+
+
+class TestAggregateKindEnum:
+    def test_combine_sum(self):
+        tia = MemoryTIA()
+        tia.replace_all({0: 2, 1: 5, 2: 3})
+        clock = EpochClock(0.0, 1.0)
+        interval = TimeInterval(0, 3)
+        assert AggregateKind.COUNT.combine(tia, clock, interval, _sem()) == 10
+        assert AggregateKind.SUM.combine(tia, clock, interval, _sem()) == 10
+
+    def test_combine_max(self):
+        tia = MemoryTIA()
+        tia.replace_all({0: 2, 1: 5, 2: 3})
+        clock = EpochClock(0.0, 1.0)
+        assert AggregateKind.MAX.combine(tia, clock, TimeInterval(0, 3), _sem()) == 5
+        assert AggregateKind.MAX.combine(tia, clock, TimeInterval(2, 3), _sem()) == 3
+
+    def test_string_resolution_on_tree(self):
+        assert make_tree("max").aggregate_kind is AggregateKind.MAX
+        assert make_tree("SUM").aggregate_kind is AggregateKind.SUM
+        with pytest.raises(ValueError):
+            make_tree("median")
+
+
+def _sem():
+    from repro.temporal.tia import IntervalSemantics
+
+    return IntervalSemantics.INTERSECTS
+
+
+class TestRangeMaxBackends:
+    @pytest.mark.parametrize("backend", ["memory", "paged", "mvbt"])
+    def test_range_max_matches_reference(self, backend):
+        from repro.storage.stats import AccessStats
+        from repro.temporal.tia import make_tia_factory
+
+        tia = make_tia_factory(backend, stats=AccessStats())()
+        data = {e * 2: (e * 7) % 13 + 1 for e in range(60)}
+        tia.replace_all(data)
+        for lo, hi in [(0, 200), (10, 50), (51, 53), (200, 300), (5, 4)]:
+            expected = max(
+                (v for k, v in data.items() if lo <= k <= hi), default=0
+            )
+            assert tia.range_max(lo, hi) == expected, (backend, lo, hi)
+
+
+class TestMaxAggregateTree:
+    """kNNTA ranking by the peak-epoch value instead of the total."""
+
+    @pytest.mark.parametrize("alpha0", [0.2, 0.5, 0.8])
+    def test_bfs_matches_scan(self, alpha0):
+        tree = make_tree(AggregateKind.MAX)
+        for poi, history in random_histories(200, seed=1):
+            tree.insert_poi(poi, history)
+        tree.check_invariants()
+        query = KNNTAQuery((40.0, 60.0), TimeInterval(2, 9), k=15, alpha0=alpha0)
+        bfs = [round(r.score, 10) for r in knnta_search(tree, query)]
+        scan = [round(r.score, 10) for r in sequential_scan(tree, query)]
+        assert bfs == scan
+
+    def test_max_and_count_rank_differently(self):
+        """A bursty POI outranks a steady one under MAX, not under COUNT."""
+        pois = [
+            (POI("bursty", 50, 50), {5: 100}),               # total 100, peak 100
+            (POI("steady", 50, 51), {e: 20 for e in range(10)}),  # total 200, peak 20
+        ]
+        trees = {}
+        for kind in (AggregateKind.COUNT, AggregateKind.MAX):
+            tree = make_tree(kind)
+            for poi, history in pois:
+                tree.insert_poi(poi, history)
+            trees[kind] = tree
+        query_args = dict(interval=TimeInterval(0, 10), k=1, alpha0=0.01)
+        count_top = trees[AggregateKind.COUNT].knnta((50, 50.5), **query_args)
+        max_top = trees[AggregateKind.MAX].knnta((50, 50.5), **query_args)
+        assert count_top[0].poi_id == "steady"
+        assert max_top[0].poi_id == "bursty"
+
+    def test_digest_epoch_raises_peaks(self):
+        tree = make_tree(AggregateKind.MAX)
+        tree.insert_poi(POI("a", 1, 1))
+        tree.digest_epoch(0, {"a": 5})
+        tree.digest_epoch(0, {"a": 3})   # lower report: peak unchanged
+        tree.digest_epoch(0, {"a": 9})
+        assert tree.poi_tia("a").get(0) == 9
+        tree.check_invariants()
+
+    def test_normalizer_uses_max_combination(self):
+        tree = make_tree(AggregateKind.MAX)
+        tree.insert_poi(POI("a", 1, 1), {0: 4, 1: 6})
+        tree.insert_poi(POI("b", 2, 2), {0: 7})
+        interval = TimeInterval(0, 2)
+        # Bound = max over epochs of the global per-epoch maxima = 7,
+        # not the sum 13.
+        assert tree.max_aggregate_bound(interval) == 7
+        assert tree.normalizer(interval, exact=True).g_max == 7
+
+
+class TestSumAggregateTree:
+    def test_weighted_histories(self):
+        """SUM over weighted contributions (e.g. likes, not visits)."""
+        tree = make_tree(AggregateKind.SUM, tia_backend="paged")
+        for poi, history in random_histories(150, seed=2, high=500):
+            tree.insert_poi(poi, history)
+        tree.check_invariants()
+        query = KNNTAQuery((20.0, 20.0), TimeInterval(0, 12), k=10, alpha0=0.3)
+        bfs = [round(r.score, 10) for r in knnta_search(tree, query)]
+        scan = [round(r.score, 10) for r in sequential_scan(tree, query)]
+        assert bfs == scan

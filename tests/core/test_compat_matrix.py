@@ -1,0 +1,99 @@
+"""Systematic compatibility matrix.
+
+Every combination of grouping strategy, TIA backend, interval semantics,
+aggregate kind and clock flavour must (a) build a structurally valid
+tree and (b) answer kNNTA queries identically to the sequential scan.
+This is the guard rail for feature interactions that no single-feature
+test exercises.
+"""
+
+import random
+
+import pytest
+
+from repro import POI, TARTree, TimeInterval
+from repro.core.knnta import knnta_search
+from repro.core.query import KNNTAQuery
+from repro.core.scan import sequential_scan
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock, VariedEpochClock
+from repro.temporal.tia import AggregateKind, IntervalSemantics
+
+STRATEGIES = ("integral3d", "spatial", "aggregate")
+BACKENDS = ("memory", "paged", "mvbt")
+KINDS = (AggregateKind.COUNT, AggregateKind.MAX)
+SEMANTICS = (IntervalSemantics.INTERSECTS, IntervalSemantics.CONTAINED)
+
+
+def build(strategy, backend, kind, clock):
+    rng = random.Random(77)
+    tree = TARTree(
+        world=Rect((0.0, 0.0), (100.0, 100.0)),
+        clock=clock,
+        current_time=12.0,
+        strategy=strategy,
+        tia_backend=backend,
+        aggregate_kind=kind,
+        node_size=512,
+    )
+    for i in range(90):
+        history = {
+            e: rng.randrange(1, 9) for e in range(8) if rng.random() < 0.5
+        }
+        tree.insert_poi(POI(i, rng.random() * 100, rng.random() * 100), history)
+    return tree
+
+
+def queries():
+    rng = random.Random(5)
+    out = []
+    for semantics in SEMANTICS:
+        out.append(
+            KNNTAQuery(
+                (rng.random() * 100, rng.random() * 100),
+                TimeInterval(1.0, 9.5),
+                k=8,
+                alpha0=rng.choice([0.2, 0.5, 0.8]),
+                semantics=semantics,
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kind", KINDS, ids=lambda k: k.value)
+def test_matrix_uniform_clock(strategy, backend, kind):
+    tree = build(strategy, backend, kind, EpochClock(0.0, 1.0))
+    tree.check_invariants()
+    for query in queries():
+        bfs = [round(r.score, 9) for r in knnta_search(tree, query)]
+        scan = [round(r.score, 9) for r in sequential_scan(tree, query)]
+        assert bfs == scan, (strategy, backend, kind, query.semantics)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("kind", KINDS, ids=lambda k: k.value)
+def test_matrix_varied_clock(strategy, kind):
+    clock = VariedEpochClock.exponential(0.0, 0.5, count=8, factor=1.5)
+    tree = build(strategy, "memory", kind, clock)
+    tree.check_invariants()
+    for query in queries():
+        bfs = [round(r.score, 9) for r in knnta_search(tree, query)]
+        scan = [round(r.score, 9) for r in sequential_scan(tree, query)]
+        assert bfs == scan, (strategy, kind, query.semantics)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_matrix_digestion_then_delete(backend):
+    """Mixed maintenance on every backend keeps the scan equivalence."""
+    tree = build("integral3d", backend, AggregateKind.COUNT, EpochClock(0.0, 1.0))
+    rng = random.Random(6)
+    tree.digest_epoch(3, {i: rng.randrange(1, 5) for i in range(0, 90, 3)})
+    for i in range(0, 90, 9):
+        assert tree.delete_poi(i)
+    tree.check_invariants()
+    query = KNNTAQuery((50.0, 50.0), TimeInterval(0, 12), k=10)
+    bfs = [round(r.score, 9) for r in knnta_search(tree, query)]
+    scan = [round(r.score, 9) for r in sequential_scan(tree, query)]
+    assert bfs == scan

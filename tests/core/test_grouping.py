@@ -1,0 +1,161 @@
+"""Entry grouping strategies (Section 5)."""
+
+import random
+
+import pytest
+
+from repro import POI, TARTree, TimeInterval
+from repro.core.grouping import (
+    AggregateGrouping,
+    Integral3DGrouping,
+    SpatialGrouping,
+    resolve_strategy,
+    tia_manhattan,
+)
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock
+from repro.temporal.tia import MemoryTIA
+
+
+def make_tree(strategy):
+    return TARTree(
+        world=Rect((0.0, 0.0), (100.0, 100.0)),
+        clock=EpochClock(0.0, 1.0),
+        current_time=10.0,
+        strategy=strategy,
+        tia_backend="memory",
+    )
+
+
+class TestResolve:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("spatial", SpatialGrouping),
+            ("ind-spa", SpatialGrouping),
+            ("aggregate", AggregateGrouping),
+            ("IND-AGG", AggregateGrouping),
+            ("integral3d", Integral3DGrouping),
+            ("TAR", Integral3DGrouping),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(resolve_strategy(name), cls)
+
+    def test_instance_passthrough(self):
+        strategy = SpatialGrouping()
+        assert resolve_strategy(strategy) is strategy
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_strategy("quadtree")
+
+    def test_dims(self):
+        assert SpatialGrouping.dims == 2
+        assert AggregateGrouping.dims == 2
+        assert Integral3DGrouping.dims == 3
+
+    def test_reinsert_flags(self):
+        assert SpatialGrouping.uses_reinsert
+        assert Integral3DGrouping.uses_reinsert
+        assert not AggregateGrouping.uses_reinsert
+
+
+class TestTiaManhattan:
+    def test_identical_is_zero(self):
+        a = MemoryTIA()
+        a.replace_all({0: 2, 1: 3})
+        b = MemoryTIA()
+        b.replace_all({0: 2, 1: 3})
+        assert tia_manhattan(a, b) == 0
+
+    def test_disjoint_epochs_sum(self):
+        a = MemoryTIA()
+        a.replace_all({0: 2})
+        b = MemoryTIA()
+        b.replace_all({5: 3})
+        assert tia_manhattan(a, b) == 5
+
+    def test_symmetry(self):
+        a = MemoryTIA()
+        a.replace_all({0: 2, 3: 7})
+        b = MemoryTIA()
+        b.replace_all({0: 5, 1: 1})
+        assert tia_manhattan(a, b) == tia_manhattan(b, a) == 11
+
+
+class TestLeafRects:
+    def test_spatial_uses_raw_coordinates(self):
+        tree = make_tree("spatial")
+        rect = tree.strategy.leaf_rect(POI("p", 30, 70), tree)
+        assert rect == Rect((30, 70), (30, 70))
+
+    def test_integral3d_normalises_and_appends_z(self):
+        tree = make_tree("integral3d")
+        tree.insert_poi(POI("hot", 1, 1), {e: 10 for e in range(10)})
+        tree.insert_poi(POI("hot2", 50, 25), {e: 5 for e in range(10)})
+        leaf = tree._leaf_of["hot2"]
+        rect = next(e.rect for e in leaf.entries if e.item == "hot2")
+        assert rect.dims == 3
+        assert rect.lows[0] == pytest.approx(0.5)
+        assert rect.lows[1] == pytest.approx(0.25)
+        assert rect.lows[2] == pytest.approx(0.5)  # half the max rate
+
+    def test_integral3d_z_orders_by_rate(self):
+        tree = make_tree("integral3d")
+        tree.insert_poi(POI("hot", 1, 1), {e: 10 for e in range(10)})
+        tree.insert_poi(POI("warm", 2, 2), {e: 5 for e in range(10)})
+        tree.insert_poi(POI("cold", 3, 3), {0: 1})
+        z = {p: tree.aggregate_coordinate(p) for p in ("hot", "warm", "cold")}
+        assert z["hot"] < z["warm"] < z["cold"]
+
+
+class TestStrategyPlacement:
+    def test_aggregate_grouping_collocates_similar_distributions(self):
+        """POIs with identical histories share leaves under IND-agg."""
+        tree = make_tree("aggregate")
+        rng = random.Random(0)
+        # Two aggregate profiles, spatially interleaved.
+        for i in range(120):
+            profile = {0: 50, 1: 50} if i % 2 == 0 else {8: 2}
+            tree.insert_poi(POI(i, rng.random() * 100, rng.random() * 100), profile)
+        tree.check_invariants()
+        mixed = 0
+        for leaf in set(tree._leaf_of.values()):
+            kinds = {entry.item % 2 for entry in leaf.entries}
+            if len(kinds) > 1:
+                mixed += 1
+        assert mixed == 0, "IND-agg mixed dissimilar distributions in %d leaves" % mixed
+
+    def test_spatial_grouping_collocates_neighbours(self):
+        """Two far-apart spatial clusters never share a leaf under IND-spa."""
+        tree = make_tree("spatial")
+        rng = random.Random(1)
+        for i in range(120):
+            if i % 2 == 0:
+                x, y = rng.random() * 5, rng.random() * 5
+            else:
+                x, y = 95 + rng.random() * 5, 95 + rng.random() * 5
+            tree.insert_poi(POI(i, x, y), {0: rng.randrange(1, 9)})
+        tree.check_invariants()
+        for leaf in set(tree._leaf_of.values()):
+            kinds = {entry.item % 2 for entry in leaf.entries}
+            assert len(kinds) == 1
+
+    def test_integral3d_separates_rate_tiers_within_one_spot(self):
+        """Same location, wildly different rates: integral-3D splits them."""
+        tree = make_tree("integral3d")
+        rng = random.Random(2)
+        for i in range(120):
+            x, y = 50 + rng.random(), 50 + rng.random()
+            history = (
+                {e: 20 for e in range(10)} if i % 2 == 0 else {rng.randrange(10): 1}
+            )
+            tree.insert_poi(POI(i, x, y), history)
+        tree.check_invariants()
+        mixed = sum(
+            1
+            for leaf in set(tree._leaf_of.values())
+            if len({entry.item % 2 for entry in leaf.entries}) > 1
+        )
+        assert mixed <= 1  # at most the boundary leaf mixes tiers

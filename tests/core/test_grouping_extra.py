@@ -1,0 +1,90 @@
+"""Grouping strategy edge cases: degenerate distributions and geometry."""
+
+import random
+
+import pytest
+
+from repro import POI, TARTree, TimeInterval
+from repro.core.knnta import knnta_search
+from repro.core.query import KNNTAQuery
+from repro.core.scan import sequential_scan
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock
+
+
+def make_tree(strategy, node_size=512):
+    return TARTree(
+        world=Rect((0.0, 0.0), (100.0, 100.0)),
+        clock=EpochClock(0.0, 1.0),
+        current_time=10.0,
+        strategy=strategy,
+        node_size=node_size,
+        tia_backend="memory",
+    )
+
+
+@pytest.mark.parametrize("strategy", ["integral3d", "spatial", "aggregate"])
+class TestDegenerateDistributions:
+    def test_identical_histories_split_legally(self, strategy):
+        """All-equal aggregate vectors force tie-breaking in every
+        strategy's split; fill invariants must survive."""
+        tree = make_tree(strategy)
+        rng = random.Random(1)
+        for i in range(120):
+            tree.insert_poi(
+                POI(i, rng.random() * 100, rng.random() * 100), {0: 3, 5: 2}
+            )
+        tree.check_invariants()
+
+    def test_no_history_at_all(self, strategy):
+        """POIs without a single check-in: z degenerates, IND-agg sees
+        all-zero vectors; the tree must still build and answer."""
+        tree = make_tree(strategy)
+        rng = random.Random(2)
+        for i in range(120):
+            tree.insert_poi(POI(i, rng.random() * 100, rng.random() * 100))
+        tree.check_invariants()
+        query = KNNTAQuery((50.0, 50.0), TimeInterval(0, 10), k=10)
+        results = knnta_search(tree, query)
+        assert len(results) == 10
+        # With zero aggregates everywhere the ranking is purely spatial.
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_identical_positions(self, strategy):
+        """Co-located POIs (a mall full of venues) split on ties."""
+        tree = make_tree(strategy)
+        rng = random.Random(3)
+        for i in range(100):
+            history = {e: rng.randrange(1, 9) for e in range(10)}
+            tree.insert_poi(POI(i, 50.0, 50.0), history)
+        tree.check_invariants()
+        query = KNNTAQuery((50.0, 50.0), TimeInterval(0, 10), k=7)
+        bfs = [round(r.score, 10) for r in knnta_search(tree, query)]
+        scan = [round(r.score, 10) for r in sequential_scan(tree, query)]
+        assert bfs == scan
+
+
+class TestIntegral3DGeometry:
+    def test_one_hot_poi_owns_z_zero(self):
+        tree = make_tree("integral3d")
+        tree.insert_poi(POI("whale", 1, 1), {e: 50 for e in range(10)})
+        for i in range(50):
+            tree.insert_poi(POI(i, 50 + i * 0.5, 50.0), {0: 1})
+        assert tree.aggregate_coordinate("whale") == pytest.approx(0.0)
+        assert all(
+            tree.aggregate_coordinate(i) > 0.95 for i in range(50)
+        )
+
+    def test_grouping_rect_is_unit_cube_bounded(self):
+        tree = make_tree("integral3d")
+        rng = random.Random(4)
+        for i in range(150):
+            history = {
+                e: rng.randrange(1, 20) for e in range(10) if rng.random() < 0.6
+            }
+            tree.insert_poi(POI(i, rng.random() * 100, rng.random() * 100), history)
+        for leaf in set(tree._leaf_of.values()):
+            for entry in leaf.entries:
+                assert all(0.0 <= v <= 1.0 for v in entry.rect.lows)
+                assert all(0.0 <= v <= 1.0 for v in entry.rect.highs)

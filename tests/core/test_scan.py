@@ -1,0 +1,99 @@
+"""The sequential-scan baseline and full ranking."""
+
+import random
+
+import pytest
+
+from repro import POI, TARTree, TimeInterval
+from repro.core.query import KNNTAQuery, Normalizer
+from repro.core.scan import full_ranking, sequential_scan
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock
+
+
+def build_tree(n=60, seed=0):
+    rng = random.Random(seed)
+    tree = TARTree(
+        world=Rect((0.0, 0.0), (100.0, 100.0)),
+        clock=EpochClock(0.0, 1.0),
+        current_time=10.0,
+        tia_backend="memory",
+    )
+    for i in range(n):
+        history = {
+            e: rng.randrange(1, 9) for e in range(10) if rng.random() < 0.5
+        }
+        tree.insert_poi(POI(i, rng.random() * 100, rng.random() * 100), history)
+    return tree
+
+
+class TestSequentialScan:
+    def test_returns_k_results_sorted(self):
+        tree = build_tree()
+        query = KNNTAQuery((50.0, 50.0), TimeInterval(0, 10), k=10)
+        results = sequential_scan(tree, query)
+        assert len(results) == 10
+        assert [r.score for r in results] == sorted(r.score for r in results)
+
+    def test_k_exceeding_population(self):
+        tree = build_tree(n=7)
+        query = KNNTAQuery((1.0, 1.0), TimeInterval(0, 10), k=100)
+        assert len(sequential_scan(tree, query)) == 7
+
+    def test_prefix_stability(self):
+        """top-k is a prefix of top-(k+m) for the same query."""
+        tree = build_tree(seed=1)
+        query = KNNTAQuery((30.0, 70.0), TimeInterval(0, 10), k=5)
+        small = sequential_scan(tree, query)
+        large = sequential_scan(tree, query._replace(k=15))
+        assert [r.poi_id for r in small] == [r.poi_id for r in large[:5]]
+
+    def test_empty_tree(self):
+        tree = TARTree(
+            world=Rect((0.0, 0.0), (1.0, 1.0)),
+            clock=EpochClock(0.0, 1.0),
+            current_time=1.0,
+            tia_backend="memory",
+        )
+        query = KNNTAQuery((0.5, 0.5), TimeInterval(0, 1), k=3)
+        assert sequential_scan(tree, query) == []
+
+    def test_explicit_normalizer_respected(self):
+        tree = build_tree(seed=2)
+        query = KNNTAQuery((50.0, 50.0), TimeInterval(0, 10), k=5)
+        doubled = Normalizer(2 * tree.world.diagonal(), 1000.0)
+        default_scores = [r.score for r in sequential_scan(tree, query)]
+        custom_scores = [r.score for r in sequential_scan(tree, query, doubled)]
+        assert default_scores != custom_scores
+
+    def test_invalid_query_rejected(self):
+        tree = build_tree(n=5)
+        with pytest.raises(ValueError):
+            sequential_scan(tree, KNNTAQuery((0, 0), TimeInterval(0, 1), k=0))
+
+
+class TestFullRanking:
+    def test_ranks_everything(self):
+        tree = build_tree(seed=3)
+        query = KNNTAQuery((50.0, 50.0), TimeInterval(0, 10), k=1)
+        ranking = full_ranking(tree, query)
+        assert len(ranking) == len(tree)
+        assert [r.score for r in ranking] == sorted(r.score for r in ranking)
+        assert len({r.poi_id for r in ranking}) == len(tree)
+
+    def test_agrees_with_scan_prefix(self):
+        tree = build_tree(seed=4)
+        query = KNNTAQuery((10.0, 90.0), TimeInterval(2, 8), k=12)
+        ranking = full_ranking(tree, query)
+        scan = sequential_scan(tree, query)
+        assert [round(r.score, 12) for r in ranking[:12]] == [
+            round(r.score, 12) for r in scan
+        ]
+
+    def test_component_identity(self):
+        tree = build_tree(seed=5)
+        query = KNNTAQuery((42.0, 24.0), TimeInterval(0, 10), k=1, alpha0=0.6)
+        for result in full_ranking(tree, query):
+            assert result.score == pytest.approx(
+                0.6 * result.distance + 0.4 * (1 - result.aggregate)
+            )

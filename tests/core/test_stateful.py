@@ -1,0 +1,201 @@
+"""Stateful property tests: random operation sequences vs. oracles.
+
+Two hypothesis state machines:
+
+* :class:`TARTreeMachine` interleaves POI insertion, deletion, epoch
+  digestion and queries on a TAR-tree, checking every query against a
+  brute-force oracle computed from a plain dict model (independent of
+  the tree *and* of the sequential-scan implementation) and re-checking
+  the full structural invariants after every step.
+* :class:`MVBTMachine` drives the multi-version B-tree with mixed
+  set/add/raise operations, comparing the current state against a dict
+  and randomly checkpointed past versions against remembered snapshots.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import POI, TARTree, TimeInterval
+from repro.core.knnta import knnta_search
+from repro.core.query import KNNTAQuery
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock
+from repro.temporal.mvbt import MVBTTIA
+from repro.temporal.tia import MemoryTIA
+
+WORLD = 100.0
+EPOCHS = 8
+
+coordinate = st.floats(0.0, WORLD, allow_nan=False)
+history = st.dictionaries(
+    st.integers(0, EPOCHS - 1), st.integers(1, 9), max_size=4
+)
+
+
+class TARTreeMachine(RuleBasedStateMachine):
+    strategy_name = "integral3d"
+
+    @initialize()
+    def setup(self):
+        self.tree = TARTree(
+            world=Rect((0.0, 0.0), (WORLD, WORLD)),
+            clock=EpochClock(0.0, 1.0),
+            current_time=float(EPOCHS),
+            strategy=self.strategy_name,
+            node_size=256,  # small nodes force splits early
+            tia_backend="memory",
+        )
+        self.model = {}
+        self.next_id = 0
+
+    @rule(x=coordinate, y=coordinate, h=history)
+    def insert(self, x, y, h):
+        poi_id = self.next_id
+        self.next_id += 1
+        self.tree.insert_poi(POI(poi_id, x, y), dict(h))
+        self.model[poi_id] = ((x, y), dict(h))
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        poi_id = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.tree.delete_poi(poi_id)
+        del self.model[poi_id]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), epoch=st.integers(0, EPOCHS - 1), count=st.integers(1, 9))
+    def digest(self, data, epoch, count):
+        poi_id = data.draw(st.sampled_from(sorted(self.model)))
+        self.tree.digest_epoch(epoch, {poi_id: count})
+        position, h = self.model[poi_id]
+        h[epoch] = h.get(epoch, 0) + count
+
+    @precondition(lambda self: self.model)
+    @rule(
+        qx=coordinate,
+        qy=coordinate,
+        k=st.integers(1, 8),
+        alpha0=st.floats(0.1, 0.9),
+        start=st.integers(0, EPOCHS - 1),
+        length=st.integers(1, EPOCHS),
+    )
+    def query(self, qx, qy, k, alpha0, start, length):
+        interval = TimeInterval(float(start), float(min(EPOCHS, start + length)))
+        got = knnta_search(
+            self.tree,
+            KNNTAQuery((qx, qy), interval, k=k, alpha0=alpha0),
+        )
+        expected = self._oracle((qx, qy), interval, k, alpha0)
+        assert [round(r.score, 9) for r in got] == [
+            round(score, 9) for score in expected
+        ]
+
+    def _oracle(self, point, interval, k, alpha0):
+        """Brute-force top-k scores straight from the dict model."""
+        first = int(interval.start)
+        last = min(EPOCHS - 1, int(interval.end))  # epochs intersecting
+        epochs = range(first, last + 1)
+        per_epoch_max = {
+            e: max(
+                (h.get(e, 0) for _, h in self.model.values()), default=0
+            )
+            for e in epochs
+        }
+        g_max = sum(per_epoch_max.values()) or 1.0
+        d_max = math.sqrt(2) * WORLD
+        scores = []
+        for (x, y), h in self.model.values():
+            distance = math.hypot(x - point[0], y - point[1]) / d_max
+            aggregate = sum(h.get(e, 0) for e in epochs) / g_max
+            scores.append(alpha0 * distance + (1 - alpha0) * (1 - aggregate))
+        scores.sort()
+        return scores[:k]
+
+    @invariant()
+    def structure_is_sound(self):
+        if hasattr(self, "tree"):
+            self.tree.check_invariants()
+            assert len(self.tree) == len(self.model)
+
+
+class SpatialTARTreeMachine(TARTreeMachine):
+    strategy_name = "spatial"
+
+
+class AggregateTARTreeMachine(TARTreeMachine):
+    strategy_name = "aggregate"
+
+
+TestTARTreeStateful = TARTreeMachine.TestCase
+TestTARTreeStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestSpatialStateful = SpatialTARTreeMachine.TestCase
+TestSpatialStateful.settings = settings(
+    max_examples=10, stateful_step_count=30, deadline=None
+)
+TestAggregateStateful = AggregateTARTreeMachine.TestCase
+TestAggregateStateful.settings = settings(
+    max_examples=10, stateful_step_count=30, deadline=None
+)
+
+
+class MVBTMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.mvbt = MVBTTIA(page_size=96, buffer_slots=2)
+        self.model = MemoryTIA()
+        self.checkpoints = []  # (version, dict snapshot)
+
+    @rule(epoch=st.integers(0, 60), value=st.integers(0, 9))
+    def set(self, epoch, value):
+        self.mvbt.set(epoch, value)
+        self.model.set(epoch, value)
+
+    @rule(epoch=st.integers(0, 60), delta=st.integers(1, 9))
+    def add(self, epoch, delta):
+        self.mvbt.add(epoch, delta)
+        self.model.add(epoch, delta)
+
+    @rule(epoch=st.integers(0, 60), value=st.integers(1, 20))
+    def raise_to(self, epoch, value):
+        self.mvbt.raise_to(epoch, value)
+        self.model.raise_to(epoch, value)
+
+    @rule()
+    def checkpoint(self):
+        self.checkpoints.append(
+            (self.mvbt.version, dict(self.model.items()))
+        )
+
+    @rule(lo=st.integers(0, 60), hi=st.integers(0, 60))
+    def compare_ranges(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        assert self.mvbt.range_sum(lo, hi) == self.model.range_sum(lo, hi)
+        assert self.mvbt.range_max(lo, hi) == self.model.range_max(lo, hi)
+
+    @invariant()
+    def current_state_matches(self):
+        if hasattr(self, "mvbt"):
+            assert list(self.mvbt.items()) == list(self.model.items())
+
+    @invariant()
+    def history_is_preserved(self):
+        if hasattr(self, "mvbt"):
+            for version, snapshot in self.checkpoints[-3:]:
+                assert dict(self.mvbt.items_at(version)) == snapshot
+
+
+TestMVBTStateful = MVBTMachine.TestCase
+TestMVBTStateful.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
+)

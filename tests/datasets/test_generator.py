@@ -1,0 +1,164 @@
+"""Synthetic LBSN generator: marginals, snapshots, epoch counts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.powerlaw import fit_discrete_powerlaw
+from repro.datasets.generator import (
+    Dataset,
+    generate,
+    sample_body,
+    sample_powerlaw_tail,
+)
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock, VariedEpochClock
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(
+        name="test",
+        n_pois=4000,
+        n_checkins=30000,
+        span_days=365,
+        beta=2.5,
+        xmin=20,
+        threshold=10,
+        seed=9,
+    )
+
+
+class TestBasicShape:
+    def test_counts(self, dataset):
+        assert dataset.num_pois == 4000
+        # Sampling noise: total within 25% of the target.
+        assert dataset.total_checkins() == pytest.approx(30000, rel=0.25)
+
+    def test_positions_inside_world(self, dataset):
+        for x, y in dataset.positions.values():
+            assert dataset.world.contains_point((x, y))
+
+    def test_times_inside_span(self, dataset):
+        for times in dataset.checkin_times.values():
+            if times.size:
+                assert times.min() >= dataset.t0
+                assert times.max() <= dataset.tc
+
+    def test_times_sorted(self, dataset):
+        for times in dataset.checkin_times.values():
+            assert np.all(np.diff(times) >= 0)
+
+    def test_reproducible(self):
+        a = generate("r", 500, 3000, 100, 2.5, 10, seed=3)
+        b = generate("r", 500, 3000, 100, 2.5, 10, seed=3)
+        assert a.positions == b.positions
+        for poi_id in a.positions:
+            assert np.array_equal(a.checkin_times[poi_id], b.checkin_times[poi_id])
+
+    def test_different_seeds_differ(self):
+        a = generate("r", 500, 3000, 100, 2.5, 10, seed=3)
+        b = generate("r", 500, 3000, 100, 2.5, 10, seed=4)
+        assert a.positions != b.positions
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate("r", 0, 0, 100, 2.5, 10)
+
+
+class TestAggregateMarginal:
+    def test_powerlaw_tail_recovered(self, dataset):
+        totals = [v for v in dataset.totals().values() if v > 0]
+        fit = fit_discrete_powerlaw(totals)
+        assert fit.beta == pytest.approx(2.5, abs=0.45)
+
+    def test_effective_pois_respect_threshold(self, dataset):
+        effective = set(dataset.effective_poi_ids())
+        for poi_id, total in dataset.totals().items():
+            assert (poi_id in effective) == (total >= dataset.threshold)
+
+    def test_tail_sampler_bounds(self):
+        rng = np.random.default_rng(0)
+        sample = sample_powerlaw_tail(rng, beta=2.5, xmin=30, size=1000)
+        assert sample.min() >= 30
+
+    def test_body_sampler_bounds(self):
+        rng = np.random.default_rng(0)
+        sample = sample_body(rng, xmin=30, body_mean=3.0, size=1000)
+        assert sample.min() >= 1
+        assert sample.max() < 30
+
+    def test_body_sampler_mean_near_target(self):
+        rng = np.random.default_rng(1)
+        sample = sample_body(rng, xmin=50, body_mean=4.0, size=20000)
+        assert sample.mean() == pytest.approx(4.0, rel=0.2)
+
+    def test_heavy_threshold_still_populates_tail(self):
+        # The GW regime: mean rate far below xmin used to zero the tail.
+        data = generate(
+            "gw-like", 8000, 40000, 365, 2.82, 85, threshold=100, seed=2
+        )
+        assert len(data.effective_poi_ids()) > 0
+
+
+class TestSnapshots:
+    def test_snapshot_truncates_checkins(self, dataset):
+        snap = dataset.snapshot(0.5)
+        cut = dataset.t0 + 0.5 * dataset.span_days
+        assert snap.tc == cut
+        for times in snap.checkin_times.values():
+            if times.size:
+                assert times.max() <= cut
+        assert snap.total_checkins() < dataset.total_checkins()
+
+    def test_snapshot_fraction_one_is_identity(self, dataset):
+        snap = dataset.snapshot(1.0)
+        assert snap.total_checkins() == dataset.total_checkins()
+
+    def test_snapshot_monotone_in_fraction(self, dataset):
+        totals = [dataset.snapshot(f).total_checkins() for f in (0.2, 0.4, 0.8)]
+        assert totals == sorted(totals)
+
+    def test_growth_skew(self, dataset):
+        # Later-half activity should exceed the first half (LBSN growth).
+        early = dataset.snapshot(0.5).total_checkins()
+        late = dataset.total_checkins() - early
+        assert late > early
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.snapshot(0.0)
+        with pytest.raises(ValueError):
+            dataset.snapshot(1.5)
+
+
+class TestEpochCounts:
+    def test_counts_match_totals(self, dataset):
+        clock = EpochClock(dataset.t0, 7.0)
+        counts = dataset.epoch_counts(clock)
+        for poi_id, per_epoch in counts.items():
+            assert sum(per_epoch.values()) == dataset.checkin_times[poi_id].size
+
+    def test_epoch_indices_in_range(self, dataset):
+        clock = EpochClock(dataset.t0, 7.0)
+        max_epoch = clock.num_epochs(dataset.tc)
+        for per_epoch in dataset.epoch_counts(clock).values():
+            for epoch in per_epoch:
+                assert 0 <= epoch < max_epoch
+
+    def test_varied_clock_supported(self, dataset):
+        clock = VariedEpochClock.exponential(dataset.t0, 7.0, count=6)
+        counts = dataset.epoch_counts(clock, poi_ids=dataset.effective_poi_ids()[:5])
+        for poi_id, per_epoch in counts.items():
+            assert sum(per_epoch.values()) == dataset.checkin_times[poi_id].size
+
+    def test_subset_of_pois(self, dataset):
+        clock = EpochClock(dataset.t0, 7.0)
+        subset = dataset.effective_poi_ids()[:3]
+        counts = dataset.epoch_counts(clock, poi_ids=subset)
+        assert sorted(counts) == sorted(subset)
+
+
+class TestDatasetValidation:
+    def test_tc_must_exceed_t0(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", Rect((0, 0), (1, 1)), 5.0, 5.0, {}, {})

@@ -1,0 +1,70 @@
+"""Data set presets mirroring Tables 2 and 4."""
+
+import pytest
+
+from repro.datasets.presets import DATASET_SPECS, make
+
+
+class TestSpecs:
+    def test_all_four_present(self):
+        assert set(DATASET_SPECS) == {"NYC", "LA", "GW", "GS"}
+
+    def test_table4_statistics(self):
+        assert DATASET_SPECS["NYC"].n_pois == 72626
+        assert DATASET_SPECS["NYC"].n_checkins == 237784
+        assert DATASET_SPECS["GW"].n_pois == 1280969
+        assert DATASET_SPECS["GW"].n_checkins == 6442803
+        assert DATASET_SPECS["LA"].n_pois == 45591
+        assert DATASET_SPECS["GS"].n_pois == 182968
+
+    def test_table2_exponents(self):
+        assert DATASET_SPECS["NYC"].beta == 3.20
+        assert DATASET_SPECS["LA"].beta == 3.07
+        assert DATASET_SPECS["GW"].beta == 2.82
+        assert DATASET_SPECS["GS"].beta == 2.19
+
+    def test_table2_xmin(self):
+        assert DATASET_SPECS["NYC"].xmin == 31
+        assert DATASET_SPECS["LA"].xmin == 16
+        assert DATASET_SPECS["GW"].xmin == 85
+        assert DATASET_SPECS["GS"].xmin == 59
+
+    def test_effective_thresholds(self):
+        # Section 8: 15, 10, 100 and 50 check-ins respectively.
+        assert DATASET_SPECS["NYC"].threshold == 15
+        assert DATASET_SPECS["LA"].threshold == 10
+        assert DATASET_SPECS["GW"].threshold == 100
+        assert DATASET_SPECS["GS"].threshold == 50
+
+
+class TestMake:
+    def test_scale_applies_to_pois_and_checkins(self):
+        data = make("NYC", scale=0.01, seed=0)
+        assert data.num_pois == int(72626 * 0.01)
+        assert data.total_checkins() == pytest.approx(237784 * 0.01, rel=0.3)
+
+    def test_case_insensitive(self):
+        assert make("nyc", scale=0.005, seed=0).name == "NYC"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make("SF")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make("NYC", scale=0.0)
+        with pytest.raises(ValueError):
+            make("NYC", scale=1.5)
+
+    def test_overrides_forwarded(self):
+        data = make("LA", scale=0.01, seed=0, threshold=1)
+        assert data.threshold == 1
+
+    @pytest.mark.parametrize("name", ["NYC", "LA", "GW", "GS"])
+    def test_every_preset_has_effective_pois(self, name):
+        data = make(name, scale=0.02, seed=1)
+        assert len(data.effective_poi_ids()) > 0
+
+    def test_span_days_preserved(self):
+        data = make("GS", scale=0.01, seed=0)
+        assert data.span_days == DATASET_SPECS["GS"].span_days

@@ -1,0 +1,199 @@
+"""The aRB-tree: range aggregates, and why it is not a kNNTA index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import POI, TimeInterval, datasets
+from repro.related.arb_tree import ARBTree
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock, VariedEpochClock
+from repro.temporal.tia import IntervalSemantics
+
+
+@pytest.fixture(scope="module")
+def data():
+    return datasets.make("LA", scale=0.03, seed=23)
+
+
+@pytest.fixture(scope="module")
+def tree(data):
+    tree = ARBTree.build(data)
+    tree.check_invariants()
+    return tree
+
+
+def brute_force(data, clock, rect, interval, semantics):
+    total = 0
+    counts = data.epoch_counts(clock)
+    for poi_id in data.effective_poi_ids():
+        x, y = data.positions[poi_id]
+        if not rect.contains_point((x, y)):
+            continue
+        epochs = clock.epoch_range(interval, semantics)
+        total += sum(
+            counts[poi_id].get(e, 0) for e in epochs
+        )
+    return total
+
+
+class TestRangeAggregate:
+    @pytest.mark.parametrize(
+        "window",
+        [
+            ((0, 0), (100, 100)),
+            ((20, 20), (60, 70)),
+            ((90, 90), (99, 99)),
+            ((50, 50), (50, 50)),
+        ],
+    )
+    @pytest.mark.parametrize("interval", [(0, 911), (100, 200), (800, 911)])
+    def test_matches_brute_force(self, data, tree, window, interval):
+        rect = Rect(*window)
+        span = TimeInterval(*interval)
+        expected = brute_force(
+            data, tree.clock, rect, span, IntervalSemantics.INTERSECTS
+        )
+        assert tree.range_aggregate(rect, span) == expected
+
+    def test_contained_semantics(self, data, tree):
+        rect = Rect((10, 10), (80, 80))
+        span = TimeInterval(3.0, 500.0)
+        expected = brute_force(
+            data, tree.clock, rect, span, IntervalSemantics.CONTAINED
+        )
+        got = tree.range_aggregate(rect, span, IntervalSemantics.CONTAINED)
+        assert got == expected
+
+    def test_full_cover_skips_descent(self, tree):
+        """Covering the whole world answers from the root entries only."""
+        snap = tree.stats.snapshot()
+        tree.range_aggregate(tree.world, TimeInterval(0, 911))
+        delta = tree.stats.diff(snap)
+        assert delta.rtree_nodes == 1  # only the root is touched
+
+    def test_empty_window(self, tree):
+        assert tree.range_aggregate(
+            Rect((200, 200), (300, 300)), TimeInterval(0, 911)
+        ) == 0
+
+
+class TestMaintenance:
+    def test_insert_then_query(self, data):
+        tree = ARBTree.build(data.snapshot(0.5))
+        before = tree.range_aggregate(tree.world, TimeInterval(0, 911))
+        tree.insert_poi(POI("fresh", 55.0, 44.0), {0: 7, 3: 2})
+        tree.check_invariants()
+        after = tree.range_aggregate(tree.world, TimeInterval(0, 911))
+        assert after == before + 9
+
+    def test_digest_epoch(self, data):
+        tree = ARBTree.build(data.snapshot(0.5))
+        poi_id = next(iter(tree._pois))
+        before = tree.range_aggregate(tree.world, TimeInterval(0, 911))
+        tree.digest_epoch(10, {poi_id: 4})
+        tree.check_invariants()
+        after = tree.range_aggregate(tree.world, TimeInterval(0, 911))
+        assert after == before + 4
+
+    def test_many_inserts_with_splits(self):
+        rng = random.Random(3)
+        tree = ARBTree(
+            world=Rect((0.0, 0.0), (100.0, 100.0)),
+            clock=EpochClock(0.0, 1.0),
+            node_size=512,
+            tia_backend="memory",
+        )
+        total = 0
+        for i in range(300):
+            history = {
+                e: rng.randrange(1, 5) for e in range(6) if rng.random() < 0.5
+            }
+            total += sum(history.values())
+            tree.insert_poi(POI(i, rng.random() * 100, rng.random() * 100), history)
+        tree.check_invariants()
+        assert tree.range_aggregate(tree.world, TimeInterval(0, 6)) == total
+
+
+class TestSection2Arguments:
+    """The related-work claims, made executable."""
+
+    def test_varied_epochs_rejected(self):
+        clock = VariedEpochClock.exponential(0.0, 1.0, count=4)
+        with pytest.raises(TypeError):
+            ARBTree(world=Rect((0, 0), (1, 1)), clock=clock)
+
+    def test_returns_a_number_not_pois(self, tree):
+        result = tree.range_aggregate(
+            Rect((0, 0), (100, 100)), TimeInterval(0, 911)
+        )
+        assert isinstance(result, int)
+
+    def test_internal_tias_are_sums_not_maxima(self):
+        """Subtree sums over-estimate any single POI's aggregate by the
+        subtree's population, so they cannot serve as the kNNTA ranking
+        bound the TAR-tree's per-epoch maxima provide."""
+        rng = random.Random(11)
+        deep = ARBTree(
+            world=Rect((0.0, 0.0), (100.0, 100.0)),
+            clock=EpochClock(0.0, 1.0),
+            node_size=512,
+            tia_backend="memory",
+        )
+        for i in range(200):
+            deep.insert_poi(
+                POI(i, rng.random() * 100, rng.random() * 100),
+                {e: rng.randrange(1, 5) for e in range(4)},
+            )
+        assert not deep.root.is_leaf
+        saw_strict = False
+        for root_entry in deep.root.entries:
+            child = root_entry.child
+            for epoch, value in root_entry.tia.items():
+                contributions = [e.tia.get(epoch) for e in child.entries]
+                assert value == sum(contributions)
+                if sum(1 for c in contributions if c) > 1:
+                    assert value > max(contributions)
+                    saw_strict = True
+        assert saw_strict
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+            st.dictionaries(st.integers(0, 5), st.integers(1, 5), max_size=3),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    st.tuples(
+        st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+    ),
+    st.tuples(
+        st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+    ),
+)
+def test_property_range_aggregate_matches_filter(pois, corner_a, corner_b):
+    tree = ARBTree(
+        world=Rect((0.0, 0.0), (100.0, 100.0)),
+        clock=EpochClock(0.0, 1.0),
+        node_size=512,
+        tia_backend="memory",
+    )
+    for i, (x, y, history) in enumerate(pois):
+        tree.insert_poi(POI(i, x, y), history)
+    lows = (min(corner_a[0], corner_b[0]), min(corner_a[1], corner_b[1]))
+    highs = (max(corner_a[0], corner_b[0]), max(corner_a[1], corner_b[1]))
+    rect = Rect(lows, highs)
+    interval = TimeInterval(0, 6)
+    expected = sum(
+        sum(history.values())
+        for x, y, history in pois
+        if rect.contains_point((x, y))
+    )
+    assert tree.range_aggregate(rect, interval) == expected

@@ -1,0 +1,178 @@
+"""FM sketches and the sketch index (distinct counting, Section 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TimeInterval
+from repro.related.sketch import FMSketch, SketchIndex
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock, VariedEpochClock
+
+
+class TestFMSketch:
+    def test_empty(self):
+        sketch = FMSketch()
+        assert sketch.estimate() == 0.0
+        assert sketch.is_empty
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = FMSketch(num_bitmaps=64)
+        for _ in range(1000):
+            sketch.add("same-user")
+        assert sketch.estimate() < 10
+
+    @pytest.mark.parametrize("n", [100, 1000, 10000])
+    def test_estimate_within_tolerance(self, n):
+        sketch = FMSketch(num_bitmaps=64)
+        for i in range(n):
+            sketch.add("user-%d" % i)
+        estimate = sketch.estimate()
+        # Standard error ~ 0.78/sqrt(64) ~ 10%; allow 3 sigma.
+        assert n * 0.65 <= estimate <= n * 1.5
+
+    def test_union_estimates_set_union(self):
+        a = FMSketch(num_bitmaps=64)
+        b = FMSketch(num_bitmaps=64)
+        for i in range(500):
+            a.add("u%d" % i)
+        for i in range(250, 750):
+            b.add("u%d" % i)
+        a.union(b)
+        assert 750 * 0.65 <= a.estimate() <= 750 * 1.5
+
+    def test_union_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            FMSketch(num_bitmaps=8).union(FMSketch(num_bitmaps=16))
+
+    def test_copy_is_independent(self):
+        a = FMSketch(num_bitmaps=8)
+        a.add("x")
+        b = a.copy()
+        b.add("y")
+        assert a._bitmaps != b._bitmaps or a.estimate() <= b.estimate()
+
+    def test_invalid_bitmaps(self):
+        with pytest.raises(ValueError):
+            FMSketch(num_bitmaps=0)
+
+    def test_determinism(self):
+        a = FMSketch(num_bitmaps=16)
+        b = FMSketch(num_bitmaps=16)
+        for i in range(100):
+            a.add(i)
+            b.add(i)
+        assert a._bitmaps == b._bitmaps
+
+
+def build_world(seed=0, n_pois=150, n_users=400, n_checkins=3000, epochs=10):
+    rng = random.Random(seed)
+    positions = {
+        i: (rng.random() * 100, rng.random() * 100) for i in range(n_pois)
+    }
+    checkins = []
+    for _ in range(n_checkins):
+        checkins.append(
+            (
+                rng.randrange(n_pois),
+                "user-%d" % rng.randrange(n_users),
+                rng.random() * epochs,
+            )
+        )
+    return positions, checkins
+
+
+def brute_distinct(positions, checkins, clock, rect, interval):
+    epochs = set(clock.epochs_intersecting(interval))
+    visitors = set()
+    for poi_id, visitor, t in checkins:
+        if not rect.contains_point(positions[poi_id]):
+            continue
+        if clock.epoch_of(t) in epochs:
+            visitors.add(visitor)
+    return len(visitors)
+
+
+class TestSketchIndex:
+    @pytest.fixture(scope="class")
+    def world(self):
+        positions, checkins = build_world()
+        clock = EpochClock(0.0, 1.0)
+        index = SketchIndex.build(
+            positions,
+            checkins,
+            world=Rect((0.0, 0.0), (100.0, 100.0)),
+            clock=clock,
+            num_bitmaps=64,
+            node_size=512,
+        )
+        return positions, checkins, clock, index
+
+    @pytest.mark.parametrize(
+        "window,interval",
+        [
+            (((0, 0), (100, 100)), (0, 10)),
+            (((20, 20), (70, 80)), (0, 10)),
+            (((0, 0), (100, 100)), (2, 4)),
+            (((40, 10), (90, 50)), (5, 9)),
+        ],
+    )
+    def test_estimates_track_truth(self, world, window, interval):
+        positions, checkins, clock, index = world
+        rect = Rect(*window)
+        span = TimeInterval(*interval)
+        truth = brute_distinct(positions, checkins, clock, rect, span)
+        estimate = index.distinct_count(rect, span)
+        if truth == 0:
+            assert estimate == 0.0
+        else:
+            assert truth * 0.6 <= estimate <= truth * 1.6
+
+    def test_returnees_not_double_counted(self):
+        """The distinct-counting problem: one user, many epochs."""
+        positions = {0: (50.0, 50.0)}
+        checkins = [(0, "regular", float(t) + 0.5) for t in range(10)]
+        index = SketchIndex.build(
+            positions,
+            checkins,
+            world=Rect((0.0, 0.0), (100.0, 100.0)),
+            clock=EpochClock(0.0, 1.0),
+            num_bitmaps=64,
+        )
+        estimate = index.distinct_count(
+            Rect((0, 0), (100, 100)), TimeInterval(0, 10)
+        )
+        assert estimate < 5  # one visitor, not ten
+
+    def test_empty_window(self, world):
+        _, _, _, index = world
+        assert index.distinct_count(
+            Rect((200, 200), (300, 300)), TimeInterval(0, 10)
+        ) == 0.0
+
+    def test_full_cover_answers_from_root(self, world):
+        _, _, _, index = world
+        snap = index.stats.snapshot()
+        index.distinct_count(index.world, TimeInterval(0, 10))
+        assert index.stats.diff(snap).rtree_nodes == 1
+
+    def test_varied_epochs_rejected(self):
+        with pytest.raises(TypeError):
+            SketchIndex(
+                world=Rect((0, 0), (1, 1)),
+                clock=VariedEpochClock([0.0, 1.0]),
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10 ** 6), st.integers(10, 300))
+def test_property_estimate_scales(seed, n):
+    rng = random.Random(seed)
+    sketch = FMSketch(num_bitmaps=48)
+    items = {rng.randrange(10 ** 9) for _ in range(n)}
+    for item in items:
+        sketch.add(item)
+    estimate = sketch.estimate()
+    assert len(items) * 0.35 <= estimate <= len(items) * 2.8

@@ -1,0 +1,98 @@
+"""Branch-and-bound skyline over the TAR-tree."""
+
+import random
+
+import pytest
+
+from repro import POI, TARTree, TimeInterval
+from repro.core.query import KNNTAQuery
+from repro.core.scan import full_ranking
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.bnl import dominates, skyline_of_points
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock
+
+
+def build_tree(n=220, seed=0, strategy="integral3d", node_size=1024):
+    rng = random.Random(seed)
+    tree = TARTree(
+        world=Rect((0.0, 0.0), (100.0, 100.0)),
+        clock=EpochClock(0.0, 1.0),
+        current_time=12.0,
+        strategy=strategy,
+        node_size=node_size,
+        tia_backend="memory",
+    )
+    for i in range(n):
+        history = {
+            e: rng.randrange(1, 9) for e in range(12) if rng.random() < 0.4
+        }
+        tree.insert_poi(POI(i, rng.random() * 100, rng.random() * 100), history)
+    return tree
+
+
+def reference_skyline(tree, query, exclude=frozenset()):
+    ranking = full_ranking(tree, query)
+    pairs = [
+        (r.poi_id, r.score_pair) for r in ranking if r.poi_id not in exclude
+    ]
+    keep = skyline_of_points([pair for _, pair in pairs])
+    keep_set = set(keep)
+    return sorted(pid for pid, pair in pairs if pair in keep_set)
+
+
+@pytest.mark.parametrize("strategy", ["integral3d", "spatial", "aggregate"])
+def test_bbs_matches_bnl(strategy):
+    tree = build_tree(seed=1, strategy=strategy)
+    query = KNNTAQuery((30.0, 70.0), TimeInterval(0, 12), k=10, alpha0=0.3)
+    got = sorted(pid for pid, _ in bbs_skyline(tree, query))
+    assert got == reference_skyline(tree, query)
+
+
+def test_bbs_with_exclusions():
+    tree = build_tree(seed=2)
+    query = KNNTAQuery((50.0, 50.0), TimeInterval(2, 9), k=10, alpha0=0.3)
+    excluded = frozenset(range(0, 40))
+    got = sorted(pid for pid, _ in bbs_skyline(tree, query, exclude=excluded))
+    assert got == reference_skyline(tree, query, exclude=excluded)
+    assert not (set(got) & excluded)
+
+
+def test_bbs_pairs_are_pairwise_incomparable():
+    tree = build_tree(seed=3)
+    query = KNNTAQuery((10.0, 90.0), TimeInterval(0, 12), k=10)
+    skyline = bbs_skyline(tree, query)
+    pairs = [pair for _, pair in skyline]
+    for i, a in enumerate(pairs):
+        for b in pairs[i + 1 :]:
+            assert not dominates(a, b)
+            assert not dominates(b, a)
+
+
+def test_bbs_accesses_fewer_nodes_than_full_traversal():
+    # Small nodes make a deep tree, giving dominance pruning real targets.
+    tree = build_tree(n=400, seed=4, node_size=256)
+    query = KNNTAQuery((50.0, 50.0), TimeInterval(0, 12), k=10)
+    snap = tree.stats.snapshot()
+    bbs_skyline(tree, query)
+    accessed = tree.stats.diff(snap).rtree_nodes
+    assert accessed < tree.node_count()
+
+
+def test_bbs_empty_tree():
+    tree = TARTree(
+        world=Rect((0.0, 0.0), (1.0, 1.0)),
+        clock=EpochClock(0.0, 1.0),
+        current_time=1.0,
+        tia_backend="memory",
+    )
+    query = KNNTAQuery((0.5, 0.5), TimeInterval(0, 1), k=1)
+    assert bbs_skyline(tree, query) == []
+
+
+def test_bbs_sorted_by_l1_distance():
+    tree = build_tree(seed=5)
+    query = KNNTAQuery((25.0, 25.0), TimeInterval(0, 12), k=10)
+    skyline = bbs_skyline(tree, query)
+    sums = [pair[0] + pair[1] for _, pair in skyline]
+    assert sums == sorted(sums)

@@ -1,0 +1,84 @@
+"""Block-nested-loop skyline and dominance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.skyline.bnl import dominates, skyline_of_points
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((2, 2), (1, 1))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+    def test_reverse_flips(self):
+        assert dominates((2, 2), (1, 1), reverse=True)
+        assert not dominates((1, 1), (2, 2), reverse=True)
+        assert not dominates((2, 2), (2, 2), reverse=True)
+
+
+class TestSkyline:
+    def test_simple(self):
+        points = [(1, 5), (2, 2), (5, 1), (3, 3), (4, 4)]
+        assert set(skyline_of_points(points)) == {(1, 5), (2, 2), (5, 1)}
+
+    def test_empty(self):
+        assert skyline_of_points([]) == []
+
+    def test_single(self):
+        assert skyline_of_points([(2, 3)]) == [(2, 3)]
+
+    def test_all_on_a_chain(self):
+        # Totally ordered points: only the minimum survives.
+        points = [(i, i) for i in range(10)]
+        assert skyline_of_points(points) == [(0, 0)]
+
+    def test_anti_chain_keeps_everything(self):
+        points = [(i, 10 - i) for i in range(10)]
+        assert set(skyline_of_points(points)) == set(points)
+
+    def test_duplicates_kept_once(self):
+        points = [(1, 1), (1, 1), (0, 3), (0, 3)]
+        result = skyline_of_points(points)
+        assert sorted(result) == [(0, 3), (1, 1)]
+
+    def test_reverse_skyline_is_maxima(self):
+        points = [(1, 5), (2, 2), (5, 1), (3, 3), (0, 0)]
+        assert set(skyline_of_points(points, reverse=True)) == {
+            (1, 5),
+            (5, 1),
+            (3, 3),
+        }
+
+
+def brute_force_skyline(points, reverse=False):
+    return [
+        p
+        for p in set(points)
+        if not any(dominates(q, p, reverse) for q in points)
+    ]
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=60),
+    st.booleans(),
+)
+def test_property_matches_brute_force(points, reverse):
+    got = skyline_of_points(points, reverse)
+    assert sorted(got) == sorted(brute_force_skyline(points, reverse))
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=60))
+def test_property_every_point_dominated_by_skyline_or_on_it(points):
+    skyline = skyline_of_points(points)
+    for p in points:
+        assert p in skyline or any(dominates(s, p) for s in skyline)

@@ -1,0 +1,143 @@
+"""STR bulk loading: the partitioner and the TAR-tree integration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TARTree, TimeInterval, datasets
+from repro.core.knnta import knnta_search
+from repro.core.query import KNNTAQuery
+from repro.core.scan import sequential_scan
+from repro.spatial.bulk import str_partition
+
+
+def random_points(n, dims, seed=0):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(dims)) for _ in range(n)]
+
+
+class TestPartitioner:
+    def test_empty(self):
+        assert str_partition([], capacity=8) == []
+
+    def test_single_group(self):
+        points = random_points(5, 2)
+        groups = str_partition(points, capacity=8)
+        assert groups == [[i for i in sorted(groups[0])]] or len(groups) == 1
+
+    def test_partition_is_exact(self):
+        points = random_points(500, 2, seed=1)
+        groups = str_partition(points, capacity=16, min_fill=7)
+        flattened = sorted(i for group in groups for i in group)
+        assert flattened == list(range(500))
+
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_fill_bounds(self, dims):
+        points = random_points(777, dims, seed=2)
+        groups = str_partition(points, capacity=20, min_fill=8)
+        for group in groups:
+            assert 8 <= len(group) <= 20
+
+    def test_tiles_are_mostly_spatially_coherent(self):
+        # Two distant clusters: STR's slab cuts need not align with the
+        # gap, but the vast majority of tiles must be single-cluster.
+        rng = random.Random(3)
+        points = [(rng.random(), rng.random()) for _ in range(100)]
+        points += [(100 + rng.random(), 100 + rng.random()) for _ in range(100)]
+        groups = str_partition(points, capacity=10, min_fill=4)
+        mixed = sum(
+            1 for group in groups if len({points[i][0] < 50 for i in group}) > 1
+        )
+        assert mixed <= len(groups) * 0.3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            str_partition([(0.0, 0.0)], capacity=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+        max_size=300,
+    ),
+    st.integers(5, 40),
+)
+def test_property_partition_covers_all_points(points, capacity):
+    min_fill = max(1, int(capacity * 0.4))
+    groups = str_partition(points, capacity, min_fill=min_fill)
+    flattened = sorted(i for group in groups for i in group)
+    assert flattened == list(range(len(points)))
+    for group in groups:
+        assert len(group) <= capacity
+    if len(points) >= 2 * min_fill:
+        for group in groups:
+            assert len(group) >= min_fill
+
+
+class TestBulkBuiltTree:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return datasets.make("GS", scale=0.05, seed=13)
+
+    @pytest.mark.parametrize("strategy", ["integral3d", "spatial"])
+    def test_bulk_tree_is_structurally_valid(self, dataset, strategy):
+        tree = TARTree.build(dataset, strategy=strategy, bulk=True)
+        tree.check_invariants()
+        assert len(tree) == len(dataset.effective_poi_ids())
+
+    def test_bulk_answers_match_incremental(self, dataset):
+        bulk = TARTree.build(dataset, bulk=True)
+        incremental = TARTree.build(dataset)
+        for seed in range(5):
+            rng = random.Random(seed)
+            query = KNNTAQuery(
+                (rng.random() * 100, rng.random() * 100),
+                TimeInterval(0, dataset.span_days),
+                k=10,
+            )
+            a = [round(r.score, 9) for r in knnta_search(bulk, query)]
+            b = [round(r.score, 9) for r in knnta_search(incremental, query)]
+            assert a == b
+
+    def test_bulk_tree_supports_further_maintenance(self, dataset):
+        tree = TARTree.build(dataset, bulk=True)
+        from repro import POI
+
+        tree.insert_poi(POI("late", 50.0, 50.0), {0: 3})
+        tree.digest_epoch(1, {"late": 7})
+        victim = next(iter(tree.poi_ids()))
+        assert tree.delete_poi(victim)
+        tree.check_invariants()
+        query = KNNTAQuery((50.0, 50.0), TimeInterval(0, 30), k=5)
+        bfs = [round(r.score, 9) for r in knnta_search(tree, query)]
+        scan = [round(r.score, 9) for r in sequential_scan(tree, query)]
+        assert bfs == scan
+
+    def test_bulk_rejects_aggregate_strategy(self, dataset):
+        with pytest.raises(ValueError):
+            TARTree.build(dataset, strategy="aggregate", bulk=True)
+
+    def test_bulk_rejects_non_empty_tree(self, dataset):
+        tree = TARTree.build(dataset, bulk=True)
+        with pytest.raises(ValueError):
+            tree.bulk_load([])
+        # Empty input on an empty tree is fine.
+        fresh = TARTree.build(
+            dataset.snapshot(0.01), bulk=True
+        )  # likely zero effective POIs
+        fresh.check_invariants()
+
+    def test_bulk_is_faster_on_large_input(self):
+        import time
+
+        data = datasets.make("GS", scale=0.3, seed=14)
+        start = time.perf_counter()
+        TARTree.build(data, bulk=True, tia_backend="memory")
+        bulk_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        TARTree.build(data, tia_backend="memory")
+        incremental_seconds = time.perf_counter() - start
+        assert bulk_seconds < incremental_seconds

@@ -1,0 +1,96 @@
+"""LRU buffer pool behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.buffer import LRUBufferPool
+
+
+def test_first_access_misses():
+    pool = LRUBufferPool(4)
+    assert pool.access("p1") is False
+    assert pool.misses == 1
+    assert pool.hits == 0
+
+
+def test_second_access_hits():
+    pool = LRUBufferPool(4)
+    pool.access("p1")
+    assert pool.access("p1") is True
+    assert pool.hits == 1
+
+
+def test_lru_eviction_order():
+    pool = LRUBufferPool(2)
+    pool.access("a")
+    pool.access("b")
+    pool.access("a")  # refresh a; b is now least recent
+    pool.access("c")  # evicts b
+    assert "b" not in pool
+    assert pool.access("a") is True
+    assert pool.access("b") is False
+
+
+def test_zero_capacity_never_hits():
+    pool = LRUBufferPool(0)
+    for _ in range(5):
+        assert pool.access("same") is False
+    assert pool.misses == 5
+    assert len(pool) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUBufferPool(-1)
+
+
+def test_invalidate_forces_miss():
+    pool = LRUBufferPool(4)
+    pool.access("a")
+    pool.invalidate("a")
+    assert pool.access("a") is False
+
+
+def test_clear_keeps_counters():
+    pool = LRUBufferPool(4)
+    pool.access("a")
+    pool.access("a")
+    pool.clear()
+    assert len(pool) == 0
+    assert pool.hits == 1
+    assert pool.misses == 1
+
+
+def test_reset_counters():
+    pool = LRUBufferPool(4)
+    pool.access("a")
+    pool.reset_counters()
+    assert pool.hits == 0 and pool.misses == 0
+    assert "a" in pool
+
+
+def test_resident_set_never_exceeds_capacity():
+    pool = LRUBufferPool(3)
+    for i in range(50):
+        pool.access(i)
+        assert len(pool) <= 3
+
+
+@given(st.lists(st.integers(0, 9), max_size=200), st.integers(1, 5))
+def test_property_hits_plus_misses_equals_accesses(accesses, capacity):
+    pool = LRUBufferPool(capacity)
+    for page in accesses:
+        pool.access(page)
+    assert pool.hits + pool.misses == len(accesses)
+    assert len(pool) <= capacity
+
+
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=100))
+def test_property_working_set_within_capacity_always_hits(accesses):
+    # With capacity >= distinct pages, only the first touch of each page
+    # can miss.
+    pool = LRUBufferPool(4)
+    for page in accesses:
+        pool.access(page)
+    assert pool.misses == len(set(accesses))

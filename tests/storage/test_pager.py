@@ -1,0 +1,77 @@
+"""Node/page sizing rules, including the paper's exact capacities."""
+
+import pytest
+
+from repro.storage.pager import (
+    entry_bytes,
+    node_capacity,
+    tia_internal_capacity,
+    tia_leaf_capacity,
+)
+
+
+def test_entry_bytes_2d():
+    assert entry_bytes(2) == 20  # 4 coords * 4 bytes + 4-byte pointer
+
+
+def test_entry_bytes_3d():
+    assert entry_bytes(3) == 28
+
+
+def test_entry_bytes_rejects_zero_dims():
+    with pytest.raises(ValueError):
+        entry_bytes(0)
+
+
+def test_paper_capacity_1024_bytes_2d():
+    # Section 8: "the node capacities are 50 and 36 for 2- and
+    # 3-dimensional entries respectively" at 1024 bytes.
+    assert node_capacity(1024, 2) == 50
+
+
+def test_paper_capacity_1024_bytes_3d():
+    assert node_capacity(1024, 3) == 36
+
+
+@pytest.mark.parametrize(
+    "node_size,dims,expected",
+    [
+        (512, 2, 24),
+        (2048, 2, 101),
+        (4096, 2, 204),
+        (8192, 2, 408),
+        (512, 3, 17),
+        (2048, 3, 72),
+        (4096, 3, 145),
+        (8192, 3, 292),
+    ],
+)
+def test_capacity_scales_with_node_size(node_size, dims, expected):
+    assert node_capacity(node_size, dims) == expected
+
+
+def test_capacity_monotone_in_node_size():
+    sizes = [512, 1024, 2048, 4096, 8192]
+    caps = [node_capacity(s, 3) for s in sizes]
+    assert caps == sorted(caps)
+    assert len(set(caps)) == len(caps)
+
+
+def test_tiny_node_size_rejected():
+    with pytest.raises(ValueError):
+        node_capacity(64, 3)
+
+
+def test_tia_leaf_capacity():
+    assert tia_leaf_capacity(256) == (256 - 16) // 12
+
+
+def test_tia_internal_capacity():
+    assert tia_internal_capacity(256) == (256 - 16) // 8
+
+
+def test_tia_capacity_rejects_tiny_pages():
+    with pytest.raises(ValueError):
+        tia_leaf_capacity(40)
+    with pytest.raises(ValueError):
+        tia_internal_capacity(24)

@@ -1,0 +1,58 @@
+"""Access counter bookkeeping."""
+
+from repro.storage.stats import AccessStats
+
+
+def test_initial_state_zero():
+    stats = AccessStats()
+    assert stats.rtree_nodes == 0
+    assert stats.total_io == 0
+
+
+def test_record_node_split_by_kind():
+    stats = AccessStats()
+    stats.record_node(is_leaf=True)
+    stats.record_node(is_leaf=True)
+    stats.record_node(is_leaf=False)
+    assert stats.rtree_leaf == 2
+    assert stats.rtree_internal == 1
+    assert stats.rtree_nodes == 3
+
+
+def test_record_tia_page_buffered_vs_not():
+    stats = AccessStats()
+    stats.record_tia_page(buffered=False)
+    stats.record_tia_page(buffered=True)
+    assert stats.tia_pages == 1
+    assert stats.tia_buffer_hits == 1
+    assert stats.total_io == 1  # buffer hits are free
+
+
+def test_snapshot_diff():
+    stats = AccessStats()
+    stats.record_node(is_leaf=False)
+    snap = stats.snapshot()
+    stats.record_node(is_leaf=True)
+    stats.record_node(is_leaf=True)
+    stats.record_tia_page(buffered=False)
+    delta = stats.diff(snap)
+    assert delta.rtree_leaf == 2
+    assert delta.rtree_internal == 0
+    assert delta.tia_pages == 1
+    # The original keeps its totals.
+    assert stats.rtree_nodes == 3
+
+
+def test_reset():
+    stats = AccessStats()
+    stats.record_node(is_leaf=True)
+    stats.record_tia_page(buffered=True)
+    stats.reset()
+    assert stats.snapshot() == (0, 0, 0, 0)
+
+
+def test_diff_of_unchanged_snapshot_is_zero():
+    stats = AccessStats()
+    stats.record_node(is_leaf=True)
+    delta = stats.diff(stats.snapshot())
+    assert delta.snapshot() == (0, 0, 0, 0)

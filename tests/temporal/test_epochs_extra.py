@@ -1,0 +1,102 @@
+"""Additional epoch-clock coverage: schedules, dispatch, edge times."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal.epochs import EpochClock, TimeInterval, VariedEpochClock
+from repro.temporal.tia import IntervalSemantics
+
+
+class TestExponentialSchedule:
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VariedEpochClock.exponential(0.0, 1.0, count=0)
+
+    def test_factor_one_is_uniform(self):
+        clock = VariedEpochClock.exponential(0.0, 2.0, count=5, factor=1.0)
+        for i in range(5):
+            ts, te = clock.bounds(i)
+            assert te - ts == pytest.approx(2.0)
+
+    def test_lengths_double(self):
+        clock = VariedEpochClock.exponential(10.0, 1.0, count=4, factor=2.0)
+        lengths = [clock.bounds(i)[1] - clock.bounds(i)[0] for i in range(4)]
+        assert lengths == [1.0, 2.0, 4.0, 8.0]
+
+    def test_nonzero_t0(self):
+        clock = VariedEpochClock.exponential(100.0, 1.0, count=3)
+        assert clock.t0 == 100.0
+        assert clock.epoch_of(100.0) == 0
+
+    def test_tail_is_open(self):
+        clock = VariedEpochClock.exponential(0.0, 1.0, count=2)
+        tail = clock.epoch_of(10 ** 9)
+        assert clock.bounds(tail)[1] == math.inf
+
+    def test_bounds_beyond_tail_rejected(self):
+        clock = VariedEpochClock([0.0, 1.0])
+        with pytest.raises(ValueError):
+            clock.bounds(5)
+        with pytest.raises(ValueError):
+            clock.bounds(-1)
+
+
+class TestEpochRangeDispatch:
+    def test_varied_clock_dispatch(self):
+        clock = VariedEpochClock([0.0, 1.0, 3.0, 7.0])
+        interval = TimeInterval(0.5, 6.0)
+        intersecting = clock.epoch_range(interval, IntervalSemantics.INTERSECTS)
+        contained = clock.epoch_range(interval, IntervalSemantics.CONTAINED)
+        assert list(intersecting) == [0, 1, 2]
+        assert list(contained) == [1]  # only epoch [1, 3) fits inside
+
+    def test_contained_empty_when_interval_tiny(self):
+        clock = EpochClock(0.0, 10.0)
+        assert list(clock.epochs_contained(TimeInterval(1.0, 2.0))) == []
+
+    def test_point_interval_intersects_one_epoch(self):
+        clock = EpochClock(0.0, 10.0)
+        assert list(clock.epochs_intersecting(TimeInterval(25.0, 25.0))) == [2]
+
+
+class TestTimeBeforeStart:
+    def test_varied_rejects_prehistory(self):
+        clock = VariedEpochClock([5.0, 6.0])
+        with pytest.raises(ValueError):
+            clock.epoch_of(4.0)
+
+    def test_interval_clipped_to_t0(self):
+        clock = EpochClock(10.0, 5.0)
+        # An interval starting before t0 clips to the first epoch.
+        epochs = list(clock.epochs_intersecting(TimeInterval(0.0, 12.0)))
+        assert epochs[0] == 0
+
+
+@given(
+    st.lists(
+        st.floats(0.1, 10, allow_nan=False), min_size=1, max_size=8
+    ),
+    st.floats(0, 50, allow_nan=False),
+)
+def test_property_varied_bounds_partition_time(lengths, t_offset):
+    boundaries = [0.0]
+    for length in lengths:
+        boundaries.append(boundaries[-1] + length)
+    clock = VariedEpochClock(boundaries)
+    t = t_offset
+    index = clock.epoch_of(t)
+    ts, te = clock.bounds(index)
+    assert ts <= t + 1e-9
+    assert t < te + 1e-9
+
+
+@given(st.integers(0, 40), st.integers(1, 40))
+def test_property_contained_subset_of_intersecting_varied(start, length):
+    clock = VariedEpochClock.exponential(0.0, 1.0, count=6)
+    interval = TimeInterval(float(start), float(start + length))
+    contained = set(clock.epochs_contained(interval))
+    intersecting = set(clock.epochs_intersecting(interval))
+    assert contained <= intersecting

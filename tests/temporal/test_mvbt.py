@@ -1,0 +1,220 @@
+"""Multi-version B-tree TIA: current-version semantics and time travel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.stats import AccessStats
+from repro.temporal.epochs import EpochClock, TimeInterval
+from repro.temporal.mvbt import MVBTTIA
+from repro.temporal.tia import MemoryTIA, make_tia_factory
+
+
+def make_mvbt(page_size=128, buffer_slots=4, stats=None):
+    return MVBTTIA(stats=stats, page_size=page_size, buffer_slots=buffer_slots)
+
+
+class TestCurrentVersion:
+    """The BaseTIA contract at the newest version."""
+
+    def test_empty(self):
+        tia = make_mvbt()
+        assert tia.get(0) == 0
+        assert tia.range_sum(0, 100) == 0
+        assert len(tia) == 0
+
+    def test_set_get(self):
+        tia = make_mvbt()
+        tia.set(3, 7)
+        assert tia.get(3) == 7
+        assert tia.get(4) == 0
+
+    def test_overwrite(self):
+        tia = make_mvbt()
+        tia.set(3, 7)
+        tia.set(3, 9)
+        assert tia.get(3) == 9
+        assert len(tia) == 1
+
+    def test_delete(self):
+        tia = make_mvbt()
+        tia.set(3, 7)
+        tia.set(3, 0)
+        assert tia.get(3) == 0
+        assert len(tia) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_mvbt().set(0, -1)
+
+    def test_add_and_raise(self):
+        tia = make_mvbt()
+        tia.add(5, 2)
+        tia.add(5, 3)
+        assert tia.get(5) == 5
+        assert tia.raise_to(5, 4) is False
+        assert tia.raise_to(5, 9) is True
+        assert tia.get(5) == 9
+
+    def test_many_inserts_split_pages(self):
+        tia = make_mvbt(page_size=96)
+        for epoch in range(300):
+            tia.set(epoch, epoch % 5 + 1)
+        assert len(tia) == 300
+        assert list(tia.items()) == [(e, e % 5 + 1) for e in range(300)]
+        assert tia.page_count() > 3
+
+    def test_reverse_and_interleaved_insert_order(self):
+        tia = make_mvbt(page_size=96)
+        order = list(range(0, 200, 2)) + list(reversed(range(1, 200, 2)))
+        for epoch in order:
+            tia.set(epoch, 1)
+        assert list(tia.items()) == [(e, 1) for e in range(200)]
+        assert tia.range_sum(50, 149) == 100
+
+    def test_range_sum_below_leftmost_router(self):
+        # Keys inserted descending force the leftmost child to hold keys
+        # below its router; the range scan must still find them.
+        tia = make_mvbt(page_size=96)
+        for epoch in reversed(range(100)):
+            tia.set(epoch, 1)
+        assert tia.range_sum(0, 3) == 4
+
+    def test_replace_all(self):
+        tia = make_mvbt()
+        tia.set(1, 5)
+        tia.replace_all({0: 3, 7: 4, 2: 0})
+        assert list(tia.items()) == [(0, 3), (7, 4)]
+
+    def test_aggregate_with_clock(self):
+        clock = EpochClock(0.0, 7.0)
+        tia = make_mvbt()
+        tia.replace_all({0: 1, 1: 2, 2: 4})
+        assert tia.aggregate(clock, TimeInterval(0, 21)) == 7
+
+    def test_page_access_counting(self):
+        stats = AccessStats()
+        tia = make_mvbt(stats=stats, buffer_slots=0)
+        for epoch in range(50):
+            tia.set(epoch, 1)
+        before = stats.tia_pages
+        tia.range_sum(0, 49)
+        assert stats.tia_pages > before
+
+    def test_factory(self):
+        stats = AccessStats()
+        tia = make_tia_factory("mvbt", stats=stats, buffer_slots=0)()
+        assert isinstance(tia, MVBTTIA)
+        tia.set(0, 1)
+        assert stats.tia_pages > 0
+
+
+class TestTimeTravel:
+    """Partial persistence: every past version stays queryable."""
+
+    def test_get_at_past_versions(self):
+        tia = make_mvbt()
+        tia.set(1, 10)       # version 1
+        v1 = tia.version
+        tia.set(1, 20)       # version 2
+        tia.set(2, 5)        # version 3
+        assert tia.get_at(1, v1) == 10
+        assert tia.get(1) == 20
+        assert tia.get_at(2, v1) == 0
+        assert tia.get(2) == 5
+
+    def test_deleted_key_still_visible_in_the_past(self):
+        tia = make_mvbt()
+        tia.set(4, 9)
+        v = tia.version
+        tia.set(4, 0)
+        assert tia.get(4) == 0
+        assert tia.get_at(4, v) == 9
+
+    def test_range_sum_at_reconstructs_history(self):
+        tia = make_mvbt(page_size=96)
+        checkpoints = {}
+        reference = {}
+        for epoch in range(150):
+            tia.set(epoch, epoch + 1)
+            reference[epoch] = epoch + 1
+            if epoch % 37 == 0:
+                checkpoints[tia.version] = dict(reference)
+        for version, snapshot in checkpoints.items():
+            expected = sum(v for k, v in snapshot.items() if 10 <= k <= 120)
+            assert tia.range_sum_at(10, 120, version) == expected
+
+    def test_items_at_past_version_after_splits(self):
+        tia = make_mvbt(page_size=96)
+        for epoch in range(80):
+            tia.set(epoch, 1)
+        v = tia.version
+        for epoch in range(80, 160):
+            tia.set(epoch, 2)
+        assert list(tia.items_at(v)) == [(e, 1) for e in range(80)]
+        assert list(tia.items()) == [(e, 1) for e in range(80)] + [
+            (e, 2) for e in range(80, 160)
+        ]
+
+    def test_range_max_at_past_version(self):
+        tia = make_mvbt(page_size=96)
+        tia.set(3, 5)
+        tia.set(7, 9)
+        v = tia.version
+        tia.set(7, 2)   # later downgrade
+        tia.set(1, 100)
+        assert tia.range_max(0, 10) == 100
+        assert tia.range_max_at(0, 10, v) == 9
+        assert tia.range_max_at(0, 5, v) == 5
+
+    def test_updates_do_not_rewrite_history(self):
+        tia = make_mvbt(page_size=96)
+        for epoch in range(60):
+            tia.set(epoch, 1)
+        v = tia.version
+        for epoch in range(60):
+            tia.set(epoch, 100)
+        assert tia.range_sum_at(0, 59, v) == 60
+        assert tia.range_sum(0, 59) == 6000
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 80), st.integers(0, 9)),
+        max_size=120,
+    )
+)
+def test_property_mvbt_matches_memory_tia(operations):
+    memory = MemoryTIA()
+    mvbt = make_mvbt(page_size=96)
+    for epoch, value in operations:
+        memory.set(epoch, value)
+        mvbt.set(epoch, value)
+    assert list(memory.items()) == list(mvbt.items())
+    assert memory.range_sum(0, 80) == mvbt.range_sum(0, 80)
+    assert memory.range_sum(20, 40) == mvbt.range_sum(20, 40)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 9)),
+        min_size=1,
+        max_size=80,
+    ),
+    st.data(),
+)
+def test_property_time_travel_matches_replayed_history(operations, data):
+    """Any past version equals replaying the operation prefix."""
+    mvbt = make_mvbt(page_size=96)
+    versions = []
+    for epoch, value in operations:
+        mvbt.set(epoch, value)
+        versions.append(mvbt.version)
+    index = data.draw(st.integers(0, len(operations) - 1))
+    replay = MemoryTIA()
+    for epoch, value in operations[: index + 1]:
+        replay.set(epoch, value)
+    assert list(mvbt.items_at(versions[index])) == list(replay.items())
+    assert mvbt.range_sum_at(0, 50, versions[index]) == replay.range_sum(0, 50)

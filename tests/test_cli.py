@@ -1,0 +1,121 @@
+"""The command-line interface end to end."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data.npz"
+    code, output = run_cli(
+        ["generate", "--preset", "LA", "--scale", "0.01", "--seed", "3",
+         "--out", str(path)]
+    )
+    assert code == 0
+    assert "wrote" in output
+    return path
+
+
+@pytest.fixture(scope="module")
+def tree_file(dataset_file, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "tree.json"
+    code, output = run_cli(
+        ["build", str(dataset_file), "--strategy", "integral3d",
+         "--out", str(path)]
+    )
+    assert code == 0
+    assert "TARTree" in output
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_query_needs_interval(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "t.json", "--x", "1", "--y", "2"])
+
+    def test_query_interval_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "t.json", "--x", "1", "--y", "2",
+                 "--last-days", "7", "--interval", "0", "7"]
+            )
+
+
+class TestGenerate:
+    def test_reports_statistics(self, dataset_file):
+        # The module-scoped fixture already asserts success; re-read it.
+        from repro.storage.serialize import load_dataset
+
+        data = load_dataset(dataset_file)
+        assert data.num_pois == 455
+        assert data.name == "LA"
+
+
+class TestFit:
+    def test_fit_runs(self, dataset_file):
+        code, output = run_cli(["fit", str(dataset_file), "--bootstrap", "5"])
+        assert code == 0
+        assert "beta=" in output
+        assert "xmin=" in output
+
+
+class TestQuery:
+    def test_query_prints_ranked_results(self, tree_file):
+        code, output = run_cli(
+            ["query", str(tree_file), "--x", "50", "--y", "50",
+             "--last-days", "60", "--k", "3"]
+        )
+        assert code == 0
+        assert output.count("#") == 3
+        assert "node accesses" in output
+
+    def test_query_with_explicit_interval(self, tree_file):
+        code, output = run_cli(
+            ["query", str(tree_file), "--x", "10", "--y", "90",
+             "--interval", "0", "400", "--k", "2", "--alpha0", "0.7"]
+        )
+        assert code == 0
+        assert "alpha0=0.7" in output
+
+    def test_scan_cross_check_passes(self, tree_file):
+        code, output = run_cli(
+            ["query", str(tree_file), "--x", "30", "--y", "70",
+             "--last-days", "120", "--k", "5", "--scan"]
+        )
+        assert code == 0
+        assert "scan cross-check: OK" in output
+
+
+class TestMWA:
+    def test_mwa_prints_bounds(self, tree_file):
+        code, output = run_cli(
+            ["mwa", str(tree_file), "--x", "50", "--y", "50",
+             "--last-days", "120", "--k", "5"]
+        )
+        assert code == 0
+        assert "alpha0" in output
+        assert ("minimum adjustment" in output) or ("immutable" in output)
+
+    def test_mwa_methods_agree(self, tree_file):
+        argv = ["mwa", str(tree_file), "--x", "20", "--y", "40",
+                "--last-days", "200", "--k", "5"]
+        _, pruning = run_cli(argv + ["--method", "pruning"])
+        _, enumerating = run_cli(argv + ["--method", "enumerating"])
+        assert pruning == enumerating

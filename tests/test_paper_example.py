@@ -1,0 +1,166 @@
+"""The paper's running example (Figure 1 / Table 1, Sections 3-4).
+
+Twelve POIs a..l with the aggregate distribution of Table 1, a query at
+``q`` with ``alpha0 = 0.3``, ``Iq = [t0, tc]`` and ``k = 1``.  The paper
+normalises by the maximum pairwise distance 15.6 and maximum aggregate
+12, computes ``f(e) = 0.626`` and ``f(f) = 0.058``, and returns POI *f*.
+"""
+
+import math
+
+import pytest
+
+from repro import POI, TARTree, TimeInterval
+from repro.core.query import KNNTAQuery, Normalizer
+from repro.core.scan import full_ranking, sequential_scan
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock
+from repro.temporal.tia import MemoryTIA
+
+# Coordinates chosen so that d(e, q) = sqrt(5) ~ 2.24 and d(f, q) = 3,
+# with the cluster layout of Figure 2(a).
+POSITIONS = {
+    "a": (4, 3), "b": (3, 4), "e": (5, 4),
+    "c": (10, 7), "g": (9, 8), "f": (9, 6),
+    "d": (2, 9), "h": (3, 10),
+    "i": (12, 2), "k": (11, 1),
+    "j": (13, 12), "l": (12, 11),
+}
+QUERY_POINT = (6.0, 6.0)
+
+# Table 1: check-ins per POI in epochs [t0,t1), [t1,t2), [t2,tc].
+TABLE_1 = {
+    "a": (1, 1, 0), "b": (1, 0, 1), "c": (2, 2, 2), "d": (2, 0, 0),
+    "e": (1, 1, 0), "f": (3, 5, 4), "g": (2, 3, 1), "h": (1, 1, 0),
+    "i": (2, 2, 2), "j": (2, 0, 0), "k": (1, 0, 1), "l": (1, 0, 1),
+}
+
+PAPER_D_MAX = 15.6
+PAPER_G_MAX = 12
+
+
+def build_example_tree(strategy="integral3d", **kwargs):
+    tree = TARTree(
+        world=Rect((0.0, 0.0), (14.0, 14.0)),
+        clock=EpochClock(0.0, 1.0),
+        current_time=3.0,
+        strategy=strategy,
+        tia_backend="memory",
+        **kwargs,
+    )
+    for name, (x, y) in POSITIONS.items():
+        epochs = {i: c for i, c in enumerate(TABLE_1[name]) if c > 0}
+        tree.insert_poi(POI(name, x, y), epochs)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def example_tree():
+    tree = build_example_tree()
+    tree.check_invariants()
+    return tree
+
+
+@pytest.fixture(scope="module")
+def paper_normalizer():
+    return Normalizer(PAPER_D_MAX, PAPER_G_MAX)
+
+
+@pytest.fixture(scope="module")
+def example_query():
+    return KNNTAQuery(point=QUERY_POINT, interval=TimeInterval(0.0, 3.0), k=1, alpha0=0.3)
+
+
+def test_table1_total_aggregates(example_tree):
+    interval = TimeInterval(0.0, 3.0)
+    for name, counts in TABLE_1.items():
+        tia = example_tree.poi_tia(name)
+        assert tia.aggregate(example_tree.clock, interval) == sum(counts)
+
+
+def test_max_aggregate_is_12(example_tree):
+    # f has 3 + 5 + 4 = 12 check-ins, the maximum used for normalisation.
+    assert example_tree.normalizer(TimeInterval(0.0, 3.0), exact=True).g_max == 12
+
+
+def test_paper_score_of_e(example_tree, example_query, paper_normalizer):
+    ranking = full_ranking(example_tree, example_query, paper_normalizer)
+    scores = {r.poi_id: r.score for r in ranking}
+    expected = 0.3 * math.sqrt(5) / 15.6 + 0.7 * (1 - 2 / 12)
+    assert scores["e"] == pytest.approx(expected)
+    assert scores["e"] == pytest.approx(0.626, abs=5e-4)
+
+
+def test_paper_score_of_f(example_tree, example_query, paper_normalizer):
+    ranking = full_ranking(example_tree, example_query, paper_normalizer)
+    scores = {r.poi_id: r.score for r in ranking}
+    assert scores["f"] == pytest.approx(0.3 * 3 / 15.6 + 0.7 * 0.0)
+    assert scores["f"] == pytest.approx(0.058, abs=5e-4)
+
+
+def test_top1_is_f(example_tree, example_query, paper_normalizer):
+    from repro.core.knnta import knnta_search
+
+    results = knnta_search(example_tree, example_query, normalizer=paper_normalizer)
+    assert [r.poi_id for r in results] == ["f"]
+
+
+def test_bfs_matches_scan_on_example(example_tree, paper_normalizer):
+    from repro.core.knnta import knnta_search
+
+    query = KNNTAQuery(QUERY_POINT, TimeInterval(0.0, 3.0), k=12, alpha0=0.3)
+    bfs = knnta_search(example_tree, query, normalizer=paper_normalizer)
+    scan = sequential_scan(example_tree, query, normalizer=paper_normalizer)
+    assert [r.poi_id for r in bfs] == [r.poi_id for r in scan]
+    for lhs, rhs in zip(bfs, scan):
+        assert lhs.score == pytest.approx(rhs.score)
+
+
+@pytest.mark.parametrize("strategy", ["integral3d", "spatial", "aggregate"])
+def test_every_strategy_answers_the_example(strategy, paper_normalizer):
+    from repro.core.knnta import knnta_search
+
+    tree = build_example_tree(strategy)
+    tree.check_invariants()
+    query = KNNTAQuery(QUERY_POINT, TimeInterval(0.0, 3.0), k=3, alpha0=0.3)
+    results = knnta_search(tree, query, normalizer=paper_normalizer)
+    assert results[0].poi_id == "f"
+    scan = sequential_scan(tree, query, normalizer=paper_normalizer)
+    assert [r.poi_id for r in results] == [r.poi_id for r in scan]
+
+
+def test_section41_internal_tia_example():
+    """Section 4.1: the internal entry's TIA stores the per-epoch maxima."""
+    first = MemoryTIA()
+    first.replace_all({0: 2, 1: 2, 2: 2})
+    second = MemoryTIA()
+    second.replace_all({0: 2, 1: 3, 2: 1})
+
+    class _Entry:
+        def __init__(self, tia):
+            self.tia = tia
+
+    maxima = TARTree._epoch_maxima([_Entry(first), _Entry(second)])
+    assert maxima == {0: 2, 1: 3, 2: 2}
+
+
+def test_tia_distance_example_from_section_51():
+    """Section 5.1: Manhattan distances between the TIAs of c, g and l."""
+    from repro.core.grouping import tia_manhattan
+
+    def tia_of(name):
+        tia = MemoryTIA()
+        tia.replace_all({i: c for i, c in enumerate(TABLE_1[name]) if c > 0})
+        return tia
+
+    assert tia_manhattan(tia_of("c"), tia_of("g")) == 2
+    assert tia_manhattan(tia_of("c"), tia_of("l")) == 4
+
+
+def test_search_region_dimensions_from_section_62():
+    """Section 6.2: alpha0=0.3, f(pk)=0.058 gives r0=0.192 and hl=0.082."""
+    fpk = 0.3 * 3 / 15.6  # the exact f(f) from the example
+    r0 = fpk / 0.3
+    hl = fpk / 0.7
+    assert r0 == pytest.approx(0.192, abs=1e-3)
+    assert hl == pytest.approx(0.082, abs=1e-3)

@@ -1,0 +1,79 @@
+"""The promised public surface of the ``repro`` package."""
+
+import math
+
+import pytest
+
+import repro
+
+
+EXPECTED_EXPORTS = [
+    "TARTree",
+    "POI",
+    "KNNTAQuery",
+    "QueryResult",
+    "TimeInterval",
+    "EpochClock",
+    "VariedEpochClock",
+    "IntervalSemantics",
+    "AggregateKind",
+    "AccessStats",
+    "CostModel",
+    "CollectiveProcessor",
+    "knnta_search",
+    "knnta_browse",
+    "sequential_scan",
+    "minimum_weight_adjustment",
+    "weight_adjustment_sequence",
+]
+
+
+def test_all_matches_module_contents():
+    for name in EXPECTED_EXPORTS:
+        assert name in repro.__all__, name
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_subpackages_importable():
+    import repro.analysis
+    import repro.cli
+    import repro.datasets
+    import repro.skyline
+    import repro.spatial
+    import repro.storage
+    import repro.temporal
+
+    assert callable(repro.cli.main)
+    assert callable(repro.datasets.make)
+
+
+def test_every_public_callable_has_a_docstring():
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        assert getattr(obj, "__doc__", None), "%s lacks a docstring" % name
+
+
+class TestInputHardening:
+    def test_poi_rejects_nan_coordinates(self):
+        with pytest.raises(ValueError):
+            repro.POI("p", float("nan"), 1.0)
+
+    def test_poi_rejects_infinite_coordinates(self):
+        with pytest.raises(ValueError):
+            repro.POI("p", 1.0, math.inf)
+
+    def test_rect_rejects_nan_bounds(self):
+        from repro.spatial.geometry import Rect
+
+        with pytest.raises(ValueError):
+            Rect((float("nan"), 0.0), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Rect((0.0, 0.0), (1.0, float("nan")))
