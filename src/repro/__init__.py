@@ -17,7 +17,7 @@ Quickstart::
                          k=10, alpha0=0.3)
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 from repro.core.collective import CollectiveProcessor
 from repro.core.costmodel import CostModel
@@ -26,6 +26,15 @@ from repro.core.mwa import minimum_weight_adjustment, weight_adjustment_sequence
 from repro.core.query import KNNTAQuery, QueryResult
 from repro.core.scan import sequential_scan
 from repro.core.tar_tree import POI, TARTree
+from repro.reliability.faults import FaultInjector, TransientIOError
+from repro.reliability.recovery import (
+    CheckpointedIngest,
+    RetryPolicy,
+    recover,
+    robust_knnta,
+)
+from repro.reliability.validate import validate_against_dataset, validate_tree
+from repro.storage.serialize import CorruptSnapshotError
 from repro.storage.stats import AccessStats
 from repro.temporal.epochs import EpochClock, TimeInterval, VariedEpochClock
 from repro.temporal.tia import AggregateKind, IntervalSemantics
@@ -48,5 +57,14 @@ __all__ = [
     "sequential_scan",
     "minimum_weight_adjustment",
     "weight_adjustment_sequence",
+    "FaultInjector",
+    "TransientIOError",
+    "RetryPolicy",
+    "CheckpointedIngest",
+    "recover",
+    "robust_knnta",
+    "validate_tree",
+    "validate_against_dataset",
+    "CorruptSnapshotError",
     "__version__",
 ]

@@ -9,6 +9,14 @@ Commands cover the library's end-to-end flow without writing code:
 * ``query`` — answer a kNNTA query against a saved tree, reporting the
   ranked POIs and the simulated I/O cost.
 * ``mwa`` — suggest the minimum weight adjustment for a query.
+* ``verify`` — load a saved tree and run the deep invariant validators
+  (:mod:`repro.reliability.validate`); optionally reconcile the leaf
+  TIAs against the source data set.
+
+Exit codes (all commands): ``0`` success, ``1`` a check failed (a scan
+cross-check mismatch, or ``verify`` found invariant violations), ``2``
+a snapshot was corrupt or unreadable (``CorruptSnapshotError``).
+``argparse`` itself exits with ``2`` on bad usage.
 
 Example session::
 
@@ -17,6 +25,7 @@ Example session::
     python -m repro build gs.npz --strategy integral3d --out gs-tree.json
     python -m repro query gs-tree.json --x 50 --y 50 --last-days 28 --k 5
     python -m repro mwa gs-tree.json --x 50 --y 50 --last-days 28 --k 5
+    python -m repro verify gs-tree.json --dataset gs.npz
 """
 
 import argparse
@@ -106,6 +115,30 @@ def build_parser():
     _add_query_arguments(mwa)
     mwa.add_argument(
         "--method", default="pruning", help="pruning or enumerating"
+    )
+
+    verify = commands.add_parser(
+        "verify",
+        help="validate a saved tree's structural and aggregate invariants",
+        description=(
+            "Load a tree snapshot (verifying its checksums) and run the "
+            "deep invariant validators: R*-tree structure, the internal-"
+            "TIA max-invariant, and — with --dataset — leaf-TIA histories "
+            "against the source data set. Exit code 0: all invariants "
+            "hold; 1: violations found (summarised on stdout); 2: the "
+            "snapshot is corrupt or unreadable."
+        ),
+    )
+    verify.add_argument("tree", help="tree file written by 'build'")
+    verify.add_argument(
+        "--dataset",
+        help="also reconcile leaf TIAs against this data set (.npz)",
+    )
+    verify.add_argument(
+        "--max-report",
+        type=int,
+        default=10,
+        help="maximum violations to print (default 10)",
     )
 
     return parser
@@ -239,12 +272,53 @@ def _command_mwa(args, out):
     return 0
 
 
+def _command_verify(args, out):
+    from repro.reliability.validate import validate_against_dataset, validate_tree
+    from repro.storage.serialize import (
+        CorruptSnapshotError,
+        load_dataset,
+        load_tree,
+    )
+
+    try:
+        tree = load_tree(args.tree)
+    except CorruptSnapshotError as exc:
+        print("corrupt tree snapshot (section %r): %s" % (exc.section, exc), file=out)
+        return 2
+    except OSError as exc:
+        print("cannot read tree snapshot %s: %s" % (args.tree, exc), file=out)
+        return 2
+    report = validate_tree(tree)
+    if args.dataset:
+        try:
+            data = load_dataset(args.dataset)
+        except CorruptSnapshotError as exc:
+            print(
+                "corrupt dataset snapshot (section %r): %s" % (exc.section, exc),
+                file=out,
+            )
+            return 2
+        except OSError as exc:
+            print(
+                "cannot read dataset snapshot %s: %s" % (args.dataset, exc),
+                file=out,
+            )
+            return 2
+        report.extend(validate_against_dataset(tree, data))
+    print(report.summary(limit=args.max_report), file=out)
+    if not report.ok:
+        print("violation codes: %s" % ", ".join(report.codes()), file=out)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "fit": _command_fit,
     "build": _command_build,
     "query": _command_query,
     "mwa": _command_mwa,
+    "verify": _command_verify,
 }
 
 

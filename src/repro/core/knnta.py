@@ -22,41 +22,17 @@ def knnta_search(tree, query, normalizer=None):
 
     ``normalizer`` defaults to the tree's root-bound normaliser for the
     query interval (see ``TARTree.normalizer``).  Node accesses and TIA
-    page accesses are recorded into ``tree.stats``.
+    page accesses are recorded into ``tree.stats``.  This is the
+    bounded form of :func:`knnta_browse` — it consumes exactly the
+    first ``query.k`` results of the same best-first traversal, so the
+    two functions are access-for-access identical up to ``k``.  (For
+    fault-tolerant execution see
+    :func:`repro.reliability.recovery.robust_knnta`.)
     """
     query.validate()
-    if normalizer is None:
-        normalizer = tree.normalizer(query.interval, query.semantics)
-    results = []
-    root = tree.root
-    if not root.entries:
-        return results
-    tie = itertools.count()
-    heap = []
-    tree.record_node_access(root)
-
-    def push(entry):
-        raw_distance = entry.mbr.min_dist(query.point)
-        raw_aggregate = tree.tia_aggregate(
-            entry.tia, query.interval, query.semantics
-        )
-        distance, aggregate = normalizer.components(raw_distance, raw_aggregate)
-        score = query.alpha0 * distance + query.alpha1 * (1.0 - aggregate)
-        heapq.heappush(heap, (score, next(tie), entry, distance, aggregate))
-
-    for entry in root.entries:
-        push(entry)
-    k = query.k
-    while heap and len(results) < k:
-        score, _, entry, distance, aggregate = heapq.heappop(heap)
-        if entry.is_leaf_entry:
-            results.append(QueryResult(entry.item, score, distance, aggregate))
-            continue
-        child = entry.child
-        tree.record_node_access(child)
-        for child_entry in child.entries:
-            push(child_entry)
-    return results
+    return list(
+        itertools.islice(knnta_browse(tree, query, normalizer=normalizer), query.k)
+    )
 
 
 def knnta_browse(tree, query, normalizer=None):

@@ -511,6 +511,20 @@ class TARTree:
         query = KNNTAQuery(tuple(q), interval, k, alpha0, semantics)
         return knnta_search(self, query, normalizer=normalizer)
 
+    def robust_knnta(self, q, interval, k=10, alpha0=0.3,
+                     semantics=IntervalSemantics.INTERSECTS, **options):
+        """Fault-tolerant kNNTA; see :func:`repro.reliability.recovery.robust_knnta`.
+
+        Retries transient storage faults with bounded backoff and falls
+        back to the sequential-scan baseline on persistent failure or
+        detected corruption.  Returns a
+        :class:`~repro.reliability.recovery.RobustAnswer`.
+        """
+        from repro.reliability.recovery import robust_knnta
+
+        query = KNNTAQuery(tuple(q), interval, k, alpha0, semantics)
+        return robust_knnta(self, query, **options)
+
     def entry_score(self, entry, query, normalizer):
         """Ranking score lower bound of an entry (Section 4.3).
 
@@ -687,57 +701,58 @@ class TARTree:
             self.insert_poi(poi, epochs)
 
     # ------------------------------------------------------------------
-    # Validation
+    # Validation / reliability hooks
     # ------------------------------------------------------------------
 
     def check_invariants(self):
-        """Assert every structural and aggregate invariant of the tree.
+        """Raise on any broken structural or aggregate invariant.
 
         Verifies parent pointers, fill bounds, exact MBR/grouping-rect
         coverage, the leaf registry, the per-epoch max property of every
         internal TIA (Property 1's precondition), and the global
-        per-epoch maxima.
+        per-epoch maxima.  Delegates to the structured validators in
+        :mod:`repro.reliability.validate` (so it keeps working under
+        ``python -O``, where ``assert`` statements vanish) and raises
+        ``AssertionError`` with the violation summary.
         """
-        count = 0
-        stack = [(self.root, None)]
+        from repro.reliability.validate import validate_tree
+
+        validate_tree(self).raise_if_failed(AssertionError)
+
+    def wrap_tias(self, wrapper):
+        """Replace every TIA with ``wrapper(tia)``; returns the tree.
+
+        ``wrapper`` is applied exactly once per distinct TIA object and
+        the identity shared between a leaf entry and the POI registry is
+        preserved.  The TIA factory is wrapped too, so entries created
+        later (splits, inserts) are equally covered.  This is the hook
+        the fault injector uses
+        (:func:`repro.reliability.faults.inject_tree_faults`); wrappers
+        must implement the :class:`~repro.temporal.tia.BaseTIA`
+        interface.
+        """
+        seen = {}
+
+        def once(tia):
+            replacement = seen.get(id(tia))
+            if replacement is None:
+                replacement = wrapper(tia)
+                seen[id(tia)] = replacement
+            return replacement
+
+        stack = [self.root]
         while stack:
-            node, parent = stack.pop()
-            assert node.parent is parent, "broken parent pointer"
-            if node is not self.root:
-                assert self.min_fill <= len(node.entries), (
-                    "node underfull: %d < %d" % (len(node.entries), self.min_fill)
-                )
-            assert len(node.entries) <= self.capacity, "node overfull"
-            if node.is_leaf:
-                for entry in node.entries:
-                    assert entry.item in self._pois, "leaf entry for unknown POI"
-                    assert self._leaf_of[entry.item] is node, "stale leaf registry"
-                    assert entry.tia is self._poi_tias[entry.item], "TIA registry mismatch"
-                count += len(node.entries)
-            else:
-                for entry in node.entries:
-                    child = entry.child
-                    assert child is not None and child.level == node.level - 1
-                    assert entry.rect == Rect.union_all(
-                        e.rect for e in child.entries
-                    ), "stale grouping rect"
-                    assert entry.mbr == Rect.union_all(
-                        e.mbr for e in child.entries
-                    ), "stale MBR"
-                    expected = self._epoch_maxima(child.entries)
-                    actual = dict(entry.tia.items())
-                    assert actual == expected, (
-                        "internal TIA violates the max property: %r != %r"
-                        % (actual, expected)
-                    )
-                    stack.append((child, node))
-        assert count == self._size == len(self._pois), "size bookkeeping broken"
-        expected_global = {}
-        for tia in self._poi_tias.values():
-            for epoch, value in tia.items():
-                if value > expected_global.get(epoch, 0):
-                    expected_global[epoch] = value
-        assert self.global_epoch_max() == expected_global, "global epoch maxima stale"
+            node = stack.pop()
+            for entry in node.entries:
+                entry.tia = once(entry.tia)
+                if entry.child is not None:
+                    stack.append(entry.child)
+        self._poi_tias = {
+            poi_id: once(tia) for poi_id, tia in self._poi_tias.items()
+        }
+        inner_factory = self._tia_factory
+        self._tia_factory = lambda: wrapper(inner_factory())
+        return self
 
     def __repr__(self):
         return "TARTree(strategy=%s, pois=%d, height=%d, capacity=%d)" % (

@@ -6,9 +6,12 @@ new epochs as they close (Section 4.2).  These helpers turn a
 
 * :func:`epoch_stream` yields ``(epoch_index, {poi_id: count})`` batches
   for the epochs between two times;
-* :func:`catch_up` brings a tree's TIAs exactly in line with a data
-  set's history (used by the growth experiments and by deployments that
-  rebuild from a checkpoint and replay the tail).
+* :func:`pending_counts` computes the per-epoch check-ins a data set
+  records beyond a tree's TIA content (the replay backlog);
+* :func:`catch_up` digests that backlog, bringing a tree's TIAs exactly
+  in line with the data set's history (used by the growth experiments
+  and by crash recovery — see :mod:`repro.reliability.recovery` —
+  where a tree rebuilt from a checkpoint replays the tail).
 """
 
 
@@ -35,13 +38,34 @@ def epoch_stream(dataset, clock, start_time=None, end_time=None, poi_ids=None):
         yield epoch, per_epoch[epoch]
 
 
+def pending_counts(tree, dataset, poi_ids=None):
+    """Per-epoch check-ins ``dataset`` records beyond the tree's TIAs.
+
+    Returns ``{epoch_index: {poi_id: positive delta}}`` over the indexed
+    POIs (or ``poi_ids``) — exactly the batches :func:`catch_up` would
+    digest.  An empty result means the tree is fully caught up.
+    """
+    if poi_ids is None:
+        poi_ids = list(tree.poi_ids())
+    full = dataset.epoch_counts(tree.clock, poi_ids)
+    pending = {}
+    for poi_id, epochs in full.items():
+        tia = tree.poi_tia(poi_id)
+        for epoch, count in epochs.items():
+            delta = count - tia.get(epoch)
+            if delta > 0:
+                pending.setdefault(epoch, {})[poi_id] = delta
+    return pending
+
+
 def catch_up(tree, dataset):
     """Digest whatever ``dataset`` records beyond the tree's TIA content.
 
     For every indexed POI, compares the data set's per-epoch counts with
-    the TIA and digests the positive differences epoch by epoch — after
-    which each leaf TIA equals the data set's history exactly.  Returns
-    the number of check-ins digested.
+    the TIA (:func:`pending_counts`) and digests the positive
+    differences epoch by epoch — after which each leaf TIA equals the
+    data set's history exactly.  Returns the number of check-ins
+    digested.
 
     Only meaningful for count/sum aggregate trees, where per-epoch values
     accumulate; raises for a max-aggregate tree (its epochs are peaks,
@@ -54,14 +78,7 @@ def catch_up(tree, dataset):
             "catch_up() reconciles additive histories; digest peak values "
             "directly for a max-aggregate tree"
         )
-    full = dataset.epoch_counts(tree.clock, list(tree.poi_ids()))
-    pending = {}
-    for poi_id, epochs in full.items():
-        tia = tree.poi_tia(poi_id)
-        for epoch, count in epochs.items():
-            delta = count - tia.get(epoch)
-            if delta > 0:
-                pending.setdefault(epoch, {})[poi_id] = delta
+    pending = pending_counts(tree, dataset)
     digested = 0
     for epoch in sorted(pending):
         tree.digest_epoch(epoch, pending[epoch])

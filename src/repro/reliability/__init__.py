@@ -1,0 +1,79 @@
+"""Reliability subsystem: faults, validation, degradation, recovery.
+
+Production spatio-temporal stores treat integrity verification and
+recovery as first-class; this package gives the reproduction the same
+footing.  Four cooperating pieces:
+
+* :mod:`repro.reliability.faults` — a deterministic, seedable fault
+  injector over the simulated storage layer (TIA reads, buffer pool,
+  snapshot I/O) plus file-corruption helpers, so every robustness claim
+  is exercised by a test rather than assumed.
+* :mod:`repro.reliability.validate` — deep invariant validators for
+  the R*-tree structure and the TAR-tree's internal-TIA max-invariant
+  (Property 1), returning structured violation reports that survive
+  ``python -O``.
+* :mod:`repro.reliability.recovery` — :func:`robust_knnta` (bounded
+  retry/backoff on transient faults, fallback to the sequential-scan
+  baseline on detected corruption) and crash-recoverable streaming
+  ingest (:class:`CheckpointedIngest` + an append-only digest log +
+  :func:`recover`).
+* checksummed persistence lives with the formats in
+  :mod:`repro.storage.serialize` (CRC-32 per section,
+  :class:`~repro.storage.serialize.CorruptSnapshotError`).
+"""
+
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultyBufferPool,
+    FaultyTIA,
+    TransientIOError,
+    constant,
+    decaying,
+    first_n,
+    flip_bit,
+    inject_tree_faults,
+    torn_write,
+    truncate_file,
+)
+from repro.reliability.recovery import (
+    CheckpointedIngest,
+    DigestLog,
+    RecoveryReport,
+    RetryPolicy,
+    RobustAnswer,
+    read_digest_log,
+    recover,
+    robust_knnta,
+)
+from repro.reliability.validate import (
+    ValidationReport,
+    Violation,
+    validate_against_dataset,
+    validate_tree,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultyBufferPool",
+    "FaultyTIA",
+    "TransientIOError",
+    "constant",
+    "decaying",
+    "first_n",
+    "flip_bit",
+    "inject_tree_faults",
+    "torn_write",
+    "truncate_file",
+    "CheckpointedIngest",
+    "DigestLog",
+    "RecoveryReport",
+    "RetryPolicy",
+    "RobustAnswer",
+    "read_digest_log",
+    "recover",
+    "robust_knnta",
+    "ValidationReport",
+    "Violation",
+    "validate_against_dataset",
+    "validate_tree",
+]

@@ -1,0 +1,475 @@
+"""Graceful degradation and crash recovery.
+
+Two halves:
+
+* **Robust querying** — :func:`robust_knnta` answers a kNNTA query
+  under the fault model of :mod:`repro.reliability.faults`: TIA reads
+  that raise :class:`~repro.reliability.faults.TransientIOError` are
+  retried with bounded exponential backoff, and when the index itself
+  is damaged (persistent faults, or corruption detected by
+  :mod:`repro.reliability.validate`) the query degrades to the exact
+  :func:`~repro.core.scan.sequential_scan` baseline over the leaf TIAs
+  — slower, never wrong.
+
+* **Crash-recoverable streaming ingest** — :class:`CheckpointedIngest`
+  pairs a checksummed tree snapshot with an append-only, CRC-framed
+  *digest log*.  Every ``digest_epoch`` batch is logged (write-ahead,
+  with the absolute per-POI value it must reach) before it is applied,
+  so :func:`recover` can rebuild a tree killed mid-epoch: load the
+  snapshot, replay the log idempotently, drop a torn tail, and finally
+  reconcile against the source data set via
+  :func:`repro.datasets.streaming.catch_up` — reaching a state exactly
+  consistent with the stream.
+"""
+
+import json
+import os
+import time
+import zlib
+
+from repro.reliability.faults import TransientIOError
+from repro.reliability.validate import validate_tree
+from repro.storage.serialize import CorruptSnapshotError, load_tree, save_tree
+from repro.temporal.tia import AggregateKind, IntervalSemantics
+
+_DEFAULT_SLEEP = object()
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient faults.
+
+    ``run(operation)`` retries ``operation`` up to ``max_retries`` times
+    on :class:`TransientIOError`, sleeping ``backoff * factor**i``
+    (capped at ``max_backoff``) between attempts.  ``sleep=None``
+    disables sleeping (tests); ``retries_used`` accumulates across
+    calls so a whole query's retry budget is observable.
+    """
+
+    def __init__(
+        self,
+        max_retries=8,
+        backoff=0.001,
+        factor=2.0,
+        max_backoff=0.05,
+        sleep=_DEFAULT_SLEEP,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0, got %r" % (max_retries,))
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.factor = factor
+        self.max_backoff = max_backoff
+        self._sleep = time.sleep if sleep is _DEFAULT_SLEEP else sleep
+        self.retries_used = 0
+
+    def run(self, operation):
+        """Call ``operation`` until it succeeds or the budget is spent."""
+        delay = self.backoff
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except TransientIOError:
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self.retries_used += 1
+                if self._sleep is not None and delay > 0:
+                    self._sleep(min(delay, self.max_backoff))
+                delay *= self.factor
+
+
+class _RetryingTree:
+    """A duck-typed TAR-tree view whose TIA reads retry transient faults.
+
+    Only the aggregate-reading entry points are intercepted; every other
+    attribute resolves on the wrapped tree, so the BFS and the scan run
+    unchanged on top of it.
+    """
+
+    def __init__(self, tree, policy):
+        self._tree = tree
+        self._policy = policy
+
+    def __getattr__(self, name):
+        return getattr(self._tree, name)
+
+    def tia_aggregate(self, tia, interval, semantics=IntervalSemantics.INTERSECTS):
+        return self._policy.run(
+            lambda: self._tree.tia_aggregate(tia, interval, semantics)
+        )
+
+    def normalizer(self, interval, semantics=IntervalSemantics.INTERSECTS,
+                   exact=False):
+        return self._policy.run(
+            lambda: self._tree.normalizer(interval, semantics, exact)
+        )
+
+
+class RobustAnswer:
+    """Result of :func:`robust_knnta` plus how it was obtained.
+
+    ``results`` is the ranked list a plain ``knnta_search`` would
+    return; ``used_fallback`` tells whether the sequential scan answered
+    instead of the BFS, ``reason`` why (``"corruption"`` or
+    ``"transient-faults"``), and ``retries`` how many transient faults
+    were absorbed along the way.
+    """
+
+    __slots__ = ("results", "used_fallback", "reason", "retries", "validation")
+
+    def __init__(self, results, used_fallback=False, reason=None, retries=0,
+                 validation=None):
+        self.results = results
+        self.used_fallback = used_fallback
+        self.reason = reason
+        self.retries = retries
+        self.validation = validation
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self):
+        return len(self.results)
+
+    def __repr__(self):
+        return "RobustAnswer(%d results, used_fallback=%r, reason=%r, retries=%d)" % (
+            len(self.results),
+            self.used_fallback,
+            self.reason,
+            self.retries,
+        )
+
+
+def robust_knnta(tree, query, normalizer=None, retry=None, validate=False,
+                 fallback=True):
+    """Answer ``query`` on ``tree``, degrading gracefully under faults.
+
+    Transient TIA faults are retried per read under ``retry`` (a
+    :class:`RetryPolicy`; one with defaults is created when omitted).
+    With ``validate=True`` the deep invariant validators run first and a
+    damaged tree is answered by the scan baseline over the leaf TIAs
+    (with an exact normaliser), which stays correct when internal TIAs
+    lie.  When the retry budget is exhausted and ``fallback`` is true,
+    the scan baseline — itself retried — answers instead; with
+    ``fallback=False`` the fault propagates.
+
+    Returns a :class:`RobustAnswer`; its ``results`` equal the
+    fault-free ``knnta_search`` output whenever the BFS path succeeds.
+    """
+    from repro.core.knnta import knnta_search
+    from repro.core.scan import sequential_scan
+
+    if retry is None:
+        retry = RetryPolicy()
+    view = _RetryingTree(tree, retry)
+    report = None
+    if validate:
+        report = validate_tree(tree)
+        if not report.ok:
+            scan_normalizer = normalizer
+            if scan_normalizer is None:
+                scan_normalizer = view.normalizer(
+                    query.interval, query.semantics, exact=True
+                )
+            results = sequential_scan(view, query, normalizer=scan_normalizer)
+            return RobustAnswer(
+                results,
+                used_fallback=True,
+                reason="corruption",
+                retries=retry.retries_used,
+                validation=report,
+            )
+    try:
+        results = knnta_search(view, query, normalizer=normalizer)
+        return RobustAnswer(
+            results, retries=retry.retries_used, validation=report
+        )
+    except TransientIOError:
+        if not fallback:
+            raise
+    results = sequential_scan(view, query, normalizer=normalizer)
+    return RobustAnswer(
+        results,
+        used_fallback=True,
+        reason="transient-faults",
+        retries=retry.retries_used,
+        validation=report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Digest log + checkpointing
+# ---------------------------------------------------------------------------
+
+
+def _frame(body):
+    return "%08x %s\n" % (zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, body)
+
+
+def _parse_line(line):
+    """Return the decoded record, or ``None`` for a damaged line."""
+    line = line.rstrip("\n")
+    if not line:
+        return None
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_text, body = line[:8], line[9:]
+    try:
+        stored = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != stored:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    if (
+        not isinstance(record, list)
+        or len(record) != 3
+        or not isinstance(record[2], list)
+    ):
+        return None
+    return record
+
+
+class DigestLog:
+    """An append-only, CRC-framed log of digested epoch batches.
+
+    Each line is ``<crc32 hex> <json>`` with the JSON body
+    ``[seq, epoch_index, [[poi_id, delta, value_after], ...]]``.
+    ``value_after`` is the *absolute* TIA value the batch must reach,
+    which makes replay idempotent: a record whose effects are already in
+    a snapshot (or were half-applied before a crash) replays as a
+    no-op.  A torn final line — the signature of a crash mid-append —
+    is detected by its failed CRC and dropped; a damaged line *before*
+    intact ones means real corruption and raises
+    :class:`~repro.storage.serialize.CorruptSnapshotError`.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = open(path, "a")
+        self._seq = self._last_seq() + 1
+
+    def _last_seq(self):
+        last = -1
+        if os.path.exists(self.path):
+            records, _ = read_digest_log(self.path)
+            if records:
+                last = records[-1][0]
+        return last
+
+    def append(self, epoch_index, pairs):
+        """Frame and durably append one batch; returns its sequence number."""
+        seq = self._seq
+        body = json.dumps(
+            [seq, int(epoch_index), [list(pair) for pair in pairs]],
+            separators=(",", ":"),
+        )
+        self._handle.write(_frame(body))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._seq += 1
+        return seq
+
+    def truncate(self):
+        """Drop every record (after a checkpoint made them redundant)."""
+        self._handle.close()
+        self._handle = open(self.path, "w")
+        self._handle.flush()
+        self._seq = 0
+
+    def close(self):
+        self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def read_digest_log(path):
+    """Parse a digest log; returns ``(records, dropped_tail_lines)``.
+
+    ``records`` holds the intact ``[seq, epoch, pairs]`` bodies in
+    order; ``dropped_tail_lines`` counts torn/garbled lines at the tail.
+    Raises :class:`CorruptSnapshotError` when damage appears *before*
+    intact records (mid-log corruption) or sequence numbers go
+    backwards.
+    """
+    if not os.path.exists(path):
+        return [], 0
+    with open(path, "r", errors="replace") as handle:
+        lines = [line for line in handle if line.strip()]
+    parsed = [_parse_line(line) for line in lines]
+    last_ok = -1
+    for i, record in enumerate(parsed):
+        if record is not None:
+            last_ok = i
+    bad_before_ok = sum(1 for record in parsed[: last_ok + 1] if record is None)
+    if bad_before_ok:
+        raise CorruptSnapshotError(
+            "digest log %s has %d corrupt record(s) before intact ones"
+            % (path, bad_before_ok),
+            section="digest-log",
+        )
+    records = [record for record in parsed if record is not None]
+    for earlier, later in zip(records, records[1:]):
+        if later[0] <= earlier[0]:
+            raise CorruptSnapshotError(
+                "digest log %s has non-monotonic sequence numbers (%d then %d)"
+                % (path, earlier[0], later[0]),
+                section="digest-log",
+            )
+    return records, len(parsed) - (last_ok + 1)
+
+
+class CheckpointedIngest:
+    """Streaming ingest with write-ahead logging and checkpoints.
+
+    Wraps a live tree so every digested epoch is framed into the digest
+    log *before* it touches the TIAs, and :meth:`checkpoint` atomically
+    persists a checksummed snapshot (temp file + ``os.replace``) and
+    resets the log.  POI insertions/deletions are not logged — take a
+    checkpoint after changing the POI set.
+
+    ``directory`` receives ``<name>.json`` (the snapshot) and
+    ``<name>.digestlog``.  A snapshot is written on construction when
+    none exists, so :func:`recover` always has a base state.
+    """
+
+    def __init__(self, tree, directory, name="tree"):
+        self.tree = tree
+        self.directory = directory
+        self.name = name
+        os.makedirs(directory, exist_ok=True)
+        self.snapshot_path = os.path.join(directory, name + ".json")
+        self.log_path = os.path.join(directory, name + ".digestlog")
+        if not os.path.exists(self.snapshot_path):
+            self._write_snapshot()
+        self.log = DigestLog(self.log_path)
+
+    def _write_snapshot(self):
+        temp_path = self.snapshot_path + ".tmp"
+        save_tree(self.tree, temp_path)
+        os.replace(temp_path, self.snapshot_path)
+
+    def digest(self, epoch_index, counts):
+        """Log, then apply, one epoch's check-in batch (Section 4.2)."""
+        tree = self.tree
+        is_max = tree.aggregate_kind is AggregateKind.MAX
+        pairs = []
+        for poi_id in sorted(counts, key=lambda poi: (str(type(poi)), str(poi))):
+            delta = counts[poi_id]
+            if delta <= 0:
+                continue
+            current = tree.poi_tia(poi_id).get(epoch_index)
+            value_after = max(current, delta) if is_max else current + delta
+            pairs.append([poi_id, delta, value_after])
+        if not pairs:
+            return None
+        seq = self.log.append(epoch_index, pairs)
+        tree.digest_epoch(epoch_index, counts)
+        return seq
+
+    def checkpoint(self):
+        """Persist the tree atomically and reset the log.
+
+        Snapshot first, truncate second: a crash between the two leaves
+        a log whose records are already contained in the snapshot, and
+        idempotent replay turns them into no-ops.
+        """
+        self._write_snapshot()
+        self.log.truncate()
+        return self.snapshot_path
+
+    def close(self):
+        self.log.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+class RecoveryReport:
+    """What :func:`recover` did: the tree plus replay/reconcile counters."""
+
+    __slots__ = (
+        "tree",
+        "replayed_epochs",
+        "dropped_tail_records",
+        "skipped_pois",
+        "caught_up_checkins",
+    )
+
+    def __init__(self, tree, replayed_epochs, dropped_tail_records,
+                 skipped_pois, caught_up_checkins):
+        self.tree = tree
+        self.replayed_epochs = replayed_epochs
+        self.dropped_tail_records = dropped_tail_records
+        self.skipped_pois = skipped_pois
+        self.caught_up_checkins = caught_up_checkins
+
+    def summary(self):
+        """One-line description of the recovery outcome."""
+        return (
+            "recovered %d POIs: %d epoch batch(es) replayed, %d torn log "
+            "record(s) dropped, %d unknown POI entr(ies) skipped, %d "
+            "check-in(s) caught up from the data set"
+            % (
+                len(self.tree),
+                self.replayed_epochs,
+                self.dropped_tail_records,
+                self.skipped_pois,
+                self.caught_up_checkins,
+            )
+        )
+
+    def __repr__(self):
+        return "RecoveryReport(%s)" % self.summary()
+
+
+def recover(directory, name="tree", dataset=None, stats=None, **overrides):
+    """Rebuild a :class:`CheckpointedIngest` state after a crash.
+
+    Loads the checksummed snapshot, replays the digest log idempotently
+    (each record raises a TIA to its recorded absolute value, so
+    half-applied batches and post-checkpoint leftovers are harmless),
+    drops a torn tail, and — when the source ``dataset`` is given —
+    runs :func:`repro.datasets.streaming.catch_up` so the tree ends
+    exactly consistent with the stream, including any batch whose log
+    record was lost with the crash.  Returns a :class:`RecoveryReport`.
+    """
+    from repro.datasets.streaming import catch_up
+
+    snapshot_path = os.path.join(directory, name + ".json")
+    log_path = os.path.join(directory, name + ".digestlog")
+    tree = load_tree(snapshot_path, stats=stats, **overrides)
+    records, dropped = read_digest_log(log_path)
+    is_max = tree.aggregate_kind is AggregateKind.MAX
+    replayed = 0
+    skipped = 0
+    for _seq, epoch_index, pairs in records:
+        deltas = {}
+        for poi_id, _delta, value_after in pairs:
+            if poi_id not in tree:
+                skipped += 1
+                continue
+            current = tree.poi_tia(poi_id).get(epoch_index)
+            if is_max:
+                if value_after > current:
+                    deltas[poi_id] = value_after
+            elif value_after > current:
+                deltas[poi_id] = value_after - current
+        if deltas:
+            tree.digest_epoch(epoch_index, deltas)
+            replayed += 1
+    caught_up = 0
+    if dataset is not None and not is_max:
+        caught_up = catch_up(tree, dataset)
+    return RecoveryReport(tree, replayed, dropped, skipped, caught_up)

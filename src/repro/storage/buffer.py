@@ -5,6 +5,11 @@ assigning "each TIA ... a maximum of 10 buffer slots".  A buffered page
 access is free; a miss costs one (simulated) disk page access.  For the
 *individual* query-processing baseline in Section 8.4 the TIAs get no
 buffer at all, which is modelled here by ``capacity=0``.
+
+Besides hit/miss counters the pool tracks *evictions* (pages pushed out
+by the LRU policy) separately from deliberate drops (``invalidate`` /
+``clear``), so chaos tests can assert exactly which pages are resident
+and why one left.
 """
 
 from collections import OrderedDict
@@ -22,9 +27,14 @@ class LRUBufferPool:
     The pool does not store page contents — the library keeps all data in
     Python objects — it only simulates the hit/miss behaviour needed for
     faithful page-access accounting.
+
+    Counter contract: ``hits + misses`` equals the number of ``access``
+    calls; ``evictions`` counts only capacity-driven LRU drops, never
+    pages removed by :meth:`invalidate` or :meth:`clear` (those are
+    deliberate, not pressure).  ``reset_counters`` zeroes all three.
     """
 
-    __slots__ = ("capacity", "_slots", "hits", "misses")
+    __slots__ = ("capacity", "_slots", "hits", "misses", "evictions")
 
     def __init__(self, capacity):
         if capacity < 0:
@@ -33,6 +43,7 @@ class LRUBufferPool:
         self._slots = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def access(self, page_id):
         """Touch ``page_id``; return ``True`` on a buffer hit."""
@@ -48,20 +59,38 @@ class LRUBufferPool:
         slots[page_id] = True
         if len(slots) > self.capacity:
             slots.popitem(last=False)
+            self.evictions += 1
         return False
 
     def invalidate(self, page_id):
-        """Drop ``page_id`` from the pool (e.g. after a page is freed)."""
-        self._slots.pop(page_id, None)
+        """Drop ``page_id`` from the pool (e.g. after a page is freed).
+
+        Returns ``True`` when the page was resident.  Deliberate drops
+        are not counted as evictions.
+        """
+        return self._slots.pop(page_id, None) is not None
 
     def clear(self):
-        """Empty the pool without resetting the hit/miss counters."""
+        """Empty the pool; returns the number of pages dropped.
+
+        Neither the hit/miss counters nor the eviction counter move —
+        ``clear`` models a deliberate flush, not cache pressure, so a
+        later :meth:`invalidate` of a cleared page correctly reports the
+        page as absent.
+        """
+        dropped = len(self._slots)
         self._slots.clear()
+        return dropped
 
     def reset_counters(self):
-        """Zero the hit/miss counters."""
+        """Zero the hit/miss/eviction counters."""
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def resident_pages(self):
+        """Resident page ids, least- to most-recently used."""
+        return tuple(self._slots)
 
     def __len__(self):
         return len(self._slots)
@@ -70,9 +99,14 @@ class LRUBufferPool:
         return page_id in self._slots
 
     def __repr__(self):
-        return "LRUBufferPool(capacity=%d, resident=%d, hits=%d, misses=%d)" % (
-            self.capacity,
-            len(self._slots),
-            self.hits,
-            self.misses,
+        return (
+            "LRUBufferPool(capacity=%d, resident=%d, hits=%d, misses=%d, "
+            "evictions=%d)"
+            % (
+                self.capacity,
+                len(self._slots),
+                self.hits,
+                self.misses,
+                self.evictions,
+            )
         )

@@ -11,26 +11,91 @@ Two formats:
   insertions, which is deterministic, so a reloaded tree answers every
   query identically; the physical node layout is reconstructed rather
   than copied.  POI identifiers must be JSON-representable scalars
-  (str/int); this is asserted at save time.
+  (str/int); a ``TypeError`` is raised at save time otherwise.
+
+Both formats are **checksummed** (format version 2): every logical
+section of a snapshot carries a CRC-32 over its canonical byte
+representation, verified on load.  A flipped bit, a torn write or a
+truncated file raises :class:`CorruptSnapshotError` naming the damaged
+section instead of silently producing a corrupt index.  Version-1
+snapshots (no checksums) are still read; unknown versions raise a clear
+``ValueError``.
+
+The optional ``opener`` argument of every function accepts an
+``open``-compatible callable, which is how the reliability layer's
+fault injector intercepts snapshot I/O (see
+:mod:`repro.reliability.faults`).
 """
 
 import json
+import zlib
 
 import numpy as np
 
 from repro.spatial.geometry import Rect
 from repro.temporal.epochs import EpochClock, VariedEpochClock
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+class CorruptSnapshotError(Exception):
+    """A saved data set or tree failed its integrity checks.
+
+    ``section`` names the damaged part of the snapshot (e.g. ``"pois"``
+    for a tree, ``"positions"`` for a data set, or ``"container"`` when
+    the file itself cannot be parsed).
+    """
+
+    def __init__(self, message, section="container"):
+        super().__init__(message)
+        self.section = section
+
+
+def _crc_bytes(data):
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _crc_json(section):
+    """CRC-32 of a JSON value's canonical (sorted, compact) encoding."""
+    return _crc_bytes(
+        json.dumps(section, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def _crc_array(array):
+    return _crc_bytes(np.ascontiguousarray(array).tobytes())
+
+
+def _check_version(version, what):
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(
+            "unsupported %s format version %r; this build reads versions %s"
+            % (what, version, ", ".join(str(v) for v in _SUPPORTED_VERSIONS))
+        )
 
 
 # ---------------------------------------------------------------------------
 # Data sets
 # ---------------------------------------------------------------------------
 
+#: npz fields protected by per-array checksums (everything but the
+#: version marker and the checksum arrays themselves).
+_DATASET_SECTIONS = (
+    "name",
+    "world",
+    "t0",
+    "tc",
+    "threshold",
+    "poi_ids",
+    "positions",
+    "lengths",
+    "times",
+)
 
-def save_dataset(dataset, path):
-    """Write ``dataset`` to ``path`` as a ``.npz`` archive."""
+
+def save_dataset(dataset, path, opener=None):
+    """Write ``dataset`` to ``path`` as a checksummed ``.npz`` archive."""
     poi_ids = sorted(dataset.positions)
     positions = np.array(
         [dataset.positions[poi_id] for poi_id in poi_ids], dtype=np.float64
@@ -43,54 +108,140 @@ def save_dataset(dataset, path):
     flat_times = (
         np.concatenate(times) if times else np.empty(0, dtype=np.float64)
     )
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
-        name=np.str_(dataset.name),
-        world=np.array(dataset.world.lows + dataset.world.highs),
-        t0=np.float64(dataset.t0),
-        tc=np.float64(dataset.tc),
-        threshold=np.int64(dataset.threshold),
-        poi_ids=np.array(poi_ids),
-        positions=positions,
-        lengths=lengths,
-        times=flat_times,
+    arrays = {
+        "version": np.int64(_FORMAT_VERSION),
+        "name": np.str_(dataset.name),
+        "world": np.array(dataset.world.lows + dataset.world.highs),
+        "t0": np.float64(dataset.t0),
+        "tc": np.float64(dataset.tc),
+        "threshold": np.int64(dataset.threshold),
+        "poi_ids": np.array(poi_ids),
+        "positions": positions,
+        "lengths": lengths,
+        "times": flat_times,
+    }
+    arrays["checksum_names"] = np.array(_DATASET_SECTIONS)
+    arrays["checksum_values"] = np.array(
+        [_crc_array(arrays[name]) for name in _DATASET_SECTIONS], dtype=np.uint32
     )
+    if opener is not None:
+        with opener(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+    else:
+        np.savez_compressed(path, **arrays)
 
 
-def load_dataset(path):
+def _read_member(archive, name):
+    """Read one npz member, converting container damage to a clear error."""
+    try:
+        return archive[name]
+    except KeyError:
+        raise CorruptSnapshotError(
+            "dataset snapshot is missing section %r" % name, section=name
+        )
+    except (zlib.error, OSError, EOFError, ValueError) as exc:
+        # Flipped bits inside a compressed member surface as zlib/IO
+        # errors; zipfile.BadZipFile is handled by the caller.
+        raise CorruptSnapshotError(
+            "dataset section %r is unreadable: %s" % (name, exc), section=name
+        )
+
+
+def load_dataset(path, opener=None):
     """Read a :class:`~repro.datasets.generator.Dataset` written by
-    :func:`save_dataset`."""
+    :func:`save_dataset`.
+
+    Raises :class:`CorruptSnapshotError` when the archive is truncated,
+    bit-flipped or fails a section checksum, and ``ValueError`` for an
+    unknown format version.
+    """
+    import zipfile
+
     from repro.datasets.generator import Dataset
 
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError("unsupported dataset format version %d" % version)
-        world_values = archive["world"]
-        world = Rect(world_values[:2], world_values[2:])
-        poi_ids = [_plain(v) for v in archive["poi_ids"]]
-        positions_array = archive["positions"]
-        lengths = archive["lengths"]
-        flat_times = archive["times"]
-        positions = {
-            poi_id: (float(x), float(y))
-            for poi_id, (x, y) in zip(poi_ids, positions_array)
-        }
-        checkin_times = {}
-        offset = 0
-        for poi_id, length in zip(poi_ids, lengths):
-            checkin_times[poi_id] = flat_times[offset : offset + int(length)].copy()
-            offset += int(length)
-        return Dataset(
-            str(archive["name"]),
-            world,
-            float(archive["t0"]),
-            float(archive["tc"]),
-            positions,
-            checkin_times,
-            int(archive["threshold"]),
+    handle = None
+    try:
+        if opener is not None:
+            handle = opener(path, "rb")
+            archive_cm = np.load(handle, allow_pickle=False)
+        else:
+            archive_cm = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, zlib.error, EOFError, ValueError) as exc:
+        if handle is not None:
+            handle.close()
+        raise CorruptSnapshotError(
+            "dataset snapshot %s is not a readable npz archive: %s" % (path, exc)
         )
+    try:
+        with archive_cm as archive:
+            version = int(_read_member(archive, "version"))
+            _check_version(version, "dataset")
+            if version >= 2:
+                _verify_dataset_checksums(archive)
+            world_values = _read_member(archive, "world")
+            world = Rect(world_values[:2], world_values[2:])
+            poi_ids = [_plain(v) for v in _read_member(archive, "poi_ids")]
+            positions_array = _read_member(archive, "positions")
+            lengths = _read_member(archive, "lengths")
+            flat_times = _read_member(archive, "times")
+            if positions_array.shape[0] != len(poi_ids) or lengths.shape[0] != len(
+                poi_ids
+            ):
+                raise CorruptSnapshotError(
+                    "dataset arrays disagree on the number of POIs",
+                    section="positions",
+                )
+            if int(lengths.sum()) != flat_times.shape[0]:
+                raise CorruptSnapshotError(
+                    "check-in lengths do not add up to the stored timestamps",
+                    section="times",
+                )
+            positions = {
+                poi_id: (float(x), float(y))
+                for poi_id, (x, y) in zip(poi_ids, positions_array)
+            }
+            checkin_times = {}
+            offset = 0
+            for poi_id, length in zip(poi_ids, lengths):
+                checkin_times[poi_id] = flat_times[
+                    offset : offset + int(length)
+                ].copy()
+                offset += int(length)
+            return Dataset(
+                str(_read_member(archive, "name")),
+                world,
+                float(_read_member(archive, "t0")),
+                float(_read_member(archive, "tc")),
+                positions,
+                checkin_times,
+                int(_read_member(archive, "threshold")),
+            )
+    except zipfile.BadZipFile as exc:
+        raise CorruptSnapshotError(
+            "dataset snapshot %s has a corrupt member: %s" % (path, exc)
+        )
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def _verify_dataset_checksums(archive):
+    names = [_plain(v) for v in _read_member(archive, "checksum_names")]
+    values = _read_member(archive, "checksum_values")
+    stored = dict(zip(names, (int(v) for v in values)))
+    for name in _DATASET_SECTIONS:
+        if name not in stored:
+            raise CorruptSnapshotError(
+                "dataset snapshot lacks a checksum for section %r" % name,
+                section=name,
+            )
+        actual = _crc_array(_read_member(archive, name))
+        if actual != stored[name]:
+            raise CorruptSnapshotError(
+                "dataset section %r failed its CRC-32 check "
+                "(stored 0x%08x, computed 0x%08x)" % (name, stored[name], actual),
+                section=name,
+            )
 
 
 def _plain(value):
@@ -121,11 +272,11 @@ def _clock_from_json(payload):
     raise ValueError("unknown clock type %r" % (payload["type"],))
 
 
-def save_tree(tree, path):
-    """Write the logical content and configuration of ``tree`` as JSON."""
+def _tree_sections(tree):
+    """Split a tree's logical content into the checksummed sections."""
     pois = []
     for poi_id in tree.poi_ids():
-        if not isinstance(poi_id, (str, int)):
+        if not isinstance(poi_id, (str, int)) or isinstance(poi_id, bool):
             raise TypeError(
                 "POI id %r is not JSON-representable; use str or int ids"
                 % (poi_id,)
@@ -133,8 +284,7 @@ def save_tree(tree, path):
         poi = tree.poi(poi_id)
         history = [[int(e), v] for e, v in tree.poi_tia(poi_id).items()]
         pois.append([poi_id, poi.x, poi.y, history])
-    payload = {
-        "version": _FORMAT_VERSION,
+    config = {
         "world": {"lows": list(tree.world.lows), "highs": list(tree.world.highs)},
         "clock": _clock_to_json(tree.clock),
         "current_time": tree.current_time,
@@ -143,40 +293,138 @@ def save_tree(tree, path):
         "tia_backend": tree.tia_backend,
         "aggregate_kind": tree.aggregate_kind.value,
         "max_mean_rate": tree.max_mean_rate(),
-        "pois": pois,
     }
-    with open(path, "w") as handle:
+    return {"config": config, "pois": pois}
+
+
+def save_tree(tree, path, opener=None):
+    """Write the logical content and configuration of ``tree`` as JSON.
+
+    The snapshot is framed into checksummed sections (``config``,
+    ``pois``); :func:`load_tree` verifies each CRC-32 before rebuilding
+    the index.
+    """
+    sections = _tree_sections(tree)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "sections": sections,
+        "checksums": {name: _crc_json(body) for name, body in sections.items()},
+    }
+    if opener is None:
+        opener = open
+    with opener(path, "w") as handle:
         json.dump(payload, handle)
 
 
-def load_tree(path, stats=None, **overrides):
+def _tree_payload_sections(path, payload):
+    """Return the verified ``{"config": ..., "pois": ...}`` sections."""
+    if not isinstance(payload, dict):
+        raise CorruptSnapshotError(
+            "tree snapshot %s does not hold a JSON object" % path
+        )
+    if "version" not in payload:
+        raise CorruptSnapshotError(
+            "tree snapshot %s lacks a format version marker" % path,
+            section="config",
+        )
+    version = payload["version"]
+    _check_version(version, "tree")
+    if version == 1:
+        # Legacy flat layout, no checksums: the payload doubles as the
+        # config section and carries the POI list inline.
+        legacy = dict(payload)
+        pois = legacy.pop("pois", None)
+        if pois is None:
+            raise CorruptSnapshotError(
+                "tree snapshot %s lacks its POI section" % path, section="pois"
+            )
+        legacy.pop("version", None)
+        return {"config": legacy, "pois": pois}
+    sections = payload.get("sections")
+    checksums = payload.get("checksums")
+    if not isinstance(sections, dict) or not isinstance(checksums, dict):
+        raise CorruptSnapshotError(
+            "tree snapshot %s lacks its section/checksum framing" % path
+        )
+    for name in ("config", "pois"):
+        if name not in sections:
+            raise CorruptSnapshotError(
+                "tree snapshot %s is missing section %r" % (path, name),
+                section=name,
+            )
+        if name not in checksums:
+            raise CorruptSnapshotError(
+                "tree snapshot %s lacks a checksum for section %r" % (path, name),
+                section=name,
+            )
+        actual = _crc_json(sections[name])
+        if actual != checksums[name]:
+            raise CorruptSnapshotError(
+                "tree section %r failed its CRC-32 check "
+                "(stored %r, computed %d)" % (name, checksums[name], actual),
+                section=name,
+            )
+    return sections
+
+
+def load_tree(path, stats=None, opener=None, **overrides):
     """Rebuild a TAR-tree written by :func:`save_tree`.
 
     ``overrides`` are forwarded to the ``TARTree`` constructor (e.g. a
     different ``tia_buffer_slots``); the indexed content is always the
-    saved one.
+    saved one.  Raises :class:`CorruptSnapshotError` on truncated or
+    bit-flipped snapshots and ``ValueError`` on unknown format versions.
     """
     from repro.core.tar_tree import POI, TARTree
 
-    with open(path) as handle:
-        payload = json.load(handle)
-    if payload["version"] != _FORMAT_VERSION:
-        raise ValueError("unsupported tree format version %d" % payload["version"])
-    config = dict(
-        world=Rect(payload["world"]["lows"], payload["world"]["highs"]),
-        clock=_clock_from_json(payload["clock"]),
-        current_time=payload["current_time"],
-        strategy=payload["strategy"],
-        node_size=payload["node_size"],
-        tia_backend=payload["tia_backend"],
-        aggregate_kind=payload["aggregate_kind"],
-        stats=stats,
-    )
+    if opener is None:
+        opener = open
+    with opener(path) as handle:
+        try:
+            payload = json.load(handle)
+        except ValueError as exc:  # json.JSONDecodeError subclasses ValueError
+            raise CorruptSnapshotError(
+                "tree snapshot %s is not valid JSON (truncated or corrupt): %s"
+                % (path, exc)
+            )
+    sections = _tree_payload_sections(path, payload)
+    config_json = sections["config"]
+    try:
+        config = dict(
+            world=Rect(
+                config_json["world"]["lows"], config_json["world"]["highs"]
+            ),
+            clock=_clock_from_json(config_json["clock"]),
+            current_time=config_json["current_time"],
+            strategy=config_json["strategy"],
+            node_size=config_json["node_size"],
+            tia_backend=config_json["tia_backend"],
+            aggregate_kind=config_json["aggregate_kind"],
+            stats=stats,
+        )
+        max_mean_rate = config_json["max_mean_rate"]
+    except (KeyError, TypeError) as exc:
+        raise CorruptSnapshotError(
+            "tree snapshot %s has a malformed config section: %r" % (path, exc),
+            section="config",
+        )
     config.update(overrides)
     tree = TARTree(**config)
     # Restore the lambda-hat normaliser before placement so integral-3D
     # z-coordinates match the saved tree's.
-    tree._max_mean_rate = payload["max_mean_rate"]
-    for poi_id, x, y, history in payload["pois"]:
-        tree.insert_poi(POI(poi_id, x, y), {int(e): v for e, v in history})
+    tree._max_mean_rate = max_mean_rate
+    try:
+        for poi_id, x, y, history in sections["pois"]:
+            tree.insert_poi(POI(poi_id, x, y), {int(e): v for e, v in history})
+    except (TypeError, ValueError) as exc:
+        raise CorruptSnapshotError(
+            "tree snapshot %s has a malformed POI section: %s" % (path, exc),
+            section="pois",
+        )
+    # insert_poi keeps a running maximum and may have pushed it past the
+    # saved normaliser (histories digested after the build drift upward
+    # until refresh_aggregate_dimension).  Restore the exact saved value:
+    # save -> load must reproduce the tree's state, not "heal" it, or
+    # crash recovery could never reach a byte-identical snapshot.
+    tree._max_mean_rate = max_mean_rate
     return tree

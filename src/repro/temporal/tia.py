@@ -24,6 +24,7 @@ the default.
 
 import enum
 import itertools
+import zlib
 
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.pager import tia_internal_capacity, tia_leaf_capacity
@@ -177,6 +178,27 @@ class BaseTIA:
         if num_epochs <= 0:
             return 0.0
         return self.total() / float(num_epochs)
+
+    def as_dict(self):
+        """Materialise the content as ``{epoch_index: agg}``.
+
+        A structural read (like :meth:`items`): not charged as simulated
+        I/O, used by validation, recovery and maintenance code.
+        """
+        return dict(self.items())
+
+    def fingerprint(self):
+        """CRC-32 over the canonical content; a cheap equality probe.
+
+        Two TIAs storing the same per-epoch aggregates fingerprint
+        identically regardless of backend — the hook for background
+        scrubbing and for fast divergence checks in the reliability
+        layer.
+        """
+        crc = 0
+        for epoch, agg in self.items():
+            crc = zlib.crc32(("%r:%r;" % (epoch, agg)).encode("ascii"), crc)
+        return crc & 0xFFFFFFFF
 
     def __len__(self):
         return sum(1 for _ in self.items())

@@ -1,5 +1,7 @@
 """LRU buffer pool behaviour."""
 
+from collections import OrderedDict
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -94,3 +96,115 @@ def test_property_working_set_within_capacity_always_hits(accesses):
     for page in accesses:
         pool.access(page)
     assert pool.misses == len(set(accesses))
+
+
+def test_eviction_counter_counts_only_pressure():
+    pool = LRUBufferPool(2)
+    pool.access("a")
+    pool.access("b")
+    assert pool.evictions == 0
+    pool.access("c")  # evicts a
+    assert pool.evictions == 1
+    pool.invalidate("b")  # deliberate: not an eviction
+    pool.clear()
+    assert pool.evictions == 1
+
+
+def test_invalidate_reports_residency():
+    pool = LRUBufferPool(2)
+    pool.access("a")
+    assert pool.invalidate("a") is True
+    assert pool.invalidate("a") is False
+    assert pool.invalidate("never-seen") is False
+
+
+def test_clear_returns_dropped_count_then_invalidate_sees_nothing():
+    pool = LRUBufferPool(4)
+    for page in ("a", "b", "c"):
+        pool.access(page)
+    assert pool.clear() == 3
+    assert pool.clear() == 0
+    # The interplay that used to be easy to get wrong: after a clear,
+    # invalidating a previously-resident page must report absence.
+    assert pool.invalidate("a") is False
+
+
+def test_resident_pages_lru_to_mru_order():
+    pool = LRUBufferPool(3)
+    for page in ("a", "b", "c"):
+        pool.access(page)
+    pool.access("a")  # refresh
+    assert pool.resident_pages() == ("b", "c", "a")
+    pool.access("d")  # evicts b
+    assert pool.resident_pages() == ("c", "a", "d")
+
+
+def test_reset_counters_zeroes_evictions():
+    pool = LRUBufferPool(1)
+    pool.access("a")
+    pool.access("b")
+    assert pool.evictions == 1
+    pool.reset_counters()
+    assert (pool.hits, pool.misses, pool.evictions) == (0, 0, 0)
+
+
+class _ModelPool:
+    """Reference model: the documented contract, written the naive way."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.pages = OrderedDict()
+        self.hits = self.misses = self.evictions = 0
+
+    def access(self, page):
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        if page in self.pages:
+            self.pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.pages[page] = True
+        while len(self.pages) > self.capacity:
+            self.pages.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def invalidate(self, page):
+        return self.pages.pop(page, None) is not None
+
+    def clear(self):
+        dropped = len(self.pages)
+        self.pages.clear()
+        return dropped
+
+
+_OPERATIONS = st.one_of(
+    st.tuples(st.just("access"), st.integers(0, 6)),
+    st.tuples(st.just("invalidate"), st.integers(0, 6)),
+    st.tuples(st.just("clear"), st.none()),
+)
+
+
+@given(st.integers(0, 4), st.lists(_OPERATIONS, max_size=300))
+def test_property_matches_reference_model(capacity, operations):
+    # Drive the pool and an independently written model through the same
+    # interleaving of access/invalidate/clear; every observable (return
+    # values, counters, residency, order) must agree at every step.
+    pool = LRUBufferPool(capacity)
+    model = _ModelPool(capacity)
+    for name, argument in operations:
+        if name == "access":
+            assert pool.access(argument) == model.access(argument)
+        elif name == "invalidate":
+            assert pool.invalidate(argument) == model.invalidate(argument)
+        else:
+            assert pool.clear() == model.clear()
+        assert pool.resident_pages() == tuple(model.pages)
+        assert (pool.hits, pool.misses, pool.evictions) == (
+            model.hits,
+            model.misses,
+            model.evictions,
+        )
+        assert len(pool) == len(model.pages)

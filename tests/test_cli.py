@@ -119,3 +119,61 @@ class TestMWA:
         _, pruning = run_cli(argv + ["--method", "pruning"])
         _, enumerating = run_cli(argv + ["--method", "enumerating"])
         assert pruning == enumerating
+
+
+class TestVerify:
+    def test_clean_tree_exits_zero(self, tree_file):
+        code, output = run_cli(["verify", str(tree_file)])
+        assert code == 0
+        assert "no violations" in output
+
+    def test_clean_tree_with_dataset_exits_zero(self, tree_file, dataset_file):
+        code, output = run_cli(
+            ["verify", str(tree_file), "--dataset", str(dataset_file)]
+        )
+        assert code == 0
+        assert "no violations" in output
+
+    def test_mismatched_dataset_exits_one(self, tree_file, tmp_path):
+        other = tmp_path / "other.npz"
+        code, _ = run_cli(
+            ["generate", "--preset", "LA", "--scale", "0.01", "--seed", "4",
+             "--out", str(other)]
+        )
+        assert code == 0
+        code, output = run_cli(
+            ["verify", str(tree_file), "--dataset", str(other)]
+        )
+        assert code == 1
+        assert "violation codes" in output
+
+    def test_corrupt_tree_exits_two(self, tree_file, tmp_path):
+        import json
+
+        corrupt = tmp_path / "corrupt.json"
+        payload = json.loads(tree_file.read_text())
+        payload["sections"]["pois"][0][3][0][1] += 1
+        corrupt.write_text(json.dumps(payload))
+        code, output = run_cli(["verify", str(corrupt)])
+        assert code == 2
+        assert "corrupt tree snapshot" in output
+        assert "'pois'" in output
+
+    def test_missing_files_exit_two(self, tree_file, tmp_path):
+        code, output = run_cli(["verify", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "cannot read tree snapshot" in output
+        code, output = run_cli(
+            ["verify", str(tree_file), "--dataset", str(tmp_path / "no.npz")]
+        )
+        assert code == 2
+        assert "cannot read dataset snapshot" in output
+
+    def test_corrupt_dataset_exits_two(self, tree_file, tmp_path):
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"\x00" * 64)
+        code, output = run_cli(
+            ["verify", str(tree_file), "--dataset", str(garbage)]
+        )
+        assert code == 2
+        assert "corrupt dataset snapshot" in output
