@@ -246,20 +246,27 @@ class DigestLog:
     is detected by its failed CRC and dropped; a damaged line *before*
     intact ones means real corruption and raises
     :class:`~repro.storage.serialize.CorruptSnapshotError`.
+
+    Opening an existing log *repairs* a torn tail: the file is truncated
+    back to the end of its last intact record before the append handle
+    is created, so a post-crash append starts on a fresh line instead of
+    concatenating onto the torn fragment (which would garble the new,
+    acked record and poison every later read).
     """
 
     def __init__(self, path):
         self.path = path
+        # Scan before opening for append: a CorruptSnapshotError here
+        # must not leak a handle, and a torn tail must be cut off so the
+        # next append starts at a clean record boundary.
+        records, _dropped, valid_end = _scan_digest_log(path)
+        self._seq = records[-1][0] + 1 if records else 0
+        if os.path.exists(path) and os.path.getsize(path) > valid_end:
+            with open(path, "r+b") as repair:
+                repair.truncate(valid_end)
+                repair.flush()
+                os.fsync(repair.fileno())
         self._handle = open(path, "a")
-        self._seq = self._last_seq() + 1
-
-    def _last_seq(self):
-        last = -1
-        if os.path.exists(self.path):
-            records, _ = read_digest_log(self.path)
-            if records:
-                last = records[-1][0]
-        return last
 
     def append(self, epoch_index, pairs):
         """Frame and durably append one batch; returns its sequence number."""
@@ -291,6 +298,57 @@ class DigestLog:
         self.close()
 
 
+def _scan_digest_log(path):
+    """Parse a digest log at byte granularity.
+
+    Returns ``(records, dropped_tail_lines, valid_prefix_bytes)`` where
+    ``valid_prefix_bytes`` is the file offset just past the last intact,
+    newline-terminated record — the truncation point that discards a
+    torn tail without touching any acked data.  Raises
+    :class:`CorruptSnapshotError` when damage appears *before* intact
+    records (mid-log corruption) or sequence numbers go backwards.
+    """
+    if not os.path.exists(path):
+        return [], 0, 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    entries = []  # (record_or_None, end_offset_incl_newline) per non-blank line
+    pos = 0
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        end = len(data) if newline == -1 else newline + 1
+        chunk = data[pos:end]
+        if chunk.strip():
+            record = _parse_line(chunk.decode("utf-8", errors="replace"))
+            # A final line without its newline is torn even if the CRC
+            # happens to pass — never treat it as a safe append point.
+            if newline == -1:
+                record = None
+            entries.append((record, end))
+        pos = end
+    last_ok = -1
+    for i, (record, _end) in enumerate(entries):
+        if record is not None:
+            last_ok = i
+    bad_before_ok = sum(1 for record, _ in entries[: last_ok + 1] if record is None)
+    if bad_before_ok:
+        raise CorruptSnapshotError(
+            "digest log %s has %d corrupt record(s) before intact ones"
+            % (path, bad_before_ok),
+            section="digest-log",
+        )
+    records = [record for record, _ in entries if record is not None]
+    for earlier, later in zip(records, records[1:]):
+        if later[0] <= earlier[0]:
+            raise CorruptSnapshotError(
+                "digest log %s has non-monotonic sequence numbers (%d then %d)"
+                % (path, earlier[0], later[0]),
+                section="digest-log",
+            )
+    valid_end = entries[last_ok][1] if last_ok >= 0 else 0
+    return records, len(entries) - (last_ok + 1), valid_end
+
+
 def read_digest_log(path):
     """Parse a digest log; returns ``(records, dropped_tail_lines)``.
 
@@ -300,31 +358,8 @@ def read_digest_log(path):
     intact records (mid-log corruption) or sequence numbers go
     backwards.
     """
-    if not os.path.exists(path):
-        return [], 0
-    with open(path, "r", errors="replace") as handle:
-        lines = [line for line in handle if line.strip()]
-    parsed = [_parse_line(line) for line in lines]
-    last_ok = -1
-    for i, record in enumerate(parsed):
-        if record is not None:
-            last_ok = i
-    bad_before_ok = sum(1 for record in parsed[: last_ok + 1] if record is None)
-    if bad_before_ok:
-        raise CorruptSnapshotError(
-            "digest log %s has %d corrupt record(s) before intact ones"
-            % (path, bad_before_ok),
-            section="digest-log",
-        )
-    records = [record for record in parsed if record is not None]
-    for earlier, later in zip(records, records[1:]):
-        if later[0] <= earlier[0]:
-            raise CorruptSnapshotError(
-                "digest log %s has non-monotonic sequence numbers (%d then %d)"
-                % (path, earlier[0], later[0]),
-                section="digest-log",
-            )
-    return records, len(parsed) - (last_ok + 1)
+    records, dropped, _valid_end = _scan_digest_log(path)
+    return records, dropped
 
 
 class CheckpointedIngest:
@@ -353,9 +388,22 @@ class CheckpointedIngest:
         self.log = DigestLog(self.log_path)
 
     def _write_snapshot(self):
+        # fsync before the rename: checkpoint() truncates the WAL right
+        # after this returns, so the snapshot must be durable first or a
+        # power loss could leave an empty log over a vanished snapshot.
         temp_path = self.snapshot_path + ".tmp"
         save_tree(self.tree, temp_path)
+        with open(temp_path, "rb") as handle:
+            os.fsync(handle.fileno())
         os.replace(temp_path, self.snapshot_path)
+        try:
+            dir_fd = os.open(self.directory or ".", os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds; rename is best-effort
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def digest(self, epoch_index, counts):
         """Log, then apply, one epoch's check-in batch (Section 4.2)."""
@@ -397,7 +445,14 @@ class CheckpointedIngest:
 
 
 class RecoveryReport:
-    """What :func:`recover` did: the tree plus replay/reconcile counters."""
+    """What :func:`recover` did: the tree plus replay/reconcile counters.
+
+    ``caught_up_checkins`` is the number of check-ins reconciled from
+    the source data set, ``0`` when no reconciliation was needed, or
+    ``None`` when it was requested but *skipped* — a max-aggregate tree
+    cannot be reconciled by :func:`~repro.datasets.streaming.catch_up`,
+    so a batch whose log record was torn away may remain unrecovered.
+    """
 
     __slots__ = (
         "tree",
@@ -417,16 +472,24 @@ class RecoveryReport:
 
     def summary(self):
         """One-line description of the recovery outcome."""
+        if self.caught_up_checkins is None:
+            caught_up = (
+                "data-set reconciliation skipped (max-aggregate tree)"
+            )
+        else:
+            caught_up = (
+                "%d check-in(s) caught up from the data set"
+                % self.caught_up_checkins
+            )
         return (
             "recovered %d POIs: %d epoch batch(es) replayed, %d torn log "
-            "record(s) dropped, %d unknown POI entr(ies) skipped, %d "
-            "check-in(s) caught up from the data set"
+            "record(s) dropped, %d unknown POI entr(ies) skipped, %s"
             % (
                 len(self.tree),
                 self.replayed_epochs,
                 self.dropped_tail_records,
                 self.skipped_pois,
-                self.caught_up_checkins,
+                caught_up,
             )
         )
 
@@ -444,6 +507,12 @@ def recover(directory, name="tree", dataset=None, stats=None, **overrides):
     runs :func:`repro.datasets.streaming.catch_up` so the tree ends
     exactly consistent with the stream, including any batch whose log
     record was lost with the crash.  Returns a :class:`RecoveryReport`.
+
+    For a *max*-aggregate tree ``catch_up`` cannot reconcile (epochs are
+    peaks, not additive counts), so the data-set pass is skipped and the
+    report's ``caught_up_checkins`` is ``None``: a batch torn away with
+    the crash stays unrecovered, and callers must not assume exact
+    consistency beyond the last intact log record.
     """
     from repro.datasets.streaming import catch_up
 
@@ -470,6 +539,8 @@ def recover(directory, name="tree", dataset=None, stats=None, **overrides):
             tree.digest_epoch(epoch_index, deltas)
             replayed += 1
     caught_up = 0
-    if dataset is not None and not is_max:
-        caught_up = catch_up(tree, dataset)
+    if dataset is not None:
+        # catch_up() raises for MAX trees; record the skip instead of
+        # silently reporting "0 caught up" as if reconciliation ran.
+        caught_up = None if is_max else catch_up(tree, dataset)
     return RecoveryReport(tree, replayed, dropped, skipped, caught_up)

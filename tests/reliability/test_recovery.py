@@ -242,6 +242,46 @@ class TestDigestLog:
         assert [record[0] for record in records] == [0]
         assert dropped == 1
 
+    def test_reopen_after_torn_tail_repairs_log(self, tmp_path):
+        # The crash signature: file ends mid-record without a newline.
+        # Reopening must truncate the torn fragment so the next append
+        # starts on a fresh line — otherwise the new (acked, fsync'd)
+        # record is glued onto the fragment and lost, and every later
+        # read raises for mid-log corruption.
+        path = str(tmp_path / "x.digestlog")
+        with DigestLog(path) as log:
+            log.append(0, [["a", 1, 1]])
+            log.append(1, [["b", 2, 2]])
+        with open(path, "rb+") as handle:
+            handle.seek(-5, 2)
+            handle.truncate()  # tear the final record mid-line
+        with DigestLog(path) as log:
+            assert log.append(1, [["b", 2, 2]]) == 1  # seq resumes after intact prefix
+            log.append(2, [["c", 3, 3]])
+        records, dropped = read_digest_log(path)
+        assert dropped == 0
+        assert [(record[0], record[1]) for record in records] == [(0, 0), (1, 1), (2, 2)]
+
+    def test_intact_final_line_without_newline_is_torn(self, tmp_path):
+        # An acked record always ends in "\n" (append writes the full
+        # frame before fsync), so a newline-less final line is a torn
+        # write even when its CRC happens to verify.
+        path = str(tmp_path / "x.digestlog")
+        with DigestLog(path) as log:
+            log.append(0, [["a", 1, 1]])
+            log.append(1, [["b", 2, 2]])
+        with open(path, "rb+") as handle:
+            handle.seek(-1, 2)
+            handle.truncate()  # strip only the trailing newline
+        records, dropped = read_digest_log(path)
+        assert [record[0] for record in records] == [0]
+        assert dropped == 1
+        with DigestLog(path) as log:
+            assert log.append(1, [["b", 2, 2]]) == 1
+        records, dropped = read_digest_log(path)
+        assert dropped == 0
+        assert [record[0] for record in records] == [0, 1]
+
     def test_corruption_before_intact_records_raises(self, tmp_path):
         path = str(tmp_path / "x.digestlog")
         with DigestLog(path) as log:
@@ -370,6 +410,62 @@ class TestCheckpointedIngestRecovery:
         assert report.replayed_epochs == len(batches) - 1
         assert report.caught_up_checkins > 0
         assert_same_tree(reference, report.tree, tmp_path)
+
+    def test_ingest_resumes_cleanly_after_torn_tail(self, small_dataset, tmp_path):
+        # Reviewer reproduction: crash leaves a torn log tail, recovery
+        # runs, then a new CheckpointedIngest reuses the directory.  The
+        # repaired log must accept fresh batches without losing them or
+        # poisoning later reads/recoveries.
+        dir_a = make_base_snapshot(small_dataset, tmp_path / "a")
+        dir_b = make_base_snapshot(small_dataset, tmp_path / "b")
+        batches = sorted_batches(load_tree(dir_a + "/tree.json"), small_dataset)
+        assert len(batches) >= 3, "dataset too small for the scenario"
+        reference = self.reference_run(dir_a, batches)
+
+        self.reference_run(dir_b, batches[:-1])
+        with open(dir_b + "/tree.digestlog", "rb+") as handle:
+            handle.seek(-4, 2)
+            handle.truncate()  # crash tears the last record (batches[-2])
+        report = recover(dir_b)  # no dataset: torn batch stays pending
+        assert report.dropped_tail_records == 1
+        assert report.replayed_epochs == len(batches) - 2
+
+        with CheckpointedIngest(report.tree, dir_b) as ingest:
+            for epoch, counts in batches[-2:]:
+                assert ingest.digest(epoch, counts) is not None
+        records, dropped = read_digest_log(dir_b + "/tree.digestlog")
+        assert dropped == 0
+        assert [record[1] for record in records[-2:]] == [
+            epoch for epoch, _counts in batches[-2:]
+        ]
+        final = recover(dir_b)
+        assert_same_tree(reference, final.tree, tmp_path)
+
+    def test_max_tree_recovery_reports_skipped_reconciliation(
+        self, small_dataset, tmp_path
+    ):
+        # catch_up() cannot reconcile peak (MAX) histories; recover()
+        # must surface the skip instead of pretending "0 caught up".
+        rng = random.Random(3)
+        tree = TARTree(
+            world=Rect((0.0, 0.0), (20.0, 20.0)),
+            clock=EpochClock(0.0, 1.0),
+            current_time=10.0,
+            tia_backend="memory",
+            aggregate_kind="max",
+        )
+        for i in range(20):
+            history = {e: rng.randrange(1, 8) for e in range(5)}
+            tree.insert_poi(POI(i, rng.random() * 20, rng.random() * 20), history)
+        directory = str(tmp_path / "m")
+        with CheckpointedIngest(tree, directory) as ingest:
+            ingest.digest(6, {0: 9, 1: 4})
+        report = recover(directory, dataset=small_dataset)
+        assert report.caught_up_checkins is None
+        assert "reconciliation skipped" in report.summary()
+        assert report.tree.poi_tia(0).get(6) == 9
+        no_dataset = recover(directory)
+        assert no_dataset.caught_up_checkins == 0  # none requested, none skipped
 
     def test_checkpoint_truncates_log_and_survives_restart(
         self, small_dataset, tmp_path
