@@ -67,7 +67,7 @@ def main():
     query = KNNTAQuery(point=me, interval=last_hour, k=3, alpha0=0.4)
 
     print("\nWhere is the party right now?  (top-3, last hour, alpha0=%.1f)" % query.alpha0)
-    results = tree.knnta(me, last_hour, k=3, alpha0=query.alpha0)
+    results = tree.query(query)
     for rank, result in enumerate(results, start=1):
         club = tree.poi(result.poi_id)
         headcount = tree.poi_tia(result.poi_id).aggregate(tree.clock, last_hour)
@@ -90,7 +90,7 @@ def main():
 
     if mwa.gamma_upper is not None:
         nudged = min(0.99, mwa.gamma_upper + 0.01)
-        changed = tree.knnta(me, last_hour, k=3, alpha0=nudged)
+        changed = tree.query(query._replace(alpha0=nudged))
         print("\nAt alpha0 = %.3f the top-3 becomes: %s" % (
             nudged, [r.poi_id for r in changed]
         ))

@@ -40,7 +40,7 @@ def main():
         query.k, query.point, query.alpha0
     ))
     snapshot = tree.stats.snapshot()
-    results = tree.knnta(query.point, query.interval, k=query.k, alpha0=query.alpha0)
+    results = tree.query(query)
     accesses = tree.stats.diff(snapshot)
     for rank, result in enumerate(results, start=1):
         poi = tree.poi(result.poi_id)
@@ -60,7 +60,7 @@ def main():
     print("  identical top-%d -- the BFS is exact." % query.k)
 
     print("\nWeights are a preference: alpha0=0.9 asks for 'mostly nearby'.")
-    nearby = tree.knnta(query.point, query.interval, k=5, alpha0=0.9)
+    nearby = tree.query(query._replace(alpha0=0.9))
     print("  nearest-leaning top-5: %s" % [r.poi_id for r in nearby])
     print("  popularity-leaning top-5: %s" % [r.poi_id for r in results])
 

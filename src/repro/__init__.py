@@ -9,15 +9,23 @@ generators calibrated to the paper's data sets.
 
 Quickstart::
 
-    from repro import datasets, TARTree, TimeInterval
+    from repro import datasets, KNNTAQuery, TARTree, TimeInterval
 
     data = datasets.make("NYC", scale=0.05, seed=7)
     tree = TARTree.build(data)
-    results = tree.knnta(q=(0.4, 0.6), interval=TimeInterval(0, 28),
-                         k=10, alpha0=0.3)
+    query = KNNTAQuery((0.4, 0.6), TimeInterval(0, 28), k=10, alpha0=0.3)
+    results = tree.query(query)
+
+One :class:`~repro.core.query.KNNTAQuery` value serves every entry
+point — ``tree.query``, the fault-tolerant ``tree.robust_query``, the
+module-level :func:`knnta_search` / :func:`sequential_scan` /
+:func:`robust_knnta`, and the enhancement APIs — and they all yield
+rows that destructure like :class:`~repro.core.query.QueryResult`.
+The legacy ``tree.knnta(q, interval, ...)`` kwargs shape survives as a
+deprecated shim.
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 from repro.core.collective import CollectiveProcessor
 from repro.core.costmodel import CostModel
@@ -25,15 +33,18 @@ from repro.core.knnta import knnta_browse, knnta_search
 from repro.core.mwa import minimum_weight_adjustment, weight_adjustment_sequence
 from repro.core.query import KNNTAQuery, QueryResult
 from repro.core.scan import sequential_scan
-from repro.core.tar_tree import POI, TARTree
+from repro.core.tar_tree import POI, TARTree, UnloggedMutationError
 from repro.reliability.faults import FaultInjector, TransientIOError
 from repro.reliability.recovery import (
     CheckpointedIngest,
+    RecoveryReport,
     RetryPolicy,
+    RobustAnswer,
     recover,
     robust_knnta,
 )
 from repro.reliability.validate import validate_against_dataset, validate_tree
+from repro.reliability.wal import MutationWAL, WalRecord, read_wal
 from repro.storage.serialize import CorruptSnapshotError
 from repro.storage.stats import AccessStats
 from repro.temporal.epochs import EpochClock, TimeInterval, VariedEpochClock
@@ -61,8 +72,14 @@ __all__ = [
     "TransientIOError",
     "RetryPolicy",
     "CheckpointedIngest",
+    "MutationWAL",
+    "WalRecord",
+    "read_wal",
     "recover",
+    "RecoveryReport",
+    "RobustAnswer",
     "robust_knnta",
+    "UnloggedMutationError",
     "validate_tree",
     "validate_against_dataset",
     "CorruptSnapshotError",

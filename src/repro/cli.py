@@ -12,10 +12,16 @@ Commands cover the library's end-to-end flow without writing code:
 * ``verify`` — load a saved tree and run the deep invariant validators
   (:mod:`repro.reliability.validate`); optionally reconcile the leaf
   TIAs against the source data set.
+* ``recover`` — rebuild a crash-recoverable ingest state
+  (:mod:`repro.reliability.recovery`): load the checkpoint snapshot in
+  a directory, replay its mutation WAL, and report per-record-type
+  replay counts; optionally reconcile against the source data set and
+  re-checkpoint the recovered tree.
 
 Exit codes (all commands): ``0`` success, ``1`` a check failed (a scan
-cross-check mismatch, or ``verify`` found invariant violations), ``2``
-a snapshot was corrupt or unreadable (``CorruptSnapshotError``).
+cross-check mismatch, ``verify`` found invariant violations, or
+``recover --verify`` found violations after replay), ``2`` a snapshot
+or WAL was corrupt or unreadable (``CorruptSnapshotError``).
 ``argparse`` itself exits with ``2`` on bad usage.
 
 Example session::
@@ -26,6 +32,7 @@ Example session::
     python -m repro query gs-tree.json --x 50 --y 50 --last-days 28 --k 5
     python -m repro mwa gs-tree.json --x 50 --y 50 --last-days 28 --k 5
     python -m repro verify gs-tree.json --dataset gs.npz
+    python -m repro recover state-dir --dataset gs.npz --checkpoint
 """
 
 import argparse
@@ -141,6 +148,42 @@ def build_parser():
         help="maximum violations to print (default 10)",
     )
 
+    recover = commands.add_parser(
+        "recover",
+        help="replay a checkpoint directory's mutation WAL after a crash",
+        description=(
+            "Load the checkpoint snapshot in DIRECTORY (verifying its "
+            "checksums), replay the mutation WAL past the snapshot's "
+            "applied-LSN high-water mark (dropping a torn tail), and "
+            "print the per-record-type replay counts. Exit code 0: "
+            "recovery succeeded; 1: --verify found invariant violations "
+            "in the recovered tree; 2: the snapshot or WAL is corrupt "
+            "or unreadable."
+        ),
+    )
+    recover.add_argument(
+        "directory", help="state directory written by CheckpointedIngest"
+    )
+    recover.add_argument(
+        "--name",
+        default="tree",
+        help="state name inside the directory (default 'tree')",
+    )
+    recover.add_argument(
+        "--dataset",
+        help="reconcile the recovered tree against this data set (.npz)",
+    )
+    recover.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a fresh checkpoint (snapshot + reset WAL) on success",
+    )
+    recover.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the deep invariant validators on the recovered tree",
+    )
+
     return parser
 
 
@@ -210,7 +253,6 @@ def _command_build(args, out):
 
 
 def _command_query(args, out):
-    from repro.core.knnta import knnta_search
     from repro.core.query import KNNTAQuery
     from repro.core.scan import sequential_scan
     from repro.storage.serialize import load_tree
@@ -219,7 +261,7 @@ def _command_query(args, out):
     interval = _resolve_interval(tree, args)
     query = KNNTAQuery((args.x, args.y), interval, k=args.k, alpha0=args.alpha0)
     snapshot = tree.stats.snapshot()
-    results = knnta_search(tree, query)
+    results = tree.query(query)
     cost = tree.stats.diff(snapshot)
     print(
         "top-%d at (%g, %g) over [%g, %g], alpha0=%g:"
@@ -312,6 +354,52 @@ def _command_verify(args, out):
     return 0
 
 
+def _command_recover(args, out):
+    from repro.reliability.recovery import CheckpointedIngest, recover
+    from repro.reliability.validate import validate_tree
+    from repro.storage.serialize import CorruptSnapshotError, load_dataset
+
+    dataset = None
+    if args.dataset:
+        try:
+            dataset = load_dataset(args.dataset)
+        except CorruptSnapshotError as exc:
+            print(
+                "corrupt dataset snapshot (section %r): %s" % (exc.section, exc),
+                file=out,
+            )
+            return 2
+        except OSError as exc:
+            print(
+                "cannot read dataset snapshot %s: %s" % (args.dataset, exc),
+                file=out,
+            )
+            return 2
+    try:
+        report = recover(args.directory, name=args.name, dataset=dataset)
+    except CorruptSnapshotError as exc:
+        print(
+            "corrupt state (section %r): %s" % (exc.section, exc), file=out
+        )
+        return 2
+    except OSError as exc:
+        print(
+            "cannot read state in %s: %s" % (args.directory, exc), file=out
+        )
+        return 2
+    print(report.summary(), file=out)
+    if args.checkpoint:
+        with CheckpointedIngest(report.tree, args.directory, name=args.name) as ingest:
+            path = ingest.checkpoint()
+        print("checkpointed to %s" % path, file=out)
+    if args.verify:
+        validation = validate_tree(report.tree)
+        print(validation.summary(), file=out)
+        if not validation.ok:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "fit": _command_fit,
@@ -319,6 +407,7 @@ _COMMANDS = {
     "query": _command_query,
     "mwa": _command_mwa,
     "verify": _command_verify,
+    "recover": _command_recover,
 }
 
 

@@ -16,6 +16,7 @@ follows the configured entry grouping strategy
 """
 
 import math
+import warnings
 
 from repro.core.grouping import resolve_strategy
 from repro.core.query import KNNTAQuery, Normalizer
@@ -34,6 +35,19 @@ from repro.temporal.tia import (
 
 DEFAULT_NODE_SIZE = 1024
 DEFAULT_EPOCH_LENGTH_DAYS = 7.0
+
+
+class UnloggedMutationError(RuntimeError):
+    """A WAL-wrapped tree was mutated in a way the log cannot express.
+
+    Raised by structural rebuilds (:meth:`TARTree.bulk_load`,
+    :meth:`TARTree.refresh_aggregate_dimension`) while a mutation
+    listener is attached: their effects cannot be replayed from WAL
+    records, so allowing them would silently diverge the durable state
+    from the in-memory tree.  Detach the listener first (close the
+    :class:`~repro.reliability.recovery.CheckpointedIngest`), rebuild,
+    then re-wrap and take a fresh checkpoint.
+    """
 
 
 class POI:
@@ -142,6 +156,12 @@ class TARTree:
         self._global_max_dirty = False
         self._max_mean_rate = 0.0
         self._size = 0
+        self._mutation_listener = None
+        #: LSN of the last write-ahead-logged mutation applied to this
+        #: tree (``None`` when the tree has never been WAL-wrapped).
+        #: Persisted by :func:`repro.storage.serialize.save_tree` so a
+        #: snapshot doubles as a replay high-water mark.
+        self.applied_lsn = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -212,6 +232,12 @@ class TARTree:
         from repro.core.grouping import AggregateGrouping
         from repro.spatial.bulk import str_partition
 
+        if self._mutation_listener is not None:
+            raise UnloggedMutationError(
+                "bulk_load cannot be write-ahead logged; detach the "
+                "mutation listener (close the CheckpointedIngest), "
+                "rebuild, then re-wrap with a fresh checkpoint"
+            )
         if isinstance(self.strategy, AggregateGrouping):
             raise ValueError(
                 "IND-agg groups by distribution distance; bulk loading is "
@@ -412,11 +438,17 @@ class TARTree:
         ``epoch_aggregates`` is ``{epoch_index: count}``; the counts are
         loaded into the POI's TIA before placement so every grouping
         strategy sees the aggregate information.
+
+        When a mutation listener is attached (the tree is wrapped by a
+        :class:`~repro.reliability.recovery.CheckpointedIngest`) the
+        insertion is write-ahead logged before any state changes.
         """
         if poi.poi_id in self._pois:
             raise ValueError("POI %r is already indexed" % (poi.poi_id,))
         if not self.world.contains_point(poi.point):
             raise ValueError("POI %r lies outside the world %r" % (poi, self.world))
+        if self._mutation_listener is not None:
+            self._mutation_listener.will_insert_poi(self, poi, epoch_aggregates)
         tia = self._tia_factory()
         if epoch_aggregates:
             tia.replace_all(epoch_aggregates)
@@ -440,9 +472,15 @@ class TARTree:
         self._size += 1
 
     def delete_poi(self, poi_id):
-        """Remove ``poi_id``; returns ``True`` when it was indexed."""
+        """Remove ``poi_id``; returns ``True`` when it was indexed.
+
+        Write-ahead logged when a mutation listener is attached; a
+        miss (unknown id) is not a mutation and is never logged.
+        """
         if poi_id not in self._pois:
             return False
+        if self._mutation_listener is not None:
+            self._mutation_listener.will_delete_poi(self, poi_id)
         leaf = self._leaf_of[poi_id]
         for i, entry in enumerate(leaf.entries):
             if entry.item == poi_id:
@@ -472,8 +510,13 @@ class TARTree:
         of check-ins for count/sum aggregates, or the epoch's peak value
         for the max aggregate.  Each non-zero value is stored in the
         POI's TIA and the per-epoch maxima along the leaf-to-root path
-        are raised — the batch update procedure of Section 4.2.
+        are raised — the batch update procedure of Section 4.2.  With a
+        mutation listener attached the batch is write-ahead logged
+        (with the absolute per-POI value it must reach) before any TIA
+        changes.
         """
+        if self._mutation_listener is not None:
+            self._mutation_listener.will_digest_epoch(self, epoch_index, counts)
         maxima = self.global_epoch_max()
         is_max_kind = self.aggregate_kind is AggregateKind.MAX
         for poi_id, delta in counts.items():
@@ -503,27 +546,80 @@ class TARTree:
     # Queries
     # ------------------------------------------------------------------
 
-    def knnta(self, q, interval, k=10, alpha0=0.3,
-              semantics=IntervalSemantics.INTERSECTS, normalizer=None):
-        """Answer a kNNTA query; see :func:`repro.core.knnta.knnta_search`."""
+    def query(self, query, normalizer=None):
+        """Answer a :class:`~repro.core.query.KNNTAQuery` — the canonical
+        query entry point.
+
+        Delegates to :func:`repro.core.knnta.knnta_search` and returns
+        the ranked :class:`~repro.core.query.QueryResult` list.  Every
+        other entry point (:meth:`robust_query`, the module-level
+        functions, the deprecated :meth:`knnta` shim) accepts the same
+        query value, so one ``KNNTAQuery`` serves them all.
+        """
         from repro.core.knnta import knnta_search
 
-        query = KNNTAQuery(tuple(q), interval, k, alpha0, semantics)
         return knnta_search(self, query, normalizer=normalizer)
 
-    def robust_knnta(self, q, interval, k=10, alpha0=0.3,
-                     semantics=IntervalSemantics.INTERSECTS, **options):
-        """Fault-tolerant kNNTA; see :func:`repro.reliability.recovery.robust_knnta`.
+    def robust_query(self, query, **options):
+        """Fault-tolerant form of :meth:`query`.
 
-        Retries transient storage faults with bounded backoff and falls
-        back to the sequential-scan baseline on persistent failure or
-        detected corruption.  Returns a
-        :class:`~repro.reliability.recovery.RobustAnswer`.
+        Takes the same :class:`~repro.core.query.KNNTAQuery`; retries
+        transient storage faults with bounded backoff and falls back to
+        the sequential-scan baseline on persistent failure or detected
+        corruption (see
+        :func:`repro.reliability.recovery.robust_knnta` for the
+        options).  Returns a
+        :class:`~repro.reliability.recovery.RobustAnswer`, whose rows
+        destructure exactly like :meth:`query`'s list.
         """
         from repro.reliability.recovery import robust_knnta
 
-        query = KNNTAQuery(tuple(q), interval, k, alpha0, semantics)
         return robust_knnta(self, query, **options)
+
+    def _coerce_query(self, name, q, interval, k, alpha0, semantics):
+        """Shim support: accept a KNNTAQuery or the legacy kwargs shape."""
+        if isinstance(q, KNNTAQuery):
+            return q
+        warnings.warn(
+            "TARTree.%s(q, interval, ...) is deprecated; build a "
+            "KNNTAQuery and call TARTree.query() / TARTree.robust_query()"
+            % name,
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if interval is None:
+            raise TypeError(
+                "%s() needs an interval when not given a KNNTAQuery" % name
+            )
+        return KNNTAQuery(tuple(q), interval, k, alpha0, semantics)
+
+    def knnta(self, q, interval=None, k=10, alpha0=0.3,
+              semantics=IntervalSemantics.INTERSECTS, normalizer=None):
+        """Deprecated shim over :meth:`query`.
+
+        Accepts either a ready :class:`~repro.core.query.KNNTAQuery` or
+        the legacy ``(q, interval, k, alpha0)`` kwargs shape; the
+        latter emits a :class:`DeprecationWarning`.  Answers are
+        identical to :meth:`query`.
+        """
+        return self.query(
+            self._coerce_query("knnta", q, interval, k, alpha0, semantics),
+            normalizer=normalizer,
+        )
+
+    def robust_knnta(self, q, interval=None, k=10, alpha0=0.3,
+                     semantics=IntervalSemantics.INTERSECTS, **options):
+        """Deprecated shim over :meth:`robust_query`.
+
+        Accepts either a ready :class:`~repro.core.query.KNNTAQuery` or
+        the legacy kwargs shape (which emits a
+        :class:`DeprecationWarning`); returns the same
+        :class:`~repro.reliability.recovery.RobustAnswer`.
+        """
+        return self.robust_query(
+            self._coerce_query("robust_knnta", q, interval, k, alpha0, semantics),
+            **options,
+        )
 
     def entry_score(self, entry, query, normalizer):
         """Ranking score lower bound of an entry (Section 4.3).
@@ -681,6 +777,13 @@ class TARTree:
         this method implements that refresh in place.  It is a no-op for
         the other strategies' placement quality but safe to call.
         """
+        if self._mutation_listener is not None:
+            raise UnloggedMutationError(
+                "refresh_aggregate_dimension re-inserts every POI and "
+                "cannot be write-ahead logged; detach the mutation "
+                "listener (close the CheckpointedIngest) first, then "
+                "re-wrap with a fresh checkpoint"
+            )
         num_epochs = self.num_epochs
         if num_epochs > 0 and self._poi_tias:
             self._max_mean_rate = max(
@@ -703,6 +806,45 @@ class TARTree:
     # ------------------------------------------------------------------
     # Validation / reliability hooks
     # ------------------------------------------------------------------
+
+    def attach_mutation_listener(self, listener):
+        """Register the write-ahead mutation listener (one at a time).
+
+        ``listener`` must implement ``will_insert_poi(tree, poi,
+        epoch_aggregates)``, ``will_delete_poi(tree, poi_id)`` and
+        ``will_digest_epoch(tree, epoch_index, counts)``; each is called
+        *before* the mutation touches any tree state, so a listener that
+        durably logs the mutation (and only then returns) gives
+        write-ahead semantics.  A listener raising aborts the mutation
+        with no state change.  While attached, structural rebuilds that
+        cannot be expressed as log records raise
+        :class:`UnloggedMutationError`.  Attaching over a different
+        live listener raises ``ValueError``.
+        """
+        if (
+            self._mutation_listener is not None
+            and self._mutation_listener is not listener
+        ):
+            raise ValueError(
+                "tree already has a mutation listener attached; detach "
+                "it (close the previous CheckpointedIngest) first"
+            )
+        self._mutation_listener = listener
+        return listener
+
+    def detach_mutation_listener(self, listener=None):
+        """Remove the mutation listener; returns ``True`` when removed.
+
+        With ``listener`` given, only that exact listener is removed
+        (so a stale wrapper cannot detach a newer one); with ``None``
+        any attached listener is removed.
+        """
+        if self._mutation_listener is None:
+            return False
+        if listener is not None and self._mutation_listener is not listener:
+            return False
+        self._mutation_listener = None
+        return True
 
     def check_invariants(self):
         """Raise on any broken structural or aggregate invariant.

@@ -12,11 +12,15 @@ footing.  Four cooperating pieces:
   the R*-tree structure and the TAR-tree's internal-TIA max-invariant
   (Property 1), returning structured violation reports that survive
   ``python -O``.
+* :mod:`repro.reliability.wal` — the typed mutation write-ahead log:
+  CRC-framed ``digest`` / ``insert`` / ``delete`` / ``checkpoint``
+  records with strictly monotonic LSNs, torn-tail repair, and legacy
+  digest-log compatibility.
 * :mod:`repro.reliability.recovery` — :func:`robust_knnta` (bounded
   retry/backoff on transient faults, fallback to the sequential-scan
   baseline on detected corruption) and crash-recoverable streaming
-  ingest (:class:`CheckpointedIngest` + an append-only digest log +
-  :func:`recover`).
+  ingest (:class:`CheckpointedIngest` logging *every* tree mutation
+  through the WAL + :func:`recover` replaying it idempotently).
 * checksummed persistence lives with the formats in
   :mod:`repro.storage.serialize` (CRC-32 per section,
   :class:`~repro.storage.serialize.CorruptSnapshotError`).
@@ -51,6 +55,17 @@ from repro.reliability.validate import (
     validate_against_dataset,
     validate_tree,
 )
+from repro.reliability.wal import (
+    MUTATION_RECORD_TYPES,
+    RECORD_CHECKPOINT,
+    RECORD_DELETE,
+    RECORD_DIGEST,
+    RECORD_INSERT,
+    RECORD_TYPES,
+    MutationWAL,
+    WalRecord,
+    read_wal,
+)
 
 __all__ = [
     "FaultInjector",
@@ -76,4 +91,13 @@ __all__ = [
     "Violation",
     "validate_against_dataset",
     "validate_tree",
+    "MUTATION_RECORD_TYPES",
+    "RECORD_CHECKPOINT",
+    "RECORD_DELETE",
+    "RECORD_DIGEST",
+    "RECORD_INSERT",
+    "RECORD_TYPES",
+    "MutationWAL",
+    "WalRecord",
+    "read_wal",
 ]

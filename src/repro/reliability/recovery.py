@@ -12,24 +12,33 @@ Two halves:
   — slower, never wrong.
 
 * **Crash-recoverable streaming ingest** — :class:`CheckpointedIngest`
-  pairs a checksummed tree snapshot with an append-only, CRC-framed
-  *digest log*.  Every ``digest_epoch`` batch is logged (write-ahead,
-  with the absolute per-POI value it must reach) before it is applied,
-  so :func:`recover` can rebuild a tree killed mid-epoch: load the
-  snapshot, replay the log idempotently, drop a torn tail, and finally
-  reconcile against the source data set via
+  pairs a checksummed tree snapshot with the typed, append-only
+  mutation WAL of :mod:`repro.reliability.wal`.  *Every* logical
+  mutation — ``insert_poi``, ``delete_poi`` and ``digest_epoch`` — is
+  logged (write-ahead, through the tree's mutation-listener hooks)
+  before it is applied, so :func:`recover` can rebuild a tree killed
+  mid-mutation: load the snapshot, replay the WAL idempotently past
+  the snapshot's applied-LSN high-water mark, drop a torn tail, and
+  optionally reconcile against the source data set via
   :func:`repro.datasets.streaming.catch_up` — reaching a state exactly
   consistent with the stream.
 """
 
-import json
 import os
 import time
-import zlib
+import warnings
 
 from repro.reliability.faults import TransientIOError
 from repro.reliability.validate import validate_tree
-from repro.storage.serialize import CorruptSnapshotError, load_tree, save_tree
+from repro.reliability.wal import (
+    RECORD_CHECKPOINT,
+    RECORD_DELETE,
+    RECORD_DIGEST,
+    RECORD_INSERT,
+    MutationWAL,
+    read_wal,
+)
+from repro.storage.serialize import load_tree, save_tree
 from repro.temporal.tia import AggregateKind, IntervalSemantics
 
 _DEFAULT_SLEEP = object()
@@ -109,11 +118,14 @@ class _RetryingTree:
 class RobustAnswer:
     """Result of :func:`robust_knnta` plus how it was obtained.
 
-    ``results`` is the ranked list a plain ``knnta_search`` would
-    return; ``used_fallback`` tells whether the sequential scan answered
-    instead of the BFS, ``reason`` why (``"corruption"`` or
-    ``"transient-faults"``), and ``retries`` how many transient faults
-    were absorbed along the way.
+    ``results`` is the ranked :class:`~repro.core.query.QueryResult`
+    list a plain ``knnta_search`` would return, and the answer itself
+    behaves as that sequence (``iter``, ``len``, indexing and slicing),
+    so callers destructure a :class:`RobustAnswer` exactly like the
+    plain result rows.  ``used_fallback`` tells whether the sequential
+    scan answered instead of the BFS, ``reason`` why (``"corruption"``
+    or ``"transient-faults"``), and ``retries`` how many transient
+    faults were absorbed along the way.
     """
 
     __slots__ = ("results", "used_fallback", "reason", "retries", "validation")
@@ -131,6 +143,9 @@ class RobustAnswer:
 
     def __len__(self):
         return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
 
     def __repr__(self):
         return "RobustAnswer(%d results, used_fallback=%r, reason=%r, retries=%d)" % (
@@ -199,180 +214,45 @@ def robust_knnta(tree, query, normalizer=None, retry=None, validate=False,
 
 
 # ---------------------------------------------------------------------------
-# Digest log + checkpointing
+# Checkpointed ingest over the mutation WAL
 # ---------------------------------------------------------------------------
 
 
-def _frame(body):
-    return "%08x %s\n" % (zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, body)
+def _wal_path(directory, name):
+    """The mutation WAL path for ``<directory>/<name>``.
 
-
-def _parse_line(line):
-    """Return the decoded record, or ``None`` for a damaged line."""
-    line = line.rstrip("\n")
-    if not line:
-        return None
-    if len(line) < 10 or line[8] != " ":
-        return None
-    crc_text, body = line[:8], line[9:]
-    try:
-        stored = int(crc_text, 16)
-    except ValueError:
-        return None
-    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != stored:
-        return None
-    try:
-        record = json.loads(body)
-    except ValueError:
-        return None
-    if (
-        not isinstance(record, list)
-        or len(record) != 3
-        or not isinstance(record[2], list)
-    ):
-        return None
-    return record
-
-
-class DigestLog:
-    """An append-only, CRC-framed log of digested epoch batches.
-
-    Each line is ``<crc32 hex> <json>`` with the JSON body
-    ``[seq, epoch_index, [[poi_id, delta, value_after], ...]]``.
-    ``value_after`` is the *absolute* TIA value the batch must reach,
-    which makes replay idempotent: a record whose effects are already in
-    a snapshot (or were half-applied before a crash) replays as a
-    no-op.  A torn final line — the signature of a crash mid-append —
-    is detected by its failed CRC and dropped; a damaged line *before*
-    intact ones means real corruption and raises
-    :class:`~repro.storage.serialize.CorruptSnapshotError`.
-
-    Opening an existing log *repairs* a torn tail: the file is truncated
-    back to the end of its last intact record before the append handle
-    is created, so a post-crash append starts on a fresh line instead of
-    concatenating onto the torn fragment (which would garble the new,
-    acked record and poison every later read).
+    New state uses ``<name>.wal``; a directory holding only the PR-1
+    ``<name>.digestlog`` keeps using it, so legacy state stays
+    recoverable — and appendable — in place.
     """
-
-    def __init__(self, path):
-        self.path = path
-        # Scan before opening for append: a CorruptSnapshotError here
-        # must not leak a handle, and a torn tail must be cut off so the
-        # next append starts at a clean record boundary.
-        records, _dropped, valid_end = _scan_digest_log(path)
-        self._seq = records[-1][0] + 1 if records else 0
-        if os.path.exists(path) and os.path.getsize(path) > valid_end:
-            with open(path, "r+b") as repair:
-                repair.truncate(valid_end)
-                repair.flush()
-                os.fsync(repair.fileno())
-        self._handle = open(path, "a")
-
-    def append(self, epoch_index, pairs):
-        """Frame and durably append one batch; returns its sequence number."""
-        seq = self._seq
-        body = json.dumps(
-            [seq, int(epoch_index), [list(pair) for pair in pairs]],
-            separators=(",", ":"),
-        )
-        self._handle.write(_frame(body))
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        self._seq += 1
-        return seq
-
-    def truncate(self):
-        """Drop every record (after a checkpoint made them redundant)."""
-        self._handle.close()
-        self._handle = open(self.path, "w")
-        self._handle.flush()
-        self._seq = 0
-
-    def close(self):
-        self._handle.close()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc_info):
-        self.close()
-
-
-def _scan_digest_log(path):
-    """Parse a digest log at byte granularity.
-
-    Returns ``(records, dropped_tail_lines, valid_prefix_bytes)`` where
-    ``valid_prefix_bytes`` is the file offset just past the last intact,
-    newline-terminated record — the truncation point that discards a
-    torn tail without touching any acked data.  Raises
-    :class:`CorruptSnapshotError` when damage appears *before* intact
-    records (mid-log corruption) or sequence numbers go backwards.
-    """
-    if not os.path.exists(path):
-        return [], 0, 0
-    with open(path, "rb") as handle:
-        data = handle.read()
-    entries = []  # (record_or_None, end_offset_incl_newline) per non-blank line
-    pos = 0
-    while pos < len(data):
-        newline = data.find(b"\n", pos)
-        end = len(data) if newline == -1 else newline + 1
-        chunk = data[pos:end]
-        if chunk.strip():
-            record = _parse_line(chunk.decode("utf-8", errors="replace"))
-            # A final line without its newline is torn even if the CRC
-            # happens to pass — never treat it as a safe append point.
-            if newline == -1:
-                record = None
-            entries.append((record, end))
-        pos = end
-    last_ok = -1
-    for i, (record, _end) in enumerate(entries):
-        if record is not None:
-            last_ok = i
-    bad_before_ok = sum(1 for record, _ in entries[: last_ok + 1] if record is None)
-    if bad_before_ok:
-        raise CorruptSnapshotError(
-            "digest log %s has %d corrupt record(s) before intact ones"
-            % (path, bad_before_ok),
-            section="digest-log",
-        )
-    records = [record for record, _ in entries if record is not None]
-    for earlier, later in zip(records, records[1:]):
-        if later[0] <= earlier[0]:
-            raise CorruptSnapshotError(
-                "digest log %s has non-monotonic sequence numbers (%d then %d)"
-                % (path, earlier[0], later[0]),
-                section="digest-log",
-            )
-    valid_end = entries[last_ok][1] if last_ok >= 0 else 0
-    return records, len(entries) - (last_ok + 1), valid_end
-
-
-def read_digest_log(path):
-    """Parse a digest log; returns ``(records, dropped_tail_lines)``.
-
-    ``records`` holds the intact ``[seq, epoch, pairs]`` bodies in
-    order; ``dropped_tail_lines`` counts torn/garbled lines at the tail.
-    Raises :class:`CorruptSnapshotError` when damage appears *before*
-    intact records (mid-log corruption) or sequence numbers go
-    backwards.
-    """
-    records, dropped, _valid_end = _scan_digest_log(path)
-    return records, dropped
+    wal = os.path.join(directory, name + ".wal")
+    legacy = os.path.join(directory, name + ".digestlog")
+    if not os.path.exists(wal) and os.path.exists(legacy):
+        return legacy
+    return wal
 
 
 class CheckpointedIngest:
     """Streaming ingest with write-ahead logging and checkpoints.
 
-    Wraps a live tree so every digested epoch is framed into the digest
-    log *before* it touches the TIAs, and :meth:`checkpoint` atomically
-    persists a checksummed snapshot (temp file + ``os.replace``) and
-    resets the log.  POI insertions/deletions are not logged — take a
-    checkpoint after changing the POI set.
+    Wraps a live tree and attaches itself as the tree's *mutation
+    listener*, so every logical mutation — ``insert_poi``,
+    ``delete_poi`` and ``digest_epoch``, whether issued through the
+    convenience methods here or directly on the tree — is framed into
+    the mutation WAL *before* any tree state changes.
+    :meth:`checkpoint` atomically persists a checksummed snapshot (temp
+    file + ``os.replace``) carrying the tree's applied-LSN high-water
+    mark, then resets the log to a single checkpoint marker.
+
+    Mutations the WAL cannot express (``bulk_load``,
+    ``refresh_aggregate_dimension``) raise
+    :class:`~repro.core.tar_tree.UnloggedMutationError` while the tree
+    is wrapped, instead of silently diverging from the log; detach by
+    calling :meth:`close`.
 
     ``directory`` receives ``<name>.json`` (the snapshot) and
-    ``<name>.digestlog``.  A snapshot is written on construction when
+    ``<name>.wal`` (the log; a pre-existing PR-1 ``<name>.digestlog``
+    is reused in place).  A snapshot is written on construction when
     none exists, so :func:`recover` always has a base state.
     """
 
@@ -382,15 +262,21 @@ class CheckpointedIngest:
         self.name = name
         os.makedirs(directory, exist_ok=True)
         self.snapshot_path = os.path.join(directory, name + ".json")
-        self.log_path = os.path.join(directory, name + ".digestlog")
+        self.log_path = _wal_path(directory, name)
+        self.log = MutationWAL(self.log_path)
+        self._last_logged_lsn = None
+        try:
+            tree.attach_mutation_listener(self)
+        except Exception:
+            self.log.close()
+            raise
         if not os.path.exists(self.snapshot_path):
             self._write_snapshot()
-        self.log = DigestLog(self.log_path)
 
     def _write_snapshot(self):
-        # fsync before the rename: checkpoint() truncates the WAL right
+        # fsync before the rename: checkpoint() resets the WAL right
         # after this returns, so the snapshot must be durable first or a
-        # power loss could leave an empty log over a vanished snapshot.
+        # power loss could leave a bare marker over a vanished snapshot.
         temp_path = self.snapshot_path + ".tmp"
         save_tree(self.tree, temp_path)
         with open(temp_path, "rb") as handle:
@@ -405,36 +291,100 @@ class CheckpointedIngest:
         finally:
             os.close(dir_fd)
 
-    def digest(self, epoch_index, counts):
-        """Log, then apply, one epoch's check-in batch (Section 4.2)."""
-        tree = self.tree
+    # ------------------------------------------------------------------
+    # Mutation-listener hooks (called by the tree, write-ahead)
+    # ------------------------------------------------------------------
+
+    def will_insert_poi(self, tree, poi, epoch_aggregates):
+        """Log a validated insertion just before the tree applies it."""
+        lsn = self.log.log_insert(poi.poi_id, poi.x, poi.y, epoch_aggregates)
+        tree.applied_lsn = lsn
+        self._last_logged_lsn = lsn
+
+    def will_delete_poi(self, tree, poi_id):
+        """Log a deletion of an indexed POI before it happens."""
+        lsn = self.log.log_delete(poi_id)
+        tree.applied_lsn = lsn
+        self._last_logged_lsn = lsn
+
+    def will_digest_epoch(self, tree, epoch_index, counts):
+        """Log one epoch batch, with the absolute value each TIA must
+        reach, before any TIA changes.
+
+        Unknown POIs are rejected *here*, before the record is written
+        and before ``digest_epoch`` touches any state, so a bad batch
+        can neither half-apply nor poison the log.  Batches whose every
+        count is non-positive still log (with an empty pair list):
+        ``digest_epoch`` advances the tree's clock even then, and replay
+        must reproduce that.
+        """
         is_max = tree.aggregate_kind is AggregateKind.MAX
         pairs = []
         for poi_id in sorted(counts, key=lambda poi: (str(type(poi)), str(poi))):
             delta = counts[poi_id]
             if delta <= 0:
                 continue
+            if poi_id not in tree:
+                raise KeyError(
+                    "cannot digest check-ins for unknown POI %r" % (poi_id,)
+                )
             current = tree.poi_tia(poi_id).get(epoch_index)
             value_after = max(current, delta) if is_max else current + delta
             pairs.append([poi_id, delta, value_after])
-        if not pairs:
+        lsn = self.log.log_digest(epoch_index, pairs)
+        tree.applied_lsn = lsn
+        self._last_logged_lsn = lsn
+
+    # ------------------------------------------------------------------
+    # Ingest API
+    # ------------------------------------------------------------------
+
+    def digest(self, epoch_index, counts):
+        """Log, then apply, one epoch's check-in batch (Section 4.2).
+
+        Returns the batch's LSN, or ``None`` when every count was
+        non-positive — such a batch is dropped whole (neither logged
+        nor applied, and the clock does not advance).
+        """
+        if not any(delta > 0 for delta in counts.values()):
             return None
-        seq = self.log.append(epoch_index, pairs)
-        tree.digest_epoch(epoch_index, counts)
-        return seq
+        self.tree.digest_epoch(epoch_index, counts)
+        return self._last_logged_lsn
+
+    def insert(self, poi, epoch_aggregates=None):
+        """Log, then apply, one POI insertion; returns its LSN."""
+        self.tree.insert_poi(poi, epoch_aggregates)
+        return self._last_logged_lsn
+
+    def delete(self, poi_id):
+        """Log, then apply, one POI deletion.
+
+        Returns the record's LSN, or ``None`` when ``poi_id`` was not
+        indexed — a miss is not a mutation and is never logged.
+        """
+        if self.tree.delete_poi(poi_id):
+            return self._last_logged_lsn
+        return None
 
     def checkpoint(self):
         """Persist the tree atomically and reset the log.
 
-        Snapshot first, truncate second: a crash between the two leaves
-        a log whose records are already contained in the snapshot, and
-        idempotent replay turns them into no-ops.
+        Snapshot first, reset second: a crash between the two leaves a
+        log whose records all sit at or below the snapshot's applied-LSN
+        high-water mark, so :func:`recover` replays them as no-ops.
         """
         self._write_snapshot()
-        self.log.truncate()
+        self.log.reset(self.tree.applied_lsn)
         return self.snapshot_path
 
     def close(self):
+        """Detach from the tree and close the log.
+
+        The tree becomes freely mutable again (and the WAL stops being
+        its source of truth) — take a checkpoint first if the log must
+        stay replayable.
+        """
+        self.tree.detach_mutation_listener(self)
         self.log.close()
 
     def __enter__(self):
@@ -447,6 +397,10 @@ class CheckpointedIngest:
 class RecoveryReport:
     """What :func:`recover` did: the tree plus replay/reconcile counters.
 
+    ``replayed`` maps each mutation record type (``"insert"``,
+    ``"delete"``, ``"digest"``) to the number of records whose replay
+    changed tree state; ``last_lsn`` is the applied-LSN high-water mark
+    after replay (``None`` for a legacy state that never recorded one).
     ``caught_up_checkins`` is the number of check-ins reconciled from
     the source data set, ``0`` when no reconciliation was needed, or
     ``None`` when it was requested but *skipped* — a max-aggregate tree
@@ -456,19 +410,26 @@ class RecoveryReport:
 
     __slots__ = (
         "tree",
-        "replayed_epochs",
+        "replayed",
         "dropped_tail_records",
         "skipped_pois",
         "caught_up_checkins",
+        "last_lsn",
     )
 
-    def __init__(self, tree, replayed_epochs, dropped_tail_records,
-                 skipped_pois, caught_up_checkins):
+    def __init__(self, tree, replayed, dropped_tail_records,
+                 skipped_pois, caught_up_checkins, last_lsn):
         self.tree = tree
-        self.replayed_epochs = replayed_epochs
+        self.replayed = replayed
         self.dropped_tail_records = dropped_tail_records
         self.skipped_pois = skipped_pois
         self.caught_up_checkins = caught_up_checkins
+        self.last_lsn = last_lsn
+
+    @property
+    def replayed_epochs(self):
+        """Replayed ``digest`` records (the PR-1 counter's name)."""
+        return self.replayed[RECORD_DIGEST]
 
     def summary(self):
         """One-line description of the recovery outcome."""
@@ -482,11 +443,15 @@ class RecoveryReport:
                 % self.caught_up_checkins
             )
         return (
-            "recovered %d POIs: %d epoch batch(es) replayed, %d torn log "
-            "record(s) dropped, %d unknown POI entr(ies) skipped, %s"
+            "recovered %d POIs at LSN %s: %d insert(s), %d delete(s) and "
+            "%d epoch batch(es) replayed, %d torn log record(s) dropped, "
+            "%d unknown POI entr(ies) skipped, %s"
             % (
                 len(self.tree),
-                self.replayed_epochs,
+                self.last_lsn,
+                self.replayed[RECORD_INSERT],
+                self.replayed[RECORD_DELETE],
+                self.replayed[RECORD_DIGEST],
                 self.dropped_tail_records,
                 self.skipped_pois,
                 caught_up,
@@ -500,13 +465,17 @@ class RecoveryReport:
 def recover(directory, name="tree", dataset=None, stats=None, **overrides):
     """Rebuild a :class:`CheckpointedIngest` state after a crash.
 
-    Loads the checksummed snapshot, replays the digest log idempotently
-    (each record raises a TIA to its recorded absolute value, so
-    half-applied batches and post-checkpoint leftovers are harmless),
-    drops a torn tail, and — when the source ``dataset`` is given —
-    runs :func:`repro.datasets.streaming.catch_up` so the tree ends
-    exactly consistent with the stream, including any batch whose log
-    record was lost with the crash.  Returns a :class:`RecoveryReport`.
+    Loads the checksummed snapshot and replays the mutation WAL
+    idempotently: records at or below the snapshot's applied-LSN
+    high-water mark are skipped outright, an ``insert`` of an
+    already-present POI and a ``delete`` of an absent one are no-ops,
+    each ``digest`` record raises TIAs to its recorded absolute values
+    (so half-applied batches and legacy post-checkpoint leftovers are
+    harmless), a torn tail is dropped, and ``checkpoint`` markers are
+    ignored.  When the source ``dataset`` is given,
+    :func:`repro.datasets.streaming.catch_up` then reconciles the tree
+    with the stream, covering any batch whose log record was lost with
+    the crash.  Returns a :class:`RecoveryReport`.
 
     For a *max*-aggregate tree ``catch_up`` cannot reconcile (epochs are
     peaks, not additive counts), so the data-set pass is skipped and the
@@ -514,33 +483,117 @@ def recover(directory, name="tree", dataset=None, stats=None, **overrides):
     the crash stays unrecovered, and callers must not assume exact
     consistency beyond the last intact log record.
     """
+    from repro.core.tar_tree import POI
     from repro.datasets.streaming import catch_up
 
     snapshot_path = os.path.join(directory, name + ".json")
-    log_path = os.path.join(directory, name + ".digestlog")
+    log_path = _wal_path(directory, name)
     tree = load_tree(snapshot_path, stats=stats, **overrides)
-    records, dropped = read_digest_log(log_path)
+    records, dropped = read_wal(log_path)
     is_max = tree.aggregate_kind is AggregateKind.MAX
-    replayed = 0
+    replayed = {RECORD_INSERT: 0, RECORD_DELETE: 0, RECORD_DIGEST: 0}
     skipped = 0
-    for _seq, epoch_index, pairs in records:
-        deltas = {}
-        for poi_id, _delta, value_after in pairs:
+    applied = tree.applied_lsn
+    for record in records:
+        if record.type == RECORD_CHECKPOINT:
+            continue  # marker only; never advances the high-water mark
+        if applied is not None and record.lsn <= applied:
+            continue  # already contained in the snapshot
+        if record.type == RECORD_INSERT:
+            poi_id, x, y, history = record.payload
             if poi_id not in tree:
-                skipped += 1
-                continue
-            current = tree.poi_tia(poi_id).get(epoch_index)
-            if is_max:
+                aggregates = {int(epoch): value for epoch, value in history}
+                tree.insert_poi(POI(poi_id, x, y), aggregates or None)
+                replayed[RECORD_INSERT] += 1
+        elif record.type == RECORD_DELETE:
+            (poi_id,) = record.payload
+            if tree.delete_poi(poi_id):
+                replayed[RECORD_DELETE] += 1
+        else:
+            epoch_index, pairs = record.payload
+            deltas = {}
+            for poi_id, _delta, value_after in pairs:
+                if poi_id not in tree:
+                    skipped += 1
+                    continue
+                current = tree.poi_tia(poi_id).get(epoch_index)
                 if value_after > current:
-                    deltas[poi_id] = value_after
-            elif value_after > current:
-                deltas[poi_id] = value_after - current
-        if deltas:
+                    deltas[poi_id] = (
+                        value_after if is_max else value_after - current
+                    )
+            if deltas:
+                replayed[RECORD_DIGEST] += 1
+            # Replay even an empty batch: digest_epoch advances the
+            # clock, and the original run's record did exactly that.
             tree.digest_epoch(epoch_index, deltas)
-            replayed += 1
+        tree.applied_lsn = record.lsn
     caught_up = 0
     if dataset is not None:
         # catch_up() raises for MAX trees; record the skip instead of
         # silently reporting "0 caught up" as if reconciliation ran.
         caught_up = None if is_max else catch_up(tree, dataset)
-    return RecoveryReport(tree, replayed, dropped, skipped, caught_up)
+    return RecoveryReport(
+        tree, replayed, dropped, skipped, caught_up, tree.applied_lsn
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated PR-1 digest-log aliases
+# ---------------------------------------------------------------------------
+
+
+def _warn_digest_log(name):
+    warnings.warn(
+        "%s is deprecated; use the typed mutation WAL "
+        "(repro.reliability.wal.MutationWAL / read_wal)" % name,
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class DigestLog:
+    """Deprecated PR-1 facade over :class:`~repro.reliability.wal.MutationWAL`.
+
+    ``append(epoch_index, pairs)`` maps to
+    :meth:`~repro.reliability.wal.MutationWAL.log_digest` and
+    ``truncate()`` to :meth:`~repro.reliability.wal.MutationWAL.reset`
+    (which now leaves a single checkpoint marker — LSNs keep increasing
+    instead of restarting at zero).
+    """
+
+    def __init__(self, path):
+        _warn_digest_log("DigestLog")
+        self._wal = MutationWAL(path)
+        self.path = path
+
+    def append(self, epoch_index, pairs):
+        return self._wal.log_digest(epoch_index, pairs)
+
+    def truncate(self):
+        self._wal.reset()
+
+    def close(self):
+        self._wal.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def read_digest_log(path):
+    """Deprecated: read a log's ``digest`` records in the PR-1 shape.
+
+    Returns ``([[lsn, epoch_index, pairs], ...], dropped_tail_lines)``,
+    ignoring every non-``digest`` record.  Use
+    :func:`repro.reliability.wal.read_wal` for the full typed stream.
+    """
+    _warn_digest_log("read_digest_log")
+    records, dropped = read_wal(path)
+    bodies = [
+        [record.lsn, record.payload[0], record.payload[1]]
+        for record in records
+        if record.type == RECORD_DIGEST
+    ]
+    return bodies, dropped

@@ -1,0 +1,295 @@
+"""The mutation write-ahead log (WAL) behind crash-recoverable ingest.
+
+PR 1's digest log covered only ``digest_epoch`` batches; this module
+generalises it into a **typed mutation WAL** so the *whole* TAR-tree
+mutation stream — POI insertions and deletions included — is durable
+and replayable (ARIES-style: log first, apply second, replay
+idempotently).
+
+Each record is one line, ``<crc32 hex> <json>\\n``, whose JSON body is
+``[lsn, type, payload]``:
+
+=============  =====================================================
+``type``       ``payload``
+=============  =====================================================
+``digest``     ``[epoch_index, [[poi_id, delta, value_after], ...]]``
+``insert``     ``[poi_id, x, y, [[epoch, value], ...]]``
+``delete``     ``[poi_id]``
+``checkpoint`` ``[applied_lsn]`` — marker written when a checkpoint
+               reset the log; replays as a no-op
+=============  =====================================================
+
+LSNs (log sequence numbers) increase strictly monotonically and are
+**never reused** within a directory's lifetime: a checkpoint does not
+reset the counter, it atomically rewrites the log to a single
+``checkpoint`` marker carrying the *next* LSN, so a snapshot's recorded
+``applied_lsn`` high-water mark stays comparable with every later
+record.  ``value_after`` in digest records is the absolute TIA value
+the batch must reach, which keeps replay idempotent even without the
+high-water mark (legacy snapshots).
+
+Legacy PR-1 digest-log lines (body ``[seq, epoch_index, pairs]``) parse
+as ``digest`` records, so pre-existing logs remain replayable.
+
+Damage handling is byte-exact and matches the PR-1 semantics: a torn
+final line (crash mid-append, or a final line missing its newline) is
+detected and dropped — and *repaired* on reopen by truncating back to
+the last intact record — while a damaged line before intact ones means
+real corruption and raises
+:class:`~repro.storage.serialize.CorruptSnapshotError`.
+"""
+
+import json
+import os
+import zlib
+from collections import namedtuple
+
+from repro.storage.serialize import CorruptSnapshotError
+
+RECORD_DIGEST = "digest"
+RECORD_INSERT = "insert"
+RECORD_DELETE = "delete"
+RECORD_CHECKPOINT = "checkpoint"
+
+#: Every record type a WAL line may carry.
+RECORD_TYPES = (RECORD_DIGEST, RECORD_INSERT, RECORD_DELETE, RECORD_CHECKPOINT)
+
+#: The record types that mutate tree state (a ``checkpoint`` marker
+#: does not — it never advances the applied-LSN high-water mark).
+MUTATION_RECORD_TYPES = (RECORD_DIGEST, RECORD_INSERT, RECORD_DELETE)
+
+
+class WalRecord(namedtuple("WalRecord", ["lsn", "type", "payload"])):
+    """One decoded WAL record: ``(lsn, type, payload)``."""
+
+    __slots__ = ()
+
+
+def _check_poi_id(poi_id):
+    if not isinstance(poi_id, (str, int)) or isinstance(poi_id, bool):
+        raise TypeError(
+            "POI id %r is not WAL-representable; use str or int ids" % (poi_id,)
+        )
+    return poi_id
+
+
+def _frame(body):
+    return "%08x %s\n" % (zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, body)
+
+
+def _parse_line(line):
+    """Return the decoded :class:`WalRecord`, or ``None`` for damage."""
+    line = line.rstrip("\n")
+    if not line:
+        return None
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_text, body = line[:8], line[9:]
+    try:
+        stored = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != stored:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(record, list) or len(record) != 3:
+        return None
+    lsn, kind, payload = record
+    if isinstance(lsn, bool) or not isinstance(lsn, int) or lsn < 0:
+        return None
+    if isinstance(kind, str):
+        if kind not in RECORD_TYPES or not isinstance(payload, list):
+            return None
+        return WalRecord(lsn, kind, payload)
+    # Legacy PR-1 digest-log body: [seq, epoch_index, pairs].
+    if isinstance(kind, int) and not isinstance(kind, bool) and isinstance(
+        payload, list
+    ):
+        return WalRecord(lsn, RECORD_DIGEST, [kind, payload])
+    return None
+
+
+def _fsync_directory(directory):
+    """Best-effort fsync of a directory (no-op where unsupported)."""
+    try:
+        dir_fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _scan_wal(path):
+    """Parse a mutation WAL at byte granularity.
+
+    Returns ``(records, dropped_tail_lines, valid_prefix_bytes)`` where
+    ``valid_prefix_bytes`` is the file offset just past the last intact,
+    newline-terminated record — the truncation point that discards a
+    torn tail without touching any acked data.  Raises
+    :class:`CorruptSnapshotError` when damage appears *before* intact
+    records (mid-log corruption) or LSNs go backwards.
+    """
+    if not os.path.exists(path):
+        return [], 0, 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    entries = []  # (record_or_None, end_offset_incl_newline) per non-blank line
+    pos = 0
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        end = len(data) if newline == -1 else newline + 1
+        chunk = data[pos:end]
+        if chunk.strip():
+            record = _parse_line(chunk.decode("utf-8", errors="replace"))
+            # A final line without its newline is torn even if the CRC
+            # happens to pass — never treat it as a safe append point.
+            if newline == -1:
+                record = None
+            entries.append((record, end))
+        pos = end
+    last_ok = -1
+    for i, (record, _end) in enumerate(entries):
+        if record is not None:
+            last_ok = i
+    bad_before_ok = sum(1 for record, _ in entries[: last_ok + 1] if record is None)
+    if bad_before_ok:
+        raise CorruptSnapshotError(
+            "mutation WAL %s has %d corrupt record(s) before intact ones"
+            % (path, bad_before_ok),
+            section="wal",
+        )
+    records = [record for record, _ in entries if record is not None]
+    for earlier, later in zip(records, records[1:]):
+        if later.lsn <= earlier.lsn:
+            raise CorruptSnapshotError(
+                "mutation WAL %s has non-monotonic LSNs (%d then %d)"
+                % (path, earlier.lsn, later.lsn),
+                section="wal",
+            )
+    valid_end = entries[last_ok][1] if last_ok >= 0 else 0
+    return records, len(entries) - (last_ok + 1), valid_end
+
+
+def read_wal(path):
+    """Parse a mutation WAL; returns ``(records, dropped_tail_lines)``.
+
+    ``records`` holds the intact :class:`WalRecord` s in LSN order
+    (legacy digest-log lines surface as ``digest`` records);
+    ``dropped_tail_lines`` counts torn/garbled lines at the tail.
+    Raises :class:`CorruptSnapshotError` when damage appears *before*
+    intact records (mid-log corruption) or LSNs go backwards.
+    """
+    records, dropped, _valid_end = _scan_wal(path)
+    return records, dropped
+
+
+class MutationWAL:
+    """An append-only, CRC-framed, typed log of tree mutations.
+
+    ``append`` durably frames one record (write + flush + fsync) and
+    returns its LSN; the typed helpers (:meth:`log_digest`,
+    :meth:`log_insert`, :meth:`log_delete`) validate payload shapes
+    first.  Opening an existing log *repairs* a torn tail: the file is
+    truncated back to the end of its last intact record before the
+    append handle is created, so a post-crash append starts on a fresh
+    line instead of concatenating onto the torn fragment (which would
+    garble the new, acked record and poison every later read).
+    """
+
+    def __init__(self, path):
+        self.path = path
+        # Scan before opening for append: a CorruptSnapshotError here
+        # must not leak a handle, and a torn tail must be cut off so the
+        # next append starts at a clean record boundary.
+        records, _dropped, valid_end = _scan_wal(path)
+        self._next_lsn = records[-1].lsn + 1 if records else 0
+        if os.path.exists(path) and os.path.getsize(path) > valid_end:
+            with open(path, "r+b") as repair:
+                repair.truncate(valid_end)
+                repair.flush()
+                os.fsync(repair.fileno())
+        self._handle = open(path, "a")
+
+    @property
+    def next_lsn(self):
+        """The LSN the next appended record will carry."""
+        return self._next_lsn
+
+    def append(self, record_type, payload):
+        """Frame and durably append one record; returns its LSN."""
+        if record_type not in RECORD_TYPES:
+            raise ValueError("unknown WAL record type %r" % (record_type,))
+        lsn = self._next_lsn
+        body = json.dumps([lsn, record_type, payload], separators=(",", ":"))
+        self._handle.write(_frame(body))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._next_lsn += 1
+        return lsn
+
+    def log_digest(self, epoch_index, pairs):
+        """Log one epoch batch: ``[[poi_id, delta, value_after], ...]``."""
+        pairs = [list(pair) for pair in pairs]
+        for poi_id, _delta, _value_after in pairs:
+            _check_poi_id(poi_id)
+        return self.append(RECORD_DIGEST, [int(epoch_index), pairs])
+
+    def log_insert(self, poi_id, x, y, epoch_aggregates=None):
+        """Log a POI insertion with its (possibly empty) history."""
+        _check_poi_id(poi_id)
+        history = sorted(
+            (int(epoch), value)
+            for epoch, value in (epoch_aggregates or {}).items()
+        )
+        return self.append(
+            RECORD_INSERT,
+            [poi_id, float(x), float(y), [[e, v] for e, v in history]],
+        )
+
+    def log_delete(self, poi_id):
+        """Log a POI deletion."""
+        _check_poi_id(poi_id)
+        return self.append(RECORD_DELETE, [poi_id])
+
+    def reset(self, applied_lsn=None):
+        """Atomically shrink the log to a single ``checkpoint`` marker.
+
+        Called after a checkpoint made every logged record redundant.
+        The marker carries the snapshot's ``applied_lsn`` and consumes
+        the next LSN, so the sequence keeps increasing across resets —
+        the snapshot high-water mark stays comparable with every later
+        record.  The replacement is a temp-file + ``os.replace`` swap:
+        a crash at any byte leaves either the full old log (whose
+        records replay as no-ops past the snapshot) or the fresh
+        marker, never a half-written file.
+        """
+        marker_lsn = self._next_lsn
+        body = json.dumps(
+            [marker_lsn, RECORD_CHECKPOINT, [applied_lsn]],
+            separators=(",", ":"),
+        )
+        temp_path = self.path + ".tmp"
+        with open(temp_path, "w") as handle:
+            handle.write(_frame(body))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(temp_path, self.path)
+        _fsync_directory(os.path.dirname(self.path))
+        self._handle = open(self.path, "a")
+        self._next_lsn = marker_lsn + 1
+        return marker_lsn
+
+    def close(self):
+        self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

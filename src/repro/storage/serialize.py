@@ -293,6 +293,10 @@ def _tree_sections(tree):
         "tia_backend": tree.tia_backend,
         "aggregate_kind": tree.aggregate_kind.value,
         "max_mean_rate": tree.max_mean_rate(),
+        # WAL replay high-water mark: the LSN of the last logged
+        # mutation contained in this snapshot (null when the tree was
+        # never WAL-wrapped).  recover() skips records at or below it.
+        "applied_lsn": getattr(tree, "applied_lsn", None),
     }
     return {"config": config, "pois": pois}
 
@@ -427,4 +431,7 @@ def load_tree(path, stats=None, opener=None, **overrides):
     # save -> load must reproduce the tree's state, not "heal" it, or
     # crash recovery could never reach a byte-identical snapshot.
     tree._max_mean_rate = max_mean_rate
+    # Pre-WAL snapshots (and v1) lack the key; None means "replay
+    # everything idempotently" rather than "nothing to replay".
+    tree.applied_lsn = config_json.get("applied_lsn")
     return tree

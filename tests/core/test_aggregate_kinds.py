@@ -108,9 +108,9 @@ class TestMaxAggregateTree:
             for poi, history in pois:
                 tree.insert_poi(poi, history)
             trees[kind] = tree
-        query_args = dict(interval=TimeInterval(0, 10), k=1, alpha0=0.01)
-        count_top = trees[AggregateKind.COUNT].knnta((50, 50.5), **query_args)
-        max_top = trees[AggregateKind.MAX].knnta((50, 50.5), **query_args)
+        query = KNNTAQuery((50, 50.5), TimeInterval(0, 10), k=1, alpha0=0.01)
+        count_top = trees[AggregateKind.COUNT].query(query)
+        max_top = trees[AggregateKind.MAX].query(query)
         assert count_top[0].poi_id == "steady"
         assert max_top[0].poi_id == "bursty"
 

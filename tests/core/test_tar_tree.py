@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import POI, TARTree, TimeInterval
+from repro import KNNTAQuery, POI, TARTree, TimeInterval
 from repro.spatial.geometry import Rect
 from repro.temporal.epochs import EpochClock
 
@@ -42,7 +42,7 @@ class TestBasicStructure:
         tree = make_tree()
         assert len(tree) == 0
         assert tree.height == 1
-        assert tree.knnta((1, 1), TimeInterval(0, 5), k=3) == []
+        assert tree.query(KNNTAQuery((1, 1), TimeInterval(0, 5), k=3)) == []
 
     def test_capacity_from_node_size_and_strategy_dims(self):
         assert make_tree("integral3d").capacity == 36

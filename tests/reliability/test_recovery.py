@@ -24,6 +24,13 @@ from repro.reliability.recovery import (
     recover,
     robust_knnta,
 )
+from repro.reliability.wal import (
+    RECORD_CHECKPOINT,
+    RECORD_DIGEST,
+    MutationWAL,
+    WalRecord,
+    read_wal,
+)
 from repro.spatial.geometry import Rect
 from repro.storage.serialize import CorruptSnapshotError, load_tree, save_tree
 from repro.temporal.epochs import EpochClock, TimeInterval
@@ -204,43 +211,65 @@ class TestRobustKnnta:
 
     def test_tree_method_wrapper(self):
         tree = build_tree()
-        direct = tree.knnta((5.0, 5.0), TimeInterval(0.0, 6.0), k=4)
-        robust = tree.robust_knnta((5.0, 5.0), TimeInterval(0.0, 6.0), k=4)
+        query = KNNTAQuery((5.0, 5.0), TimeInterval(0.0, 6.0), k=4)
+        direct = tree.query(query)
+        robust = tree.robust_query(query)
         assert ranking(robust) == ranking(direct)
         assert len(robust) == 4
+        # RobustAnswer rows destructure like the plain QueryResult list.
+        assert robust[0] == direct[0]
+        assert ranking(robust[1:]) == ranking(direct[1:])
 
 
-class TestDigestLog:
-    def test_roundtrip(self, tmp_path):
-        path = str(tmp_path / "x.digestlog")
-        with DigestLog(path) as log:
-            assert log.append(3, [["a", 2, 2]]) == 0
-            assert log.append(4, [["a", 1, 3], ["b", 5, 5]]) == 1
-        records, dropped = read_digest_log(path)
+class TestMutationWAL:
+    def test_typed_roundtrip(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        with MutationWAL(path) as log:
+            assert log.log_insert("a", 1.0, 2.0, {3: 4}) == 0
+            assert log.log_digest(3, [["a", 2, 6]]) == 1
+            assert log.log_delete("a") == 2
+        records, dropped = read_wal(path)
         assert dropped == 0
-        assert records == [[0, 3, [["a", 2, 2]]], [1, 4, [["a", 1, 3], ["b", 5, 5]]]]
+        assert records == [
+            WalRecord(0, "insert", ["a", 1.0, 2.0, [[3, 4]]]),
+            WalRecord(1, "digest", [3, [["a", 2, 6]]]),
+            WalRecord(2, "delete", ["a"]),
+        ]
 
-    def test_reopen_continues_sequence(self, tmp_path):
-        path = str(tmp_path / "x.digestlog")
-        with DigestLog(path) as log:
-            log.append(0, [["a", 1, 1]])
-        with DigestLog(path) as log:
-            assert log.append(1, [["a", 1, 2]]) == 1
+    def test_reopen_continues_lsns(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        with MutationWAL(path) as log:
+            log.log_digest(0, [["a", 1, 1]])
+        with MutationWAL(path) as log:
+            assert log.next_lsn == 1
+            assert log.log_delete("a") == 1
 
     def test_missing_file_reads_empty(self, tmp_path):
-        assert read_digest_log(str(tmp_path / "nope.digestlog")) == ([], 0)
+        assert read_wal(str(tmp_path / "nope.wal")) == ([], 0)
 
-    def test_torn_tail_is_dropped(self, tmp_path):
-        path = str(tmp_path / "x.digestlog")
-        with DigestLog(path) as log:
-            log.append(0, [["a", 1, 1]])
-            log.append(1, [["b", 2, 2]])
-        with open(path, "rb+") as handle:
-            handle.seek(-5, 2)
-            handle.truncate()  # tear the final record mid-line
-        records, dropped = read_digest_log(path)
-        assert [record[0] for record in records] == [0]
-        assert dropped == 1
+    def write_one_of_each(self, path):
+        with MutationWAL(path) as log:
+            log.log_digest(0, [["a", 1, 1]])
+            log.log_insert("b", 1.0, 2.0)
+            log.log_delete("a")
+            log.log_digest(1, [["b", 2, 2]])
+
+    @pytest.mark.parametrize("cut", [1, 4, 9])
+    def test_torn_tail_is_dropped_for_every_record_type(self, tmp_path, cut):
+        # Tear each of the trailing records mid-line (digest, delete and
+        # insert tails in turn): only the torn suffix may be lost.
+        path = str(tmp_path / "x.wal")
+        self.write_one_of_each(path)
+        with open(path) as handle:
+            lines = handle.readlines()
+        for torn in range(1, len(lines) + 1):
+            torn_path = str(tmp_path / ("torn-%d-%d.wal" % (cut, torn)))
+            with open(torn_path, "w") as handle:
+                handle.writelines(lines[:-torn])
+                handle.write(lines[-torn][:-cut])
+            records, dropped = read_wal(torn_path)
+            assert dropped == 1
+            assert [r.lsn for r in records] == list(range(len(lines) - torn))
 
     def test_reopen_after_torn_tail_repairs_log(self, tmp_path):
         # The crash signature: file ends mid-record without a newline.
@@ -248,75 +277,137 @@ class TestDigestLog:
         # starts on a fresh line — otherwise the new (acked, fsync'd)
         # record is glued onto the fragment and lost, and every later
         # read raises for mid-log corruption.
-        path = str(tmp_path / "x.digestlog")
-        with DigestLog(path) as log:
-            log.append(0, [["a", 1, 1]])
-            log.append(1, [["b", 2, 2]])
+        path = str(tmp_path / "x.wal")
+        self.write_one_of_each(path)
         with open(path, "rb+") as handle:
             handle.seek(-5, 2)
             handle.truncate()  # tear the final record mid-line
-        with DigestLog(path) as log:
-            assert log.append(1, [["b", 2, 2]]) == 1  # seq resumes after intact prefix
-            log.append(2, [["c", 3, 3]])
-        records, dropped = read_digest_log(path)
+        with MutationWAL(path) as log:
+            assert log.next_lsn == 3  # LSN resumes after the intact prefix
+            assert log.log_digest(1, [["b", 2, 2]]) == 3
+        records, dropped = read_wal(path)
         assert dropped == 0
-        assert [(record[0], record[1]) for record in records] == [(0, 0), (1, 1), (2, 2)]
+        assert [r.lsn for r in records] == [0, 1, 2, 3]
 
     def test_intact_final_line_without_newline_is_torn(self, tmp_path):
-        # An acked record always ends in "\n" (append writes the full
-        # frame before fsync), so a newline-less final line is a torn
-        # write even when its CRC happens to verify.
-        path = str(tmp_path / "x.digestlog")
-        with DigestLog(path) as log:
-            log.append(0, [["a", 1, 1]])
-            log.append(1, [["b", 2, 2]])
+        # An acked record always ends in a newline (append writes the
+        # full frame before fsync), so a newline-less final line is a
+        # torn write even when its CRC happens to verify.
+        path = str(tmp_path / "x.wal")
+        with MutationWAL(path) as log:
+            log.log_digest(0, [["a", 1, 1]])
+            log.log_digest(1, [["b", 2, 2]])
         with open(path, "rb+") as handle:
             handle.seek(-1, 2)
             handle.truncate()  # strip only the trailing newline
-        records, dropped = read_digest_log(path)
-        assert [record[0] for record in records] == [0]
+        records, dropped = read_wal(path)
+        assert [r.lsn for r in records] == [0]
         assert dropped == 1
-        with DigestLog(path) as log:
-            assert log.append(1, [["b", 2, 2]]) == 1
-        records, dropped = read_digest_log(path)
+        with MutationWAL(path) as log:
+            assert log.log_digest(1, [["b", 2, 2]]) == 1
+        records, dropped = read_wal(path)
         assert dropped == 0
-        assert [record[0] for record in records] == [0, 1]
+        assert [r.lsn for r in records] == [0, 1]
 
     def test_corruption_before_intact_records_raises(self, tmp_path):
-        path = str(tmp_path / "x.digestlog")
-        with DigestLog(path) as log:
-            log.append(0, [["a", 1, 1]])
-            log.append(1, [["b", 2, 2]])
-        with open(path, "r") as handle:
+        path = str(tmp_path / "x.wal")
+        self.write_one_of_each(path)
+        with open(path) as handle:
             lines = handle.readlines()
         lines[0] = "deadbeef" + lines[0][8:]  # break the first CRC
         with open(path, "w") as handle:
             handle.writelines(lines)
         with pytest.raises(CorruptSnapshotError) as excinfo:
-            read_digest_log(path)
-        assert excinfo.value.section == "digest-log"
+            read_wal(path)
+        assert excinfo.value.section == "wal"
+        with pytest.raises(CorruptSnapshotError):
+            MutationWAL(path)  # opening must refuse, not silently repair
 
-    def test_non_monotonic_sequence_raises(self, tmp_path):
+    def test_non_monotonic_lsns_raise(self, tmp_path):
+        import json
+        import zlib
+
+        path = str(tmp_path / "x.wal")
+        with open(path, "w") as handle:
+            for lsn in (5, 3):
+                body = json.dumps(
+                    [lsn, "digest", [0, [["a", 1, 1]]]], separators=(",", ":")
+                )
+                crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+                handle.write("%08x %s\n" % (crc, body))
+        with pytest.raises(CorruptSnapshotError):
+            read_wal(path)
+
+    def test_reset_leaves_marker_and_keeps_lsns_increasing(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        with MutationWAL(path) as log:
+            log.log_digest(0, [["a", 1, 1]])
+            applied = log.log_delete("a")
+            assert log.reset(applied) == 2
+            assert log.log_digest(7, [["b", 1, 1]]) == 3  # never reused
+        records, dropped = read_wal(path)
+        assert dropped == 0
+        assert records == [
+            WalRecord(2, RECORD_CHECKPOINT, [1]),
+            WalRecord(3, RECORD_DIGEST, [7, [["b", 1, 1]]]),
+        ]
+
+    def test_legacy_digest_log_lines_parse_as_digest_records(self, tmp_path):
         import json
         import zlib
 
         path = str(tmp_path / "x.digestlog")
         with open(path, "w") as handle:
-            for seq in (5, 3):
-                body = json.dumps([seq, 0, [["a", 1, 1]]], separators=(",", ":"))
+            for seq, epoch in ((0, 3), (1, 4)):
+                body = json.dumps(
+                    [seq, epoch, [["a", 1, 1]]], separators=(",", ":")
+                )
                 crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
                 handle.write("%08x %s\n" % (crc, body))
-        with pytest.raises(CorruptSnapshotError):
-            read_digest_log(path)
+        records, dropped = read_wal(path)
+        assert dropped == 0
+        assert records == [
+            WalRecord(0, RECORD_DIGEST, [3, [["a", 1, 1]]]),
+            WalRecord(1, RECORD_DIGEST, [4, [["a", 1, 1]]]),
+        ]
+        with MutationWAL(path) as log:  # and the LSN sequence continues
+            assert log.log_delete("a") == 2
 
-    def test_truncate_resets(self, tmp_path):
+    def test_unrepresentable_poi_id_rejected_before_write(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        with MutationWAL(path) as log:
+            with pytest.raises(TypeError):
+                log.log_insert((1, 2), 0.0, 0.0)
+            with pytest.raises(TypeError):
+                log.log_digest(0, [[True, 1, 1]])
+            with pytest.raises(ValueError):
+                log.append("rename", ["a", "b"])
+        assert read_wal(path) == ([], 0)
+
+
+class TestDeprecatedDigestLogShims:
+    def test_digest_log_facade_warns_and_works(self, tmp_path):
         path = str(tmp_path / "x.digestlog")
-        with DigestLog(path) as log:
-            log.append(0, [["a", 1, 1]])
-            log.truncate()
-            assert log.append(7, [["b", 1, 1]]) == 0
-        records, _ = read_digest_log(path)
-        assert records == [[0, 7, [["b", 1, 1]]]]
+        with pytest.warns(DeprecationWarning):
+            log = DigestLog(path)
+        with log:
+            assert log.append(3, [["a", 2, 2]]) == 0
+            assert log.append(4, [["b", 5, 5]]) == 1
+        with pytest.warns(DeprecationWarning):
+            records, dropped = read_digest_log(path)
+        assert dropped == 0
+        assert records == [[0, 3, [["a", 2, 2]]], [1, 4, [["b", 5, 5]]]]
+
+    def test_read_digest_log_ignores_non_digest_records(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        with MutationWAL(path) as log:
+            log.log_insert("a", 1.0, 2.0)
+            log.log_digest(3, [["a", 2, 2]])
+            log.log_delete("a")
+        with pytest.warns(DeprecationWarning):
+            records, dropped = read_digest_log(path)
+        assert records == [[1, 3, [["a", 2, 2]]]]
+        assert dropped == 0
 
 
 def make_base_snapshot(dataset, directory):
@@ -381,8 +472,9 @@ class TestCheckpointedIngestRecovery:
             with pytest.raises(TransientIOError):
                 ingest.digest(last_epoch, last_counts)
 
-        records, _ = read_digest_log(dir_b + "/tree.digestlog")
-        assert records[-1][1] == last_epoch  # the batch was logged pre-crash
+        records, _ = read_wal(dir_b + "/tree.wal")
+        assert records[-1].type == RECORD_DIGEST
+        assert records[-1].payload[0] == last_epoch  # logged pre-crash
 
         report = recover(dir_b, dataset=small_dataset)
         assert report.replayed_epochs >= 1
@@ -402,14 +494,20 @@ class TestCheckpointedIngestRecovery:
         reference = self.reference_run(dir_a, batches)
         self.reference_run(dir_b, batches)
 
-        with open(dir_b + "/tree.digestlog", "rb+") as handle:
+        with open(dir_b + "/tree.wal", "rb+") as handle:
             handle.seek(-4, 2)
             handle.truncate()
         report = recover(dir_b, dataset=small_dataset)
         assert report.dropped_tail_records == 1
         assert report.replayed_epochs == len(batches) - 1
         assert report.caught_up_checkins > 0
-        assert_same_tree(reference, report.tree, tmp_path)
+        # The torn record was never acked, so the recovered tree's
+        # applied-LSN high-water mark legitimately stops one record
+        # short of the uncrashed run's; everything else is identical.
+        assert report.last_lsn == reference.applied_lsn - 1
+        assert_same_tree(
+            reference, report.tree, tmp_path, ignore_applied_lsn=True
+        )
 
     def test_ingest_resumes_cleanly_after_torn_tail(self, small_dataset, tmp_path):
         # Reviewer reproduction: crash leaves a torn log tail, recovery
@@ -423,7 +521,7 @@ class TestCheckpointedIngestRecovery:
         reference = self.reference_run(dir_a, batches)
 
         self.reference_run(dir_b, batches[:-1])
-        with open(dir_b + "/tree.digestlog", "rb+") as handle:
+        with open(dir_b + "/tree.wal", "rb+") as handle:
             handle.seek(-4, 2)
             handle.truncate()  # crash tears the last record (batches[-2])
         report = recover(dir_b)  # no dataset: torn batch stays pending
@@ -433,9 +531,9 @@ class TestCheckpointedIngestRecovery:
         with CheckpointedIngest(report.tree, dir_b) as ingest:
             for epoch, counts in batches[-2:]:
                 assert ingest.digest(epoch, counts) is not None
-        records, dropped = read_digest_log(dir_b + "/tree.digestlog")
+        records, dropped = read_wal(dir_b + "/tree.wal")
         assert dropped == 0
-        assert [record[1] for record in records[-2:]] == [
+        assert [record.payload[0] for record in records[-2:]] == [
             epoch for epoch, _counts in batches[-2:]
         ]
         final = recover(dir_b)
@@ -477,7 +575,9 @@ class TestCheckpointedIngestRecovery:
             for epoch, counts in batches[:2]:
                 ingest.digest(epoch, counts)
             ingest.checkpoint()
-            assert read_digest_log(ingest.log_path) == ([], 0)
+            records, dropped = read_wal(ingest.log_path)
+            assert dropped == 0
+            assert [record.type for record in records] == [RECORD_CHECKPOINT]
             for epoch, counts in batches[2:]:
                 ingest.digest(epoch, counts)
         report = recover(directory, dataset=small_dataset)
@@ -506,7 +606,7 @@ class TestCheckpointedIngestRecovery:
         directory = make_base_snapshot(small_dataset, tmp_path / "c")
         tree = load_tree(directory + "/tree.json")
         with CheckpointedIngest(tree, directory) as ingest:
-            ingest.log.append(0, [["no-such-poi", 1, 1]])
+            ingest.log.log_digest(0, [["no-such-poi", 1, 1]])
         report = recover(directory)
         assert report.skipped_pois == 1
         assert "1 unknown POI" in report.summary()
@@ -518,14 +618,26 @@ class TestCheckpointedIngestRecovery:
             assert ingest.digest(0, {}) is None
             poi_id = next(iter(tree.poi_ids()))
             assert ingest.digest(0, {poi_id: 0}) is None
-        assert read_digest_log(directory + "/tree.digestlog") == ([], 0)
+        assert read_wal(directory + "/tree.wal") == ([], 0)
 
 
-def assert_same_tree(expected, actual, tmp_path):
-    """Byte-compare the canonical checksummed serialisations."""
+def assert_same_tree(expected, actual, tmp_path, ignore_applied_lsn=False):
+    """Byte-compare the canonical checksummed serialisations.
+
+    ``ignore_applied_lsn=True`` masks the applied-LSN high-water mark
+    before comparing, for scenarios (data-set reconciliation after a
+    torn tail) where the recovered tree legitimately sits at an earlier
+    WAL position than the uncrashed reference.
+    """
     path_a = str(tmp_path / "expected.cmp.json")
     path_b = str(tmp_path / "actual.cmp.json")
-    save_tree(expected, path_a)
-    save_tree(actual, path_b)
+    marks = (expected.applied_lsn, actual.applied_lsn)
+    if ignore_applied_lsn:
+        expected.applied_lsn = actual.applied_lsn = None
+    try:
+        save_tree(expected, path_a)
+        save_tree(actual, path_b)
+    finally:
+        expected.applied_lsn, actual.applied_lsn = marks
     with open(path_a, "rb") as a, open(path_b, "rb") as b:
         assert a.read() == b.read()

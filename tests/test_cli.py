@@ -177,3 +177,65 @@ class TestVerify:
         )
         assert code == 2
         assert "corrupt dataset snapshot" in output
+
+
+class TestRecover:
+    def make_state(self, tree_file, directory):
+        """A crashed ingest state: snapshot + un-checkpointed WAL."""
+        from repro.core.tar_tree import POI
+        from repro.reliability.recovery import CheckpointedIngest
+        from repro.storage.serialize import load_tree
+
+        tree = load_tree(str(tree_file))
+        epoch = tree.num_epochs
+        poi_ids = sorted(tree.poi_ids())[:3]
+        with CheckpointedIngest(tree, str(directory)) as ingest:
+            ingest.insert(POI("cli-poi", 50.0, 50.0), {epoch - 1: 2})
+            ingest.digest(epoch, {poi_ids[0]: 2, "cli-poi": 1})
+            ingest.delete(poi_ids[1])
+        return tree
+
+    def test_recover_replays_and_reports(self, tree_file, tmp_path):
+        self.make_state(tree_file, tmp_path)
+        code, output = run_cli(["recover", str(tmp_path)])
+        assert code == 0
+        assert "1 insert(s)" in output
+        assert "1 delete(s)" in output
+        assert "1 epoch batch(es) replayed" in output
+
+    def test_recover_with_checkpoint_resets_the_wal(self, tree_file, tmp_path):
+        from repro.reliability.wal import RECORD_CHECKPOINT, read_wal
+
+        self.make_state(tree_file, tmp_path)
+        code, output = run_cli(["recover", str(tmp_path), "--checkpoint"])
+        assert code == 0
+        assert "checkpointed to" in output
+        records, dropped = read_wal(str(tmp_path / "tree.wal"))
+        assert dropped == 0
+        assert [record.type for record in records] == [RECORD_CHECKPOINT]
+        # a second recovery now replays nothing
+        code, output = run_cli(["recover", str(tmp_path)])
+        assert code == 0
+        assert "0 insert(s)" in output
+
+    def test_recover_verify_runs_validators(self, tree_file, tmp_path):
+        self.make_state(tree_file, tmp_path)
+        code, output = run_cli(["recover", str(tmp_path), "--verify"])
+        assert code == 0
+        assert "no violations" in output
+
+    def test_missing_state_exits_two(self, tmp_path):
+        code, output = run_cli(["recover", str(tmp_path / "nope")])
+        assert code == 2
+        assert "cannot read state" in output
+
+    def test_corrupt_wal_exits_two(self, tree_file, tmp_path):
+        self.make_state(tree_file, tmp_path)
+        wal = tmp_path / "tree.wal"
+        lines = wal.read_text().splitlines(keepends=True)
+        lines[0] = "deadbeef" + lines[0][8:]
+        wal.write_text("".join(lines))
+        code, output = run_cli(["recover", str(tmp_path)])
+        assert code == 2
+        assert "corrupt state" in output
+        assert "'wal'" in output

@@ -1,5 +1,6 @@
 """The promised public surface of the ``repro`` package."""
 
+import inspect
 import math
 
 import pytest
@@ -7,6 +8,8 @@ import pytest
 import repro
 
 
+# The full promised surface: a change here is an API change and needs a
+# matching entry in repro.__init__ (and usually a docs update).
 EXPECTED_EXPORTS = [
     "TARTree",
     "POI",
@@ -25,13 +28,53 @@ EXPECTED_EXPORTS = [
     "sequential_scan",
     "minimum_weight_adjustment",
     "weight_adjustment_sequence",
+    "FaultInjector",
+    "TransientIOError",
+    "RetryPolicy",
+    "CheckpointedIngest",
+    "MutationWAL",
+    "WalRecord",
+    "read_wal",
+    "recover",
+    "RecoveryReport",
+    "RobustAnswer",
+    "robust_knnta",
+    "UnloggedMutationError",
+    "validate_tree",
+    "validate_against_dataset",
+    "CorruptSnapshotError",
+    "__version__",
 ]
 
 
 def test_all_matches_module_contents():
+    assert sorted(repro.__all__) == sorted(EXPECTED_EXPORTS)
     for name in EXPECTED_EXPORTS:
-        assert name in repro.__all__, name
         assert hasattr(repro, name), name
+
+
+def test_query_entry_point_signatures():
+    # Every query entry point takes one KNNTAQuery value; the kwargs
+    # spread lives only on the deprecated shims.
+    assert list(inspect.signature(repro.TARTree.query).parameters) == [
+        "self",
+        "query",
+        "normalizer",
+    ]
+    robust = inspect.signature(repro.TARTree.robust_query)
+    assert list(robust.parameters)[:2] == ["self", "query"]
+    assert list(inspect.signature(repro.knnta_search).parameters)[:2] == [
+        "tree",
+        "query",
+    ]
+    assert list(inspect.signature(repro.robust_knnta).parameters)[:2] == [
+        "tree",
+        "query",
+    ]
+    assert list(inspect.signature(repro.sequential_scan).parameters)[:2] == [
+        "tree",
+        "query",
+    ]
 
 
 def test_version_string():
@@ -59,6 +102,43 @@ def test_every_public_callable_has_a_docstring():
             continue
         obj = getattr(repro, name)
         assert getattr(obj, "__doc__", None), "%s lacks a docstring" % name
+
+
+class TestDeprecatedQueryShims:
+    def make_query(self, tree):
+        end = tree.current_time
+        return repro.KNNTAQuery((0.4, 0.6), repro.TimeInterval(end - 28, end), k=5)
+
+    def test_knnta_kwargs_shape_warns_and_answers_identically(self, tar_tree):
+        query = self.make_query(tar_tree)
+        expected = tar_tree.query(query)
+        with pytest.warns(DeprecationWarning):
+            legacy = tar_tree.knnta(
+                query.point, query.interval, k=query.k, alpha0=query.alpha0
+            )
+        assert legacy == expected
+
+    def test_knnta_accepts_query_object_silently(self, tar_tree, recwarn):
+        query = self.make_query(tar_tree)
+        assert tar_tree.knnta(query) == tar_tree.query(query)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_robust_knnta_kwargs_shape_warns_and_answers_identically(
+        self, tar_tree
+    ):
+        query = self.make_query(tar_tree)
+        expected = tar_tree.robust_query(query)
+        with pytest.warns(DeprecationWarning):
+            legacy = tar_tree.robust_knnta(
+                query.point, query.interval, k=query.k, alpha0=query.alpha0
+            )
+        assert list(legacy) == list(expected)
+        assert legacy[0] == expected[0]
+
+    def test_kwargs_shape_without_interval_rejected(self, tar_tree):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                tar_tree.knnta((0.4, 0.6))
 
 
 class TestInputHardening:
