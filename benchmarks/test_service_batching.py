@@ -1,0 +1,123 @@
+"""Service micro-batching — shared vs individual node accesses.
+
+The query service's pitch is that concurrent same-interval requests
+coalesce into one collective batch and therefore cost *fewer total node
+accesses* than the same requests run one at a time.  This benchmark
+measures exactly that at 1, 8 and 64 concurrent queries over one
+interval preset, asserts the batched total strictly undercuts the
+individual total from 8 concurrent queries up, and emits the series as
+``BENCH_service.json`` for CI trend tracking.
+
+At concurrency 1 the service falls back to a plain ``knnta_search`` —
+the totals must then *match* the individual run, not beat it.
+"""
+
+import json
+import os
+
+import pytest
+
+from _harness import get_dataset, get_tree, get_workload, print_series
+from repro.core.collective import process_individually
+from repro.service import QueryService, ServiceConfig
+from repro.temporal.epochs import TimeInterval
+
+CONCURRENCY_LEVELS = (1, 8, 64)
+DATASET = "GS"
+INTERVAL_DAYS = 28.0
+
+
+def make_queries(n):
+    """``n`` distinct-point queries sharing one interval preset."""
+    data = get_dataset(DATASET)
+    workload = get_workload(DATASET, n_queries=n, seed=21)
+    preset = TimeInterval(data.span_days - INTERVAL_DAYS, data.span_days)
+    return [query._replace(interval=preset) for query in workload]
+
+
+def run_service_batch(tree, queries):
+    """All queries enqueued first, then served: one deterministic batch."""
+    config = ServiceConfig(workers=1, batch_size=max(len(queries), 1), linger=0.05)
+    service = QueryService(tree, config=config, autostart=False)
+    pending = [service.submit(query) for query in queries]
+    service.start()
+    results = [request.result(timeout=120) for request in pending]
+    service.close()
+    return results, service.service_stats
+
+
+def test_service_batching_beats_individual(benchmark):
+    tree = get_tree(DATASET)
+
+    rows = []
+    series = {"individual": [], "service": []}
+    for concurrency in CONCURRENCY_LEVELS:
+        queries = make_queries(concurrency)
+
+        snap = tree.stats.snapshot()
+        individual_results = process_individually(tree, queries)
+        individual_nodes = tree.stats.diff(snap).rtree_nodes
+
+        service_results, stats = run_service_batch(tree, queries)
+        service_nodes = stats.access_totals.rtree_nodes
+
+        # Identical answers first — the saving must not change results.
+        assert service_results == individual_results
+
+        if concurrency >= 8:
+            # The acceptance bar: strictly fewer total node accesses.
+            assert service_nodes < individual_nodes, (
+                "no batching win at %d concurrent queries: %d >= %d"
+                % (concurrency, service_nodes, individual_nodes)
+            )
+        else:
+            assert service_nodes == individual_nodes
+
+        series["individual"].append(float(individual_nodes))
+        series["service"].append(float(service_nodes))
+        rows.append(
+            {
+                "concurrency": concurrency,
+                "individual_nodes": individual_nodes,
+                "service_nodes": service_nodes,
+                "ratio": (
+                    individual_nodes / float(service_nodes) if service_nodes else None
+                ),
+                "batches": stats.batches,
+                "batch_size_histogram": {
+                    str(size): count
+                    for size, count in sorted(stats.batch_size_histogram.items())
+                },
+                "service_access_totals": stats.access_totals.as_dict(),
+            }
+        )
+
+    print_series(
+        "Service micro-batching (%s): total node accesses vs concurrency" % DATASET,
+        "#concurrent",
+        CONCURRENCY_LEVELS,
+        series,
+        fmt="%10.0f",
+    )
+
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_service.json")
+    with open(os.path.abspath(out_path), "w") as handle:
+        json.dump(
+            {"dataset": DATASET, "interval_days": INTERVAL_DAYS, "levels": rows},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+    queries = make_queries(8)
+    benchmark(lambda: run_service_batch(tree, queries))
+
+
+@pytest.mark.parametrize("concurrency", [8])
+def test_service_batch_is_one_collective_batch(concurrency):
+    # The deterministic setup really coalesces: one batch, full size.
+    tree = get_tree(DATASET)
+    queries = make_queries(concurrency)
+    _, stats = run_service_batch(tree, queries)
+    assert stats.batches == 1
+    assert stats.batch_size_histogram == {concurrency: 1}

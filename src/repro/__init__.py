@@ -23,6 +23,11 @@ module-level :func:`knnta_search` / :func:`sequential_scan` /
 rows that destructure like :class:`~repro.core.query.QueryResult`.
 The legacy ``tree.knnta(q, interval, ...)`` kwargs shape survives as a
 deprecated shim.
+
+For concurrent serving, :class:`~repro.service.QueryService` wraps a
+tree behind collective micro-batching, a readers-writer lock and a
+background integrity scrubber (``python -m repro serve`` exposes it
+over TCP).
 """
 
 __version__ = "0.3.0"
@@ -45,6 +50,13 @@ from repro.reliability.recovery import (
 )
 from repro.reliability.validate import validate_against_dataset, validate_tree
 from repro.reliability.wal import MutationWAL, WalRecord, read_wal
+from repro.service import (
+    QueryService,
+    RequestTimeoutError,
+    ServiceConfig,
+    ServiceOverloadedError,
+    ServiceStats,
+)
 from repro.storage.serialize import CorruptSnapshotError
 from repro.storage.stats import AccessStats
 from repro.temporal.epochs import EpochClock, TimeInterval, VariedEpochClock
@@ -80,6 +92,11 @@ __all__ = [
     "RobustAnswer",
     "robust_knnta",
     "UnloggedMutationError",
+    "QueryService",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceOverloadedError",
+    "RequestTimeoutError",
     "validate_tree",
     "validate_against_dataset",
     "CorruptSnapshotError",

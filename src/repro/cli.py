@@ -17,6 +17,10 @@ Commands cover the library's end-to-end flow without writing code:
   a directory, replay its mutation WAL, and report per-record-type
   replay counts; optionally reconcile against the source data set and
   re-checkpoint the recovered tree.
+* ``serve`` — serve a tree over TCP (JSON lines) through the
+  concurrent :mod:`repro.service` query service: collective
+  micro-batching, WAL-logged single-writer ingest (with
+  ``--state-dir``) and the background scrubber.
 
 Exit codes (all commands): ``0`` success, ``1`` a check failed (a scan
 cross-check mismatch, ``verify`` found invariant violations, or
@@ -33,6 +37,7 @@ Example session::
     python -m repro mwa gs-tree.json --x 50 --y 50 --last-days 28 --k 5
     python -m repro verify gs-tree.json --dataset gs.npz
     python -m repro recover state-dir --dataset gs.npz --checkpoint
+    python -m repro serve gs-tree.json --port 7777 --state-dir state-dir
 """
 
 import argparse
@@ -184,6 +189,64 @@ def build_parser():
         help="run the deep invariant validators on the recovered tree",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve kNNTA queries over TCP (JSON lines)",
+        description=(
+            "Run the concurrent query service over a saved tree: worker "
+            "threads micro-batch concurrent same-interval queries through "
+            "the collective processor, mutations take the exclusive side "
+            "of a readers-writer lock, and a background scrubber sweeps "
+            "the index for TIA corruption. With --state-dir, mutations "
+            "are WAL-logged there (crash-recoverable via 'recover'); if "
+            "the directory already holds a checkpoint, the service "
+            "resumes from it (replaying the WAL) instead of TREE. The "
+            "wire protocol is one JSON object per line; see "
+            "docs/SERVICE.md. Serves until a client sends "
+            '{"op": "shutdown"}.'
+        ),
+    )
+    serve.add_argument("tree", help="tree file written by 'build'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = OS-assigned)"
+    )
+    serve.add_argument("--workers", type=int, default=2, help="query worker threads")
+    serve.add_argument(
+        "--batch-size", type=int, default=16, help="max queries per collective batch"
+    )
+    serve.add_argument(
+        "--linger-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window: how long a worker waits for peers",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="admission control: max queued requests before rejecting",
+    )
+    serve.add_argument(
+        "--state-dir",
+        help="WAL-log mutations into this checkpoint directory "
+        "(resumes from it when it already holds a snapshot)",
+    )
+    serve.add_argument(
+        "--name",
+        default="tree",
+        help="state name inside --state-dir (default 'tree')",
+    )
+    serve.add_argument(
+        "--scrub-interval-ms",
+        type=float,
+        default=1000.0,
+        help="background scrubber tick period; 0 disables the thread",
+    )
+    serve.add_argument(
+        "--scrub-budget", type=int, default=32, help="nodes scrubbed per tick"
+    )
+
     return parser
 
 
@@ -276,9 +339,12 @@ def _command_query(args, out):
                result.distance, result.aggregate),
             file=out,
         )
+    costs = cost.as_dict()
     print(
-        "cost: %d node accesses, %d TIA page reads"
-        % (cost.rtree_nodes, cost.tia_pages),
+        "cost: %(rtree_nodes)d node accesses "
+        "(%(rtree_internal)d internal + %(rtree_leaf)d leaf), "
+        "%(tia_pages)d TIA page reads, %(tia_buffer_hits)d buffer hits"
+        % costs,
         file=out,
     )
     if args.scan:
@@ -400,6 +466,66 @@ def _command_recover(args, out):
     return 0
 
 
+def _command_serve(args, out):
+    import os
+
+    from repro.reliability.recovery import CheckpointedIngest, recover
+    from repro.service import JsonLineServer, QueryService, ServiceConfig
+    from repro.storage.serialize import CorruptSnapshotError, load_tree
+
+    ingest = None
+    try:
+        if args.state_dir and os.path.exists(
+            os.path.join(args.state_dir, args.name + ".json")
+        ):
+            # An existing checkpoint + WAL outranks the tree file: it is
+            # the durable continuation of a previous serving session.
+            report = recover(args.state_dir, name=args.name)
+            tree = report.tree
+            print(report.summary(), file=out)
+        else:
+            tree = load_tree(args.tree)
+        if args.state_dir:
+            ingest = CheckpointedIngest(tree, args.state_dir, name=args.name)
+    except CorruptSnapshotError as exc:
+        print("corrupt state (section %r): %s" % (exc.section, exc), file=out)
+        return 2
+    except OSError as exc:
+        print("cannot read state: %s" % (exc,), file=out)
+        return 2
+    config = ServiceConfig(
+        workers=args.workers,
+        batch_size=args.batch_size,
+        linger=args.linger_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        scrub_interval=(
+            args.scrub_interval_ms / 1000.0 if args.scrub_interval_ms > 0 else None
+        ),
+        scrub_budget=args.scrub_budget,
+    )
+    service = QueryService(tree, ingest=ingest, config=config)
+    server = JsonLineServer(service, host=args.host, port=args.port)
+    print("serving on %s:%d" % server.address[:2], file=out)
+    print(
+        "%d workers, batch size %d, linger %gms, queue limit %d"
+        % (args.workers, args.batch_size, args.linger_ms, args.queue_limit),
+        file=out,
+    )
+    out.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server._server.server_close()
+        service.close()
+        if ingest is not None:
+            ingest.checkpoint()
+            ingest.close()
+    print("shut down", file=out)
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "fit": _command_fit,
@@ -408,6 +534,7 @@ _COMMANDS = {
     "mwa": _command_mwa,
     "verify": _command_verify,
     "recover": _command_recover,
+    "serve": _command_serve,
 }
 
 

@@ -21,13 +21,14 @@ from repro.core.query import QueryResult
 class _QueryState:
     """Per-query search state inside a collective batch."""
 
-    __slots__ = ("query", "normalizer", "heap", "results")
+    __slots__ = ("query", "normalizer", "heap", "results", "_tie")
 
-    def __init__(self, query, normalizer):
+    def __init__(self, query, normalizer, tie):
         self.query = query
         self.normalizer = normalizer
         self.heap = []
         self.results = []
+        self._tie = tie
 
     @property
     def done(self):
@@ -37,7 +38,7 @@ class _QueryState:
         distance, aggregate = self.normalizer.components(raw_distance, raw_aggregate)
         score = self.query.alpha0 * distance + self.query.alpha1 * (1.0 - aggregate)
         heapq.heappush(
-            self.heap, (score, next(_tie), entry, distance, aggregate)
+            self.heap, (score, next(self._tie), entry, distance, aggregate)
         )
 
     def drain_leaves(self):
@@ -57,23 +58,36 @@ class _QueryState:
         return None if entry.is_leaf_entry else entry.child
 
 
-_tie = itertools.count()
-
-
 class CollectiveProcessor:
-    """Processes batches of kNNTA queries with shared index traversal."""
+    """Processes batches of kNNTA queries with shared index traversal.
+
+    Re-entrant: one processor (or several over the same tree) may run
+    batches from multiple threads concurrently — all per-batch state
+    (queues, tie-breakers) is local to each :meth:`run` call.  Callers
+    running batches concurrently should pass a private ``stats`` object
+    per batch so node accesses are attributed exactly.
+    """
 
     def __init__(self, tree):
         self.tree = tree
 
-    def run(self, queries):
+    def run(self, queries, stats=None):
         """Answer every query in ``queries``; returns per-query result lists.
 
-        Node accesses recorded into ``tree.stats`` count each physically
-        fetched node once, however many queries consumed it — the batch's
-        whole point.
+        Node accesses count each physically fetched node once, however
+        many queries consumed it — the batch's whole point.  They are
+        recorded into ``tree.stats`` by default; passing ``stats`` (an
+        :class:`~repro.storage.stats.AccessStats`) records the batch's
+        node accesses there *instead*, giving concurrent batches exact
+        per-batch attribution.  (TIA page accesses always go to the
+        backend's shared stats.)
         """
         tree = self.tree
+        if stats is None:
+            record_node = tree.record_node_access
+        else:
+            record_node = lambda node: stats.record_node(node.is_leaf)  # noqa: E731
+        tie = itertools.count()
         normalizers = {}
         states = []
         for query in queries:
@@ -81,11 +95,11 @@ class CollectiveProcessor:
             key = (query.interval, query.semantics)
             if key not in normalizers:
                 normalizers[key] = tree.normalizer(query.interval, query.semantics)
-            states.append(_QueryState(query, normalizers[key]))
+            states.append(_QueryState(query, normalizers[key], tie))
         if not tree.root.entries:
             return [state.results for state in states]
 
-        tree.record_node_access(tree.root)
+        record_node(tree.root)
         self._expand(tree.root, states)
 
         # Demand map: node -> states whose queue front points at it.  A
@@ -108,7 +122,7 @@ class CollectiveProcessor:
             consumers = demand.pop(node)
             for state in consumers:
                 heapq.heappop(state.heap)
-            tree.record_node_access(node)
+            record_node(node)
             self._expand(node, consumers)
             for state in consumers:
                 register(state)

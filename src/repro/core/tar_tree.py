@@ -157,6 +157,7 @@ class TARTree:
         self._max_mean_rate = 0.0
         self._size = 0
         self._mutation_listener = None
+        self._mutation_observers = []
         #: LSN of the last write-ahead-logged mutation applied to this
         #: tree (``None`` when the tree has never been WAL-wrapped).
         #: Persisted by :func:`repro.storage.serialize.save_tree` so a
@@ -470,6 +471,7 @@ class TARTree:
                 if value > maxima.get(epoch, 0):
                     maxima[epoch] = value
         self._size += 1
+        self._notify_mutation("insert", poi_ids=(poi.poi_id,))
 
     def delete_poi(self, poi_id):
         """Remove ``poi_id``; returns ``True`` when it was indexed.
@@ -497,6 +499,7 @@ class TARTree:
             self.root.parent = None
         self._global_max_dirty = True
         self._size -= 1
+        self._notify_mutation("delete", poi_ids=(poi_id,))
         return True
 
     # ------------------------------------------------------------------
@@ -541,6 +544,9 @@ class TARTree:
         ts, te = self.clock.bounds(epoch_index)
         if math.isfinite(te) and te > self.current_time:
             self.current_time = te
+        self._notify_mutation(
+            "digest", poi_ids=tuple(poi_id for poi_id in counts if poi_id in self._pois)
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -585,6 +591,9 @@ class TARTree:
             "KNNTAQuery and call TARTree.query() / TARTree.robust_query()"
             % name,
             DeprecationWarning,
+            # Frames above the warn call: [1] _coerce_query, [2] the
+            # knnta/robust_knnta shim, [3] the caller — the warning must
+            # name the caller's file, not this one (asserted in tests).
             stacklevel=3,
         )
         if interval is None:
@@ -831,6 +840,34 @@ class TARTree:
             )
         self._mutation_listener = listener
         return listener
+
+    def add_mutation_observer(self, observer):
+        """Register a *post*-mutation callback (any number may attach).
+
+        Unlike the single write-ahead mutation listener, observers are
+        notified **after** a logical mutation fully applied, as
+        ``observer(kind, poi_ids)`` with ``kind`` one of ``"insert"``,
+        ``"delete"`` or ``"digest"`` and ``poi_ids`` the affected POI
+        ids.  This is the hook the service layer uses to keep derived
+        state (e.g. the scrubber's fingerprint manifest) in sync with
+        mutations, whichever entry point issued them.  Observers must
+        not mutate the tree.
+        """
+        if observer not in self._mutation_observers:
+            self._mutation_observers.append(observer)
+        return observer
+
+    def remove_mutation_observer(self, observer):
+        """Remove a post-mutation observer; returns ``True`` when removed."""
+        try:
+            self._mutation_observers.remove(observer)
+        except ValueError:
+            return False
+        return True
+
+    def _notify_mutation(self, kind, poi_ids):
+        for observer in list(self._mutation_observers):
+            observer(kind, poi_ids)
 
     def detach_mutation_listener(self, listener=None):
         """Remove the mutation listener; returns ``True`` when removed.

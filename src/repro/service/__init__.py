@@ -1,0 +1,41 @@
+"""Embeddable concurrent query service over a TAR-tree.
+
+The package wires three pieces around one live tree: collective
+micro-batching of concurrent kNNTA queries
+(:class:`~repro.service.service.QueryService`), single-writer ingest
+under a write-preferring :class:`~repro.service.locks.ReadWriteLock`
+routed through the reliability WAL, and an incremental background
+:class:`~repro.service.scrubber.Scrubber`.  ``repro serve`` exposes it
+over JSON lines on TCP (:class:`~repro.service.server.JsonLineServer`).
+"""
+
+from repro.service.locks import ReadWriteLock
+from repro.service.scrubber import HealthEvent, Scrubber, fingerprint_mapping
+from repro.service.server import JsonLineServer
+from repro.service.service import (
+    PendingResult,
+    QueryService,
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.stats import ServiceStats, percentile
+
+__all__ = [
+    "HealthEvent",
+    "JsonLineServer",
+    "PendingResult",
+    "QueryService",
+    "ReadWriteLock",
+    "RequestTimeoutError",
+    "Scrubber",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "fingerprint_mapping",
+    "percentile",
+]

@@ -1,0 +1,94 @@
+"""A readers-writer lock for the query service.
+
+Queries take shared (read) access — the TAR-tree's search paths never
+mutate tree state — while ``insert_poi``/``delete_poi``/``digest_epoch``
+take exclusive (write) access.  The lock is *write-preferring*: once a
+writer is waiting, new readers queue behind it, so a stream of queries
+cannot starve ingest.
+
+Neither side is re-entrant; the service's code paths never nest
+acquisitions.
+"""
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Write-preferring readers-writer lock over a single condition."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- shared (query) side -------------------------------------------------
+
+    def acquire_read(self, timeout=None):
+        """Take shared access; returns ``False`` on timeout."""
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: not self._writer_active and not self._writers_waiting,
+                timeout,
+            ):
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self):
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive (mutation) side -------------------------------------------
+
+    def acquire_write(self, timeout=None):
+        """Take exclusive access; returns ``False`` on timeout."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                if not self._cond.wait_for(
+                    lambda: not self._writer_active and self._readers == 0,
+                    timeout,
+                ):
+                    return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self):
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self):
+        return "ReadWriteLock(readers=%d, writer=%r, writers_waiting=%d)" % (
+            self._readers,
+            self._writer_active,
+            self._writers_waiting,
+        )

@@ -1,0 +1,208 @@
+"""JSON-lines-over-TCP front end for :class:`QueryService` (stdlib only).
+
+One request per line, one response per line.  Requests are JSON objects
+with an ``"op"`` key; every response carries ``"ok"`` (bool) plus either
+the op's payload or ``{"error": ..., "code": ...}``.  Supported ops:
+
+``ping``
+    ``{"op": "ping"}`` → ``{"ok": true, "pong": true}``
+``query``
+    ``{"op": "query", "point": [x, y], "interval": [lo, hi], "k": 3,
+    "alpha0": 0.3, "semantics": "intersects"}`` → ranked ``results``
+    rows plus the executing batch's shared ``cost`` and ``batch_size``.
+    Optional ``timeout`` seconds.
+``insert``
+    ``{"op": "insert", "poi_id": ..., "point": [x, y],
+    "aggregates": [[epoch, agg], ...]}``
+``delete``
+    ``{"op": "delete", "poi_id": ...}`` → ``{"deleted": bool}``
+``digest``
+    ``{"op": "digest", "epoch": 7, "counts": [[poi_id, count], ...]}``
+``stats``
+    The :meth:`QueryService.stats` snapshot.
+``scrub``
+    Run one scrubber tick (optional ``budget``).
+``shutdown``
+    Stop the server loop (the service itself is closed by the owner).
+
+Aggregates and digest counts ride as ``[key, value]`` pairs, not JSON
+objects, so integer epoch indices and POI ids survive the round trip.
+Error codes: ``overloaded`` (with ``retry_after``), ``timeout``,
+``closed``, ``bad-request``, ``error``.
+"""
+
+import json
+import socketserver
+import threading
+
+from repro.core.query import KNNTAQuery
+from repro.core.tar_tree import POI
+from repro.service.service import (
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.temporal.epochs import TimeInterval
+from repro.temporal.tia import IntervalSemantics
+
+
+def _parse_query(payload):
+    point = payload["point"]
+    lo, hi = payload["interval"]
+    return KNNTAQuery(
+        point=(float(point[0]), float(point[1])),
+        interval=TimeInterval(lo, hi),
+        k=int(payload.get("k", 10)),
+        alpha0=float(payload.get("alpha0", 0.3)),
+        semantics=IntervalSemantics(payload.get("semantics", "intersects")),
+    )
+
+
+def _result_rows(rows):
+    return [
+        {
+            "poi_id": row.poi_id,
+            "score": row.score,
+            "distance": row.distance,
+            "aggregate": row.aggregate,
+        }
+        for row in rows
+    ]
+
+
+class JsonLineServer:
+    """Serve one :class:`QueryService` over a JSON-lines TCP socket.
+
+    ``serve_forever`` blocks; :meth:`start` runs the accept loop on a
+    daemon thread for embedding (tests).  Bind with port ``0`` to let
+    the OS pick — the effective ``(host, port)`` is in ``address``.
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=0):
+        self.service = service
+        outer = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                for raw in self.rfile:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    response = outer.handle_request(raw)
+                    self.wfile.write(
+                        (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+                    )
+                    self.wfile.flush()
+                    if response.get("bye"):
+                        # shutdown() blocks until serve_forever returns,
+                        # so it must run off the handler thread.
+                        threading.Thread(
+                            target=outer._server.shutdown, daemon=True
+                        ).start()
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self.address = self._server.server_address
+        self._thread = None
+
+    # ------------------------------------------------------------------
+
+    def handle_request(self, raw):
+        """Decode one request line and dispatch it; never raises."""
+        try:
+            payload = json.loads(raw.decode("utf-8") if isinstance(raw, bytes) else raw)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+            op = payload.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "query":
+                return self._op_query(payload)
+            if op == "insert":
+                return self._op_insert(payload)
+            if op == "delete":
+                deleted = self.service.delete(payload["poi_id"])
+                return {"ok": True, "deleted": bool(deleted)}
+            if op == "digest":
+                counts = {poi_id: count for poi_id, count in payload["counts"]}
+                self.service.digest(int(payload["epoch"]), counts)
+                return {"ok": True, "digested": len(counts)}
+            if op == "stats":
+                return {"ok": True, "stats": self.service.stats()}
+            if op == "scrub":
+                checked = self.service.scrub_tick(payload.get("budget"))
+                return {"ok": True, "nodes_checked": checked}
+            if op == "shutdown":
+                return {"ok": True, "bye": True}
+            raise ValueError("unknown op %r" % (op,))
+        except ServiceOverloadedError as exc:
+            return {
+                "ok": False,
+                "code": "overloaded",
+                "error": str(exc),
+                "retry_after": exc.retry_after,
+            }
+        except RequestTimeoutError as exc:
+            return {"ok": False, "code": "timeout", "error": str(exc)}
+        except ServiceClosedError as exc:
+            return {"ok": False, "code": "closed", "error": str(exc)}
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            return {"ok": False, "code": "bad-request", "error": str(exc)}
+        except Exception as exc:  # keep the connection alive on any failure
+            return {"ok": False, "code": "error", "error": str(exc)}
+
+    def _op_query(self, payload):
+        query = _parse_query(payload)
+        timeout = payload.get("timeout")
+        request = self.service.submit(query, timeout=timeout)
+        wait = None
+        if request.deadline is not None:
+            wait = (
+                timeout if timeout is not None else self.service.config.default_timeout
+            ) + 1.0
+        rows = request.result(wait)
+        return {
+            "ok": True,
+            "results": _result_rows(rows),
+            "batch_size": request.batch_size,
+            "cost": request.cost.as_dict(),
+            "latency": request.latency,
+        }
+
+    def _op_insert(self, payload):
+        point = payload["point"]
+        aggregates = {
+            int(epoch): value for epoch, value in payload.get("aggregates") or []
+        }
+        poi = POI(payload["poi_id"], point[0], point[1])
+        self.service.insert(poi, aggregates)
+        return {"ok": True, "inserted": payload["poi_id"]}
+
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Serve on a background daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-service-tcp", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self):
+        self._server.serve_forever()
+
+    def shutdown(self):
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()

@@ -80,6 +80,35 @@ class AccessStats:
         delta.tia_buffer_hits = self.tia_buffer_hits - earlier_snapshot[3]
         return delta
 
+    def merge(self, other):
+        """Add another :class:`AccessStats`'s counters into this one.
+
+        Returns ``self`` so per-request deltas can be folded into a
+        running total (the service snapshot aggregates batch costs this
+        way): ``total.merge(batch_cost)``.
+        """
+        self.rtree_internal += other.rtree_internal
+        self.rtree_leaf += other.rtree_leaf
+        self.tia_pages += other.tia_pages
+        self.tia_buffer_hits += other.tia_buffer_hits
+        return self
+
+    def as_dict(self):
+        """The counters (and derived totals) as a plain ``dict``.
+
+        Keys: the four raw counters plus ``rtree_nodes`` and
+        ``total_io``.  This is the JSON-friendly shape used by the
+        service snapshot, the wire protocol and the CLI cost report.
+        """
+        return {
+            "rtree_internal": self.rtree_internal,
+            "rtree_leaf": self.rtree_leaf,
+            "rtree_nodes": self.rtree_nodes,
+            "tia_pages": self.tia_pages,
+            "tia_buffer_hits": self.tia_buffer_hits,
+            "total_io": self.total_io,
+        }
+
     def __repr__(self):
         return (
             "AccessStats(rtree_internal=%d, rtree_leaf=%d, "

@@ -1,0 +1,38 @@
+"""Fixtures for the query-service tests: small hand-built trees.
+
+The service tests want cheap, deterministic trees they can mutate and
+corrupt freely, so they build their own (memory-backend) instead of the
+session-scoped paged fixtures.
+"""
+
+import random
+
+import pytest
+
+from repro.core.tar_tree import POI, TARTree
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import EpochClock
+
+
+def build_tree(pois=80, seed=7, world=20.0, epochs=10, node_size=None):
+    """A fresh memory-backend TAR-tree with random check-in histories."""
+    rng = random.Random(seed)
+    kwargs = {} if node_size is None else {"node_size": node_size}
+    tree = TARTree(
+        world=Rect((0.0, 0.0), (world, world)),
+        clock=EpochClock(0.0, 1.0),
+        current_time=float(epochs),
+        tia_backend="memory",
+        **kwargs
+    )
+    for i in range(pois):
+        history = {
+            e: rng.randrange(1, 8) for e in range(epochs) if rng.random() < 0.6
+        }
+        tree.insert_poi(POI(i, rng.random() * world, rng.random() * world), history)
+    return tree
+
+
+@pytest.fixture
+def small_tree():
+    return build_tree()

@@ -1,0 +1,92 @@
+"""ReadWriteLock semantics: sharing, exclusion, writer preference."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.locks import ReadWriteLock
+
+
+@pytest.mark.timeout(60)
+def test_readers_share():
+    lock = ReadWriteLock()
+    entered = []
+    barrier = threading.Barrier(3, timeout=10)
+
+    def reader():
+        with lock.read_locked():
+            entered.append(1)
+            barrier.wait()  # all three must be inside simultaneously
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert len(entered) == 3
+
+
+@pytest.mark.timeout(60)
+def test_writer_excludes_readers_and_writers():
+    lock = ReadWriteLock()
+    assert lock.acquire_write(timeout=1)
+    assert not lock.acquire_read(timeout=0.05)
+    assert not lock.acquire_write(timeout=0.05)
+    lock.release_write()
+    assert lock.acquire_read(timeout=1)
+    lock.release_read()
+
+
+@pytest.mark.timeout(60)
+def test_waiting_writer_blocks_new_readers():
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    writer_started = threading.Event()
+    writer_done = threading.Event()
+
+    def writer():
+        writer_started.set()
+        lock.acquire_write()
+        lock.release_write()
+        writer_done.set()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    writer_started.wait(5)
+    # Give the writer time to register as waiting, then try to read:
+    # write preference must turn us away while it queues.
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline:
+        if lock._writers_waiting:
+            break
+        time.sleep(0.005)
+    assert not lock.acquire_read(timeout=0.05)
+    lock.release_read()
+    thread.join(timeout=5)
+    assert writer_done.is_set()
+    # With the writer gone, readers flow again.
+    assert lock.acquire_read(timeout=1)
+    lock.release_read()
+
+
+def test_unbalanced_releases_raise():
+    lock = ReadWriteLock()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_write()
+
+
+@pytest.mark.timeout(60)
+def test_write_timeout_leaves_lock_usable():
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    assert not lock.acquire_write(timeout=0.05)
+    # The timed-out writer must not leave a phantom waiter behind.
+    assert lock._writers_waiting == 0
+    assert lock.acquire_read(timeout=1)
+    lock.release_read()
+    lock.release_read()
+    assert lock.acquire_write(timeout=1)
+    lock.release_write()

@@ -1,0 +1,170 @@
+"""Scrubber behaviour: detection, repair, manifests, non-blocking ticks."""
+
+import threading
+
+import pytest
+
+from repro.core.query import KNNTAQuery
+from repro.core.tar_tree import POI
+from repro.reliability.validate import validate_tree
+from repro.service.locks import ReadWriteLock
+from repro.service.scrubber import Scrubber, fingerprint_mapping
+from repro.temporal.epochs import TimeInterval
+
+from tests.service.conftest import build_tree
+
+
+def make_scrubber(tree, **kwargs):
+    return Scrubber(tree, ReadWriteLock(), **kwargs)
+
+
+def first_internal_entry(tree):
+    """Some entry whose TIA is an internal (re-derivable) aggregate."""
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        for entry in node.entries:
+            if entry.child is not None:
+                return node, entry
+        stack.extend(e.child for e in node.entries if e.child is not None)
+    pytest.skip("tree too small to have internal entries")
+
+
+def test_fingerprint_mapping_matches_tia_fingerprint(small_tree):
+    poi_id = next(iter(small_tree.poi_ids()))
+    tia = small_tree.poi_tia(poi_id)
+    assert fingerprint_mapping(dict(tia.items())) == tia.fingerprint()
+
+
+def test_clean_sweep_finds_nothing(small_tree):
+    scrubber = make_scrubber(small_tree)
+    seen = scrubber.sweep()
+    assert seen == small_tree.node_count()
+    assert scrubber.repairs == 0
+    assert scrubber.leaf_damage == 0
+    assert scrubber.sweeps_completed == 1
+
+
+def test_detects_and_repairs_internal_corruption_within_one_sweep(small_tree):
+    scrubber = make_scrubber(small_tree)
+    node, entry = first_internal_entry(small_tree)
+    entry.tia.replace_all({0: 9999.0})
+    assert validate_tree(small_tree).ok is False
+    scrubber.sweep()
+    assert scrubber.repairs >= 1
+    assert validate_tree(small_tree).ok
+    kinds = [event.kind for event in scrubber.events]
+    assert "repaired-internal" in kinds
+
+
+def test_repair_cascades_to_the_root(small_tree):
+    # Corrupt EVERY internal TIA; one post-order sweep must fix them
+    # all, because children are verified before their parents.
+    scrubber = make_scrubber(small_tree)
+    stack = [small_tree.root]
+    corrupted = 0
+    while stack:
+        node = stack.pop()
+        for entry in node.entries:
+            if entry.child is not None:
+                entry.tia.replace_all({0: 1.0})
+                corrupted += 1
+                stack.append(entry.child)
+    if not corrupted:
+        pytest.skip("tree too small to have internal entries")
+    scrubber.sweep()
+    assert scrubber.repairs == corrupted
+    assert validate_tree(small_tree).ok
+
+
+def test_leaf_damage_surfaces_as_health_event_not_repair(small_tree):
+    scrubber = make_scrubber(small_tree)
+    poi_id = next(iter(small_tree.poi_ids()))
+    tia = small_tree.poi_tia(poi_id)
+    tia.replace_all({0: 12345.0})
+    scrubber.sweep()
+    assert scrubber.leaf_damage == 1
+    assert scrubber.repairs == 0  # leaf content is not re-derivable
+    events = [e for e in scrubber.events if e.kind == "leaf-damage"]
+    assert len(events) == 1
+    assert repr(poi_id) in events[0].location
+    # The same damage is reported once per sweep, not once per tick.
+    scrubber.sweep()
+    assert scrubber.leaf_damage == 2  # one more report, next sweep
+    assert len([e for e in scrubber.events if e.kind == "leaf-damage"]) == 2
+
+
+def test_mutation_observer_keeps_manifest_current(small_tree):
+    scrubber = make_scrubber(small_tree)
+    small_tree.add_mutation_observer(scrubber.observe_mutation)
+    try:
+        small_tree.insert_poi(POI(700, 1.0, 1.0), {2: 4})
+        small_tree.digest_epoch(10, {700: 3})
+        scrubber.sweep()
+        assert scrubber.leaf_damage == 0  # fresh content is not damage
+        small_tree.delete_poi(700)
+        assert 700 not in scrubber._manifest
+        scrubber.sweep()
+        assert scrubber.leaf_damage == 0
+    finally:
+        small_tree.remove_mutation_observer(scrubber.observe_mutation)
+
+
+def test_manifest_round_trip_and_lsn_staleness(tmp_path):
+    tree = build_tree(pois=30)
+    path = str(tmp_path / "scrub.json")
+    scrubber = make_scrubber(tree, manifest_path=path)
+    scrubber.persist_manifest()
+
+    # Same LSN: the persisted manifest is trusted, including a poisoned
+    # entry (which then reads as damage).
+    reloaded = make_scrubber(tree, manifest_path=path)
+    assert reloaded._manifest == scrubber._manifest
+
+    # Advance the tree's applied LSN: the manifest is stale, so a new
+    # scrubber rebaselines from the live tree instead of trusting it.
+    tree.applied_lsn = (tree.applied_lsn or 0) + 5
+    rebased = make_scrubber(tree, manifest_path=path)
+    rebased.sweep()
+    assert rebased.leaf_damage == 0
+
+
+def test_budget_bounds_each_tick(small_tree):
+    scrubber = make_scrubber(small_tree, budget=1)
+    total_nodes = small_tree.node_count()
+    assert scrubber.tick() == 1
+    assert scrubber.sweeps_completed == 0 or total_nodes == 1
+    seen = 1
+    while scrubber.sweeps_completed == 0:
+        seen += scrubber.tick()
+    assert seen == total_nodes
+
+
+@pytest.mark.timeout(120)
+def test_ticks_do_not_block_concurrent_queries(small_tree):
+    # Queries (read lock) proceed while a sweep is in progress; the
+    # scrubber only needs the write lock for actual repairs.
+    lock = ReadWriteLock()
+    scrubber = Scrubber(small_tree, lock, budget=2)
+    query = KNNTAQuery(point=(5.0, 5.0), interval=TimeInterval(2, 6), k=5)
+    expected = small_tree.query(query)
+    stop = threading.Event()
+    failures = []
+
+    def reader():
+        while not stop.is_set():
+            with lock.read_locked():
+                if small_tree.query(query) != expected:
+                    failures.append("diverged")
+                    return
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    scrubber.sweep()
+    scrubber.sweep()
+    stop.set()
+    for t in threads:
+        t.join(timeout=10)
+    assert not failures
+    assert scrubber.sweeps_completed == 2

@@ -1,0 +1,136 @@
+"""The JSON-lines wire protocol end to end over a real socket."""
+
+import json
+import socket
+
+import pytest
+
+from repro.core.query import KNNTAQuery
+from repro.service import JsonLineServer, QueryService, ServiceConfig
+from repro.temporal.epochs import TimeInterval
+
+
+@pytest.fixture
+def served(small_tree):
+    service = QueryService(small_tree, config=ServiceConfig(linger=0.0))
+    server = JsonLineServer(service).start()
+    yield small_tree, server
+    server.shutdown()
+    service.close()
+
+
+class Client:
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=30)
+        self.file = self.sock.makefile("rwb")
+
+    def rpc(self, payload):
+        self.file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self.file.flush()
+        line = self.file.readline()
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+@pytest.fixture
+def client(served):
+    c = Client(served[1].address)
+    yield c
+    c.close()
+
+
+@pytest.mark.timeout(120)
+class TestWireProtocol:
+    def test_ping(self, client):
+        assert client.rpc({"op": "ping"}) == {"ok": True, "pong": True}
+
+    def test_query_round_trip_matches_direct_answer(self, served, client):
+        tree, _ = served
+        response = client.rpc(
+            {"op": "query", "point": [5, 5], "interval": [2, 6], "k": 4}
+        )
+        assert response["ok"]
+        expected = tree.query(
+            KNNTAQuery(point=(5.0, 5.0), interval=TimeInterval(2, 6), k=4)
+        )
+        assert [row["poi_id"] for row in response["results"]] == [
+            r.poi_id for r in expected
+        ]
+        assert response["results"][0]["score"] == pytest.approx(expected[0].score)
+        assert response["batch_size"] == 1
+        assert response["cost"]["rtree_nodes"] > 0
+
+    def test_insert_query_delete_cycle(self, served, client):
+        tree, _ = served
+        response = client.rpc(
+            {
+                "op": "insert",
+                "poi_id": 4242,
+                "point": [5.0, 5.0],
+                "aggregates": [[2, 50], [3, 50]],
+            }
+        )
+        assert response["ok"]
+        assert 4242 in tree
+        # The new, heavily-checked-in POI at the query point must rank.
+        response = client.rpc(
+            {"op": "query", "point": [5, 5], "interval": [2, 6], "k": 3}
+        )
+        assert 4242 in [row["poi_id"] for row in response["results"]]
+        assert client.rpc({"op": "delete", "poi_id": 4242})["deleted"]
+        assert 4242 not in tree
+        assert not client.rpc({"op": "delete", "poi_id": 4242})["deleted"]
+
+    def test_digest_applies_counts(self, served, client):
+        tree, _ = served
+        poi_id = next(iter(tree.poi_ids()))
+        response = client.rpc(
+            {"op": "digest", "epoch": 10, "counts": [[poi_id, 7]]}
+        )
+        assert response["ok"]
+        assert tree.poi_tia(poi_id).get(10) == 7
+
+    def test_stats_op(self, client):
+        client.rpc({"op": "query", "point": [1, 1], "interval": [2, 6], "k": 2})
+        response = client.rpc({"op": "stats"})
+        assert response["ok"]
+        assert response["stats"]["completed"] >= 1
+        assert "scrubber" in response["stats"]
+
+    def test_scrub_op(self, client):
+        response = client.rpc({"op": "scrub", "budget": 4})
+        assert response["ok"]
+        assert 0 < response["nodes_checked"] <= 4
+
+    def test_bad_requests_keep_the_connection_alive(self, client):
+        assert client.rpc({"op": "nope"})["code"] == "bad-request"
+        assert client.rpc({"op": "query"})["code"] == "bad-request"
+        assert client.rpc({"op": "query", "point": [1], "interval": [2, 6]})[
+            "code"
+        ] == "bad-request"
+        response = client.rpc([1, 2, 3])
+        assert response["code"] == "bad-request"
+        # Still serving:
+        assert client.rpc({"op": "ping"})["ok"]
+
+    def test_malformed_json_reports_error(self, served):
+        c = Client(served[1].address)
+        c.file.write(b"this is not json\n")
+        c.file.flush()
+        response = json.loads(c.file.readline())
+        assert response["ok"] is False
+        c.close()
+
+    def test_shutdown_stops_the_accept_loop(self, small_tree):
+        service = QueryService(small_tree, config=ServiceConfig(linger=0.0))
+        server = JsonLineServer(service).start()
+        c = Client(server.address)
+        assert c.rpc({"op": "shutdown"})["bye"]
+        c.close()
+        server._thread.join(timeout=10)
+        assert not server._thread.is_alive()
+        server._server.server_close()
+        service.close()

@@ -56,3 +56,45 @@ def test_diff_of_unchanged_snapshot_is_zero():
     stats.record_node(is_leaf=True)
     delta = stats.diff(stats.snapshot())
     assert delta.snapshot() == (0, 0, 0, 0)
+
+
+def test_as_dict_is_json_shaped_and_complete():
+    stats = AccessStats()
+    stats.record_node(is_leaf=True)
+    stats.record_node(is_leaf=False)
+    stats.record_tia_page(buffered=False)
+    stats.record_tia_page(buffered=True)
+    assert stats.as_dict() == {
+        "rtree_internal": 1,
+        "rtree_leaf": 1,
+        "rtree_nodes": 2,
+        "tia_pages": 1,
+        "tia_buffer_hits": 1,
+        "total_io": 3,
+    }
+
+
+def test_merge_adds_counters_and_returns_self():
+    left = AccessStats()
+    left.record_node(is_leaf=True)
+    right = AccessStats()
+    right.record_node(is_leaf=False)
+    right.record_tia_page(buffered=False)
+    right.record_tia_page(buffered=True)
+    assert left.merge(right) is left
+    assert left.rtree_leaf == 1
+    assert left.rtree_internal == 1
+    assert left.tia_pages == 1
+    assert left.tia_buffer_hits == 1
+    # The source is untouched.
+    assert right.rtree_leaf == 0
+
+
+def test_merge_accumulates_across_batches():
+    total = AccessStats()
+    for _ in range(3):
+        batch = AccessStats()
+        batch.record_node(is_leaf=True)
+        batch.record_node(is_leaf=False)
+        total.merge(batch)
+    assert total.rtree_nodes == 6

@@ -84,7 +84,10 @@ class TestQuery:
         )
         assert code == 0
         assert output.count("#") == 3
+        # The cost line renders every AccessStats.as_dict() counter.
         assert "node accesses" in output
+        assert "internal" in output and "leaf" in output
+        assert "TIA page reads" in output and "buffer hits" in output
 
     def test_query_with_explicit_interval(self, tree_file):
         code, output = run_cli(
@@ -239,3 +242,77 @@ class TestRecover:
         assert code == 2
         assert "corrupt state" in output
         assert "'wal'" in output
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "t.json"])
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.batch_size == 16
+        assert args.queue_limit == 256
+        assert args.state_dir is None
+
+    def test_missing_tree_exits_two(self, tmp_path):
+        code, output = run_cli(["serve", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "cannot read state" in output
+
+    @pytest.mark.timeout(120)
+    def test_serves_queries_over_tcp(self, tree_file, tmp_path):
+        import json
+        import re
+        import socket
+        import threading
+        import time
+
+        state_dir = tmp_path / "state"
+        out = io.StringIO()
+        result = {}
+
+        def serve():
+            result["code"] = main(
+                ["serve", str(tree_file), "--port", "0",
+                 "--state-dir", str(state_dir), "--scrub-interval-ms", "0"],
+                out=out,
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        # Poll the captured output for the bound port.
+        deadline = time.monotonic() + 30
+        match = None
+        while time.monotonic() < deadline and not match:
+            match = re.search(r"serving on ([\d.]+):(\d+)", out.getvalue())
+            time.sleep(0.02)
+        assert match, out.getvalue()
+        address = (match.group(1), int(match.group(2)))
+
+        sock = socket.create_connection(address, timeout=30)
+        handle = sock.makefile("rwb")
+
+        def rpc(payload):
+            handle.write((json.dumps(payload) + "\n").encode("utf-8"))
+            handle.flush()
+            return json.loads(handle.readline())
+
+        assert rpc({"op": "ping"})["pong"]
+        response = rpc(
+            {"op": "query", "point": [50, 50], "interval": [0, 200], "k": 3}
+        )
+        assert response["ok"]
+        assert len(response["results"]) == 3
+        response = rpc(
+            {"op": "insert", "poi_id": "tcp-poi", "point": [50.0, 50.0],
+             "aggregates": [[1, 4]]}
+        )
+        assert response["ok"]
+        assert rpc({"op": "shutdown"})["bye"]
+        sock.close()
+        thread.join(timeout=30)
+        assert result["code"] == 0
+        assert "shut down" in out.getvalue()
+        # The WAL-backed state dir holds the mutation durably.
+        from repro.reliability.recovery import recover
+
+        assert "tcp-poi" in recover(str(state_dir)).tree

@@ -40,6 +40,11 @@ EXPECTED_EXPORTS = [
     "RobustAnswer",
     "robust_knnta",
     "UnloggedMutationError",
+    "QueryService",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceOverloadedError",
+    "RequestTimeoutError",
     "validate_tree",
     "validate_against_dataset",
     "CorruptSnapshotError",
@@ -139,6 +144,20 @@ class TestDeprecatedQueryShims:
         with pytest.warns(DeprecationWarning):
             with pytest.raises(TypeError):
                 tar_tree.knnta((0.4, 0.6))
+
+    def test_knnta_warning_points_at_the_caller(self, tar_tree):
+        # stacklevel must walk out of _coerce_query AND the shim, so the
+        # warning names this test file — not tar_tree.py — as its origin.
+        query = self.make_query(tar_tree)
+        with pytest.warns(DeprecationWarning) as captured:
+            tar_tree.knnta(query.point, query.interval, k=query.k)
+        assert captured[0].filename == __file__
+
+    def test_robust_knnta_warning_points_at_the_caller(self, tar_tree):
+        query = self.make_query(tar_tree)
+        with pytest.warns(DeprecationWarning) as captured:
+            tar_tree.robust_knnta(query.point, query.interval, k=query.k)
+        assert captured[0].filename == __file__
 
 
 class TestInputHardening:
