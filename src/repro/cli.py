@@ -21,12 +21,16 @@ Commands cover the library's end-to-end flow without writing code:
   concurrent :mod:`repro.service` query service: collective
   micro-batching, WAL-logged single-writer ingest (with
   ``--state-dir``) and the background scrubber.
+* ``lint`` — run the project's static-analysis rules
+  (:mod:`repro.devtools`): lock discipline, WAL-before-apply, bare
+  asserts, float equality, exception hygiene, warn stacklevel.
 
 Exit codes (all commands): ``0`` success, ``1`` a check failed (a scan
-cross-check mismatch, ``verify`` found invariant violations, or
-``recover --verify`` found violations after replay), ``2`` a snapshot
-or WAL was corrupt or unreadable (``CorruptSnapshotError``).
-``argparse`` itself exits with ``2`` on bad usage.
+cross-check mismatch, ``verify`` found invariant violations, ``lint``
+found rule violations, or ``recover --verify`` found violations after
+replay), ``2`` a snapshot or WAL was corrupt or unreadable
+(``CorruptSnapshotError``) or, for ``lint``, bad usage (unknown rule id
+or missing path).  ``argparse`` itself exits with ``2`` on bad usage.
 
 Example session::
 
@@ -247,7 +251,73 @@ def build_parser():
         "--scrub-budget", type=int, default=32, help="nodes scrubbed per tick"
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the project's static-analysis rules over source trees",
+        description=(
+            "Run the repro.devtools lint rules: RT001 lock-discipline, "
+            "RT002 wal-before-apply, RT003 no-bare-assert, RT004 "
+            "float-equality, RT005 exception-hygiene, RT006 "
+            "warn-stacklevel (plus RT000 unused-suppression and RT900 "
+            "parse-error meta findings). Suppress one finding with a "
+            "same-line '# repro: allow[RT001]' comment; see "
+            "docs/DEVTOOLS.md. Exit code 0: clean; 1: findings; 2: "
+            "unknown rule id or missing path."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ when present, else .)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is stable for CI annotations)",
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore",
+        help="comma-separated rule ids to skip",
+    )
+
     return parser
+
+
+def _split_rule_ids(value):
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _command_lint(args, out):
+    import os
+
+    from repro.devtools import lint_paths, render_json, render_text
+
+    paths = args.paths
+    if not paths:
+        paths = ["src"] if os.path.isdir("src") else ["."]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print("no such path: %s" % ", ".join(missing), file=out)
+        return 2
+    try:
+        findings, files_checked = lint_paths(
+            paths,
+            select=_split_rule_ids(args.select),
+            ignore=_split_rule_ids(args.ignore),
+        )
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    renderer(findings, files_checked, out)
+    return 1 if findings else 0
 
 
 def _command_generate(args, out):
@@ -535,6 +605,7 @@ _COMMANDS = {
     "verify": _command_verify,
     "recover": _command_recover,
     "serve": _command_serve,
+    "lint": _command_lint,
 }
 
 

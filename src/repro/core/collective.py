@@ -10,12 +10,23 @@ effective in practice because applications offer only a few interval
 presets ("one day", "one week", ...).
 """
 
+from __future__ import annotations
+
 import heapq
 import itertools
 from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.core.knnta import knnta_search
 from repro.core.query import QueryResult
+
+if TYPE_CHECKING:
+    from repro.core.query import KNNTAQuery, Normalizer
+    from repro.core.tar_tree import TARTree
+    from repro.spatial.rstar import Entry, Node
+    from repro.storage.stats import AccessStats
+    from repro.temporal.epochs import TimeInterval
+    from repro.temporal.tia import IntervalSemantics
 
 
 class _QueryState:
@@ -23,25 +34,27 @@ class _QueryState:
 
     __slots__ = ("query", "normalizer", "heap", "results", "_tie")
 
-    def __init__(self, query, normalizer, tie):
+    def __init__(
+        self, query: KNNTAQuery, normalizer: Normalizer, tie: Iterator[int]
+    ) -> None:
         self.query = query
         self.normalizer = normalizer
-        self.heap = []
-        self.results = []
+        self.heap: list[tuple[float, int, Entry, float, float]] = []
+        self.results: list[QueryResult] = []
         self._tie = tie
 
     @property
-    def done(self):
+    def done(self) -> bool:
         return len(self.results) >= self.query.k or not self.heap
 
-    def push(self, entry, raw_distance, raw_aggregate):
+    def push(self, entry: Entry, raw_distance: float, raw_aggregate: float) -> None:
         distance, aggregate = self.normalizer.components(raw_distance, raw_aggregate)
         score = self.query.alpha0 * distance + self.query.alpha1 * (1.0 - aggregate)
         heapq.heappush(
             self.heap, (score, next(self._tie), entry, distance, aggregate)
         )
 
-    def drain_leaves(self):
+    def drain_leaves(self) -> None:
         """Eject result POIs while the queue front is a leaf entry."""
         while self.heap and len(self.results) < self.query.k:
             score, _, entry, distance, aggregate = self.heap[0]
@@ -50,7 +63,7 @@ class _QueryState:
             heapq.heappop(self.heap)
             self.results.append(QueryResult(entry.item, score, distance, aggregate))
 
-    def front_node(self):
+    def front_node(self) -> Node | None:
         """The child node the queue front demands, or ``None``."""
         if not self.heap or len(self.results) >= self.query.k:
             return None
@@ -68,10 +81,12 @@ class CollectiveProcessor:
     per batch so node accesses are attributed exactly.
     """
 
-    def __init__(self, tree):
+    def __init__(self, tree: TARTree) -> None:
         self.tree = tree
 
-    def run(self, queries, stats=None):
+    def run(
+        self, queries: Sequence[KNNTAQuery], stats: AccessStats | None = None
+    ) -> list[list[QueryResult]]:
         """Answer every query in ``queries``; returns per-query result lists.
 
         Node accesses count each physically fetched node once, however
@@ -83,13 +98,15 @@ class CollectiveProcessor:
         backend's shared stats.)
         """
         tree = self.tree
+        record_node: Callable[[Node], None]
         if stats is None:
             record_node = tree.record_node_access
         else:
-            record_node = lambda node: stats.record_node(node.is_leaf)  # noqa: E731
+            batch_stats = stats
+            record_node = lambda node: batch_stats.record_node(node.is_leaf)  # noqa: E731
         tie = itertools.count()
-        normalizers = {}
-        states = []
+        normalizers: dict[tuple[TimeInterval, IntervalSemantics], Normalizer] = {}
+        states: list[_QueryState] = []
         for query in queries:
             query.validate()
             key = (query.interval, query.semantics)
@@ -106,9 +123,9 @@ class CollectiveProcessor:
         # state's front only changes when its demanded node is fetched,
         # so registration stays valid between fetches and each fetch
         # costs O(consumers), not O(batch).
-        demand = defaultdict(list)
+        demand: defaultdict[Node, list[_QueryState]] = defaultdict(list)
 
-        def register(state):
+        def register(state: _QueryState) -> None:
             state.drain_leaves()
             node = state.front_node()
             if node is not None:
@@ -128,14 +145,16 @@ class CollectiveProcessor:
                 register(state)
         return [state.results for state in states]
 
-    def _expand(self, node, states):
+    def _expand(self, node: Node, states: Sequence[_QueryState]) -> None:
         """Push ``node``'s entries into every state, sharing aggregates.
 
         States are grouped by (interval, semantics); each group computes
         the per-entry aggregate once.
         """
         tree = self.tree
-        groups = defaultdict(list)
+        groups: defaultdict[
+            tuple[TimeInterval, IntervalSemantics], list[_QueryState]
+        ] = defaultdict(list)
         for state in states:
             groups[(state.query.interval, state.query.semantics)].append(state)
         for (interval, semantics), members in groups.items():
@@ -146,15 +165,17 @@ class CollectiveProcessor:
                     state.push(entry, raw_distance, raw_aggregate)
 
 
-def process_individually(tree, queries):
+def process_individually(
+    tree: TARTree, queries: Sequence[KNNTAQuery]
+) -> list[list[QueryResult]]:
     """Baseline: answer each query independently (Section 8.4's rival).
 
     The paper's *individual* configuration gives the TIAs no buffer; set
     that through the tree's construction (``tia_buffer_slots=0``) — this
     function just runs :func:`~repro.core.knnta.knnta_search` per query.
     """
-    normalizers = {}
-    results = []
+    normalizers: dict[tuple[TimeInterval, IntervalSemantics], Normalizer] = {}
+    results: list[list[QueryResult]] = []
     for query in queries:
         key = (query.interval, query.semantics)
         if key not in normalizers:

@@ -27,16 +27,24 @@ bottom layer, with the same boundary correction.  The band then
 contributes ``(sum N(i) / fanout) * P_y`` leaf node accesses.
 """
 
+from __future__ import annotations
+
 import math
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 from scipy.special import zeta as hurwitz_zeta
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
 
 DEFAULT_FANOUT_RATIO = 0.69
 """Average node fill: 69% of capacity (Theodoridis & Sellis)."""
 
 
-def boundary_corrected_disc_area(radius):
+def boundary_corrected_disc_area(
+    radius: float | Iterable[float] | npt.NDArray[np.float64],
+) -> npt.NDArray[np.float64]:
     """Expected area of ``D(q, r)`` clipped to the unit square.
 
     Tao et al.'s approximation for a uniformly placed query point:
@@ -49,7 +57,7 @@ def boundary_corrected_disc_area(radius):
         np.square(sqrt_pi_r - math.pi * np.square(r) / 4.0),
         1.0,
     )
-    return np.clip(area, 0.0, 1.0)
+    return np.asarray(np.clip(area, 0.0, 1.0), dtype=np.float64)
 
 
 class CostModel:
@@ -75,13 +83,13 @@ class CostModel:
 
     def __init__(
         self,
-        n_pois,
-        beta,
-        xmin,
-        max_aggregate,
-        capacity,
-        fanout_ratio=DEFAULT_FANOUT_RATIO,
-    ):
+        n_pois: float,
+        beta: float,
+        xmin: int,
+        max_aggregate: int,
+        capacity: int,
+        fanout_ratio: float = DEFAULT_FANOUT_RATIO,
+    ) -> None:
         if n_pois <= 0:
             raise ValueError("n_pois must be positive")
         if beta <= 1.0:
@@ -105,7 +113,14 @@ class CostModel:
         self._heights = 1.0 - self._layers / float(self.max_aggregate)
 
     @classmethod
-    def from_aggregates(cls, aggregates, capacity, beta=None, xmin=None, **kwargs):
+    def from_aggregates(
+        cls,
+        aggregates: Iterable[float],
+        capacity: int,
+        beta: float | None = None,
+        xmin: int | None = None,
+        **kwargs: Any,
+    ) -> CostModel:
         """Build a model from observed per-POI aggregate values.
 
         ``beta``/``xmin`` default to a Clauset–Shalizi–Newman fit
@@ -129,15 +144,15 @@ class CostModel:
     # Layer structure
     # ------------------------------------------------------------------
 
-    def layer_probability(self, x):
+    def layer_probability(self, x: float) -> float:
         """``p(x)`` under the fitted power law."""
         return float(x ** (-self.beta) / hurwitz_zeta(self.beta, self.xmin))
 
-    def layer_count(self, x):
+    def layer_count(self, x: float) -> float:
         """Expected POIs on layer ``x``."""
         return self.n_pois * self.layer_probability(x)
 
-    def layer_height(self, x):
+    def layer_height(self, x: float) -> float:
         """Normalised height of layer ``x`` in the unit cube."""
         return 1.0 - x / float(self.max_aggregate)
 
@@ -145,7 +160,9 @@ class CostModel:
     # Search region (Section 6.2)
     # ------------------------------------------------------------------
 
-    def cross_section_radii(self, fpk, alpha0):
+    def cross_section_radii(
+        self, fpk: float, alpha0: float
+    ) -> npt.NDArray[np.float64]:
         """Radius of the cone's cross-section at every modelled layer."""
         alpha1 = 1.0 - alpha0
         r0 = fpk / alpha0
@@ -153,14 +170,14 @@ class CostModel:
         if hl <= 0.0:
             return np.zeros_like(self._heights)
         radii = r0 * (hl - self._heights) / hl
-        return np.clip(radii, 0.0, None)
+        return np.asarray(np.clip(radii, 0.0, None), dtype=np.float64)
 
-    def expected_pois_in_region(self, fpk, alpha0):
+    def expected_pois_in_region(self, fpk: float, alpha0: float) -> float:
         """Expected POIs inside the search region defined by ``fpk``."""
         radii = self.cross_section_radii(fpk, alpha0)
         return float(np.sum(self._counts * boundary_corrected_disc_area(radii)))
 
-    def estimate_fpk(self, k, alpha0, tolerance=1e-9):
+    def estimate_fpk(self, k: int, alpha0: float, tolerance: float = 1e-9) -> float:
         """Estimate the ranking score of the k-th POI (Section 6.2).
 
         Solves ``expected_pois_in_region(f) = k`` for ``f`` by bisection;
@@ -187,7 +204,7 @@ class CostModel:
     # Node accesses (Section 6.3)
     # ------------------------------------------------------------------
 
-    def bands(self):
+    def bands(self) -> list[tuple[int, int, float, float]]:
         """Partition the layers into bands of cubic nodes.
 
         Yields ``(start_index, end_index, population, extent)`` where the
@@ -201,12 +218,12 @@ class CostModel:
         inverse_max = 1.0 / float(self.max_aggregate)
         fill = 1.0 - 1.0 / self.fanout
         start = 0
-        result = []
+        result: list[tuple[int, int, float, float]] = []
         while start < total_layers:
             population = 0.0
             end = start
             while True:
-                population += counts[end]
+                population += float(counts[end])
                 extent = fill * math.sqrt(min(self.fanout / population, 1.0))
                 delta_h = (end - start) * inverse_max
                 if extent <= delta_h or end == total_layers - 1:
@@ -216,7 +233,12 @@ class CostModel:
             start = end + 1
         return result
 
-    def estimate_node_accesses(self, k=None, alpha0=0.3, fpk=None):
+    def estimate_node_accesses(
+        self,
+        k: int | None = None,
+        alpha0: float = 0.3,
+        fpk: float | None = None,
+    ) -> float:
         """Expected leaf node accesses ``NA(alpha, k)`` (Section 6.3).
 
         Either ``k`` (then ``f(p_k)`` is estimated first) or an explicit
@@ -238,7 +260,7 @@ class CostModel:
         return total
 
     @staticmethod
-    def _intersection_probability(extent, radius):
+    def _intersection_probability(extent: float, radius: float) -> float:
         """``P_y``: a node of side ``extent`` meets the cross-section disc.
 
         The Minkowski sum of the square node and the disc, with the
@@ -255,7 +277,7 @@ class CostModel:
         p_y = (4.0 * ly - (ly + extent) ** 2) / (4.0 * (1.0 - extent))
         return min(1.0, max(0.0, p_y)) ** 2
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             "CostModel(n=%g, beta=%.3f, xmin=%d, max_agg=%d, capacity=%d)"
             % (self.n_pois, self.beta, self.xmin, self.max_aggregate, self.capacity)

@@ -21,6 +21,10 @@ entry MBRs and the aggregates from the TIAs, exactly as the paper
 prescribes.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
 from repro.spatial.geometry import Rect
 from repro.spatial.rstar import (
     reinsert_indices,
@@ -28,8 +32,13 @@ from repro.spatial.rstar import (
     rstar_split_groups,
 )
 
+if TYPE_CHECKING:
+    from repro.core.tar_tree import POI, TARTree
+    from repro.spatial.rstar import Entry, Node
+    from repro.temporal.tia import BaseTIA
 
-def tia_manhattan(tia_a, tia_b):
+
+def tia_manhattan(tia_a: BaseTIA, tia_b: BaseTIA) -> int:
     """Manhattan distance between two aggregate distributions.
 
     Sums ``|a_e - b_e|`` over every epoch present in either TIA, matching
@@ -51,40 +60,40 @@ class GroupingStrategy:
     dims = 2
     uses_reinsert = True
 
-    def leaf_rect(self, poi, tree):
+    def leaf_rect(self, poi: POI, tree: TARTree) -> Rect:
         """Grouping-space rectangle for a new POI entry."""
         raise NotImplementedError
 
-    def choose_child(self, node, entry, tree):
+    def choose_child(self, node: Node, entry: Entry, tree: TARTree) -> int:
         """Index of the entry of ``node`` that should receive ``entry``."""
         raise NotImplementedError
 
-    def split_groups(self, node, tree):
+    def split_groups(self, node: Node, tree: TARTree) -> tuple[tuple[int, ...], tuple[int, ...]]:
         """Two index tuples partitioning ``node.entries`` for a split."""
         raise NotImplementedError
 
-    def reinsert_victims(self, node, tree):
+    def reinsert_victims(self, node: Node, tree: TARTree) -> tuple[int, ...]:
         """Indices of entries to force-reinsert on overflow."""
         raise NotImplementedError
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "%s()" % type(self).__name__
 
 
 class _RectGrouping(GroupingStrategy):
     """Shared R*-tree mechanics for rectangle-keyed strategies."""
 
-    def choose_child(self, node, entry, tree):
+    def choose_child(self, node: Node, entry: Entry, tree: TARTree) -> int:
         rects = [e.rect for e in node.entries]
         return rstar_choose_subtree(
             rects, entry.rect, children_are_leaves=(node.level == 1)
         )
 
-    def split_groups(self, node, tree):
+    def split_groups(self, node: Node, tree: TARTree) -> tuple[tuple[int, ...], tuple[int, ...]]:
         rects = [e.rect for e in node.entries]
         return rstar_split_groups(rects, tree.min_fill)
 
-    def reinsert_victims(self, node, tree):
+    def reinsert_victims(self, node: Node, tree: TARTree) -> tuple[int, ...]:
         rects = [e.rect for e in node.entries]
         return reinsert_indices(rects, tree.reinsert_count)
 
@@ -100,7 +109,7 @@ class SpatialGrouping(_RectGrouping):
     name = "spatial"
     dims = 2
 
-    def leaf_rect(self, poi, tree):
+    def leaf_rect(self, poi: POI, tree: TARTree) -> Rect:
         return Rect.from_point((poi.x, poi.y))
 
 
@@ -119,7 +128,7 @@ class Integral3DGrouping(_RectGrouping):
     name = "integral3d"
     dims = 3
 
-    def leaf_rect(self, poi, tree):
+    def leaf_rect(self, poi: POI, tree: TARTree) -> Rect:
         x, y = tree.normalized_position(poi)
         z = tree.aggregate_coordinate(poi.poi_id)
         return Rect((x, y, z), (x, y, z))
@@ -139,12 +148,12 @@ class AggregateGrouping(GroupingStrategy):
     dims = 2
     uses_reinsert = False
 
-    def leaf_rect(self, poi, tree):
+    def leaf_rect(self, poi: POI, tree: TARTree) -> Rect:
         return Rect.from_point((poi.x, poi.y))
 
-    def choose_child(self, node, entry, tree):
+    def choose_child(self, node: Node, entry: Entry, tree: TARTree) -> int:
         best_index = 0
-        best_distance = None
+        best_distance: int | None = None
         for i, candidate in enumerate(node.entries):
             distance = tia_manhattan(candidate.tia, entry.tia)
             if best_distance is None or distance < best_distance:
@@ -152,7 +161,7 @@ class AggregateGrouping(GroupingStrategy):
                 best_index = i
         return best_index
 
-    def split_groups(self, node, tree):
+    def split_groups(self, node: Node, tree: TARTree) -> tuple[tuple[int, ...], tuple[int, ...]]:
         entries = node.entries
         vectors = [dict(e.tia.items()) for e in entries]
         total = len(entries)
@@ -180,11 +189,11 @@ class AggregateGrouping(GroupingStrategy):
             remaining -= 1
         return tuple(group_a), tuple(group_b)
 
-    def reinsert_victims(self, node, tree):
+    def reinsert_victims(self, node: Node, tree: TARTree) -> tuple[int, ...]:
         raise NotImplementedError("IND-agg does not use forced reinsertion")
 
     @staticmethod
-    def _distance(vector_a, vector_b):
+    def _distance(vector_a: dict[int, int], vector_b: dict[int, int]) -> int:
         total = 0
         for epoch, value in vector_b.items():
             total += abs(vector_a.get(epoch, 0) - value)
@@ -193,7 +202,7 @@ class AggregateGrouping(GroupingStrategy):
                 total += value
         return total
 
-    def _pick_seeds(self, vectors):
+    def _pick_seeds(self, vectors: list[dict[int, int]]) -> tuple[int, int]:
         best_pair = (0, min(1, len(vectors) - 1))
         best_distance = -1
         for i in range(len(vectors)):
@@ -215,7 +224,7 @@ _STRATEGIES = {
 }
 
 
-def resolve_strategy(strategy):
+def resolve_strategy(strategy: str | GroupingStrategy) -> GroupingStrategy:
     """Return a strategy instance from a name or pass an instance through.
 
     Accepted names: ``"spatial"``/``"ind-spa"``, ``"aggregate"``/

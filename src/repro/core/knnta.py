@@ -11,13 +11,23 @@ the final search region — the optimality the cost model of Section 6
 estimates.
 """
 
+from __future__ import annotations
+
 import heapq
 import itertools
+from typing import TYPE_CHECKING, Iterator, cast
 
 from repro.core.query import QueryResult
 
+if TYPE_CHECKING:
+    from repro.core.query import KNNTAQuery, Normalizer
+    from repro.core.tar_tree import TARTree
+    from repro.spatial.rstar import Entry, Node
 
-def knnta_search(tree, query, normalizer=None):
+
+def knnta_search(
+    tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
+) -> list[QueryResult]:
     """Answer ``query`` on ``tree``; returns ranked :class:`QueryResult` s.
 
     ``normalizer`` defaults to the tree's root-bound normaliser for the
@@ -35,7 +45,9 @@ def knnta_search(tree, query, normalizer=None):
     )
 
 
-def knnta_browse(tree, query, normalizer=None):
+def knnta_browse(
+    tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
+) -> Iterator[QueryResult]:
     """Yield results one at a time in ranking order (distance browsing).
 
     The incremental form of :func:`knnta_search` (Hjaltason & Samet's
@@ -51,9 +63,9 @@ def knnta_browse(tree, query, normalizer=None):
     if not root.entries:
         return
     tie = itertools.count()
-    heap = []
+    heap: list[tuple[float, int, Entry, float, float]] = []
 
-    def push(entry):
+    def push(entry: Entry) -> None:
         raw_distance = entry.mbr.min_dist(query.point)
         raw_aggregate = tree.tia_aggregate(
             entry.tia, query.interval, query.semantics
@@ -70,13 +82,15 @@ def knnta_browse(tree, query, normalizer=None):
         if entry.is_leaf_entry:
             yield QueryResult(entry.item, score, distance, aggregate)
             continue
-        child = entry.child
+        child = cast("Node", entry.child)
         tree.record_node_access(child)
         for child_entry in child.entries:
             push(child_entry)
 
 
-def knnta_search_exhaustive(tree, query, normalizer=None):
+def knnta_search_exhaustive(
+    tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
+) -> list[QueryResult]:
     """Rank *every* POI by BFS order.
 
     Equivalent to :func:`knnta_search` with ``k = len(tree)`` but keeps

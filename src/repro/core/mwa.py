@@ -25,14 +25,21 @@ algorithms compute it on the TAR-tree:
   in ``s_j0``/``s_j1``), so one BBS skyline pass suffices.
 """
 
-from typing import NamedTuple, Optional
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, NamedTuple, Optional, Sequence, cast
 
 from repro.core.knnta import knnta_search
 from repro.skyline.bbs import bbs_skyline
 from repro.skyline.bnl import dominates, skyline_of_points
 
+if TYPE_CHECKING:
+    from repro.core.query import KNNTAQuery, Normalizer, QueryResult
+    from repro.core.tar_tree import TARTree
+    from repro.spatial.rstar import Entry, Node
 
-def weight_boundary(s_i, s_j):
+
+def weight_boundary(s_i: Sequence[float], s_j: Sequence[float]) -> float | None:
     """The boundary ``gamma_ij``, or ``None`` when ``p_i`` dominates ``p_j``.
 
     ``s_i`` must be the score pair of the higher-ranked POI under the
@@ -59,9 +66,9 @@ class MWAResult(NamedTuple):
     gamma_upper: Optional[float]
 
     @property
-    def minimum_adjustment(self):
+    def minimum_adjustment(self) -> float | None:
         """Smallest ``|alpha0' - alpha0|`` that changes the result set."""
-        candidates = []
+        candidates: list[float] = []
         if self.gamma_lower is not None:
             candidates.append(self.alpha0 - self.gamma_lower)
         if self.gamma_upper is not None:
@@ -69,7 +76,7 @@ class MWAResult(NamedTuple):
         return min(candidates) if candidates else None
 
     @property
-    def nearest_weight(self):
+    def nearest_weight(self) -> float | None:
         """The boundary weight nearest to ``alpha0`` (``None`` if immutable)."""
         down = self.alpha0 - self.gamma_lower if self.gamma_lower is not None else None
         up = self.gamma_upper - self.alpha0 if self.gamma_upper is not None else None
@@ -80,14 +87,18 @@ class MWAResult(NamedTuple):
         return self.gamma_upper
 
 
-def mwa_from_pairs(topk_pairs, lower_pairs, alpha0):
+def mwa_from_pairs(
+    topk_pairs: Sequence[Sequence[float]],
+    lower_pairs: Sequence[Sequence[float]],
+    alpha0: float,
+) -> MWAResult:
     """Exact MWA from explicit score-pair lists (the definition above).
 
     Quadratic in the list sizes; serves as ground truth for the index
     algorithms and powers the worked example of Table 3.
     """
-    gamma_lower = None
-    gamma_upper = None
+    gamma_lower: float | None = None
+    gamma_upper: float | None = None
     for s_i in topk_pairs:
         for s_j in lower_pairs:
             gamma = weight_boundary(s_i, s_j)
@@ -102,14 +113,18 @@ def mwa_from_pairs(topk_pairs, lower_pairs, alpha0):
     return MWAResult(alpha0, gamma_lower, gamma_upper)
 
 
-def _topk_and_normalizer(tree, query, normalizer):
+def _topk_and_normalizer(
+    tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None
+) -> tuple[list[QueryResult], Normalizer]:
     if normalizer is None:
         normalizer = tree.normalizer(query.interval, query.semantics)
     topk = knnta_search(tree, query, normalizer=normalizer)
     return topk, normalizer
 
 
-def mwa_enumerating(tree, query, normalizer=None):
+def mwa_enumerating(
+    tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
+) -> MWAResult:
     """The straightforward MWA computation (the paper's baseline).
 
     For each of the top-k POIs, the BFS is continued over the whole tree;
@@ -120,8 +135,8 @@ def mwa_enumerating(tree, query, normalizer=None):
     """
     topk, normalizer = _topk_and_normalizer(tree, query, normalizer)
     topk_ids = {r.poi_id for r in topk}
-    gamma_lower = None
-    gamma_upper = None
+    gamma_lower: float | None = None
+    gamma_upper: float | None = None
     for result in topk:
         s_i = result.score_pair
         for s_j in _scan_non_dominated(tree, query, normalizer, s_i, topk_ids):
@@ -137,13 +152,19 @@ def mwa_enumerating(tree, query, normalizer=None):
     return MWAResult(query.alpha0, gamma_lower, gamma_upper)
 
 
-def _scan_non_dominated(tree, query, normalizer, pivot_pair, topk_ids):
+def _scan_non_dominated(
+    tree: TARTree,
+    query: KNNTAQuery,
+    normalizer: Normalizer,
+    pivot_pair: tuple[float, float],
+    topk_ids: set[Any],
+) -> Iterator[tuple[float, float]]:
     """Yield score pairs of POIs not dominated by ``pivot_pair``."""
     root = tree.root
     if not root.entries:
         return
 
-    def corner(entry):
+    def corner(entry: Entry) -> tuple[float, float]:
         distance, aggregate = normalizer.components(
             entry.mbr.min_dist(query.point),
             tree.tia_aggregate(entry.tia, query.interval, query.semantics),
@@ -160,13 +181,15 @@ def _scan_non_dominated(tree, query, normalizer, pivot_pair, topk_ids):
             if entry.item not in topk_ids:
                 yield pair
             continue
-        child = entry.child
+        child = cast("Node", entry.child)
         tree.record_node_access(child)
         for child_entry in child.entries:
             stack.append((corner(child_entry), child_entry))
 
 
-def mwa_pruning(tree, query, normalizer=None):
+def mwa_pruning(
+    tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
+) -> MWAResult:
     """The skyline-based MWA computation (the paper's proposed algorithm).
 
     (i) Compute the reverse skyline of the top-k (no node accesses),
@@ -180,14 +203,19 @@ def mwa_pruning(tree, query, normalizer=None):
         [r.score_pair for r in topk], reverse=True
     )
     lower_skyline = bbs_skyline(
-        tree, query, normalizer=normalizer, exclude=topk_ids
+        tree, query, normalizer=normalizer, exclude=frozenset(topk_ids)
     )
     return mwa_from_pairs(
         reverse_skyline, [pair for _, pair in lower_skyline], query.alpha0
     )
 
 
-def minimum_weight_adjustment(tree, query, method="pruning", normalizer=None):
+def minimum_weight_adjustment(
+    tree: TARTree,
+    query: KNNTAQuery,
+    method: str = "pruning",
+    normalizer: Normalizer | None = None,
+) -> MWAResult:
     """Compute the MWA for ``query`` on ``tree``.
 
     ``method`` is ``"pruning"`` (Section 7.1's proposed algorithm) or
@@ -201,14 +229,14 @@ def minimum_weight_adjustment(tree, query, method="pruning", normalizer=None):
 
 
 def weight_adjustment_sequence(
-    tree,
-    query,
-    changes,
-    direction="up",
-    method="pruning",
-    normalizer=None,
-    epsilon=1e-9,
-):
+    tree: TARTree,
+    query: KNNTAQuery,
+    changes: int,
+    direction: str = "up",
+    method: str = "pruning",
+    normalizer: Normalizer | None = None,
+    epsilon: float = 1e-9,
+) -> list[float]:
     """Boundary weights at which the top-k changes 1st, 2nd, ... m-th.
 
     The paper notes the MWA algorithm "is not difficult to extend ... to
@@ -226,7 +254,7 @@ def weight_adjustment_sequence(
         raise ValueError("changes must be >= 1, got %d" % changes)
     if direction not in ("up", "down"):
         raise ValueError("direction must be 'up' or 'down', got %r" % (direction,))
-    boundaries = []
+    boundaries: list[float] = []
     current = query
     for _ in range(changes):
         result = minimum_weight_adjustment(tree, current, method, normalizer)

@@ -10,6 +10,8 @@ the maximum spatial distance (the world diagonal) and the maximum
 temporal aggregate over ``Iq``.
 """
 
+from __future__ import annotations
+
 from typing import NamedTuple, Tuple
 
 from repro.temporal.epochs import TimeInterval
@@ -30,10 +32,10 @@ class KNNTAQuery(NamedTuple):
     semantics: IntervalSemantics = IntervalSemantics.INTERSECTS
 
     @property
-    def alpha1(self):
+    def alpha1(self) -> float:
         return 1.0 - self.alpha0
 
-    def validate(self):
+    def validate(self) -> None:
         """Raise ``ValueError`` on malformed parameters."""
         if self.k < 1:
             raise ValueError("k must be >= 1, got %d" % self.k)
@@ -56,7 +58,7 @@ class QueryResult(NamedTuple):
     aggregate: float
 
     @property
-    def score_pair(self):
+    def score_pair(self) -> tuple[float, float]:
         """``(s_0, s_1)`` as used by the MWA algorithms (Section 7.1)."""
         return (self.distance, 1.0 - self.aggregate)
 
@@ -76,15 +78,15 @@ class Normalizer(NamedTuple):
     g_max: float
 
     @classmethod
-    def create(cls, d_max, g_max):
+    def create(cls, d_max: float, g_max: float) -> Normalizer:
         return cls(d_max if d_max > 0 else 1.0, g_max if g_max > 0 else 1.0)
 
-    def score(self, alpha0, distance, aggregate):
+    def score(self, alpha0: float, distance: float, aggregate: float) -> float:
         """Ranking score from *raw* (un-normalised) criteria."""
         return alpha0 * (distance / self.d_max) + (1.0 - alpha0) * (
             1.0 - aggregate / self.g_max
         )
 
-    def components(self, distance, aggregate):
+    def components(self, distance: float, aggregate: float) -> tuple[float, float]:
         """Normalised ``(d, g)`` pair from raw criteria."""
         return distance / self.d_max, aggregate / self.g_max

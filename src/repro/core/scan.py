@@ -9,13 +9,22 @@ curve it is the ground truth the index implementations are tested
 against.
 """
 
+from __future__ import annotations
+
 import heapq
+from typing import TYPE_CHECKING, Any
 
 from repro.core.query import QueryResult
 from repro.spatial.geometry import point_distance
 
+if TYPE_CHECKING:
+    from repro.core.query import KNNTAQuery, Normalizer
+    from repro.core.tar_tree import TARTree
 
-def sequential_scan(tree, query, normalizer=None):
+
+def sequential_scan(
+    tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
+) -> list[QueryResult]:
     """Answer ``query`` by scanning every indexed POI of ``tree``.
 
     Returns the same ranked :class:`~repro.core.query.QueryResult` list
@@ -28,7 +37,7 @@ def sequential_scan(tree, query, normalizer=None):
         normalizer = tree.normalizer(query.interval, query.semantics)
     alpha0 = query.alpha0
     alpha1 = query.alpha1
-    heap = []
+    heap: list[tuple[float, int, Any, float, float]] = []
     order = 0
     for poi_id in tree.poi_ids():
         poi = tree.poi(poi_id)
@@ -51,14 +60,16 @@ def sequential_scan(tree, query, normalizer=None):
     ]
 
 
-def full_ranking(tree, query, normalizer=None):
+def full_ranking(
+    tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
+) -> list[QueryResult]:
     """Score and rank *every* indexed POI (used by MWA ground truth)."""
     query.validate()
     if normalizer is None:
         normalizer = tree.normalizer(query.interval, query.semantics)
     alpha0 = query.alpha0
     alpha1 = query.alpha1
-    results = []
+    results: list[QueryResult] = []
     for poi_id in tree.poi_ids():
         poi = tree.poi(poi_id)
         distance, aggregate = normalizer.components(

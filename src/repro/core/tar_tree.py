@@ -15,8 +15,21 @@ follows the configured entry grouping strategy
 (:mod:`repro.core.grouping`).
 """
 
+from __future__ import annotations
+
 import math
 import warnings
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    KeysView,
+    Mapping,
+    Protocol,
+    Sequence,
+    cast,
+)
 
 from repro.core.grouping import resolve_strategy
 from repro.core.query import KNNTAQuery, Normalizer
@@ -32,6 +45,17 @@ from repro.temporal.tia import (
     IntervalSemantics,
     make_tia_factory,
 )
+
+if TYPE_CHECKING:
+    from repro.core.grouping import GroupingStrategy
+    from repro.core.query import QueryResult
+    from repro.datasets.generator import Dataset
+    from repro.reliability.recovery import RobustAnswer
+    from repro.temporal.epochs import TimeInterval, VariedEpochClock
+    from repro.temporal.tia import BaseTIA
+
+    Clock = EpochClock | VariedEpochClock
+    MutationObserver = Callable[[str, tuple[Any, ...]], None]
 
 DEFAULT_NODE_SIZE = 1024
 DEFAULT_EPOCH_LENGTH_DAYS = 7.0
@@ -50,12 +74,34 @@ class UnloggedMutationError(RuntimeError):
     """
 
 
+class MutationListener(Protocol):
+    """The write-ahead mutation listener interface.
+
+    See :meth:`TARTree.attach_mutation_listener` for the calling
+    contract; :class:`~repro.reliability.recovery.CheckpointedIngest`
+    is the canonical implementation.
+    """
+
+    def will_insert_poi(
+        self,
+        tree: TARTree,
+        poi: POI,
+        epoch_aggregates: Mapping[int, int] | None,
+    ) -> None: ...
+
+    def will_delete_poi(self, tree: TARTree, poi_id: Any) -> None: ...
+
+    def will_digest_epoch(
+        self, tree: TARTree, epoch_index: int, counts: Mapping[Any, int]
+    ) -> None: ...
+
+
 class POI:
     """A point of interest: an identifier plus a 2-D location."""
 
     __slots__ = ("poi_id", "x", "y")
 
-    def __init__(self, poi_id, x, y):
+    def __init__(self, poi_id: Any, x: float, y: float) -> None:
         self.poi_id = poi_id
         self.x = float(x)
         self.y = float(y)
@@ -65,13 +111,13 @@ class POI:
             )
 
     @property
-    def point(self):
+    def point(self) -> tuple[float, float]:
         return (self.x, self.y)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "POI(%r, %g, %g)" % (self.poi_id, self.x, self.y)
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, POI)
             and self.poi_id == other.poi_id
@@ -79,7 +125,7 @@ class POI:
             and self.y == other.y
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.poi_id, self.x, self.y))
 
 
@@ -114,19 +160,19 @@ class TARTree:
 
     def __init__(
         self,
-        world,
-        clock,
-        current_time,
-        strategy="integral3d",
-        node_size=DEFAULT_NODE_SIZE,
-        tia_backend="paged",
-        tia_page_size=DEFAULT_TIA_PAGE_SIZE,
-        tia_buffer_slots=DEFAULT_TIA_BUFFER_SLOTS,
-        stats=None,
-        min_fill_ratio=0.4,
-        reinsert_ratio=0.3,
-        aggregate_kind=AggregateKind.COUNT,
-    ):
+        world: Rect,
+        clock: Clock,
+        current_time: float,
+        strategy: str | GroupingStrategy = "integral3d",
+        node_size: int = DEFAULT_NODE_SIZE,
+        tia_backend: str = "paged",
+        tia_page_size: int = DEFAULT_TIA_PAGE_SIZE,
+        tia_buffer_slots: int = DEFAULT_TIA_BUFFER_SLOTS,
+        stats: AccessStats | None = None,
+        min_fill_ratio: float = 0.4,
+        reinsert_ratio: float = 0.3,
+        aggregate_kind: AggregateKind | str = AggregateKind.COUNT,
+    ) -> None:
         if world.dims != 2:
             raise ValueError("the world rectangle must be 2-D")
         self.world = world
@@ -149,20 +195,20 @@ class TARTree:
         )
         self.tia_backend = tia_backend
         self.root = Node(level=0)
-        self._pois = {}
-        self._poi_tias = {}
-        self._leaf_of = {}
-        self._global_epoch_max = {}
+        self._pois: dict[Any, POI] = {}
+        self._poi_tias: dict[Any, BaseTIA] = {}
+        self._leaf_of: dict[Any, Node] = {}
+        self._global_epoch_max: dict[int, int] = {}
         self._global_max_dirty = False
         self._max_mean_rate = 0.0
         self._size = 0
-        self._mutation_listener = None
-        self._mutation_observers = []
+        self._mutation_listener: MutationListener | None = None
+        self._mutation_observers: list[MutationObserver] = []
         #: LSN of the last write-ahead-logged mutation applied to this
         #: tree (``None`` when the tree has never been WAL-wrapped).
         #: Persisted by :func:`repro.storage.serialize.save_tree` so a
         #: snapshot doubles as a replay high-water mark.
-        self.applied_lsn = None
+        self.applied_lsn: int | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -171,14 +217,14 @@ class TARTree:
     @classmethod
     def build(
         cls,
-        dataset,
-        clock=None,
-        epoch_length=DEFAULT_EPOCH_LENGTH_DAYS,
-        strategy="integral3d",
-        until_time=None,
-        bulk=False,
-        **kwargs,
-    ):
+        dataset: Dataset,
+        clock: Clock | None = None,
+        epoch_length: float = DEFAULT_EPOCH_LENGTH_DAYS,
+        strategy: str | GroupingStrategy = "integral3d",
+        until_time: float | None = None,
+        bulk: bool = False,
+        **kwargs: Any,
+    ) -> TARTree:
         """Build a TAR-tree over a data set's effective POIs.
 
         The per-POI check-in histories up to ``until_time`` (default: the
@@ -221,7 +267,9 @@ class TARTree:
                 tree.insert_poi(poi, history)
         return tree
 
-    def bulk_load(self, poi_histories):
+    def bulk_load(
+        self, poi_histories: Sequence[tuple[POI, Mapping[int, int]]]
+    ) -> None:
         """STR-pack ``[(POI, {epoch: agg}), ...]`` into an empty tree.
 
         Packs in the grouping strategy's rectangle space (see
@@ -256,7 +304,7 @@ class TARTree:
             if rate > self._max_mean_rate:
                 self._max_mean_rate = rate
 
-        entries = []
+        entries: list[Entry] = []
         maxima = self.global_epoch_max()
         for poi, history in poi_histories:
             if poi.poi_id in self._pois:
@@ -289,7 +337,7 @@ class TARTree:
                 self.capacity,
                 min_fill=self.min_fill,
             )
-            parents = []
+            parents: list[Entry] = []
             for group in groups:
                 node = Node(level=level)
                 node.entries = [entries[i] for i in group]
@@ -315,47 +363,47 @@ class TARTree:
     # Basic properties
     # ------------------------------------------------------------------
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self._size
 
-    def __contains__(self, poi_id):
+    def __contains__(self, poi_id: object) -> bool:
         return poi_id in self._pois
 
     @property
-    def height(self):
+    def height(self) -> int:
         return self.root.level + 1
 
     @property
-    def num_epochs(self):
+    def num_epochs(self) -> int:
         """Epochs elapsed by ``current_time`` (the ``m`` of Section 3)."""
         return self.clock.num_epochs(self.current_time)
 
-    def poi(self, poi_id):
+    def poi(self, poi_id: Any) -> POI:
         """Return the registered :class:`POI` for ``poi_id``."""
         return self._pois[poi_id]
 
-    def poi_ids(self):
+    def poi_ids(self) -> KeysView[Any]:
         return self._pois.keys()
 
-    def poi_tia(self, poi_id):
+    def poi_tia(self, poi_id: Any) -> BaseTIA:
         """The leaf TIA of ``poi_id`` (its own per-epoch counts)."""
         return self._poi_tias[poi_id]
 
-    def node_count(self):
+    def node_count(self) -> int:
         count = 0
         stack = [self.root]
         while stack:
             node = stack.pop()
             count += 1
             if not node.is_leaf:
-                stack.extend(entry.child for entry in node.entries)
+                stack.extend(cast(Node, entry.child) for entry in node.entries)
         return count
 
     # ------------------------------------------------------------------
     # Normalisation helpers (used by grouping and by queries)
     # ------------------------------------------------------------------
 
-    def normalized_position(self, poi):
+    def normalized_position(self, poi: POI) -> tuple[float, float]:
         """Spatial coordinates scaled into the unit square."""
         wx = self.world.extent(0) or 1.0
         wy = self.world.extent(1) or 1.0
@@ -364,25 +412,25 @@ class TARTree:
             (poi.y - self.world.lows[1]) / wy,
         )
 
-    def max_mean_rate(self):
+    def max_mean_rate(self) -> float:
         """Largest ``lambda-hat`` seen so far (integral-3D normaliser)."""
         return self._max_mean_rate
 
-    def aggregate_coordinate(self, poi_id):
+    def aggregate_coordinate(self, poi_id: Any) -> float:
         """The integral-3D third coordinate ``z = 1 - lambda_hat / max``."""
         if self._max_mean_rate <= 0.0:
             return 1.0
         rate = self._poi_tias[poi_id].mean_rate(self.num_epochs)
         return 1.0 - rate / self._max_mean_rate
 
-    def global_epoch_max(self):
+    def global_epoch_max(self) -> dict[int, int]:
         """Per-epoch maxima over all POIs: ``{epoch_index: max agg}``.
 
         This is exactly the information the root-level TIAs bound; the
         tree maintains it directly so queries can normalise ``g``.
         """
         if self._global_max_dirty:
-            fresh = {}
+            fresh: dict[int, int] = {}
             for tia in self._poi_tias.values():
                 for epoch, value in tia.items():
                     if value > fresh.get(epoch, 0):
@@ -391,11 +439,20 @@ class TARTree:
             self._global_max_dirty = False
         return self._global_epoch_max
 
-    def tia_aggregate(self, tia, interval, semantics=IntervalSemantics.INTERSECTS):
+    def tia_aggregate(
+        self,
+        tia: BaseTIA,
+        interval: TimeInterval,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+    ) -> int:
         """Evaluate the tree's aggregate kind on a TIA over ``interval``."""
         return tia.aggregate(self.clock, interval, semantics, self.aggregate_kind)
 
-    def max_aggregate_bound(self, interval, semantics=IntervalSemantics.INTERSECTS):
+    def max_aggregate_bound(
+        self,
+        interval: TimeInterval,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+    ) -> int:
         """Upper bound on any POI's aggregate over ``interval``.
 
         Combines the global per-epoch maxima over the matching epochs —
@@ -409,7 +466,12 @@ class TARTree:
             return max(values, default=0)
         return sum(values)
 
-    def normalizer(self, interval, semantics=IntervalSemantics.INTERSECTS, exact=False):
+    def normalizer(
+        self,
+        interval: TimeInterval,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+        exact: bool = False,
+    ) -> Normalizer:
         """Build the per-query :class:`~repro.core.query.Normalizer`.
 
         With ``exact=True`` the aggregate normaliser is the true maximum
@@ -433,7 +495,9 @@ class TARTree:
     # POI insertion / deletion
     # ------------------------------------------------------------------
 
-    def insert_poi(self, poi, epoch_aggregates=None):
+    def insert_poi(
+        self, poi: POI, epoch_aggregates: Mapping[int, int] | None = None
+    ) -> None:
         """Insert ``poi``, optionally with an existing check-in history.
 
         ``epoch_aggregates`` is ``{epoch_index: count}``; the counts are
@@ -473,7 +537,7 @@ class TARTree:
         self._size += 1
         self._notify_mutation("insert", poi_ids=(poi.poi_id,))
 
-    def delete_poi(self, poi_id):
+    def delete_poi(self, poi_id: Any) -> bool:
         """Remove ``poi_id``; returns ``True`` when it was indexed.
 
         Write-ahead logged when a mutation listener is attached; a
@@ -495,7 +559,7 @@ class TARTree:
         del self._leaf_of[poi_id]
         self._condense(leaf)
         if not self.root.is_leaf and len(self.root.entries) == 1:
-            self.root = self.root.entries[0].child
+            self.root = cast(Node, self.root.entries[0].child)
             self.root.parent = None
         self._global_max_dirty = True
         self._size -= 1
@@ -506,7 +570,7 @@ class TARTree:
     # Check-in digestion (Section 4.2, "Inserting Check-ins")
     # ------------------------------------------------------------------
 
-    def digest_epoch(self, epoch_index, counts):
+    def digest_epoch(self, epoch_index: int, counts: Mapping[Any, int]) -> None:
         """Digest one finished epoch's check-in counts.
 
         ``counts`` maps POI ids to the epoch's contribution: the number
@@ -552,7 +616,9 @@ class TARTree:
     # Queries
     # ------------------------------------------------------------------
 
-    def query(self, query, normalizer=None):
+    def query(
+        self, query: KNNTAQuery, normalizer: Normalizer | None = None
+    ) -> list[QueryResult]:
         """Answer a :class:`~repro.core.query.KNNTAQuery` — the canonical
         query entry point.
 
@@ -566,7 +632,7 @@ class TARTree:
 
         return knnta_search(self, query, normalizer=normalizer)
 
-    def robust_query(self, query, **options):
+    def robust_query(self, query: KNNTAQuery, **options: Any) -> RobustAnswer:
         """Fault-tolerant form of :meth:`query`.
 
         Takes the same :class:`~repro.core.query.KNNTAQuery`; retries
@@ -582,7 +648,15 @@ class TARTree:
 
         return robust_knnta(self, query, **options)
 
-    def _coerce_query(self, name, q, interval, k, alpha0, semantics):
+    def _coerce_query(
+        self,
+        name: str,
+        q: KNNTAQuery | Sequence[float],
+        interval: TimeInterval | None,
+        k: int,
+        alpha0: float,
+        semantics: IntervalSemantics,
+    ) -> KNNTAQuery:
         """Shim support: accept a KNNTAQuery or the legacy kwargs shape."""
         if isinstance(q, KNNTAQuery):
             return q
@@ -600,10 +674,19 @@ class TARTree:
             raise TypeError(
                 "%s() needs an interval when not given a KNNTAQuery" % name
             )
-        return KNNTAQuery(tuple(q), interval, k, alpha0, semantics)
+        return KNNTAQuery(
+            cast("tuple[float, float]", tuple(q)), interval, k, alpha0, semantics
+        )
 
-    def knnta(self, q, interval=None, k=10, alpha0=0.3,
-              semantics=IntervalSemantics.INTERSECTS, normalizer=None):
+    def knnta(
+        self,
+        q: KNNTAQuery | Sequence[float],
+        interval: TimeInterval | None = None,
+        k: int = 10,
+        alpha0: float = 0.3,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+        normalizer: Normalizer | None = None,
+    ) -> list[QueryResult]:
         """Deprecated shim over :meth:`query`.
 
         Accepts either a ready :class:`~repro.core.query.KNNTAQuery` or
@@ -616,8 +699,15 @@ class TARTree:
             normalizer=normalizer,
         )
 
-    def robust_knnta(self, q, interval=None, k=10, alpha0=0.3,
-                     semantics=IntervalSemantics.INTERSECTS, **options):
+    def robust_knnta(
+        self,
+        q: KNNTAQuery | Sequence[float],
+        interval: TimeInterval | None = None,
+        k: int = 10,
+        alpha0: float = 0.3,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+        **options: Any,
+    ) -> RobustAnswer:
         """Deprecated shim over :meth:`robust_query`.
 
         Accepts either a ready :class:`~repro.core.query.KNNTAQuery` or
@@ -630,7 +720,9 @@ class TARTree:
             **options,
         )
 
-    def entry_score(self, entry, query, normalizer):
+    def entry_score(
+        self, entry: Entry, query: KNNTAQuery, normalizer: Normalizer
+    ) -> float:
         """Ranking score lower bound of an entry (Section 4.3).
 
         Weighted sum of MINDIST from the query point to the entry's MBR
@@ -642,7 +734,7 @@ class TARTree:
         aggregate = self.tia_aggregate(entry.tia, query.interval, query.semantics)
         return normalizer.score(query.alpha0, distance, aggregate)
 
-    def record_node_access(self, node):
+    def record_node_access(self, node: Node) -> None:
         """Count one node access in the shared stats."""
         self.stats.record_node(node.is_leaf)
 
@@ -650,11 +742,13 @@ class TARTree:
     # Maintenance internals
     # ------------------------------------------------------------------
 
-    def _insert_entry(self, entry, level, reinserted_levels):
+    def _insert_entry(
+        self, entry: Entry, level: int, reinserted_levels: set[int]
+    ) -> None:
         node = self.root
         while node.level > level:
             index = self.strategy.choose_child(node, entry, self)
-            node = node.entries[index].child
+            node = cast(Node, node.entries[index].child)
         node.entries.append(entry)
         if entry.child is not None:
             entry.child.parent = node
@@ -664,7 +758,7 @@ class TARTree:
         if len(node.entries) > self.capacity:
             self._overflow(node, reinserted_levels)
 
-    def _propagate_addition(self, node, added_entry):
+    def _propagate_addition(self, node: Node, added_entry: Entry) -> None:
         """Grow ancestor rects/MBRs/TIAs to cover a newly added entry."""
         added_items = list(added_entry.tia.items())
         while node.parent is not None:
@@ -676,7 +770,7 @@ class TARTree:
                 parent_entry.tia.raise_to(epoch, value)
             node = parent
 
-    def _overflow(self, node, reinserted_levels):
+    def _overflow(self, node: Node, reinserted_levels: set[int]) -> None:
         can_reinsert = (
             self.strategy.uses_reinsert
             and node is not self.root
@@ -688,7 +782,7 @@ class TARTree:
         else:
             self._split(node, reinserted_levels)
 
-    def _force_reinsert(self, node, reinserted_levels):
+    def _force_reinsert(self, node: Node, reinserted_levels: set[int]) -> None:
         victims = set(self.strategy.reinsert_victims(node, self))
         removed = [node.entries[i] for i in victims]
         node.entries = [
@@ -698,7 +792,7 @@ class TARTree:
         for entry in removed:
             self._insert_entry(entry, node.level, reinserted_levels)
 
-    def _split(self, node, reinserted_levels):
+    def _split(self, node: Node, reinserted_levels: set[int]) -> None:
         group_a, group_b = self.strategy.split_groups(node, self)
         entries = node.entries
         sibling = Node(level=node.level)
@@ -719,7 +813,7 @@ class TARTree:
             self.root = new_root
             return
 
-        parent = node.parent
+        parent = cast(Node, node.parent)
         self._refresh_parent_entry(parent.entry_for_child(node), node)
         parent.entries.append(self._make_parent_entry(sibling))
         sibling.parent = parent
@@ -727,7 +821,7 @@ class TARTree:
         if len(parent.entries) > self.capacity:
             self._overflow(parent, reinserted_levels)
 
-    def _make_parent_entry(self, child_node):
+    def _make_parent_entry(self, child_node: Node) -> Entry:
         entry = Entry(
             Rect.union_all(e.rect for e in child_node.entries),
             child=child_node,
@@ -737,29 +831,29 @@ class TARTree:
         entry.tia.replace_all(self._epoch_maxima(child_node.entries))
         return entry
 
-    def _refresh_parent_entry(self, entry, child_node):
+    def _refresh_parent_entry(self, entry: Entry, child_node: Node) -> None:
         entry.rect = Rect.union_all(e.rect for e in child_node.entries)
         entry.mbr = Rect.union_all(e.mbr for e in child_node.entries)
         entry.tia.replace_all(self._epoch_maxima(child_node.entries))
 
     @staticmethod
-    def _epoch_maxima(entries):
-        maxima = {}
+    def _epoch_maxima(entries: Iterable[Entry]) -> dict[int, int]:
+        maxima: dict[int, int] = {}
         for entry in entries:
             for epoch, value in entry.tia.items():
                 if value > maxima.get(epoch, 0):
                     maxima[epoch] = value
         return maxima
 
-    def _recompute_upward(self, node):
+    def _recompute_upward(self, node: Node) -> None:
         """Exactly refresh ancestor entries after removals or splits."""
         while node.parent is not None:
             parent = node.parent
             self._refresh_parent_entry(parent.entry_for_child(node), node)
             node = parent
 
-    def _condense(self, node):
-        orphans = []
+    def _condense(self, node: Node) -> None:
+        orphans: list[tuple[int, list[Entry]]] = []
         while node.parent is not None:
             parent = node.parent
             if len(node.entries) < self.min_fill:
@@ -777,7 +871,7 @@ class TARTree:
     # Periodic maintenance (Section 8.2's suggested reinsert/rebuild)
     # ------------------------------------------------------------------
 
-    def refresh_aggregate_dimension(self):
+    def refresh_aggregate_dimension(self) -> None:
         """Re-place every POI using its *current* ``lambda-hat``.
 
         The integral-3D z-coordinate is computed at insertion time and
@@ -816,7 +910,9 @@ class TARTree:
     # Validation / reliability hooks
     # ------------------------------------------------------------------
 
-    def attach_mutation_listener(self, listener):
+    def attach_mutation_listener(
+        self, listener: MutationListener
+    ) -> MutationListener:
         """Register the write-ahead mutation listener (one at a time).
 
         ``listener`` must implement ``will_insert_poi(tree, poi,
@@ -841,7 +937,7 @@ class TARTree:
         self._mutation_listener = listener
         return listener
 
-    def add_mutation_observer(self, observer):
+    def add_mutation_observer(self, observer: MutationObserver) -> MutationObserver:
         """Register a *post*-mutation callback (any number may attach).
 
         Unlike the single write-ahead mutation listener, observers are
@@ -857,7 +953,7 @@ class TARTree:
             self._mutation_observers.append(observer)
         return observer
 
-    def remove_mutation_observer(self, observer):
+    def remove_mutation_observer(self, observer: MutationObserver) -> bool:
         """Remove a post-mutation observer; returns ``True`` when removed."""
         try:
             self._mutation_observers.remove(observer)
@@ -865,11 +961,11 @@ class TARTree:
             return False
         return True
 
-    def _notify_mutation(self, kind, poi_ids):
+    def _notify_mutation(self, kind: str, poi_ids: tuple[Any, ...]) -> None:
         for observer in list(self._mutation_observers):
             observer(kind, poi_ids)
 
-    def detach_mutation_listener(self, listener=None):
+    def detach_mutation_listener(self, listener: object | None = None) -> bool:
         """Remove the mutation listener; returns ``True`` when removed.
 
         With ``listener`` given, only that exact listener is removed
@@ -883,7 +979,7 @@ class TARTree:
         self._mutation_listener = None
         return True
 
-    def check_invariants(self):
+    def check_invariants(self) -> None:
         """Raise on any broken structural or aggregate invariant.
 
         Verifies parent pointers, fill bounds, exact MBR/grouping-rect
@@ -898,7 +994,7 @@ class TARTree:
 
         validate_tree(self).raise_if_failed(AssertionError)
 
-    def wrap_tias(self, wrapper):
+    def wrap_tias(self, wrapper: Callable[[BaseTIA], BaseTIA]) -> TARTree:
         """Replace every TIA with ``wrapper(tia)``; returns the tree.
 
         ``wrapper`` is applied exactly once per distinct TIA object and
@@ -910,9 +1006,9 @@ class TARTree:
         must implement the :class:`~repro.temporal.tia.BaseTIA`
         interface.
         """
-        seen = {}
+        seen: dict[int, BaseTIA] = {}
 
-        def once(tia):
+        def once(tia: BaseTIA) -> BaseTIA:
             replacement = seen.get(id(tia))
             if replacement is None:
                 replacement = wrapper(tia)
@@ -933,7 +1029,7 @@ class TARTree:
         self._tia_factory = lambda: wrapper(inner_factory())
         return self
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "TARTree(strategy=%s, pois=%d, height=%d, capacity=%d)" % (
             self.strategy.name,
             self._size,

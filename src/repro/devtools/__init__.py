@@ -1,0 +1,47 @@
+"""Project-specific static analysis (``python -m repro lint``).
+
+The devtools package is the repository's correctness tooling: an
+AST-based lint engine (:mod:`repro.devtools.engine`) plus the rules
+(:mod:`repro.devtools.rules`) that encode invariants a generic linter
+cannot know — the service's readers-writer lock protocol (RT001), the
+WAL-before-apply contract (RT002), ``-O``-proof invariant checks
+(RT003), float-comparison hygiene in the numeric core (RT004),
+exception hygiene on the reliability surface (RT005) and
+caller-pointing deprecation warnings (RT006).  ``docs/DEVTOOLS.md``
+documents every rule and the suppression syntax
+(``# repro: allow[RT001]``).
+
+The package is import-light on purpose (stdlib only) so ``repro lint``
+runs anywhere the tests run, including the dependency-free CI legs.
+"""
+
+from repro.devtools import rules  # noqa: F401  (registers the rules)
+from repro.devtools.engine import (
+    META_PARSE_ERROR,
+    META_UNUSED,
+    FileContext,
+    Finding,
+    Rule,
+    lint_file,
+    lint_paths,
+    registered_rules,
+    render_json,
+    render_text,
+    rule,
+    rule_ids,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "rule",
+    "rule_ids",
+    "registered_rules",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "META_UNUSED",
+    "META_PARSE_ERROR",
+]

@@ -1,0 +1,441 @@
+"""The project lint engine: rule registry, dispatch, suppressions, reports.
+
+The engine is deliberately small and dependency-free: rules are plain
+classes over :mod:`ast`, registered with the :func:`rule` decorator, and
+dispatched once per file through a shared :class:`FileContext` (parsed
+tree, source lines, module name, suppression comments).  It exists
+because this repository has invariants a generic linter cannot know —
+which calls need the service's write lock, which mutations must ride the
+WAL — and those are exactly the invariants the paper's correctness
+arguments rest on (see ``docs/DEVTOOLS.md`` for the rule-by-rule
+rationale).
+
+Suppressions
+------------
+A finding is silenced by an allow comment **on the same physical line**
+as the finding::
+
+    tree.insert_poi(poi)  # repro: allow[RT001]
+
+Several ids may share one comment (``# repro: allow[RT001, RT005]``).
+Every allow comment must actually suppress something: a comment that
+matches no finding is itself reported as :data:`META_UNUSED` so stale
+suppressions cannot accumulate.  Files that fail to parse are reported
+as :data:`META_PARSE_ERROR`.
+
+Reporters
+---------
+:func:`render_text` prints one ``path:line:col: ID message`` row per
+finding plus a summary line; :func:`render_json` emits a stable
+machine-readable document (``version`` is bumped on any shape change)
+for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from typing import IO, Callable, Iterable, Iterator, Sequence, TypeVar
+
+#: Meta finding id: an allow comment that suppressed nothing.
+META_UNUSED = "RT000"
+#: Meta finding id: the file could not be parsed.
+META_PARSE_ERROR = "RT900"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+_RULE_ID_RE = re.compile(r"^[A-Z]{2}\d{3}$")
+
+
+class Finding:
+    """One rule violation: where it is and what discipline it breaks."""
+
+    __slots__ = ("rule_id", "path", "line", "col", "message")
+
+    def __init__(self, rule_id: str, path: str, line: int, col: int,
+                 message: str) -> None:
+        self.rule_id = rule_id
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def __repr__(self) -> str:
+        return "Finding(%s at %s:%d:%d)" % (
+            self.rule_id, self.path, self.line, self.col,
+        )
+
+
+class Suppression:
+    """One ``# repro: allow[...]`` comment and whether it earned its keep."""
+
+    __slots__ = ("line", "rule_ids", "used")
+
+    def __init__(self, line: int, rule_ids: tuple[str, ...]) -> None:
+        self.line = line
+        self.rule_ids = rule_ids
+        self.used: set[str] = set()
+
+
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    __slots__ = ("path", "module", "tree", "source", "suppressions")
+
+    def __init__(self, path: str, module: str, tree: ast.Module,
+                 source: str, suppressions: list[Suppression]) -> None:
+        self.path = path
+        self.module = module
+        self.tree = tree
+        self.source = source
+        self.suppressions = suppressions
+
+
+class Rule:
+    """Base class for lint rules; subclasses set the class attributes.
+
+    ``rule_id`` is the stable id findings carry (``RTnnn``); ``name`` is
+    a short kebab-case label and ``rationale`` one sentence on which
+    project invariant the rule protects (both surface in ``--help`` and
+    the docs).  :meth:`applies_to` gates dispatch by dotted module name;
+    :meth:`check` yields :class:`Finding` values.
+    """
+
+    rule_id = ""
+    name = ""
+    rationale = ""
+
+    def applies_to(self, module: str) -> bool:
+        return True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, context: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            self.rule_id,
+            context.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            message,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+_R = TypeVar("_R", bound="type[Rule]")
+
+
+def rule(cls: _R) -> _R:
+    """Class decorator registering one :class:`Rule` subclass."""
+    instance = cls()
+    if not _RULE_ID_RE.match(instance.rule_id):
+        raise ValueError("rule id %r is not of the form AB123" % instance.rule_id)
+    if instance.rule_id in _RULES:
+        raise ValueError("duplicate rule id %r" % instance.rule_id)
+    _RULES[instance.rule_id] = instance
+    return cls
+
+
+def registered_rules() -> dict[str, Rule]:
+    """The registry: ``{rule_id: rule instance}`` (a copy)."""
+    return dict(_RULES)
+
+
+def rule_ids() -> list[str]:
+    """Every selectable rule id, meta ids included, sorted."""
+    return sorted(_RULES) + [META_UNUSED, META_PARSE_ERROR]
+
+
+# ---------------------------------------------------------------------------
+# File discovery and per-file dispatch
+# ---------------------------------------------------------------------------
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for ``path``, anchored at a ``repro`` component.
+
+    ``.../src/repro/service/service.py`` maps to
+    ``repro.service.service``; fixture trees laid out as
+    ``<tmpdir>/repro/...`` resolve the same way, which is what lets the
+    rule tests exercise module-scoped rules on temporary files.  A path
+    with no ``repro`` component falls back to its bare stem.
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    anchor = None
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro":
+            anchor = index
+    if anchor is None:
+        return stem
+    dotted = parts[anchor:-1]
+    if stem != "__init__":
+        dotted = dotted + [stem]
+    return ".".join(dotted)
+
+
+def _parse_suppressions(source: str) -> list[Suppression]:
+    suppressions = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match is None:
+                continue
+            ids = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            suppressions.append(Suppression(token.start[0], ids))
+    except tokenize.TokenError:
+        pass  # the ast parse reports the real problem
+    return suppressions
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under ``paths`` (sorted, hidden dirs skipped)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_file(path: str, rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Run ``rules`` (default: all registered) over one file."""
+    if rules is None:
+        rules = _RULES.values()
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                META_PARSE_ERROR,
+                path,
+                exc.lineno or 1,
+                (exc.offset or 0) + 1,
+                "file does not parse: %s" % exc.msg,
+            )
+        ]
+    context = FileContext(
+        path, module_name(path), tree, source, _parse_suppressions(source)
+    )
+    findings = []
+    for candidate in rules:
+        if not candidate.applies_to(context.module):
+            continue
+        for finding in candidate.check(context):
+            if not _suppressed(context, finding):
+                findings.append(finding)
+    findings.extend(_unused_suppressions(context))
+    return findings
+
+
+def _suppressed(context: FileContext, finding: Finding) -> bool:
+    for suppression in context.suppressions:
+        if suppression.line == finding.line and finding.rule_id in suppression.rule_ids:
+            suppression.used.add(finding.rule_id)
+            return True
+    return False
+
+
+def _unused_suppressions(context: FileContext) -> Iterator[Finding]:
+    for suppression in context.suppressions:
+        for rule_id in suppression.rule_ids:
+            if rule_id in suppression.used:
+                continue
+            if rule_id in _RULES:
+                message = (
+                    "unused suppression: no %s finding on this line; "
+                    "remove the allow comment" % rule_id
+                )
+            else:
+                message = (
+                    "unknown rule id %r in allow comment (known: %s)"
+                    % (rule_id, ", ".join(sorted(_RULES)))
+                )
+            yield Finding(META_UNUSED, context.path, suppression.line, 1, message)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint every Python file under ``paths``.
+
+    ``select`` restricts to the given rule ids; ``ignore`` drops ids
+    from whatever is selected (meta findings included).  Returns the
+    sorted findings and the number of files checked.  Unknown ids raise
+    ``ValueError`` — the CLI maps that to its usage exit code.
+    """
+    known = set(rule_ids())
+    selected = set(known if select is None else select)
+    ignored = set(ignore) if ignore else set()
+    for rule_id in (selected | ignored) - known:
+        raise ValueError("unknown rule id %r (known: %s)"
+                         % (rule_id, ", ".join(sorted(known))))
+    active = selected - ignored
+    rules = [r for rule_id, r in sorted(_RULES.items()) if rule_id in active]
+    findings = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        for finding in lint_file(path, rules):
+            if finding.rule_id in active:
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings, files_checked
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+
+def render_text(findings: Sequence[Finding], files_checked: int,
+                out: IO[str]) -> None:
+    """The human report: one row per finding plus a summary line."""
+    for finding in findings:
+        print(
+            "%s:%d:%d: %s %s"
+            % (finding.path, finding.line, finding.col, finding.rule_id,
+               finding.message),
+            file=out,
+        )
+    if findings:
+        print(
+            "%d finding(s) in %d file(s) checked" % (len(findings), files_checked),
+            file=out,
+        )
+    else:
+        print("clean: %d file(s) checked" % files_checked, file=out)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int,
+                out: IO[str]) -> None:
+    """The machine report; ``version`` guards the shape for CI tooling."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    payload = {
+        "version": 1,
+        "files_checked": files_checked,
+        "counts": {key: counts[key] for key in sorted(counts)},
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    json.dump(payload, out, indent=2, sort_keys=False)
+    out.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers (used by several rules)
+# ---------------------------------------------------------------------------
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called name: ``f`` for ``f(...)``, ``m`` for ``obj.m(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def walk_functions(tree: ast.Module) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(name, node)`` for every function/method in ``tree``.
+
+    Methods are yielded under their bare name — intra-module call
+    resolution treats ``self.f(...)`` and ``f(...)`` alike.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+
+
+def for_each_call(
+    body: Sequence[ast.stmt],
+    visit: Callable[[ast.Call, str], None],
+    state: str = "none",
+) -> None:
+    """Walk statements tracking lock state; call ``visit(call, state)``.
+
+    ``state`` is ``"none"``, ``"read"`` or ``"write"`` according to the
+    innermost enclosing ``with ...read_locked():`` /
+    ``...write_locked():`` block (write shadows read).  Nested function
+    definitions are not descended into — they have their own dominance
+    obligations.
+    """
+    for stmt in body:
+        _walk_stmt(stmt, visit, state)
+
+
+def _lock_state_of(with_node: ast.With, state: str) -> str:
+    for item in with_node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            if expr.func.attr == "write_locked":
+                return "write"
+            if expr.func.attr == "read_locked" and state != "write":
+                state = "read"
+    return state
+
+
+def _walk_stmt(stmt: ast.stmt, visit: Callable[[ast.Call, str], None],
+               state: str) -> None:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    inner = state
+    if isinstance(stmt, ast.With):
+        inner = _lock_state_of(stmt, state)
+        for item in stmt.items:
+            _visit_calls_in_expr(item.context_expr, visit, state)
+        for child in stmt.body:
+            _walk_stmt(child, visit, inner)
+        return
+    for value in ast.iter_child_nodes(stmt):
+        if isinstance(value, ast.stmt):
+            _walk_stmt(value, visit, state)
+        elif isinstance(value, ast.expr):
+            _visit_calls_in_expr(value, visit, state)
+        elif isinstance(value, (ast.excepthandler, ast.match_case)):
+            for child in ast.iter_child_nodes(value):
+                if isinstance(child, ast.stmt):
+                    _walk_stmt(child, visit, state)
+                elif isinstance(child, ast.expr):
+                    _visit_calls_in_expr(child, visit, state)
+
+
+def _visit_calls_in_expr(expr: ast.expr, visit: Callable[[ast.Call, str], None],
+                         state: str) -> None:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            visit(node, state)

@@ -1,0 +1,433 @@
+"""The project's lint rules: the invariants a generic linter cannot know.
+
+Each rule encodes one discipline this repository's correctness arguments
+rest on — the service's lock protocol, the WAL-before-apply contract,
+``-O``-proof invariant checks, float-comparison hygiene in the geometry
+and cost-model hot paths, exception hygiene on the reliability surface,
+and caller-pointing deprecation warnings.  The rule-by-rule rationale
+(with the paper/WAL/lock invariant each protects) lives in
+``docs/DEVTOOLS.md``.
+
+The rules are pure functions of one :class:`~repro.devtools.engine.FileContext`;
+registration happens at import time through the
+:func:`~repro.devtools.engine.rule` decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    call_name,
+    for_each_call,
+    rule,
+    walk_functions,
+)
+
+#: Tree/TIA mutations that require the exclusive side of the service lock.
+LOCKED_MUTATORS = frozenset(
+    {"insert_poi", "delete_poi", "digest_epoch", "replace_all"}
+)
+#: Query entry points that require at least the shared side.
+LOCKED_READS = frozenset({"knnta_search", "sequential_scan"})
+#: Tree mutations that must ride the WAL inside the service layer.
+WAL_MUTATORS = frozenset({"insert_poi", "delete_poi", "digest_epoch"})
+
+
+def _is_local_call(call: ast.Call) -> bool:
+    """Is this an intra-module call (``f(...)`` or ``self.f(...)``)?"""
+    if isinstance(call.func, ast.Name):
+        return True
+    return (
+        isinstance(call.func, ast.Attribute)
+        and isinstance(call.func.value, ast.Name)
+        and call.func.value.id == "self"
+    )
+
+
+@rule
+class LockDisciplineRule(Rule):
+    """RT001: service-layer tree access must hold the right lock side.
+
+    ``insert_poi``/``delete_poi``/``digest_epoch`` and TIA repair
+    (``replace_all``) reshape the structure the best-first search is
+    concurrently descending; they must be lexically dominated by
+    ``write_locked()``.  Query entry points (``knnta_search``,
+    ``sequential_scan``, ``CollectiveProcessor(...).run``) need at
+    least ``read_locked()``.  A call inside a helper passes when every
+    intra-module call site of that helper (transitively) holds the
+    required lock — the module-local call-graph pass.
+    """
+
+    rule_id = "RT001"
+    name = "lock-discipline"
+    rationale = (
+        "the TAR-tree has no internal synchronisation; Property 1 and the "
+        "best-first search are only correct under the service's "
+        "readers-writer lock protocol"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith("repro.service")
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        functions = {name for name, _ in walk_functions(context.tree)}
+        callsites: dict[str, list[tuple[str, str]]] = {}
+        candidates: list[tuple[str, ast.Call, str, str]] = []
+
+        for fname, fnode in walk_functions(context.tree):
+            def visit(call: ast.Call, state: str, fname: str = fname) -> None:
+                name = call_name(call)
+                if name is None:
+                    return
+                if name in LOCKED_MUTATORS and isinstance(call.func, ast.Attribute):
+                    if state != "write":
+                        candidates.append((fname, call, "write", name))
+                elif self._is_read_entry(call, name) and state == "none":
+                    candidates.append((fname, call, "read", name))
+                if name in functions and _is_local_call(call):
+                    callsites.setdefault(name, []).append((fname, state))
+
+            for_each_call(fnode.body, visit)
+
+        for fname, call, required, name in candidates:
+            if self._dominated(fname, required, callsites, frozenset({fname})):
+                continue
+            if required == "write":
+                message = (
+                    "%s() mutates shared tree state; it must run inside "
+                    "'with ...write_locked():' (directly, or with every "
+                    "call site of %s() write-locked)" % (name, fname)
+                )
+            else:
+                message = (
+                    "%s() reads shared tree state; it must run inside "
+                    "'with ...read_locked():' (or under the write lock)"
+                    % (name,)
+                )
+            yield self.finding(context, call, message)
+
+    @staticmethod
+    def _is_read_entry(call: ast.Call, name: str) -> bool:
+        if name in LOCKED_READS and isinstance(call.func, ast.Name):
+            return True
+        if name == "run" and isinstance(call.func, ast.Attribute):
+            return any(
+                isinstance(node, ast.Name) and node.id == "CollectiveProcessor"
+                for node in ast.walk(call.func.value)
+            )
+        return False
+
+    def _dominated(
+        self,
+        fname: str,
+        required: str,
+        callsites: dict[str, list[tuple[str, str]]],
+        seen: frozenset[str],
+    ) -> bool:
+        """Does every intra-module call chain into ``fname`` hold the lock?"""
+        sites = callsites.get(fname)
+        if not sites:
+            return False
+        for caller, state in sites:
+            if state == "write" or (required == "read" and state == "read"):
+                continue
+            if caller in seen:
+                return False
+            if not self._dominated(caller, required, callsites, seen | {caller}):
+                return False
+        return True
+
+
+@rule
+class WalBeforeApplyRule(Rule):
+    """RT002: service-layer mutations must route through the ingest.
+
+    The WAL-before-apply contract (PR 2) makes crash recovery exact:
+    every logical mutation is framed into the mutation WAL before tree
+    state changes.  Service code therefore calls
+    ``self.ingest.insert/delete/digest``; mutating the tree directly is
+    legal only in the documented standalone branch — the body of an
+    ``if <obj>.ingest is None:`` guard.
+    """
+
+    rule_id = "RT002"
+    name = "wal-before-apply"
+    rationale = (
+        "a tree mutation that bypasses CheckpointedIngest never reaches "
+        "the WAL, so a crash silently loses it and recover() replays a "
+        "diverged history"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith("repro.service")
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for call, guarded in self._mutator_calls(context.tree.body, False):
+            if guarded:
+                continue
+            yield self.finding(
+                context,
+                call,
+                "%s() mutates the tree directly; route it through the "
+                "attached CheckpointedIngest, or guard the standalone "
+                "path with 'if ....ingest is None:'" % (call_name(call),),
+            )
+
+    def _mutator_calls(
+        self, stmts: list[ast.stmt], guarded: bool
+    ) -> Iterator[tuple[ast.Call, bool]]:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If) and self._is_standalone_guard(stmt.test):
+                yield from self._mutator_calls(stmt.body, True)
+                yield from self._mutator_calls(stmt.orelse, guarded)
+                continue
+            yield from self._scan_children(stmt, guarded)
+
+    def _scan_children(
+        self, node: ast.AST, guarded: bool
+    ) -> Iterator[tuple[ast.Call, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                yield from self._mutator_calls([child], guarded)
+            elif isinstance(child, ast.expr):
+                for inner in ast.walk(child):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr in WAL_MUTATORS
+                    ):
+                        yield inner, guarded
+            else:
+                # withitem / excepthandler / match_case wrappers: recurse
+                # so their statement suites keep guard tracking.
+                yield from self._scan_children(child, guarded)
+
+    @staticmethod
+    def _is_standalone_guard(test: ast.expr) -> bool:
+        return (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+            and isinstance(test.left, ast.Attribute)
+            and test.left.attr == "ingest"
+        )
+
+
+@rule
+class NoBareAssertRule(Rule):
+    """RT003: runtime invariants must not rely on ``assert``.
+
+    CI's ``python -O`` leg strips every ``assert`` statement, so an
+    invariant guarded only by one is unchecked exactly where the
+    optimised build runs.  Raise an explicit exception (``raise
+    AssertionError(...)`` keeps the contract) or gate the check on a
+    debug flag.
+    """
+
+    rule_id = "RT003"
+    name = "no-bare-assert"
+    rationale = (
+        "python -O strips assert statements, so -O CI legs silently skip "
+        "any invariant they guard"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    context,
+                    node,
+                    "assert is stripped under python -O; raise an explicit "
+                    "exception instead",
+                )
+
+
+@rule
+class FloatEqualityRule(Rule):
+    """RT004: no ``==``/``!=`` on float expressions in the numeric core.
+
+    ``spatial.geometry`` and ``core.costmodel`` feed the kNNTA bound
+    arithmetic; an exact float comparison there encodes an accidental
+    tolerance of zero.  Compare with :func:`math.isclose` or an explicit
+    epsilon.  ``__eq__``/``__ne__``/``__hash__`` bodies are exempt —
+    value types intentionally define exact equality.
+    """
+
+    rule_id = "RT004"
+    name = "float-equality"
+    rationale = (
+        "exact float equality in the geometry/cost-model hot paths turns "
+        "rounding noise into wrong pruning decisions"
+    )
+
+    _EXEMPT = frozenset({"__eq__", "__ne__", "__hash__"})
+
+    def applies_to(self, module: str) -> bool:
+        return module in ("repro.spatial.geometry", "repro.core.costmodel")
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        yield from self._scan(context, context.tree.body)
+
+    def _scan(self, context: FileContext,
+              stmts: list[ast.stmt]) -> Iterator[Finding]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name in self._EXEMPT:
+                    continue
+                yield from self._scan(context, stmt.body)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._scan(context, stmt.body)
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Compare) and self._is_float_equality(node):
+                    yield self.finding(
+                        context,
+                        node,
+                        "float equality comparison; use math.isclose or an "
+                        "explicit epsilon",
+                    )
+
+    def _is_float_equality(self, node: ast.Compare) -> bool:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return False
+        return any(
+            self._float_like(operand)
+            for operand in [node.left, *node.comparators]
+        )
+
+    def _float_like(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._float_like(node.left) or self._float_like(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._float_like(node.operand)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "float":
+                return True
+            return (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "math"
+            )
+        return False
+
+
+@rule
+class ExceptionHygieneRule(Rule):
+    """RT005: broad handlers on the reliability surface must not swallow.
+
+    ``except Exception`` in :mod:`repro.reliability` / :mod:`repro.service`
+    sits exactly where corruption and crash bugs surface; a handler
+    there must re-raise, use the caught exception (report/record it), or
+    log it.  A deliberate swallow carries an allow comment so the
+    decision is visible in review.
+    """
+
+    rule_id = "RT005"
+    name = "exception-hygiene"
+    rationale = (
+        "a swallowed exception on the reliability path converts detectable "
+        "corruption into silent divergence"
+    )
+
+    _LOG_ATTRS = frozenset(
+        {"debug", "info", "warning", "warn", "error", "exception", "critical"}
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(("repro.reliability", "repro.service"))
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._handles_responsibly(node):
+                continue
+            yield self.finding(
+                context,
+                node,
+                "broad except swallows the exception; re-raise it, record "
+                "or log it, or carry an explicit allow comment",
+            )
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True
+        names = (
+            [type_node] if not isinstance(type_node, ast.Tuple) else type_node.elts
+        )
+        return any(
+            isinstance(name, ast.Name) and name.id in ("Exception", "BaseException")
+            for name in names
+        )
+
+    def _handles_responsibly(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node, ast.Name)
+                and node.id == handler.name
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._LOG_ATTRS
+            ):
+                return True
+        return False
+
+
+@rule
+class WarnStacklevelRule(Rule):
+    """RT006: ``warnings.warn`` must pass ``stacklevel``.
+
+    The deprecation shims promise that warnings point at the *caller's*
+    file (``tests/test_public_api.py`` pins this); a ``warnings.warn``
+    without ``stacklevel`` blames the shim itself, which hides every
+    call site the warning exists to surface.
+    """
+
+    rule_id = "RT006"
+    name = "warn-stacklevel"
+    rationale = (
+        "without stacklevel a DeprecationWarning names the shim, not the "
+        "caller that must migrate"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "warn"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "warnings"
+            ):
+                continue
+            if any(kw.arg == "stacklevel" for kw in node.keywords):
+                continue
+            yield self.finding(
+                context,
+                node,
+                "warnings.warn without stacklevel= blames the shim instead "
+                "of the caller",
+            )

@@ -301,30 +301,46 @@ class ARBTree:
         return count
 
     def check_invariants(self):
-        """Structural and sum-consistency checks."""
+        """Structural and sum-consistency checks.
+
+        Raises ``AssertionError`` on a violation; explicit ``raise``
+        statements, not ``assert``, so the checks survive ``python -O``.
+        """
         stack = [(self.root, None)]
         count = 0
         while stack:
             node, parent = stack.pop()
-            assert node.parent is parent, "broken parent pointer"
+            if node.parent is not parent:
+                raise AssertionError("broken parent pointer")
             if node.is_leaf:
                 count += len(node.entries)
                 for entry in node.entries:
-                    assert self._leaf_of[entry.item] is node
+                    if self._leaf_of[entry.item] is not node:
+                        raise AssertionError(
+                            "stale leaf index for POI %r" % (entry.item,)
+                        )
             else:
                 for entry in node.entries:
                     child = entry.child
-                    assert child.level == node.level - 1
-                    assert entry.rect == Rect.union_all(
+                    if child.level != node.level - 1:
+                        raise AssertionError(
+                            "level mismatch below node %d" % node.node_id
+                        )
+                    if entry.rect != Rect.union_all(
                         e.rect for e in child.entries
-                    ), "stale rect"
+                    ):
+                        raise AssertionError("stale rect")
                     sums = {}
                     for grandchild in child.entries:
                         for epoch, value in grandchild.tia.items():
                             sums[epoch] = sums.get(epoch, 0) + value
-                    assert dict(entry.tia.items()) == sums, "stale subtree sum"
+                    if dict(entry.tia.items()) != sums:
+                        raise AssertionError("stale subtree sum")
                     stack.append((child, node))
-        assert count == self._size
+        if count != self._size:
+            raise AssertionError(
+                "size mismatch: %d != %d" % (count, self._size)
+            )
 
     def __repr__(self):
         return "ARBTree(pois=%d, nodes=%d)" % (self._size, self.node_count())

@@ -267,7 +267,10 @@ class CheckpointedIngest:
         self._last_logged_lsn = None
         try:
             tree.attach_mutation_listener(self)
-        except Exception:
+        except ValueError:
+            # The only attach failure: the tree already has a different
+            # live listener.  Release the WAL handle before propagating
+            # so the failed construction leaks no open file.
             self.log.close()
             raise
         if not os.path.exists(self.snapshot_path):

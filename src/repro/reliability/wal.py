@@ -39,10 +39,12 @@ real corruption and raises
 :class:`~repro.storage.serialize.CorruptSnapshotError`.
 """
 
+from __future__ import annotations
+
 import json
 import os
 import zlib
-from collections import namedtuple
+from typing import Any, Iterable, Mapping, NamedTuple, Sequence
 
 from repro.storage.serialize import CorruptSnapshotError
 
@@ -59,13 +61,15 @@ RECORD_TYPES = (RECORD_DIGEST, RECORD_INSERT, RECORD_DELETE, RECORD_CHECKPOINT)
 MUTATION_RECORD_TYPES = (RECORD_DIGEST, RECORD_INSERT, RECORD_DELETE)
 
 
-class WalRecord(namedtuple("WalRecord", ["lsn", "type", "payload"])):
+class WalRecord(NamedTuple):
     """One decoded WAL record: ``(lsn, type, payload)``."""
 
-    __slots__ = ()
+    lsn: int
+    type: str
+    payload: list[Any]
 
 
-def _check_poi_id(poi_id):
+def _check_poi_id(poi_id: Any) -> str | int:
     if not isinstance(poi_id, (str, int)) or isinstance(poi_id, bool):
         raise TypeError(
             "POI id %r is not WAL-representable; use str or int ids" % (poi_id,)
@@ -73,11 +77,11 @@ def _check_poi_id(poi_id):
     return poi_id
 
 
-def _frame(body):
+def _frame(body: str) -> str:
     return "%08x %s\n" % (zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, body)
 
 
-def _parse_line(line):
+def _parse_line(line: str) -> WalRecord | None:
     """Return the decoded :class:`WalRecord`, or ``None`` for damage."""
     line = line.rstrip("\n")
     if not line:
@@ -112,7 +116,7 @@ def _parse_line(line):
     return None
 
 
-def _fsync_directory(directory):
+def _fsync_directory(directory: str) -> None:
     """Best-effort fsync of a directory (no-op where unsupported)."""
     try:
         dir_fd = os.open(directory or ".", os.O_RDONLY)
@@ -124,7 +128,7 @@ def _fsync_directory(directory):
         os.close(dir_fd)
 
 
-def _scan_wal(path):
+def _scan_wal(path: str) -> tuple[list[WalRecord], int, int]:
     """Parse a mutation WAL at byte granularity.
 
     Returns ``(records, dropped_tail_lines, valid_prefix_bytes)`` where
@@ -138,7 +142,8 @@ def _scan_wal(path):
         return [], 0, 0
     with open(path, "rb") as handle:
         data = handle.read()
-    entries = []  # (record_or_None, end_offset_incl_newline) per non-blank line
+    # (record_or_None, end_offset_incl_newline) per non-blank line
+    entries: list[tuple[WalRecord | None, int]] = []
     pos = 0
     while pos < len(data):
         newline = data.find(b"\n", pos)
@@ -175,7 +180,7 @@ def _scan_wal(path):
     return records, len(entries) - (last_ok + 1), valid_end
 
 
-def read_wal(path):
+def read_wal(path: str) -> tuple[list[WalRecord], int]:
     """Parse a mutation WAL; returns ``(records, dropped_tail_lines)``.
 
     ``records`` holds the intact :class:`WalRecord` s in LSN order
@@ -201,7 +206,7 @@ class MutationWAL:
     garble the new, acked record and poison every later read).
     """
 
-    def __init__(self, path):
+    def __init__(self, path: str) -> None:
         self.path = path
         # Scan before opening for append: a CorruptSnapshotError here
         # must not leak a handle, and a torn tail must be cut off so the
@@ -216,11 +221,11 @@ class MutationWAL:
         self._handle = open(path, "a")
 
     @property
-    def next_lsn(self):
+    def next_lsn(self) -> int:
         """The LSN the next appended record will carry."""
         return self._next_lsn
 
-    def append(self, record_type, payload):
+    def append(self, record_type: str, payload: list[Any]) -> int:
         """Frame and durably append one record; returns its LSN."""
         if record_type not in RECORD_TYPES:
             raise ValueError("unknown WAL record type %r" % (record_type,))
@@ -232,14 +237,20 @@ class MutationWAL:
         self._next_lsn += 1
         return lsn
 
-    def log_digest(self, epoch_index, pairs):
+    def log_digest(self, epoch_index: int, pairs: Iterable[Sequence[Any]]) -> int:
         """Log one epoch batch: ``[[poi_id, delta, value_after], ...]``."""
-        pairs = [list(pair) for pair in pairs]
-        for poi_id, _delta, _value_after in pairs:
+        rows = [list(pair) for pair in pairs]
+        for poi_id, _delta, _value_after in rows:
             _check_poi_id(poi_id)
-        return self.append(RECORD_DIGEST, [int(epoch_index), pairs])
+        return self.append(RECORD_DIGEST, [int(epoch_index), rows])
 
-    def log_insert(self, poi_id, x, y, epoch_aggregates=None):
+    def log_insert(
+        self,
+        poi_id: Any,
+        x: float,
+        y: float,
+        epoch_aggregates: Mapping[int, int] | None = None,
+    ) -> int:
         """Log a POI insertion with its (possibly empty) history."""
         _check_poi_id(poi_id)
         history = sorted(
@@ -251,12 +262,12 @@ class MutationWAL:
             [poi_id, float(x), float(y), [[e, v] for e, v in history]],
         )
 
-    def log_delete(self, poi_id):
+    def log_delete(self, poi_id: Any) -> int:
         """Log a POI deletion."""
         _check_poi_id(poi_id)
         return self.append(RECORD_DELETE, [poi_id])
 
-    def reset(self, applied_lsn=None):
+    def reset(self, applied_lsn: int | None = None) -> int:
         """Atomically shrink the log to a single ``checkpoint`` marker.
 
         Called after a checkpoint made every logged record redundant.
@@ -285,11 +296,11 @@ class MutationWAL:
         self._next_lsn = marker_lsn + 1
         return marker_lsn
 
-    def close(self):
+    def close(self) -> None:
         self._handle.close()
 
-    def __enter__(self):
+    def __enter__(self) -> MutationWAL:
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -38,7 +38,7 @@ from collections import deque
 from repro.core.collective import CollectiveProcessor
 from repro.core.knnta import knnta_search
 from repro.service.locks import ReadWriteLock
-from repro.service.scrubber import Scrubber
+from repro.service.scrubber import HealthEvent, Scrubber
 from repro.service.stats import ServiceStats
 from repro.storage.stats import AccessStats
 
@@ -375,25 +375,26 @@ class QueryService:
     def insert(self, poi, epoch_aggregates=None):
         """Insert a POI under the write lock; WAL-logged via the ingest."""
         with self.lock.write_locked():
-            if self.ingest is not None:
-                return self.ingest.insert(poi, epoch_aggregates)
-            self.tree.insert_poi(poi, epoch_aggregates)
-            return None
+            if self.ingest is None:
+                # Standalone mode: no WAL attached, mutate directly.
+                self.tree.insert_poi(poi, epoch_aggregates)
+                return None
+            return self.ingest.insert(poi, epoch_aggregates)
 
     def delete(self, poi_id):
         """Delete a POI under the write lock; WAL-logged via the ingest."""
         with self.lock.write_locked():
-            if self.ingest is not None:
-                return self.ingest.delete(poi_id)
-            return self.tree.delete_poi(poi_id)
+            if self.ingest is None:
+                return self.tree.delete_poi(poi_id)
+            return self.ingest.delete(poi_id)
 
     def digest(self, epoch_index, counts):
         """Digest one epoch batch under the write lock (WAL-logged)."""
         with self.lock.write_locked():
-            if self.ingest is not None:
-                return self.ingest.digest(epoch_index, counts)
-            self.tree.digest_epoch(epoch_index, counts)
-            return None
+            if self.ingest is None:
+                self.tree.digest_epoch(epoch_index, counts)
+                return None
+            return self.ingest.digest(epoch_index, counts)
 
     def checkpoint(self):
         """Checkpoint the ingest under the write lock (requires an ingest)."""
@@ -520,11 +521,18 @@ class QueryService:
         while not self._scrub_stop.wait(interval):
             try:
                 self.scrubber.tick()
-            except Exception:
-                # Maintenance must never take the service down; the next
-                # tick retries (damage, if real, is also visible to
-                # validate_tree / repro verify).
-                continue
+            except Exception as exc:
+                # Maintenance must never take the service down, but the
+                # failure must not vanish either: surface it on the
+                # scrubber's health stream and let the next tick retry.
+                self.scrubber.events.append(
+                    HealthEvent(
+                        "scrub-error",
+                        "scrubber tick",
+                        "%s: %s" % (type(exc).__name__, exc),
+                        self.scrubber.sweeps_completed,
+                    )
+                )
 
     def __repr__(self):
         return "QueryService(%r, %r, closed=%r)" % (

@@ -12,13 +12,23 @@ efficient answering of the skyline query"; this is that algorithm, used
 by the MWA pruning approach (Section 7.1).
 """
 
+from __future__ import annotations
+
 import heapq
 import itertools
+from typing import TYPE_CHECKING, Any, cast
 
 from repro.skyline.bnl import dominates
 
+if TYPE_CHECKING:
+    from repro.core.query import KNNTAQuery, Normalizer
+    from repro.core.tar_tree import TARTree
+    from repro.spatial.rstar import Entry, Node
 
-def _corner(tree, entry, query, normalizer):
+
+def _corner(
+    tree: TARTree, entry: Entry, query: KNNTAQuery, normalizer: Normalizer
+) -> tuple[float, float]:
     distance, aggregate = normalizer.components(
         entry.mbr.min_dist(query.point),
         tree.tia_aggregate(entry.tia, query.interval, query.semantics),
@@ -26,7 +36,12 @@ def _corner(tree, entry, query, normalizer):
     return (distance, 1.0 - aggregate)
 
 
-def bbs_skyline(tree, query, normalizer=None, exclude=frozenset()):
+def bbs_skyline(
+    tree: TARTree,
+    query: KNNTAQuery,
+    normalizer: Normalizer | None = None,
+    exclude: frozenset[Any] = frozenset(),
+) -> list[tuple[Any, tuple[float, float]]]:
     """Skyline of the POIs of ``tree`` in kNNTA score space.
 
     Parameters
@@ -45,8 +60,8 @@ def bbs_skyline(tree, query, normalizer=None, exclude=frozenset()):
     root = tree.root
     if not root.entries:
         return []
-    skyline = []
-    heap = []
+    skyline: list[tuple[Any, tuple[float, float]]] = []
+    heap: list[tuple[float, int, tuple[float, float], Entry]] = []
     tie = itertools.count()
     tree.record_node_access(root)
     for entry in root.entries:
@@ -60,7 +75,7 @@ def bbs_skyline(tree, query, normalizer=None, exclude=frozenset()):
             if entry.item not in exclude:
                 skyline.append((entry.item, corner))
             continue
-        child = entry.child
+        child = cast("Node", entry.child)
         tree.record_node_access(child)
         for child_entry in child.entries:
             child_corner = _corner(tree, child_entry, query, normalizer)

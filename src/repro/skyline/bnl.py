@@ -6,8 +6,12 @@ dimension by default (``reverse=True`` flips to larger-is-better, the
 top-k POIs).
 """
 
+from __future__ import annotations
 
-def dominates(a, b, reverse=False):
+from typing import Iterable, Sequence
+
+
+def dominates(a: Sequence[float], b: Sequence[float], reverse: bool = False) -> bool:
     """True when ``a`` dominates ``b``.
 
     With ``reverse=False``: ``a`` is no worse (<=) in every dimension and
@@ -30,21 +34,22 @@ def dominates(a, b, reverse=False):
     return strictly_better
 
 
-def skyline_of_points(points, reverse=False):
+def skyline_of_points(
+    points: Iterable[tuple[float, ...]], reverse: bool = False
+) -> list[tuple[float, ...]]:
     """Return the skyline (Pareto-optimal subset) of ``points``.
 
     Duplicates of skyline points are kept once.  The classic
     block-nested-loop: maintain a window of incomparable points and test
     each candidate against it.
     """
-    window = []
+    window: list[tuple[float, ...]] = []
     for point in points:
         dominated = False
-        survivors = []
+        survivors: list[tuple[float, ...]] = []
         for kept in window:
             if dominates(kept, point, reverse):
                 dominated = True
-                survivors = None
                 break
             if not dominates(point, kept, reverse):
                 survivors.append(kept)
@@ -53,8 +58,8 @@ def skyline_of_points(points, reverse=False):
         survivors.append(point)
         window = survivors
     # Deduplicate exact ties while preserving order.
-    seen = set()
-    unique = []
+    seen: set[tuple[float, ...]] = set()
+    unique: list[tuple[float, ...]] = []
     for point in window:
         if point not in seen:
             seen.add(point)

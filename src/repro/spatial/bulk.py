@@ -13,10 +13,15 @@ for ``IND-spa``, 3-D for integral-3D), so a bulk-loaded tree clusters
 entries by exactly the criteria the incremental algorithms optimise.
 """
 
+from __future__ import annotations
+
 import math
+from typing import Sequence
 
 
-def _balanced_group_sizes(total, capacity, min_fill, fill_ratio):
+def _balanced_group_sizes(
+    total: int, capacity: int, min_fill: int, fill_ratio: float
+) -> list[int]:
     """Sizes of consecutive groups: balanced, within [min_fill, capacity].
 
     Chooses the group count so every group holds roughly
@@ -40,7 +45,12 @@ def _balanced_group_sizes(total, capacity, min_fill, fill_ratio):
     return [base + 1 if i < remainder else base for i in range(groups)]
 
 
-def str_partition(points, capacity, min_fill=1, fill_ratio=0.9):
+def str_partition(
+    points: Sequence[Sequence[float]],
+    capacity: int,
+    min_fill: int = 1,
+    fill_ratio: float = 0.9,
+) -> list[list[int]]:
     """Partition ``points`` into STR tiles of at most ``capacity``.
 
     ``points`` is a sequence of coordinate tuples (any dimensionality).
@@ -57,12 +67,20 @@ def str_partition(points, capacity, min_fill=1, fill_ratio=0.9):
     return _str_recurse(points, indices, dims, 0, capacity, min_fill, fill_ratio)
 
 
-def _str_recurse(points, indices, dims, axis, capacity, min_fill, fill_ratio):
+def _str_recurse(
+    points: Sequence[Sequence[float]],
+    indices: list[int],
+    dims: int,
+    axis: int,
+    capacity: int,
+    min_fill: int,
+    fill_ratio: float,
+) -> list[list[int]]:
     indices = sorted(indices, key=lambda i: points[i][axis])
     total = len(indices)
     if axis == dims - 1 or total <= capacity:
         sizes = _balanced_group_sizes(total, capacity, min_fill, fill_ratio)
-        groups = []
+        groups: list[list[int]] = []
         offset = 0
         for size in sizes:
             groups.append(indices[offset : offset + size])
@@ -76,7 +94,7 @@ def _str_recurse(points, indices, dims, axis, capacity, min_fill, fill_ratio):
     remaining = dims - axis
     slabs = max(1, int(math.ceil(n_leaves ** (1.0 / remaining))))
     slab_size = int(math.ceil(total / float(slabs)))
-    groups = []
+    groups: list[list[int]] = []
     for start in range(0, total, slab_size):
         slab = indices[start : start + slab_size]
         groups.extend(

@@ -6,7 +6,13 @@ small, allocation-light value object because R*-tree maintenance creates
 and compares millions of them.
 """
 
+from __future__ import annotations
+
 import math
+from typing import Iterable, Sequence
+
+#: A point: one float per dimension.
+Point = tuple[float, ...]
 
 
 class Rect:
@@ -19,7 +25,7 @@ class Rect:
 
     __slots__ = ("lows", "highs")
 
-    def __init__(self, lows, highs):
+    def __init__(self, lows: Iterable[float], highs: Iterable[float]) -> None:
         lows = tuple(float(v) for v in lows)
         highs = tuple(float(v) for v in highs)
         if len(lows) != len(highs):
@@ -32,16 +38,17 @@ class Rect:
             # every downstream invariant.
             if not lo <= hi:
                 raise ValueError("invalid bounds: low %r > high %r" % (lo, hi))
-        self.lows = lows
-        self.highs = highs
+        self.lows: Point = lows
+        self.highs: Point = highs
 
     @classmethod
-    def from_point(cls, point):
+    def from_point(cls, point: Iterable[float]) -> Rect:
         """Return the degenerate rectangle covering a single point."""
+        point = tuple(point)
         return cls(point, point)
 
     @classmethod
-    def union_all(cls, rects):
+    def union_all(cls, rects: Iterable[Rect]) -> Rect:
         """Return the minimum bounding rectangle of an iterable of rects."""
         rects = iter(rects)
         try:
@@ -59,31 +66,31 @@ class Rect:
         return cls(lows, highs)
 
     @property
-    def dims(self):
+    def dims(self) -> int:
         """Number of dimensions."""
         return len(self.lows)
 
     @property
-    def center(self):
+    def center(self) -> Point:
         """Center point as a tuple."""
         return tuple((lo + hi) / 2.0 for lo, hi in zip(self.lows, self.highs))
 
-    def extent(self, dim):
+    def extent(self, dim: int) -> float:
         """Side length along dimension ``dim``."""
         return self.highs[dim] - self.lows[dim]
 
-    def area(self):
+    def area(self) -> float:
         """Product of side lengths (volume for ``dims > 2``)."""
         result = 1.0
         for lo, hi in zip(self.lows, self.highs):
             result *= hi - lo
         return result
 
-    def margin(self):
+    def margin(self) -> float:
         """Sum of side lengths (the R*-tree's 'margin' objective)."""
         return sum(hi - lo for lo, hi in zip(self.lows, self.highs))
 
-    def union(self, other):
+    def union(self, other: Rect) -> Rect:
         """Minimum bounding rectangle of ``self`` and ``other``."""
         lows = tuple(
             lo if lo < olo else olo for lo, olo in zip(self.lows, other.lows)
@@ -93,7 +100,7 @@ class Rect:
         )
         return Rect(lows, highs)
 
-    def enlargement(self, other):
+    def enlargement(self, other: Rect) -> float:
         """Area increase needed for ``self`` to also cover ``other``."""
         enlarged = 1.0
         original = 1.0
@@ -102,14 +109,14 @@ class Rect:
             original *= hi - lo
         return enlarged - original
 
-    def intersects(self, other):
+    def intersects(self, other: Rect) -> bool:
         """True when the rectangles share at least a boundary point."""
         for lo, hi, olo, ohi in zip(self.lows, self.highs, other.lows, other.highs):
             if lo > ohi or olo > hi:
                 return False
         return True
 
-    def overlap_area(self, other):
+    def overlap_area(self, other: Rect) -> float:
         """Area of the intersection (0 when disjoint)."""
         result = 1.0
         for lo, hi, olo, ohi in zip(self.lows, self.highs, other.lows, other.highs):
@@ -119,21 +126,21 @@ class Rect:
             result *= side
         return result
 
-    def contains_point(self, point):
+    def contains_point(self, point: Sequence[float]) -> bool:
         """True when ``point`` lies inside or on the boundary."""
         for lo, hi, value in zip(self.lows, self.highs, point):
             if value < lo or value > hi:
                 return False
         return True
 
-    def contains_rect(self, other):
+    def contains_rect(self, other: Rect) -> bool:
         """True when ``other`` lies entirely inside ``self``."""
         for lo, hi, olo, ohi in zip(self.lows, self.highs, other.lows, other.highs):
             if olo < lo or ohi > hi:
                 return False
         return True
 
-    def min_dist(self, point):
+    def min_dist(self, point: Sequence[float]) -> float:
         """Euclidean distance from ``point`` to the nearest point of the rect.
 
         This is the classic MINDIST lower bound used by best-first search
@@ -150,7 +157,7 @@ class Rect:
             total += delta * delta
         return math.sqrt(total)
 
-    def center_distance_sq(self, point):
+    def center_distance_sq(self, point: Sequence[float]) -> float:
         """Squared Euclidean distance from the rect center to ``point``."""
         total = 0.0
         for lo, hi, value in zip(self.lows, self.highs, point):
@@ -158,7 +165,7 @@ class Rect:
             total += delta * delta
         return total
 
-    def diagonal(self):
+    def diagonal(self) -> float:
         """Length of the main diagonal (max pairwise distance inside)."""
         total = 0.0
         for lo, hi in zip(self.lows, self.highs):
@@ -166,21 +173,21 @@ class Rect:
             total += side * side
         return math.sqrt(total)
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Rect)
             and self.lows == other.lows
             and self.highs == other.highs
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.lows, self.highs))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Rect(%r, %r)" % (self.lows, self.highs)
 
 
-def point_distance(a, b):
+def point_distance(a: Sequence[float], b: Sequence[float]) -> float:
     """Euclidean distance between two points given as tuples."""
     total = 0.0
     for av, bv in zip(a, b):
@@ -189,11 +196,11 @@ def point_distance(a, b):
     return math.sqrt(total)
 
 
-def rect_min_dist(rect, point):
+def rect_min_dist(rect: Rect, point: Sequence[float]) -> float:
     """Module-level alias of :meth:`Rect.min_dist` for functional callers."""
     return rect.min_dist(point)
 
 
-def manhattan_distance(a, b):
+def manhattan_distance(a: Sequence[float], b: Sequence[float]) -> float:
     """L1 distance between two equal-length sequences."""
     return sum(abs(av - bv) for av, bv in zip(a, b))

@@ -18,11 +18,17 @@ pick the axis with the least margin sum and the distribution with the
 least overlap.
 """
 
+from __future__ import annotations
+
 import heapq
 import itertools
 import math
+from typing import TYPE_CHECKING, Any, Iterator, Sequence, cast
 
 from repro.spatial.geometry import Rect
+
+if TYPE_CHECKING:
+    from repro.storage.stats import AccessStats
 
 DEFAULT_REINSERT_RATIO = 0.3
 DEFAULT_MIN_FILL_RATIO = 0.4
@@ -33,7 +39,9 @@ DEFAULT_MIN_FILL_RATIO = 0.4
 # ---------------------------------------------------------------------------
 
 
-def rstar_choose_subtree(rects, new_rect, children_are_leaves):
+def rstar_choose_subtree(
+    rects: Sequence[Rect], new_rect: Rect, children_are_leaves: bool
+) -> int:
     """Return the index of the child rectangle that should receive ``new_rect``.
 
     ``rects`` are the (grouping-space) rectangles of the candidate child
@@ -49,9 +57,9 @@ def rstar_choose_subtree(rects, new_rect, children_are_leaves):
     return _choose_least_area_enlargement(rects, new_rect)
 
 
-def _choose_least_area_enlargement(rects, new_rect):
+def _choose_least_area_enlargement(rects: Sequence[Rect], new_rect: Rect) -> int:
     best_index = 0
-    best_key = None
+    best_key: tuple[float, float] | None = None
     for i, rect in enumerate(rects):
         key = (rect.enlargement(new_rect), rect.area())
         if best_key is None or key < best_key:
@@ -63,17 +71,17 @@ def _choose_least_area_enlargement(rects, new_rect):
 _OVERLAP_CANDIDATES = 32
 
 
-def _choose_least_overlap_enlargement(rects, new_rect):
+def _choose_least_overlap_enlargement(rects: Sequence[Rect], new_rect: Rect) -> int:
     # Overlap enlargement is O(n^2) in the fan-out.  Beckmann et al.'s
     # remedy for large nodes: rank entries by area enlargement and test
     # overlap only for the best 32 candidates.
-    candidates = range(len(rects))
+    candidates: Sequence[int] = range(len(rects))
     if len(rects) > _OVERLAP_CANDIDATES:
         candidates = sorted(
             candidates, key=lambda i: rects[i].enlargement(new_rect)
         )[:_OVERLAP_CANDIDATES]
     best_index = 0
-    best_key = None
+    best_key: tuple[float, float, float] | None = None
     for i in candidates:
         rect = rects[i]
         enlarged = rect.union(new_rect)
@@ -95,7 +103,9 @@ def _choose_least_overlap_enlargement(rects, new_rect):
     return best_index
 
 
-def rstar_split_groups(rects, min_fill):
+def rstar_split_groups(
+    rects: Sequence[Rect], min_fill: int
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
     """Split overflowing rectangles into two groups, R*-tree style.
 
     Returns two tuples of indices into ``rects``.  The split axis is the
@@ -112,8 +122,8 @@ def rstar_split_groups(rects, min_fill):
         )
     dims = rects[0].dims
 
-    best_axis_order = None
-    best_margin_sum = None
+    best_axis_order: tuple[list[int], list[int]] | None = None
+    best_margin_sum: float | None = None
     for axis in range(dims):
         by_low = sorted(range(total), key=lambda i: (rects[i].lows[axis], rects[i].highs[axis]))
         by_high = sorted(range(total), key=lambda i: (rects[i].highs[axis], rects[i].lows[axis]))
@@ -125,9 +135,11 @@ def rstar_split_groups(rects, min_fill):
         if best_margin_sum is None or margin_sum < best_margin_sum:
             best_margin_sum = margin_sum
             best_axis_order = (by_low, by_high)
+    if best_axis_order is None:
+        raise AssertionError("no split axis for %d-dimensional entries" % dims)
 
-    best_groups = None
-    best_key = None
+    best_groups: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+    best_key: tuple[float, float] | None = None
     for order in best_axis_order:
         prefixes, suffixes = _running_unions(rects, order)
         for split_at in range(min_fill, total - min_fill + 1):
@@ -137,30 +149,35 @@ def rstar_split_groups(rects, min_fill):
             if best_key is None or key < best_key:
                 best_key = key
                 best_groups = (tuple(order[:split_at]), tuple(order[split_at:]))
+    if best_groups is None:
+        raise AssertionError("no legal split distribution")
     return best_groups
 
 
-def _running_unions(rects, order):
+def _running_unions(
+    rects: Sequence[Rect], order: Sequence[int]
+) -> tuple[list[Rect], list[Rect]]:
     """Prefix and suffix bounding rectangles along ``order``.
 
     ``prefixes[i]`` bounds ``order[:i+1]``; ``suffixes[i]`` bounds
     ``order[i:]``.  Makes every split distribution O(1) to evaluate.
     """
-    prefixes = []
-    running = None
+    prefixes: list[Rect] = []
+    running: Rect | None = None
     for i in order:
         running = rects[i] if running is None else running.union(rects[i])
         prefixes.append(running)
-    suffixes = [None] * len(order)
+    suffixes_reversed: list[Rect] = []
     running = None
     for position in range(len(order) - 1, -1, -1):
         rect = rects[order[position]]
         running = rect if running is None else running.union(rect)
-        suffixes[position] = running
-    return prefixes, suffixes
+        suffixes_reversed.append(running)
+    suffixes_reversed.reverse()
+    return prefixes, suffixes_reversed
 
 
-def reinsert_indices(rects, count):
+def reinsert_indices(rects: Sequence[Rect], count: int) -> tuple[int, ...]:
     """Return the indices of the ``count`` entries to force-reinsert.
 
     Per the R*-tree, these are the entries whose centers are farthest from
@@ -176,7 +193,7 @@ def reinsert_indices(rects, count):
     return tuple(order[:count])
 
 
-def _center_distance_sq(rect, point):
+def _center_distance_sq(rect: Rect, point: Sequence[float]) -> float:
     total = 0.0
     for lo, hi, value in zip(rect.lows, rect.highs, point):
         delta = (lo + hi) / 2.0 - value
@@ -204,7 +221,14 @@ class Entry:
 
     __slots__ = ("rect", "child", "item", "mbr", "tia")
 
-    def __init__(self, rect, child=None, item=None, mbr=None, tia=None):
+    def __init__(
+        self,
+        rect: Rect,
+        child: Node | None = None,
+        item: Any = None,
+        mbr: Rect | None = None,
+        tia: Any = None,
+    ) -> None:
         self.rect = rect
         self.child = child
         self.item = item
@@ -212,10 +236,10 @@ class Entry:
         self.tia = tia
 
     @property
-    def is_leaf_entry(self):
+    def is_leaf_entry(self) -> bool:
         return self.child is None
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         kind = "item=%r" % (self.item,) if self.child is None else "child=node"
         return "Entry(%r, %s)" % (self.rect, kind)
 
@@ -225,32 +249,32 @@ class Node:
 
     __slots__ = ("node_id", "level", "entries", "parent")
 
-    def __init__(self, level):
+    def __init__(self, level: int) -> None:
         self.node_id = next(_node_ids)
         self.level = level
-        self.entries = []
-        self.parent = None
+        self.entries: list[Entry] = []
+        self.parent: Node | None = None
 
     @property
-    def is_leaf(self):
+    def is_leaf(self) -> bool:
         return self.level == 0
 
-    def rect(self):
+    def rect(self) -> Rect:
         """Bounding rectangle of all entries (grouping space)."""
         return Rect.union_all(entry.rect for entry in self.entries)
 
-    def mbr(self):
+    def mbr(self) -> Rect:
         """Spatial bounding rectangle of all entries."""
         return Rect.union_all(entry.mbr for entry in self.entries)
 
-    def entry_for_child(self, child):
+    def entry_for_child(self, child: Node) -> Entry:
         """Return this node's entry pointing at ``child``."""
         for entry in self.entries:
             if entry.child is child:
                 return entry
         raise LookupError("node %d has no entry for child %d" % (self.node_id, child.node_id))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Node(id=%d, level=%d, entries=%d)" % (
             self.node_id,
             self.level,
@@ -279,12 +303,12 @@ class RStarTree:
 
     def __init__(
         self,
-        dims=2,
-        capacity=50,
-        min_fill_ratio=DEFAULT_MIN_FILL_RATIO,
-        reinsert_ratio=DEFAULT_REINSERT_RATIO,
-        stats=None,
-    ):
+        dims: int = 2,
+        capacity: int = 50,
+        min_fill_ratio: float = DEFAULT_MIN_FILL_RATIO,
+        reinsert_ratio: float = DEFAULT_REINSERT_RATIO,
+        stats: AccessStats | None = None,
+    ) -> None:
         if capacity < 4:
             raise ValueError("capacity must be >= 4, got %d" % capacity)
         self.dims = dims
@@ -297,15 +321,15 @@ class RStarTree:
 
     # -- basic properties ---------------------------------------------------
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self._size
 
     @property
-    def height(self):
+    def height(self) -> int:
         """Number of levels (1 for a tree that is a single leaf)."""
         return self.root.level + 1
 
-    def node_count(self):
+    def node_count(self) -> int:
         """Total number of nodes (walks the tree)."""
         count = 0
         stack = [self.root]
@@ -313,10 +337,10 @@ class RStarTree:
             node = stack.pop()
             count += 1
             if not node.is_leaf:
-                stack.extend(entry.child for entry in node.entries)
+                stack.extend(cast(Node, entry.child) for entry in node.entries)
         return count
 
-    def bounds(self):
+    def bounds(self) -> Rect | None:
         """Bounding rectangle of the whole tree, or ``None`` when empty."""
         if not self.root.entries:
             return None
@@ -324,7 +348,7 @@ class RStarTree:
 
     # -- insertion ----------------------------------------------------------
 
-    def insert(self, rect, item):
+    def insert(self, rect: Rect, item: Any) -> None:
         """Insert ``item`` with bounding rectangle ``rect``."""
         if rect.dims != self.dims:
             raise ValueError(
@@ -333,7 +357,9 @@ class RStarTree:
         self._insert_entry(Entry(rect, item=item), level=0, split_allowed_levels=set())
         self._size += 1
 
-    def _insert_entry(self, entry, level, split_allowed_levels):
+    def _insert_entry(
+        self, entry: Entry, level: int, split_allowed_levels: set[int]
+    ) -> None:
         """Insert ``entry`` at ``level``; handles overflow recursively.
 
         ``split_allowed_levels`` tracks the levels where forced
@@ -348,17 +374,17 @@ class RStarTree:
         if len(node.entries) > self.capacity:
             self._overflow(node, split_allowed_levels)
 
-    def _choose_node(self, rect, level):
+    def _choose_node(self, rect: Rect, level: int) -> Node:
         node = self.root
         while node.level > level:
             rects = [entry.rect for entry in node.entries]
             index = rstar_choose_subtree(
                 rects, rect, children_are_leaves=(node.level == level + 1)
             )
-            node = node.entries[index].child
+            node = cast(Node, node.entries[index].child)
         return node
 
-    def _adjust_path(self, node):
+    def _adjust_path(self, node: Node) -> None:
         """Refresh bounding rectangles from ``node`` up to the root."""
         while node.parent is not None:
             parent = node.parent
@@ -366,14 +392,14 @@ class RStarTree:
             entry.rect = node.rect()
             node = parent
 
-    def _overflow(self, node, split_allowed_levels):
+    def _overflow(self, node: Node, split_allowed_levels: set[int]) -> None:
         if node is not self.root and node.level not in split_allowed_levels:
             split_allowed_levels.add(node.level)
             self._force_reinsert(node, split_allowed_levels)
         else:
             self._split(node, split_allowed_levels)
 
-    def _force_reinsert(self, node, split_allowed_levels):
+    def _force_reinsert(self, node: Node, split_allowed_levels: set[int]) -> None:
         rects = [entry.rect for entry in node.entries]
         victims = set(reinsert_indices(rects, self.reinsert_count))
         removed = [node.entries[i] for i in victims]
@@ -382,7 +408,7 @@ class RStarTree:
         for entry in removed:
             self._insert_entry(entry, node.level, split_allowed_levels)
 
-    def _split(self, node, split_allowed_levels):
+    def _split(self, node: Node, split_allowed_levels: set[int]) -> None:
         rects = [entry.rect for entry in node.entries]
         group_a, group_b = rstar_split_groups(rects, self.min_fill)
         entries = node.entries
@@ -402,7 +428,7 @@ class RStarTree:
             self.root = new_root
             return
 
-        parent = node.parent
+        parent = cast(Node, node.parent)
         parent.entry_for_child(node).rect = node.rect()
         sibling_entry = Entry(sibling.rect(), child=sibling)
         parent.entries.append(sibling_entry)
@@ -413,7 +439,7 @@ class RStarTree:
 
     # -- deletion -----------------------------------------------------------
 
-    def delete(self, rect, item):
+    def delete(self, rect: Rect, item: Any) -> bool:
         """Remove the entry with exactly ``rect`` and ``item``.
 
         Returns ``True`` when an entry was removed.  Underflowing nodes are
@@ -428,11 +454,13 @@ class RStarTree:
         self._condense(leaf)
         self._size -= 1
         if not self.root.is_leaf and len(self.root.entries) == 1:
-            self.root = self.root.entries[0].child
+            self.root = cast(Node, self.root.entries[0].child)
             self.root.parent = None
         return True
 
-    def _find_leaf(self, node, rect, item):
+    def _find_leaf(
+        self, node: Node, rect: Rect, item: Any
+    ) -> tuple[Node, int] | None:
         if node.is_leaf:
             for i, entry in enumerate(node.entries):
                 if entry.item == item and entry.rect == rect:
@@ -440,13 +468,13 @@ class RStarTree:
             return None
         for entry in node.entries:
             if entry.rect.contains_rect(rect) or entry.rect.intersects(rect):
-                found = self._find_leaf(entry.child, rect, item)
+                found = self._find_leaf(cast(Node, entry.child), rect, item)
                 if found is not None:
                     return found
         return None
 
-    def _condense(self, node):
-        orphans = []
+    def _condense(self, node: Node) -> None:
+        orphans: list[tuple[int, list[Entry]]] = []
         while node.parent is not None:
             parent = node.parent
             if len(node.entries) < self.min_fill:
@@ -461,13 +489,13 @@ class RStarTree:
 
     # -- queries ------------------------------------------------------------
 
-    def _record_access(self, node):
+    def _record_access(self, node: Node) -> None:
         if self.stats is not None:
             self.stats.record_node(node.is_leaf)
 
-    def search(self, rect):
+    def search(self, rect: Rect) -> list[Any]:
         """Return the items whose rectangles intersect ``rect``."""
-        results = []
+        results: list[Any] = []
         if not self.root.entries:
             return results
         stack = [self.root]
@@ -479,12 +507,12 @@ class RStarTree:
                     if node.is_leaf:
                         results.append(entry.item)
                     else:
-                        stack.append(entry.child)
+                        stack.append(cast(Node, entry.child))
         return results
 
-    def search_contained(self, rect):
+    def search_contained(self, rect: Rect) -> list[Any]:
         """Return the items whose rectangles lie entirely inside ``rect``."""
-        results = []
+        results: list[Any] = []
         if not self.root.entries:
             return results
         stack = [self.root]
@@ -496,10 +524,10 @@ class RStarTree:
                     if rect.contains_rect(entry.rect):
                         results.append(entry.item)
                 elif entry.rect.intersects(rect):
-                    stack.append(entry.child)
+                    stack.append(cast(Node, entry.child))
         return results
 
-    def nearest(self, point, k=1):
+    def nearest(self, point: Sequence[float], k: int = 1) -> list[tuple[float, Any]]:
         """Return the ``k`` items nearest to ``point`` (best-first search).
 
         Results are ``(distance, item)`` pairs in non-decreasing distance
@@ -507,11 +535,11 @@ class RStarTree:
         """
         if k < 1:
             raise ValueError("k must be >= 1, got %d" % k)
-        results = []
+        results: list[tuple[float, Any]] = []
         if not self.root.entries:
             return results
         counter = itertools.count()
-        heap = []
+        heap: list[tuple[float, int, Entry]] = []
         self._record_access(self.root)
         for entry in self.root.entries:
             heapq.heappush(
@@ -522,7 +550,7 @@ class RStarTree:
             if entry.is_leaf_entry:
                 results.append((distance, entry.item))
                 continue
-            child = entry.child
+            child = cast(Node, entry.child)
             self._record_access(child)
             for child_entry in child.entries:
                 heapq.heappush(
@@ -531,7 +559,7 @@ class RStarTree:
                 )
         return results
 
-    def items(self):
+    def items(self) -> Iterator[tuple[Rect, Any]]:
         """Yield every ``(rect, item)`` pair in the tree."""
         stack = [self.root]
         while stack:
@@ -540,43 +568,57 @@ class RStarTree:
                 if node.is_leaf:
                     yield entry.rect, entry.item
                 else:
-                    stack.append(entry.child)
+                    stack.append(cast(Node, entry.child))
 
     # -- validation ---------------------------------------------------------
 
-    def check_invariants(self):
+    def check_invariants(self) -> None:
         """Raise ``AssertionError`` when a structural invariant is violated.
 
         Checks: parent pointers; bounding rectangles exactly cover child
         entries; node fill bounds (root excepted); uniform leaf depth; and
-        that the recorded size matches the number of leaf entries.
+        that the recorded size matches the number of leaf entries.  The
+        checks are explicit ``raise`` statements, not ``assert``, so they
+        hold under ``python -O`` too.
         """
-        leaf_levels = set()
+        leaf_levels: set[int] = set()
         count = 0
-        stack = [(self.root, None)]
+        stack: list[tuple[Node, Node | None]] = [(self.root, None)]
         while stack:
             node, parent = stack.pop()
-            assert node.parent is parent, "broken parent pointer at node %d" % node.node_id
-            if node is not self.root:
-                assert len(node.entries) >= self.min_fill, (
+            if node.parent is not parent:
+                raise AssertionError(
+                    "broken parent pointer at node %d" % node.node_id
+                )
+            if node is not self.root and len(node.entries) < self.min_fill:
+                raise AssertionError(
                     "node %d underfull: %d < %d"
                     % (node.node_id, len(node.entries), self.min_fill)
                 )
-            assert len(node.entries) <= self.capacity, (
-                "node %d overfull: %d > %d"
-                % (node.node_id, len(node.entries), self.capacity)
-            )
+            if len(node.entries) > self.capacity:
+                raise AssertionError(
+                    "node %d overfull: %d > %d"
+                    % (node.node_id, len(node.entries), self.capacity)
+                )
             if node.is_leaf:
                 leaf_levels.add(node.level)
                 count += len(node.entries)
             else:
                 for entry in node.entries:
-                    assert entry.child is not None, "internal entry without child"
-                    assert entry.child.level == node.level - 1, "level mismatch"
-                    assert entry.rect == entry.child.rect(), (
-                        "stale bounding rect at node %d" % node.node_id
-                    )
+                    if entry.child is None:
+                        raise AssertionError("internal entry without child")
+                    if entry.child.level != node.level - 1:
+                        raise AssertionError(
+                            "level mismatch at node %d" % node.node_id
+                        )
+                    if entry.rect != entry.child.rect():
+                        raise AssertionError(
+                            "stale bounding rect at node %d" % node.node_id
+                        )
                     stack.append((entry.child, node))
-        if self._size:
-            assert leaf_levels == {0}, "leaves at mixed levels: %r" % leaf_levels
-        assert count == self._size, "size mismatch: %d != %d" % (count, self._size)
+        if self._size and leaf_levels != {0}:
+            raise AssertionError("leaves at mixed levels: %r" % leaf_levels)
+        if count != self._size:
+            raise AssertionError(
+                "size mismatch: %d != %d" % (count, self._size)
+            )

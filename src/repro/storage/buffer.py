@@ -12,7 +12,10 @@ by the LRU policy) separately from deliberate drops (``invalidate`` /
 and why one left.
 """
 
+from __future__ import annotations
+
 from collections import OrderedDict
+from typing import Hashable
 
 
 class LRUBufferPool:
@@ -36,16 +39,16 @@ class LRUBufferPool:
 
     __slots__ = ("capacity", "_slots", "hits", "misses", "evictions")
 
-    def __init__(self, capacity):
+    def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError("buffer capacity must be >= 0, got %d" % capacity)
         self.capacity = capacity
-        self._slots = OrderedDict()
+        self._slots: OrderedDict[Hashable, bool] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def access(self, page_id):
+    def access(self, page_id: Hashable) -> bool:
         """Touch ``page_id``; return ``True`` on a buffer hit."""
         if self.capacity == 0:
             self.misses += 1
@@ -62,7 +65,7 @@ class LRUBufferPool:
             self.evictions += 1
         return False
 
-    def invalidate(self, page_id):
+    def invalidate(self, page_id: Hashable) -> bool:
         """Drop ``page_id`` from the pool (e.g. after a page is freed).
 
         Returns ``True`` when the page was resident.  Deliberate drops
@@ -70,7 +73,7 @@ class LRUBufferPool:
         """
         return self._slots.pop(page_id, None) is not None
 
-    def clear(self):
+    def clear(self) -> int:
         """Empty the pool; returns the number of pages dropped.
 
         Neither the hit/miss counters nor the eviction counter move —
@@ -82,23 +85,23 @@ class LRUBufferPool:
         self._slots.clear()
         return dropped
 
-    def reset_counters(self):
+    def reset_counters(self) -> None:
         """Zero the hit/miss/eviction counters."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def resident_pages(self):
+    def resident_pages(self) -> tuple[Hashable, ...]:
         """Resident page ids, least- to most-recently used."""
         return tuple(self._slots)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._slots)
 
-    def __contains__(self, page_id):
+    def __contains__(self, page_id: Hashable) -> bool:
         return page_id in self._slots
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             "LRUBufferPool(capacity=%d, resident=%d, hits=%d, misses=%d, "
             "evictions=%d)"

@@ -14,6 +14,8 @@ This module encodes that layout so every index in the library derives its
 fan-out from a node size in bytes, which is the knob varied in Figure 12.
 """
 
+from __future__ import annotations
+
 NODE_HEADER_BYTES = 16
 """Bytes reserved at the start of every node/page for bookkeeping."""
 
@@ -29,7 +31,7 @@ TEMPORAL_RECORD_BYTES = 12
 _MIN_CAPACITY = 4
 
 
-def entry_bytes(dims):
+def entry_bytes(dims: int) -> int:
     """Return the on-disk size of one R-tree entry with ``dims`` dimensions.
 
     An entry stores a ``dims``-dimensional rectangle (two coordinates per
@@ -40,7 +42,7 @@ def entry_bytes(dims):
     return 2 * dims * COORD_BYTES + POINTER_BYTES
 
 
-def node_capacity(node_size_bytes, dims):
+def node_capacity(node_size_bytes: int, dims: int) -> int:
     """Return the entry capacity of a node of ``node_size_bytes`` bytes.
 
     >>> node_capacity(1024, 2)
@@ -57,7 +59,7 @@ def node_capacity(node_size_bytes, dims):
     return capacity
 
 
-def tia_leaf_capacity(page_size_bytes):
+def tia_leaf_capacity(page_size_bytes: int) -> int:
     """Return how many temporal records fit in one TIA leaf page."""
     capacity = (page_size_bytes - NODE_HEADER_BYTES) // TEMPORAL_RECORD_BYTES
     if capacity < _MIN_CAPACITY:
@@ -68,7 +70,7 @@ def tia_leaf_capacity(page_size_bytes):
     return capacity
 
 
-def tia_internal_capacity(page_size_bytes):
+def tia_internal_capacity(page_size_bytes: int) -> int:
     """Return how many router entries fit in one TIA internal page.
 
     A router entry is a 4-byte separator key plus a 4-byte child pointer.

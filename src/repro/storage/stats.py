@@ -7,6 +7,8 @@ number of accessed nodes").  Every index in this library takes an
 can snapshot/diff around a query to attribute costs precisely.
 """
 
+from __future__ import annotations
+
 
 class AccessStats:
     """Mutable counters for simulated I/O.
@@ -25,44 +27,44 @@ class AccessStats:
 
     __slots__ = ("rtree_internal", "rtree_leaf", "tia_pages", "tia_buffer_hits")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.rtree_internal = 0
         self.rtree_leaf = 0
         self.tia_pages = 0
         self.tia_buffer_hits = 0
 
     @property
-    def rtree_nodes(self):
+    def rtree_nodes(self) -> int:
         """Total R-tree node accesses (internal + leaf)."""
         return self.rtree_internal + self.rtree_leaf
 
     @property
-    def total_io(self):
+    def total_io(self) -> int:
         """All simulated disk reads: R-tree nodes plus unbuffered TIA pages."""
         return self.rtree_nodes + self.tia_pages
 
-    def record_node(self, is_leaf):
+    def record_node(self, is_leaf: bool) -> None:
         """Record one R-tree node access."""
         if is_leaf:
             self.rtree_leaf += 1
         else:
             self.rtree_internal += 1
 
-    def record_tia_page(self, buffered):
+    def record_tia_page(self, buffered: bool) -> None:
         """Record one TIA page access; ``buffered`` marks a buffer hit."""
         if buffered:
             self.tia_buffer_hits += 1
         else:
             self.tia_pages += 1
 
-    def reset(self):
+    def reset(self) -> None:
         """Zero every counter."""
         self.rtree_internal = 0
         self.rtree_leaf = 0
         self.tia_pages = 0
         self.tia_buffer_hits = 0
 
-    def snapshot(self):
+    def snapshot(self) -> tuple[int, int, int, int]:
         """Return an immutable copy of the current counter values."""
         return (
             self.rtree_internal,
@@ -71,7 +73,7 @@ class AccessStats:
             self.tia_buffer_hits,
         )
 
-    def diff(self, earlier_snapshot):
+    def diff(self, earlier_snapshot: tuple[int, int, int, int]) -> AccessStats:
         """Return a new :class:`AccessStats` holding counts since a snapshot."""
         delta = AccessStats()
         delta.rtree_internal = self.rtree_internal - earlier_snapshot[0]
@@ -80,7 +82,7 @@ class AccessStats:
         delta.tia_buffer_hits = self.tia_buffer_hits - earlier_snapshot[3]
         return delta
 
-    def merge(self, other):
+    def merge(self, other: AccessStats) -> AccessStats:
         """Add another :class:`AccessStats`'s counters into this one.
 
         Returns ``self`` so per-request deltas can be folded into a
@@ -93,7 +95,7 @@ class AccessStats:
         self.tia_buffer_hits += other.tia_buffer_hits
         return self
 
-    def as_dict(self):
+    def as_dict(self) -> dict[str, int]:
         """The counters (and derived totals) as a plain ``dict``.
 
         Keys: the four raw counters plus ``rtree_nodes`` and
@@ -109,7 +111,7 @@ class AccessStats:
             "total_io": self.total_io,
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             "AccessStats(rtree_internal=%d, rtree_leaf=%d, "
             "tia_pages=%d, tia_buffer_hits=%d)"

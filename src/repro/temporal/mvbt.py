@@ -33,7 +33,10 @@ All page touches go through the same LRU buffer / access accounting as
 :class:`~repro.temporal.tia.PagedTIA`.
 """
 
+from __future__ import annotations
+
 import itertools
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.pager import NODE_HEADER_BYTES
@@ -43,6 +46,9 @@ from repro.temporal.tia import (
     DEFAULT_TIA_PAGE_SIZE,
 )
 
+if TYPE_CHECKING:
+    from repro.storage.stats import AccessStats
+
 _MVBT_ENTRY_BYTES = 20  # key, vstart, vend, payload, flags: 4 bytes each
 _page_ids = itertools.count()
 
@@ -50,40 +56,44 @@ _page_ids = itertools.count()
 class _Entry:
     __slots__ = ("key", "vstart", "vend", "payload")
 
-    def __init__(self, key, vstart, vend, payload):
+    # ``payload`` is an aggregate value on leaf entries and a child
+    # ``_Page`` on internal entries, so it stays dynamically typed.
+    def __init__(
+        self, key: int, vstart: int, vend: int | None, payload: Any
+    ) -> None:
         self.key = key
         self.vstart = vstart
         self.vend = vend
         self.payload = payload
 
-    def alive_at(self, version):
+    def alive_at(self, version: int) -> bool:
         return self.vstart <= version and (self.vend is None or version < self.vend)
 
     @property
-    def live(self):
+    def live(self) -> bool:
         return self.vend is None
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "(%r, v[%s,%s), %r)" % (self.key, self.vstart, self.vend, self.payload)
 
 
 class _Page:
     __slots__ = ("page_id", "level", "entries", "dead")
 
-    def __init__(self, level):
+    def __init__(self, level: int) -> None:
         self.page_id = next(_page_ids)
         self.level = level  # 0 = leaf
-        self.entries = []
+        self.entries: list[_Entry] = []
         self.dead = False
 
     @property
-    def is_leaf(self):
+    def is_leaf(self) -> bool:
         return self.level == 0
 
-    def live_entries(self):
+    def live_entries(self) -> list[_Entry]:
         return [entry for entry in self.entries if entry.live]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "_Page(id=%d, level=%d, entries=%d)" % (
             self.page_id, self.level, len(self.entries)
         )
@@ -101,10 +111,10 @@ class MVBTTIA(BaseTIA):
 
     def __init__(
         self,
-        stats=None,
-        page_size=DEFAULT_TIA_PAGE_SIZE,
-        buffer_slots=DEFAULT_TIA_BUFFER_SLOTS,
-    ):
+        stats: AccessStats | None = None,
+        page_size: int = DEFAULT_TIA_PAGE_SIZE,
+        buffer_slots: int = DEFAULT_TIA_BUFFER_SLOTS,
+    ) -> None:
         self.stats = stats
         capacity = (page_size - NODE_HEADER_BYTES) // _MVBT_ENTRY_BYTES
         if capacity < 4:
@@ -116,19 +126,19 @@ class MVBTTIA(BaseTIA):
         self.buffer = LRUBufferPool(buffer_slots)
         self.version = 0
         root = _Page(level=0)
-        self._root_log = [(0, root)]  # (first version, root page)
+        self._root_log: list[tuple[int, _Page]] = [(0, root)]  # (first version, root page)
         self._live_count = 0
 
     # ------------------------------------------------------------------
     # Accounting helpers
     # ------------------------------------------------------------------
 
-    def _touch(self, page):
+    def _touch(self, page: _Page) -> None:
         hit = self.buffer.access(page.page_id)
         if self.stats is not None:
             self.stats.record_tia_page(buffered=hit)
 
-    def _root_at(self, version):
+    def _root_at(self, version: int) -> _Page:
         root = self._root_log[0][1]
         for first_version, candidate in self._root_log:
             if first_version <= version:
@@ -138,20 +148,22 @@ class MVBTTIA(BaseTIA):
         return root
 
     @property
-    def _root(self):
+    def _root(self) -> _Page:
         return self._root_log[-1][1]
 
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
 
-    def _descend(self, key, version):
+    def _descend(
+        self, key: int, version: int
+    ) -> tuple[_Page | None, list[tuple[_Page, _Entry]]]:
         """Return ``(leaf, path)``; path items are (page, entry taken)."""
         page = self._root_at(version)
-        path = []
+        path: list[tuple[_Page, _Entry]] = []
         while not page.is_leaf:
             self._touch(page)
-            chosen = None
+            chosen: _Entry | None = None
             for entry in page.entries:
                 if not entry.alive_at(version):
                     continue
@@ -170,23 +182,23 @@ class MVBTTIA(BaseTIA):
         self._touch(page)
         return page, path
 
-    def get(self, epoch_index):
+    def get(self, epoch_index: int) -> int:
         return self.get_at(epoch_index, self.version)
 
-    def get_at(self, epoch_index, version):
+    def get_at(self, epoch_index: int, version: int) -> int:
         """The aggregate stored for ``epoch_index`` as of ``version``."""
         leaf, _ = self._descend(epoch_index, version)
         if leaf is None:
             return 0
         for entry in leaf.entries:
             if entry.key == epoch_index and entry.alive_at(version):
-                return entry.payload
+                return int(entry.payload)
         return 0
 
-    def range_sum(self, first_epoch, last_epoch):
+    def range_sum(self, first_epoch: int, last_epoch: int) -> int:
         return self.range_sum_at(first_epoch, last_epoch, self.version)
 
-    def range_sum_at(self, first_epoch, last_epoch, version):
+    def range_sum_at(self, first_epoch: int, last_epoch: int, version: int) -> int:
         """Sum of aggregates over ``[first, last]`` as of ``version``."""
         if last_epoch < first_epoch:
             return 0
@@ -220,10 +232,10 @@ class MVBTTIA(BaseTIA):
                 stack.append(entry.payload)
         return total
 
-    def range_max(self, first_epoch, last_epoch):
+    def range_max(self, first_epoch: int, last_epoch: int) -> int:
         return self.range_max_at(first_epoch, last_epoch, self.version)
 
-    def range_max_at(self, first_epoch, last_epoch, version):
+    def range_max_at(self, first_epoch: int, last_epoch: int, version: int) -> int:
         """Largest aggregate over ``[first, last]`` as of ``version``."""
         if last_epoch < first_epoch:
             return 0
@@ -255,12 +267,12 @@ class MVBTTIA(BaseTIA):
                 stack.append(entry.payload)
         return best
 
-    def items(self):
+    def items(self) -> Iterator[tuple[int, int]]:
         return self.items_at(self.version)
 
-    def items_at(self, version):
+    def items_at(self, version: int) -> Iterator[tuple[int, int]]:
         """Iterate ``(epoch_index, agg)`` as of ``version`` (no I/O charge)."""
-        result = []
+        result: list[tuple[int, int]] = []
         stack = [self._root_at(version)]
         while stack:
             page = stack.pop()
@@ -273,12 +285,12 @@ class MVBTTIA(BaseTIA):
                     stack.append(entry.payload)
         return iter(sorted(result))
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self._live_count
 
-    def page_count(self):
+    def page_count(self) -> int:
         """Number of reachable pages across all versions."""
-        seen = set()
+        seen: set[int] = set()
         stack = [root for _, root in self._root_log]
         while stack:
             page = stack.pop()
@@ -295,7 +307,7 @@ class MVBTTIA(BaseTIA):
     # Updates
     # ------------------------------------------------------------------
 
-    def set(self, epoch_index, agg):
+    def set(self, epoch_index: int, agg: int) -> None:
         if agg < 0:
             raise ValueError("aggregate must be >= 0, got %r" % (agg,))
         self.version += 1
@@ -303,7 +315,7 @@ class MVBTTIA(BaseTIA):
         leaf, path = self._descend(epoch_index, version)
         if leaf is None:
             raise AssertionError("descend lost the live path")
-        existing = None
+        existing: _Entry | None = None
         for entry in leaf.entries:
             if entry.key == epoch_index and entry.live:
                 existing = entry
@@ -328,7 +340,7 @@ class MVBTTIA(BaseTIA):
         self._live_count += 1
         self._handle_overflow(leaf, path, version)
 
-    def replace_all(self, epoch_aggregates):
+    def replace_all(self, epoch_aggregates: Mapping[int, int]) -> None:
         # One logical version per bulk replacement: kill everything, then
         # insert the new content at the next version.
         for key, _ in list(self.items()):
@@ -342,7 +354,9 @@ class MVBTTIA(BaseTIA):
     # Version and key splits
     # ------------------------------------------------------------------
 
-    def _handle_overflow(self, page, path, version):
+    def _handle_overflow(
+        self, page: _Page, path: list[tuple[_Page, _Entry]], version: int
+    ) -> None:
         if len(page.entries) <= self.capacity:
             return
         live = sorted(page.live_entries(), key=lambda e: e.key)
@@ -351,7 +365,7 @@ class MVBTTIA(BaseTIA):
             entry.vend = version
         page.dead = True
 
-        fresh_pages = []
+        fresh_pages: list[_Page] = []
         if len(live) > self.strong_max:
             middle = len(live) // 2
             halves = (live[:middle], live[middle:])
@@ -376,7 +390,9 @@ class MVBTTIA(BaseTIA):
             parent.entries.append(_Entry(router, version, None, fresh))
         self._handle_overflow(parent, path[:-1], version)
 
-    def _install_new_root(self, old_root, fresh_pages, version):
+    def _install_new_root(
+        self, old_root: _Page, fresh_pages: list[_Page], version: int
+    ) -> None:
         if len(fresh_pages) == 1:
             self._root_log.append((version, fresh_pages[0]))
             return
@@ -386,7 +402,7 @@ class MVBTTIA(BaseTIA):
             new_root.entries.append(_Entry(router, version, None, fresh))
         self._root_log.append((version, new_root))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "MVBTTIA(%d live epochs, version=%d, pages=%d)" % (
             self._live_count,
             self.version,

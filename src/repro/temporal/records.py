@@ -1,6 +1,11 @@
 """The ``<ts, te, agg>`` temporal record (Section 4.1)."""
 
-from typing import NamedTuple
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, NamedTuple
+
+if TYPE_CHECKING:
+    from repro.temporal.epochs import EpochClock, VariedEpochClock
 
 
 class TemporalRecord(NamedTuple):
@@ -18,7 +23,10 @@ class TemporalRecord(NamedTuple):
     agg: int
 
 
-def records_from_epochs(epoch_aggregates, clock):
+def records_from_epochs(
+    epoch_aggregates: Mapping[int, int],
+    clock: EpochClock | VariedEpochClock,
+) -> list[TemporalRecord]:
     """Materialise ``TemporalRecord`` triples from ``{epoch_index: agg}``."""
     return [
         TemporalRecord(*clock.bounds(index), agg)

@@ -22,13 +22,22 @@ equivalent (same logarithmic search, same leaf-chain range scan) and is
 the default.
 """
 
+from __future__ import annotations
+
 import enum
 import itertools
 import zlib
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.pager import tia_internal_capacity, tia_leaf_capacity
 from repro.temporal.records import TemporalRecord
+
+if TYPE_CHECKING:
+    from repro.storage.stats import AccessStats
+    from repro.temporal.epochs import EpochClock, TimeInterval, VariedEpochClock
+
+    Clock = EpochClock | VariedEpochClock
 
 DEFAULT_TIA_BUFFER_SLOTS = 10
 DEFAULT_TIA_PAGE_SIZE = 256
@@ -73,7 +82,13 @@ class AggregateKind(enum.Enum):
     SUM = "sum"
     MAX = "max"
 
-    def combine(self, tia, clock, interval, semantics):
+    def combine(
+        self,
+        tia: BaseTIA,
+        clock: Clock,
+        interval: TimeInterval,
+        semantics: IntervalSemantics,
+    ) -> int:
         """Evaluate this aggregate on ``tia`` over ``interval``."""
         epoch_range = clock.epoch_range(interval, semantics)
         if not epoch_range:
@@ -91,15 +106,15 @@ class BaseTIA:
     TIA only keeps non-zero aggregates, exactly as in the paper.
     """
 
-    def get(self, epoch_index):
+    def get(self, epoch_index: int) -> int:
         """Aggregate stored for ``epoch_index`` (0 when absent)."""
         raise NotImplementedError
 
-    def set(self, epoch_index, agg):
+    def set(self, epoch_index: int, agg: int) -> None:
         """Store ``agg`` for ``epoch_index`` (overwrite; drop when 0)."""
         raise NotImplementedError
 
-    def raise_to(self, epoch_index, agg):
+    def raise_to(self, epoch_index: int, agg: int) -> bool:
         """Raise the stored value to at least ``agg``.
 
         Returns ``True`` when the stored value changed.  This is the
@@ -114,17 +129,17 @@ class BaseTIA:
             return True
         return False
 
-    def add(self, epoch_index, delta):
+    def add(self, epoch_index: int, delta: int) -> None:
         """Add ``delta`` check-ins to ``epoch_index`` (leaf-entry update)."""
         if delta == 0:
             return
         self.set(epoch_index, self.get(epoch_index) + delta)
 
-    def range_sum(self, first_epoch, last_epoch):
+    def range_sum(self, first_epoch: int, last_epoch: int) -> int:
         """Sum of aggregates over epoch indices in ``[first, last]``."""
         raise NotImplementedError
 
-    def range_max(self, first_epoch, last_epoch):
+    def range_max(self, first_epoch: int, last_epoch: int) -> int:
         """Largest aggregate over epoch indices in ``[first, last]``.
 
         Default implementation scans :meth:`items`; paged backends
@@ -136,18 +151,23 @@ class BaseTIA:
                 best = value
         return best
 
-    def items(self):
+    def items(self) -> Iterator[tuple[int, int]]:
         """Iterate ``(epoch_index, agg)`` in epoch order."""
         raise NotImplementedError
 
-    def replace_all(self, epoch_aggregates):
+    def replace_all(self, epoch_aggregates: Mapping[int, int]) -> None:
         """Replace the whole content with ``{epoch_index: agg}``."""
         raise NotImplementedError
 
     # -- derived operations --------------------------------------------------
 
-    def aggregate(self, clock, interval, semantics=IntervalSemantics.INTERSECTS,
-                  kind=None):
+    def aggregate(
+        self,
+        clock: Clock,
+        interval: TimeInterval,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+        kind: AggregateKind | None = None,
+    ) -> int:
         """The temporal aggregate ``g`` over ``interval`` (un-normalised).
 
         Combines the stored records whose epoch matches ``interval``
@@ -158,17 +178,17 @@ class BaseTIA:
             kind = AggregateKind.COUNT
         return kind.combine(self, clock, interval, semantics)
 
-    def records(self, clock):
+    def records(self, clock: Clock) -> list[TemporalRecord]:
         """Materialise the stored ``<ts, te, agg>`` triples."""
         return [
             TemporalRecord(*clock.bounds(index), agg) for index, agg in self.items()
         ]
 
-    def total(self):
+    def total(self) -> int:
         """Sum over every stored epoch."""
         return sum(agg for _, agg in self.items())
 
-    def mean_rate(self, num_epochs):
+    def mean_rate(self, num_epochs: int) -> float:
         """The paper's third-dimension statistic ``lambda-hat``.
 
         The average aggregate per epoch over ``num_epochs`` elapsed epochs
@@ -179,7 +199,7 @@ class BaseTIA:
             return 0.0
         return self.total() / float(num_epochs)
 
-    def as_dict(self):
+    def as_dict(self) -> dict[int, int]:
         """Materialise the content as ``{epoch_index: agg}``.
 
         A structural read (like :meth:`items`): not charged as simulated
@@ -187,7 +207,7 @@ class BaseTIA:
         """
         return dict(self.items())
 
-    def fingerprint(self):
+    def fingerprint(self) -> int:
         """CRC-32 over the canonical content; a cheap equality probe.
 
         Two TIAs storing the same per-epoch aggregates fingerprint
@@ -200,7 +220,7 @@ class BaseTIA:
             crc = zlib.crc32(("%r:%r;" % (epoch, agg)).encode("ascii"), crc)
         return crc & 0xFFFFFFFF
 
-    def __len__(self):
+    def __len__(self) -> int:
         return sum(1 for _ in self.items())
 
 
@@ -209,13 +229,13 @@ class MemoryTIA(BaseTIA):
 
     __slots__ = ("_epochs",)
 
-    def __init__(self):
-        self._epochs = {}
+    def __init__(self) -> None:
+        self._epochs: dict[int, int] = {}
 
-    def get(self, epoch_index):
+    def get(self, epoch_index: int) -> int:
         return self._epochs.get(epoch_index, 0)
 
-    def set(self, epoch_index, agg):
+    def set(self, epoch_index: int, agg: int) -> None:
         if agg < 0:
             raise ValueError("aggregate must be >= 0, got %r" % (agg,))
         if agg == 0:
@@ -223,7 +243,7 @@ class MemoryTIA(BaseTIA):
         else:
             self._epochs[epoch_index] = agg
 
-    def range_sum(self, first_epoch, last_epoch):
+    def range_sum(self, first_epoch: int, last_epoch: int) -> int:
         epochs = self._epochs
         if not epochs:
             return 0
@@ -238,7 +258,7 @@ class MemoryTIA(BaseTIA):
             agg for index, agg in epochs.items() if first_epoch <= index <= last_epoch
         )
 
-    def range_max(self, first_epoch, last_epoch):
+    def range_max(self, first_epoch: int, last_epoch: int) -> int:
         return max(
             (
                 agg
@@ -248,18 +268,18 @@ class MemoryTIA(BaseTIA):
             default=0,
         )
 
-    def items(self):
+    def items(self) -> Iterator[tuple[int, int]]:
         return iter(sorted(self._epochs.items()))
 
-    def replace_all(self, epoch_aggregates):
+    def replace_all(self, epoch_aggregates: Mapping[int, int]) -> None:
         self._epochs = {
             index: agg for index, agg in epoch_aggregates.items() if agg > 0
         }
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._epochs)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "MemoryTIA(%d epochs, total=%d)" % (len(self._epochs), self.total())
 
 
@@ -273,21 +293,24 @@ _page_ids = itertools.count()
 class _LeafPage:
     __slots__ = ("page_id", "keys", "values", "next")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.page_id = next(_page_ids)
-        self.keys = []
-        self.values = []
-        self.next = None
+        self.keys: list[int] = []
+        self.values: list[int] = []
+        self.next: _LeafPage | None = None
 
 
 class _InternalPage:
     __slots__ = ("page_id", "keys", "children")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.page_id = next(_page_ids)
         # keys[i] is the smallest key reachable under children[i + 1].
-        self.keys = []
-        self.children = []
+        self.keys: list[int] = []
+        self.children: list[_Page] = []
+
+
+_Page = _LeafPage | _InternalPage
 
 
 class PagedTIA(BaseTIA):
@@ -314,30 +337,30 @@ class PagedTIA(BaseTIA):
 
     def __init__(
         self,
-        stats=None,
-        page_size=DEFAULT_TIA_PAGE_SIZE,
-        buffer_slots=DEFAULT_TIA_BUFFER_SLOTS,
-    ):
+        stats: AccessStats | None = None,
+        page_size: int = DEFAULT_TIA_PAGE_SIZE,
+        buffer_slots: int = DEFAULT_TIA_BUFFER_SLOTS,
+    ) -> None:
         self.stats = stats
         self.leaf_capacity = tia_leaf_capacity(page_size)
         self.internal_capacity = tia_internal_capacity(page_size)
         self.buffer = LRUBufferPool(buffer_slots)
-        self._root = _LeafPage()
+        self._root: _Page = _LeafPage()
         self._count = 0
 
     # -- page access accounting ----------------------------------------------
 
-    def _touch(self, page):
+    def _touch(self, page: _Page) -> None:
         hit = self.buffer.access(page.page_id)
         if self.stats is not None:
             self.stats.record_tia_page(buffered=hit)
 
     # -- navigation ------------------------------------------------------------
 
-    def _descend(self, key):
+    def _descend(self, key: int) -> tuple[_LeafPage, list[tuple[_InternalPage, int]]]:
         """Return ``(leaf, path)`` for ``key``; path holds (internal, index)."""
         page = self._root
-        path = []
+        path: list[tuple[_InternalPage, int]] = []
         while isinstance(page, _InternalPage):
             self._touch(page)
             index = self._child_index(page, key)
@@ -347,7 +370,7 @@ class PagedTIA(BaseTIA):
         return page, path
 
     @staticmethod
-    def _child_index(page, key):
+    def _child_index(page: _InternalPage, key: int) -> int:
         index = 0
         keys = page.keys
         while index < len(keys) and key >= keys[index]:
@@ -356,7 +379,7 @@ class PagedTIA(BaseTIA):
 
     # -- BaseTIA operations ------------------------------------------------------
 
-    def get(self, epoch_index):
+    def get(self, epoch_index: int) -> int:
         leaf, _ = self._descend(epoch_index)
         keys = leaf.keys
         for i, stored in enumerate(keys):
@@ -366,7 +389,7 @@ class PagedTIA(BaseTIA):
                 break
         return 0
 
-    def set(self, epoch_index, agg):
+    def set(self, epoch_index: int, agg: int) -> None:
         if agg < 0:
             raise ValueError("aggregate must be >= 0, got %r" % (agg,))
         leaf, path = self._descend(epoch_index)
@@ -392,7 +415,9 @@ class PagedTIA(BaseTIA):
         if len(leaf.keys) > self.leaf_capacity:
             self._split_leaf(leaf, path)
 
-    def _split_leaf(self, leaf, path):
+    def _split_leaf(
+        self, leaf: _LeafPage, path: list[tuple[_InternalPage, int]]
+    ) -> None:
         mid = len(leaf.keys) // 2
         sibling = _LeafPage()
         sibling.keys = leaf.keys[mid:]
@@ -403,7 +428,13 @@ class PagedTIA(BaseTIA):
         leaf.next = sibling
         self._insert_into_parent(leaf, sibling.keys[0], sibling, path)
 
-    def _insert_into_parent(self, left, separator, right, path):
+    def _insert_into_parent(
+        self,
+        left: _Page,
+        separator: int,
+        right: _Page,
+        path: list[tuple[_InternalPage, int]],
+    ) -> None:
         if not path:
             root = _InternalPage()
             root.keys = [separator]
@@ -416,7 +447,9 @@ class PagedTIA(BaseTIA):
         if len(parent.children) > self.internal_capacity:
             self._split_internal(parent, path[:-1])
 
-    def _split_internal(self, page, path):
+    def _split_internal(
+        self, page: _InternalPage, path: list[tuple[_InternalPage, int]]
+    ) -> None:
         mid = len(page.keys) // 2
         separator = page.keys[mid]
         sibling = _InternalPage()
@@ -426,9 +459,10 @@ class PagedTIA(BaseTIA):
         page.children = page.children[: mid + 1]
         self._insert_into_parent(page, separator, sibling, path)
 
-    def range_sum(self, first_epoch, last_epoch):
+    def range_sum(self, first_epoch: int, last_epoch: int) -> int:
         if last_epoch < first_epoch or self._count == 0:
             return 0
+        leaf: _LeafPage | None
         leaf, _ = self._descend(first_epoch)
         total = 0
         while leaf is not None:
@@ -449,9 +483,10 @@ class PagedTIA(BaseTIA):
                     break
         return total
 
-    def range_max(self, first_epoch, last_epoch):
+    def range_max(self, first_epoch: int, last_epoch: int) -> int:
         if last_epoch < first_epoch or self._count == 0:
             return 0
+        leaf: _LeafPage | None
         leaf, _ = self._descend(first_epoch)
         best = 0
         while leaf is not None:
@@ -473,9 +508,9 @@ class PagedTIA(BaseTIA):
                     break
         return best
 
-    def items(self):
+    def items(self) -> Iterator[tuple[int, int]]:
         # Structural iteration for maintenance/debugging; not charged as I/O.
-        page = self._root
+        page: _Page | None = self._root
         while isinstance(page, _InternalPage):
             page = page.children[0]
         while page is not None:
@@ -483,16 +518,17 @@ class PagedTIA(BaseTIA):
                 yield key, value
             page = page.next
 
-    def replace_all(self, epoch_aggregates):
+    def replace_all(self, epoch_aggregates: Mapping[int, int]) -> None:
         items = sorted(
             (index, agg) for index, agg in epoch_aggregates.items() if agg > 0
         )
-        self._root = _LeafPage()
+        root = _LeafPage()
+        self._root = root
         self._count = 0
         self.buffer.clear()
         # Bulk-load left to right; pages fill to capacity.
-        leaves = []
-        current = self._root
+        leaves: list[_Page] = []
+        current = root
         for key, value in items:
             if len(current.keys) >= self.leaf_capacity:
                 fresh = _LeafPage()
@@ -505,10 +541,10 @@ class PagedTIA(BaseTIA):
         leaves.append(current)
         self._root = self._build_internal_levels(leaves)
 
-    def _build_internal_levels(self, pages):
+    def _build_internal_levels(self, pages: Sequence[_Page]) -> _Page:
         if len(pages) == 1:
             return pages[0]
-        parents = []
+        parents: list[_Page] = []
         current = _InternalPage()
         current.children.append(pages[0])
         for page in pages[1:]:
@@ -523,18 +559,18 @@ class PagedTIA(BaseTIA):
         return self._build_internal_levels(parents)
 
     @staticmethod
-    def _smallest_key(page):
+    def _smallest_key(page: _Page) -> int:
         while isinstance(page, _InternalPage):
             page = page.children[0]
         return page.keys[0]
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self._count
 
-    def page_count(self):
+    def page_count(self) -> int:
         """Number of pages in the tree (walks the structure)."""
         count = 0
-        stack = [self._root]
+        stack: list[_Page] = [self._root]
         while stack:
             page = stack.pop()
             count += 1
@@ -542,11 +578,16 @@ class PagedTIA(BaseTIA):
                 stack.extend(page.children)
         return count
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "PagedTIA(%d epochs, %d pages)" % (self._count, self.page_count())
 
 
-def make_tia_factory(backend, stats=None, page_size=DEFAULT_TIA_PAGE_SIZE, buffer_slots=DEFAULT_TIA_BUFFER_SLOTS):
+def make_tia_factory(
+    backend: str,
+    stats: AccessStats | None = None,
+    page_size: int = DEFAULT_TIA_PAGE_SIZE,
+    buffer_slots: int = DEFAULT_TIA_BUFFER_SLOTS,
+) -> Callable[[], BaseTIA]:
     """Return a zero-argument callable producing fresh TIAs.
 
     ``backend`` is ``"memory"``, ``"paged"`` or ``"mvbt"``.  The TAR-tree

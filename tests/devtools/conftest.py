@@ -1,0 +1,33 @@
+"""Shared helpers for the lint-engine tests.
+
+Rule tests write fixture modules into a temporary tree shaped like the
+real package (``<tmp>/repro/service/mod.py``), because module-scoped
+rules key on the dotted module name the engine derives from the path.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.devtools import lint_file
+
+
+@pytest.fixture
+def lint_source(tmp_path):
+    """Write ``source`` at ``relpath`` under a fake package root and lint it.
+
+    Returns the findings list.  ``relpath`` is relative to the fixture
+    root, e.g. ``"repro/service/mod.py"``.
+    """
+
+    def _lint(relpath, source):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_file(str(path))
+
+    return _lint
+
+
+def rule_ids_of(findings):
+    return [finding.rule_id for finding in findings]

@@ -1,0 +1,447 @@
+"""Per-rule fixtures: each rule fires, stays silent, and suppresses."""
+
+from tests.devtools.conftest import rule_ids_of
+
+
+class TestLockDiscipline:
+    def test_unlocked_mutator_fires(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def apply(tree, poi):
+                tree.insert_poi(poi)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT001", "RT002"]
+
+    def test_mutator_under_write_lock_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def apply(self, poi):
+                with self.lock.write_locked():
+                    if self.ingest is None:
+                        self.tree.insert_poi(poi)
+            """,
+        )
+        assert findings == []
+
+    def test_mutator_under_read_lock_still_fires(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def repair(self, entry, expected):
+                with self.lock.read_locked():
+                    entry.tia.replace_all(expected)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT001"]
+
+    def test_unlocked_read_fires(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            from repro.core.knnta import knnta_search
+
+            def run(self, query):
+                return knnta_search(self.tree, query)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT001"]
+
+    def test_read_under_read_lock_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            from repro.core.knnta import knnta_search
+
+            def run(self, query):
+                with self.lock.read_locked():
+                    return knnta_search(self.tree, query)
+            """,
+        )
+        assert findings == []
+
+    def test_collective_run_requires_the_read_lock(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            from repro.core.collective import CollectiveProcessor
+
+            def run(self, queries):
+                return CollectiveProcessor(self.tree).run(queries)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT001"]
+
+    def test_helper_dominated_at_every_call_site_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            class Scrub:
+                def _repair(self, entry, expected):
+                    entry.tia.replace_all(expected)
+
+                def tick(self, entry, expected):
+                    with self.lock.write_locked():
+                        self._repair(entry, expected)
+            """,
+        )
+        assert findings == []
+
+    def test_helper_with_an_unlocked_call_site_fires(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            class Scrub:
+                def _repair(self, entry, expected):
+                    entry.tia.replace_all(expected)
+
+                def tick(self, entry, expected):
+                    with self.lock.write_locked():
+                        self._repair(entry, expected)
+
+                def emergency(self, entry, expected):
+                    self._repair(entry, expected)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT001"]
+
+    def test_outside_the_service_package_is_out_of_scope(self, lint_source):
+        findings = lint_source(
+            "repro/reliability/mod.py",
+            """
+            def apply(tree, poi):
+                tree.insert_poi(poi)
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def repair(self, entry, expected):
+                entry.tia.replace_all(expected)  # repro: allow[RT001]
+            """,
+        )
+        assert findings == []
+
+
+class TestWalBeforeApply:
+    def test_unguarded_tree_mutation_fires(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def digest(self, epoch, counts):
+                with self.lock.write_locked():
+                    self.tree.digest_epoch(epoch, counts)
+            """,
+        )
+        assert "RT002" in rule_ids_of(findings)
+
+    def test_standalone_guard_branch_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def digest(self, epoch, counts):
+                with self.lock.write_locked():
+                    if self.ingest is None:
+                        self.tree.digest_epoch(epoch, counts)
+                        return None
+                    return self.ingest.digest(epoch, counts)
+            """,
+        )
+        assert findings == []
+
+    def test_the_else_branch_is_not_the_guard(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def digest(self, epoch, counts):
+                with self.lock.write_locked():
+                    if self.ingest is None:
+                        return None
+                    else:
+                        self.tree.digest_epoch(epoch, counts)
+            """,
+        )
+        assert "RT002" in rule_ids_of(findings)
+
+    def test_routing_through_the_ingest_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def digest(self, epoch, counts):
+                with self.lock.write_locked():
+                    return self.ingest.digest(epoch, counts)
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def rebuild(self, epoch, counts):
+                with self.lock.write_locked():
+                    self.tree.digest_epoch(epoch, counts)  # repro: allow[RT002]
+            """,
+        )
+        assert findings == []
+
+
+class TestNoBareAssert:
+    def test_assert_fires_anywhere_in_src(self, lint_source):
+        findings = lint_source(
+            "repro/spatial/mod.py",
+            """
+            def check(count, size):
+                assert count == size, "size mismatch"
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT003"]
+
+    def test_explicit_raise_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/spatial/mod.py",
+            """
+            def check(count, size):
+                if count != size:
+                    raise AssertionError("size mismatch")
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/spatial/mod.py",
+            """
+            def check(count, size):
+                assert count == size  # repro: allow[RT003]
+            """,
+        )
+        assert findings == []
+
+
+class TestFloatEquality:
+    def test_float_literal_comparison_fires(self, lint_source):
+        findings = lint_source(
+            "repro/spatial/geometry.py",
+            """
+            def degenerate(extent):
+                return extent == 0.0
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT004"]
+
+    def test_division_comparison_fires_in_costmodel(self, lint_source):
+        findings = lint_source(
+            "repro/core/costmodel.py",
+            """
+            def ratio_is_half(a, b):
+                return a / b != 0.5
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT004"]
+
+    def test_isclose_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/spatial/geometry.py",
+            """
+            import math
+
+            def degenerate(extent):
+                return math.isclose(extent, 0.0, abs_tol=1e-12)
+            """,
+        )
+        assert findings == []
+
+    def test_integer_comparison_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/core/costmodel.py",
+            """
+            def last(end, total):
+                return end == total - 1
+            """,
+        )
+        assert findings == []
+
+    def test_eq_dunder_is_exempt(self, lint_source):
+        findings = lint_source(
+            "repro/spatial/geometry.py",
+            """
+            class Rect:
+                def __eq__(self, other):
+                    return self.lows == other.lows and 0.0 == other.pad
+            """,
+        )
+        assert findings == []
+
+    def test_other_modules_are_out_of_scope(self, lint_source):
+        findings = lint_source(
+            "repro/core/mwa.py",
+            """
+            def boundary(gamma):
+                return gamma == 0.0
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/spatial/geometry.py",
+            """
+            def degenerate(extent):
+                return extent == 0.0  # repro: allow[RT004]
+            """,
+        )
+        assert findings == []
+
+
+class TestExceptionHygiene:
+    def test_swallowing_broad_except_fires(self, lint_source):
+        findings = lint_source(
+            "repro/reliability/mod.py",
+            """
+            def load(path):
+                try:
+                    return open(path)
+                except Exception:
+                    return None
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT005"]
+
+    def test_bare_except_fires(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def tick(self):
+                try:
+                    self.step()
+                except:
+                    pass
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT005"]
+
+    def test_reraise_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/reliability/mod.py",
+            """
+            def load(self, path):
+                try:
+                    return open(path)
+                except Exception:
+                    self.log.close()
+                    raise
+            """,
+        )
+        assert findings == []
+
+    def test_using_the_exception_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def handle(self, batch):
+                try:
+                    self.run(batch)
+                except Exception as exc:
+                    for request in batch:
+                        request.fail(exc)
+            """,
+        )
+        assert findings == []
+
+    def test_logging_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/reliability/mod.py",
+            """
+            import logging
+
+            def tick(self):
+                try:
+                    self.step()
+                except Exception:
+                    logging.exception("tick failed")
+            """,
+        )
+        assert findings == []
+
+    def test_narrow_except_is_out_of_scope(self, lint_source):
+        findings = lint_source(
+            "repro/reliability/mod.py",
+            """
+            def load(path):
+                try:
+                    return open(path)
+                except OSError:
+                    return None
+            """,
+        )
+        assert findings == []
+
+    def test_other_packages_are_out_of_scope(self, lint_source):
+        findings = lint_source(
+            "repro/analysis/mod.py",
+            """
+            def fit(xs):
+                try:
+                    return sum(xs)
+                except Exception:
+                    return None
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            def tick(self):
+                try:
+                    self.step()
+                except Exception:  # repro: allow[RT005]
+                    pass
+            """,
+        )
+        assert findings == []
+
+
+class TestWarnStacklevel:
+    def test_warn_without_stacklevel_fires(self, lint_source):
+        findings = lint_source(
+            "repro/core/mod.py",
+            """
+            import warnings
+
+            def shim():
+                warnings.warn("use the new API", DeprecationWarning)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT006"]
+
+    def test_warn_with_stacklevel_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/core/mod.py",
+            """
+            import warnings
+
+            def shim():
+                warnings.warn("use the new API", DeprecationWarning, stacklevel=3)
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/core/mod.py",
+            """
+            import warnings
+
+            def shim():
+                warnings.warn("boo", DeprecationWarning)  # repro: allow[RT006]
+            """,
+        )
+        assert findings == []

@@ -2,6 +2,7 @@
 
 import inspect
 import math
+import os
 
 import pytest
 
@@ -99,6 +100,97 @@ def test_subpackages_importable():
 
     assert callable(repro.cli.main)
     assert callable(repro.datasets.make)
+
+
+class TestDevtoolsSurface:
+    """The static-analysis toolchain is public API (docs/DEVTOOLS.md)."""
+
+    EXPECTED = [
+        "Finding",
+        "FileContext",
+        "Rule",
+        "rule",
+        "rule_ids",
+        "registered_rules",
+        "lint_file",
+        "lint_paths",
+        "render_text",
+        "render_json",
+        "META_UNUSED",
+        "META_PARSE_ERROR",
+    ]
+
+    def test_exports(self):
+        import repro.devtools
+
+        assert sorted(repro.devtools.__all__) == sorted(self.EXPECTED)
+        for name in self.EXPECTED:
+            assert hasattr(repro.devtools, name), name
+
+    def test_rule_registry_covers_documented_ids(self):
+        import repro.devtools
+
+        assert repro.devtools.rule_ids() == [
+            "RT001",
+            "RT002",
+            "RT003",
+            "RT004",
+            "RT005",
+            "RT006",
+            repro.devtools.META_UNUSED,
+            repro.devtools.META_PARSE_ERROR,
+        ]
+
+    def test_stdlib_only(self):
+        # The lint engine must keep running on the dependency-free CI
+        # legs: its own modules may import only the stdlib and each
+        # other (checked statically — importing the package at runtime
+        # always executes repro/__init__, which pulls in numpy).
+        import ast
+
+        import repro.devtools
+
+        package_dir = os.path.dirname(
+            os.path.abspath(repro.devtools.__file__)
+        )
+        for filename in sorted(os.listdir(package_dir)):
+            if not filename.endswith(".py"):
+                continue
+            with open(os.path.join(package_dir, filename)) as handle:
+                tree = ast.parse(handle.read())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    roots = [alias.name.split(".")[0] for alias in node.names]
+                elif isinstance(node, ast.ImportFrom):
+                    roots = [(node.module or "").split(".")[0]]
+                else:
+                    continue
+                for root in roots:
+                    assert root not in {"numpy", "scipy"}, (
+                        "%s imports %s" % (filename, root)
+                    )
+                    if root == "repro":
+                        module = getattr(node, "module", None) or ""
+                        assert module.startswith("repro.devtools"), (
+                            "%s imports outside repro.devtools: %s"
+                            % (filename, module)
+                        )
+
+
+class TestTypedDistribution:
+    def test_py_typed_marker_ships_with_the_package(self):
+        # PEP 561: the marker must live inside the package directory...
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        marker = os.path.join(package_dir, "py.typed")
+        assert os.path.exists(marker)
+
+    def test_py_typed_marker_is_declared_as_package_data(self):
+        # ...and be declared in pyproject so wheels include it.
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(root, "pyproject.toml")) as handle:
+            pyproject = handle.read()
+        assert "[tool.setuptools.package-data]" in pyproject
+        assert 'repro = ["py.typed"]' in pyproject
 
 
 def test_every_public_callable_has_a_docstring():
