@@ -1,0 +1,160 @@
+"""Cluster scatter-gather — shard pruning vs shard count.
+
+The coordinator's pitch is that the per-shard best-possible bound lets
+selective queries (small ``k``, distance-heavy ``alpha0``) skip whole
+shards without reading a single node from them, while answers stay
+exactly equal to the single tree's.  This benchmark sweeps 1/2/4/8
+shards over two workloads, asserts exactness everywhere plus an average
+of at least one shard pruned per selective query from four shards up,
+and emits the series as ``BENCH_cluster.json`` for CI trend tracking.
+
+The dataset is NYC at a reduced scale: like the figure sweeps, every
+configuration rebuilds its trees, so the harness's "build-time sweet
+spot" sizing applies (a few thousand POIs).
+"""
+
+import functools
+import json
+import os
+import time
+
+from _harness import print_series
+from repro import ClusterTree, TARTree, datasets
+from repro.datasets.workload import generate_queries
+
+DATASET = "NYC"
+SCALE = 0.05
+SEED = 42
+SHARD_COUNTS = (1, 2, 4, 8)
+N_QUERIES = 100
+
+#: Workload presets: the selective one is the acceptance case (small k,
+#: distance-dominant alpha0 -> only the nearest shards can reach the
+#: top-k); the broad one shows pruning degrades gracefully when the
+#: aggregate term keeps distant shards in play.
+WORKLOADS = {
+    "selective": {"k": 2, "alpha0": 0.95},
+    "broad": {"k": 10, "alpha0": 0.3},
+}
+
+
+@functools.lru_cache(maxsize=None)
+def get_data():
+    return datasets.make(DATASET, scale=SCALE, seed=SEED)
+
+
+@functools.lru_cache(maxsize=None)
+def get_single_tree():
+    return TARTree.build(get_data())
+
+
+@functools.lru_cache(maxsize=None)
+def get_cluster(num_shards):
+    return ClusterTree.build(get_data(), num_shards=num_shards)
+
+
+@functools.lru_cache(maxsize=None)
+def get_queries(workload):
+    params = WORKLOADS[workload]
+    return generate_queries(
+        get_data(), n_queries=N_QUERIES, seed=17, **params
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def expected_answers(workload):
+    tree = get_single_tree()
+    return [tree.query(query) for query in get_queries(workload)]
+
+
+def run_workload(cluster, workload):
+    """Time the workload; return (answers, per-query metric averages)."""
+    queries = get_queries(workload)
+    counters_before = cluster.counters()
+    snap = cluster.stats.snapshot()
+    start = time.perf_counter()
+    answers = [cluster.query(query) for query in queries]
+    elapsed = time.perf_counter() - start
+    delta = cluster.stats.diff(snap)
+    counters = cluster.counters()
+    n = float(len(queries))
+    return answers, {
+        "cpu_ms_per_query": 1000.0 * elapsed / n,
+        "node_accesses_per_query": delta.rtree_nodes / n,
+        "tia_pages_per_query": delta.tia_pages / n,
+        "shards_visited_avg": (
+            (counters["shards_visited"] - counters_before["shards_visited"]) / n
+        ),
+        "shards_pruned_avg": (
+            (counters["shards_pruned"] - counters_before["shards_pruned"]) / n
+        ),
+    }
+
+
+def test_cluster_scaling_prunes_shards(benchmark):
+    rows = {name: [] for name in WORKLOADS}
+    pruned_series = {name: [] for name in WORKLOADS}
+    nodes_series = {name: [] for name in WORKLOADS}
+
+    for num_shards in SHARD_COUNTS:
+        cluster = get_cluster(num_shards)
+        for workload in WORKLOADS:
+            answers, metrics = run_workload(cluster, workload)
+            # Exactness first: sharding must never change an answer.
+            assert answers == expected_answers(workload), (
+                "%s workload diverged at %d shards" % (workload, num_shards)
+            )
+            if workload == "selective" and num_shards >= 4:
+                # The acceptance bar: the bound skips at least one whole
+                # shard per selective query on average.
+                assert metrics["shards_pruned_avg"] >= 1.0, (
+                    "no pruning win at %d shards: %.2f pruned/query"
+                    % (num_shards, metrics["shards_pruned_avg"])
+                )
+            rows[workload].append(dict(metrics, shards=num_shards))
+            pruned_series[workload].append(metrics["shards_pruned_avg"])
+            nodes_series[workload].append(metrics["node_accesses_per_query"])
+
+    print_series(
+        "Cluster scatter-gather (%s x%g): shards pruned per query"
+        % (DATASET, SCALE),
+        "#shards",
+        SHARD_COUNTS,
+        pruned_series,
+        fmt="%10.2f",
+    )
+    print_series(
+        "Cluster scatter-gather (%s x%g): node accesses per query"
+        % (DATASET, SCALE),
+        "#shards",
+        SHARD_COUNTS,
+        nodes_series,
+        fmt="%10.1f",
+    )
+
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_cluster.json")
+    with open(os.path.abspath(out_path), "w") as handle:
+        json.dump(
+            {
+                "dataset": DATASET,
+                "scale": SCALE,
+                "n_queries": N_QUERIES,
+                "workload_params": WORKLOADS,
+                "workloads": rows,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+    benchmark(
+        lambda: [get_cluster(4).query(q) for q in get_queries("selective")]
+    )
+
+
+def test_parallel_dispatch_stays_exact_at_scale():
+    # The thread-pool path over the widest configuration: same answers.
+    cluster = ClusterTree.build(get_data(), num_shards=8, parallelism=4)
+    queries = get_queries("selective")[:25]
+    tree = get_single_tree()
+    assert [cluster.query(q) for q in queries] == [tree.query(q) for q in queries]

@@ -27,11 +27,23 @@ deprecated shim.
 For concurrent serving, :class:`~repro.service.QueryService` wraps a
 tree behind collective micro-batching, a readers-writer lock and a
 background integrity scrubber (``python -m repro serve`` exposes it
-over TCP).
+over TCP).  To scale past one tree, :mod:`repro.cluster` shards the
+dataset spatially behind a :class:`~repro.cluster.ClusterTree`
+coordinator with the same query surface (``python -m repro shard`` /
+``serve --cluster``).
 """
 
 __version__ = "0.3.0"
 
+from repro.cluster import (
+    ClusterStateError,
+    ClusterTree,
+    ShardPlan,
+    open_cluster,
+    plan_shards,
+    recover_cluster,
+    save_cluster,
+)
 from repro.core.collective import CollectiveProcessor
 from repro.core.costmodel import CostModel
 from repro.core.knnta import knnta_browse, knnta_search
@@ -100,5 +112,12 @@ __all__ = [
     "validate_tree",
     "validate_against_dataset",
     "CorruptSnapshotError",
+    "ClusterTree",
+    "ClusterStateError",
+    "ShardPlan",
+    "plan_shards",
+    "save_cluster",
+    "open_cluster",
+    "recover_cluster",
     "__version__",
 ]

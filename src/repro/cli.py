@@ -20,7 +20,12 @@ Commands cover the library's end-to-end flow without writing code:
 * ``serve`` — serve a tree over TCP (JSON lines) through the
   concurrent :mod:`repro.service` query service: collective
   micro-batching, WAL-logged single-writer ingest (with
-  ``--state-dir``) and the background scrubber.
+  ``--state-dir``) and the background scrubber.  With ``--cluster``
+  the positional argument is a cluster directory written by ``shard``
+  and the service fronts the scatter-gather coordinator.
+* ``shard`` — partition a saved data set into N spatial shards
+  (:mod:`repro.cluster`), each with its own TAR-tree, WAL and
+  snapshot, tied together by a routing manifest.
 * ``lint`` — run the project's static-analysis rules
   (:mod:`repro.devtools`): lock discipline, WAL-before-apply, bare
   asserts, float equality, exception hygiene, warn stacklevel.
@@ -42,6 +47,9 @@ Example session::
     python -m repro verify gs-tree.json --dataset gs.npz
     python -m repro recover state-dir --dataset gs.npz --checkpoint
     python -m repro serve gs-tree.json --port 7777 --state-dir state-dir
+    python -m repro shard gs.npz --shards 4 --out gs-cluster
+    python -m repro serve gs-cluster --cluster --port 7778
+    python -m repro query gs-cluster --x 50 --y 50 --last-days 28 --explain
 """
 
 import argparse
@@ -51,7 +59,11 @@ from repro.temporal.epochs import TimeInterval
 
 
 def _add_query_arguments(parser):
-    parser.add_argument("tree", help="tree file written by 'build'")
+    parser.add_argument(
+        "tree",
+        help="tree file written by 'build' (for 'query', a cluster "
+        "directory written by 'shard' also works)",
+    )
     parser.add_argument("--x", type=float, required=True, help="query point x")
     parser.add_argument("--y", type=float, required=True, help="query point y")
     group = parser.add_mutually_exclusive_group(required=True)
@@ -117,12 +129,50 @@ def build_parser():
                        help="paged, memory or mvbt")
     build.add_argument("--out", required=True)
 
+    shard = commands.add_parser(
+        "shard",
+        help="partition a data set into spatial shards (a cluster directory)",
+        description=(
+            "Plan N spatial shards over a saved data set (k-d median "
+            "splits by default, or a uniform grid), build one TAR-tree "
+            "per shard, and write a cluster directory: per-shard "
+            "checkpoints + WALs plus a cluster.json routing manifest. "
+            "Serve it with 'serve --cluster' or query it directly with "
+            "'query'. See docs/CLUSTER.md."
+        ),
+    )
+    shard.add_argument("dataset", help="data set file written by 'generate'")
+    shard.add_argument(
+        "--shards", type=int, default=4, help="number of shards (default 4)"
+    )
+    shard.add_argument(
+        "--method",
+        default="kd",
+        choices=("kd", "grid"),
+        help="partitioning method: kd (balanced median splits) or grid",
+    )
+    shard.add_argument(
+        "--strategy",
+        default="integral3d",
+        help="integral3d (TAR-tree), spatial (IND-spa) or aggregate (IND-agg)",
+    )
+    shard.add_argument("--epoch-days", type=float, default=7.0)
+    shard.add_argument("--node-size", type=int, default=1024)
+    shard.add_argument("--tia-backend", default="paged",
+                       help="paged, memory or mvbt")
+    shard.add_argument("--out", required=True, help="cluster directory to create")
+
     query = commands.add_parser("query", help="answer one kNNTA query")
     _add_query_arguments(query)
     query.add_argument(
         "--scan",
         action="store_true",
         help="also run the sequential-scan baseline and cross-check",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the full flat cost mapping (per-shard keys for a cluster)",
     )
 
     mwa = commands.add_parser(
@@ -207,10 +257,29 @@ def build_parser():
             "resumes from it (replaying the WAL) instead of TREE. The "
             "wire protocol is one JSON object per line; see "
             "docs/SERVICE.md. Serves until a client sends "
-            '{"op": "shutdown"}.'
+            '{"op": "shutdown"}. With --cluster, TREE is a cluster '
+            "directory written by 'shard': every shard recovers from "
+            "its own WAL and queries run the scatter-gather coordinator "
+            "(see docs/CLUSTER.md)."
         ),
     )
-    serve.add_argument("tree", help="tree file written by 'build'")
+    serve.add_argument(
+        "tree",
+        help="tree file written by 'build' (with --cluster: a cluster "
+        "directory written by 'shard')",
+    )
+    serve.add_argument(
+        "--cluster",
+        action="store_true",
+        help="serve a sharded cluster directory instead of a single tree",
+    )
+    serve.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="cluster mode: concurrent shard searches per query "
+        "(default: the value recorded in the manifest)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=0, help="TCP port (0 = OS-assigned)"
@@ -386,43 +455,90 @@ def _command_build(args, out):
 
 
 def _command_query(args, out):
+    import os
+
     from repro.core.query import KNNTAQuery
     from repro.core.scan import sequential_scan
-    from repro.storage.serialize import load_tree
+    from repro.storage.serialize import CorruptSnapshotError, load_tree
 
-    tree = load_tree(args.tree)
-    interval = _resolve_interval(tree, args)
-    query = KNNTAQuery((args.x, args.y), interval, k=args.k, alpha0=args.alpha0)
-    snapshot = tree.stats.snapshot()
-    results = tree.query(query)
-    cost = tree.stats.diff(snapshot)
-    print(
-        "top-%d at (%g, %g) over [%g, %g], alpha0=%g:"
-        % (args.k, args.x, args.y, interval.start, interval.end, args.alpha0),
-        file=out,
-    )
-    for rank, result in enumerate(results, start=1):
-        poi = tree.poi(result.poi_id)
+    cluster = None
+    if os.path.isdir(args.tree):
+        from repro.cluster import (
+            ClusterStateError,
+            is_cluster_directory,
+            open_cluster,
+        )
+
+        if not is_cluster_directory(args.tree):
+            print(
+                "%s is a directory but holds no cluster manifest "
+                "(expected a tree file or a 'shard' output directory)"
+                % args.tree,
+                file=out,
+            )
+            return 2
+        try:
+            cluster = open_cluster(args.tree)
+        except (ClusterStateError, CorruptSnapshotError, OSError) as exc:
+            print("cannot open cluster %s: %s" % (args.tree, exc), file=out)
+            return 2
+        tree = cluster
+    else:
+        tree = load_tree(args.tree)
+    try:
+        interval = _resolve_interval(tree, args)
+        query = KNNTAQuery(
+            (args.x, args.y), interval, k=args.k, alpha0=args.alpha0
+        )
+        if cluster is not None:
+            results, costs = cluster.explain(query)
+        else:
+            snapshot = tree.stats.snapshot()
+            results = tree.query(query)
+            costs = tree.stats.diff(snapshot).as_dict()
         print(
-            "  #%-3d %-12s (%8.2f, %8.2f)  score=%.4f  d=%.3f  g=%.3f"
-            % (rank, result.poi_id, poi.x, poi.y, result.score,
-               result.distance, result.aggregate),
+            "top-%d at (%g, %g) over [%g, %g], alpha0=%g:"
+            % (args.k, args.x, args.y, interval.start, interval.end, args.alpha0),
             file=out,
         )
-    costs = cost.as_dict()
-    print(
-        "cost: %(rtree_nodes)d node accesses "
-        "(%(rtree_internal)d internal + %(rtree_leaf)d leaf), "
-        "%(tia_pages)d TIA page reads, %(tia_buffer_hits)d buffer hits"
-        % costs,
-        file=out,
-    )
-    if args.scan:
-        expected = sequential_scan(tree, query)
-        matches = [r.poi_id for r in results] == [r.poi_id for r in expected]
-        print("scan cross-check: %s" % ("OK" if matches else "MISMATCH"), file=out)
-        return 0 if matches else 1
-    return 0
+        for rank, result in enumerate(results, start=1):
+            poi = tree.poi(result.poi_id)
+            print(
+                "  #%-3d %-12s (%8.2f, %8.2f)  score=%.4f  d=%.3f  g=%.3f"
+                % (rank, result.poi_id, poi.x, poi.y, result.score,
+                   result.distance, result.aggregate),
+                file=out,
+            )
+        print(
+            "cost: %(rtree_nodes)d node accesses "
+            "(%(rtree_internal)d internal + %(rtree_leaf)d leaf), "
+            "%(tia_pages)d TIA page reads, %(tia_buffer_hits)d buffer hits"
+            % costs,
+            file=out,
+        )
+        if cluster is not None:
+            print(
+                "cluster: %(shards_visited)d of %(shards)d shard(s) visited, "
+                "%(shards_pruned)d pruned by the k-th score bound" % costs,
+                file=out,
+            )
+        if args.explain:
+            # The flat, diffable cost mapping: one "key = value" line per
+            # counter, per-shard counters under shards.<i>.* for a cluster.
+            for key in sorted(costs):
+                print("  %s = %d" % (key, costs[key]), file=out)
+        if args.scan:
+            expected = sequential_scan(tree, query)
+            matches = [r.poi_id for r in results] == [r.poi_id for r in expected]
+            print(
+                "scan cross-check: %s" % ("OK" if matches else "MISMATCH"),
+                file=out,
+            )
+            return 0 if matches else 1
+        return 0
+    finally:
+        if cluster is not None:
+            cluster.close()
 
 
 def _command_mwa(args, out):
@@ -544,8 +660,31 @@ def _command_serve(args, out):
     from repro.storage.serialize import CorruptSnapshotError, load_tree
 
     ingest = None
+    cluster = None
     try:
-        if args.state_dir and os.path.exists(
+        if args.cluster:
+            from repro.cluster import ClusterStateError, open_cluster
+
+            if args.state_dir:
+                print(
+                    "--state-dir does not apply with --cluster: each shard "
+                    "keeps its own WAL inside the cluster directory",
+                    file=out,
+                )
+                return 2
+            try:
+                tree = cluster = open_cluster(
+                    args.tree, parallelism=args.parallelism
+                )
+            except ClusterStateError as exc:
+                print("cannot open cluster %s: %s" % (args.tree, exc), file=out)
+                return 2
+            print(
+                "cluster %s: %d shards recovered, %d POIs"
+                % (args.tree, len(cluster.shards), len(cluster)),
+                file=out,
+            )
+        elif args.state_dir and os.path.exists(
             os.path.join(args.state_dir, args.name + ".json")
         ):
             # An existing checkpoint + WAL outranks the tree file: it is
@@ -554,6 +693,32 @@ def _command_serve(args, out):
             tree = report.tree
             print(report.summary(), file=out)
         else:
+            if args.state_dir:
+                stale = [
+                    args.name + extension
+                    for extension in (".wal", ".digestlog")
+                    if os.path.exists(
+                        os.path.join(args.state_dir, args.name + extension)
+                    )
+                ]
+                if stale:
+                    # A WAL without its checkpoint snapshot means durable
+                    # mutations with no base state to replay onto.
+                    # Starting fresh here would silently discard them
+                    # (the new checkpoint would orphan the old records).
+                    print(
+                        "state dir %s holds %s but no %s.json checkpoint; "
+                        "refusing to start over durable mutations — run "
+                        "'repro recover %s' (or remove the directory) first"
+                        % (
+                            args.state_dir,
+                            " and ".join(stale),
+                            args.name,
+                            args.state_dir,
+                        ),
+                        file=out,
+                    )
+                    return 2
             tree = load_tree(args.tree)
         if args.state_dir:
             ingest = CheckpointedIngest(tree, args.state_dir, name=args.name)
@@ -589,10 +754,64 @@ def _command_serve(args, out):
     finally:
         server._server.server_close()
         service.close()
+        if cluster is not None:
+            cluster.checkpoint()
+            cluster.close()
         if ingest is not None:
             ingest.checkpoint()
             ingest.close()
     print("shut down", file=out)
+    return 0
+
+
+def _command_shard(args, out):
+    from repro.cluster import ClusterTree, save_cluster
+    from repro.storage.serialize import CorruptSnapshotError, load_dataset
+
+    try:
+        data = load_dataset(args.dataset)
+    except CorruptSnapshotError as exc:
+        print(
+            "corrupt dataset snapshot (section %r): %s" % (exc.section, exc),
+            file=out,
+        )
+        return 2
+    except OSError as exc:
+        print(
+            "cannot read dataset snapshot %s: %s" % (args.dataset, exc),
+            file=out,
+        )
+        return 2
+    cluster = ClusterTree.build(
+        data,
+        num_shards=args.shards,
+        method=args.method,
+        epoch_length=args.epoch_days,
+        strategy=args.strategy,
+        node_size=args.node_size,
+        tia_backend=args.tia_backend,
+    )
+    path = save_cluster(cluster, args.out)
+    print(
+        "wrote %s: %d shards (%s plan), %d POIs"
+        % (path, len(cluster.shards), args.method, len(cluster)),
+        file=out,
+    )
+    for shard in cluster.shards:
+        region = shard.region
+        print(
+            "  shard %d: %4d POIs over [%g, %g] x [%g, %g]"
+            % (
+                shard.index,
+                len(shard.tree),
+                region.lows[0],
+                region.highs[0],
+                region.lows[1],
+                region.highs[1],
+            ),
+            file=out,
+        )
+    cluster.close()
     return 0
 
 
@@ -605,6 +824,7 @@ _COMMANDS = {
     "verify": _command_verify,
     "recover": _command_recover,
     "serve": _command_serve,
+    "shard": _command_shard,
     "lint": _command_lint,
 }
 

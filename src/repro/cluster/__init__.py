@@ -1,0 +1,38 @@
+"""Spatially sharded TAR-tree serving (see ``docs/CLUSTER.md``).
+
+``repro.cluster`` splits a dataset into N spatial shards — each a full
+:class:`~repro.core.tar_tree.TARTree` with its own write-ahead log —
+behind a coordinator that answers :class:`~repro.core.query.KNNTAQuery`
+exactly, visiting shards best-bound-first and pruning those that
+provably cannot contribute to the top-k (Property 1 of the paper gives
+the bound).  The package is three layers:
+
+* :mod:`~repro.cluster.planner` — partition POIs into routable regions;
+* :mod:`~repro.cluster.coordinator` — scatter-gather queries and routed
+  mutations over the live shards;
+* :mod:`~repro.cluster.state` — the on-disk manifest plus per-shard
+  crash recovery.
+"""
+
+from repro.cluster.coordinator import ClusterStateError, ClusterTree, Shard
+from repro.cluster.planner import ShardPlan, plan_shards
+from repro.cluster.state import (
+    ClusterRecoveryReport,
+    is_cluster_directory,
+    open_cluster,
+    recover_cluster,
+    save_cluster,
+)
+
+__all__ = [
+    "ClusterRecoveryReport",
+    "ClusterStateError",
+    "ClusterTree",
+    "Shard",
+    "ShardPlan",
+    "is_cluster_directory",
+    "open_cluster",
+    "plan_shards",
+    "recover_cluster",
+    "save_cluster",
+]

@@ -1,0 +1,760 @@
+"""The cluster coordinator: scatter-gather kNNTA over spatial shards.
+
+:class:`ClusterTree` fronts N :class:`Shard` s — each a full TAR-tree
+over one region of a :class:`~repro.cluster.planner.ShardPlan` — behind
+the same :class:`~repro.core.query.KNNTAQuery` surface a single
+:class:`~repro.core.tar_tree.TARTree` exposes.  Three properties make
+the distribution *exact* (the sharded answer equals the single-tree
+answer, score for score):
+
+1. Every shard tree is built over the **full** dataset world, so the
+   spatial normalisation constant ``d_max`` (the world diagonal) is
+   identical everywhere.
+2. The cluster's aggregate normaliser ``g_max`` merges the per-epoch
+   maxima **across** shards before combining over the query interval —
+   exactly the bound the single tree's root maintains — and the one
+   resulting :class:`~repro.core.query.Normalizer` is pushed down into
+   every shard search.
+3. Each shard's *best-possible score* is a true lower bound on any of
+   its POIs' scores (Property 1 again: MINDIST under-estimates every
+   distance, the shard's root aggregate bound over-estimates every
+   aggregate), so once the running k-th result's score is at or below
+   a shard's bound, that shard cannot contribute and is skipped —
+   the threshold-style early termination of the scatter-gather.
+
+Mutations route to the owning shard by the plan: when the shard carries
+a :class:`~repro.reliability.recovery.CheckpointedIngest`, the mutation
+rides that shard's WAL (write-ahead, crash-recoverable per shard);
+standalone shards mutate their tree directly.  Every access holds the
+owning shard's :class:`~repro.service.locks.ReadWriteLock` on the
+correct side — queries shared, mutations exclusive — the same protocol
+the service layer enforces (lint rules RT001/RT002 cover this module).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence, cast
+
+from repro.cluster.planner import ShardPlan, plan_shards
+from repro.core.collective import CollectiveProcessor
+from repro.core.knnta import knnta_search
+from repro.core.query import KNNTAQuery, Normalizer, QueryResult
+from repro.core.tar_tree import DEFAULT_EPOCH_LENGTH_DAYS, POI, TARTree
+from repro.service.locks import ReadWriteLock
+from repro.spatial.geometry import Rect
+from repro.storage.stats import AccessStats
+from repro.temporal.epochs import EpochClock, TimeInterval
+from repro.temporal.tia import AggregateKind, IntervalSemantics
+
+if TYPE_CHECKING:
+    from repro.core.grouping import GroupingStrategy
+    from repro.datasets.generator import Dataset
+    from repro.reliability.recovery import CheckpointedIngest
+    from repro.service.scrubber import Scrubber
+    from repro.spatial.rstar import Node
+
+__all__ = ["ClusterStateError", "Shard", "ClusterTree"]
+
+
+class ClusterStateError(RuntimeError):
+    """A durable-state operation on a cluster that has none attached."""
+
+
+class Shard:
+    """One partition: a region, its TAR-tree, lock and optional WAL."""
+
+    __slots__ = ("index", "region", "tree", "lock", "ingest", "scrubber")
+
+    def __init__(
+        self,
+        index: int,
+        region: Rect,
+        tree: TARTree,
+        ingest: CheckpointedIngest | None = None,
+    ) -> None:
+        self.index = index
+        self.region = region
+        self.tree = tree
+        self.lock = ReadWriteLock()
+        self.ingest = ingest
+        self.scrubber: Scrubber | None = None
+
+    def __repr__(self) -> str:
+        return "Shard(%d, %d POIs, wal=%s)" % (
+            self.index,
+            len(self.tree),
+            "attached" if self.ingest is not None else "none",
+        )
+
+
+class _ShardView:
+    """Duck-typed shard-tree view used during scatter-gather.
+
+    Routes ``record_node_access`` into a per-call private
+    :class:`~repro.storage.stats.AccessStats` (so concurrent queries
+    attribute node accesses exactly, as the service's batch view does)
+    and overrides ``normalizer`` to hand back the *cluster-level*
+    normaliser — a shard computing its own would use shard-local
+    per-epoch maxima and break cross-shard score comparability.
+    Everything else resolves on the wrapped tree.  TIA page accesses
+    stay on the shard tree's own stats, as they do for service batches.
+    """
+
+    __slots__ = ("_tree", "stats", "_normalizers")
+
+    def __init__(
+        self,
+        tree: TARTree,
+        stats: AccessStats,
+        normalizers: Mapping[tuple[TimeInterval, IntervalSemantics], Normalizer]
+        | None = None,
+    ) -> None:
+        self._tree = tree
+        self.stats = stats
+        self._normalizers = normalizers
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._tree, name)
+
+    def record_node_access(self, node: Node) -> None:
+        self.stats.record_node(node.is_leaf)
+
+    def normalizer(
+        self,
+        interval: TimeInterval,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+        exact: bool = False,
+    ) -> Normalizer:
+        if self._normalizers is None:
+            return self._tree.normalizer(interval, semantics, exact)
+        return self._normalizers[(interval, semantics)]
+
+
+class ClusterTree:
+    """Scatter-gather kNNTA over spatially sharded TAR-trees.
+
+    Exposes the single-tree query/mutation surface (``query``,
+    ``insert_poi``, ``delete_poi``, ``digest_epoch``, ``normalizer``,
+    ``current_time``, ``len``/``in``), so a
+    :class:`~repro.service.QueryService` — or any other TARTree caller —
+    can serve a cluster unchanged.  ``parallelism`` > 1 dispatches shard
+    searches onto a thread pool, best-bound-first; the default of 1
+    visits shards sequentially in bound order, which is deterministic
+    and prunes identically.
+
+    Running totals: ``queries``, ``shards_visited``, ``shards_pruned``
+    (shards never dispatched because the k-th result already beat their
+    bound) and ``routing_overflows`` (inserts outside every planned
+    region, placed on the nearest shard).
+    """
+
+    #: Duck-typing marker the service layer keys on; a ClusterTree is
+    #: deliberately never imported there (the cluster imports the
+    #: service's lock, so the reverse import would cycle).
+    is_cluster = True
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shards: Sequence[Shard],
+        parallelism: int = 1,
+        directory: str | None = None,
+        name: str = "cluster",
+    ) -> None:
+        if len(shards) != len(plan):
+            raise ValueError(
+                "plan has %d regions but %d shards were given"
+                % (len(plan), len(shards))
+            )
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1, got %r" % (parallelism,))
+        self.plan = plan
+        self.shards = list(shards)
+        self.parallelism = parallelism
+        self.directory = directory
+        self.name = name
+        first = self.shards[0].tree
+        self.world = first.world
+        self.clock = first.clock
+        self.aggregate_kind = first.aggregate_kind
+        #: Merged access totals across all cluster queries (the cluster
+        #: analogue of ``TARTree.stats``; node accesses only — TIA page
+        #: accesses accrue on each shard tree's own stats).
+        self.stats = AccessStats()
+        self.queries = 0
+        self.shards_visited = 0
+        self.shards_pruned = 0
+        self.routing_overflows = 0
+        self._counter_lock = threading.Lock()
+        self._scrub_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        num_shards: int = 4,
+        method: str = "kd",
+        clock: EpochClock | None = None,
+        epoch_length: float = DEFAULT_EPOCH_LENGTH_DAYS,
+        strategy: str | GroupingStrategy = "integral3d",
+        until_time: float | None = None,
+        bulk: bool = False,
+        parallelism: int = 1,
+        **kwargs: Any,
+    ) -> ClusterTree:
+        """Plan shards over ``dataset`` and build one TAR-tree per shard.
+
+        Mirrors :meth:`TARTree.build`: the effective POIs' check-in
+        histories up to ``until_time`` are digested before placement.
+        Every shard tree gets the dataset's full world (identical
+        ``d_max``) and its own private
+        :class:`~repro.storage.stats.AccessStats`.
+        """
+        if clock is None:
+            clock = EpochClock(dataset.t0, epoch_length)
+        current_time = dataset.tc if until_time is None else until_time
+        poi_ids = dataset.effective_poi_ids()
+        counts = dataset.epoch_counts(clock, poi_ids)
+        positions: list[tuple[float, float]] = [
+            (float(dataset.positions[poi_id][0]), float(dataset.positions[poi_id][1]))
+            for poi_id in poi_ids
+        ]
+        plan = plan_shards(positions, num_shards, method=method, world=dataset.world)
+        shards = [
+            Shard(
+                index,
+                region,
+                TARTree(
+                    world=dataset.world,
+                    clock=clock,
+                    current_time=current_time,
+                    strategy=strategy,
+                    stats=AccessStats(),
+                    **kwargs,
+                ),
+            )
+            for index, region in enumerate(plan.regions)
+        ]
+        assignments: list[list[tuple[POI, dict[int, int]]]] = [
+            [] for _ in plan.regions
+        ]
+        for poi_id, point in zip(poi_ids, positions):
+            index = plan.route(point)
+            if index is None:
+                index = plan.nearest(point)
+            assignments[index].append((POI(poi_id, *point), counts[poi_id]))
+        for shard in shards:
+            rows = assignments[shard.index]
+            with shard.lock.write_locked():
+                if shard.ingest is None:
+                    if bulk:
+                        shard.tree.bulk_load(rows)
+                    else:
+                        for poi, history in rows:
+                            shard.tree.insert_poi(poi, history or None)
+        return cls(plan, shards, parallelism=parallelism)
+
+    # ------------------------------------------------------------------
+    # Basic surface parity with TARTree
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard.tree) for shard in self.shards)
+
+    def __contains__(self, poi_id: object) -> bool:
+        return any(poi_id in shard.tree for shard in self.shards)
+
+    @property
+    def current_time(self) -> float:
+        """The most advanced shard clock (digests advance per shard)."""
+        return max(shard.tree.current_time for shard in self.shards)
+
+    def poi(self, poi_id: Any) -> POI:
+        """The registered :class:`~repro.core.tar_tree.POI`, any shard."""
+        shard = self._owner_of(poi_id)
+        if shard is None:
+            raise KeyError(poi_id)
+        return shard.tree.poi(poi_id)
+
+    def poi_ids(self) -> list[Any]:
+        """Every indexed POI id across all shards (shard order)."""
+        ids: list[Any] = []
+        for shard in self.shards:
+            ids.extend(shard.tree.poi_ids())
+        return ids
+
+    def poi_tia(self, poi_id: Any) -> Any:
+        """The POI's leaf TIA, wherever it is sharded."""
+        shard = self._owner_of(poi_id)
+        if shard is None:
+            raise KeyError(poi_id)
+        return shard.tree.poi_tia(poi_id)
+
+    def tia_aggregate(
+        self,
+        tia: Any,
+        interval: TimeInterval,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+    ) -> int:
+        """Aggregate ``tia`` over ``interval`` (baseline-scan support).
+
+        TIA aggregation is stateless with respect to the owning tree —
+        any shard evaluates it identically — so the sequential-scan
+        ground truth runs against a cluster unchanged.
+        """
+        return self.shards[0].tree.tia_aggregate(tia, interval, semantics)
+
+    def node_count(self) -> int:
+        return sum(shard.tree.node_count() for shard in self.shards)
+
+    def counters(self) -> dict[str, int]:
+        """The coordinator's running totals as a JSON-ready dict."""
+        with self._counter_lock:
+            return {
+                "shards": len(self.shards),
+                "queries": self.queries,
+                "shards_visited": self.shards_visited,
+                "shards_pruned": self.shards_pruned,
+                "routing_overflows": self.routing_overflows,
+            }
+
+    def _owner_of(self, poi_id: Any) -> Shard | None:
+        for shard in self.shards:
+            if poi_id in shard.tree:
+                return shard
+        return None
+
+    # ------------------------------------------------------------------
+    # Cluster-level normalisation (identical to the single tree's)
+    # ------------------------------------------------------------------
+
+    def global_epoch_max(self) -> dict[int, int]:
+        """Per-epoch maxima over *all* shards — the single tree's view."""
+        merged: dict[int, int] = {}
+        for shard in self.shards:
+            for epoch, value in shard.tree.global_epoch_max().items():
+                if value > merged.get(epoch, 0):
+                    merged[epoch] = value
+        return merged
+
+    def max_aggregate_bound(
+        self,
+        interval: TimeInterval,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+    ) -> int:
+        """Upper bound on any POI's aggregate over ``interval``, cluster-wide."""
+        maxima = self.global_epoch_max()
+        epoch_range = self.clock.epoch_range(interval, semantics)
+        values = (maxima.get(epoch, 0) for epoch in epoch_range)
+        if self.aggregate_kind is AggregateKind.MAX:
+            return max(values, default=0)
+        return sum(values)
+
+    def normalizer(
+        self,
+        interval: TimeInterval,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+        exact: bool = False,
+    ) -> Normalizer:
+        """The per-query normaliser every shard search must share."""
+        d_max = self.world.diagonal()
+        if exact:
+            g_max = 0
+            for shard in self.shards:
+                for poi_id in shard.tree.poi_ids():
+                    value = shard.tree.tia_aggregate(
+                        shard.tree.poi_tia(poi_id), interval, semantics
+                    )
+                    if value > g_max:
+                        g_max = value
+        else:
+            g_max = self.max_aggregate_bound(interval, semantics)
+        return Normalizer.create(d_max, g_max)
+
+    # ------------------------------------------------------------------
+    # Scatter-gather query path
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        query: KNNTAQuery,
+        normalizer: Normalizer | None = None,
+        stats: AccessStats | None = None,
+    ) -> list[QueryResult]:
+        """Answer ``query`` exactly; see the module docs for the bound.
+
+        ``stats`` (when given) additionally receives the merged node
+        accesses of this call, for per-request attribution.
+        """
+        rows, per_shard, _visited, _pruned = self._scatter(query, normalizer)
+        for shard_stats in per_shard.values():
+            self.stats.merge(shard_stats)
+            if stats is not None:
+                stats.merge(shard_stats)
+        return [row[3] for row in rows[: query.k]]
+
+    def explain(
+        self, query: KNNTAQuery, normalizer: Normalizer | None = None
+    ) -> tuple[list[QueryResult], dict[str, int]]:
+        """Answer ``query`` and report a flat, diffable cost mapping.
+
+        The mapping carries the merged access counters (the plain
+        :meth:`AccessStats.as_dict` keys), per-shard counters under
+        ``shards.<i>.*``, and the pruning outcome
+        (``shards_visited`` / ``shards_pruned``).
+        """
+        rows, per_shard, visited, pruned = self._scatter(query, normalizer)
+        cost: dict[str, int] = {
+            "shards": len(self.shards),
+            "shards_visited": len(visited),
+            "shards_pruned": pruned,
+        }
+        total = AccessStats()
+        for index in sorted(per_shard):
+            shard_stats = per_shard[index]
+            total.merge(shard_stats)
+            cost.update(shard_stats.as_dict(label="shards.%d" % index))
+        cost.update(total.as_dict())
+        self.stats.merge(total)
+        return [row[3] for row in rows[: query.k]], cost
+
+    def query_batch(
+        self,
+        queries: Sequence[KNNTAQuery],
+        stats: AccessStats | None = None,
+    ) -> list[list[QueryResult]]:
+        """Answer a collective batch: per-shard shared traversal, full merge.
+
+        Every non-empty shard runs the batch through its own
+        :class:`~repro.core.collective.CollectiveProcessor` (sharing
+        node fetches and per-interval aggregates within the shard), with
+        the cluster-level normalisers pushed down; per-query results
+        merge deterministically.  Batches visit all shards — the
+        per-query pruning bound does not compose across a whole batch.
+        """
+        for query in queries:
+            query.validate()
+        normalizers: dict[tuple[TimeInterval, IntervalSemantics], Normalizer] = {}
+        for query in queries:
+            key = (query.interval, query.semantics)
+            if key not in normalizers:
+                normalizers[key] = self.normalizer(query.interval, query.semantics)
+        merged: list[list[tuple[float, int, int, QueryResult]]] = [
+            [] for _ in queries
+        ]
+        batch_total = AccessStats()
+        visited = 0
+        for shard in self.shards:
+            shard_stats = AccessStats()
+            view = cast(
+                TARTree, _ShardView(shard.tree, shard_stats, normalizers)
+            )
+            with shard.lock.read_locked():
+                empty = not shard.tree.root.entries
+                if not empty:
+                    tia_before = shard.tree.stats.snapshot()
+                    shard_lists = CollectiveProcessor(view).run(
+                        queries, stats=shard_stats
+                    )
+                    shard_stats.merge(shard.tree.stats.diff(tia_before))
+            if empty:
+                continue
+            visited += 1
+            batch_total.merge(shard_stats)
+            for i, results in enumerate(shard_lists):
+                merged[i].extend(
+                    (result.score, shard.index, position, result)
+                    for position, result in enumerate(results)
+                )
+        self.stats.merge(batch_total)
+        if stats is not None:
+            stats.merge(batch_total)
+        with self._counter_lock:
+            self.queries += len(queries)
+            self.shards_visited += visited
+        answers: list[list[QueryResult]] = []
+        for query, rows in zip(queries, merged):
+            rows.sort(key=lambda row: (row[0], row[1], row[2]))
+            answers.append([row[3] for row in rows[: query.k]])
+        return answers
+
+    # -- internals -----------------------------------------------------------
+
+    def _shard_bound(
+        self, shard: Shard, query: KNNTAQuery, normalizer: Normalizer
+    ) -> float | None:
+        """Best possible score of any POI in ``shard``; ``None`` if empty.
+
+        MINDIST from the query point to the shard's root MBR bounds
+        every POI distance from below; the shard's root-level aggregate
+        bound (Property 1) bounds every aggregate from above — so this
+        weighted sum under-estimates every shard POI's score.
+        """
+        with shard.lock.read_locked():
+            entries = shard.tree.root.entries
+            if not entries:
+                return None
+            mbr = Rect.union_all(entry.mbr for entry in entries)
+            raw_aggregate = shard.tree.max_aggregate_bound(
+                query.interval, query.semantics
+            )
+        distance, aggregate = normalizer.components(
+            mbr.min_dist(query.point), raw_aggregate
+        )
+        return query.alpha0 * distance + query.alpha1 * (1.0 - aggregate)
+
+    def _query_shard(
+        self, index: int, query: KNNTAQuery, normalizer: Normalizer
+    ) -> tuple[list[QueryResult], AccessStats]:
+        shard = self.shards[index]
+        shard_stats = AccessStats()
+        view = cast(TARTree, _ShardView(shard.tree, shard_stats))
+        with shard.lock.read_locked():
+            # Node accesses route through the view; TIA page accesses
+            # land on the shard tree's own stats, so diff them into the
+            # per-call stats (approximate only under concurrent readers,
+            # exactly as for service batches on a single tree).
+            tia_before = shard.tree.stats.snapshot()
+            results = knnta_search(view, query, normalizer=normalizer)
+            shard_stats.merge(shard.tree.stats.diff(tia_before))
+        return results, shard_stats
+
+    def _scatter(
+        self, query: KNNTAQuery, normalizer: Normalizer | None
+    ) -> tuple[
+        list[tuple[float, int, int, QueryResult]],
+        dict[int, AccessStats],
+        list[int],
+        int,
+    ]:
+        """Run the bound-pruned scatter-gather; returns merged rows.
+
+        Rows are ``(score, shard index, within-shard rank, result)``
+        sorted ascending — ties (probability zero on continuous data)
+        break toward the lower shard index, matching the deterministic
+        batch merge.
+        """
+        query.validate()
+        if normalizer is None:
+            normalizer = self.normalizer(query.interval, query.semantics)
+        bounds: list[tuple[float, int]] = []
+        for shard in self.shards:
+            bound = self._shard_bound(shard, query, normalizer)
+            if bound is not None:
+                bounds.append((bound, shard.index))
+        bounds.sort()
+        rows: list[tuple[float, int, int, QueryResult]] = []
+        per_shard: dict[int, AccessStats] = {}
+        visited: list[int] = []
+        pruned = 0
+
+        def kth_score() -> float:
+            return rows[query.k - 1][0] if len(rows) >= query.k else float("inf")
+
+        def absorb(index: int, answer: tuple[list[QueryResult], AccessStats]) -> None:
+            results, shard_stats = answer
+            visited.append(index)
+            per_shard[index] = shard_stats
+            rows.extend(
+                (result.score, index, position, result)
+                for position, result in enumerate(results)
+            )
+            rows.sort(key=lambda row: (row[0], row[1], row[2]))
+
+        if self.parallelism == 1:
+            for position, (bound, index) in enumerate(bounds):
+                if bound >= kth_score():
+                    pruned = len(bounds) - position
+                    break
+                absorb(index, self._query_shard(index, query, normalizer))
+        else:
+            queue = deque(bounds)
+            pending: dict[Future[tuple[list[QueryResult], AccessStats]], int] = {}
+            with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+                while queue or pending:
+                    while queue and len(pending) < self.parallelism:
+                        bound, index = queue[0]
+                        if bound >= kth_score():
+                            pruned += len(queue)
+                            queue.clear()
+                            break
+                        queue.popleft()
+                        pending[
+                            pool.submit(self._query_shard, index, query, normalizer)
+                        ] = index
+                    if not pending:
+                        break
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        absorb(pending.pop(future), future.result())
+        with self._counter_lock:
+            self.queries += 1
+            self.shards_visited += len(visited)
+            self.shards_pruned += pruned
+        return rows, per_shard, visited, pruned
+
+    # ------------------------------------------------------------------
+    # Routed mutations (per-shard lock + WAL)
+    # ------------------------------------------------------------------
+
+    def insert_poi(
+        self, poi: POI, epoch_aggregates: Mapping[int, int] | None = None
+    ) -> int | None:
+        """Insert ``poi`` into its owning shard; returns the WAL LSN.
+
+        Routing follows the plan; a point inside the world but outside
+        every planned region falls back to the *nearest* region's shard
+        and bumps ``routing_overflows``.  Returns ``None`` when the
+        shard has no WAL attached.  Raises like the single tree on a
+        duplicate id or an out-of-world point.
+        """
+        if not self.world.contains_point(poi.point):
+            raise ValueError(
+                "POI %r lies outside the world %r" % (poi, self.world)
+            )
+        if self._owner_of(poi.poi_id) is not None:
+            raise ValueError("POI %r is already indexed" % (poi.poi_id,))
+        index = self.plan.route(poi.point)
+        if index is None:
+            index = self.plan.nearest(poi.point)
+            with self._counter_lock:
+                self.routing_overflows += 1
+        shard = self.shards[index]
+        with shard.lock.write_locked():
+            if shard.ingest is None:
+                shard.tree.insert_poi(poi, epoch_aggregates)
+                return None
+            lsn = shard.ingest.insert(poi, epoch_aggregates)
+            return cast("int | None", lsn)
+
+    def delete_poi(self, poi_id: Any) -> bool:
+        """Delete ``poi_id`` from its owning shard; ``True`` if indexed."""
+        shard = self._owner_of(poi_id)
+        if shard is None:
+            return False
+        with shard.lock.write_locked():
+            if shard.ingest is None:
+                return shard.tree.delete_poi(poi_id)
+            return shard.ingest.delete(poi_id) is not None
+
+    def digest_epoch(self, epoch_index: int, counts: Mapping[Any, int]) -> None:
+        """Digest one epoch batch, routed per owning shard.
+
+        The whole batch is validated against the cluster first (an
+        unknown POI with a positive count raises ``KeyError`` before
+        *any* shard applies anything), then each shard receives its
+        sub-batch under its own write lock — through its WAL when one
+        is attached.  Non-positive counts are dropped, matching both
+        the single tree and the ingest semantics.
+        """
+        routed: dict[int, dict[Any, int]] = {}
+        for poi_id, delta in counts.items():
+            if delta <= 0:
+                continue
+            owner = self._owner_of(poi_id)
+            if owner is None:
+                raise KeyError(
+                    "cannot digest check-ins for unknown POI %r" % (poi_id,)
+                )
+            routed.setdefault(owner.index, {})[poi_id] = delta
+        for index in sorted(routed):
+            shard = self.shards[index]
+            sub_batch = routed[index]
+            with shard.lock.write_locked():
+                if shard.ingest is None:
+                    shard.tree.digest_epoch(epoch_index, sub_batch)
+                else:
+                    shard.ingest.digest(epoch_index, sub_batch)
+
+    # ------------------------------------------------------------------
+    # Durability and maintenance
+    # ------------------------------------------------------------------
+
+    def applied_lsns(self) -> list[int | None]:
+        """Each shard's applied-LSN high-water mark, in shard order."""
+        return [shard.tree.applied_lsn for shard in self.shards]
+
+    def checkpoint(self) -> str:
+        """Checkpoint every shard and rewrite the cluster manifest.
+
+        Each shard snapshot is taken under that shard's write lock;
+        the manifest written afterwards records the per-shard applied
+        LSNs of exactly these snapshots, tying them into one consistent
+        cluster checkpoint.  Returns the manifest path.
+        """
+        from repro.cluster.state import write_manifest
+
+        if self.directory is None:
+            raise ClusterStateError(
+                "this cluster has no durable state; create one with "
+                "save_cluster() or open_cluster()"
+            )
+        for shard in self.shards:
+            if shard.ingest is None:
+                raise ClusterStateError(
+                    "shard %d has no CheckpointedIngest attached" % shard.index
+                )
+            with shard.lock.write_locked():
+                shard.ingest.checkpoint()
+            if shard.scrubber is not None:
+                shard.scrubber.persist_manifest()
+        return write_manifest(self.directory, self)
+
+    def scrub_tick(self, budget: int | None = None) -> int:
+        """One bounded scrubber tick on the next shard (round-robin)."""
+        with self._counter_lock:
+            cursor = self._scrub_cursor
+            self._scrub_cursor += 1
+        shard = self.shards[cursor % len(self.shards)]
+        return cast(int, self._shard_scrubber(shard).tick(budget))
+
+    def _shard_scrubber(self, shard: Shard) -> Scrubber:
+        if shard.scrubber is None:
+            from repro.service.scrubber import Scrubber
+
+            manifest_path = None
+            if shard.ingest is not None:
+                manifest_path = (
+                    shard.ingest.snapshot_path.rsplit(".json", 1)[0] + ".scrub.json"
+                )
+            shard.scrubber = Scrubber(
+                shard.tree, shard.lock, manifest_path=manifest_path
+            )
+            shard.tree.add_mutation_observer(shard.scrubber.observe_mutation)
+        return shard.scrubber
+
+    def close(self) -> None:
+        """Detach shard scrubbers and close shard WALs (checkpoint first
+        if the logs must stay minimal — closing never loses records)."""
+        for shard in self.shards:
+            if shard.scrubber is not None:
+                shard.tree.remove_mutation_observer(shard.scrubber.observe_mutation)
+                shard.scrubber.persist_manifest()
+                shard.scrubber = None
+            if shard.ingest is not None:
+                shard.ingest.close()
+                shard.ingest = None
+
+    def __enter__(self) -> ClusterTree:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    def __repr__(self) -> str:
+        return "ClusterTree(%d shards, %d POIs, %s plan%s)" % (
+            len(self.shards),
+            len(self),
+            self.plan.method,
+            ", durable" if self.directory is not None else "",
+        )

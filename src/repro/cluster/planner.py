@@ -1,0 +1,212 @@
+"""Spatial shard planning: partition a POI set into routable regions.
+
+A :class:`ShardPlan` is the cluster's routing table: an ordered list of
+axis-aligned regions, one per shard, that tile the *data bounding box*
+of the planned POI set.  Two planning methods are offered:
+
+* ``"kd"`` — recursive median splits: the region with the most shards
+  assigned is cut along its wider axis at the coordinate quantile that
+  sends a proportional share of the POIs to each side.  Shard POI
+  counts stay balanced even under heavy spatial skew (the LBSN
+  generator clusters venues around hot spots).
+* ``"grid"`` — a rows-by-columns tiling of the bounding box with equal
+  cell edges; simple, but skewed data lands mostly in a few cells.
+
+Routing is deterministic: :meth:`ShardPlan.route` returns the first
+region (in index order) containing the point, so POIs on shared region
+boundaries always map to one shard.  A point outside every region — a
+later insert beyond the planned bounding box — is *routing overflow*:
+:meth:`ShardPlan.nearest` picks the shard whose region is closest, and
+the coordinator counts the event (see
+:class:`~repro.cluster.coordinator.ClusterTree`).
+
+The plan serialises to plain JSON (:meth:`ShardPlan.as_json` /
+:meth:`ShardPlan.from_json`) and rides inside the cluster manifest, so
+recovery routes exactly like the original process did.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.spatial.geometry import Rect
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+#: Planning methods accepted by :func:`plan_shards`.
+PLAN_METHODS = ("kd", "grid")
+
+
+class ShardPlan:
+    """An ordered, JSON-serialisable routing table of shard regions."""
+
+    __slots__ = ("regions", "method")
+
+    def __init__(self, regions: Sequence[Rect], method: str = "kd") -> None:
+        if not regions:
+            raise ValueError("a shard plan needs at least one region")
+        for region in regions:
+            if region.dims != 2:
+                raise ValueError("shard regions must be 2-D, got %r" % (region,))
+        self.regions = tuple(regions)
+        self.method = method
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def route(self, point: Sequence[float]) -> int | None:
+        """Shard index owning ``point``, or ``None`` when out of bounds.
+
+        The first containing region (index order) wins, so boundary
+        points route deterministically.
+        """
+        for index, region in enumerate(self.regions):
+            if region.contains_point(point):
+                return index
+        return None
+
+    def nearest(self, point: Sequence[float]) -> int:
+        """The shard whose region is closest to ``point`` (MINDIST).
+
+        The overflow fallback for inserts outside every region; exact
+        ties break toward the lower shard index.
+        """
+        best = 0
+        best_distance = self.regions[0].min_dist(point)
+        for index in range(1, len(self.regions)):
+            distance = self.regions[index].min_dist(point)
+            if distance < best_distance:
+                best = index
+                best_distance = distance
+        return best
+
+    def as_json(self) -> dict[str, Any]:
+        """The plan as a JSON-ready dict (the manifest's routing table)."""
+        return {
+            "method": self.method,
+            "regions": [
+                {"lows": list(region.lows), "highs": list(region.highs)}
+                for region in self.regions
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> ShardPlan:
+        """Rebuild a plan written by :meth:`as_json`."""
+        regions = [
+            Rect(entry["lows"], entry["highs"]) for entry in payload["regions"]
+        ]
+        return cls(regions, method=payload.get("method", "kd"))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardPlan)
+            and self.regions == other.regions
+            and self.method == other.method
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.regions, self.method))
+
+    def __repr__(self) -> str:
+        return "ShardPlan(%d %s regions)" % (len(self.regions), self.method)
+
+
+def _bounding_box(
+    points: Sequence[tuple[float, float]], fallback: Rect | None
+) -> Rect:
+    if not points:
+        if fallback is None:
+            raise ValueError("cannot plan shards over zero points with no world")
+        return fallback
+    xs = [point[0] for point in points]
+    ys = [point[1] for point in points]
+    return Rect((min(xs), min(ys)), (max(xs), max(ys)))
+
+
+def _kd_regions(
+    region: Rect, points: Sequence[tuple[float, float]], num_shards: int
+) -> list[Rect]:
+    """Recursively split ``region`` into ``num_shards`` balanced cells."""
+    if num_shards == 1:
+        return [region]
+    left_shards = num_shards // 2
+    right_shards = num_shards - left_shards
+    # Cut across the wider side so cells stay square-ish (good MINDIST
+    # bounds); the cut coordinate is the quantile sending a share of
+    # the points proportional to each side's shard count.
+    dim = 0 if region.extent(0) >= region.extent(1) else 1
+    if points:
+        ordered = sorted(point[dim] for point in points)
+        cut_rank = max(
+            1, min(len(ordered) - 1, round(len(ordered) * left_shards / num_shards))
+        ) if len(ordered) > 1 else 0
+        cut = ordered[cut_rank] if len(ordered) > 1 else region.center[dim]
+        # A degenerate quantile (many identical coordinates) would make
+        # an empty-width cell; fall back to the spatial midpoint.
+        if not region.lows[dim] < cut < region.highs[dim]:
+            cut = region.center[dim]
+    else:
+        cut = region.center[dim]
+    if dim == 0:
+        low_region = Rect(region.lows, (cut, region.highs[1]))
+        high_region = Rect((cut, region.lows[1]), region.highs)
+    else:
+        low_region = Rect(region.lows, (region.highs[0], cut))
+        high_region = Rect((region.lows[0], cut), region.highs)
+    low_points = [point for point in points if point[dim] <= cut]
+    high_points = [point for point in points if point[dim] > cut]
+    return _kd_regions(low_region, low_points, left_shards) + _kd_regions(
+        high_region, high_points, right_shards
+    )
+
+
+def _grid_regions(box: Rect, num_shards: int) -> list[Rect]:
+    """Tile ``box`` into exactly ``num_shards`` rectangular cells.
+
+    Rows split the y-extent evenly; each row is split into its own
+    number of columns, with the remainder spread over the first rows,
+    so any shard count (not just perfect squares) tiles exactly.
+    """
+    rows = max(1, int(num_shards**0.5))
+    base_cols, extra = divmod(num_shards, rows)
+    y0, y1 = box.lows[1], box.highs[1]
+    regions: list[Rect] = []
+    for row in range(rows):
+        cols = base_cols + (1 if row < extra else 0)
+        row_low = y0 + (y1 - y0) * row / rows
+        row_high = y0 + (y1 - y0) * (row + 1) / rows if row + 1 < rows else y1
+        x0, x1 = box.lows[0], box.highs[0]
+        for col in range(cols):
+            col_low = x0 + (x1 - x0) * col / cols
+            col_high = x0 + (x1 - x0) * (col + 1) / cols if col + 1 < cols else x1
+            regions.append(Rect((col_low, row_low), (col_high, row_high)))
+    return regions
+
+
+def plan_shards(
+    points: Sequence[tuple[float, float]],
+    num_shards: int,
+    method: str = "kd",
+    world: Rect | None = None,
+) -> ShardPlan:
+    """Plan ``num_shards`` regions over ``points``.
+
+    The regions tile the points' bounding box (``world`` is only the
+    fallback box when ``points`` is empty).  ``method`` is ``"kd"``
+    (balanced median splits, the default) or ``"grid"`` (uniform
+    tiling).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1, got %r" % (num_shards,))
+    if method not in PLAN_METHODS:
+        raise ValueError(
+            "unknown planning method %r (choose from %s)"
+            % (method, ", ".join(PLAN_METHODS))
+        )
+    box = _bounding_box(points, world)
+    if method == "grid":
+        regions = _grid_regions(box, num_shards)
+    else:
+        regions = _kd_regions(box, list(points), num_shards)
+    return ShardPlan(regions, method=method)

@@ -1,0 +1,270 @@
+"""Durable cluster state: per-shard WAL directories plus one manifest.
+
+On disk a cluster is a directory of shard state directories — each the
+ordinary single-tree layout :class:`~repro.reliability.recovery
+.CheckpointedIngest` maintains (``tree.json`` snapshot + ``tree.wal``)
+— tied together by a ``cluster.json`` manifest holding the serialized
+:class:`~repro.cluster.planner.ShardPlan` and each shard's applied-LSN
+high-water mark as of the last cluster checkpoint::
+
+    <dir>/cluster.json          # manifest: version, plan, shard LSNs
+    <dir>/shard-0/tree.json     # shard 0 snapshot
+    <dir>/shard-0/tree.wal      # shard 0 mutation WAL
+    <dir>/shard-1/...
+
+Recovery is per shard — each WAL replays independently onto its own
+snapshot (crash-consistent exactly as in the single-tree story) — and
+then the manifest is the cross-shard consistency check: a recovered
+shard may be *ahead* of its manifest LSN (mutations landed after the
+last checkpoint; the WAL preserved them) but never *behind* it, which
+would mean durable state vanished.  :func:`recover_cluster` enforces
+this and :func:`open_cluster` rebuilds a live
+:class:`~repro.cluster.coordinator.ClusterTree` routing exactly as the
+original process did.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.cluster.coordinator import ClusterStateError, ClusterTree, Shard
+from repro.cluster.planner import ShardPlan
+from repro.reliability.recovery import CheckpointedIngest, recover
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ClusterRecoveryReport",
+    "is_cluster_directory",
+    "open_cluster",
+    "read_manifest",
+    "recover_cluster",
+    "save_cluster",
+    "write_manifest",
+]
+
+#: File name of the cluster manifest inside a cluster directory.
+MANIFEST_NAME = "cluster.json"
+
+_MANIFEST_VERSION = 1
+
+
+def _manifest_path(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_NAME)
+
+
+def _shard_dirname(index: int) -> str:
+    return "shard-%d" % index
+
+
+def is_cluster_directory(path: str) -> bool:
+    """Whether ``path`` holds a cluster manifest (vs. a tree snapshot)."""
+    return os.path.isfile(_manifest_path(path))
+
+
+def write_manifest(directory: str, cluster: ClusterTree) -> str:
+    """Atomically (re)write ``directory``'s manifest from ``cluster``.
+
+    Called after every cluster checkpoint so the recorded per-shard
+    applied LSNs always describe one consistent set of shard snapshots.
+    """
+    payload: dict[str, Any] = {
+        "version": _MANIFEST_VERSION,
+        "name": cluster.name,
+        "parallelism": cluster.parallelism,
+        "plan": cluster.plan.as_json(),
+        "shards": [
+            {
+                "dir": _shard_dirname(shard.index),
+                "applied_lsn": shard.tree.applied_lsn,
+            }
+            for shard in cluster.shards
+        ],
+    }
+    path = _manifest_path(directory)
+    temp_path = path + ".tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+    return path
+
+
+def read_manifest(directory: str) -> dict[str, Any]:
+    """Load and validate ``directory``'s cluster manifest."""
+    path = _manifest_path(directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ClusterStateError(
+            "%s is not a cluster directory (no %s)" % (directory, MANIFEST_NAME)
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise ClusterStateError(
+            "unreadable cluster manifest %s: %s" % (path, exc)
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ClusterStateError("cluster manifest %s is not an object" % path)
+    version = payload.get("version")
+    if version != _MANIFEST_VERSION:
+        raise ClusterStateError(
+            "unsupported cluster manifest version %r in %s" % (version, path)
+        )
+    shards = payload.get("shards")
+    if not isinstance(shards, list) or not shards:
+        raise ClusterStateError("cluster manifest %s lists no shards" % path)
+    return payload
+
+
+def save_cluster(cluster: ClusterTree, directory: str) -> str:
+    """Attach durable state under ``directory`` to an in-memory cluster.
+
+    Creates one state directory per shard, attaches a
+    :class:`~repro.reliability.recovery.CheckpointedIngest` to each
+    shard tree (writing its base snapshot), and writes the manifest.
+    From here on every routed mutation is write-ahead logged per shard.
+    Returns the manifest path.
+    """
+    if cluster.directory is not None:
+        raise ClusterStateError(
+            "cluster already has durable state at %s" % cluster.directory
+        )
+    os.makedirs(directory, exist_ok=True)
+    attached: list[Shard] = []
+    try:
+        for shard in cluster.shards:
+            shard_dir = os.path.join(directory, _shard_dirname(shard.index))
+            shard.ingest = CheckpointedIngest(shard.tree, shard_dir, name="tree")
+            attached.append(shard)
+    except Exception:
+        for shard in attached:
+            if shard.ingest is not None:
+                shard.ingest.close()
+                shard.ingest = None
+        raise
+    cluster.directory = directory
+    return write_manifest(directory, cluster)
+
+
+class ClusterRecoveryReport:
+    """Per-shard recovery outcomes plus the manifest consistency check."""
+
+    __slots__ = ("directory", "name", "plan", "manifest", "shard_reports")
+
+    def __init__(
+        self,
+        directory: str,
+        name: str,
+        plan: ShardPlan,
+        manifest: dict[str, Any],
+        shard_reports: list[Any],
+    ) -> None:
+        self.directory = directory
+        self.name = name
+        self.plan = plan
+        self.manifest = manifest
+        self.shard_reports = shard_reports
+
+    @property
+    def replayed(self) -> int:
+        """Total WAL records replayed across all shards (all types)."""
+        return sum(
+            sum(report.replayed.values()) for report in self.shard_reports
+        )
+
+    def summary(self) -> str:
+        lines = [
+            "cluster %r: %d shards recovered, %d records replayed"
+            % (self.name, len(self.shard_reports), self.replayed)
+        ]
+        for index, report in enumerate(self.shard_reports):
+            lines.append("  shard %d: %s" % (index, report.summary()))
+        return "\n".join(lines)
+
+
+def recover_cluster(
+    directory: str, stats: Any = None, **overrides: Any
+) -> ClusterRecoveryReport:
+    """Recover every shard of the cluster under ``directory``.
+
+    Each shard replays its own WAL onto its own snapshot via
+    :func:`repro.reliability.recovery.recover`; afterwards each
+    recovered tree must have reached *at least* the applied LSN the
+    manifest recorded for it at the last cluster checkpoint — being
+    ahead is normal (post-checkpoint mutations replayed from the WAL),
+    being behind means durable state was lost and raises
+    :class:`~repro.cluster.coordinator.ClusterStateError`.
+    """
+    payload = read_manifest(directory)
+    plan = ShardPlan.from_json(payload["plan"])
+    entries = payload["shards"]
+    if len(entries) != len(plan):
+        raise ClusterStateError(
+            "cluster manifest lists %d shards but the plan has %d regions"
+            % (len(entries), len(plan))
+        )
+    shard_reports: list[Any] = []
+    for index, entry in enumerate(entries):
+        shard_dir = os.path.join(directory, entry["dir"])
+        if not os.path.isdir(shard_dir):
+            raise ClusterStateError(
+                "cluster manifest names missing shard directory %s" % shard_dir
+            )
+        report = recover(shard_dir, name="tree", stats=stats, **overrides)
+        manifest_lsn = entry.get("applied_lsn")
+        recovered_lsn = report.tree.applied_lsn
+        if manifest_lsn is not None and (
+            recovered_lsn is None or recovered_lsn < manifest_lsn
+        ):
+            raise ClusterStateError(
+                "shard %d recovered to LSN %r but the cluster manifest "
+                "recorded LSN %r — shard state is behind its checkpoint"
+                % (index, recovered_lsn, manifest_lsn)
+            )
+        shard_reports.append(report)
+    return ClusterRecoveryReport(
+        directory, str(payload.get("name", "cluster")), plan, payload, shard_reports
+    )
+
+
+def open_cluster(
+    directory: str,
+    parallelism: int | None = None,
+    stats: Any = None,
+    **overrides: Any,
+) -> ClusterTree:
+    """Recover and reopen the cluster under ``directory`` for serving.
+
+    Runs :func:`recover_cluster`, re-attaches a fresh per-shard WAL
+    ingest to every recovered tree, and rebuilds the coordinator from
+    the manifest's routing plan.  ``parallelism`` defaults to the value
+    recorded in the manifest.
+    """
+    report = recover_cluster(directory, stats=stats, **overrides)
+    if parallelism is None:
+        manifest_parallelism = report.manifest.get("parallelism", 1)
+        parallelism = int(manifest_parallelism) if manifest_parallelism else 1
+    shards: list[Shard] = []
+    try:
+        for index, shard_report in enumerate(report.shard_reports):
+            shard_dir = os.path.join(directory, _shard_dirname(index))
+            ingest = CheckpointedIngest(shard_report.tree, shard_dir, name="tree")
+            shards.append(
+                Shard(index, report.plan.regions[index], shard_report.tree, ingest)
+            )
+    except Exception:
+        for shard in shards:
+            if shard.ingest is not None:
+                shard.ingest.close()
+        raise
+    return ClusterTree(
+        report.plan,
+        shards,
+        parallelism=parallelism,
+        directory=directory,
+        name=report.name,
+    )

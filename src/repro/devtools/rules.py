@@ -72,7 +72,9 @@ class LockDisciplineRule(Rule):
     )
 
     def applies_to(self, module: str) -> bool:
-        return module.startswith("repro.service")
+        # The cluster coordinator holds one lock per shard and owes each
+        # shard tree the exact same protocol the service owes its tree.
+        return module.startswith(("repro.service", "repro.cluster"))
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         functions = {name for name, _ in walk_functions(context.tree)}
@@ -164,7 +166,9 @@ class WalBeforeApplyRule(Rule):
     )
 
     def applies_to(self, module: str) -> bool:
-        return module.startswith("repro.service")
+        # Routed cluster mutations carry the same contract per shard:
+        # each goes through the owning shard's ingest when one exists.
+        return module.startswith(("repro.service", "repro.cluster"))
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         for call, guarded in self._mutator_calls(context.tree.body, False):

@@ -29,6 +29,14 @@ request gets a deadline (``default_timeout`` unless overridden) and
 expires with :class:`RequestTimeoutError` rather than occupying a
 worker.  :meth:`stats` snapshots the ops surface
 (:class:`~repro.service.stats.ServiceStats`).
+
+The service also wraps a :class:`~repro.cluster.coordinator.ClusterTree`
+unchanged (detected by its ``is_cluster`` marker — the cluster package
+imports this one, so the dependency must not point back): queries run
+the coordinator's scatter-gather (batches fan out per shard through
+each shard's own collective processor), mutations route through the
+owning shard's WAL inside the coordinator, and scrubbing round-robins
+over the shards.  No service-level ingest may be attached in that mode.
 """
 
 import threading
@@ -241,21 +249,34 @@ class QueryService:
                  autostart=True):
         if ingest is not None and ingest.tree is not tree:
             raise ValueError("ingest wraps a different tree")
+        self._cluster = bool(getattr(tree, "is_cluster", False))
+        if self._cluster and ingest is not None:
+            raise ValueError(
+                "a cluster routes mutations through its own per-shard "
+                "WALs; pass ingest=None"
+            )
         self.tree = tree
         self.ingest = ingest
         self.config = config if config is not None else ServiceConfig()
         self.lock = ReadWriteLock()
         self.service_stats = ServiceStats(latency_window=self.config.latency_window)
-        if manifest_path is None and ingest is not None:
-            manifest_path = ingest.snapshot_path.rsplit(".json", 1)[0] + ".scrub.json"
-        scrub_budget = self.config.scrub_budget
-        self.scrubber = Scrubber(
-            tree,
-            self.lock,
-            manifest_path=manifest_path,
-            **({} if scrub_budget is None else {"budget": scrub_budget})
-        )
-        tree.add_mutation_observer(self.scrubber.observe_mutation)
+        if self._cluster:
+            # Each shard carries its own scrubber (round-robin via the
+            # coordinator's scrub_tick); none is needed at this level.
+            self.scrubber = None
+        else:
+            if manifest_path is None and ingest is not None:
+                manifest_path = (
+                    ingest.snapshot_path.rsplit(".json", 1)[0] + ".scrub.json"
+                )
+            scrub_budget = self.config.scrub_budget
+            self.scrubber = Scrubber(
+                tree,
+                self.lock,
+                manifest_path=manifest_path,
+                **({} if scrub_budget is None else {"budget": scrub_budget})
+            )
+            tree.add_mutation_observer(self.scrubber.observe_mutation)
         self._queue = deque()
         self._queue_cond = threading.Condition()
         self._closed = False
@@ -308,8 +329,9 @@ class QueryService:
             self._scrub_thread.join(timeout=5.0)
         for worker in self._workers:
             worker.join(timeout=5.0)
-        self.tree.remove_mutation_observer(self.scrubber.observe_mutation)
-        self.scrubber.persist_manifest()
+        if self.scrubber is not None:
+            self.tree.remove_mutation_observer(self.scrubber.observe_mutation)
+            self.scrubber.persist_manifest()
 
     def __enter__(self):
         return self
@@ -376,9 +398,10 @@ class QueryService:
         """Insert a POI under the write lock; WAL-logged via the ingest."""
         with self.lock.write_locked():
             if self.ingest is None:
-                # Standalone mode: no WAL attached, mutate directly.
-                self.tree.insert_poi(poi, epoch_aggregates)
-                return None
+                # Standalone mode: no service-level WAL, the tree applies
+                # directly (a cluster routes through its shard WALs and
+                # returns the routed LSN; a bare tree returns None).
+                return self.tree.insert_poi(poi, epoch_aggregates)
             return self.ingest.insert(poi, epoch_aggregates)
 
     def delete(self, poi_id):
@@ -397,7 +420,16 @@ class QueryService:
             return self.ingest.digest(epoch_index, counts)
 
     def checkpoint(self):
-        """Checkpoint the ingest under the write lock (requires an ingest)."""
+        """Checkpoint the durable state under the write lock.
+
+        Requires a :class:`CheckpointedIngest` — or a cluster, whose
+        :meth:`~repro.cluster.coordinator.ClusterTree.checkpoint` takes
+        each shard's snapshot and rewrites the cluster manifest.
+        Returns the snapshot (or manifest) path.
+        """
+        if self._cluster:
+            with self.lock.write_locked():
+                return self.tree.checkpoint()
         if self.ingest is None:
             raise ServiceError("no CheckpointedIngest attached")
         with self.lock.write_locked():
@@ -410,7 +442,13 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def scrub_tick(self, budget=None):
-        """Run one bounded scrubber tick; returns nodes examined."""
+        """Run one bounded scrubber tick; returns nodes examined.
+
+        In cluster mode the tick round-robins over the shards'
+        scrubbers (the coordinator owns them).
+        """
+        if self.scrubber is None:
+            return self.tree.scrub_tick(budget)
         return self.scrubber.tick(budget)
 
     def stats(self):
@@ -419,6 +457,8 @@ class QueryService:
         snapshot["queue_depth"] = len(self._queue)
         snapshot["pois"] = len(self.tree)
         snapshot["closed"] = self._closed
+        if self._cluster:
+            snapshot["cluster"] = self.tree.counters()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -499,7 +539,15 @@ class QueryService:
         queries = [request.query for request in batch]
         try:
             with self.lock.read_locked():
-                if len(batch) == 1:
+                if self._cluster:
+                    # The coordinator holds shard read locks itself; this
+                    # service-level read hold only orders against
+                    # service-level writers.
+                    if len(batch) == 1:
+                        results = [self.tree.query(queries[0], stats=stats)]
+                    else:
+                        results = self.tree.query_batch(queries, stats=stats)
+                elif len(batch) == 1:
                     results = [knnta_search(_StatsView(self.tree, stats), queries[0])]
                 else:
                     results = CollectiveProcessor(self.tree).run(queries, stats=stats)
@@ -520,19 +568,22 @@ class QueryService:
         interval = self.config.scrub_interval
         while not self._scrub_stop.wait(interval):
             try:
-                self.scrubber.tick()
+                self.scrub_tick()
             except Exception as exc:
                 # Maintenance must never take the service down, but the
                 # failure must not vanish either: surface it on the
                 # scrubber's health stream and let the next tick retry.
-                self.scrubber.events.append(
-                    HealthEvent(
-                        "scrub-error",
-                        "scrubber tick",
-                        "%s: %s" % (type(exc).__name__, exc),
-                        self.scrubber.sweeps_completed,
+                # (A cluster owns per-shard scrubbers; the coordinator's
+                # tick reports on the shard's own event stream.)
+                if self.scrubber is not None:
+                    self.scrubber.events.append(
+                        HealthEvent(
+                            "scrub-error",
+                            "scrubber tick",
+                            "%s: %s" % (type(exc).__name__, exc),
+                            self.scrubber.sweeps_completed,
+                        )
                     )
-                )
 
     def __repr__(self):
         return "QueryService(%r, %r, closed=%r)" % (

@@ -95,14 +95,17 @@ class AccessStats:
         self.tia_buffer_hits += other.tia_buffer_hits
         return self
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self, label: str | None = None) -> dict[str, int]:
         """The counters (and derived totals) as a plain ``dict``.
 
         Keys: the four raw counters plus ``rtree_nodes`` and
         ``total_io``.  This is the JSON-friendly shape used by the
         service snapshot, the wire protocol and the CLI cost report.
+        When ``label`` is given every key is prefixed ``"<label>."`` —
+        the cluster coordinator uses this to merge per-shard costs into
+        one flat, diffable mapping (``shards.0.total_io``, ...).
         """
-        return {
+        counters = {
             "rtree_internal": self.rtree_internal,
             "rtree_leaf": self.rtree_leaf,
             "rtree_nodes": self.rtree_nodes,
@@ -110,6 +113,9 @@ class AccessStats:
             "tia_buffer_hits": self.tia_buffer_hits,
             "total_io": self.total_io,
         }
+        if label is None:
+            return counters
+        return {"%s.%s" % (label, key): value for key, value in counters.items()}
 
     def __repr__(self) -> str:
         return (

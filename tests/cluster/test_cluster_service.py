@@ -1,0 +1,139 @@
+"""QueryService over a ClusterTree: same surface, scatter-gather inside."""
+
+import threading
+
+import pytest
+
+from repro import (
+    POI,
+    ClusterTree,
+    KNNTAQuery,
+    QueryService,
+    TARTree,
+    TimeInterval,
+    open_cluster,
+    save_cluster,
+)
+from repro.cluster.state import read_manifest
+from repro.service import ServiceConfig
+
+
+def make_query(tree, x=0.4, y=0.6, days=28.0, k=5, alpha0=0.3):
+    end = tree.current_time
+    return KNNTAQuery((x, y), TimeInterval(end - days, end), k=k, alpha0=alpha0)
+
+
+@pytest.fixture()
+def cluster(small_dataset):
+    built = ClusterTree.build(small_dataset, num_shards=3)
+    yield built
+    built.close()
+
+
+@pytest.mark.timeout(120)
+class TestClusterQueryPath:
+    def test_single_query_matches_direct_answer(self, cluster, small_dataset):
+        single = TARTree.build(small_dataset)
+        with QueryService(cluster) as service:
+            query = make_query(cluster)
+            assert service.query(query) == single.query(query)
+
+    def test_batched_queries_all_match(self, cluster):
+        queries = [
+            make_query(cluster, x=0.1 * (i % 7), y=0.1 * (i % 5))
+            for i in range(16)
+        ]
+        expected = [cluster.query(q) for q in queries]
+        config = ServiceConfig(workers=1, batch_size=16, linger=0.05)
+        service = QueryService(cluster, config=config, autostart=False)
+        pending = [service.submit(q) for q in queries]
+        service.start()
+        results = [p.result(timeout=30) for p in pending]
+        assert results == expected
+        assert pending[0].batch_size > 1  # the backlog really coalesced
+        service.close()
+
+    def test_concurrent_queries_and_mutations_stay_exact(self, cluster):
+        # Readers race a writer; every answer must match a direct query
+        # against the cluster at *some* consistent point, checked by the
+        # cluster's own locking (no torn reads -> no exceptions, exact
+        # result tuples).
+        config = ServiceConfig(workers=2, batch_size=4, linger=0.005)
+        errors = []
+        with QueryService(cluster, config=config) as service:
+            def read(index):
+                try:
+                    query = make_query(cluster, x=0.1 * (index % 9))
+                    assert len(service.query(query)) <= query.k
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            def write(index):
+                try:
+                    service.insert(POI("svc-%d" % index, 30.0 + index, 25.0))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=read, args=(i,)) for i in range(12)
+            ] + [threading.Thread(target=write, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert errors == []
+        assert all("svc-%d" % i in cluster for i in range(4))
+
+
+@pytest.mark.timeout(120)
+class TestClusterMutationsAndLifecycle:
+    def test_cluster_plus_ingest_rejected(self, cluster):
+        class FakeIngest:
+            tree = cluster
+
+        with pytest.raises(ValueError):
+            QueryService(cluster, ingest=FakeIngest())
+
+    def test_mutations_route_through_the_cluster(self, cluster):
+        with QueryService(cluster) as service:
+            assert service.insert(POI("svc-new", 30.0, 25.0), {0: 2}) is None
+            assert "svc-new" in cluster
+            service.digest(0, {"svc-new": 3})
+            assert cluster.poi_tia("svc-new").get(0) == 5
+            assert service.delete("svc-new") is True
+            assert "svc-new" not in cluster
+
+    def test_durable_cluster_mutations_return_lsns(self, small_dataset, tmp_path):
+        built = ClusterTree.build(small_dataset, num_shards=2)
+        save_cluster(built, str(tmp_path / "c"))
+        with QueryService(built) as service:
+            lsn = service.insert(POI("svc-durable", 30.0, 25.0), {0: 2})
+            assert isinstance(lsn, int)
+            manifest_path = service.checkpoint()
+            assert manifest_path.endswith("cluster.json")
+        manifest = read_manifest(str(tmp_path / "c"))
+        owner = built.plan.route((30.0, 25.0))
+        assert manifest["shards"][owner]["applied_lsn"] >= lsn
+        built.close()
+
+        reopened = open_cluster(str(tmp_path / "c"))
+        try:
+            assert "svc-durable" in reopened
+        finally:
+            reopened.close()
+
+    def test_scrub_tick_round_robins_cluster_shards(self, cluster):
+        with QueryService(cluster) as service:
+            assert service.scrubber is None  # shards own their scrubbers
+            for _ in range(len(cluster.shards)):
+                assert service.scrub_tick(budget=64) >= 0
+        assert all(shard.scrubber is not None for shard in cluster.shards)
+
+    def test_stats_report_cluster_counters(self, cluster):
+        with QueryService(cluster) as service:
+            service.query(make_query(cluster))
+            snapshot = service.stats()
+        assert snapshot["pois"] == len(cluster)
+        assert snapshot["cluster"]["queries"] >= 1
+        assert snapshot["cluster"]["shards"] == 3
+        assert "shards_pruned" in snapshot["cluster"]

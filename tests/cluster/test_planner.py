@@ -1,0 +1,128 @@
+"""Shard planning: balanced splits, deterministic routing, JSON round-trip."""
+
+import random
+
+import pytest
+
+from repro.cluster import ShardPlan, plan_shards
+from repro.spatial.geometry import Rect
+
+
+def random_points(n, seed, lo=0.0, hi=100.0):
+    rng = random.Random(seed)
+    return [(rng.uniform(lo, hi), rng.uniform(lo, hi)) for _ in range(n)]
+
+
+class TestPlanShards:
+    @pytest.mark.parametrize("method", ["kd", "grid"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 7, 8])
+    def test_every_point_routes_to_exactly_one_shard(self, method, num_shards):
+        points = random_points(200, seed=num_shards)
+        plan = plan_shards(points, num_shards, method=method)
+        assert len(plan) == num_shards
+        for point in points:
+            owners = [
+                index
+                for index, region in enumerate(plan.regions)
+                if region.contains_point(point)
+            ]
+            assert owners, "point %r owned by no region" % (point,)
+            assert plan.route(point) == owners[0]
+
+    def test_kd_split_balances_skewed_points(self):
+        # Heavy skew: 90% of the points cluster in one corner.  A k-d
+        # plan must still spread them; a grid plan will not.
+        rng = random.Random(5)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(180)]
+        points += [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(20)]
+        plan = plan_shards(points, 4, method="kd")
+        loads = [0] * 4
+        for point in points:
+            loads[plan.route(point)] += 1
+        assert max(loads) <= 2 * min(loads)
+
+    def test_grid_tiles_the_bounding_box_exactly(self):
+        points = random_points(50, seed=1)
+        plan = plan_shards(points, 6, method="grid")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        box = Rect((min(xs), min(ys)), (max(xs), max(ys)))
+        union = Rect.union_all(plan.regions)
+        assert union == box
+
+    def test_single_shard_plan_covers_everything(self):
+        points = random_points(30, seed=2)
+        plan = plan_shards(points, 1)
+        assert len(plan) == 1
+        assert all(plan.route(point) == 0 for point in points)
+
+    def test_empty_points_fall_back_to_the_world(self):
+        world = Rect((0.0, 0.0), (10.0, 10.0))
+        plan = plan_shards([], 4, world=world)
+        assert len(plan) == 4
+        assert Rect.union_all(plan.regions) == world
+
+    def test_empty_points_without_world_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards([], 2)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards([(0.0, 0.0)], 0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards([(0.0, 0.0)], 2, method="hash")
+
+    def test_identical_coordinates_still_split(self):
+        # A degenerate quantile (every x equal) must not produce an
+        # empty-extent region.
+        points = [(5.0, float(i)) for i in range(20)]
+        plan = plan_shards(points, 4, method="kd")
+        assert len(plan) == 4
+        for point in points:
+            assert plan.route(point) is not None
+
+
+class TestShardPlanRouting:
+    def test_boundary_points_route_deterministically(self):
+        plan = ShardPlan(
+            [Rect((0.0, 0.0), (5.0, 10.0)), Rect((5.0, 0.0), (10.0, 10.0))]
+        )
+        # x=5 sits on the shared edge: the first containing region wins.
+        assert plan.route((5.0, 5.0)) == 0
+
+    def test_out_of_bounds_routes_to_none(self):
+        plan = ShardPlan([Rect((0.0, 0.0), (10.0, 10.0))])
+        assert plan.route((20.0, 20.0)) is None
+
+    def test_nearest_picks_the_closest_region(self):
+        plan = ShardPlan(
+            [Rect((0.0, 0.0), (5.0, 10.0)), Rect((5.0, 0.0), (10.0, 10.0))]
+        )
+        assert plan.nearest((12.0, 5.0)) == 1
+        assert plan.nearest((-3.0, 5.0)) == 0
+
+    def test_nearest_ties_break_to_the_lower_index(self):
+        plan = ShardPlan(
+            [Rect((0.0, 0.0), (4.0, 10.0)), Rect((6.0, 0.0), (10.0, 10.0))]
+        )
+        assert plan.nearest((5.0, 5.0)) == 0
+
+
+class TestShardPlanSerialization:
+    def test_json_round_trip(self):
+        points = random_points(80, seed=9)
+        for method in ("kd", "grid"):
+            plan = plan_shards(points, 5, method=method)
+            rebuilt = ShardPlan.from_json(plan.as_json())
+            assert rebuilt == plan
+            assert rebuilt.method == method
+            for point in points:
+                assert rebuilt.route(point) == plan.route(point)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan([])
+        with pytest.raises(ValueError):
+            ShardPlan([Rect((0.0,), (1.0,))])

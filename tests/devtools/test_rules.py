@@ -117,6 +117,31 @@ class TestLockDiscipline:
         )
         assert findings == []
 
+    def test_cluster_package_is_in_scope(self, lint_source):
+        # The coordinator holds one lock per shard; its mutators owe the
+        # shard tree the same write-lock protocol the service owes its
+        # tree.
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            def apply(shard, poi):
+                shard.tree.insert_poi(poi)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT001", "RT002"]
+
+    def test_cluster_locked_routed_mutation_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            def apply(self, shard, poi):
+                with shard.lock.write_locked():
+                    if shard.ingest is None:
+                        shard.tree.insert_poi(poi)
+            """,
+        )
+        assert findings == []
+
     def test_suppression(self, lint_source):
         findings = lint_source(
             "repro/service/mod.py",
@@ -167,6 +192,17 @@ class TestWalBeforeApply:
             """,
         )
         assert "RT002" in rule_ids_of(findings)
+
+    def test_cluster_unguarded_mutation_fires(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            def digest(self, shard, epoch, counts):
+                with shard.lock.write_locked():
+                    shard.tree.digest_epoch(epoch, counts)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT002"]
 
     def test_routing_through_the_ingest_is_clean(self, lint_source):
         findings = lint_source(

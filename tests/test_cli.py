@@ -37,6 +37,17 @@ def tree_file(dataset_file, tmp_path_factory):
     return path
 
 
+@pytest.fixture(scope="module")
+def cluster_dir(dataset_file, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "cluster"
+    code, output = run_cli(
+        ["shard", str(dataset_file), "--shards", "4", "--out", str(path)]
+    )
+    assert code == 0
+    assert "4 shards" in output
+    return path
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -104,6 +115,93 @@ class TestQuery:
         )
         assert code == 0
         assert "scan cross-check: OK" in output
+
+
+class TestShard:
+    def test_shard_reports_the_plan(self, cluster_dir):
+        # The module fixture already built it; the manifest is on disk.
+        from repro.cluster import is_cluster_directory
+
+        assert is_cluster_directory(str(cluster_dir))
+        code, output = run_cli(
+            ["shard", str(cluster_dir / "missing.npz"), "--out",
+             str(cluster_dir / "nope")]
+        )
+        assert code == 2
+        assert "cannot read dataset snapshot" in output
+
+    def test_shard_lines_describe_every_region(self, dataset_file, tmp_path):
+        code, output = run_cli(
+            ["shard", str(dataset_file), "--shards", "3", "--method", "grid",
+             "--out", str(tmp_path / "c")]
+        )
+        assert code == 0
+        assert "(grid plan)" in output
+        assert output.count("shard ") == 3
+
+
+class TestClusterQuery:
+    def test_query_against_a_cluster_directory(self, cluster_dir):
+        code, output = run_cli(
+            ["query", str(cluster_dir), "--x", "50", "--y", "50",
+             "--last-days", "60", "--k", "3"]
+        )
+        assert code == 0
+        assert output.count("#") == 3
+        assert "cluster:" in output
+        assert "of 4 shard(s) visited" in output
+
+    def test_query_explain_prints_shard_labeled_costs(self, cluster_dir):
+        code, output = run_cli(
+            ["query", str(cluster_dir), "--x", "50", "--y", "50",
+             "--last-days", "60", "--k", "3", "--explain"]
+        )
+        assert code == 0
+        assert "shards_visited = " in output
+        assert "shards.0." in output or "shards.1." in output
+
+    def test_cluster_matches_single_tree_answers(self, cluster_dir, tree_file):
+        argv = ["--x", "30", "--y", "70", "--last-days", "120", "--k", "5"]
+        code_c, cluster_output = run_cli(["query", str(cluster_dir)] + argv)
+        code_t, tree_output = run_cli(["query", str(tree_file)] + argv)
+        assert code_c == code_t == 0
+        ranked = [
+            line for line in cluster_output.splitlines() if line.strip().startswith("#")
+        ]
+        assert ranked == [
+            line for line in tree_output.splitlines() if line.strip().startswith("#")
+        ]
+
+    def test_scan_cross_check_passes_on_a_cluster(self, cluster_dir):
+        code, output = run_cli(
+            ["query", str(cluster_dir), "--x", "10", "--y", "90",
+             "--last-days", "200", "--k", "5", "--scan"]
+        )
+        assert code == 0
+        assert "scan cross-check: OK" in output
+
+    def test_corrupt_shard_snapshot_exits_two(self, dataset_file, tmp_path):
+        from repro.reliability.faults import flip_bit
+
+        code, _ = run_cli(
+            ["shard", str(dataset_file), "--shards", "2",
+             "--out", str(tmp_path / "c")]
+        )
+        assert code == 0
+        flip_bit(str(tmp_path / "c" / "shard-0" / "tree.json"), bit_index=2000)
+        code, output = run_cli(
+            ["query", str(tmp_path / "c"), "--x", "50", "--y", "50",
+             "--last-days", "60", "--k", "3"]
+        )
+        assert code == 2
+        assert "cannot open cluster" in output
+
+    def test_directory_without_manifest_exits_two(self, tmp_path):
+        code, output = run_cli(
+            ["query", str(tmp_path), "--x", "1", "--y", "1", "--last-days", "7"]
+        )
+        assert code == 2
+        assert "no cluster manifest" in output
 
 
 class TestMWA:
@@ -316,3 +414,108 @@ class TestServe:
         from repro.reliability.recovery import recover
 
         assert "tcp-poi" in recover(str(state_dir)).tree
+
+    def test_refuses_wal_without_checkpoint(self, tree_file, tmp_path):
+        # Regression: a state dir holding a WAL but no snapshot used to
+        # start an empty serving session, silently orphaning the durable
+        # mutations.  It must refuse with an actionable message instead.
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        (state_dir / "tree.wal").write_text("")
+        code, output = run_cli(
+            ["serve", str(tree_file), "--state-dir", str(state_dir)]
+        )
+        assert code == 2
+        assert "refusing to start" in output
+        assert "repro recover" in output
+
+    def test_refuses_legacy_digestlog_without_checkpoint(
+        self, tree_file, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        (state_dir / "tree.digestlog").write_text("")
+        code, output = run_cli(
+            ["serve", str(tree_file), "--state-dir", str(state_dir)]
+        )
+        assert code == 2
+        assert "tree.digestlog" in output
+
+    def test_cluster_and_state_dir_conflict(self, cluster_dir, tmp_path):
+        code, output = run_cli(
+            ["serve", str(cluster_dir), "--cluster",
+             "--state-dir", str(tmp_path / "state")]
+        )
+        assert code == 2
+        assert "--state-dir does not apply" in output
+
+    def test_cluster_on_a_non_cluster_directory_exits_two(self, tmp_path):
+        code, output = run_cli(["serve", str(tmp_path), "--cluster"])
+        assert code == 2
+        assert "cannot open cluster" in output
+
+    @pytest.mark.timeout(120)
+    def test_serves_cluster_queries_over_tcp(self, cluster_dir, tmp_path):
+        import json
+        import re
+        import shutil
+        import socket
+        import threading
+        import time
+
+        # Serving checkpoints on shutdown; work on a private copy.
+        directory = tmp_path / "cluster"
+        shutil.copytree(cluster_dir, directory)
+        out = io.StringIO()
+        result = {}
+
+        def serve():
+            result["code"] = main(
+                ["serve", str(directory), "--cluster",
+                 "--port", "0", "--scrub-interval-ms", "0"],
+                out=out,
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 30
+        match = None
+        while time.monotonic() < deadline and not match:
+            match = re.search(r"serving on ([\d.]+):(\d+)", out.getvalue())
+            time.sleep(0.02)
+        assert match, out.getvalue()
+        assert "shards recovered" in out.getvalue()
+        address = (match.group(1), int(match.group(2)))
+
+        sock = socket.create_connection(address, timeout=30)
+        handle = sock.makefile("rwb")
+
+        def rpc(payload):
+            handle.write((json.dumps(payload) + "\n").encode("utf-8"))
+            handle.flush()
+            return json.loads(handle.readline())
+
+        response = rpc(
+            {"op": "query", "point": [50, 50], "interval": [0, 200], "k": 3}
+        )
+        assert response["ok"]
+        assert len(response["results"]) == 3
+        response = rpc(
+            {"op": "insert", "poi_id": "tcp-cluster-poi",
+             "point": [50.0, 50.0], "aggregates": [[1, 4]]}
+        )
+        assert response["ok"]
+        stats = rpc({"op": "stats"})
+        assert stats["stats"]["cluster"]["shards"] == 4
+        assert rpc({"op": "shutdown"})["bye"]
+        sock.close()
+        thread.join(timeout=30)
+        assert result["code"] == 0
+        # Shutdown checkpointed the cluster: the mutation is durable.
+        from repro.cluster import open_cluster
+
+        reopened = open_cluster(str(directory))
+        try:
+            assert "tcp-cluster-poi" in reopened
+        finally:
+            reopened.close()

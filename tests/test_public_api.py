@@ -49,6 +49,13 @@ EXPECTED_EXPORTS = [
     "validate_tree",
     "validate_against_dataset",
     "CorruptSnapshotError",
+    "ClusterTree",
+    "ClusterStateError",
+    "ShardPlan",
+    "plan_shards",
+    "save_cluster",
+    "open_cluster",
+    "recover_cluster",
     "__version__",
 ]
 
