@@ -36,8 +36,11 @@ coordinator with the same query surface (``python -m repro shard`` /
 __version__ = "0.3.0"
 
 from repro.cluster import (
+    ClusterDegradedError,
     ClusterStateError,
     ClusterTree,
+    DegradedAnswer,
+    ResilienceConfig,
     ShardPlan,
     open_cluster,
     plan_shards,
@@ -114,6 +117,9 @@ __all__ = [
     "CorruptSnapshotError",
     "ClusterTree",
     "ClusterStateError",
+    "ClusterDegradedError",
+    "DegradedAnswer",
+    "ResilienceConfig",
     "ShardPlan",
     "plan_shards",
     "save_cluster",

@@ -280,6 +280,22 @@ def build_parser():
         help="cluster mode: concurrent shard searches per query "
         "(default: the value recorded in the manifest)",
     )
+    serve.add_argument(
+        "--allow-degraded",
+        action="store_true",
+        help="cluster mode: when a shard is down and the bound "
+        "certificate cannot prove the answer exact, return an "
+        "explicitly degraded result (coverage + score bound) instead "
+        "of failing the query",
+    )
+    serve.add_argument(
+        "--shard-timeout-ms",
+        type=float,
+        default=0.0,
+        help="cluster mode: per-shard dispatch deadline before the "
+        "circuit breaker counts a timeout; 0 disables the deadline "
+        "(shard calls run inline)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=0, help="TCP port (0 = OS-assigned)"
@@ -327,8 +343,9 @@ def build_parser():
             "Run the repro.devtools lint rules: RT001 lock-discipline, "
             "RT002 wal-before-apply, RT003 no-bare-assert, RT004 "
             "float-equality, RT005 exception-hygiene, RT006 "
-            "warn-stacklevel (plus RT000 unused-suppression and RT900 "
-            "parse-error meta findings). Suppress one finding with a "
+            "warn-stacklevel, RT007 guarded-shard-dispatch (plus RT000 "
+            "unused-suppression and RT900 parse-error meta findings). "
+            "Suppress one finding with a "
             "same-line '# repro: allow[RT001]' comment; see "
             "docs/DEVTOOLS.md. Exit code 0: clean; 1: findings; 2: "
             "unknown rule id or missing path."
@@ -672,9 +689,19 @@ def _command_serve(args, out):
                     file=out,
                 )
                 return 2
+            resilience = None
+            if args.shard_timeout_ms > 0:
+                from repro.cluster import ResilienceConfig
+
+                resilience = ResilienceConfig(
+                    call_timeout=args.shard_timeout_ms / 1000.0
+                )
             try:
                 tree = cluster = open_cluster(
-                    args.tree, parallelism=args.parallelism
+                    args.tree,
+                    parallelism=args.parallelism,
+                    resilience=resilience,
+                    allow_degraded=args.allow_degraded,
                 )
             except ClusterStateError as exc:
                 print("cannot open cluster %s: %s" % (args.tree, exc), file=out)
@@ -682,6 +709,18 @@ def _command_serve(args, out):
             print(
                 "cluster %s: %d shards recovered, %d POIs"
                 % (args.tree, len(cluster.shards), len(cluster)),
+                file=out,
+            )
+            print(
+                "shard fault policy: %s, per-shard timeout %s"
+                % (
+                    "degraded answers allowed"
+                    if args.allow_degraded
+                    else "strict (degradation raises)",
+                    "%gms" % args.shard_timeout_ms
+                    if args.shard_timeout_ms > 0
+                    else "disabled",
+                ),
                 file=out,
             )
         elif args.state_dir and os.path.exists(

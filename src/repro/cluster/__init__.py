@@ -10,12 +10,25 @@ the bound).  The package is three layers:
 * :mod:`~repro.cluster.planner` — partition POIs into routable regions;
 * :mod:`~repro.cluster.coordinator` — scatter-gather queries and routed
   mutations over the live shards;
+* :mod:`~repro.cluster.resilience` — per-shard fault domains: circuit
+  breakers, guarded calls, bounded-degradation answers;
 * :mod:`~repro.cluster.state` — the on-disk manifest plus per-shard
   crash recovery.
 """
 
 from repro.cluster.coordinator import ClusterStateError, ClusterTree, Shard
 from repro.cluster.planner import ShardPlan, plan_shards
+from repro.cluster.resilience import (
+    CircuitBreaker,
+    ClusterDegradedError,
+    DegradedAnswer,
+    ResilienceConfig,
+    ShardCallTimeout,
+    ShardDownError,
+    ShardFaultError,
+    ShardGuard,
+    ShardHealthEvent,
+)
 from repro.cluster.state import (
     ClusterRecoveryReport,
     is_cluster_directory,
@@ -25,10 +38,19 @@ from repro.cluster.state import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "ClusterDegradedError",
     "ClusterRecoveryReport",
     "ClusterStateError",
     "ClusterTree",
+    "DegradedAnswer",
+    "ResilienceConfig",
     "Shard",
+    "ShardCallTimeout",
+    "ShardDownError",
+    "ShardFaultError",
+    "ShardGuard",
+    "ShardHealthEvent",
     "ShardPlan",
     "is_cluster_directory",
     "open_cluster",

@@ -29,20 +29,49 @@ standalone shards mutate their tree directly.  Every access holds the
 owning shard's :class:`~repro.service.locks.ReadWriteLock` on the
 correct side — queries shared, mutations exclusive — the same protocol
 the service layer enforces (lint rules RT001/RT002 cover this module).
+
+Every shard is additionally its own *fault domain*: dispatch, routed
+mutations and scrub ticks cross a :class:`~repro.cluster.resilience
+.ShardGuard` (per-shard timeout, seeded retry/backoff, circuit
+breaker — lint rule RT007 enforces the crossing).  Queries that miss a
+quarantined shard stay correct by construction: the coordinator keeps
+a :class:`~repro.cluster.resilience.ShardDescriptor` per shard (root
+MBR + epoch maxima, refreshed inside every guarded mutation), so a
+down shard whose best-possible score cannot beat the running k-th
+result is *certified* irrelevant and the answer is exact; otherwise
+the answer is an explicit :class:`~repro.cluster.resilience
+.DegradedAnswer` (under ``allow_degraded``) or a
+:class:`~repro.cluster.resilience.ClusterDegradedError` — never a
+hang, crash or silently wrong result.  Quarantined shards recover
+*online* via :meth:`ClusterTree.recover_shard`.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence, cast
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence, cast
 
 from repro.cluster.planner import ShardPlan, plan_shards
+from repro.cluster.resilience import (
+    CALLER,
+    CLOSED,
+    CallToken,
+    ClusterDegradedError,
+    DegradedAnswer,
+    ResilienceConfig,
+    ShardDescriptor,
+    ShardGuard,
+    ShardHealthEvent,
+    classify_error,
+)
 from repro.core.collective import CollectiveProcessor
 from repro.core.knnta import knnta_search
 from repro.core.query import KNNTAQuery, Normalizer, QueryResult
 from repro.core.tar_tree import DEFAULT_EPOCH_LENGTH_DAYS, POI, TARTree
+from repro.reliability.faults import FaultInjector
 from repro.service.locks import ReadWriteLock
 from repro.spatial.geometry import Rect
 from repro.storage.stats import AccessStats
@@ -52,7 +81,7 @@ from repro.temporal.tia import AggregateKind, IntervalSemantics
 if TYPE_CHECKING:
     from repro.core.grouping import GroupingStrategy
     from repro.datasets.generator import Dataset
-    from repro.reliability.recovery import CheckpointedIngest
+    from repro.reliability.recovery import CheckpointedIngest, RecoveryReport
     from repro.service.scrubber import Scrubber
     from repro.spatial.rstar import Node
 
@@ -163,6 +192,9 @@ class ClusterTree:
         parallelism: int = 1,
         directory: str | None = None,
         name: str = "cluster",
+        resilience: ResilienceConfig | None = None,
+        injector: FaultInjector | None = None,
+        allow_degraded: bool = False,
     ) -> None:
         if len(shards) != len(plan):
             raise ValueError(
@@ -188,8 +220,33 @@ class ClusterTree:
         self.shards_visited = 0
         self.shards_pruned = 0
         self.routing_overflows = 0
+        self.shards_failed = 0
+        self.certified_exact = 0
+        self.degraded_answers = 0
+        self.recoveries = 0
         self._counter_lock = threading.Lock()
         self._scrub_cursor = 0
+        # -- fault domains -------------------------------------------------
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.allow_degraded = allow_degraded
+        self.injector = injector
+        #: Recent :class:`ShardHealthEvent` s (bounded; newest last).
+        self.health_events: deque[ShardHealthEvent] = deque(maxlen=256)
+        self._health_observers: list[Callable[[ShardHealthEvent], None]] = []
+        self._guards = [
+            ShardGuard(
+                shard.index,
+                self.resilience,
+                injector=injector,
+                on_event=self._note_health,
+            )
+            for shard in self.shards
+        ]
+        self._descriptors = [ShardDescriptor() for _ in self.shards]
+        self._recovery_lock = threading.Lock()
+        for shard in self.shards:
+            with shard.lock.read_locked():
+                self._descriptors[shard.index].refresh(shard.tree)
 
     # ------------------------------------------------------------------
     # Construction
@@ -207,6 +264,9 @@ class ClusterTree:
         until_time: float | None = None,
         bulk: bool = False,
         parallelism: int = 1,
+        resilience: ResilienceConfig | None = None,
+        injector: FaultInjector | None = None,
+        allow_degraded: bool = False,
         **kwargs: Any,
     ) -> ClusterTree:
         """Plan shards over ``dataset`` and build one TAR-tree per shard.
@@ -250,16 +310,39 @@ class ClusterTree:
             if index is None:
                 index = plan.nearest(point)
             assignments[index].append((POI(poi_id, *point), counts[poi_id]))
+        cluster = cls(
+            plan,
+            shards,
+            parallelism=parallelism,
+            resilience=resilience,
+            injector=injector,
+            allow_degraded=allow_degraded,
+        )
         for shard in shards:
-            rows = assignments[shard.index]
+            cluster._load_shard(shard, assignments[shard.index], bulk)
+        return cluster
+
+    def _load_shard(
+        self,
+        shard: Shard,
+        rows: list[tuple[POI, dict[int, int]]],
+        bulk: bool,
+    ) -> None:
+        """Guarded initial load of one shard (build time has no WAL)."""
+        descriptor = self._descriptors[shard.index]
+
+        def load(token: CallToken) -> None:
             with shard.lock.write_locked():
+                descriptor.fresh = False
                 if shard.ingest is None:
                     if bulk:
                         shard.tree.bulk_load(rows)
                     else:
                         for poi, history in rows:
                             shard.tree.insert_poi(poi, history or None)
-        return cls(plan, shards, parallelism=parallelism)
+                descriptor.refresh(shard.tree)
+
+        self._guards[shard.index].call("mutate", load)
 
     # ------------------------------------------------------------------
     # Basic surface parity with TARTree
@@ -317,13 +400,68 @@ class ClusterTree:
     def counters(self) -> dict[str, int]:
         """The coordinator's running totals as a JSON-ready dict."""
         with self._counter_lock:
-            return {
+            counters = {
                 "shards": len(self.shards),
                 "queries": self.queries,
                 "shards_visited": self.shards_visited,
                 "shards_pruned": self.shards_pruned,
                 "routing_overflows": self.routing_overflows,
+                "shards_failed": self.shards_failed,
+                "certified_exact": self.certified_exact,
+                "degraded_answers": self.degraded_answers,
+                "recoveries": self.recoveries,
             }
+        counters["breaker_opens"] = sum(
+            guard.breaker.opens for guard in self._guards
+        )
+        counters["shards_down"] = sum(
+            1 for guard in self._guards if guard.breaker.state != CLOSED
+        )
+        counters["shard_retries"] = sum(guard.retries for guard in self._guards)
+        counters["shard_timeouts"] = sum(guard.timeouts for guard in self._guards)
+        return counters
+
+    # ------------------------------------------------------------------
+    # Health surface
+    # ------------------------------------------------------------------
+
+    def _note_health(self, event: ShardHealthEvent) -> None:
+        self.health_events.append(event)
+        for observer in list(self._health_observers):
+            observer(event)
+
+    def add_health_observer(
+        self, observer: Callable[[ShardHealthEvent], None]
+    ) -> None:
+        """Register a callback invoked on every shard health event."""
+        self._health_observers.append(observer)
+
+    def remove_health_observer(
+        self, observer: Callable[[ShardHealthEvent], None]
+    ) -> None:
+        self._health_observers.remove(observer)
+
+    def health(self) -> dict[str, Any]:
+        """Per-shard breaker/guard state plus recent health events."""
+        shards = []
+        for shard in self.shards:
+            snapshot = self._guards[shard.index].snapshot()
+            descriptor = self._descriptors[shard.index]
+            snapshot["shard"] = shard.index
+            snapshot["pois"] = descriptor.pois
+            snapshot["descriptor_fresh"] = descriptor.fresh
+            shards.append(snapshot)
+        with self._counter_lock:
+            recoveries = self.recoveries
+            degraded = self.degraded_answers
+            certified = self.certified_exact
+        return {
+            "shards": shards,
+            "recoveries": recoveries,
+            "degraded_answers": degraded,
+            "certified_exact": certified,
+            "events": [event.as_dict() for event in list(self.health_events)],
+        }
 
     def _owner_of(self, poi_id: Any) -> Shard | None:
         for shard in self.shards:
@@ -336,13 +474,39 @@ class ClusterTree:
     # ------------------------------------------------------------------
 
     def global_epoch_max(self) -> dict[int, int]:
-        """Per-epoch maxima over *all* shards — the single tree's view."""
+        """Per-epoch maxima over *all* shards — the single tree's view.
+
+        Served from the per-shard descriptors, which every successful
+        guarded mutation refreshes synchronously — so the query path
+        never touches a shard tree for normalisation, and a *down*
+        shard contributes its last consistent maxima instead of
+        failing the whole cluster.
+        """
         merged: dict[int, int] = {}
         for shard in self.shards:
-            for epoch, value in shard.tree.global_epoch_max().items():
+            descriptor = self._descriptors[shard.index]
+            if not descriptor.fresh:
+                self._refresh_descriptor(shard)
+            for epoch, value in descriptor.epoch_max.items():
                 if value > merged.get(epoch, 0):
                     merged[epoch] = value
         return merged
+
+    def _refresh_descriptor(self, shard: Shard) -> None:
+        """Guarded descriptor rebuild; a down shard keeps stale values."""
+        descriptor = self._descriptors[shard.index]
+
+        def refresh(token: CallToken) -> None:
+            with shard.lock.read_locked():
+                descriptor.refresh(shard.tree)
+
+        try:
+            self._guards[shard.index].call("query", refresh)
+        except Exception as exc:
+            # The shard is unreachable: its last-known descriptor keeps
+            # serving bounds (that is the whole point of the cache).
+            if classify_error(exc) == CALLER:
+                raise
 
     def max_aggregate_bound(
         self,
@@ -387,34 +551,81 @@ class ClusterTree:
         query: KNNTAQuery,
         normalizer: Normalizer | None = None,
         stats: AccessStats | None = None,
-    ) -> list[QueryResult]:
+        allow_degraded: bool | None = None,
+    ) -> list[QueryResult] | DegradedAnswer:
         """Answer ``query`` exactly; see the module docs for the bound.
 
         ``stats`` (when given) additionally receives the merged node
         accesses of this call, for per-request attribution.
+
+        When a shard is down, the answer is still *exact* whenever the
+        degradation certificate holds (the shard's best-possible score
+        cannot beat the running k-th result).  Otherwise the call
+        raises :class:`ClusterDegradedError` — or, under
+        ``allow_degraded`` (argument, else the cluster default),
+        returns a :class:`DegradedAnswer` carrying the coverage, the
+        missed shard ids and the tight score bound.
         """
-        rows, per_shard, _visited, _pruned = self._scatter(query, normalizer)
+        rows, per_shard, _visited, _pruned, _missed, blocking = self._scatter(
+            query, normalizer
+        )
         for shard_stats in per_shard.values():
             self.stats.merge(shard_stats)
             if stats is not None:
                 stats.merge(shard_stats)
-        return [row[3] for row in rows[: query.k]]
+        return self._resolve(
+            [row[3] for row in rows[: query.k]], blocking, allow_degraded
+        )
+
+    def _resolve(
+        self,
+        results: list[QueryResult],
+        blocking: Mapping[int, float],
+        allow_degraded: bool | None,
+    ) -> list[QueryResult] | DegradedAnswer:
+        """Apply the degradation policy to one scatter-gather outcome."""
+        if not blocking:
+            return results
+        coverage = 1.0 - len(blocking) / float(len(self.shards))
+        score_bound = min(blocking.values())
+        missed = tuple(sorted(blocking))
+        permitted = (
+            self.allow_degraded if allow_degraded is None else allow_degraded
+        )
+        if not permitted:
+            raise ClusterDegradedError(missed, coverage, score_bound)
+        with self._counter_lock:
+            self.degraded_answers += 1
+        return DegradedAnswer(results, missed, coverage, score_bound)
 
     def explain(
-        self, query: KNNTAQuery, normalizer: Normalizer | None = None
-    ) -> tuple[list[QueryResult], dict[str, int]]:
+        self,
+        query: KNNTAQuery,
+        normalizer: Normalizer | None = None,
+        allow_degraded: bool | None = None,
+    ) -> tuple[list[QueryResult] | DegradedAnswer, dict[str, int]]:
         """Answer ``query`` and report a flat, diffable cost mapping.
 
         The mapping carries the merged access counters (the plain
         :meth:`AccessStats.as_dict` keys), per-shard counters under
-        ``shards.<i>.*``, and the pruning outcome
-        (``shards_visited`` / ``shards_pruned``).
+        ``shards.<i>.*``, the pruning outcome (``shards_visited`` /
+        ``shards_pruned``) and the fault-domain outcome
+        (``shards_failed`` — shards that errored out of the dispatch,
+        ``shards_certified`` — failed shards proven irrelevant by the
+        bound certificate, ``shards_down`` — breakers currently open).
         """
-        rows, per_shard, visited, pruned = self._scatter(query, normalizer)
+        rows, per_shard, visited, pruned, missed, blocking = self._scatter(
+            query, normalizer
+        )
         cost: dict[str, int] = {
             "shards": len(self.shards),
             "shards_visited": len(visited),
             "shards_pruned": pruned,
+            "shards_failed": len(missed),
+            "shards_certified": len(missed) - len(blocking),
+            "shards_down": sum(
+                1 for guard in self._guards if guard.breaker.state != CLOSED
+            ),
         }
         total = AccessStats()
         for index in sorted(per_shard):
@@ -423,13 +634,17 @@ class ClusterTree:
             cost.update(shard_stats.as_dict(label="shards.%d" % index))
         cost.update(total.as_dict())
         self.stats.merge(total)
-        return [row[3] for row in rows[: query.k]], cost
+        answer = self._resolve(
+            [row[3] for row in rows[: query.k]], blocking, allow_degraded
+        )
+        return answer, cost
 
     def query_batch(
         self,
         queries: Sequence[KNNTAQuery],
         stats: AccessStats | None = None,
-    ) -> list[list[QueryResult]]:
+        allow_degraded: bool | None = None,
+    ) -> list[list[QueryResult] | DegradedAnswer]:
         """Answer a collective batch: per-shard shared traversal, full merge.
 
         Every non-empty shard runs the batch through its own
@@ -438,6 +653,12 @@ class ClusterTree:
         the cluster-level normalisers pushed down; per-query results
         merge deterministically.  Batches visit all shards — the
         per-query pruning bound does not compose across a whole batch.
+
+        A shard failing out of the dispatch degrades *per query*: each
+        rider's answer is certified exact on its own bound (the missed
+        shard's best-possible score for *that* query versus that
+        query's k-th result) and only the riders the certificate cannot
+        cover degrade (or raise, under the strict default).
         """
         for query in queries:
             query.validate()
@@ -451,21 +672,18 @@ class ClusterTree:
         ]
         batch_total = AccessStats()
         visited = 0
+        failed: list[int] = []
         for shard in self.shards:
-            shard_stats = AccessStats()
-            view = cast(
-                TARTree, _ShardView(shard.tree, shard_stats, normalizers)
-            )
-            with shard.lock.read_locked():
-                empty = not shard.tree.root.entries
-                if not empty:
-                    tia_before = shard.tree.stats.snapshot()
-                    shard_lists = CollectiveProcessor(view).run(
-                        queries, stats=shard_stats
-                    )
-                    shard_stats.merge(shard.tree.stats.diff(tia_before))
-            if empty:
+            try:
+                outcome = self._batch_shard(shard, queries, normalizers)
+            except Exception as exc:
+                if classify_error(exc) == CALLER:
+                    raise
+                failed.append(shard.index)
                 continue
+            if outcome is None:
+                continue
+            shard_lists, shard_stats = outcome
             visited += 1
             batch_total.merge(shard_stats)
             for i, results in enumerate(shard_lists):
@@ -476,14 +694,72 @@ class ClusterTree:
         self.stats.merge(batch_total)
         if stats is not None:
             stats.merge(batch_total)
+        any_blocking = False
+        answers: list[list[QueryResult] | DegradedAnswer] = []
+        resolved: list[
+            tuple[list[QueryResult], dict[int, float]]
+        ] = []
+        for query, rows in zip(queries, merged):
+            rows.sort(key=lambda row: (row[0], row[1], row[2]))
+            top = [row[3] for row in rows[: query.k]]
+            blocking: dict[int, float] = {}
+            if failed:
+                kth = (
+                    rows[query.k - 1][0]
+                    if len(rows) >= query.k
+                    else float("inf")
+                )
+                key = (query.interval, query.semantics)
+                for index in failed:
+                    bound = self._descriptors[index].bound(
+                        query, normalizers[key], self.clock, self.aggregate_kind
+                    )
+                    if bound is None:
+                        continue
+                    if len(rows) < query.k or bound < kth:
+                        blocking[index] = bound
+                        any_blocking = True
+            resolved.append((top, blocking))
         with self._counter_lock:
             self.queries += len(queries)
             self.shards_visited += visited
-        answers: list[list[QueryResult]] = []
-        for query, rows in zip(queries, merged):
-            rows.sort(key=lambda row: (row[0], row[1], row[2]))
-            answers.append([row[3] for row in rows[: query.k]])
+            self.shards_failed += len(failed)
+            if failed and not any_blocking:
+                self.certified_exact += 1
+        for top, blocking in resolved:
+            answers.append(self._resolve(top, blocking, allow_degraded))
         return answers
+
+    def _batch_shard(
+        self,
+        shard: Shard,
+        queries: Sequence[KNNTAQuery],
+        normalizers: Mapping[tuple[TimeInterval, IntervalSemantics], Normalizer],
+    ) -> tuple[list[list[QueryResult]], AccessStats] | None:
+        """Guarded collective run on one shard; ``None`` if it is empty."""
+
+        def dispatch(
+            token: CallToken,
+        ) -> tuple[list[list[QueryResult]], AccessStats] | None:
+            shard_stats = AccessStats()
+            view = cast(
+                TARTree, _ShardView(shard.tree, shard_stats, normalizers)
+            )
+            with shard.lock.read_locked():
+                token.check()
+                if not shard.tree.root.entries:
+                    return None
+                tia_before = shard.tree.stats.snapshot()
+                shard_lists = CollectiveProcessor(view).run(
+                    queries, stats=shard_stats
+                )
+                shard_stats.merge(shard.tree.stats.diff(tia_before))
+            return shard_lists, shard_stats
+
+        return cast(
+            "tuple[list[list[QueryResult]], AccessStats] | None",
+            self._guards[shard.index].call("query", dispatch),
+        )
 
     # -- internals -----------------------------------------------------------
 
@@ -495,36 +771,44 @@ class ClusterTree:
         MINDIST from the query point to the shard's root MBR bounds
         every POI distance from below; the shard's root-level aggregate
         bound (Property 1) bounds every aggregate from above — so this
-        weighted sum under-estimates every shard POI's score.
+        weighted sum under-estimates every shard POI's score.  Served
+        from the shard's descriptor (refreshed inside every guarded
+        mutation), so computing it never touches the shard tree — a
+        down shard's *last consistent* bound is exactly what the
+        degradation certificate needs.
         """
-        with shard.lock.read_locked():
-            entries = shard.tree.root.entries
-            if not entries:
-                return None
-            mbr = Rect.union_all(entry.mbr for entry in entries)
-            raw_aggregate = shard.tree.max_aggregate_bound(
-                query.interval, query.semantics
-            )
-        distance, aggregate = normalizer.components(
-            mbr.min_dist(query.point), raw_aggregate
+        descriptor = self._descriptors[shard.index]
+        if not descriptor.fresh:
+            self._refresh_descriptor(shard)
+        return descriptor.bound(
+            query, normalizer, self.clock, self.aggregate_kind
         )
-        return query.alpha0 * distance + query.alpha1 * (1.0 - aggregate)
 
     def _query_shard(
         self, index: int, query: KNNTAQuery, normalizer: Normalizer
     ) -> tuple[list[QueryResult], AccessStats]:
         shard = self.shards[index]
-        shard_stats = AccessStats()
-        view = cast(TARTree, _ShardView(shard.tree, shard_stats))
-        with shard.lock.read_locked():
-            # Node accesses route through the view; TIA page accesses
-            # land on the shard tree's own stats, so diff them into the
-            # per-call stats (approximate only under concurrent readers,
-            # exactly as for service batches on a single tree).
-            tia_before = shard.tree.stats.snapshot()
-            results = knnta_search(view, query, normalizer=normalizer)
-            shard_stats.merge(shard.tree.stats.diff(tia_before))
-        return results, shard_stats
+
+        def dispatch(
+            token: CallToken,
+        ) -> tuple[list[QueryResult], AccessStats]:
+            shard_stats = AccessStats()
+            view = cast(TARTree, _ShardView(shard.tree, shard_stats))
+            with shard.lock.read_locked():
+                token.check()
+                # Node accesses route through the view; TIA page accesses
+                # land on the shard tree's own stats, so diff them into
+                # the per-call stats (approximate only under concurrent
+                # readers, exactly as for service batches on one tree).
+                tia_before = shard.tree.stats.snapshot()
+                results = knnta_search(view, query, normalizer=normalizer)
+                shard_stats.merge(shard.tree.stats.diff(tia_before))
+            return results, shard_stats
+
+        return cast(
+            "tuple[list[QueryResult], AccessStats]",
+            self._guards[index].call("query", dispatch),
+        )
 
     def _scatter(
         self, query: KNNTAQuery, normalizer: Normalizer | None
@@ -533,13 +817,19 @@ class ClusterTree:
         dict[int, AccessStats],
         list[int],
         int,
+        dict[int, float],
+        dict[int, float],
     ]:
         """Run the bound-pruned scatter-gather; returns merged rows.
 
         Rows are ``(score, shard index, within-shard rank, result)``
         sorted ascending — ties (probability zero on continuous data)
         break toward the lower shard index, matching the deterministic
-        batch merge.
+        batch merge.  The two final mappings are ``{shard index:
+        bound}`` for every shard that failed out of the dispatch
+        (*missed*) and for the subset whose bound could still beat the
+        k-th score (*blocking*); a missed shard absent from *blocking*
+        was certified irrelevant and the answer stays provably exact.
         """
         query.validate()
         if normalizer is None:
@@ -550,9 +840,11 @@ class ClusterTree:
             if bound is not None:
                 bounds.append((bound, shard.index))
         bounds.sort()
+        bound_of = dict((index, bound) for bound, index in bounds)
         rows: list[tuple[float, int, int, QueryResult]] = []
         per_shard: dict[int, AccessStats] = {}
         visited: list[int] = []
+        missed: dict[int, float] = {}
         pruned = 0
 
         def kth_score() -> float:
@@ -573,7 +865,14 @@ class ClusterTree:
                 if bound >= kth_score():
                     pruned = len(bounds) - position
                     break
-                absorb(index, self._query_shard(index, query, normalizer))
+                try:
+                    answer = self._query_shard(index, query, normalizer)
+                except Exception as exc:
+                    if classify_error(exc) == CALLER:
+                        raise
+                    missed[index] = bound
+                    continue
+                absorb(index, answer)
         else:
             queue = deque(bounds)
             pending: dict[Future[tuple[list[QueryResult], AccessStats]], int] = {}
@@ -593,12 +892,36 @@ class ClusterTree:
                         break
                     done, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
-                        absorb(pending.pop(future), future.result())
+                        index = pending.pop(future)
+                        try:
+                            answer = future.result()
+                        except Exception as exc:
+                            if classify_error(exc) == CALLER:
+                                raise
+                            missed[index] = bound_of[index]
+                            continue
+                        absorb(index, answer)
+        # The degradation certificate: a missed shard is harmless when
+        # the answer already holds k results whose k-th score is at or
+        # below the shard's best-possible score (its bound is a true
+        # lower bound on every POI it holds, so nothing it could have
+        # contributed would displace the current top-k).  Shards that
+        # fail the test are *blocking* — the answer is not provably
+        # exact without them.
+        final_kth = kth_score()
+        blocking = dict(
+            (index, bound)
+            for index, bound in missed.items()
+            if len(rows) < query.k or bound < final_kth
+        )
         with self._counter_lock:
             self.queries += 1
             self.shards_visited += len(visited)
             self.shards_pruned += pruned
-        return rows, per_shard, visited, pruned
+            self.shards_failed += len(missed)
+            if missed and not blocking:
+                self.certified_exact += 1
+        return rows, per_shard, visited, pruned, missed, blocking
 
     # ------------------------------------------------------------------
     # Routed mutations (per-shard lock + WAL)
@@ -627,22 +950,46 @@ class ClusterTree:
             with self._counter_lock:
                 self.routing_overflows += 1
         shard = self.shards[index]
-        with shard.lock.write_locked():
-            if shard.ingest is None:
-                shard.tree.insert_poi(poi, epoch_aggregates)
-                return None
-            lsn = shard.ingest.insert(poi, epoch_aggregates)
-            return cast("int | None", lsn)
+        descriptor = self._descriptors[index]
+
+        def apply(token: CallToken) -> int | None:
+            with shard.lock.write_locked():
+                token.check()
+                descriptor.fresh = False
+                if shard.ingest is None:
+                    shard.tree.insert_poi(poi, epoch_aggregates)
+                    lsn: int | None = None
+                else:
+                    lsn = cast(
+                        "int | None", shard.ingest.insert(poi, epoch_aggregates)
+                    )
+                descriptor.refresh(shard.tree)
+                return lsn
+
+        return cast(
+            "int | None", self._guards[index].call("mutate", apply)
+        )
 
     def delete_poi(self, poi_id: Any) -> bool:
         """Delete ``poi_id`` from its owning shard; ``True`` if indexed."""
         shard = self._owner_of(poi_id)
         if shard is None:
             return False
-        with shard.lock.write_locked():
-            if shard.ingest is None:
-                return shard.tree.delete_poi(poi_id)
-            return shard.ingest.delete(poi_id) is not None
+        target = shard
+        descriptor = self._descriptors[target.index]
+
+        def apply(token: CallToken) -> bool:
+            with target.lock.write_locked():
+                token.check()
+                descriptor.fresh = False
+                if target.ingest is None:
+                    deleted = target.tree.delete_poi(poi_id)
+                else:
+                    deleted = target.ingest.delete(poi_id) is not None
+                descriptor.refresh(target.tree)
+                return deleted
+
+        return cast(bool, self._guards[target.index].call("mutate", apply))
 
     def digest_epoch(self, epoch_index: int, counts: Mapping[Any, int]) -> None:
         """Digest one epoch batch, routed per owning shard.
@@ -667,11 +1014,24 @@ class ClusterTree:
         for index in sorted(routed):
             shard = self.shards[index]
             sub_batch = routed[index]
-            with shard.lock.write_locked():
-                if shard.ingest is None:
-                    shard.tree.digest_epoch(epoch_index, sub_batch)
-                else:
-                    shard.ingest.digest(epoch_index, sub_batch)
+            descriptor = self._descriptors[index]
+
+            def apply(
+                token: CallToken,
+                shard: Shard = shard,
+                sub_batch: dict[Any, int] = sub_batch,
+                descriptor: ShardDescriptor = descriptor,
+            ) -> None:
+                with shard.lock.write_locked():
+                    token.check()
+                    descriptor.fresh = False
+                    if shard.ingest is None:
+                        shard.tree.digest_epoch(epoch_index, sub_batch)
+                    else:
+                        shard.ingest.digest(epoch_index, sub_batch)
+                    descriptor.refresh(shard.tree)
+
+            self._guards[index].call("mutate", apply)
 
     # ------------------------------------------------------------------
     # Durability and maintenance
@@ -708,12 +1068,41 @@ class ClusterTree:
         return write_manifest(self.directory, self)
 
     def scrub_tick(self, budget: int | None = None) -> int:
-        """One bounded scrubber tick on the next shard (round-robin)."""
+        """One bounded scrubber tick on the next shard (round-robin).
+
+        Doubles as the online-recovery driver: when the tick lands on a
+        shard whose breaker is flagged ``needs_recovery`` and the
+        cluster has durable state, the tick attempts
+        :meth:`recover_shard` instead of scrubbing.  A shard that fails
+        its tick (or its recovery) costs the tick — the guard records
+        the failure and the tick returns 0 rather than crashing the
+        maintenance loop.
+        """
         with self._counter_lock:
             cursor = self._scrub_cursor
             self._scrub_cursor += 1
         shard = self.shards[cursor % len(self.shards)]
-        return cast(int, self._shard_scrubber(shard).tick(budget))
+        guard = self._guards[shard.index]
+        if guard.breaker.needs_recovery:
+            if self.directory is None:
+                return 0
+            try:
+                self.recover_shard(shard.index)
+            except Exception as exc:
+                if classify_error(exc) == CALLER:
+                    raise
+                return 0
+            return 0
+
+        def tick(token: CallToken) -> int:
+            return cast(int, self._shard_scrubber(shard).tick(budget))
+
+        try:
+            return cast(int, guard.call("scrub", tick))
+        except Exception as exc:
+            if classify_error(exc) == CALLER:
+                raise
+            return 0
 
     def _shard_scrubber(self, shard: Shard) -> Scrubber:
         if shard.scrubber is None:
@@ -730,9 +1119,74 @@ class ClusterTree:
             shard.tree.add_mutation_observer(shard.scrubber.observe_mutation)
         return shard.scrubber
 
+    # ------------------------------------------------------------------
+    # Online shard recovery
+    # ------------------------------------------------------------------
+
+    def recover_shard(self, index: int) -> RecoveryReport:
+        """Reopen shard ``index`` from its checkpoint + WAL tail, online.
+
+        The recovery open runs through the guard as an ``"open"`` call
+        (fault-injectable, never breaker-rejected — it is how a
+        quarantined shard gets back in); the cutover then happens under
+        the shard's write lock: the recovered tree must have reached at
+        least the live tree's applied LSN (the WAL is the shared source
+        of truth, so going backwards means durable state vanished), the
+        old ingest and scrubber detach, a fresh
+        :class:`~repro.reliability.recovery.CheckpointedIngest` rides
+        the same WAL, and the shard descriptor refreshes from the
+        recovered tree.  Queries keep flowing the whole time — they
+        hold the read side of the same lock.  Afterwards the breaker is
+        readmitted half-open; probe successes close it.
+        """
+        from repro.reliability.recovery import CheckpointedIngest, recover
+
+        if self.directory is None:
+            raise ClusterStateError(
+                "online shard recovery needs durable state; create it with "
+                "save_cluster() or open_cluster()"
+            )
+        shard = self.shards[index]
+        guard = self._guards[index]
+        descriptor = self._descriptors[index]
+        with self._recovery_lock:
+            shard_dir = os.path.join(self.directory, "shard-%d" % index)
+
+            def reopen(token: CallToken) -> RecoveryReport:
+                return cast("RecoveryReport", recover(shard_dir, name="tree"))
+
+            report = cast(
+                "RecoveryReport", guard.call("open", reopen)
+            )
+            with shard.lock.write_locked():
+                old_lsn = shard.tree.applied_lsn
+                new_lsn = report.tree.applied_lsn
+                if old_lsn is not None and (new_lsn is None or new_lsn < old_lsn):
+                    raise ClusterStateError(
+                        "shard %d recovered to LSN %r behind the live tree's "
+                        "LSN %r — refusing the cutover" % (index, new_lsn, old_lsn)
+                    )
+                if shard.scrubber is not None:
+                    shard.tree.remove_mutation_observer(
+                        shard.scrubber.observe_mutation
+                    )
+                    shard.scrubber = None
+                if shard.ingest is not None:
+                    shard.ingest.close()
+                shard.tree = report.tree
+                shard.ingest = CheckpointedIngest(
+                    report.tree, shard_dir, name="tree"
+                )
+                descriptor.refresh(shard.tree)
+            with self._counter_lock:
+                self.recoveries += 1
+            guard.readmit()
+        return report
+
     def close(self) -> None:
-        """Detach shard scrubbers and close shard WALs (checkpoint first
-        if the logs must stay minimal — closing never loses records)."""
+        """Detach shard scrubbers, close shard WALs and guard executors
+        (checkpoint first if the logs must stay minimal — closing never
+        loses records)."""
         for shard in self.shards:
             if shard.scrubber is not None:
                 shard.tree.remove_mutation_observer(shard.scrubber.observe_mutation)
@@ -741,6 +1195,8 @@ class ClusterTree:
             if shard.ingest is not None:
                 shard.ingest.close()
                 shard.ingest = None
+        for guard in self._guards:
+            guard.close()
 
     def __enter__(self) -> ClusterTree:
         return self

@@ -235,6 +235,9 @@ def open_cluster(
     directory: str,
     parallelism: int | None = None,
     stats: Any = None,
+    resilience: Any = None,
+    injector: Any = None,
+    allow_degraded: bool = False,
     **overrides: Any,
 ) -> ClusterTree:
     """Recover and reopen the cluster under ``directory`` for serving.
@@ -242,7 +245,9 @@ def open_cluster(
     Runs :func:`recover_cluster`, re-attaches a fresh per-shard WAL
     ingest to every recovered tree, and rebuilds the coordinator from
     the manifest's routing plan.  ``parallelism`` defaults to the value
-    recorded in the manifest.
+    recorded in the manifest.  ``resilience`` / ``injector`` /
+    ``allow_degraded`` configure the coordinator's fault-domain layer
+    (see :mod:`repro.cluster.resilience`).
     """
     report = recover_cluster(directory, stats=stats, **overrides)
     if parallelism is None:
@@ -267,4 +272,7 @@ def open_cluster(
         parallelism=parallelism,
         directory=directory,
         name=report.name,
+        resilience=resilience,
+        injector=injector,
+        allow_degraded=allow_degraded,
     )

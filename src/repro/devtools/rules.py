@@ -36,6 +36,18 @@ LOCKED_MUTATORS = frozenset(
 LOCKED_READS = frozenset({"knnta_search", "sequential_scan"})
 #: Tree mutations that must ride the WAL inside the service layer.
 WAL_MUTATORS = frozenset({"insert_poi", "delete_poi", "digest_epoch"})
+#: Shard-tree operations that cross a fault-domain boundary in the
+#: cluster layer; each must run inside a ShardGuard thunk (RT007).
+SHARD_DISPATCH_METHODS = frozenset(
+    {
+        "insert_poi",
+        "delete_poi",
+        "digest_epoch",
+        "bulk_load",
+        "global_epoch_max",
+        "max_aggregate_bound",
+    }
+)
 
 
 def _is_local_call(call: ast.Call) -> bool:
@@ -435,3 +447,135 @@ class WarnStacklevelRule(Rule):
                 "warnings.warn without stacklevel= blames the shim instead "
                 "of the caller",
             )
+
+
+@rule
+class GuardedShardDispatchRule(Rule):
+    """RT007: cluster shard dispatch must go through the ShardGuard.
+
+    Every shard-tree operation that crosses a fault-domain boundary —
+    routed mutations (``insert_poi``/``delete_poi``/``digest_epoch``),
+    bulk loads, bound refreshes (``global_epoch_max`` /
+    ``max_aggregate_bound`` on a ``.tree``), and query dispatch
+    (``knnta_search``/``sequential_scan``/``CollectiveProcessor(...).run``)
+    — must execute inside a guard thunk handed to ``ShardGuard.call``;
+    that wrapper owns the timeout, retry/classification, and circuit
+    breaker that keep one failing shard from hanging or crashing the
+    whole scatter-gather.  A dispatch in a helper passes when the helper
+    itself is a guard thunk or every intra-module call chain into it
+    starts from one (the RT001-style call-graph pass).
+    """
+
+    rule_id = "RT007"
+    name = "guarded-shard-dispatch"
+    rationale = (
+        "a shard-tree call outside ShardGuard.call bypasses the per-shard "
+        "timeout and circuit breaker, so one sick shard can hang or crash "
+        "every query instead of degrading with a bound certificate"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        # The resilience module *implements* the guard; everything else
+        # in the cluster layer must dispatch through it.
+        return (
+            module.startswith("repro.cluster")
+            and module != "repro.cluster.resilience"
+        )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        guard_roots, lambda_calls = self._guard_thunks(context.tree)
+        functions = {name for name, _ in walk_functions(context.tree)}
+        callsites: dict[str, list[str]] = {}
+        candidates: list[tuple[str, ast.Call, str]] = []
+
+        for fname, fnode in walk_functions(context.tree):
+            def visit(call: ast.Call, state: str, fname: str = fname) -> None:
+                name = call_name(call)
+                if name is None:
+                    return
+                if self._is_dispatch(call, name):
+                    candidates.append((fname, call, name))
+                if name in functions and _is_local_call(call):
+                    callsites.setdefault(name, []).append(fname)
+
+            for_each_call(fnode.body, visit)
+
+        for fname, call, name in candidates:
+            if id(call) in lambda_calls:
+                continue
+            if fname in guard_roots:
+                continue
+            if self._dominated(fname, guard_roots, callsites, frozenset({fname})):
+                continue
+            yield self.finding(
+                context,
+                call,
+                "%s() dispatches to a shard outside ShardGuard.call; wrap "
+                "it in a guard thunk (directly, or with every call site of "
+                "%s() inside one)" % (name, fname),
+            )
+
+    @staticmethod
+    def _guard_thunks(tree: ast.AST) -> tuple[set[str], set[int]]:
+        """Names of functions passed as thunks to ``<guard>.call(...)``,
+        plus ``id()``s of Call nodes inside lambda thunks."""
+        roots: set[str] = set()
+        lambda_calls: set[int] = set()
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "call"
+            ):
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    roots.add(arg.id)
+                elif isinstance(arg, ast.Lambda):
+                    for inner in ast.walk(arg):
+                        if isinstance(inner, ast.Call):
+                            lambda_calls.add(id(inner))
+        return roots, lambda_calls
+
+    @staticmethod
+    def _is_dispatch(call: ast.Call, name: str) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return name in LOCKED_READS
+        if isinstance(func, ast.Attribute):
+            if func.attr == "run":
+                return any(
+                    isinstance(node, ast.Name)
+                    and node.id == "CollectiveProcessor"
+                    for node in ast.walk(func.value)
+                )
+            if func.attr in SHARD_DISPATCH_METHODS:
+                # Only calls through a shard tree (``<obj>.tree.m(...)``)
+                # cross the fault domain; ``self.insert_poi`` etc. are the
+                # coordinator's own public wrappers.
+                return (
+                    isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "tree"
+                )
+        return False
+
+    def _dominated(
+        self,
+        fname: str,
+        guard_roots: set[str],
+        callsites: dict[str, list[str]],
+        seen: frozenset[str],
+    ) -> bool:
+        """Does every intra-module call chain into ``fname`` start from a
+        guard thunk?"""
+        sites = callsites.get(fname)
+        if not sites:
+            return False
+        for caller in sites:
+            if caller in guard_roots:
+                continue
+            if caller in seen:
+                return False
+            if not self._dominated(caller, guard_roots, callsites, seen | {caller}):
+                return False
+        return True

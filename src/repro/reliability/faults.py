@@ -22,6 +22,7 @@ fails replays exactly.
 import math
 import os
 import random
+import time
 from contextlib import contextmanager
 
 from repro.storage.buffer import LRUBufferPool
@@ -30,6 +31,16 @@ from repro.temporal.tia import BaseTIA
 
 class TransientIOError(IOError):
     """An injected, retryable I/O failure (the fault model's soft error)."""
+
+
+class FatalFaultError(RuntimeError):
+    """An injected *non*-retryable failure (the fault model's hard error).
+
+    Deliberately not an :class:`IOError` subclass: retry layers
+    (``RetryPolicy``, the cluster's shard guards) treat it as fatal —
+    the simulated analogue of a crashed or corrupted shard that no
+    amount of retrying will bring back.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -58,13 +69,19 @@ def decaying(initial, half_life):
     return lambda attempt: initial * math.pow(0.5, attempt / float(half_life))
 
 
-class _Site:
-    __slots__ = ("schedule", "attempts", "injected")
+#: Valid fault kinds for :meth:`FaultInjector.configure`.
+FAULT_KINDS = ("transient", "fatal", "latency")
 
-    def __init__(self, schedule):
+
+class _Site:
+    __slots__ = ("schedule", "attempts", "injected", "kind", "delay")
+
+    def __init__(self, schedule, kind="transient", delay=0.0):
         self.schedule = schedule
         self.attempts = 0
         self.injected = 0
+        self.kind = kind
+        self.delay = delay
 
 
 class FaultInjector:
@@ -83,18 +100,38 @@ class FaultInjector:
     can be threaded through every layer and armed selectively.
     """
 
-    def __init__(self, seed=0, rates=None):
+    def __init__(self, seed=0, rates=None, sleep=time.sleep):
         self._rng = random.Random(seed)
         self._sites = {}
         self.enabled = True
+        self._sleep = sleep
         for site, probability in (rates or {}).items():
             self.configure(site, rate=probability)
 
-    def configure(self, site, rate=None, schedule=None):
-        """Arm ``site`` with a constant ``rate`` or an explicit ``schedule``."""
+    def configure(self, site, rate=None, schedule=None, kind="transient",
+                  delay=0.0):
+        """Arm ``site`` with a constant ``rate`` or an explicit ``schedule``.
+
+        ``kind`` selects the failure mode when the schedule fires:
+
+        * ``"transient"`` — raise :class:`TransientIOError` (retryable);
+        * ``"fatal"`` — raise :class:`FatalFaultError` (non-retryable,
+          the simulated crashed/corrupted shard);
+        * ``"latency"`` — stall for ``delay`` seconds and then succeed
+          (the simulated slow disk or GC-paused worker; the caller's
+          timeout, not an exception, is what surfaces it).
+        """
         if (rate is None) == (schedule is None):
             raise ValueError("pass exactly one of rate= or schedule=")
-        self._sites[site] = _Site(constant(rate) if schedule is None else schedule)
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                "kind must be one of %r, got %r" % (FAULT_KINDS, kind)
+            )
+        if kind == "latency" and delay <= 0.0:
+            raise ValueError("latency faults need a positive delay=")
+        self._sites[site] = _Site(
+            constant(rate) if schedule is None else schedule, kind, delay
+        )
         return self
 
     def disarm(self, site):
@@ -128,12 +165,27 @@ class FaultInjector:
         return False
 
     def check(self, site):
-        """Raise :class:`TransientIOError` when ``site`` fires."""
-        if self.fires(site):
-            raise TransientIOError(
-                "injected transient fault at site %r (attempt %d)"
+        """Inject ``site``'s configured fault when its schedule fires.
+
+        Transient sites raise :class:`TransientIOError`, fatal sites
+        raise :class:`FatalFaultError`, and latency sites block for the
+        configured delay (then return normally).
+        """
+        entry = self._sites.get(site)
+        if entry is None or not self.fires(site):
+            return
+        if entry.kind == "latency":
+            self._sleep(entry.delay)
+            return
+        if entry.kind == "fatal":
+            raise FatalFaultError(
+                "injected fatal fault at site %r (attempt %d)"
                 % (site, self.attempts(site))
             )
+        raise TransientIOError(
+            "injected transient fault at site %r (attempt %d)"
+            % (site, self.attempts(site))
+        )
 
     @contextmanager
     def suspended(self):

@@ -20,6 +20,7 @@ from repro.service.service import (
     ServiceConfig,
     ServiceError,
     ServiceOverloadedError,
+    WorkerCrashError,
 )
 from repro.service.stats import ServiceStats, percentile
 
@@ -36,6 +37,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceStats",
+    "WorkerCrashError",
     "fingerprint_mapping",
     "percentile",
 ]

@@ -10,7 +10,12 @@ the op's payload or ``{"error": ..., "code": ...}``.  Supported ops:
     ``{"op": "query", "point": [x, y], "interval": [lo, hi], "k": 3,
     "alpha0": 0.3, "semantics": "intersects"}`` → ranked ``results``
     rows plus the executing batch's shared ``cost`` and ``batch_size``.
-    Optional ``timeout`` seconds.
+    Optional ``timeout`` seconds.  Every response carries
+    ``"degraded"``; a degraded answer (cluster serving with a shard
+    down, accepted under the coordinator's ``allow_degraded`` policy)
+    additionally reports ``coverage``, ``missed_shards`` and
+    ``score_bound`` — see ``docs/SERVICE.md``.  A strict coordinator
+    maps the condition to the ``degraded`` error code instead.
 ``insert``
     ``{"op": "insert", "poi_id": ..., "point": [x, y],
     "aggregates": [[epoch, agg], ...]}``
@@ -20,6 +25,9 @@ the op's payload or ``{"error": ..., "code": ...}``.  Supported ops:
     ``{"op": "digest", "epoch": 7, "counts": [[poi_id, count], ...]}``
 ``stats``
     The :meth:`QueryService.stats` snapshot.
+``health``
+    The :meth:`QueryService.health` report: per-shard breaker/guard
+    state, descriptor freshness, recent shard events.
 ``scrub``
     Run one scrubber tick (optional ``budget``).
 ``shutdown``
@@ -28,7 +36,13 @@ the op's payload or ``{"error": ..., "code": ...}``.  Supported ops:
 Aggregates and digest counts ride as ``[key, value]`` pairs, not JSON
 objects, so integer epoch indices and POI ids survive the round trip.
 Error codes: ``overloaded`` (with ``retry_after``), ``timeout``,
-``closed``, ``bad-request``, ``error``.
+``closed``, ``degraded`` (with ``missed_shards`` / ``coverage`` /
+``score_bound``), ``crashed``, ``bad-request``, ``error``.
+
+Exception hygiene (RT005): internal failures are *redacted* on the
+wire — remote clients get a stable message plus the ``error`` code,
+while the exception type and text are kept server-side in
+``last_error`` / the ``errors`` counter for the operator.
 """
 
 import json
@@ -41,6 +55,7 @@ from repro.service.service import (
     RequestTimeoutError,
     ServiceClosedError,
     ServiceOverloadedError,
+    WorkerCrashError,
 )
 from repro.temporal.epochs import TimeInterval
 from repro.temporal.tia import IntervalSemantics
@@ -78,8 +93,17 @@ class JsonLineServer:
     the OS pick — the effective ``(host, port)`` is in ``address``.
     """
 
+    #: Stable message sent for redacted internal failures; the details
+    #: stay server-side (``last_error`` / the ``errors`` counter).
+    INTERNAL_ERROR_MESSAGE = "internal server error; details logged server-side"
+
     def __init__(self, service, host="127.0.0.1", port=0):
         self.service = service
+        #: Count of redacted internal failures and the last one's
+        #: ``"Type: message"`` (operator-side; never sent on the wire).
+        self.errors = 0
+        self.last_error = None
+        self._error_lock = threading.Lock()
         outer = self
 
         class _Handler(socketserver.StreamRequestHandler):
@@ -133,6 +157,8 @@ class JsonLineServer:
                 return {"ok": True, "digested": len(counts)}
             if op == "stats":
                 return {"ok": True, "stats": self.service.stats()}
+            if op == "health":
+                return {"ok": True, "health": self.service.health()}
             if op == "scrub":
                 checked = self.service.scrub_tick(payload.get("budget"))
                 return {"ok": True, "nodes_checked": checked}
@@ -148,12 +174,51 @@ class JsonLineServer:
             }
         except RequestTimeoutError as exc:
             return {"ok": False, "code": "timeout", "error": str(exc)}
+        except WorkerCrashError as exc:
+            return {"ok": False, "code": "crashed", "error": str(exc)}
         except ServiceClosedError as exc:
             return {"ok": False, "code": "closed", "error": str(exc)}
         except (KeyError, IndexError, TypeError, ValueError) as exc:
             return {"ok": False, "code": "bad-request", "error": str(exc)}
         except Exception as exc:  # keep the connection alive on any failure
-            return {"ok": False, "code": "error", "error": str(exc)}
+            degraded = self._degraded_response(exc)
+            if degraded is not None:
+                return degraded
+            return self._internal_error(exc)
+
+    @staticmethod
+    def _degraded_response(exc):
+        """Map a strict-policy degradation to its wire error, or None.
+
+        The import is lazy: this module is imported by ``repro.cluster``
+        transitively (via the service package), so a top-level import of
+        the cluster's resilience types would cycle.
+        """
+        from repro.cluster.resilience import ClusterDegradedError
+
+        if not isinstance(exc, ClusterDegradedError):
+            return None
+        return {
+            "ok": False,
+            "code": "degraded",
+            "error": str(exc),
+            "missed_shards": list(exc.missed_shards),
+            "coverage": exc.coverage,
+            "score_bound": exc.score_bound,
+        }
+
+    def _internal_error(self, exc):
+        """Redact an unexpected failure: stable wire message, details kept
+        server-side (RT005 — internal exception text never reaches remote
+        clients)."""
+        with self._error_lock:
+            self.errors += 1
+            self.last_error = "%s: %s" % (type(exc).__name__, exc)
+        return {
+            "ok": False,
+            "code": "error",
+            "error": self.INTERNAL_ERROR_MESSAGE,
+        }
 
     def _op_query(self, payload):
         query = _parse_query(payload)
@@ -165,13 +230,19 @@ class JsonLineServer:
                 timeout if timeout is not None else self.service.config.default_timeout
             ) + 1.0
         rows = request.result(wait)
-        return {
+        response = {
             "ok": True,
             "results": _result_rows(rows),
             "batch_size": request.batch_size,
             "cost": request.cost.as_dict(),
             "latency": request.latency,
+            "degraded": bool(getattr(rows, "degraded", False)),
         }
+        if response["degraded"]:
+            response["missed_shards"] = list(rows.missed_shards)
+            response["coverage"] = rows.coverage
+            response["score_bound"] = rows.score_bound
+        return response
 
     def _op_insert(self, payload):
         point = payload["point"]

@@ -85,6 +85,15 @@ class RequestTimeoutError(ServiceError):
     """The request's deadline passed before a result was produced."""
 
 
+class WorkerCrashError(ServiceError):
+    """Every worker thread died; pending requests cannot complete.
+
+    Raised to waiters (instead of letting an untimed ``query()`` hang
+    forever on a queue nobody drains) and by ``submit()`` once the
+    pool is gone.  The message names the original worker failure.
+    """
+
+
 class ServiceConfig:
     """Tunables for one :class:`QueryService` (all have serving defaults).
 
@@ -282,8 +291,14 @@ class QueryService:
         self._closed = False
         self._started = False
         self._workers = []
+        self._dead_workers = 0
+        self._worker_crash = None
         self._scrub_thread = None
         self._scrub_stop = threading.Event()
+        if self._cluster and hasattr(tree, "add_health_observer"):
+            # Shard health events (breaker transitions, timeouts,
+            # readmissions) flow onto the service's ops stream.
+            tree.add_health_observer(self.service_stats.note_shard_event)
         if autostart:
             self.start()
 
@@ -329,6 +344,13 @@ class QueryService:
             self._scrub_thread.join(timeout=5.0)
         for worker in self._workers:
             worker.join(timeout=5.0)
+        if self._cluster and hasattr(self.tree, "remove_health_observer"):
+            try:
+                self.tree.remove_health_observer(
+                    self.service_stats.note_shard_event
+                )
+            except ValueError:
+                pass
         if self.scrubber is not None:
             self.tree.remove_mutation_observer(self.scrubber.observe_mutation)
             self.scrubber.persist_manifest()
@@ -358,6 +380,11 @@ class QueryService:
         with self._queue_cond:
             if self._closed:
                 raise ServiceClosedError("service is closed")
+            if self._worker_crash is not None:
+                raise WorkerCrashError(
+                    "all worker threads have died (%s); the service cannot "
+                    "complete requests" % (self._worker_crash,)
+                )
             depth = len(self._queue)
             if depth >= self.config.queue_limit:
                 self.service_stats.note_rejected()
@@ -461,17 +488,64 @@ class QueryService:
             snapshot["cluster"] = self.tree.counters()
         return snapshot
 
+    def health(self):
+        """Per-shard fault-domain health (cluster mode), else a stub.
+
+        In cluster mode this is the coordinator's
+        :meth:`~repro.cluster.coordinator.ClusterTree.health` — breaker
+        states, guard counters, descriptor freshness and the recent
+        shard event stream.  For a single tree there are no fault
+        domains; the stub reports the service alive with no shards.
+        """
+        if self._cluster and hasattr(self.tree, "health"):
+            report = self.tree.health()
+        else:
+            report = {"shards": [], "events": []}
+        report["closed"] = self._closed
+        report["worker_deaths"] = self.service_stats.worker_deaths
+        return report
+
     # ------------------------------------------------------------------
     # Worker internals
     # ------------------------------------------------------------------
 
     def _worker_loop(self):
-        while True:
-            batch = self._next_batch()
-            if batch is None:
+        try:
+            while True:
+                batch = self._next_batch()
+                if batch is None:
+                    return
+                if batch:
+                    self._execute(batch)
+        except BaseException as exc:
+            # _execute already fences per-batch failures; reaching here
+            # means the loop itself is broken.  A silently dead worker
+            # would leave untimed waiters hanging forever — propagate.
+            self._note_worker_death(exc)
+            raise
+
+    def _note_worker_death(self, exc):
+        """Record a dead worker; fail all pending work once none are left.
+
+        An untimed :meth:`query` waits on an event only a worker sets —
+        if every worker is gone, those waiters would hang forever.  The
+        last death marks the service crashed: every queued request
+        fails immediately with :class:`WorkerCrashError` (naming the
+        original failure) and :meth:`submit` rejects from then on.
+        """
+        self.service_stats.note_worker_death()
+        with self._queue_cond:
+            self._dead_workers += 1
+            if self._dead_workers < len(self._workers) or self._closed:
                 return
-            if batch:
-                self._execute(batch)
+            self._worker_crash = "%s: %s" % (type(exc).__name__, exc)
+            crash = WorkerCrashError(
+                "all worker threads have died (%s); pending requests "
+                "cannot complete" % (self._worker_crash,)
+            )
+            while self._queue:
+                self._queue.popleft()._fail(crash)
+            self._queue_cond.notify_all()
 
     def _next_batch(self):
         """Block for a request, then linger to coalesce same-interval peers.
@@ -557,6 +631,11 @@ class QueryService:
             self.service_stats.note_failed(len(batch))
             return
         now = time.monotonic()
+        degraded = sum(
+            1 for rows in results if getattr(rows, "degraded", False)
+        )
+        if degraded:
+            self.service_stats.note_degraded(degraded)
         for request, rows in zip(batch, results):
             request._complete(rows, stats, len(batch), now)
         self.service_stats.note_batch(

@@ -42,12 +42,17 @@ class ServiceStats:
         self.failed = 0
         self.rejected = 0
         self.timed_out = 0
+        self.degraded = 0
+        self.worker_deaths = 0
         self.batches = 0
         self.batch_size_histogram = {}
         self.access_totals = AccessStats()
         self.queue_depth = 0
         self.max_queue_depth = 0
         self._latencies = deque(maxlen=latency_window)
+        #: Recent cluster shard health events (kind/shard/detail dicts),
+        #: fed by the coordinator's health stream in cluster mode.
+        self.shard_events = deque(maxlen=128)
 
     # -- recording hooks (called by the service) -----------------------------
 
@@ -68,6 +73,24 @@ class ServiceStats:
     def note_failed(self, count=1):
         with self._mutex:
             self.failed += count
+
+    def note_degraded(self, count=1):
+        """Requests answered degraded (explicitly partial, bounded)."""
+        with self._mutex:
+            self.degraded += count
+
+    def note_worker_death(self):
+        """A worker thread died on an unexpected error."""
+        with self._mutex:
+            self.worker_deaths += 1
+
+    def note_shard_event(self, event):
+        """Record one cluster shard health event (breaker transitions,
+        timeouts, readmissions) on the bounded ops stream."""
+        with self._mutex:
+            self.shard_events.append(
+                event.as_dict() if hasattr(event, "as_dict") else dict(event)
+            )
 
     def note_batch(self, size, cost, latencies):
         """Record one executed batch.
@@ -106,6 +129,9 @@ class ServiceStats:
                 "failed": self.failed,
                 "rejected": self.rejected,
                 "timed_out": self.timed_out,
+                "degraded": self.degraded,
+                "worker_deaths": self.worker_deaths,
+                "shard_events": list(self.shard_events),
                 "batches": self.batches,
                 "batch_size_histogram": {
                     str(size): count

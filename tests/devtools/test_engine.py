@@ -165,9 +165,9 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_all_six_project_rules_are_registered(self):
+    def test_all_seven_project_rules_are_registered(self):
         assert sorted(registered_rules()) == [
-            "RT001", "RT002", "RT003", "RT004", "RT005", "RT006",
+            "RT001", "RT002", "RT003", "RT004", "RT005", "RT006", "RT007",
         ]
 
     def test_rule_ids_include_the_meta_ids(self):

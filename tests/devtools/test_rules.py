@@ -128,16 +128,19 @@ class TestLockDiscipline:
                 shard.tree.insert_poi(poi)
             """,
         )
-        assert rule_ids_of(findings) == ["RT001", "RT002"]
+        assert rule_ids_of(findings) == ["RT001", "RT002", "RT007"]
 
     def test_cluster_locked_routed_mutation_is_clean(self, lint_source):
         findings = lint_source(
             "repro/cluster/mod.py",
             """
-            def apply(self, shard, poi):
-                with shard.lock.write_locked():
-                    if shard.ingest is None:
-                        shard.tree.insert_poi(poi)
+            def route(self, shard, guard, poi):
+                def apply(token):
+                    with shard.lock.write_locked():
+                        if shard.ingest is None:
+                            shard.tree.insert_poi(poi)
+
+                guard.call("mutate", apply)
             """,
         )
         assert findings == []
@@ -202,7 +205,7 @@ class TestWalBeforeApply:
                     shard.tree.digest_epoch(epoch, counts)
             """,
         )
-        assert rule_ids_of(findings) == ["RT002"]
+        assert rule_ids_of(findings) == ["RT002", "RT007"]
 
     def test_routing_through_the_ingest_is_clean(self, lint_source):
         findings = lint_source(
@@ -440,6 +443,154 @@ class TestExceptionHygiene:
                     self.step()
                 except Exception:  # repro: allow[RT005]
                     pass
+            """,
+        )
+        assert findings == []
+
+
+class TestGuardedShardDispatch:
+    def test_naked_query_dispatch_fires(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            from repro.core.knnta import knnta_search
+
+            def query_shard(self, shard, query):
+                with shard.lock.read_locked():
+                    return knnta_search(shard.tree, query)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT007"]
+
+    def test_dispatch_inside_a_guard_thunk_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            from repro.core.knnta import knnta_search
+
+            def query_shard(self, shard, guard, query):
+                def dispatch(token):
+                    with shard.lock.read_locked():
+                        return knnta_search(shard.tree, query)
+
+                return guard.call("query", dispatch)
+            """,
+        )
+        assert findings == []
+
+    def test_dispatch_inside_a_guard_lambda_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            def refresh(self, shard, guard):
+                return guard.call(
+                    "query", lambda token: shard.tree.global_epoch_max()
+                )
+            """,
+        )
+        assert findings == []
+
+    def test_collective_run_outside_a_guard_fires(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            from repro.core.collective import CollectiveProcessor
+
+            def batch(self, shard, queries):
+                with shard.lock.read_locked():
+                    return CollectiveProcessor(shard.tree).run(queries)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT007"]
+
+    def test_helper_dominated_by_guard_thunks_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            from repro.core.knnta import knnta_search
+
+            class Coordinator:
+                def _search(self, shard, query):
+                    with shard.lock.read_locked():
+                        return knnta_search(shard.tree, query)
+
+                def query_shard(self, shard, guard, query):
+                    def dispatch(token):
+                        return self._search(shard, query)
+
+                    return guard.call("query", dispatch)
+            """,
+        )
+        assert findings == []
+
+    def test_helper_with_an_unguarded_call_site_fires(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            from repro.core.knnta import knnta_search
+
+            class Coordinator:
+                def _search(self, shard, query):
+                    with shard.lock.read_locked():
+                        return knnta_search(shard.tree, query)
+
+                def query_shard(self, shard, guard, query):
+                    def dispatch(token):
+                        return self._search(shard, query)
+
+                    return guard.call("query", dispatch)
+
+                def debug_query(self, shard, query):
+                    return self._search(shard, query)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT007"]
+
+    def test_coordinator_own_wrappers_are_not_dispatch(self, lint_source):
+        # ``self.global_epoch_max()`` is the coordinator's public API, not
+        # a shard-tree call; only ``<obj>.tree.<m>(...)`` crosses the
+        # fault-domain boundary.
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            def clock(self):
+                return self.global_epoch_max()
+            """,
+        )
+        assert findings == []
+
+    def test_resilience_module_is_exempt(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/resilience.py",
+            """
+            def bound_probe(self, shard, interval, semantics):
+                with shard.lock.read_locked():
+                    return shard.tree.max_aggregate_bound(interval, semantics)
+            """,
+        )
+        assert findings == []
+
+    def test_outside_the_cluster_package_is_out_of_scope(self, lint_source):
+        findings = lint_source(
+            "repro/analysis/mod.py",
+            """
+            from repro.core.knnta import knnta_search
+
+            def probe(tree, query):
+                return knnta_search(tree, query)
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/cluster/mod.py",
+            """
+            from repro.core.knnta import knnta_search
+
+            def query_shard(self, shard, query):
+                with shard.lock.read_locked():
+                    return knnta_search(shard.tree, query)  # repro: allow[RT007]
             """,
         )
         assert findings == []

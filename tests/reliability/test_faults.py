@@ -6,6 +6,7 @@ import pytest
 
 from repro import POI, TARTree
 from repro.reliability.faults import (
+    FatalFaultError,
     FaultInjector,
     FaultyBufferPool,
     FaultyTIA,
@@ -94,6 +95,38 @@ class TestFaultInjector:
             injector.configure("tia")
         with pytest.raises(ValueError):
             injector.configure("tia", rate=0.1, schedule=constant(0.1))
+
+    def test_fatal_kind_raises_non_io_error(self):
+        # FatalFaultError is deliberately not an IOError: retry loops
+        # keyed on transient I/O must not swallow a dead-shard fault.
+        injector = FaultInjector(seed=0)
+        injector.configure("shard.0.query", schedule=constant(1.0), kind="fatal")
+        with pytest.raises(FatalFaultError):
+            injector.check("shard.0.query")
+        assert not isinstance(FatalFaultError("x"), IOError)
+        assert injector.injected("shard.0.query") == 1
+
+    def test_latency_kind_stalls_via_the_injected_sleep(self):
+        stalls = []
+        injector = FaultInjector(seed=0, sleep=stalls.append)
+        injector.configure(
+            "shard.1.query", schedule=constant(1.0), kind="latency", delay=0.4
+        )
+        injector.check("shard.1.query")  # stalls, does not raise
+        assert stalls == [0.4]
+        assert injector.injected("shard.1.query") == 1
+
+    def test_unknown_kind_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.configure("tia", rate=0.5, kind="gamma-ray")
+
+    def test_latency_requires_positive_delay(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.configure("tia", rate=0.5, kind="latency")
+        with pytest.raises(ValueError):
+            injector.configure("tia", rate=0.5, kind="latency", delay=0.0)
 
     def test_open_wrapper_faults_then_delegates(self, tmp_path):
         path = tmp_path / "f.txt"

@@ -134,3 +134,147 @@ class TestWireProtocol:
         assert not server._thread.is_alive()
         server._server.server_close()
         service.close()
+
+
+@pytest.mark.timeout(120)
+class TestOperatorSurface:
+    def test_internal_failures_are_redacted_on_the_wire(self, served, client):
+        # RT005: the wire carries a stable message; the exception's type
+        # and text stay server-side for the operator.
+        _, server = served
+        secret = "connection string postgres://user:hunter2@db"
+
+        def boom():
+            raise RuntimeError(secret)
+
+        server.service.stats = boom
+        response = client.rpc({"op": "stats"})
+        assert response == {
+            "ok": False,
+            "code": "error",
+            "error": JsonLineServer.INTERNAL_ERROR_MESSAGE,
+        }
+        assert secret not in json.dumps(response)
+        assert server.errors == 1
+        assert server.last_error == "RuntimeError: %s" % secret
+        # The connection survives a redacted failure.
+        assert client.rpc({"op": "ping"})["ok"]
+
+    def test_health_op_single_tree_stub(self, client):
+        response = client.rpc({"op": "health"})
+        assert response["ok"]
+        health = response["health"]
+        assert health["shards"] == []
+        assert health["events"] == []
+        assert health["closed"] is False
+        assert health["worker_deaths"] == 0
+
+
+@pytest.fixture
+def cluster_served_factory(small_dataset):
+    """Build a 4-shard cluster with every shard fatally failing its
+    query dispatch, served over the wire; yields a factory keyed on the
+    coordinator's degradation policy and closes everything after."""
+    from repro import ClusterTree, ResilienceConfig
+    from repro.reliability.faults import FaultInjector, constant
+
+    opened = []
+
+    def serve(allow_degraded):
+        injector = FaultInjector(seed=0)
+        cluster = ClusterTree.build(
+            small_dataset,
+            num_shards=4,
+            resilience=ResilienceConfig(sleep=lambda _: None),
+            injector=injector,
+            allow_degraded=allow_degraded,
+        )
+        for index in range(len(cluster.shards)):
+            injector.configure(
+                "shard.%d.query" % index, schedule=constant(1.0), kind="fatal"
+            )
+        service = QueryService(cluster, config=ServiceConfig(linger=0.0))
+        server = JsonLineServer(service).start()
+        opened.append((cluster, service, server))
+        return cluster, server
+
+    yield serve
+    for cluster, service, server in opened:
+        server.shutdown()
+        service.close()
+        cluster.close()
+
+
+@pytest.mark.timeout(120)
+class TestDegradedServing:
+    """The degraded-answer protocol fields over the wire (cluster mode)."""
+
+    def query_payload(self, cluster):
+        end = cluster.current_time
+        return {
+            "op": "query",
+            "point": [0.4, 0.6],
+            "interval": [end - 28.0, end],
+            "k": 5,
+            "alpha0": 0.3,
+        }
+
+    def test_allow_degraded_reports_coverage_and_bound(
+        self, cluster_served_factory
+    ):
+        cluster, server = cluster_served_factory(allow_degraded=True)
+        client = Client(server.address)
+        try:
+            response = client.rpc(self.query_payload(cluster))
+            assert response["ok"]
+            assert response["degraded"] is True
+            assert sorted(response["missed_shards"]) == [0, 1, 2, 3]
+            assert response["coverage"] == 0.0
+            assert isinstance(response["score_bound"], float)
+            assert response["results"] == []
+            # An untouched single-tree answer does not carry the fields.
+            assert server.service.stats()["degraded"] >= 1
+        finally:
+            client.close()
+
+    def test_strict_policy_maps_to_the_degraded_error_code(
+        self, cluster_served_factory
+    ):
+        cluster, server = cluster_served_factory(allow_degraded=False)
+        client = Client(server.address)
+        try:
+            response = client.rpc(self.query_payload(cluster))
+            assert response["ok"] is False
+            assert response["code"] == "degraded"
+            assert sorted(response["missed_shards"]) == [0, 1, 2, 3]
+            assert response["coverage"] == 0.0
+            assert isinstance(response["score_bound"], float)
+            # Degradation is an explicit protocol outcome, not an
+            # internal error: nothing was redacted and the connection
+            # keeps serving.
+            assert server.errors == 0
+            assert client.rpc({"op": "ping"})["ok"]
+        finally:
+            client.close()
+
+    def test_exact_cluster_answers_are_flagged_not_degraded(
+        self, small_dataset
+    ):
+        from repro import ClusterTree
+
+        cluster = ClusterTree.build(small_dataset, num_shards=4)
+        service = QueryService(cluster, config=ServiceConfig(linger=0.0))
+        server = JsonLineServer(service).start()
+        client = Client(server.address)
+        try:
+            response = client.rpc(self.query_payload(cluster))
+            assert response["ok"]
+            assert response["degraded"] is False
+            assert "missed_shards" not in response
+            assert "coverage" not in response
+            assert len(response["results"]) == 5
+        finally:
+            client.close()
+            server.shutdown()
+            service.close()
+            cluster.close()

@@ -12,6 +12,7 @@ from repro.service import (
     ServiceClosedError,
     ServiceConfig,
     ServiceOverloadedError,
+    WorkerCrashError,
 )
 from repro.temporal.epochs import TimeInterval
 
@@ -183,6 +184,62 @@ class TestMutations:
         with pytest.raises(ValueError):
             QueryService(small_tree, ingest=ingest)
         ingest.close()
+
+
+@pytest.mark.timeout(120)
+class TestWorkerCrash:
+    # The crash is the point: the worker re-raises after recording its
+    # death, which pytest's thread-exception hook would otherwise warn on.
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_dead_pool_fails_pending_and_rejects_new_work(self, small_tree):
+        # One worker; the first batch (first request) kills it.  The
+        # second request uses a different interval so it stays queued —
+        # a silently dead pool would leave its untimed waiter hanging
+        # forever, which is exactly what WorkerCrashError prevents.
+        config = ServiceConfig(workers=1, linger=0.0)
+        service = QueryService(small_tree, config=config, autostart=False)
+        service.submit(make_query())
+        survivor = service.submit(make_query(lo=1, hi=9))
+
+        def boom(batch):
+            raise RuntimeError("worker exploded")
+
+        service._execute = boom
+        service.start()
+        with pytest.raises(WorkerCrashError) as excinfo:
+            survivor.result(timeout=30)
+        assert "worker exploded" in str(excinfo.value)
+        # Fail-fast from then on: submit() rejects without enqueueing.
+        with pytest.raises(WorkerCrashError):
+            service.submit(make_query())
+        assert service.stats()["worker_deaths"] == 1
+        service.close()
+
+    def test_batch_failure_does_not_kill_the_worker(self, small_tree, monkeypatch):
+        # A query that blows up inside execution fails only its own
+        # riders; the worker survives to serve the next request.
+        import repro.service.service as service_module
+
+        real = service_module.knnta_search
+        calls = {"count": 0}
+
+        def flaky(tree, query):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("query blew up")
+            return real(tree, query)
+
+        monkeypatch.setattr(service_module, "knnta_search", flaky)
+        config = ServiceConfig(workers=1, linger=0.0)
+        with QueryService(small_tree, config=config) as service:
+            with pytest.raises(RuntimeError, match="query blew up"):
+                service.query(make_query())
+            assert service.query(make_query()) == small_tree.query(make_query())
+            snapshot = service.stats()
+            assert snapshot["worker_deaths"] == 0
+            assert snapshot["failed"] == 1
 
 
 @pytest.mark.timeout(120)

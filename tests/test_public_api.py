@@ -51,6 +51,9 @@ EXPECTED_EXPORTS = [
     "CorruptSnapshotError",
     "ClusterTree",
     "ClusterStateError",
+    "ClusterDegradedError",
+    "DegradedAnswer",
+    "ResilienceConfig",
     "ShardPlan",
     "plan_shards",
     "save_cluster",
@@ -144,6 +147,7 @@ class TestDevtoolsSurface:
             "RT004",
             "RT005",
             "RT006",
+            "RT007",
             repro.devtools.META_UNUSED,
             repro.devtools.META_PARSE_ERROR,
         ]
