@@ -57,15 +57,24 @@ def get_tree(
     fraction=1.0,
     tia_buffer_slots=10,
 ):
-    """A (cached) TAR-tree over the named data set."""
+    """A (cached) TAR-tree over the named data set.
+
+    The packed frame cache is disabled: the per-figure benchmarks
+    reproduce the *paper's* cost model — node accesses and TIA page
+    reads along the object path — which the packed hot path would
+    short-circuit (it reads zero TIA pages).  ``benchmarks/test_packed.py``
+    measures the packed path itself, on trees it builds directly.
+    """
     data = get_dataset(name, fraction)
-    return TARTree.build(
+    tree = TARTree.build(
         data,
         epoch_length=epoch_length,
         strategy=strategy,
         node_size=node_size,
         tia_buffer_slots=tia_buffer_slots,
     )
+    tree.frames.disable()
+    return tree
 
 
 @functools.lru_cache(maxsize=None)

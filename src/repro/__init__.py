@@ -19,10 +19,16 @@ Quickstart::
 One :class:`~repro.core.query.KNNTAQuery` value serves every entry
 point — ``tree.query``, the fault-tolerant ``tree.robust_query``, the
 module-level :func:`knnta_search` / :func:`sequential_scan` /
-:func:`robust_knnta`, and the enhancement APIs — and they all yield
-rows that destructure like :class:`~repro.core.query.QueryResult`.
-The legacy ``tree.knnta(q, interval, ...)`` kwargs shape survives as a
-deprecated shim.
+:func:`robust_knnta`, and the enhancement APIs — and every answer they
+return satisfies the :class:`~repro.core.query.Answer` protocol
+(``rows`` / ``exact`` / ``coverage`` / ``score_bound``) while its rows
+destructure like :class:`~repro.core.query.QueryResult`.  The old
+``tree.knnta`` / ``tree.robust_knnta`` facades survive as deprecated
+always-warning shims.
+
+Queries run on packed per-node buffers (:mod:`repro.core.frames`) kept
+coherent through the tree's mutation hooks; answers are bit-identical
+to the object-path traversal, just faster.
 
 For concurrent serving, :class:`~repro.service.QueryService` wraps a
 tree behind collective micro-batching, a readers-writer lock and a
@@ -51,7 +57,7 @@ from repro.core.collective import CollectiveProcessor
 from repro.core.costmodel import CostModel
 from repro.core.knnta import knnta_browse, knnta_search
 from repro.core.mwa import minimum_weight_adjustment, weight_adjustment_sequence
-from repro.core.query import KNNTAQuery, QueryResult
+from repro.core.query import Answer, KNNTAQuery, QueryResult, RankedAnswer
 from repro.core.scan import sequential_scan
 from repro.core.tar_tree import POI, TARTree, UnloggedMutationError
 from repro.reliability.faults import FaultInjector, TransientIOError
@@ -82,6 +88,8 @@ __all__ = [
     "POI",
     "KNNTAQuery",
     "QueryResult",
+    "Answer",
+    "RankedAnswer",
     "TimeInterval",
     "EpochClock",
     "VariedEpochClock",

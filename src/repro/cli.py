@@ -535,8 +535,21 @@ def _command_query(args, out):
         )
         if cluster is not None:
             print(
-                "cluster: %(shards_visited)d of %(shards)d shard(s) visited, "
-                "%(shards_pruned)d pruned by the k-th score bound" % costs,
+                "cluster: %(shards.visited)d of %(shards)d shard(s) visited, "
+                "%(shards.pruned)d pruned by the k-th score bound" % costs,
+                file=out,
+            )
+        if not results.exact:
+            # Any Answer may declare itself non-exact; today that is the
+            # cluster's DegradedAnswer under --allow-degraded policies.
+            print(
+                "DEGRADED: %.0f%% coverage, shard(s) %s missed; every "
+                "missing row would score >= %.4f"
+                % (
+                    results.coverage * 100.0,
+                    ", ".join(str(i) for i in results.missed_shards),
+                    results.score_bound,
+                ),
                 file=out,
             )
         if args.explain:

@@ -69,7 +69,7 @@ from repro.cluster.resilience import (
 )
 from repro.core.collective import CollectiveProcessor
 from repro.core.knnta import knnta_search
-from repro.core.query import KNNTAQuery, Normalizer, QueryResult
+from repro.core.query import KNNTAQuery, Normalizer, QueryResult, RankedAnswer
 from repro.core.tar_tree import DEFAULT_EPOCH_LENGTH_DAYS, POI, TARTree
 from repro.reliability.faults import FaultInjector
 from repro.service.locks import ReadWriteLock
@@ -160,6 +160,33 @@ class _ShardView:
         if self._normalizers is None:
             return self._tree.normalizer(interval, semantics, exact)
         return self._normalizers[(interval, semantics)]
+
+
+#: Canonical dot-separated coordinator counter keys mapped to their
+#: pre-unification snake-case spellings.  The dotted forms follow the
+#: one labelling scheme the cluster uses everywhere else — the
+#: ``shards.<i>.*`` per-shard blocks of
+#: :meth:`~repro.storage.stats.AccessStats.as_dict`.  The snake forms
+#: (note the historical ``shard_``/``shards_`` inconsistency they
+#: accreted) are emitted alongside for one release and then go away.
+_LEGACY_KEY_FOR = {
+    "shards.visited": "shards_visited",
+    "shards.pruned": "shards_pruned",
+    "shards.failed": "shards_failed",
+    "shards.certified": "shards_certified",
+    "shards.down": "shards_down",
+    "shards.retries": "shard_retries",
+    "shards.timeouts": "shard_timeouts",
+}
+
+
+def _legacy_key_aliases(counters: Mapping[str, int]) -> dict[str, int]:
+    """The deprecated snake-case aliases for ``counters``' dotted keys."""
+    return {
+        _LEGACY_KEY_FOR[key]: value
+        for key, value in counters.items()
+        if key in _LEGACY_KEY_FOR
+    }
 
 
 class ClusterTree:
@@ -398,15 +425,22 @@ class ClusterTree:
         return sum(shard.tree.node_count() for shard in self.shards)
 
     def counters(self) -> dict[str, int]:
-        """The coordinator's running totals as a JSON-ready dict."""
+        """The coordinator's running totals as a JSON-ready dict.
+
+        Shard-scoped totals use the canonical dotted keys
+        (``shards.visited``, ``shards.retries``, ...; same scheme as
+        the per-shard ``shards.<i>.*`` blocks in :meth:`explain`); the
+        old snake-case spellings are emitted as aliases for one
+        release — see ``_LEGACY_KEY_FOR``.
+        """
         with self._counter_lock:
             counters = {
                 "shards": len(self.shards),
                 "queries": self.queries,
-                "shards_visited": self.shards_visited,
-                "shards_pruned": self.shards_pruned,
+                "shards.visited": self.shards_visited,
+                "shards.pruned": self.shards_pruned,
                 "routing_overflows": self.routing_overflows,
-                "shards_failed": self.shards_failed,
+                "shards.failed": self.shards_failed,
                 "certified_exact": self.certified_exact,
                 "degraded_answers": self.degraded_answers,
                 "recoveries": self.recoveries,
@@ -414,11 +448,12 @@ class ClusterTree:
         counters["breaker_opens"] = sum(
             guard.breaker.opens for guard in self._guards
         )
-        counters["shards_down"] = sum(
+        counters["shards.down"] = sum(
             1 for guard in self._guards if guard.breaker.state != CLOSED
         )
-        counters["shard_retries"] = sum(guard.retries for guard in self._guards)
-        counters["shard_timeouts"] = sum(guard.timeouts for guard in self._guards)
+        counters["shards.retries"] = sum(guard.retries for guard in self._guards)
+        counters["shards.timeouts"] = sum(guard.timeouts for guard in self._guards)
+        counters.update(_legacy_key_aliases(counters))
         return counters
 
     # ------------------------------------------------------------------
@@ -552,7 +587,7 @@ class ClusterTree:
         normalizer: Normalizer | None = None,
         stats: AccessStats | None = None,
         allow_degraded: bool | None = None,
-    ) -> list[QueryResult] | DegradedAnswer:
+    ) -> RankedAnswer | DegradedAnswer:
         """Answer ``query`` exactly; see the module docs for the bound.
 
         ``stats`` (when given) additionally receives the merged node
@@ -582,10 +617,15 @@ class ClusterTree:
         results: list[QueryResult],
         blocking: Mapping[int, float],
         allow_degraded: bool | None,
-    ) -> list[QueryResult] | DegradedAnswer:
-        """Apply the degradation policy to one scatter-gather outcome."""
+    ) -> RankedAnswer | DegradedAnswer:
+        """Apply the degradation policy to one scatter-gather outcome.
+
+        Both branches return :class:`~repro.core.query.Answer` shapes:
+        an exact outcome is a :class:`RankedAnswer`, a permitted
+        partial one a :class:`DegradedAnswer`.
+        """
         if not blocking:
-            return results
+            return RankedAnswer(results)
         coverage = 1.0 - len(blocking) / float(len(self.shards))
         score_bound = min(blocking.values())
         missed = tuple(sorted(blocking))
@@ -603,30 +643,37 @@ class ClusterTree:
         query: KNNTAQuery,
         normalizer: Normalizer | None = None,
         allow_degraded: bool | None = None,
-    ) -> tuple[list[QueryResult] | DegradedAnswer, dict[str, int]]:
+    ) -> tuple[RankedAnswer | DegradedAnswer, dict[str, int]]:
         """Answer ``query`` and report a flat, diffable cost mapping.
 
         The mapping carries the merged access counters (the plain
         :meth:`AccessStats.as_dict` keys), per-shard counters under
-        ``shards.<i>.*``, the pruning outcome (``shards_visited`` /
-        ``shards_pruned``) and the fault-domain outcome
-        (``shards_failed`` — shards that errored out of the dispatch,
-        ``shards_certified`` — failed shards proven irrelevant by the
-        bound certificate, ``shards_down`` — breakers currently open).
+        ``shards.<i>.*``, the pruning outcome (``shards.visited`` /
+        ``shards.pruned``) and the fault-domain outcome
+        (``shards.failed`` — shards that errored out of the dispatch,
+        ``shards.certified`` — failed shards proven irrelevant by the
+        bound certificate, ``shards.down`` — breakers currently open).
+
+        Coordinator-level keys use the same dot-separated scheme as the
+        per-shard ``shards.<i>.*`` blocks (see
+        :meth:`AccessStats.as_dict`).  The pre-unification snake-case
+        spellings (``shards_visited``, ...) are still emitted as
+        aliases for one release; prefer the dotted keys.
         """
         rows, per_shard, visited, pruned, missed, blocking = self._scatter(
             query, normalizer
         )
         cost: dict[str, int] = {
             "shards": len(self.shards),
-            "shards_visited": len(visited),
-            "shards_pruned": pruned,
-            "shards_failed": len(missed),
-            "shards_certified": len(missed) - len(blocking),
-            "shards_down": sum(
+            "shards.visited": len(visited),
+            "shards.pruned": pruned,
+            "shards.failed": len(missed),
+            "shards.certified": len(missed) - len(blocking),
+            "shards.down": sum(
                 1 for guard in self._guards if guard.breaker.state != CLOSED
             ),
         }
+        cost.update(_legacy_key_aliases(cost))
         total = AccessStats()
         for index in sorted(per_shard):
             shard_stats = per_shard[index]
@@ -644,7 +691,7 @@ class ClusterTree:
         queries: Sequence[KNNTAQuery],
         stats: AccessStats | None = None,
         allow_degraded: bool | None = None,
-    ) -> list[list[QueryResult] | DegradedAnswer]:
+    ) -> list[RankedAnswer | DegradedAnswer]:
         """Answer a collective batch: per-shard shared traversal, full merge.
 
         Every non-empty shard runs the batch through its own
@@ -695,7 +742,7 @@ class ClusterTree:
         if stats is not None:
             stats.merge(batch_total)
         any_blocking = False
-        answers: list[list[QueryResult] | DegradedAnswer] = []
+        answers: list[RankedAnswer | DegradedAnswer] = []
         resolved: list[
             tuple[list[QueryResult], dict[int, float]]
         ] = []

@@ -555,12 +555,21 @@ class DegradedAnswer:
     ``score_bound``: every POI the missed shards might contribute is
     *proven* to score at least this value, so any row already scoring
     below it is definitively ranked.
+
+    Satisfies the :class:`~repro.core.query.Answer` protocol with
+    ``exact = False`` — the one answer shape in the system whose rows
+    may be incomplete, and it says so.
     """
 
     __slots__ = ("results", "missed_shards", "coverage", "score_bound")
 
     #: Marker for duck-typed callers (service layer, wire protocol).
     degraded = True
+    exact = False
+
+    @property
+    def rows(self) -> list[QueryResult]:
+        return self.results
 
     def __init__(
         self,

@@ -1,7 +1,10 @@
 """The paper's primary contribution: TAR-tree, kNNTA query and enhancements.
 
-* :mod:`repro.core.query` — query/result value types and normalisation.
+* :mod:`repro.core.query` — query/result/answer value types and
+  normalisation.
 * :mod:`repro.core.tar_tree` — the TAR-tree index (Section 4).
+* :mod:`repro.core.frames` — packed per-node buffers the hot query
+  paths score from.
 * :mod:`repro.core.grouping` — the three entry grouping strategies
   (Section 5): spatial (``IND-spa``), aggregate-distribution
   (``IND-agg``) and the paper's integral-3D strategy.
@@ -20,9 +23,10 @@ from repro.core.grouping import (
     SpatialGrouping,
     resolve_strategy,
 )
+from repro.core.frames import FrameStore, NodeFrame
 from repro.core.knnta import knnta_search
 from repro.core.mwa import minimum_weight_adjustment
-from repro.core.query import KNNTAQuery, QueryResult
+from repro.core.query import Answer, KNNTAQuery, QueryResult, RankedAnswer
 from repro.core.scan import sequential_scan
 from repro.core.tar_tree import POI, TARTree
 
@@ -31,6 +35,10 @@ __all__ = [
     "POI",
     "KNNTAQuery",
     "QueryResult",
+    "Answer",
+    "RankedAnswer",
+    "FrameStore",
+    "NodeFrame",
     "CostModel",
     "CollectiveProcessor",
     "SpatialGrouping",

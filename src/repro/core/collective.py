@@ -14,11 +14,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import bisect_left
 from collections import defaultdict
+from math import sqrt
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.core.knnta import knnta_search
-from repro.core.query import QueryResult
+from repro.core.query import QueryResult, RankedAnswer
+from repro.temporal.tia import AggregateKind
 
 if TYPE_CHECKING:
     from repro.core.query import KNNTAQuery, Normalizer
@@ -86,8 +89,8 @@ class CollectiveProcessor:
 
     def run(
         self, queries: Sequence[KNNTAQuery], stats: AccessStats | None = None
-    ) -> list[list[QueryResult]]:
-        """Answer every query in ``queries``; returns per-query result lists.
+    ) -> list[RankedAnswer]:
+        """Answer every query in ``queries``; returns per-query answers.
 
         Node accesses count each physically fetched node once, however
         many queries consumed it — the batch's whole point.  They are
@@ -114,7 +117,7 @@ class CollectiveProcessor:
                 normalizers[key] = tree.normalizer(query.interval, query.semantics)
             states.append(_QueryState(query, normalizers[key], tie))
         if not tree.root.entries:
-            return [state.results for state in states]
+            return [RankedAnswer(state.results) for state in states]
 
         record_node(tree.root)
         self._expand(tree.root, states)
@@ -143,13 +146,17 @@ class CollectiveProcessor:
             self._expand(node, consumers)
             for state in consumers:
                 register(state)
-        return [state.results for state in states]
+        return [RankedAnswer(state.results) for state in states]
 
     def _expand(self, node: Node, states: Sequence[_QueryState]) -> None:
         """Push ``node``'s entries into every state, sharing aggregates.
 
         States are grouped by (interval, semantics); each group computes
-        the per-entry aggregate once.
+        the per-entry aggregate once.  When the tree carries an enabled
+        :class:`~repro.core.frames.FrameStore` the aggregates and
+        MINDISTs are read from the node's packed frame (no TIA page
+        I/O, no ``Rect`` chasing); results are bit-identical because
+        the raw values feed the same :meth:`_QueryState.push`.
         """
         tree = self.tree
         groups: defaultdict[
@@ -157,6 +164,47 @@ class CollectiveProcessor:
         ] = defaultdict(list)
         for state in states:
             groups[(state.query.interval, state.query.semantics)].append(state)
+
+        frames = getattr(tree, "frames", None)
+        frame = frames.frame(node) if frames is not None and frames.enabled else None
+        if frame is not None:
+            coords = frame.coords
+            epochs = frame.epochs
+            values = frame.values
+            offsets = frame.offsets
+            is_max = tree.aggregate_kind is AggregateKind.MAX
+            clock = tree.clock
+            for (interval, semantics), members in groups.items():
+                span = clock.epoch_range(interval, semantics)
+                e_start, e_stop = span.start, span.stop
+                for i, entry in enumerate(node.entries):
+                    stop = offsets[i + 1]
+                    first = bisect_left(epochs, e_start, offsets[i], stop)
+                    last = bisect_left(epochs, e_stop, first, stop)
+                    if is_max:
+                        raw_aggregate = (
+                            max(values[first:last]) if last > first else 0
+                        )
+                    else:
+                        raw_aggregate = sum(values[first:last])
+                    base = 4 * i
+                    lo_x = coords[base]
+                    hi_x = coords[base + 1]
+                    lo_y = coords[base + 2]
+                    hi_y = coords[base + 3]
+                    for state in members:
+                        qx, qy = state.query.point
+                        if qx < lo_x:
+                            dx = lo_x - qx
+                        else:
+                            dx = qx - hi_x if qx > hi_x else 0.0
+                        if qy < lo_y:
+                            dy = lo_y - qy
+                        else:
+                            dy = qy - hi_y if qy > hi_y else 0.0
+                        state.push(entry, sqrt(dx * dx + dy * dy), raw_aggregate)
+            return
+
         for (interval, semantics), members in groups.items():
             for entry in node.entries:
                 raw_aggregate = tree.tia_aggregate(entry.tia, interval, semantics)
@@ -167,7 +215,7 @@ class CollectiveProcessor:
 
 def process_individually(
     tree: TARTree, queries: Sequence[KNNTAQuery]
-) -> list[list[QueryResult]]:
+) -> list[RankedAnswer]:
     """Baseline: answer each query independently (Section 8.4's rival).
 
     The paper's *individual* configuration gives the TIAs no buffer; set
@@ -175,7 +223,7 @@ def process_individually(
     function just runs :func:`~repro.core.knnta.knnta_search` per query.
     """
     normalizers: dict[tuple[TimeInterval, IntervalSemantics], Normalizer] = {}
-    results: list[list[QueryResult]] = []
+    results: list[RankedAnswer] = []
     for query in queries:
         key = (query.interval, query.semantics)
         if key not in normalizers:

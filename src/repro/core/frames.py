@@ -1,0 +1,212 @@
+"""Columnar packed frames for TAR-tree nodes (the kNNTA hot path).
+
+The best-first search scores every entry of every expanded node: MINDIST
+from the query point to the entry's MBR plus the Property-1 aggregate
+bound its TIA reports over the query interval.  On the object path that
+walk chases Python objects — ``Node`` → ``Entry`` list → ``Rect`` →
+TIA handle — and the TIA read descends a paged B+-tree per entry.  A
+:class:`NodeFrame` flattens one node's scoring inputs into contiguous
+``array`` buffers so the inner loop reads plain machine values:
+
+* ``coords`` (``array('d')``, 4 per entry) — the entry MBR as
+  ``[lo_x, hi_x, lo_y, hi_y]``, in entry order.
+* ``epochs`` / ``values`` (``array('q')``) — every entry's non-zero
+  per-epoch aggregates (leaf counts, or the per-epoch child maxima of
+  Property 1 for internal entries), concatenated in epoch order.
+* ``offsets`` (``array('q')``, ``n + 1`` long) — CSR offsets: entry
+  ``i``'s aggregates live in ``epochs[offsets[i]:offsets[i+1]]``.
+
+Frame index ``i`` corresponds to ``node.entries[i]`` — the entry list
+itself stays the payload/child handle, so heap contents (and therefore
+tie-breaking) are identical between the packed and object paths.
+
+The per-interval aggregate is a ``bisect`` over the entry's epoch slice
+followed by an integer ``sum``/``max`` — exactly the value
+``BaseTIA.aggregate`` computes, without touching the TIA backend (and
+hence without simulated TIA page I/O: the packed path reads zero TIA
+pages, which is the point).  MINDIST replicates
+:meth:`repro.spatial.geometry.Rect.min_dist` operation for operation,
+so scores are bit-identical to the object path.
+
+Invalidation protocol
+---------------------
+
+Frames are built lazily on first access and cached per ``node_id``.
+Two mechanisms keep them coherent:
+
+* **Stamps.**  Every :class:`~repro.spatial.rstar.Node` carries a
+  ``stamp`` counter; the TAR-tree bumps it whenever the node's entry
+  list or any entry's rect/MBR/TIA content changes (insert, delete,
+  split, forced reinsertion, condensation, digest propagation, scrubber
+  repair).  A cached frame records the stamp it was built under and is
+  discarded when it no longer matches — this is what makes a frame
+  invalidated *mid-flight* (a mutation interleaved with an incremental
+  ``knnta_browse``) safe: the next expansion simply rebuilds.
+* **Post-mutation observers.**  The store registers as a tree mutation
+  observer: ``digest`` pops the affected leaf-to-root paths (the cheap,
+  frequent case — digestion never restructures the tree), while
+  ``insert``/``delete`` clear the whole cache (splits and forced
+  reinsertions can relocate arbitrary entries, so path-based
+  invalidation would be unsound).  Observers bound the cache's memory;
+  stamps guarantee correctness even if an invalidation is missed.
+
+Fallback triggers
+-----------------
+
+The search falls back to the object path per node whenever
+:meth:`FrameStore.frame` returns ``None``:
+
+* the store is disabled — permanently so after
+  :meth:`~repro.core.tar_tree.TARTree.wrap_tias`, because wrapped TIAs
+  (fault injectors, retry shims) must see every read the search makes;
+* the tree behind a duck-typed view exposes no store at all
+  (``frames`` resolves to ``None``).
+
+Mixing is safe: a packed push and an object push of the same entry
+produce bit-identical heap tuples.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.core.tar_tree import TARTree
+    from repro.spatial.rstar import Node
+
+
+class NodeFrame:
+    """The packed scoring inputs of one node, at one mutation stamp."""
+
+    __slots__ = ("stamp", "count", "coords", "epochs", "values", "offsets")
+
+    def __init__(
+        self,
+        stamp: int,
+        count: int,
+        coords: array[float],
+        epochs: array[int],
+        values: array[int],
+        offsets: array[int],
+    ) -> None:
+        self.stamp = stamp
+        self.count = count
+        self.coords = coords
+        self.epochs = epochs
+        self.values = values
+        self.offsets = offsets
+
+    def __repr__(self) -> str:
+        return "NodeFrame(entries=%d, records=%d, stamp=%d)" % (
+            self.count,
+            len(self.epochs),
+            self.stamp,
+        )
+
+
+def build_frame(node: Node) -> NodeFrame:
+    """Pack ``node``'s entries into a fresh :class:`NodeFrame`.
+
+    Reads MBRs and TIA contents through the object layer; TIA ``items``
+    is a structural read, so building charges no simulated I/O.
+    """
+    coords = array("d")
+    epochs = array("q")
+    values = array("q")
+    offsets = array("q", [0])
+    for entry in node.entries:
+        mbr = entry.mbr
+        lows = mbr.lows
+        highs = mbr.highs
+        coords.append(lows[0])
+        coords.append(highs[0])
+        coords.append(lows[1])
+        coords.append(highs[1])
+        for epoch, value in entry.tia.items():
+            epochs.append(epoch)
+            values.append(value)
+        offsets.append(len(epochs))
+    return NodeFrame(node.stamp, len(node.entries), coords, epochs, values, offsets)
+
+
+class FrameStore:
+    """Lazy per-node frame cache for one TAR-tree.
+
+    Thread-safety matches the tree's own contract: concurrent readers
+    may race to build the same frame (both builds are identical, last
+    write wins); invalidation happens on the mutation path, which
+    callers already serialise against readers (the service's
+    readers-writer lock).
+    """
+
+    __slots__ = ("_tree", "_frames", "enabled")
+
+    def __init__(self, tree: TARTree) -> None:
+        self._tree = tree
+        self._frames: dict[int, NodeFrame] = {}
+        self.enabled = True
+
+    def frame(self, node: Node) -> NodeFrame | None:
+        """The current frame for ``node``; ``None`` when disabled.
+
+        Serves the cached frame only while its stamp and entry count
+        still match the node; otherwise rebuilds from the object layer.
+        """
+        if not self.enabled:
+            return None
+        frame = self._frames.get(node.node_id)
+        if (
+            frame is not None
+            and frame.stamp == node.stamp
+            and frame.count == len(node.entries)
+        ):
+            return frame
+        frame = build_frame(node)
+        self._frames[node.node_id] = frame
+        return frame
+
+    def cached(self, node: Node) -> NodeFrame | None:
+        """The cached frame for ``node`` without building (tests/tools)."""
+        return self._frames.get(node.node_id)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def clear(self) -> None:
+        """Drop every cached frame (they rebuild lazily)."""
+        self._frames.clear()
+
+    def disable(self) -> None:
+        """Permanently route queries to the object path.
+
+        Called by :meth:`~repro.core.tar_tree.TARTree.wrap_tias`:
+        wrapped TIAs (fault injection, retry accounting) must observe
+        every aggregate read, which the packed path would bypass.
+        """
+        self.enabled = False
+        self._frames.clear()
+
+    def invalidate_path(self, poi_id: Any) -> None:
+        """Pop the frames along ``poi_id``'s leaf-to-root path."""
+        node = self._tree._leaf_of.get(poi_id)
+        frames = self._frames
+        while node is not None:
+            frames.pop(node.node_id, None)
+            node = node.parent
+
+    def note_mutation(self, kind: str, poi_ids: tuple[Any, ...]) -> None:
+        """Post-mutation observer hook (see the module docs)."""
+        if not self._frames:
+            return
+        if kind == "digest":
+            for poi_id in poi_ids:
+                self.invalidate_path(poi_id)
+        else:
+            self._frames.clear()
+
+    def __repr__(self) -> str:
+        return "FrameStore(frames=%d, enabled=%r)" % (
+            len(self._frames),
+            self.enabled,
+        )

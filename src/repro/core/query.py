@@ -12,7 +12,7 @@ temporal aggregate over ``Iq``.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Tuple
+from typing import List, NamedTuple, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.temporal.epochs import TimeInterval
 from repro.temporal.tia import IntervalSemantics
@@ -61,6 +61,66 @@ class QueryResult(NamedTuple):
     def score_pair(self) -> tuple[float, float]:
         """``(s_0, s_1)`` as used by the MWA algorithms (Section 7.1)."""
         return (self.distance, 1.0 - self.aggregate)
+
+
+@runtime_checkable
+class Answer(Protocol):
+    """The one shape every query answer presents, however it was made.
+
+    ``tree.query`` / :func:`~repro.core.knnta.knnta_search` return a
+    :class:`RankedAnswer`, ``tree.robust_query`` a
+    :class:`~repro.reliability.recovery.RobustAnswer`, and a degraded
+    cluster a :class:`~repro.cluster.resilience.DegradedAnswer` — all
+    of them iterate/index like the ranked row list *and* expose these
+    four attributes, so the service, wire and CLI layers never switch
+    on the concrete type:
+
+    * ``rows`` — the ranked :class:`QueryResult` sequence.
+    * ``exact`` — ``True`` when every shard's data is reflected in (or
+      provably irrelevant to) the answer; ``False`` marks an explicit,
+      bounded degradation.
+    * ``coverage`` — the fraction of shards covered (1.0 when exact).
+    * ``score_bound`` — for a non-exact answer, the proven minimum
+      score of anything the missed shards might contribute; ``None``
+      when exact.
+    """
+
+    @property
+    def rows(self) -> Sequence[QueryResult]: ...
+
+    @property
+    def exact(self) -> bool: ...
+
+    @property
+    def coverage(self) -> float: ...
+
+    @property
+    def score_bound(self) -> float | None: ...
+
+
+class RankedAnswer(List[QueryResult]):
+    """A plain ranked result list, dressed in the :class:`Answer` shape.
+
+    It *is* the list (``list`` subclass), so every existing caller that
+    destructures, slices, or compares the rows keeps working unchanged;
+    the protocol attributes simply state what a full, undegraded answer
+    always was: exact, full coverage, nothing withheld.
+    """
+
+    __slots__ = ()
+
+    exact = True
+    coverage = 1.0
+    score_bound: float | None = None
+    #: Legacy duck-type marker mirrored from the degraded types so wire
+    #: code written against ``getattr(rows, "degraded", ...)`` keeps
+    #: working one more release; prefer ``not answer.exact``.
+    degraded = False
+    missed_shards: Tuple[int, ...] = ()
+
+    @property
+    def rows(self) -> List[QueryResult]:
+        return self
 
 
 class Normalizer(NamedTuple):

@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Any
 
-from repro.core.query import QueryResult
+from repro.core.query import QueryResult, RankedAnswer
 from repro.spatial.geometry import point_distance
 
 if TYPE_CHECKING:
@@ -24,11 +24,11 @@ if TYPE_CHECKING:
 
 def sequential_scan(
     tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
-) -> list[QueryResult]:
+) -> RankedAnswer:
     """Answer ``query`` by scanning every indexed POI of ``tree``.
 
-    Returns the same ranked :class:`~repro.core.query.QueryResult` list
-    as :func:`repro.core.knnta.knnta_search` (ties may order
+    Returns the same ranked :class:`~repro.core.query.RankedAnswer` as
+    :func:`repro.core.knnta.knnta_search` (ties may order
     differently).  Shares the tree's normaliser so scores are directly
     comparable.
     """
@@ -54,22 +54,22 @@ def sequential_scan(
         elif item[0] > heap[0][0]:
             heapq.heapreplace(heap, item)
     ranked = sorted(heap, key=lambda item: (-item[0], item[1]))
-    return [
+    return RankedAnswer(
         QueryResult(poi_id, -neg_score, distance, aggregate)
         for neg_score, _, poi_id, distance, aggregate in ranked
-    ]
+    )
 
 
 def full_ranking(
     tree: TARTree, query: KNNTAQuery, normalizer: Normalizer | None = None
-) -> list[QueryResult]:
+) -> RankedAnswer:
     """Score and rank *every* indexed POI (used by MWA ground truth)."""
     query.validate()
     if normalizer is None:
         normalizer = tree.normalizer(query.interval, query.semantics)
     alpha0 = query.alpha0
     alpha1 = query.alpha1
-    results: list[QueryResult] = []
+    results = RankedAnswer()
     for poi_id in tree.poi_ids():
         poi = tree.poi(poi_id)
         distance, aggregate = normalizer.components(

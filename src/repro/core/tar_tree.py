@@ -31,6 +31,7 @@ from typing import (
     cast,
 )
 
+from repro.core.frames import FrameStore
 from repro.core.grouping import resolve_strategy
 from repro.core.query import KNNTAQuery, Normalizer
 from repro.spatial.geometry import Rect
@@ -48,7 +49,7 @@ from repro.temporal.tia import (
 
 if TYPE_CHECKING:
     from repro.core.grouping import GroupingStrategy
-    from repro.core.query import QueryResult
+    from repro.core.query import QueryResult, RankedAnswer
     from repro.datasets.generator import Dataset
     from repro.reliability.recovery import RobustAnswer
     from repro.temporal.epochs import TimeInterval, VariedEpochClock
@@ -204,6 +205,12 @@ class TARTree:
         self._size = 0
         self._mutation_listener: MutationListener | None = None
         self._mutation_observers: list[MutationObserver] = []
+        #: Packed per-node frame cache: the query hot path scores
+        #: entries from its flat arrays instead of chasing Entry/Rect/
+        #: TIA objects (see :mod:`repro.core.frames`).  Kept coherent
+        #: through the post-mutation observers plus per-node stamps.
+        self.frames = FrameStore(self)
+        self.add_mutation_observer(self.frames.note_mutation)
         #: LSN of the last write-ahead-logged mutation applied to this
         #: tree (``None`` when the tree has never been WAL-wrapped).
         #: Persisted by :func:`repro.storage.serialize.save_tree` so a
@@ -358,6 +365,9 @@ class TARTree:
                 self._leaf_of[entry.item] = root
         self.root = root
         self._size = len(poi_histories)
+        # Fresh node ids make any cached frames unreachable; drop them
+        # rather than letting them linger as garbage.
+        self.frames.clear()
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -551,6 +561,7 @@ class TARTree:
         for i, entry in enumerate(leaf.entries):
             if entry.item == poi_id:
                 del leaf.entries[i]
+                leaf.stamp += 1
                 break
         else:
             raise AssertionError("registry points at a leaf missing POI %r" % (poi_id,))
@@ -600,10 +611,12 @@ class TARTree:
             if value > maxima.get(epoch_index, 0):
                 maxima[epoch_index] = value
             node = self._leaf_of[poi_id]
+            node.stamp += 1
             while node.parent is not None:
                 parent = node.parent
                 if not parent.entry_for_child(node).tia.raise_to(epoch_index, value):
                     break
+                parent.stamp += 1
                 node = parent
         ts, te = self.clock.bounds(epoch_index)
         if math.isfinite(te) and te > self.current_time:
@@ -618,15 +631,18 @@ class TARTree:
 
     def query(
         self, query: KNNTAQuery, normalizer: Normalizer | None = None
-    ) -> list[QueryResult]:
-        """Answer a :class:`~repro.core.query.KNNTAQuery` — the canonical
-        query entry point.
+    ) -> RankedAnswer:
+        """Answer a :class:`~repro.core.query.KNNTAQuery` — *the* query
+        entry point.
 
         Delegates to :func:`repro.core.knnta.knnta_search` and returns
-        the ranked :class:`~repro.core.query.QueryResult` list.  Every
-        other entry point (:meth:`robust_query`, the module-level
-        functions, the deprecated :meth:`knnta` shim) accepts the same
-        query value, so one ``KNNTAQuery`` serves them all.
+        the ranked :class:`~repro.core.query.RankedAnswer` (a list of
+        :class:`~repro.core.query.QueryResult` rows satisfying the
+        :class:`~repro.core.query.Answer` protocol).  :meth:`robust_query`
+        is the fault-tolerant companion; the :meth:`knnta` /
+        :meth:`robust_knnta` facades are deprecated shims over these
+        two, and every entry point accepts the same query value, so one
+        ``KNNTAQuery`` serves them all.
         """
         from repro.core.knnta import knnta_search
 
@@ -657,19 +673,23 @@ class TARTree:
         alpha0: float,
         semantics: IntervalSemantics,
     ) -> KNNTAQuery:
-        """Shim support: accept a KNNTAQuery or the legacy kwargs shape."""
-        if isinstance(q, KNNTAQuery):
-            return q
+        """Shim support: warn, then accept either calling shape.
+
+        The facades warn *unconditionally* — calling :meth:`knnta` with
+        a ready ``KNNTAQuery`` is just :meth:`query` under an obsolete
+        name and should say so, not pass silently.
+        """
         warnings.warn(
-            "TARTree.%s(q, interval, ...) is deprecated; build a "
-            "KNNTAQuery and call TARTree.query() / TARTree.robust_query()"
-            % name,
+            "TARTree.%s() is deprecated; call TARTree.query() / "
+            "TARTree.robust_query() with a KNNTAQuery" % name,
             DeprecationWarning,
             # Frames above the warn call: [1] _coerce_query, [2] the
             # knnta/robust_knnta shim, [3] the caller — the warning must
             # name the caller's file, not this one (asserted in tests).
             stacklevel=3,
         )
+        if isinstance(q, KNNTAQuery):
+            return q
         if interval is None:
             raise TypeError(
                 "%s() needs an interval when not given a KNNTAQuery" % name
@@ -686,13 +706,13 @@ class TARTree:
         alpha0: float = 0.3,
         semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
         normalizer: Normalizer | None = None,
-    ) -> list[QueryResult]:
-        """Deprecated shim over :meth:`query`.
+    ) -> RankedAnswer:
+        """Deprecated shim over :meth:`query`; always warns.
 
         Accepts either a ready :class:`~repro.core.query.KNNTAQuery` or
-        the legacy ``(q, interval, k, alpha0)`` kwargs shape; the
-        latter emits a :class:`DeprecationWarning`.  Answers are
-        identical to :meth:`query`.
+        the legacy ``(q, interval, k, alpha0)`` kwargs shape; both emit
+        a :class:`DeprecationWarning`.  Answers are identical to
+        :meth:`query`.
         """
         return self.query(
             self._coerce_query("knnta", q, interval, k, alpha0, semantics),
@@ -708,10 +728,10 @@ class TARTree:
         semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
         **options: Any,
     ) -> RobustAnswer:
-        """Deprecated shim over :meth:`robust_query`.
+        """Deprecated shim over :meth:`robust_query`; always warns.
 
         Accepts either a ready :class:`~repro.core.query.KNNTAQuery` or
-        the legacy kwargs shape (which emits a
+        the legacy kwargs shape (both emit a
         :class:`DeprecationWarning`); returns the same
         :class:`~repro.reliability.recovery.RobustAnswer`.
         """
@@ -750,6 +770,7 @@ class TARTree:
             index = self.strategy.choose_child(node, entry, self)
             node = cast(Node, node.entries[index].child)
         node.entries.append(entry)
+        node.stamp += 1
         if entry.child is not None:
             entry.child.parent = node
         elif node.is_leaf:
@@ -768,6 +789,7 @@ class TARTree:
             parent_entry.mbr = parent_entry.mbr.union(added_entry.mbr)
             for epoch, value in added_items:
                 parent_entry.tia.raise_to(epoch, value)
+            parent.stamp += 1
             node = parent
 
     def _overflow(self, node: Node, reinserted_levels: set[int]) -> None:
@@ -788,6 +810,7 @@ class TARTree:
         node.entries = [
             entry for i, entry in enumerate(node.entries) if i not in victims
         ]
+        node.stamp += 1
         self._recompute_upward(node)
         for entry in removed:
             self._insert_entry(entry, node.level, reinserted_levels)
@@ -797,6 +820,7 @@ class TARTree:
         entries = node.entries
         sibling = Node(level=node.level)
         node.entries = [entries[i] for i in group_a]
+        node.stamp += 1
         sibling.entries = [entries[i] for i in group_b]
         for entry in sibling.entries:
             if entry.child is not None:
@@ -816,6 +840,7 @@ class TARTree:
         parent = cast(Node, node.parent)
         self._refresh_parent_entry(parent.entry_for_child(node), node)
         parent.entries.append(self._make_parent_entry(sibling))
+        parent.stamp += 1
         sibling.parent = parent
         self._recompute_upward(parent)
         if len(parent.entries) > self.capacity:
@@ -835,6 +860,10 @@ class TARTree:
         entry.rect = Rect.union_all(e.rect for e in child_node.entries)
         entry.mbr = Rect.union_all(e.mbr for e in child_node.entries)
         entry.tia.replace_all(self._epoch_maxima(child_node.entries))
+        if child_node.parent is not None:
+            # The refreshed entry lives in the parent node; stale packed
+            # frames of that node must not keep serving its old bounds.
+            child_node.parent.stamp += 1
 
     @staticmethod
     def _epoch_maxima(entries: Iterable[Entry]) -> dict[int, int]:
@@ -858,6 +887,7 @@ class TARTree:
             parent = node.parent
             if len(node.entries) < self.min_fill:
                 parent.entries.remove(parent.entry_for_child(node))
+                parent.stamp += 1
                 orphans.append((node.level, list(node.entries)))
                 node = parent
             else:
@@ -903,6 +933,7 @@ class TARTree:
         self._global_epoch_max = {}
         self._global_max_dirty = False
         self._size = 0
+        self.frames.clear()
         for poi, epochs in pois:
             self.insert_poi(poi, epochs)
 
@@ -1005,7 +1036,13 @@ class TARTree:
         (:func:`repro.reliability.faults.inject_tree_faults`); wrappers
         must implement the :class:`~repro.temporal.tia.BaseTIA`
         interface.
+
+        Wrapping permanently disables the packed frame cache: the
+        packed hot path answers from flattened TIA snapshots and would
+        bypass the wrappers entirely, hiding injected faults (and any
+        accounting the wrapper performs) from every subsequent query.
         """
+        self.frames.disable()
         seen: dict[int, BaseTIA] = {}
 
         def once(tia: BaseTIA) -> BaseTIA:

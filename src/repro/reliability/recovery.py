@@ -94,7 +94,14 @@ class _RetryingTree:
     Only the aggregate-reading entry points are intercepted; every other
     attribute resolves on the wrapped tree, so the BFS and the scan run
     unchanged on top of it.
+
+    ``frames`` is pinned to ``None`` (a class attribute, so
+    ``__getattr__`` never fires for it): the packed frames would answer
+    aggregates from cached buffers, bypassing the very TIA reads this
+    view exists to retry.
     """
+
+    frames = None
 
     def __init__(self, tree, policy):
         self._tree = tree
@@ -126,9 +133,24 @@ class RobustAnswer:
     scan answered instead of the BFS, ``reason`` why (``"corruption"``
     or ``"transient-faults"``), and ``retries`` how many transient
     faults were absorbed along the way.
+
+    Satisfies the :class:`~repro.core.query.Answer` protocol: whichever
+    path answered — BFS or scan fallback — the rows are exact (the
+    fallback is the exact baseline, slower but never wrong), so
+    ``exact`` is ``True`` and ``coverage`` 1.0.
     """
 
     __slots__ = ("results", "used_fallback", "reason", "retries", "validation")
+
+    exact = True
+    coverage = 1.0
+    score_bound = None
+    degraded = False
+    missed_shards = ()
+
+    @property
+    def rows(self):
+        return self.results
 
     def __init__(self, results, used_fallback=False, reason=None, retries=0,
                  validation=None):

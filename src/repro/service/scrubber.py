@@ -303,6 +303,9 @@ class Scrubber:
                 if fingerprint_mapping(expected) == entry.tia.fingerprint():
                     continue  # a writer fixed or superseded it meanwhile
                 entry.tia.replace_all(expected)
+                # The entry's TIA content changed in place: invalidate
+                # any packed frame built over the old values.
+                node.stamp += 1
                 self.repairs += 1
                 self.events.append(
                     HealthEvent(

@@ -230,13 +230,15 @@ class JsonLineServer:
                 timeout if timeout is not None else self.service.config.default_timeout
             ) + 1.0
         rows = request.result(wait)
+        # Every answer satisfies the Answer protocol; the wire keeps the
+        # established "degraded" field name for the inverse of `exact`.
         response = {
             "ok": True,
-            "results": _result_rows(rows),
+            "results": _result_rows(rows.rows),
             "batch_size": request.batch_size,
             "cost": request.cost.as_dict(),
             "latency": request.latency,
-            "degraded": bool(getattr(rows, "degraded", False)),
+            "degraded": not rows.exact,
         }
         if response["degraded"]:
             response["missed_shards"] = list(rows.missed_shards)

@@ -631,9 +631,9 @@ class QueryService:
             self.service_stats.note_failed(len(batch))
             return
         now = time.monotonic()
-        degraded = sum(
-            1 for rows in results if getattr(rows, "degraded", False)
-        )
+        # Every producer returns an Answer-shaped object; a non-exact
+        # answer is by definition a (permitted) degradation.
+        degraded = sum(1 for rows in results if not rows.exact)
         if degraded:
             self.service_stats.note_degraded(degraded)
         for request, rows in zip(batch, results):

@@ -245,15 +245,24 @@ class Entry:
 
 
 class Node:
-    """An R-tree node; ``level`` 0 marks a leaf."""
+    """An R-tree node; ``level`` 0 marks a leaf.
 
-    __slots__ = ("node_id", "level", "entries", "parent")
+    ``stamp`` is a mutation counter for layers that cache per-node
+    derived state (the TAR-tree's packed frames,
+    :mod:`repro.core.frames`): code under such a cache that changes the
+    entry list or an entry's rect/MBR/TIA content — splits, forced
+    reinsertions, digest propagation, repairs — must bump it so stale
+    caches are detected.  The plain R*-tree carries but never reads it.
+    """
+
+    __slots__ = ("node_id", "level", "entries", "parent", "stamp")
 
     def __init__(self, level: int) -> None:
         self.node_id = next(_node_ids)
         self.level = level
         self.entries: list[Entry] = []
         self.parent: Node | None = None
+        self.stamp = 0
 
     @property
     def is_leaf(self) -> bool:

@@ -103,7 +103,10 @@ class AccessStats:
         service snapshot, the wire protocol and the CLI cost report.
         When ``label`` is given every key is prefixed ``"<label>."`` —
         the cluster coordinator uses this to merge per-shard costs into
-        one flat, diffable mapping (``shards.0.total_io``, ...).
+        one flat, diffable mapping (``shards.0.total_io``, ...).  This
+        dotted form is the canonical labelling scheme for every cost
+        mapping the project emits (the coordinator's scalar counters
+        follow it too: ``shards.visited``, ``shards.pruned``, ...).
         """
         counters = {
             "rtree_internal": self.rtree_internal,

@@ -131,6 +131,34 @@ class TestQueries:
         assert counters["shards"] == 2
         assert 1 <= counters["shards_visited"] <= 4
 
+    def test_counters_emit_canonical_and_legacy_keys(self, small_dataset):
+        # Dotted keys are canonical (one scheme with the shards.<i>.*
+        # blocks of explain()); the old snake spellings are shimmed
+        # aliases and must agree exactly for one release.
+        built = ClusterTree.build(small_dataset, num_shards=2)
+        built.query(trailing_query(built))
+        counters = built.counters()
+        for dotted, legacy in (
+            ("shards.visited", "shards_visited"),
+            ("shards.pruned", "shards_pruned"),
+            ("shards.failed", "shards_failed"),
+            ("shards.down", "shards_down"),
+            ("shards.retries", "shard_retries"),
+            ("shards.timeouts", "shard_timeouts"),
+        ):
+            assert counters[dotted] == counters[legacy]
+
+    def test_explain_emits_canonical_and_legacy_keys(self, cluster):
+        _, cost = cluster.explain(trailing_query(cluster))
+        for dotted, legacy in (
+            ("shards.visited", "shards_visited"),
+            ("shards.pruned", "shards_pruned"),
+            ("shards.failed", "shards_failed"),
+            ("shards.certified", "shards_certified"),
+            ("shards.down", "shards_down"),
+        ):
+            assert cost[dotted] == cost[legacy]
+
     def test_query_batch_matches_single_tree(self, cluster, single_tree):
         end = cluster.current_time
         queries = [

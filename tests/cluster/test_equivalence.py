@@ -98,6 +98,20 @@ def test_parallel_scatter_equals_single_tree():
         assert cluster.query(query) == single.query(query)
 
 
+def test_packed_frames_do_not_change_cluster_answers():
+    """Scatter-gather over packed shards equals frames-disabled shards."""
+    data = datasets.make("NYC", scale=0.02, seed=7)
+    packed = ClusterTree.build(data, num_shards=4)
+    plain = ClusterTree.build(data, num_shards=4)
+    for shard in plain.shards:
+        shard.tree.frames.disable()
+    rng = random.Random(17)
+    for query in random_queries(packed, rng, count=12):
+        assert packed.query(query) == plain.query(query)
+    queries = random_queries(packed, rng, count=6)
+    assert packed.query_batch(queries) == plain.query_batch(queries)
+
+
 def test_equivalence_survives_mutation_stream():
     """Random routed inserts/deletes/digests keep the answers identical."""
     data = datasets.make("NYC", scale=0.02, seed=13)

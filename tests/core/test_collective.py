@@ -135,6 +135,9 @@ class TestSharing:
 
         def tia_pages(queries):
             tree = build_tree(seed=18, tia_backend="paged", tia_buffer_slots=0)
+            # This test measures the object path's TIA page I/O; the
+            # packed frames answer aggregates without any TIA reads.
+            tree.frames.disable()
             snap = tree.stats.snapshot()
             CollectiveProcessor(tree).run(queries)
             return tree.stats.diff(snap).tia_pages
@@ -156,6 +159,7 @@ class TestProcessIndividually:
 
         def pages(slots):
             tree = build_tree(seed=22, tia_backend="paged", tia_buffer_slots=slots)
+            tree.frames.disable()  # measuring object-path TIA buffering
             snap = tree.stats.snapshot()
             process_individually(tree, queries)
             return tree.stats.diff(snap).tia_pages

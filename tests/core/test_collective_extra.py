@@ -94,6 +94,8 @@ class TestBatchShapes:
             KNNTAQuery((50.0, 50.0), interval, k=10, alpha0=a)
             for a in (0.1, 0.3, 0.5, 0.7, 0.9)
         ]
+        # Comparing object-path TIA page costs; frames would zero both.
+        tree.frames.disable()
         snap = tree.stats.snapshot()
         collective = CollectiveProcessor(tree).run(queries)
         shared_pages = tree.stats.diff(snap).tia_pages

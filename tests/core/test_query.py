@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.query import KNNTAQuery, Normalizer, QueryResult
+from repro.core.query import (
+    Answer,
+    KNNTAQuery,
+    Normalizer,
+    QueryResult,
+    RankedAnswer,
+)
 from repro.temporal.epochs import TimeInterval
 from repro.temporal.tia import IntervalSemantics
 
@@ -70,3 +76,47 @@ class TestNormalizer:
         normalizer = Normalizer(2.0, 4.0)
         almost_one = 1.0 - 1e-12
         assert normalizer.score(almost_one, 1.0, 0.0) == pytest.approx(0.5, abs=1e-6)
+
+
+class TestAnswerProtocol:
+    def rows(self):
+        return [QueryResult("p", 0.5, 0.2, 0.75), QueryResult("q", 0.6, 0.4, 0.5)]
+
+    def test_ranked_answer_is_the_list(self):
+        rows = self.rows()
+        answer = RankedAnswer(rows)
+        assert answer == rows  # plain-list equality keeps working
+        assert answer[0] is rows[0]
+        first, second = answer  # destructuring keeps working
+        assert (first, second) == tuple(rows)
+        assert answer.rows is answer
+
+    def test_ranked_answer_protocol_attrs(self):
+        answer = RankedAnswer(self.rows())
+        assert answer.exact is True
+        assert answer.coverage == 1.0
+        assert answer.score_bound is None
+        assert answer.degraded is False
+        assert answer.missed_shards == ()
+        assert isinstance(answer, Answer)
+
+    def test_robust_answer_satisfies_protocol(self):
+        from repro.reliability.recovery import RobustAnswer
+
+        answer = RobustAnswer(self.rows(), used_fallback=True, reason="x")
+        assert isinstance(answer, Answer)
+        assert answer.exact is True  # the fallback is exact, just slower
+        assert answer.coverage == 1.0
+        assert answer.score_bound is None
+        assert answer.rows == self.rows()
+
+    def test_degraded_answer_satisfies_protocol(self):
+        from repro.cluster.resilience import DegradedAnswer
+
+        answer = DegradedAnswer(self.rows(), (2,), 0.75, 0.42)
+        assert isinstance(answer, Answer)
+        assert answer.exact is False
+        assert answer.coverage == 0.75
+        assert answer.score_bound == 0.42
+        assert answer.rows == self.rows()
+        assert list(answer) == self.rows()

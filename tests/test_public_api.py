@@ -16,6 +16,8 @@ EXPECTED_EXPORTS = [
     "POI",
     "KNNTAQuery",
     "QueryResult",
+    "Answer",
+    "RankedAnswer",
     "TimeInterval",
     "EpochClock",
     "VariedEpochClock",
@@ -226,10 +228,20 @@ class TestDeprecatedQueryShims:
             )
         assert legacy == expected
 
-    def test_knnta_accepts_query_object_silently(self, tar_tree, recwarn):
+    def test_knnta_warns_even_for_query_objects(self, tar_tree):
+        # The facade is deprecated as a *name*, not just for its legacy
+        # kwargs shape — a ready KNNTAQuery warns too (and still points
+        # at TARTree.query as the replacement).
         query = self.make_query(tar_tree)
-        assert tar_tree.knnta(query) == tar_tree.query(query)
-        assert not [w for w in recwarn if w.category is DeprecationWarning]
+        with pytest.warns(DeprecationWarning, match="TARTree.query"):
+            legacy = tar_tree.knnta(query)
+        assert legacy == tar_tree.query(query)
+
+    def test_robust_knnta_warns_even_for_query_objects(self, tar_tree):
+        query = self.make_query(tar_tree)
+        with pytest.warns(DeprecationWarning, match="robust_query"):
+            legacy = tar_tree.robust_knnta(query)
+        assert list(legacy) == list(tar_tree.robust_query(query))
 
     def test_robust_knnta_kwargs_shape_warns_and_answers_identically(
         self, tar_tree
