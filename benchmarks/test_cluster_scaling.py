@@ -83,10 +83,10 @@ def run_workload(cluster, workload):
         "node_accesses_per_query": delta.rtree_nodes / n,
         "tia_pages_per_query": delta.tia_pages / n,
         "shards_visited_avg": (
-            (counters["shards_visited"] - counters_before["shards_visited"]) / n
+            (counters["shards.visited"] - counters_before["shards_visited"]) / n
         ),
         "shards_pruned_avg": (
-            (counters["shards_pruned"] - counters_before["shards_pruned"]) / n
+            (counters["shards.pruned"] - counters_before["shards_pruned"]) / n
         ),
     }
 

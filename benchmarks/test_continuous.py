@@ -1,0 +1,156 @@
+"""Incremental subscription advances vs re-running every query.
+
+A :class:`~repro.continuous.SubscriptionRegistry` claims that sliding a
+window costs far less than re-issuing each subscriber's one-shot query:
+most advances re-score only the changed candidates against the retained
+frontier, touching zero R-tree nodes, and the bound-pruned fresh search
+is the exception rather than the rule.  This benchmark replays a data
+set's tail through a subscribed tree and measures both sides of that
+claim — R-tree node accesses and wall-clock per advance — for the
+incremental path against a re-run-everything baseline, across
+subscriber fan-outs and window sizes.  Identity is asserted inline:
+after every advance each subscription's rows must equal the one-shot
+answer.  The series lands in ``BENCH_continuous.json``;
+``REPRO_BENCH_SMOKE=1`` shrinks the fixture for the CI smoke leg.
+"""
+
+import functools
+import json
+import os
+import random
+import time
+
+from repro import KNNTAQuery, TARTree, datasets
+from repro.continuous import SubscriptionRegistry, window_state
+from repro.datasets.streaming import epoch_stream
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+DATASET = "GS"
+SCALE = 0.3 if SMOKE else 1.0
+SEED = 42
+
+SUBSCRIBERS = (1, 8, 64)
+WINDOWS = (2, 8)
+
+#: The full run must show a real saving in node accesses; the smoke leg
+#: (tiny fixture) only has to prove incremental is not *more* I/O.
+MAX_NODE_RATIO = 1.0 if SMOKE else 0.5
+
+
+@functools.lru_cache(maxsize=None)
+def get_data():
+    return datasets.make(DATASET, scale=SCALE, seed=SEED)
+
+
+def one_shot_query(tree, point, window, k):
+    state = window_state(tree.clock, tree.current_time, window)
+    return KNNTAQuery(point, state.interval, k=k)
+
+
+def run_config(n_subs, window):
+    """Replay the tail once; return the per-advance cost aggregates."""
+    data = get_data()
+    tree = TARTree.build(data.snapshot(0.7))
+    rng = random.Random(101 + n_subs * 13 + window)
+    registry = SubscriptionRegistry(tree)
+    subs = []
+    for _ in range(n_subs):
+        point = (
+            rng.uniform(tree.world.lows[0], tree.world.highs[0]),
+            rng.uniform(tree.world.lows[1], tree.world.highs[1]),
+        )
+        sub, _ = registry.subscribe(point, window, k=10)
+        subs.append((sub, point))
+    advances = 0
+    incremental_nodes = rerun_nodes = 0
+    incremental_s = rerun_s = 0.0
+    stream = epoch_stream(
+        data, tree.clock, start_time=tree.current_time,
+        poi_ids=list(tree.poi_ids()),
+    )
+    for epoch, counts in stream:
+        tree.digest_epoch(epoch, counts)
+
+        snap = tree.stats.snapshot()
+        start = time.perf_counter()
+        registry.advance()
+        incremental_s += time.perf_counter() - start
+        incremental_nodes += tree.stats.diff(snap).rtree_nodes
+
+        snap = tree.stats.snapshot()
+        start = time.perf_counter()
+        oracles = [
+            tree.query(one_shot_query(tree, point, window, k=10))
+            for _, point in subs
+        ]
+        rerun_s += time.perf_counter() - start
+        rerun_nodes += tree.stats.diff(snap).rtree_nodes
+
+        for (sub, _), oracle in zip(subs, oracles):
+            assert list(sub.last_rows) == list(oracle.rows), (
+                "subscription diverged from one-shot at epoch %d" % epoch
+            )
+        advances += 1
+    counters = registry.counters()
+    registry.close()
+    assert advances >= 3, "tail too short to measure anything"
+    assert counters["evals.errors"] == 0
+    return {
+        "subscribers": n_subs,
+        "window": window,
+        "advances": advances,
+        "incremental_nodes": incremental_nodes,
+        "rerun_nodes": rerun_nodes,
+        "incremental_s": incremental_s,
+        "rerun_s": rerun_s,
+        "evals_incremental": counters["evals.incremental"],
+        "evals_fresh": counters["evals.fresh"],
+    }
+
+
+def test_incremental_advances_beat_rerunning():
+    rows = [
+        run_config(n_subs, window)
+        for n_subs in SUBSCRIBERS
+        for window in WINDOWS
+    ]
+    for row in rows:
+        assert row["rerun_nodes"] > 0
+        ratio = row["incremental_nodes"] / row["rerun_nodes"]
+        assert ratio <= MAX_NODE_RATIO, (
+            "%(subscribers)d subs, window %(window)d: incremental touched "
+            "%(incremental_nodes)d nodes vs %(rerun_nodes)d re-run"
+            % row
+            + " (ratio %.2f, bar %.2f)" % (ratio, MAX_NODE_RATIO)
+        )
+
+    out_path = os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_continuous.json"
+    )
+    with open(os.path.abspath(out_path), "w") as handle:
+        json.dump(
+            {
+                "dataset": DATASET,
+                "scale": SCALE,
+                "smoke": SMOKE,
+                "max_node_ratio": MAX_NODE_RATIO,
+                "results": rows,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+    print()
+    for row in rows:
+        print(
+            "%3d subs  window %d  advances %2d  nodes %6d vs %6d  "
+            "wall %6.3fs vs %6.3fs  (incr/fresh evals %d/%d)"
+            % (
+                row["subscribers"], row["window"], row["advances"],
+                row["incremental_nodes"], row["rerun_nodes"],
+                row["incremental_s"], row["rerun_s"],
+                row["evals_incremental"], row["evals_fresh"],
+            )
+        )

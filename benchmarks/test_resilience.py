@@ -150,7 +150,7 @@ def test_degraded_mode_is_not_slower_than_healthy():
 
     assert all(answer is not None for answer in answers)
     counters = degraded.counters()
-    assert counters["shards_down"] >= 1
+    assert counters["shards.down"] >= 1
     # Exact-or-explicit: anything the down shard could have changed is
     # flagged, everything else is certified exact.
     flagged = sum(1 for a in answers if getattr(a, "degraded", False))

@@ -37,6 +37,12 @@ over TCP).  To scale past one tree, :mod:`repro.cluster` shards the
 dataset spatially behind a :class:`~repro.cluster.ClusterTree`
 coordinator with the same query surface (``python -m repro shard`` /
 ``serve --cluster``).
+
+Standing queries live in :mod:`repro.continuous`: a
+:class:`~repro.continuous.SubscriptionRegistry` re-evaluates sliding-
+window kNNTA subscriptions incrementally as epochs are digested and
+pushes ordered top-k deltas (``python -m repro watch``; see
+``docs/CONTINUOUS.md``).
 """
 
 __version__ = "0.3.0"
@@ -52,6 +58,14 @@ from repro.cluster import (
     plan_shards,
     recover_cluster,
     save_cluster,
+)
+from repro.continuous import (
+    DeltaKind,
+    SubscriptionRegistry,
+    TopKDelta,
+    WindowState,
+    WindowUpdate,
+    window_state,
 )
 from repro.core.collective import CollectiveProcessor
 from repro.core.costmodel import CostModel
@@ -116,6 +130,12 @@ __all__ = [
     "robust_knnta",
     "UnloggedMutationError",
     "QueryService",
+    "SubscriptionRegistry",
+    "WindowUpdate",
+    "WindowState",
+    "window_state",
+    "TopKDelta",
+    "DeltaKind",
     "ServiceConfig",
     "ServiceStats",
     "ServiceOverloadedError",

@@ -336,6 +336,54 @@ def build_parser():
         "--scrub-budget", type=int, default=32, help="nodes scrubbed per tick"
     )
 
+    watch = commands.add_parser(
+        "watch",
+        help="stand a sliding-window kNNTA subscription over a saved tree",
+        description=(
+            "Register a standing top-k subscription at a query point: "
+            "print the initial ranked answer for the trailing window of "
+            "--window epochs, then — with --dataset — replay the data "
+            "set's check-ins past the tree's current time, digesting one "
+            "epoch at a time and printing each pushed update's ordered "
+            "enter/leave/move deltas (incremental re-evaluation; see "
+            "docs/CONTINUOUS.md). Works over a tree file or a cluster "
+            "directory written by 'shard'. Without --dataset the initial "
+            "answer is printed and the command exits."
+        ),
+    )
+    watch.add_argument(
+        "tree",
+        help="tree file written by 'build' or a cluster directory "
+        "written by 'shard'",
+    )
+    watch.add_argument("--x", type=float, required=True, help="query point x")
+    watch.add_argument("--y", type=float, required=True, help="query point y")
+    watch.add_argument(
+        "--window",
+        type=int,
+        required=True,
+        help="sliding window width in epochs",
+    )
+    watch.add_argument("--k", type=int, default=10)
+    watch.add_argument("--alpha0", type=float, default=0.3)
+    watch.add_argument(
+        "--semantics",
+        default="intersects",
+        choices=("intersects", "contained"),
+        help="epoch membership semantics for the window interval",
+    )
+    watch.add_argument(
+        "--dataset",
+        help="replay this data set's check-ins beyond the tree's current "
+        "time, one digested epoch per window advance",
+    )
+    watch.add_argument(
+        "--max-updates",
+        type=int,
+        default=None,
+        help="stop after this many pushed updates (default: replay all)",
+    )
+
     lint = commands.add_parser(
         "lint",
         help="run the project's static-analysis rules over source trees",
@@ -471,37 +519,47 @@ def _command_build(args, out):
     return 0
 
 
-def _command_query(args, out):
+def _open_tree_or_cluster(path, out):
+    """Open a tree file or a cluster directory.
+
+    Returns ``(tree, cluster)`` — ``cluster`` is None for a single tree
+    and must be closed by the caller otherwise — or ``(None, None)``
+    after printing the error (exit code 2).
+    """
     import os
 
-    from repro.core.query import KNNTAQuery
-    from repro.core.scan import sequential_scan
     from repro.storage.serialize import CorruptSnapshotError, load_tree
 
-    cluster = None
-    if os.path.isdir(args.tree):
-        from repro.cluster import (
-            ClusterStateError,
-            is_cluster_directory,
-            open_cluster,
-        )
+    if not os.path.isdir(path):
+        return load_tree(path), None
+    from repro.cluster import (
+        ClusterStateError,
+        is_cluster_directory,
+        open_cluster,
+    )
 
-        if not is_cluster_directory(args.tree):
-            print(
-                "%s is a directory but holds no cluster manifest "
-                "(expected a tree file or a 'shard' output directory)"
-                % args.tree,
-                file=out,
-            )
-            return 2
-        try:
-            cluster = open_cluster(args.tree)
-        except (ClusterStateError, CorruptSnapshotError, OSError) as exc:
-            print("cannot open cluster %s: %s" % (args.tree, exc), file=out)
-            return 2
-        tree = cluster
-    else:
-        tree = load_tree(args.tree)
+    if not is_cluster_directory(path):
+        print(
+            "%s is a directory but holds no cluster manifest "
+            "(expected a tree file or a 'shard' output directory)" % path,
+            file=out,
+        )
+        return None, None
+    try:
+        cluster = open_cluster(path)
+    except (ClusterStateError, CorruptSnapshotError, OSError) as exc:
+        print("cannot open cluster %s: %s" % (path, exc), file=out)
+        return None, None
+    return cluster, cluster
+
+
+def _command_query(args, out):
+    from repro.core.query import KNNTAQuery
+    from repro.core.scan import sequential_scan
+
+    tree, cluster = _open_tree_or_cluster(args.tree, out)
+    if tree is None:
+        return 2
     try:
         interval = _resolve_interval(tree, args)
         query = KNNTAQuery(
@@ -567,6 +625,110 @@ def _command_query(args, out):
             return 0 if matches else 1
         return 0
     finally:
+        if cluster is not None:
+            cluster.close()
+
+
+def _command_watch(args, out):
+    from repro.continuous import SubscriptionRegistry
+    from repro.temporal.tia import IntervalSemantics
+
+    tree, cluster = _open_tree_or_cluster(args.tree, out)
+    if tree is None:
+        return 2
+    registry = SubscriptionRegistry(tree)
+
+    def show(update):
+        window = update.window
+        print(
+            "seq %d: window [%g, %g] (epochs %d..%d), %s%s"
+            % (
+                update.seq,
+                window.interval.start,
+                window.interval.end,
+                window.first_epoch,
+                window.latest_epoch,
+                "incremental" if update.incremental else "fresh search",
+                ", DEGRADED" if update.degraded else "",
+            ),
+            file=out,
+        )
+        for delta in update.deltas:
+            row = delta.row
+            if delta.kind.value == "leave":
+                print("  leave #%-3d %s" % (delta.old_rank + 1, delta.poi_id),
+                      file=out)
+            elif delta.kind.value == "enter":
+                print(
+                    "  enter #%-3d %-12s score=%.4f"
+                    % (delta.rank + 1, delta.poi_id, row.score),
+                    file=out,
+                )
+            else:
+                print(
+                    "  move  #%-3d -> #%-3d %-12s score=%.4f"
+                    % (delta.old_rank + 1, delta.rank + 1, delta.poi_id,
+                       row.score),
+                    file=out,
+                )
+        if not update.deltas:
+            print("  (scores refreshed, ranks unchanged)", file=out)
+
+    try:
+        subscription, initial = registry.subscribe(
+            (args.x, args.y),
+            args.window,
+            k=args.k,
+            alpha0=args.alpha0,
+            semantics=IntervalSemantics(args.semantics),
+            sink=show,
+        )
+        print(
+            "watching top-%d at (%g, %g), window %d epoch(s), alpha0=%g:"
+            % (args.k, args.x, args.y, args.window, args.alpha0),
+            file=out,
+        )
+        for rank, row in enumerate(initial.answer.rows, start=1):
+            print(
+                "  #%-3d %-12s score=%.4f  d=%.3f  g=%.3f"
+                % (rank, row.poi_id, row.score, row.distance, row.aggregate),
+                file=out,
+            )
+        if args.dataset is None:
+            return 0
+
+        from repro.datasets.streaming import epoch_stream
+        from repro.storage.serialize import load_dataset
+
+        data = load_dataset(args.dataset)
+        pushed = 0
+        stream = epoch_stream(
+            data,
+            tree.clock,
+            start_time=tree.current_time,
+            poi_ids=list(tree.poi_ids()),
+        )
+        for epoch, counts in stream:
+            if args.max_updates is not None and pushed >= args.max_updates:
+                break
+            tree.digest_epoch(epoch, counts)
+            pushed += len(registry.advance())
+        print(
+            "replayed to t=%g: %d update(s) pushed (%s)"
+            % (
+                tree.current_time,
+                pushed,
+                ", ".join(
+                    "%s=%d" % (key, value)
+                    for key, value in sorted(registry.counters().items())
+                    if key.startswith("evals.")
+                ),
+            ),
+            file=out,
+        )
+        return 0
+    finally:
+        registry.close()
         if cluster is not None:
             cluster.close()
 
@@ -872,6 +1034,7 @@ _COMMANDS = {
     "fit": _command_fit,
     "build": _command_build,
     "query": _command_query,
+    "watch": _command_watch,
     "mwa": _command_mwa,
     "verify": _command_verify,
     "recover": _command_recover,

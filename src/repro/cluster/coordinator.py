@@ -162,33 +162,6 @@ class _ShardView:
         return self._normalizers[(interval, semantics)]
 
 
-#: Canonical dot-separated coordinator counter keys mapped to their
-#: pre-unification snake-case spellings.  The dotted forms follow the
-#: one labelling scheme the cluster uses everywhere else — the
-#: ``shards.<i>.*`` per-shard blocks of
-#: :meth:`~repro.storage.stats.AccessStats.as_dict`.  The snake forms
-#: (note the historical ``shard_``/``shards_`` inconsistency they
-#: accreted) are emitted alongside for one release and then go away.
-_LEGACY_KEY_FOR = {
-    "shards.visited": "shards_visited",
-    "shards.pruned": "shards_pruned",
-    "shards.failed": "shards_failed",
-    "shards.certified": "shards_certified",
-    "shards.down": "shards_down",
-    "shards.retries": "shard_retries",
-    "shards.timeouts": "shard_timeouts",
-}
-
-
-def _legacy_key_aliases(counters: Mapping[str, int]) -> dict[str, int]:
-    """The deprecated snake-case aliases for ``counters``' dotted keys."""
-    return {
-        _LEGACY_KEY_FOR[key]: value
-        for key, value in counters.items()
-        if key in _LEGACY_KEY_FOR
-    }
-
-
 class ClusterTree:
     """Scatter-gather kNNTA over spatially sharded TAR-trees.
 
@@ -429,9 +402,8 @@ class ClusterTree:
 
         Shard-scoped totals use the canonical dotted keys
         (``shards.visited``, ``shards.retries``, ...; same scheme as
-        the per-shard ``shards.<i>.*`` blocks in :meth:`explain`); the
-        old snake-case spellings are emitted as aliases for one
-        release — see ``_LEGACY_KEY_FOR``.
+        the per-shard ``shards.<i>.*`` blocks in :meth:`explain`).
+        The pre-unification snake-case aliases are gone.
         """
         with self._counter_lock:
             counters = {
@@ -453,7 +425,6 @@ class ClusterTree:
         )
         counters["shards.retries"] = sum(guard.retries for guard in self._guards)
         counters["shards.timeouts"] = sum(guard.timeouts for guard in self._guards)
-        counters.update(_legacy_key_aliases(counters))
         return counters
 
     # ------------------------------------------------------------------
@@ -657,8 +628,7 @@ class ClusterTree:
         Coordinator-level keys use the same dot-separated scheme as the
         per-shard ``shards.<i>.*`` blocks (see
         :meth:`AccessStats.as_dict`).  The pre-unification snake-case
-        spellings (``shards_visited``, ...) are still emitted as
-        aliases for one release; prefer the dotted keys.
+        spellings (``shards_visited``, ...) are no longer emitted.
         """
         rows, per_shard, visited, pruned, missed, blocking = self._scatter(
             query, normalizer
@@ -673,7 +643,6 @@ class ClusterTree:
                 1 for guard in self._guards if guard.breaker.state != CLOSED
             ),
         }
-        cost.update(_legacy_key_aliases(cost))
         total = AccessStats()
         for index in sorted(per_shard):
             shard_stats = per_shard[index]

@@ -1,0 +1,223 @@
+"""Incremental re-evaluation of one standing kNNTA subscription.
+
+A window advance changes a POI's ranking score in exactly three ways:
+its aggregate ``g`` changed because an epoch entered or left the
+window, its aggregate changed because a digest wrote into an in-window
+epoch, or the shared normaliser ``g_max`` moved (which rescales *every*
+score, but monotonically in ``g``).  Positions never change, so the
+distance term is immutable per POI.
+
+The evaluator exploits this: it re-scores only the *candidates* — the
+previously pushed top-k plus every POI whose TIA changed (the mutation
+observers' dirty set) plus every POI with content in an epoch that
+entered or left the window (:class:`~repro.continuous.index.EpochIndex`)
+— and accepts the resulting top-k only when it can *prove* no other POI
+could crack the frontier:
+
+Let ``kth1`` be the k-th (worst) score of the previously pushed exact
+answer under the previous normaliser ``G1``, and ``G2`` the new
+``g_max``.  Every non-candidate ``p`` kept its raw aggregate
+(``g2_p = g1_p``, else it would be a candidate) and satisfied
+``score1(p) >= kth1`` (it was not in the top-k).  Since
+
+    score2(p) - score1(p) = alpha1 * g_p * (G2 - G1) / (G1 * G2)
+
+with ``g_p in [0, G1]``, every non-candidate is bounded below by
+
+    L = kth1                                  when G2 >= G1
+    L = kth1 - alpha1 * (G1 - G2) / G2        when G2 <  G1
+
+The incremental top-k is accepted iff its k-th candidate score ``tau``
+satisfies ``tau < L`` *strictly* — otherwise a non-candidate might tie
+or beat the boundary and the evaluator falls back to a fresh
+bound-pruned search.  Any tie among the leading candidates also forces
+a fallback: a fresh search breaks score ties by heap insertion order
+(traversal-dependent), which re-scoring cannot reproduce, and the
+pushed state must stay bit-identical to ``tree.query()``.
+
+Candidate scoring replicates :func:`repro.core.knnta.knnta_browse`'s
+leaf scoring operation for operation (degenerate-rect MINDIST, the
+tree's TIA aggregation, ``Normalizer.components``) so an accepted
+incremental answer is bitwise the one a fresh search would return.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Set, Tuple
+
+from repro.continuous.index import EpochIndex
+from repro.continuous.windows import WindowState, window_state
+from repro.core.query import (
+    Answer,
+    KNNTAQuery,
+    Normalizer,
+    QueryResult,
+    RankedAnswer,
+)
+from repro.spatial.geometry import Rect
+from repro.temporal.tia import IntervalSemantics
+
+
+@dataclass
+class SubscriptionSpec:
+    """The immutable parameters of one standing query."""
+
+    point: Tuple[float, float]
+    window_epochs: int
+    k: int = 10
+    alpha0: float = 0.3
+    semantics: IntervalSemantics = IntervalSemantics.INTERSECTS
+
+
+@dataclass
+class Baseline:
+    """The retained frontier one subscription re-evaluates against.
+
+    Only an *exact* pushed answer may serve as a baseline: a degraded
+    answer's rows say nothing about the scores of the missed shards'
+    POIs, so after a degradation the evaluator keeps falling back to
+    fresh searches until an exact answer restores the invariant.
+    """
+
+    rows: Tuple[QueryResult, ...] = ()
+    normalizer: Optional[Normalizer] = None
+    epochs: range = field(default_factory=lambda: range(0))
+    valid: bool = False
+
+    def invalidate(self) -> None:
+        self.rows = ()
+        self.normalizer = None
+        self.valid = False
+
+
+class EvalOutcome:
+    """One evaluation's result: the answer, its window, and how it was made."""
+
+    __slots__ = ("answer", "window", "incremental")
+
+    def __init__(
+        self, answer: Answer, window: WindowState, incremental: bool
+    ) -> None:
+        self.answer = answer
+        self.window = window
+        self.incremental = incremental
+
+
+class IncrementalEvaluator:
+    """Evaluates subscriptions against one tree (single or cluster)."""
+
+    __slots__ = ("tree", "index", "_is_cluster")
+
+    def __init__(self, tree: Any, index: EpochIndex) -> None:
+        self.tree = tree
+        self.index = index
+        self._is_cluster = bool(getattr(tree, "is_cluster", False))
+
+    def evaluate(
+        self,
+        spec: SubscriptionSpec,
+        baseline: Baseline,
+        dirty: Set[Any],
+        force_fresh: bool = False,
+    ) -> EvalOutcome:
+        """Answer ``spec`` at the tree's current window.
+
+        ``dirty`` is the set of POI ids whose TIAs changed since the
+        baseline was pushed (from the mutation observers).  Updates
+        ``baseline`` in place for the next round.
+        """
+        tree = self.tree
+        window = window_state(
+            tree.clock, tree.current_time, spec.window_epochs, spec.semantics
+        )
+        query = KNNTAQuery(
+            spec.point, window.interval, spec.k, spec.alpha0, spec.semantics
+        )
+        shards_down = 0
+        if self._is_cluster:
+            shards_down = int(tree.counters().get("shards.down", 0))
+        normalizer: Normalizer = tree.normalizer(window.interval, spec.semantics)
+        rows: Optional[list[QueryResult]] = None
+        if not force_fresh and not shards_down and baseline.valid:
+            rows = self._incremental_rows(query, window, baseline, dirty, normalizer)
+        if rows is not None:
+            answer: Answer = RankedAnswer(rows)
+            incremental = True
+        else:
+            incremental = False
+            if self._is_cluster:
+                answer = tree.query(
+                    query, normalizer=normalizer, allow_degraded=True
+                )
+            else:
+                answer = tree.query(query, normalizer=normalizer)
+        if answer.exact:
+            baseline.rows = tuple(answer.rows)
+            baseline.normalizer = normalizer
+            baseline.valid = True
+        else:
+            baseline.invalidate()
+        baseline.epochs = window.epochs
+        return EvalOutcome(answer, window, incremental)
+
+    def _incremental_rows(
+        self,
+        query: KNNTAQuery,
+        window: WindowState,
+        baseline: Baseline,
+        dirty: Set[Any],
+        normalizer: Normalizer,
+    ) -> Optional[list[QueryResult]]:
+        """The re-scored top-k, or ``None`` when a fresh search is needed."""
+        previous = baseline.normalizer
+        if previous is None:
+            return None
+        tree = self.tree
+        changed = set(dirty)
+        if baseline.epochs != window.epochs:
+            shifted = set(baseline.epochs).symmetric_difference(window.epochs)
+            changed |= self.index.members(shifted)
+        candidates = {row.poi_id for row in baseline.rows} | changed
+        scored: list[QueryResult] = []
+        for poi_id in candidates:
+            try:
+                poi = tree.poi(poi_id)
+                tia = tree.poi_tia(poi_id)
+            except KeyError:
+                continue  # deleted since the last push
+            raw_distance = Rect.from_point(poi.point).min_dist(query.point)
+            raw_aggregate = tree.tia_aggregate(
+                tia, query.interval, query.semantics
+            )
+            distance, aggregate = normalizer.components(
+                raw_distance, raw_aggregate
+            )
+            score = query.alpha0 * distance + query.alpha1 * (1.0 - aggregate)
+            scored.append(QueryResult(poi_id, score, distance, aggregate))
+        scored.sort(key=lambda row: row.score)
+        k = query.k
+        tree_size = len(tree)
+        if len(scored) < min(k, tree_size):
+            return None  # a non-candidate must fill the top-k: cannot rank it
+        head = scored[: k + 1]
+        for left, right in zip(head, head[1:]):
+            if left.score == right.score:
+                return None  # tie order is traversal-dependent: go fresh
+        if len(scored) < tree_size:
+            # Non-candidates exist; prove none can crack the frontier.
+            kth1 = (
+                baseline.rows[-1].score
+                if len(baseline.rows) >= k
+                else math.inf
+            )
+            bound = kth1
+            g1 = previous.g_max
+            g2 = normalizer.g_max
+            if g2 < g1 and math.isfinite(kth1):
+                bound = kth1 - query.alpha1 * (g1 - g2) / g2
+            tau = scored[k - 1].score
+            if not tau < bound:
+                return None
+        return scored[:k]

@@ -1,0 +1,80 @@
+"""Epoch → POI inverted index for incremental window evaluation.
+
+When a subscription's window slides, the only POIs whose aggregate can
+change *because of the slide* are those with TIA content in the epochs
+that entered or left the window.  Scanning every leaf TIA per advance
+to find them would defeat the point of incrementality, so the registry
+keeps this small inverted index: which POIs have check-in content in
+which epoch.  It is built once with one pass over the leaf TIAs and
+then maintained from the mutation-observer feed (the digested /
+inserted / deleted POI ids), re-reading only those POIs' TIAs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Set
+
+
+class EpochIndex:
+    """Mutable mapping ``epoch -> {poi_id}`` with a reverse map.
+
+    Not thread-safe on its own; the owning registry serialises access
+    under its mutex.
+    """
+
+    __slots__ = ("_by_epoch", "_poi_epochs")
+
+    def __init__(self) -> None:
+        self._by_epoch: Dict[int, Set[Any]] = {}
+        self._poi_epochs: Dict[Any, Set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._poi_epochs)
+
+    def rebuild(self, tree: Any) -> None:
+        """Reset and index every POI's TIA epochs (one full scan)."""
+        self._by_epoch.clear()
+        self._poi_epochs.clear()
+        for poi_id in list(tree.poi_ids()):
+            self.refresh(tree, poi_id)
+
+    def refresh(self, tree: Any, poi_id: Any) -> None:
+        """Re-read ``poi_id``'s TIA and update both maps.
+
+        An unknown id (deleted POI) is discarded from the index.
+        """
+        try:
+            tia = tree.poi_tia(poi_id)
+        except KeyError:
+            self.discard(poi_id)
+            return
+        epochs = {epoch for epoch, value in tia.items() if value > 0}
+        previous = self._poi_epochs.get(poi_id, set())
+        for gone in previous - epochs:
+            members = self._by_epoch.get(gone)
+            if members is not None:
+                members.discard(poi_id)
+                if not members:
+                    del self._by_epoch[gone]
+        for added in epochs - previous:
+            self._by_epoch.setdefault(added, set()).add(poi_id)
+        if epochs:
+            self._poi_epochs[poi_id] = epochs
+        else:
+            self._poi_epochs.pop(poi_id, None)
+
+    def discard(self, poi_id: Any) -> None:
+        """Drop ``poi_id`` from both maps (no-op when absent)."""
+        for epoch in self._poi_epochs.pop(poi_id, ()):
+            members = self._by_epoch.get(epoch)
+            if members is not None:
+                members.discard(poi_id)
+                if not members:
+                    del self._by_epoch[epoch]
+
+    def members(self, epochs: Iterable[int]) -> Set[Any]:
+        """All POIs with content in any of ``epochs``."""
+        found: Set[Any] = set()
+        for epoch in epochs:
+            found |= self._by_epoch.get(epoch, set())
+        return found

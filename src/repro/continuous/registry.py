@@ -1,0 +1,329 @@
+"""Standing-subscription registry: observe mutations, push deltas.
+
+:class:`SubscriptionRegistry` owns the continuous-query lifecycle for
+one tree (a single :class:`~repro.core.tar_tree.TARTree` or a
+:class:`~repro.cluster.coordinator.ClusterTree`):
+
+* it attaches a post-mutation observer to the tree (each shard's tree,
+  for a cluster) and accumulates the POI ids whose TIAs changed — the
+  *dirty set* the incremental evaluator re-scores;
+* :meth:`subscribe` answers the standing query once, fresh, and
+  retains the exact frontier as the incremental baseline;
+* :meth:`advance` — called after mutations were applied (the service
+  calls it from ``digest`` under its read lock) — re-evaluates every
+  subscription, pushes a :class:`~repro.continuous.deltas.WindowUpdate`
+  to each sink whose window moved or whose top-k changed, and returns
+  the pushed updates.
+
+Locking: the registry serialises its own state under an internal
+mutex, held across evaluation *and* sink delivery so each sink sees
+its subscription's updates in strict ``seq`` order — sinks must be
+quick and must not re-enter the registry (except ``unsubscribe``,
+which is re-entrancy safe).  The observer callback touches only a
+separate dirty-set lock, never the tree, so it can run under the
+tree's write locks without lock-order risk.  Callers are responsible
+for not mutating the tree concurrently with :meth:`advance` — the
+service's readers-writer lock provides exactly that discipline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.continuous.deltas import WindowUpdate, diff_topk
+from repro.continuous.evaluator import (
+    Baseline,
+    IncrementalEvaluator,
+    SubscriptionSpec,
+)
+from repro.continuous.index import EpochIndex
+from repro.continuous.windows import WindowState
+from repro.core.query import QueryResult
+from repro.temporal.tia import IntervalSemantics
+
+UpdateSink = Callable[[WindowUpdate], None]
+
+
+class Subscription:
+    """One registered standing query (a handle; state lives with it)."""
+
+    __slots__ = (
+        "id",
+        "spec",
+        "sink",
+        "seq",
+        "baseline",
+        "last_rows",
+        "last_window",
+        "last_exact",
+        "last_update",
+    )
+
+    def __init__(
+        self, sub_id: int, spec: SubscriptionSpec, sink: Optional[UpdateSink]
+    ) -> None:
+        self.id = sub_id
+        self.spec = spec
+        self.sink = sink
+        self.seq = 0
+        self.baseline = Baseline()
+        self.last_rows: Tuple[QueryResult, ...] = ()
+        self.last_window: Optional[WindowState] = None
+        self.last_exact = True
+        self.last_update: Optional[WindowUpdate] = None
+
+    def __repr__(self) -> str:
+        return "Subscription(id=%d, k=%d, window=%d, seq=%d)" % (
+            self.id,
+            self.spec.k,
+            self.spec.window_epochs,
+            self.seq,
+        )
+
+
+class SubscriptionRegistry:
+    """Standing sliding-window kNNTA subscriptions over one tree."""
+
+    def __init__(self, tree: Any) -> None:
+        self.tree = tree
+        self._mutex = threading.RLock()
+        self._dirty_lock = threading.Lock()
+        self._dirty: Set[Any] = set()
+        self._index = EpochIndex()
+        self._evaluator = IncrementalEvaluator(tree, self._index)
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._next_id = 1
+        self._observed: List[Any] = []
+        self._indexed = False
+        self._closed = False
+        # Counters (all monotonic except the derived active count).
+        self._subscribed_total = 0
+        self._updates_delivered = 0
+        self._incremental_evals = 0
+        self._fresh_evals = 0
+        self._eval_errors = 0
+        self._delivery_errors = 0
+
+    # ------------------------------------------------------------------
+    # Mutation feed
+    # ------------------------------------------------------------------
+
+    def _observe(self, kind: str, poi_ids: Tuple[Any, ...]) -> None:
+        """Post-mutation observer: record the touched POIs, nothing else."""
+        with self._dirty_lock:
+            self._dirty.update(poi_ids)
+
+    def _drain_dirty(self) -> Set[Any]:
+        with self._dirty_lock:
+            dirty = self._dirty
+            self._dirty = set()
+        return dirty
+
+    def _observable_trees(self) -> List[Any]:
+        shards = getattr(self.tree, "shards", None)
+        if shards is None:
+            return [self.tree]
+        return [shard.tree for shard in shards]
+
+    def _attach_observers(self) -> bool:
+        """(Re-)attach to every underlying tree; True when any changed.
+
+        Shard recovery replaces a shard's tree object wholesale, which
+        silently drops our observer — so every advance re-checks the
+        identity of the observed trees and, on any change, rebuilds the
+        epoch index and forces fresh evaluations (mutations on the
+        replaced tree may have gone unobserved).
+        """
+        current = self._observable_trees()
+        changed = False
+        for tree in current:
+            if not any(tree is seen for seen in self._observed):
+                tree.add_mutation_observer(self._observe)
+                changed = True
+        if changed or len(current) != len(self._observed):
+            self._observed = current
+        return changed
+
+    def _detach_observers(self) -> None:
+        for tree in self._observed:
+            tree.remove_mutation_observer(self._observe)
+        self._observed = []
+
+    # ------------------------------------------------------------------
+    # Subscription lifecycle
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        point: Tuple[float, float],
+        window_epochs: int,
+        k: int = 10,
+        alpha0: float = 0.3,
+        semantics: IntervalSemantics = IntervalSemantics.INTERSECTS,
+        sink: Optional[UpdateSink] = None,
+    ) -> Tuple[Subscription, WindowUpdate]:
+        """Register a standing query; returns it with its initial state.
+
+        The initial :class:`WindowUpdate` (``seq`` 0, every row an
+        ``ENTER`` delta, from a fresh bound-pruned search) is *returned*,
+        not pushed — ``sink`` receives only the subsequent updates.
+        """
+        spec = SubscriptionSpec(
+            point=(float(point[0]), float(point[1])),
+            window_epochs=window_epochs,
+            k=k,
+            alpha0=alpha0,
+            semantics=semantics,
+        )
+        with self._mutex:
+            if self._closed:
+                raise RuntimeError("subscription registry is closed")
+            self._attach_observers()
+            if not self._indexed:
+                self._index.rebuild(self.tree)
+                self._indexed = True
+            subscription = Subscription(self._next_id, spec, sink)
+            self._next_id += 1
+            outcome = self._evaluator.evaluate(
+                spec, subscription.baseline, set(), force_fresh=True
+            )
+            self._fresh_evals += 1
+            update = self._record_update(subscription, outcome.window, outcome)
+            self._subscriptions[subscription.id] = subscription
+            self._subscribed_total += 1
+            return subscription, update
+
+    def unsubscribe(self, subscription: "Subscription | int") -> bool:
+        """Drop a subscription (by handle or id); True when it existed."""
+        sub_id = (
+            subscription.id
+            if isinstance(subscription, Subscription)
+            else int(subscription)
+        )
+        with self._mutex:
+            return self._subscriptions.pop(sub_id, None) is not None
+
+    def subscription_ids(self) -> List[int]:
+        with self._mutex:
+            return sorted(self._subscriptions)
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # Advancing
+    # ------------------------------------------------------------------
+
+    def advance(self) -> List[WindowUpdate]:
+        """Re-evaluate every subscription after applied mutations.
+
+        Pushes an update to a subscription's sink when its window moved,
+        its ranked rows changed, or its exactness flipped (a shard went
+        down or came back); returns every update pushed this round.
+        """
+        with self._mutex:
+            if self._closed or not self._subscriptions:
+                # Leave the dirty set intact: it is a bounded set of POI
+                # ids and the next subscriber's advance refreshes the
+                # epoch index from it.
+                return []
+            force_fresh = self._attach_observers()
+            dirty = self._drain_dirty()
+            if force_fresh:
+                self._index.rebuild(self.tree)
+                self._indexed = True
+            else:
+                for poi_id in dirty:
+                    self._index.refresh(self.tree, poi_id)
+            updates: List[WindowUpdate] = []
+            for subscription in list(self._subscriptions.values()):
+                update = self._advance_one(subscription, dirty, force_fresh)
+                if update is not None:
+                    updates.append(update)
+            return updates
+
+    def _advance_one(
+        self, subscription: Subscription, dirty: Set[Any], force_fresh: bool
+    ) -> Optional[WindowUpdate]:
+        try:
+            outcome = self._evaluator.evaluate(
+                subscription.spec,
+                subscription.baseline,
+                dirty,
+                force_fresh=force_fresh,
+            )
+        except Exception:
+            self._eval_errors += 1
+            subscription.baseline.invalidate()
+            return None
+        if outcome.incremental:
+            self._incremental_evals += 1
+        else:
+            self._fresh_evals += 1
+        rows = tuple(outcome.answer.rows)
+        moved = outcome.window != subscription.last_window
+        changed = rows != subscription.last_rows
+        flipped = bool(outcome.answer.exact) != subscription.last_exact
+        if not (moved or changed or flipped):
+            return None
+        update = self._record_update(subscription, outcome.window, outcome)
+        sink = subscription.sink
+        if sink is not None:
+            try:
+                sink(update)
+            except Exception:
+                self._delivery_errors += 1
+        self._updates_delivered += 1
+        return update
+
+    def _record_update(
+        self,
+        subscription: Subscription,
+        window: WindowState,
+        outcome: Any,
+    ) -> WindowUpdate:
+        rows = tuple(outcome.answer.rows)
+        update = WindowUpdate(
+            subscription_id=subscription.id,
+            seq=subscription.seq,
+            window=window,
+            answer=outcome.answer,
+            deltas=diff_topk(subscription.last_rows, rows),
+            incremental=outcome.incremental,
+        )
+        subscription.seq += 1
+        subscription.last_rows = rows
+        subscription.last_window = window
+        subscription.last_exact = bool(outcome.answer.exact)
+        subscription.last_update = update
+        return update
+
+    # ------------------------------------------------------------------
+    # Introspection / teardown
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """JSON-ready running totals (dotted keys, like the cluster's)."""
+        with self._mutex:
+            return {
+                "subscriptions.active": len(self._subscriptions),
+                "subscriptions.total": self._subscribed_total,
+                "updates.delivered": self._updates_delivered,
+                "evals.incremental": self._incremental_evals,
+                "evals.fresh": self._fresh_evals,
+                "evals.errors": self._eval_errors,
+                "deliveries.failed": self._delivery_errors,
+            }
+
+    def close(self) -> None:
+        """Detach observers and drop every subscription."""
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            self._detach_observers()
+            self._subscriptions.clear()
+            with self._dirty_lock:
+                self._dirty.clear()

@@ -993,8 +993,19 @@ class TARTree:
         return True
 
     def _notify_mutation(self, kind: str, poi_ids: tuple[Any, ...]) -> None:
+        # The mutation has fully applied by the time observers run, so a
+        # raising observer must not rob the ones after it of the event
+        # (their derived state would silently drift from the tree's).
+        # Every observer is notified; the first failure propagates after.
+        first_error: BaseException | None = None
         for observer in list(self._mutation_observers):
-            observer(kind, poi_ids)
+            try:
+                observer(kind, poi_ids)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def detach_mutation_listener(self, listener: object | None = None) -> bool:
         """Remove the mutation listener; returns ``True`` when removed.

@@ -4,8 +4,8 @@ The paper's setting is an index built over a snapshot that then digests
 new epochs as they close (Section 4.2).  These helpers turn a
 :class:`~repro.datasets.generator.Dataset` into that stream:
 
-* :func:`epoch_stream` yields ``(epoch_index, {poi_id: count})`` batches
-  for the epochs between two times;
+* :func:`epoch_stream` lazily yields ``(epoch_index, {poi_id: count})``
+  batches for the epochs between two times;
 * :func:`pending_counts` computes the per-epoch check-ins a data set
   records beyond a tree's TIA content (the replay backlog);
 * :func:`catch_up` digests that backlog, bringing a tree's TIAs exactly
@@ -16,26 +16,51 @@ new epochs as they close (Section 4.2).  These helpers turn a
 
 
 def epoch_stream(dataset, clock, start_time=None, end_time=None, poi_ids=None):
-    """Yield ``(epoch_index, counts)`` for epochs closing in a time range.
+    """Lazily yield ``(epoch_index, counts)`` for epochs in a time range.
 
     ``counts`` maps POI ids to check-ins during that epoch.  Epochs with
     no check-ins are skipped.  ``poi_ids`` restricts the stream (default:
-    the data set's effective POIs).
+    the data set's effective POIs).  An inverted range
+    (``end_time < start_time``) is an explicitly empty stream.
+
+    The grouping is lazy: one epoch's batch is assembled at a time by
+    heap-merging the per-POI epoch sequences, so a long-running
+    subscription driver holds one in-flight batch instead of a second,
+    fully regrouped copy of the whole history.
     """
+    import heapq
+    import itertools
+
     if start_time is None:
         start_time = dataset.t0
     if end_time is None:
         end_time = dataset.tc
+    if end_time < start_time:
+        return
     first_epoch = clock.epoch_of(max(start_time, clock.t0))
     last_epoch = clock.epoch_of(max(end_time, clock.t0))
     per_poi = dataset.epoch_counts(clock, poi_ids)
-    per_epoch = {}
-    for poi_id, epochs in per_poi.items():
-        for epoch, count in epochs.items():
+    tie = itertools.count()
+
+    def poi_items(poi_id, epochs):
+        for epoch, count in sorted(epochs.items()):
             if first_epoch <= epoch <= last_epoch:
-                per_epoch.setdefault(epoch, {})[poi_id] = count
-    for epoch in sorted(per_epoch):
-        yield epoch, per_epoch[epoch]
+                yield epoch, next(tie), poi_id, count
+
+    merged = heapq.merge(
+        *(poi_items(poi_id, epochs) for poi_id, epochs in per_poi.items())
+    )
+    current_epoch = None
+    batch = {}
+    for epoch, _, poi_id, count in merged:
+        if epoch != current_epoch:
+            if current_epoch is not None:
+                yield current_epoch, batch
+            current_epoch = epoch
+            batch = {}
+        batch[poi_id] = count
+    if current_epoch is not None:
+        yield current_epoch, batch
 
 
 def pending_counts(tree, dataset, poi_ids=None):

@@ -85,8 +85,11 @@ class LockDisciplineRule(Rule):
 
     def applies_to(self, module: str) -> bool:
         # The cluster coordinator holds one lock per shard and owes each
-        # shard tree the exact same protocol the service owes its tree.
-        return module.startswith(("repro.service", "repro.cluster"))
+        # shard tree the exact same protocol the service owes its tree;
+        # the continuous layer's evaluators run under the same locks.
+        return module.startswith(
+            ("repro.service", "repro.cluster", "repro.continuous")
+        )
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         functions = {name for name, _ in walk_functions(context.tree)}
@@ -180,7 +183,10 @@ class WalBeforeApplyRule(Rule):
     def applies_to(self, module: str) -> bool:
         # Routed cluster mutations carry the same contract per shard:
         # each goes through the owning shard's ingest when one exists.
-        return module.startswith(("repro.service", "repro.cluster"))
+        # The continuous layer must never mutate the tree at all.
+        return module.startswith(
+            ("repro.service", "repro.cluster", "repro.continuous")
+        )
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         for call, guarded in self._mutator_calls(context.tree.body, False):
@@ -476,9 +482,11 @@ class GuardedShardDispatchRule(Rule):
 
     def applies_to(self, module: str) -> bool:
         # The resilience module *implements* the guard; everything else
-        # in the cluster layer must dispatch through it.
+        # in the cluster layer — and the continuous layer, which serves
+        # subscriptions straight off cluster trees — must dispatch
+        # through it.
         return (
-            module.startswith("repro.cluster")
+            module.startswith(("repro.cluster", "repro.continuous"))
             and module != "repro.cluster.resilience"
         )
 

@@ -30,6 +30,23 @@ the op's payload or ``{"error": ..., "code": ...}``.  Supported ops:
     state, descriptor freshness, recent shard events.
 ``scrub``
     Run one scrubber tick (optional ``budget``).
+``subscribe``
+    ``{"op": "subscribe", "point": [x, y], "window": 3, "k": 5,
+    "alpha0": 0.3, "semantics": "intersects"}`` → the subscription id
+    plus the initial ranked state (``seq`` 0, every row an ``enter``
+    delta).  From then on the *server pushes* one unsolicited frame per
+    window advance on the same connection, marked ``"push": "update"``
+    and carrying ``subscription``/``seq``/``window``/``results``/
+    ``deltas``/``incremental``/``degraded`` (plus ``missed_shards`` /
+    ``coverage`` / ``score_bound`` when degraded — a shard-down
+    cluster degrades subscriptions explicitly, like one-shot queries).
+    Push frames interleave between response lines; clients route on
+    the ``push`` key.  Closing the connection unsubscribes everything
+    it registered.  Requires a real connection (not a bare
+    ``handle_request`` call).
+``unsubscribe``
+    ``{"op": "unsubscribe", "subscription": 7}`` →
+    ``{"unsubscribed": bool}``
 ``shutdown``
     Stop the server loop (the service itself is closed by the owner).
 
@@ -85,6 +102,37 @@ def _result_rows(rows):
     ]
 
 
+class _PushChannel:
+    """One connection's outbound line pipe plus its owned subscriptions.
+
+    Response lines and server-push frames share the socket, so every
+    write goes through one lock — a push can never interleave bytes
+    into the middle of a response line.  Failed writes mark the channel
+    closed and are swallowed: the reader side notices the dead socket
+    and tears the subscriptions down.
+    """
+
+    def __init__(self, wfile):
+        self._wfile = wfile
+        self._lock = threading.Lock()
+        #: subscription id -> registry handle, for teardown on close.
+        self.subscriptions = {}
+        self.closed = False
+
+    def send(self, payload):
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        with self._lock:
+            if self.closed:
+                return False
+            try:
+                self._wfile.write(data)
+                self._wfile.flush()
+            except (OSError, ValueError):
+                self.closed = True
+                return False
+        return True
+
+
 class JsonLineServer:
     """Serve one :class:`QueryService` over a JSON-lines TCP socket.
 
@@ -108,22 +156,24 @@ class JsonLineServer:
 
         class _Handler(socketserver.StreamRequestHandler):
             def handle(self):
-                for raw in self.rfile:
-                    raw = raw.strip()
-                    if not raw:
-                        continue
-                    response = outer.handle_request(raw)
-                    self.wfile.write(
-                        (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
-                    )
-                    self.wfile.flush()
-                    if response.get("bye"):
-                        # shutdown() blocks until serve_forever returns,
-                        # so it must run off the handler thread.
-                        threading.Thread(
-                            target=outer._server.shutdown, daemon=True
-                        ).start()
-                        return
+                channel = _PushChannel(self.wfile)
+                try:
+                    for raw in self.rfile:
+                        raw = raw.strip()
+                        if not raw:
+                            continue
+                        response = outer.handle_request(raw, channel=channel)
+                        channel.send(response)
+                        if response.get("bye"):
+                            # shutdown() blocks until serve_forever
+                            # returns, so it must run off the handler
+                            # thread.
+                            threading.Thread(
+                                target=outer._server.shutdown, daemon=True
+                            ).start()
+                            return
+                finally:
+                    outer._close_channel(channel)
 
         class _Server(socketserver.ThreadingTCPServer):
             allow_reuse_address = True
@@ -135,8 +185,13 @@ class JsonLineServer:
 
     # ------------------------------------------------------------------
 
-    def handle_request(self, raw):
-        """Decode one request line and dispatch it; never raises."""
+    def handle_request(self, raw, channel=None):
+        """Decode one request line and dispatch it; never raises.
+
+        ``channel`` is the caller's :class:`_PushChannel` when the
+        request arrived over a real connection; ``subscribe`` needs it
+        to deliver push frames and is rejected without one.
+        """
         try:
             payload = json.loads(raw.decode("utf-8") if isinstance(raw, bytes) else raw)
             if not isinstance(payload, dict):
@@ -146,6 +201,10 @@ class JsonLineServer:
                 return {"ok": True, "pong": True}
             if op == "query":
                 return self._op_query(payload)
+            if op == "subscribe":
+                return self._op_subscribe(payload, channel)
+            if op == "unsubscribe":
+                return self._op_unsubscribe(payload, channel)
             if op == "insert":
                 return self._op_insert(payload)
             if op == "delete":
@@ -254,6 +313,72 @@ class JsonLineServer:
         poi = POI(payload["poi_id"], point[0], point[1])
         self.service.insert(poi, aggregates)
         return {"ok": True, "inserted": payload["poi_id"]}
+
+    # -- standing subscriptions ----------------------------------------
+
+    @staticmethod
+    def _update_frame(update):
+        """The wire shape shared by the initial response and push frames."""
+        frame = {
+            "subscription": update.subscription_id,
+            "seq": update.seq,
+            "window": update.window.describe(),
+            "results": _result_rows(update.answer.rows),
+            "deltas": [delta.describe() for delta in update.deltas],
+            "incremental": update.incremental,
+            "degraded": update.degraded,
+        }
+        if update.degraded:
+            frame["missed_shards"] = list(update.answer.missed_shards)
+            frame["coverage"] = update.answer.coverage
+            frame["score_bound"] = update.answer.score_bound
+        return frame
+
+    def _op_subscribe(self, payload, channel):
+        if channel is None:
+            raise ValueError(
+                "subscribe requires a connection to push updates on"
+            )
+        point = payload["point"]
+        semantics = IntervalSemantics(payload.get("semantics", "intersects"))
+
+        def sink(update, _channel=channel):
+            _channel.send(dict(self._update_frame(update), push="update"))
+
+        subscription, initial = self.service.subscribe(
+            (float(point[0]), float(point[1])),
+            int(payload["window"]),
+            k=int(payload.get("k", 10)),
+            alpha0=float(payload.get("alpha0", 0.3)),
+            semantics=semantics,
+            sink=sink,
+        )
+        channel.subscriptions[subscription.id] = subscription
+        response = {"ok": True}
+        response.update(self._update_frame(initial))
+        return response
+
+    def _op_unsubscribe(self, payload, channel):
+        sub_id = payload["subscription"]
+        handle = (channel.subscriptions if channel is not None else {}).pop(
+            sub_id, None
+        )
+        if handle is None:
+            return {"ok": True, "unsubscribed": False}
+        removed = self.service.unsubscribe(handle)
+        return {"ok": True, "unsubscribed": bool(removed)}
+
+    def _close_channel(self, channel):
+        """Tear down a connection: unsubscribe everything it registered."""
+        channel.closed = True
+        for handle in list(channel.subscriptions.values()):
+            try:
+                self.service.unsubscribe(handle)
+            except (RuntimeError, ServiceClosedError):
+                # Racing a service shutdown: the registry is already
+                # closed, so there is nothing left to tear down.
+                continue
+        channel.subscriptions.clear()
 
     # ------------------------------------------------------------------
 

@@ -22,6 +22,12 @@ durability) behind three coordinated mechanisms:
 * **Background scrubbing** — a maintenance thread (or manual
   :meth:`scrub_tick` calls) runs the
   :class:`~repro.service.scrubber.Scrubber` between queries.
+* **Standing subscriptions** — :meth:`subscribe` registers a sliding-
+  window kNNTA query with the
+  :class:`~repro.continuous.registry.SubscriptionRegistry`; every
+  :meth:`digest` re-evaluates the live subscriptions incrementally
+  (under the read lock, after the batch applied) and pushes ordered
+  top-k deltas to their sinks.  See ``docs/CONTINUOUS.md``.
 
 Admission control: a full queue rejects with
 :class:`ServiceOverloadedError` carrying a ``retry_after`` hint; every
@@ -43,6 +49,7 @@ import threading
 import time
 from collections import deque
 
+from repro.continuous import SubscriptionRegistry
 from repro.core.collective import CollectiveProcessor
 from repro.core.knnta import knnta_search
 from repro.service.locks import ReadWriteLock
@@ -295,6 +302,10 @@ class QueryService:
         self._worker_crash = None
         self._scrub_thread = None
         self._scrub_stop = threading.Event()
+        # Standing sliding-window subscriptions (repro.continuous).  The
+        # registry is inert until the first subscribe (no observers, no
+        # epoch index); digest() drives its fan-out.
+        self._registry = SubscriptionRegistry(tree)
         if self._cluster and hasattr(tree, "add_health_observer"):
             # Shard health events (breaker transitions, timeouts,
             # readmissions) flow onto the service's ops stream.
@@ -354,6 +365,7 @@ class QueryService:
         if self.scrubber is not None:
             self.tree.remove_mutation_observer(self.scrubber.observe_mutation)
             self.scrubber.persist_manifest()
+        self._registry.close()
 
     def __enter__(self):
         return self
@@ -439,12 +451,56 @@ class QueryService:
             return self.ingest.delete(poi_id)
 
     def digest(self, epoch_index, counts):
-        """Digest one epoch batch under the write lock (WAL-logged)."""
+        """Digest one epoch batch under the write lock (WAL-logged).
+
+        Digestion is what advances the clock, so it also drives the
+        standing-subscription fan-out: after the batch applies (and the
+        write lock is released), every live subscription re-evaluates
+        under the read lock and pushes its delta update.  The fan-out
+        runs even when the digest itself fails mid-way (a cluster
+        shard down, say) — whatever state *did* change is what
+        subscribers must now see, degraded or not.
+        """
+        try:
+            with self.lock.write_locked():
+                if self.ingest is None:
+                    self.tree.digest_epoch(epoch_index, counts)
+                    return None
+                return self.ingest.digest(epoch_index, counts)
+        finally:
+            if len(self._registry):
+                with self.lock.read_locked():
+                    self._registry.advance()
+
+    # ------------------------------------------------------------------
+    # Standing subscriptions (repro.continuous)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, point, window_epochs, k=10, alpha0=0.3,
+                  semantics=None, sink=None):
+        """Register a standing sliding-window kNNTA query.
+
+        Returns ``(subscription, initial_update)``: the handle (pass it
+        to :meth:`unsubscribe`) and the seq-0
+        :class:`~repro.continuous.deltas.WindowUpdate` holding the
+        current ranked answer (every row an ``ENTER`` delta).  ``sink``
+        — a callable taking a ``WindowUpdate`` — receives each
+        *subsequent* update as :meth:`digest` advances the window;
+        sinks run on the digesting thread under the read lock, so they
+        must be quick and must not call back into the service.
+        """
+        kwargs = {} if semantics is None else {"semantics": semantics}
         with self.lock.write_locked():
-            if self.ingest is None:
-                self.tree.digest_epoch(epoch_index, counts)
-                return None
-            return self.ingest.digest(epoch_index, counts)
+            if self._closed:
+                raise ServiceClosedError("service closed")
+            return self._registry.subscribe(
+                point, window_epochs, k=k, alpha0=alpha0, sink=sink, **kwargs
+            )
+
+    def unsubscribe(self, subscription):
+        """Drop a standing subscription (handle or id); True if it existed."""
+        with self.lock.write_locked():
+            return self._registry.unsubscribe(subscription)
 
     def checkpoint(self):
         """Checkpoint the durable state under the write lock.
@@ -484,6 +540,7 @@ class QueryService:
         snapshot["queue_depth"] = len(self._queue)
         snapshot["pois"] = len(self.tree)
         snapshot["closed"] = self._closed
+        snapshot["subscriptions"] = self._registry.counters()
         if self._cluster:
             snapshot["cluster"] = self.tree.counters()
         return snapshot
@@ -503,6 +560,7 @@ class QueryService:
             report = {"shards": [], "events": []}
         report["closed"] = self._closed
         report["worker_deaths"] = self.service_stats.worker_deaths
+        report["subscriptions"] = len(self._registry)
         return report
 
     # ------------------------------------------------------------------

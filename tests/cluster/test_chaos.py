@@ -226,4 +226,4 @@ class TestChaosTrichotomy:
         # Three queries against a 1s-stalled shard with a 0.25s deadline:
         # well under the 3s a hang-and-wait would cost.
         assert elapsed < 2.5
-        assert cluster.counters()["shard_timeouts"] >= 1
+        assert cluster.counters()["shards.timeouts"] >= 1

@@ -136,4 +136,4 @@ class TestClusterMutationsAndLifecycle:
         assert snapshot["pois"] == len(cluster)
         assert snapshot["cluster"]["queries"] >= 1
         assert snapshot["cluster"]["shards"] == 3
-        assert "shards_pruned" in snapshot["cluster"]
+        assert "shards.pruned" in snapshot["cluster"]

@@ -98,13 +98,13 @@ class TestQueries:
         results, cost = cluster.explain(query)
         assert results == cluster.query(query)
         assert cost["shards"] == 4
-        assert cost["shards_visited"] + cost["shards_pruned"] <= 4
+        assert cost["shards.visited"] + cost["shards.pruned"] <= 4
         visited = [
             index
             for index in range(4)
             if ("shards.%d.total_io" % index) in cost
         ]
-        assert len(visited) == cost["shards_visited"]
+        assert len(visited) == cost["shards.visited"]
         total = sum(cost["shards.%d.rtree_nodes" % index] for index in visited)
         assert cost["rtree_nodes"] == total
 
@@ -113,7 +113,7 @@ class TestQueries:
         # query point can reach the top-k.
         query = trailing_query(cluster, k=2, alpha0=0.95)
         _, cost = cluster.explain(query)
-        assert cost["shards_pruned"] >= 1
+        assert cost["shards.pruned"] >= 1
 
     def test_parallel_dispatch_matches_sequential(self, small_dataset):
         sequential = ClusterTree.build(small_dataset, num_shards=4)
@@ -129,35 +129,52 @@ class TestQueries:
         counters = built.counters()
         assert counters["queries"] == 2
         assert counters["shards"] == 2
-        assert 1 <= counters["shards_visited"] <= 4
+        assert 1 <= counters["shards.visited"] <= 4
 
-    def test_counters_emit_canonical_and_legacy_keys(self, small_dataset):
+    def test_counters_emit_only_canonical_dotted_keys(self, small_dataset):
         # Dotted keys are canonical (one scheme with the shards.<i>.*
-        # blocks of explain()); the old snake spellings are shimmed
-        # aliases and must agree exactly for one release.
+        # blocks of explain()); the snake-case aliases shimmed in for
+        # one release are now gone.
         built = ClusterTree.build(small_dataset, num_shards=2)
         built.query(trailing_query(built))
         counters = built.counters()
-        for dotted, legacy in (
-            ("shards.visited", "shards_visited"),
-            ("shards.pruned", "shards_pruned"),
-            ("shards.failed", "shards_failed"),
-            ("shards.down", "shards_down"),
-            ("shards.retries", "shard_retries"),
-            ("shards.timeouts", "shard_timeouts"),
+        for dotted in (
+            "shards.visited",
+            "shards.pruned",
+            "shards.failed",
+            "shards.down",
+            "shards.retries",
+            "shards.timeouts",
         ):
-            assert counters[dotted] == counters[legacy]
+            assert dotted in counters
+        for legacy in (
+            "shards_visited",
+            "shards_pruned",
+            "shards_failed",
+            "shards_down",
+            "shard_retries",
+            "shard_timeouts",
+        ):
+            assert legacy not in counters
 
-    def test_explain_emits_canonical_and_legacy_keys(self, cluster):
+    def test_explain_emits_only_canonical_dotted_keys(self, cluster):
         _, cost = cluster.explain(trailing_query(cluster))
-        for dotted, legacy in (
-            ("shards.visited", "shards_visited"),
-            ("shards.pruned", "shards_pruned"),
-            ("shards.failed", "shards_failed"),
-            ("shards.certified", "shards_certified"),
-            ("shards.down", "shards_down"),
+        for dotted in (
+            "shards.visited",
+            "shards.pruned",
+            "shards.failed",
+            "shards.certified",
+            "shards.down",
         ):
-            assert cost[dotted] == cost[legacy]
+            assert dotted in cost
+        for legacy in (
+            "shards_visited",
+            "shards_pruned",
+            "shards_failed",
+            "shards_certified",
+            "shards_down",
+        ):
+            assert legacy not in cost
 
     def test_query_batch_matches_single_tree(self, cluster, single_tree):
         end = cluster.current_time
@@ -194,7 +211,7 @@ class TestQueries:
         )
         padded = ClusterTree(plan, list(built.shards) + [shard])
         _, cost = padded.explain(trailing_query(padded))
-        assert cost["shards_visited"] + cost["shards_pruned"] <= 2
+        assert cost["shards.visited"] + cost["shards.pruned"] <= 2
 
 
 class TestRoutedMutations:

@@ -463,7 +463,7 @@ class TestDegradationPolicy:
         assert results == single.query(query)
         counters = cluster.counters()
         assert counters["certified_exact"] >= 1
-        assert counters["shards_failed"] >= 1
+        assert counters["shards.failed"] >= 1
 
     def test_explain_reports_the_fault_domain_outcome(self, small_dataset):
         injector = FaultInjector(seed=0)
@@ -478,9 +478,9 @@ class TestDegradationPolicy:
         victim = self.owner_of_top_result(cluster, query)
         kill_shard(injector, victim)
         _, cost = cluster.explain(query)
-        assert cost["shards_failed"] == 1
-        assert cost["shards_down"] == 1
-        assert cost["shards_certified"] in (0, 1)
+        assert cost["shards.failed"] == 1
+        assert cost["shards.down"] == 1
+        assert cost["shards.certified"] in (0, 1)
 
     def test_query_batch_applies_the_policy_per_query(self, small_dataset):
         injector = FaultInjector(seed=0)
@@ -708,10 +708,10 @@ class TestHealthSurface:
         counters = cluster.counters()
         for key in (
             "breaker_opens",
-            "shards_down",
-            "shard_retries",
-            "shard_timeouts",
-            "shards_failed",
+            "shards.down",
+            "shards.retries",
+            "shards.timeouts",
+            "shards.failed",
             "certified_exact",
             "degraded_answers",
             "recoveries",
@@ -750,6 +750,6 @@ class TestGuardOverheadSmoke:
             assert elapsed < 1.5  # never waits out the 2s stall
             if isinstance(answer, DegradedAnswer):
                 assert 0 in answer.missed_shards
-            assert cluster.counters()["shard_timeouts"] >= 1
+            assert cluster.counters()["shards.timeouts"] >= 1
         finally:
             cluster.close()

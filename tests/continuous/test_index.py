@@ -1,0 +1,74 @@
+"""The epoch -> POI inverted index behind window-slide candidates."""
+
+from repro import POI
+from repro.continuous import EpochIndex
+
+
+class TestEpochIndex:
+    def test_rebuild_indexes_every_positive_epoch(self, half_tree):
+        index = EpochIndex()
+        index.rebuild(half_tree)
+        assert len(index) == len(half_tree)
+        for poi_id in half_tree.poi_ids():
+            tia = half_tree.poi_tia(poi_id)
+            expected = {epoch for epoch, value in tia.items() if value > 0}
+            for epoch in expected:
+                assert poi_id in index.members([epoch])
+
+    def test_members_unions_over_epochs(self, half_tree):
+        index = EpochIndex()
+        index.rebuild(half_tree)
+        with_content = {
+            poi_id
+            for poi_id in half_tree.poi_ids()
+            if any(v > 0 for _, v in half_tree.poi_tia(poi_id).items())
+        }
+        epochs = sorted(
+            {
+                epoch
+                for poi_id in half_tree.poi_ids()
+                for epoch, value in half_tree.poi_tia(poi_id).items()
+                if value > 0
+            }
+        )
+        assert index.members(epochs) == with_content
+        assert index.members([]) == set()
+        assert index.members([10**9]) == set()
+
+    def test_refresh_tracks_a_digest(self, half_tree):
+        index = EpochIndex()
+        index.rebuild(half_tree)
+        poi_id = sorted(half_tree.poi_ids())[0]
+        epoch = max(
+            (e for e, v in half_tree.poi_tia(poi_id).items() if v > 0),
+            default=0,
+        ) + 5
+        assert poi_id not in index.members([epoch])
+        half_tree.digest_epoch(epoch, {poi_id: 3})
+        index.refresh(half_tree, poi_id)
+        assert poi_id in index.members([epoch])
+
+    def test_refresh_tracks_an_insert(self, half_tree):
+        index = EpochIndex()
+        index.rebuild(half_tree)
+        half_tree.insert_poi(POI("fresh", 30.0, 25.0), {2: 4})
+        index.refresh(half_tree, "fresh")
+        assert "fresh" in index.members([2])
+
+    def test_refresh_of_a_deleted_poi_discards_it(self, half_tree):
+        index = EpochIndex()
+        index.rebuild(half_tree)
+        poi_id = sorted(half_tree.poi_ids())[0]
+        epochs = [e for e, v in half_tree.poi_tia(poi_id).items() if v > 0]
+        half_tree.delete_poi(poi_id)
+        index.refresh(half_tree, poi_id)
+        assert all(poi_id not in index.members([e]) for e in epochs)
+        assert len(index) == len(half_tree)
+
+    def test_discard_is_idempotent(self, half_tree):
+        index = EpochIndex()
+        index.rebuild(half_tree)
+        poi_id = sorted(half_tree.poi_ids())[0]
+        index.discard(poi_id)
+        index.discard(poi_id)
+        assert len(index) == len(half_tree) - 1

@@ -1,0 +1,162 @@
+"""QueryService-level standing subscriptions: digest fan-out under the
+service's lock discipline, ops counters, and a sustained-write leg.
+"""
+
+import threading
+
+import pytest
+
+from repro import KNNTAQuery
+from repro.continuous import window_state
+from repro.service import QueryService, ServiceClosedError, ServiceConfig
+from repro.temporal.tia import IntervalSemantics
+
+from tests.service.conftest import build_tree
+
+
+def one_shot(tree, point, window, k=10, alpha0=0.3,
+             semantics=IntervalSemantics.INTERSECTS):
+    state = window_state(tree.clock, tree.current_time, window, semantics)
+    return tree.query(
+        KNNTAQuery(point, state.interval, k=k, alpha0=alpha0,
+                   semantics=semantics)
+    )
+
+
+def digest_epochs(tree, service, count, weight=5):
+    """Digest ``count`` fresh epochs through the service."""
+    ids = sorted(tree.poi_ids())[:10]
+    for step in range(count):
+        epoch = tree.clock.epoch_of(tree.current_time)
+        service.digest(epoch, {poi_id: weight + step for poi_id in ids})
+
+
+class TestServiceSubscribe:
+    def test_initial_update_matches_one_shot_query(self):
+        tree = build_tree(pois=60, seed=11)
+        with QueryService(tree) as service:
+            sub, initial = service.subscribe((10.0, 10.0), 3, k=5)
+            assert initial.seq == 0
+            assert list(initial.answer.rows) == list(
+                one_shot(tree, (10.0, 10.0), 3, k=5)
+            )
+            assert service.unsubscribe(sub) is True
+            assert service.unsubscribe(sub) is False
+
+    def test_digest_pushes_seq_ordered_updates(self):
+        tree = build_tree(pois=60, seed=11)
+        pushed = []
+        with QueryService(tree) as service:
+            sub, _ = service.subscribe(
+                (10.0, 10.0), 3, k=5, sink=pushed.append
+            )
+            digest_epochs(tree, service, 4)
+            assert [u.seq for u in pushed] == list(
+                range(1, len(pushed) + 1)
+            )
+            assert pushed  # window moved every digest
+            assert list(sub.last_rows) == list(
+                one_shot(tree, (10.0, 10.0), 3, k=5)
+            )
+
+    def test_semantics_passes_through(self):
+        tree = build_tree(pois=60, seed=11)
+        with QueryService(tree) as service:
+            _, initial = service.subscribe(
+                (10.0, 10.0), 4, k=3, semantics=IntervalSemantics.CONTAINED
+            )
+            assert list(initial.answer.rows) == list(
+                one_shot(tree, (10.0, 10.0), 4, k=3,
+                         semantics=IntervalSemantics.CONTAINED)
+            )
+
+    def test_stats_and_health_report_subscription_counts(self):
+        tree = build_tree(pois=40, seed=5)
+        with QueryService(tree) as service:
+            assert service.health()["subscriptions"] == 0
+            sub, _ = service.subscribe((10.0, 10.0), 3)
+            service.subscribe((5.0, 15.0), 2)
+            counters = service.stats()["subscriptions"]
+            assert counters["subscriptions.active"] == 2
+            assert counters["subscriptions.total"] == 2
+            assert service.health()["subscriptions"] == 2
+            service.unsubscribe(sub)
+            assert service.health()["subscriptions"] == 1
+
+    def test_subscribe_after_close_raises(self):
+        tree = build_tree(pois=40, seed=5)
+        service = QueryService(tree)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.subscribe((10.0, 10.0), 3)
+
+    def test_close_drops_live_subscriptions(self):
+        tree = build_tree(pois=40, seed=5)
+        pushed = []
+        service = QueryService(tree)
+        service.subscribe((10.0, 10.0), 3, sink=pushed.append)
+        service.close()
+        assert service.health()["subscriptions"] == 0
+        # A post-close tree mutation must not reach the dead registry.
+        tree.digest_epoch(tree.clock.epoch_of(tree.current_time), {0: 3})
+        assert pushed == []
+
+
+@pytest.mark.timeout(300)
+def test_sustained_writes_fan_out_consistently():
+    """One writer digests epochs while readers query: every subscriber
+    sees a gap-free seq stream and finishes at the canonical answer.
+    """
+    tree = build_tree(pois=120, seed=3)
+    service = QueryService(tree, config=ServiceConfig(workers=3))
+    specs = [((10.0, 10.0), 3, 8), ((4.0, 16.0), 2, 5), ((15.0, 5.0), 5, 10)]
+    streams = [[] for _ in specs]
+    subs = [
+        service.subscribe(point, window, k=k, sink=streams[i].append)[0]
+        for i, (point, window, k) in enumerate(specs)
+    ]
+    errors = []
+    stop = threading.Event()
+
+    def writer():
+        try:
+            digest_epochs(tree, service, 30)
+        except Exception as exc:  # noqa: BLE001 - surfaced via `errors`
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def reader():
+        try:
+            while not stop.is_set():
+                state = window_state(tree.clock, tree.current_time, 3)
+                service.query(
+                    KNNTAQuery((10.0, 10.0), state.interval, k=8),
+                    timeout=60,
+                )
+        except Exception as exc:  # noqa: BLE001 - surfaced via `errors`
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=240)
+    try:
+        assert not errors
+        for sub, updates, (point, window, k) in zip(subs, streams, specs):
+            # Gap-free, ordered delivery despite concurrent readers.
+            assert [u.seq for u in updates] == list(
+                range(1, len(updates) + 1)
+            )
+            assert len(updates) >= 25  # nearly every digest moved a window
+            assert list(sub.last_rows) == list(
+                one_shot(tree, point, window, k=k)
+            )
+        counters = service.stats()["subscriptions"]
+        assert counters["evals.errors"] == 0
+        assert counters["deliveries.failed"] == 0
+    finally:
+        service.close()

@@ -1,0 +1,135 @@
+"""Post-mutation observer hygiene on the TAR-tree.
+
+Derived state (frame caches, scrub manifests, subscription indexes)
+stays coherent only if every observer sees every mutation exactly once
+— so registration dedupes, a raising observer cannot rob the ones after
+it of the event, and removal during notification is safe.
+"""
+
+import pytest
+
+from repro import POI, TARTree
+
+
+@pytest.fixture
+def tree(small_dataset):
+    return TARTree.build(small_dataset.snapshot(0.7))
+
+
+def fresh_poi(tree, name="obs-poi"):
+    epoch = tree.clock.epoch_of(tree.current_time)
+    return POI(name, 33.0, 44.0), {epoch: 5}
+
+
+class TestRegistration:
+    def test_double_add_notifies_once(self, tree):
+        events = []
+
+        def observer(kind, poi_ids):
+            events.append((kind, tuple(poi_ids)))
+
+        assert tree.add_mutation_observer(observer) is observer
+        tree.add_mutation_observer(observer)  # dedup: no second slot
+        poi, aggregates = fresh_poi(tree)
+        tree.insert_poi(poi, aggregates)
+        assert events == [("insert", (poi.poi_id,))]
+
+    def test_remove_reports_membership(self, tree):
+        def observer(kind, poi_ids):
+            pass
+
+        tree.add_mutation_observer(observer)
+        assert tree.remove_mutation_observer(observer) is True
+        assert tree.remove_mutation_observer(observer) is False
+
+    def test_every_entry_point_notifies(self, tree):
+        events = []
+        tree.add_mutation_observer(lambda kind, ids: events.append(kind))
+        poi, aggregates = fresh_poi(tree)
+        tree.insert_poi(poi, aggregates)
+        tree.digest_epoch(
+            tree.clock.epoch_of(tree.current_time), {poi.poi_id: 2}
+        )
+        tree.delete_poi(poi.poi_id)
+        assert events == ["insert", "digest", "delete"]
+
+    def test_missed_delete_is_not_a_mutation(self, tree):
+        events = []
+        tree.add_mutation_observer(lambda kind, ids: events.append(kind))
+        assert tree.delete_poi("never-existed") is False
+        assert events == []
+
+
+class TestRaisingObservers:
+    def test_later_observers_still_run_and_first_error_propagates(self, tree):
+        seen = []
+
+        def bad_one(kind, poi_ids):
+            raise RuntimeError("first failure")
+
+        def bad_two(kind, poi_ids):
+            raise ValueError("second failure")
+
+        tree.add_mutation_observer(bad_one)
+        tree.add_mutation_observer(bad_two)
+        tree.add_mutation_observer(lambda kind, ids: seen.append(kind))
+        poi, aggregates = fresh_poi(tree)
+        with pytest.raises(RuntimeError, match="first failure"):
+            tree.insert_poi(poi, aggregates)
+        # The mutation applied and the healthy observer heard about it.
+        assert poi.poi_id in tree
+        assert seen == ["insert"]
+
+    def test_tree_survives_and_keeps_notifying_after_an_error(self, tree):
+        calls = []
+
+        def flaky(kind, poi_ids):
+            calls.append(kind)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+
+        tree.add_mutation_observer(flaky)
+        poi, aggregates = fresh_poi(tree)
+        with pytest.raises(RuntimeError):
+            tree.insert_poi(poi, aggregates)
+        tree.delete_poi(poi.poi_id)
+        assert calls == ["insert", "delete"]
+
+
+class TestReentrantRemoval:
+    def test_observer_removing_itself_mid_notification_is_safe(self, tree):
+        events = []
+
+        def self_removing(kind, poi_ids):
+            events.append("self")
+            tree.remove_mutation_observer(self_removing)
+
+        tree.add_mutation_observer(self_removing)
+        tree.add_mutation_observer(lambda kind, ids: events.append("after"))
+        poi, aggregates = fresh_poi(tree)
+        tree.insert_poi(poi, aggregates)
+        # The snapshot iteration still reached the later observer, and
+        # the self-removal sticks for the next mutation.
+        assert events == ["self", "after"]
+        tree.delete_poi(poi.poi_id)
+        assert events == ["self", "after", "after"]
+
+    def test_observer_removing_a_peer_mid_notification_is_safe(self, tree):
+        events = []
+
+        def victim(kind, poi_ids):
+            events.append("victim")
+
+        def assassin(kind, poi_ids):
+            events.append("assassin")
+            tree.remove_mutation_observer(victim)
+
+        tree.add_mutation_observer(assassin)
+        tree.add_mutation_observer(victim)
+        poi, aggregates = fresh_poi(tree)
+        tree.insert_poi(poi, aggregates)
+        # This round ran from a snapshot, so the victim still fired...
+        assert events == ["assassin", "victim"]
+        tree.delete_poi(poi.poi_id)
+        # ...but the next round honours the removal.
+        assert events == ["assassin", "victim", "assassin"]

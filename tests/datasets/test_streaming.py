@@ -45,6 +45,50 @@ class TestEpochStream:
         for _, counts in epoch_stream(data, clock, poi_ids=subset):
             assert set(counts) <= set(subset)
 
+    def test_inverted_range_is_explicitly_empty(self, data):
+        clock = EpochClock(data.t0, 7.0)
+        stream = epoch_stream(
+            data, clock, start_time=data.t0 + 50, end_time=data.t0
+        )
+        assert list(stream) == []
+
+    def test_stream_does_no_work_until_pulled(self, data):
+        # A subscription driver may hold a stream open indefinitely;
+        # creating one must not regroup anything up front.
+        calls = []
+
+        class Spy:
+            def epoch_counts(self, clock, poi_ids=None):
+                calls.append(poi_ids)
+                return data.epoch_counts(clock, poi_ids)
+
+        clock = EpochClock(data.t0, 7.0)
+        stream = epoch_stream(Spy(), clock, start_time=data.t0,
+                              end_time=data.tc)
+        assert calls == []  # generator: nothing ran yet
+        next(stream)
+        assert len(calls) == 1
+        stream.close()
+
+    def test_lazy_grouping_matches_eager_regroup(self, data):
+        clock = EpochClock(data.t0, 7.0)
+        eager = {}
+        for poi_id, epochs in data.epoch_counts(clock).items():
+            for epoch, count in epochs.items():
+                eager.setdefault(epoch, {})[poi_id] = count
+        streamed = dict(epoch_stream(data, clock))
+        assert streamed == eager
+
+    def test_early_termination_is_clean(self, data):
+        import itertools
+
+        clock = EpochClock(data.t0, 7.0)
+        stream = epoch_stream(data, clock)
+        head = list(itertools.islice(stream, 2))
+        stream.close()  # abandoning the generator must not raise
+        assert len(head) == 2
+        assert head[0][0] < head[1][0]
+
 
 class TestCatchUp:
     def test_catch_up_reconciles_exactly(self, data):

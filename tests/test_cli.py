@@ -157,7 +157,7 @@ class TestClusterQuery:
              "--last-days", "60", "--k", "3", "--explain"]
         )
         assert code == 0
-        assert "shards_visited = " in output
+        assert "shards.visited = " in output
         assert "shards.0." in output or "shards.1." in output
 
     def test_cluster_matches_single_tree_answers(self, cluster_dir, tree_file):
@@ -199,6 +199,70 @@ class TestClusterQuery:
     def test_directory_without_manifest_exits_two(self, tmp_path):
         code, output = run_cli(
             ["query", str(tmp_path), "--x", "1", "--y", "1", "--last-days", "7"]
+        )
+        assert code == 2
+        assert "no cluster manifest" in output
+
+
+class TestWatch:
+    @pytest.fixture()
+    def watchable(self, small_dataset, tmp_path):
+        # A tree over the leading 70% of the history, with the data set
+        # alongside: `watch --dataset` replays the remaining tail.
+        from repro import TARTree
+        from repro.storage.serialize import save_dataset, save_tree
+
+        tree = TARTree.build(small_dataset.snapshot(0.7))
+        tree_path = tmp_path / "watch-tree.json"
+        data_path = tmp_path / "watch-data.npz"
+        save_tree(tree, str(tree_path))
+        save_dataset(small_dataset, str(data_path))
+        return tree_path, data_path
+
+    def test_watch_without_dataset_prints_initial_ranking(self, watchable):
+        tree_path, _ = watchable
+        code, output = run_cli(
+            ["watch", str(tree_path), "--x", "40", "--y", "40",
+             "--window", "3", "--k", "3"]
+        )
+        assert code == 0
+        assert "watching top-3 at (40, 40), window 3 epoch(s)" in output
+        assert output.count("#") == 3
+        assert "replayed" not in output
+
+    def test_watch_replays_the_dataset_tail(self, watchable):
+        tree_path, data_path = watchable
+        code, output = run_cli(
+            ["watch", str(tree_path), "--x", "40", "--y", "40",
+             "--window", "3", "--k", "5", "--dataset", str(data_path)]
+        )
+        assert code == 0
+        assert "seq 1:" in output
+        assert "update(s) pushed" in output
+        assert "evals.errors=0" in output
+
+    def test_max_updates_caps_the_replay(self, watchable):
+        tree_path, data_path = watchable
+        code, output = run_cli(
+            ["watch", str(tree_path), "--x", "40", "--y", "40",
+             "--window", "3", "--dataset", str(data_path),
+             "--max-updates", "2"]
+        )
+        assert code == 0
+        assert "2 update(s) pushed" in output
+        assert "seq 3:" not in output
+
+    def test_watch_a_cluster_directory(self, cluster_dir):
+        code, output = run_cli(
+            ["watch", str(cluster_dir), "--x", "50", "--y", "50",
+             "--window", "2", "--k", "3"]
+        )
+        assert code == 0
+        assert "watching top-3" in output
+
+    def test_watch_bad_directory_exits_two(self, tmp_path):
+        code, output = run_cli(
+            ["watch", str(tmp_path), "--x", "1", "--y", "1", "--window", "2"]
         )
         assert code == 2
         assert "no cluster manifest" in output

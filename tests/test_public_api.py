@@ -44,6 +44,12 @@ EXPECTED_EXPORTS = [
     "robust_knnta",
     "UnloggedMutationError",
     "QueryService",
+    "SubscriptionRegistry",
+    "WindowUpdate",
+    "WindowState",
+    "window_state",
+    "TopKDelta",
+    "DeltaKind",
     "ServiceConfig",
     "ServiceStats",
     "ServiceOverloadedError",
