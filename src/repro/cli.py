@@ -391,10 +391,15 @@ def build_parser():
             "Run the repro.devtools lint rules: RT001 lock-discipline, "
             "RT002 wal-before-apply, RT003 no-bare-assert, RT004 "
             "float-equality, RT005 exception-hygiene, RT006 "
-            "warn-stacklevel, RT007 guarded-shard-dispatch (plus RT000 "
+            "warn-stacklevel, RT007 guarded-shard-dispatch, RT008 "
+            "lock-order, RT009 no-blocking-under-lock, RT010 "
+            "no-foreign-callback-under-lock (plus RT000 "
             "unused-suppression and RT900 parse-error meta findings). "
-            "Suppress one finding with a "
-            "same-line '# repro: allow[RT001]' comment; see "
+            "RT008-RT010 run one shared whole-program pass over the "
+            "cross-module call graph against the canonical lock "
+            "hierarchy in repro.devtools.lockmodel. Suppress one "
+            "finding with a same-line '# repro: allow[RT001]' comment "
+            "('# repro: allow[RT008,RT009]' covers several rules); see "
             "docs/DEVTOOLS.md. Exit code 0: clean; 1: findings; 2: "
             "unknown rule id or missing path."
         ),
@@ -418,6 +423,18 @@ def build_parser():
         "--ignore",
         help="comma-separated rule ids to skip",
     )
+    lint.add_argument(
+        "--lock-graph",
+        action="store_true",
+        help=(
+            "emit the derived lock-order graph instead of the findings "
+            "report: declared hierarchy nodes plus every (held -> "
+            "acquired) edge RT008 derived, Graphviz DOT under --format "
+            "text, machine-readable JSON under --format json; exits 1 "
+            "when the graph has a violating edge or cycle (or other "
+            "findings remain)"
+        ),
+    )
 
     return parser
 
@@ -440,15 +457,36 @@ def _command_lint(args, out):
     if missing:
         print("no such path: %s" % ", ".join(missing), file=out)
         return 2
+    select = _split_rule_ids(args.select)
+    ignore = _split_rule_ids(args.ignore)
+    lock_graph = getattr(args, "lock_graph", False)
+    if lock_graph and (
+        (select is not None and "RT008" not in select)
+        or (ignore is not None and "RT008" in ignore)
+    ):
+        print("--lock-graph needs the RT008 pass selected", file=out)
+        return 2
+    artifacts = {} if lock_graph else None
     try:
         findings, files_checked = lint_paths(
-            paths,
-            select=_split_rule_ids(args.select),
-            ignore=_split_rule_ids(args.ignore),
+            paths, select=select, ignore=ignore, artifacts=artifacts
         )
     except ValueError as exc:
         print(str(exc), file=out)
         return 2
+    if lock_graph:
+        import json
+
+        from repro.devtools import render_graph_dot, render_graph_json
+
+        edges = artifacts.get("lock_edges", [])
+        graph = render_graph_json(edges)
+        if args.format == "json":
+            json.dump(graph, out, indent=2)
+            out.write("\n")
+        else:
+            out.write(render_graph_dot(edges))
+        return 1 if findings or not graph["acyclic"] else 0
     renderer = render_json if args.format == "json" else render_text
     renderer(findings, files_checked, out)
     return 1 if findings else 0

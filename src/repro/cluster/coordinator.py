@@ -71,6 +71,8 @@ from repro.core.collective import CollectiveProcessor
 from repro.core.knnta import knnta_search
 from repro.core.query import KNNTAQuery, Normalizer, QueryResult, RankedAnswer
 from repro.core.tar_tree import DEFAULT_EPOCH_LENGTH_DAYS, POI, TARTree
+from repro.devtools.lockmodel import COUNTER, RECOVERY, SHARD_RW
+from repro.devtools.watchdog import monitored_lock
 from repro.reliability.faults import FaultInjector
 from repro.service.locks import ReadWriteLock
 from repro.spatial.geometry import Rect
@@ -107,7 +109,7 @@ class Shard:
         self.index = index
         self.region = region
         self.tree = tree
-        self.lock = ReadWriteLock()
+        self.lock = ReadWriteLock(SHARD_RW)
         self.ingest = ingest
         self.scrubber: Scrubber | None = None
 
@@ -224,7 +226,7 @@ class ClusterTree:
         self.certified_exact = 0
         self.degraded_answers = 0
         self.recoveries = 0
-        self._counter_lock = threading.Lock()
+        self._counter_lock = monitored_lock(COUNTER)
         self._scrub_cursor = 0
         # -- fault domains -------------------------------------------------
         self.resilience = resilience if resilience is not None else ResilienceConfig()
@@ -243,7 +245,7 @@ class ClusterTree:
             for shard in self.shards
         ]
         self._descriptors = [ShardDescriptor() for _ in self.shards]
-        self._recovery_lock = threading.Lock()
+        self._recovery_lock = monitored_lock(RECOVERY)
         for shard in self.shards:
             with shard.lock.read_locked():
                 self._descriptors[shard.index].refresh(shard.tree)
@@ -1154,6 +1156,16 @@ class ClusterTree:
         recovered tree.  Queries keep flowing the whole time — they
         hold the read side of the same lock.  Afterwards the breaker is
         readmitted half-open; probe successes close it.
+
+        Lock order (rank-descending, per the canonical hierarchy): the
+        guarded reopen runs *before* the recovery lock — it only loads
+        a fresh tree from durable state, touches no shared coordinator
+        state, and may fire breaker/health callbacks, which must never
+        happen under an engine lock.  The recovery lock (rank 20)
+        serialises the cutover itself, nesting only the shard's write
+        lock (rank 30) and the counter lock (rank 80) inside it; the
+        readmission — another callback-firing breaker transition —
+        happens after it is released.
         """
         from repro.reliability.recovery import CheckpointedIngest, recover
 
@@ -1165,15 +1177,13 @@ class ClusterTree:
         shard = self.shards[index]
         guard = self._guards[index]
         descriptor = self._descriptors[index]
+        shard_dir = os.path.join(self.directory, "shard-%d" % index)
+
+        def reopen(token: CallToken) -> RecoveryReport:
+            return cast("RecoveryReport", recover(shard_dir, name="tree"))
+
+        report = cast("RecoveryReport", guard.call("open", reopen))
         with self._recovery_lock:
-            shard_dir = os.path.join(self.directory, "shard-%d" % index)
-
-            def reopen(token: CallToken) -> RecoveryReport:
-                return cast("RecoveryReport", recover(shard_dir, name="tree"))
-
-            report = cast(
-                "RecoveryReport", guard.call("open", reopen)
-            )
             with shard.lock.write_locked():
                 old_lsn = shard.tree.applied_lsn
                 new_lsn = report.tree.applied_lsn
@@ -1196,7 +1206,7 @@ class ClusterTree:
                 descriptor.refresh(shard.tree)
             with self._counter_lock:
                 self.recoveries += 1
-            guard.readmit()
+        guard.readmit()
         return report
 
     def close(self) -> None:

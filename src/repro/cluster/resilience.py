@@ -51,6 +51,8 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from typing import TYPE_CHECKING, Callable, Iterator, NamedTuple, TypeVar, overload
 
 from repro.core.query import KNNTAQuery, Normalizer, QueryResult
+from repro.devtools.lockmodel import BREAKER
+from repro.devtools.watchdog import monitored_lock
 from repro.reliability.faults import FaultInjector, TransientIOError
 from repro.spatial.geometry import Rect
 from repro.temporal.epochs import TimeInterval
@@ -352,7 +354,7 @@ class CircuitBreaker:
         probe_after: int = 8,
         probe_successes: int = 2,
     ) -> None:
-        self._lock = threading.Lock()
+        self._lock = monitored_lock(BREAKER)
         self.state = CLOSED
         self.needs_recovery = False
         self.failure_threshold = failure_threshold
@@ -370,28 +372,35 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """Admit or reject one call; may transition open → half-open."""
+        fired: list[str] = []
         with self._lock:
-            if self.state == CLOSED:
+            admitted = self._allow_locked(fired)
+        self._fire(fired)
+        return admitted
+
+    def _allow_locked(self, fired: list[str]) -> bool:
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if (
+                not self.needs_recovery
+                and self._rejected_since_open >= self.probe_after
+            ):
+                self._transition(HALF_OPEN, fired)
+                self._probe_inflight = 1
                 return True
-            if self.state == OPEN:
-                if (
-                    not self.needs_recovery
-                    and self._rejected_since_open >= self.probe_after
-                ):
-                    self._transition(HALF_OPEN)
-                    self._probe_inflight = 1
-                    return True
-                self._rejected_since_open += 1
-                self.rejected += 1
-                return False
-            # HALF_OPEN: one probe in flight at a time.
-            if self._probe_inflight < 1:
-                self._probe_inflight += 1
-                return True
+            self._rejected_since_open += 1
             self.rejected += 1
             return False
+        # HALF_OPEN: one probe in flight at a time.
+        if self._probe_inflight < 1:
+            self._probe_inflight += 1
+            return True
+        self.rejected += 1
+        return False
 
     def record_success(self) -> None:
+        fired: list[str] = []
         with self._lock:
             self.successes += 1
             self.consecutive_failures = 0
@@ -400,9 +409,11 @@ class CircuitBreaker:
                 self._probe_wins += 1
                 if self._probe_wins >= self.probe_successes:
                     self.needs_recovery = False
-                    self._transition(CLOSED)
+                    self._transition(CLOSED, fired)
+        self._fire(fired)
 
     def record_failure(self, fatal: bool = False) -> None:
+        fired: list[str] = []
         with self._lock:
             self.failures += 1
             self.consecutive_failures += 1
@@ -410,32 +421,49 @@ class CircuitBreaker:
                 self.needs_recovery = True
             if self.state == HALF_OPEN:
                 self._probe_inflight = max(0, self._probe_inflight - 1)
-                self._reopen()
+                self._reopen(fired)
             elif self.state == CLOSED and (
                 fatal or self.consecutive_failures >= self.failure_threshold
             ):
-                self._reopen()
+                self._reopen(fired)
+        self._fire(fired)
 
     def readmit(self) -> None:
         """Move to half-open after recovery; probes decide readmission."""
+        fired: list[str] = []
         with self._lock:
             self.needs_recovery = False
             self.consecutive_failures = 0
             self._probe_inflight = 0
             self._probe_wins = 0
             if self.state != HALF_OPEN:
-                self._transition(HALF_OPEN)
+                self._transition(HALF_OPEN, fired)
+        self._fire(fired)
 
-    def _reopen(self) -> None:
+    def _reopen(self, fired: list[str]) -> None:
         self.opens += 1
         self._rejected_since_open = 0
         self._probe_wins = 0
-        self._transition(OPEN)
+        self._transition(OPEN, fired)
 
-    def _transition(self, state: str) -> None:
+    def _transition(self, state: str, fired: list[str]) -> None:
+        """Apply the state change; the *callback* fires after release.
+
+        ``on_transition`` runs arbitrary foreign code (the guard's
+        health fan-out); invoking it under the breaker lock would put
+        a foreign callback inside an engine lock (RT010) and invert
+        the hierarchy the moment that code re-enters the breaker.  The
+        state change is applied here, the notification is queued, and
+        :meth:`_fire` delivers it once the lock is released.
+        """
         self.state = state
+        fired.append(state)
+
+    def _fire(self, fired: list[str]) -> None:
         callback = self.on_transition
-        if callback is not None:
+        if callback is None:
+            return
+        for state in fired:
             callback(state)
 
     def snapshot(self) -> dict[str, object]:
@@ -678,7 +706,7 @@ class ShardGuard:
         self.retries = 0
         self.timeouts = 0
         self._on_event = on_event
-        self._lock = threading.Lock()
+        self._lock = monitored_lock(BREAKER)
         self._executor: ThreadPoolExecutor | None = None
         self._rng = random.Random((config.seed << 8) ^ index)
 

@@ -203,7 +203,11 @@ class IncrementalEvaluator:
             return None  # a non-candidate must fill the top-k: cannot rank it
         head = scored[: k + 1]
         for left, right in zip(head, head[1:]):
-            if left.score == right.score:
+            # Exact equality is the point: a bitwise tie makes rank order
+            # traversal-dependent, so the incremental path must bail to a
+            # fresh evaluation.  An epsilon would *create* false ties and
+            # discard valid incremental rounds.
+            if left.score == right.score:  # repro: allow[RT004]
                 return None  # tie order is traversal-dependent: go fresh
         if len(scored) < tree_size:
             # Non-candidates exist; prove none can crack the frontier.

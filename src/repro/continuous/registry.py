@@ -15,20 +15,32 @@ one tree (a single :class:`~repro.core.tar_tree.TARTree` or a
   to each sink whose window moved or whose top-k changed, and returns
   the pushed updates.
 
-Locking: the registry serialises its own state under an internal
-mutex, held across evaluation *and* sink delivery so each sink sees
-its subscription's updates in strict ``seq`` order — sinks must be
-quick and must not re-enter the registry (except ``unsubscribe``,
-which is re-entrancy safe).  The observer callback touches only a
-separate dirty-set lock, never the tree, so it can run under the
-tree's write locks without lock-order risk.  Callers are responsible
-for not mutating the tree concurrently with :meth:`advance` — the
-service's readers-writer lock provides exactly that discipline.
+Locking: three locks from the canonical hierarchy
+(:mod:`repro.devtools.lockmodel`).  The *advance gate* (rank 0, the
+outermost lock in the whole engine) serialises fan-out rounds
+end-to-end — evaluate, record, deliver — so each sink still sees its
+subscription's updates in strict ``seq`` order.  The registry *mutex*
+(rank 50) guards subscription state and is held only for the
+snapshot and record phases, **never across evaluation or sink
+delivery**: evaluation on a cluster tree dispatches through shard
+guards whose shard (rank 30) and breaker (rank 40) locks rank above
+the mutex, and sinks run on a snapshot under the gate alone, so a
+sink may freely re-enter the registry or the owning service
+(``unsubscribe`` from inside a sink acquires rank 50 or rank 10 under
+rank 0 — a legal descent, where the old held-mutex delivery
+deadlocked).  The observer callback touches
+only the separate *dirty-set* lock (rank 75), never the tree, so it
+can run under the tree's write locks without lock-order risk.
+
+Callers must not mutate the tree concurrently with :meth:`advance`;
+the service passes its readers-writer lock (``advance(lock=...)``)
+and the registry takes the *read* side under the gate — gate (0) →
+service lock (10), descending — which excludes writers for exactly
+the evaluation phase while letting concurrent queries proceed.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.continuous.deltas import WindowUpdate, diff_topk
@@ -40,6 +52,8 @@ from repro.continuous.evaluator import (
 from repro.continuous.index import EpochIndex
 from repro.continuous.windows import WindowState
 from repro.core.query import QueryResult
+from repro.devtools.lockmodel import ADVANCE_GATE, DIRTY, REGISTRY
+from repro.devtools.watchdog import monitored_lock, monitored_rlock
 from repro.temporal.tia import IntervalSemantics
 
 UpdateSink = Callable[[WindowUpdate], None]
@@ -87,8 +101,9 @@ class SubscriptionRegistry:
 
     def __init__(self, tree: Any) -> None:
         self.tree = tree
-        self._mutex = threading.RLock()
-        self._dirty_lock = threading.Lock()
+        self._advance_gate = monitored_lock(ADVANCE_GATE)
+        self._mutex = monitored_rlock(REGISTRY)
+        self._dirty_lock = monitored_lock(DIRTY)
         self._dirty: Set[Any] = set()
         self._index = EpochIndex()
         self._evaluator = IncrementalEvaluator(tree, self._index)
@@ -168,6 +183,14 @@ class SubscriptionRegistry:
         The initial :class:`WindowUpdate` (``seq`` 0, every row an
         ``ENTER`` delta, from a fresh bound-pruned search) is *returned*,
         not pushed — ``sink`` receives only the subsequent updates.
+
+        The fresh evaluation runs *outside* the registry mutex: on a
+        cluster tree it dispatches through shard guards, whose shard
+        (rank 30) and breaker (rank 40) locks rank above the mutex
+        (rank 50) — evaluating under the mutex would ascend the
+        hierarchy.  The mutex covers only the two state phases around
+        it.  The epoch index is not needed here (a fresh evaluation
+        bypasses it); the first :meth:`advance` builds it.
         """
         spec = SubscriptionSpec(
             point=(float(point[0]), float(point[1])),
@@ -180,14 +203,14 @@ class SubscriptionRegistry:
             if self._closed:
                 raise RuntimeError("subscription registry is closed")
             self._attach_observers()
-            if not self._indexed:
-                self._index.rebuild(self.tree)
-                self._indexed = True
             subscription = Subscription(self._next_id, spec, sink)
             self._next_id += 1
-            outcome = self._evaluator.evaluate(
-                spec, subscription.baseline, set(), force_fresh=True
-            )
+        outcome = self._evaluator.evaluate(
+            spec, subscription.baseline, set(), force_fresh=True
+        )
+        with self._mutex:
+            if self._closed:
+                raise RuntimeError("subscription registry is closed")
             self._fresh_evals += 1
             update = self._record_update(subscription, outcome.window, outcome)
             self._subscriptions[subscription.id] = subscription
@@ -216,12 +239,40 @@ class SubscriptionRegistry:
     # Advancing
     # ------------------------------------------------------------------
 
-    def advance(self) -> List[WindowUpdate]:
+    def advance(self, lock: Any = None) -> List[WindowUpdate]:
         """Re-evaluate every subscription after applied mutations.
 
         Pushes an update to a subscription's sink when its window moved,
         its ranked rows changed, or its exactness flipped (a shard went
-        down or came back); returns every update pushed this round.
+        down or came back); returns every update produced this round.
+
+        The whole round runs under the advance *gate* (rank 0), which
+        serialises rounds and keeps per-sink ``seq`` order without
+        holding any state lock during delivery.  ``lock`` — when the
+        caller owns a readers-writer lock guarding the tree (the
+        service passes its own) — is taken on the *read* side for the
+        evaluation phase only, so writers are excluded exactly while
+        evaluators walk the tree and sinks never run under it.
+        """
+        with self._advance_gate:
+            if lock is not None:
+                with lock.read_locked():
+                    delivered = self._evaluate_round()
+            else:
+                delivered = self._evaluate_round()
+            self._deliver(delivered)
+            return [update for _sink, update in delivered]
+
+    def _evaluate_round(self) -> List[Tuple[Optional[UpdateSink], WindowUpdate]]:
+        """One fan-out round: snapshot, evaluate, record.
+
+        Three phases so the mutex (rank 50) is never held while the
+        evaluators walk the tree — on a cluster that dispatch takes
+        shard (rank 30) and breaker (rank 40) locks, which rank above
+        the mutex.  Phase 1 snapshots round state under the mutex;
+        the evaluation phase runs under the gate (and the caller's
+        read lock) alone; phase 2 re-checks membership and records
+        under the mutex.  Delivery happens later, under the gate only.
         """
         with self._mutex:
             if self._closed or not self._subscriptions:
@@ -230,33 +281,57 @@ class SubscriptionRegistry:
                 # epoch index from it.
                 return []
             force_fresh = self._attach_observers()
+            rebuild = force_fresh or not self._indexed
             dirty = self._drain_dirty()
-            if force_fresh:
-                self._index.rebuild(self.tree)
-                self._indexed = True
-            else:
-                for poi_id in dirty:
-                    self._index.refresh(self.tree, poi_id)
-            updates: List[WindowUpdate] = []
-            for subscription in list(self._subscriptions.values()):
-                update = self._advance_one(subscription, dirty, force_fresh)
+            subscriptions = list(self._subscriptions.values())
+        # The gate serialises rounds and subscribe never touches the
+        # index, so the index and the per-subscription baselines are
+        # exclusively ours between the phases.
+        if rebuild:
+            self._index.rebuild(self.tree)
+            self._indexed = True
+        else:
+            for poi_id in dirty:
+                self._index.refresh(self.tree, poi_id)
+        outcomes: List[Tuple[Subscription, Optional[Any]]] = []
+        for subscription in subscriptions:
+            outcomes.append(
+                (subscription, self._evaluate_one(subscription, dirty,
+                                                  force_fresh))
+            )
+        with self._mutex:
+            if self._closed:
+                return []
+            delivered: List[Tuple[Optional[UpdateSink], WindowUpdate]] = []
+            for subscription, outcome in outcomes:
+                if subscription.id not in self._subscriptions:
+                    continue  # unsubscribed between the phases
+                update = self._record_one(subscription, outcome)
                 if update is not None:
-                    updates.append(update)
-            return updates
+                    delivered.append((subscription.sink, update))
+            return delivered
 
-    def _advance_one(
+    def _evaluate_one(
         self, subscription: Subscription, dirty: Set[Any], force_fresh: bool
-    ) -> Optional[WindowUpdate]:
+    ) -> Optional[Any]:
+        """Evaluate one subscription without registry locks held."""
         try:
-            outcome = self._evaluator.evaluate(
+            return self._evaluator.evaluate(
                 subscription.spec,
                 subscription.baseline,
                 dirty,
                 force_fresh=force_fresh,
             )
         except Exception:
-            self._eval_errors += 1
             subscription.baseline.invalidate()
+            return None
+
+    def _record_one(
+        self, subscription: Subscription, outcome: Optional[Any]
+    ) -> Optional[WindowUpdate]:
+        """Record one outcome under the mutex; None when nothing moved."""
+        if outcome is None:
+            self._eval_errors += 1
             return None
         if outcome.incremental:
             self._incremental_evals += 1
@@ -269,14 +344,26 @@ class SubscriptionRegistry:
         if not (moved or changed or flipped):
             return None
         update = self._record_update(subscription, outcome.window, outcome)
-        sink = subscription.sink
-        if sink is not None:
+        self._updates_delivered += 1
+        return update
+
+    def _deliver(
+        self, delivered: List[Tuple[Optional[UpdateSink], WindowUpdate]]
+    ) -> None:
+        """Fire sinks on the recorded snapshot, under the gate alone.
+
+        No state lock is held here: a sink may re-enter the registry
+        (``unsubscribe``) or the owning service — every lock it can
+        reach ranks below the gate.
+        """
+        for sink, update in delivered:
+            if sink is None:
+                continue
             try:
                 sink(update)
             except Exception:
-                self._delivery_errors += 1
-        self._updates_delivered += 1
-        return update
+                with self._mutex:
+                    self._delivery_errors += 1
 
     def _record_update(
         self,

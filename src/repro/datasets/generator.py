@@ -20,9 +20,16 @@ to model LBSN growth — which is what Figure 8's growing-snapshot
 experiment exercises.
 """
 
+from __future__ import annotations
+
+from typing import Any, Iterable, cast
+
 import numpy as np
 
 from repro.spatial.geometry import Rect
+
+FloatArray = np.ndarray[Any, np.dtype[np.float64]]
+IntArray = np.ndarray[Any, np.dtype[np.int64]]
 
 
 class Dataset:
@@ -45,7 +52,16 @@ class Dataset:
         (the paper indexes only those: 15/10/100/50 for NYC/LA/GW/GS).
     """
 
-    def __init__(self, name, world, t0, tc, positions, checkin_times, threshold=1):
+    def __init__(
+        self,
+        name: str,
+        world: Rect,
+        t0: float,
+        tc: float,
+        positions: dict[int, tuple[float, float]],
+        checkin_times: dict[int, FloatArray],
+        threshold: int = 1,
+    ) -> None:
         if tc <= t0:
             raise ValueError("tc must exceed t0")
         self.name = name
@@ -59,20 +75,20 @@ class Dataset:
     # -- basic statistics -----------------------------------------------------
 
     @property
-    def num_pois(self):
+    def num_pois(self) -> int:
         return len(self.positions)
 
-    def total_checkins(self):
+    def total_checkins(self) -> int:
         return sum(times.size for times in self.checkin_times.values())
 
-    def totals(self):
+    def totals(self) -> dict[int, int]:
         """``{poi_id: total check-ins}`` including zero-activity POIs."""
         return {
             poi_id: self.checkin_times.get(poi_id, _EMPTY).size
             for poi_id in self.positions
         }
 
-    def effective_poi_ids(self):
+    def effective_poi_ids(self) -> list[int]:
         """IDs of POIs meeting the effective-POI threshold, sorted."""
         return sorted(
             poi_id
@@ -81,12 +97,12 @@ class Dataset:
         )
 
     @property
-    def span_days(self):
+    def span_days(self) -> float:
         return self.tc - self.t0
 
     # -- derived views ----------------------------------------------------------
 
-    def snapshot(self, fraction, name=None):
+    def snapshot(self, fraction: float, name: str | None = None) -> "Dataset":
         """Return the data set as of ``t0 + fraction * span`` (Figure 8).
 
         Check-ins after the cut are dropped; POI positions are kept (the
@@ -104,16 +120,20 @@ class Dataset:
             label, self.world, self.t0, cut, self.positions, clipped, self.threshold
         )
 
-    def epoch_counts(self, clock, poi_ids=None):
+    def epoch_counts(
+        self, clock: Any, poi_ids: Iterable[int] | None = None
+    ) -> dict[int, dict[int, int]]:
         """Per-POI, per-epoch check-in counts under ``clock``.
 
         Returns ``{poi_id: {epoch_index: count}}`` with only non-zero
         epochs present.  ``poi_ids`` restricts the output (defaults to the
-        effective POIs).
+        effective POIs).  ``clock`` is duck-typed: a uniform
+        :class:`~repro.temporal.epochs.EpochClock` (``epoch_length``) or a
+        :class:`~repro.temporal.epochs.VariedEpochClock` (``boundaries``).
         """
         if poi_ids is None:
             poi_ids = self.effective_poi_ids()
-        result = {}
+        result: dict[int, dict[int, int]] = {}
         uniform_length = getattr(clock, "epoch_length", None)
         boundaries = getattr(clock, "boundaries", None)
         for poi_id in poi_ids:
@@ -134,7 +154,7 @@ class Dataset:
             }
         return result
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Dataset(%r, pois=%d, checkins=%d, span=%.0fd)" % (
             self.name,
             self.num_pois,
@@ -143,10 +163,12 @@ class Dataset:
         )
 
 
-_EMPTY = np.empty(0, dtype=np.float64)
+_EMPTY: FloatArray = np.empty(0, dtype=np.float64)
 
 
-def sample_powerlaw_tail(rng, beta, xmin, size):
+def sample_powerlaw_tail(
+    rng: np.random.Generator, beta: float, xmin: float, size: int
+) -> IntArray:
     """Sample discrete power-law values ``>= xmin`` with exponent ``beta``.
 
     Delegates to the exact inverse-CDF sampler of
@@ -157,10 +179,10 @@ def sample_powerlaw_tail(rng, beta, xmin, size):
         raise ValueError("beta must exceed 1, got %r" % (beta,))
     from repro.analysis.powerlaw import sample_discrete_powerlaw
 
-    return sample_discrete_powerlaw(rng, beta, int(xmin), size)
+    return cast(IntArray, sample_discrete_powerlaw(rng, beta, int(xmin), size))
 
 
-def _body_pmf(xmin, mean_target):
+def _body_pmf(xmin: float, mean_target: float) -> tuple[IntArray, FloatArray]:
     """Truncated-geometric pmf on ``[1, xmin)`` with roughly ``mean_target``.
 
     A geometric (exponential-decay) body is what real LBSN data shows
@@ -175,13 +197,15 @@ def _body_pmf(xmin, mean_target):
     return support.astype(np.int64), weights
 
 
-def sample_body(rng, xmin, body_mean, size):
+def sample_body(
+    rng: np.random.Generator, xmin: float, body_mean: float, size: int
+) -> IntArray:
     """Sample the sub-``xmin`` body (truncated geometric, see `_body_pmf`)."""
     support, weights = _body_pmf(xmin, body_mean)
-    return rng.choice(support, size=size, p=weights)
+    return cast(IntArray, rng.choice(support, size=size, p=weights))
 
 
-def _calibrate_body(xmin, target_mean):
+def _calibrate_body(xmin: float, target_mean: float) -> tuple[float, float]:
     """Pick the body mean so the mixture keeps a populated tail.
 
     The body mean must sit safely below the target mean, otherwise the
@@ -193,7 +217,9 @@ def _calibrate_body(xmin, target_mean):
     return mean_target, float(support @ weights)
 
 
-def _solve_tail_fraction(target_mean, tail_mean, body_mean):
+def _solve_tail_fraction(
+    target_mean: float, tail_mean: float, body_mean: float
+) -> float:
     """Mixture weight q with q*tail_mean + (1-q)*body_mean = target_mean."""
     if tail_mean <= body_mean:
         return 1.0
@@ -202,21 +228,21 @@ def _solve_tail_fraction(target_mean, tail_mean, body_mean):
 
 
 def generate(
-    name,
-    n_pois,
-    n_checkins,
-    span_days,
-    beta,
-    xmin,
-    threshold=1,
-    n_clusters=32,
-    cluster_sigma_ratio=0.02,
-    background_fraction=0.1,
-    growth_exponent=0.6,
-    popularity_correlation=True,
-    world_extent=100.0,
-    seed=0,
-):
+    name: str,
+    n_pois: int,
+    n_checkins: int,
+    span_days: float,
+    beta: float,
+    xmin: float,
+    threshold: int = 1,
+    n_clusters: int = 32,
+    cluster_sigma_ratio: float = 0.02,
+    background_fraction: float = 0.1,
+    growth_exponent: float = 0.6,
+    popularity_correlation: bool = True,
+    world_extent: float = 100.0,
+    seed: int = 0,
+) -> Dataset:
     """Generate a synthetic LBSN :class:`Dataset`.
 
     Parameters mirror the published statistics: ``n_pois``/``n_checkins``/
@@ -268,7 +294,7 @@ def generate(
     if xmin > 1:
         body_mean_target, body_mean = _calibrate_body(xmin, target_mean)
     else:
-        body_mean = 0.0
+        body_mean_target = body_mean = 0.0
     tail_fraction = _solve_tail_fraction(target_mean, tail_mean, body_mean)
     if popularity_correlation:
         tail_probability = propensity / propensity.mean() * tail_fraction
@@ -292,7 +318,7 @@ def generate(
     t0 = 0.0
     tc = float(span_days)
     births = rng.random(n_pois) * (0.6 * span_days)
-    checkin_times = {}
+    checkin_times: dict[int, FloatArray] = {}
     for poi_id in range(n_pois):
         count = int(totals[poi_id])
         if count == 0:

@@ -15,9 +15,11 @@ the check-in volume (the per-POI activity distribution is unchanged).
 EXPERIMENTS.md records the scales used for each reproduced figure.
 """
 
-from typing import NamedTuple
+from __future__ import annotations
 
-from repro.datasets.generator import generate
+from typing import Any, NamedTuple
+
+from repro.datasets.generator import Dataset, generate
 
 
 class DatasetSpec(NamedTuple):
@@ -32,7 +34,7 @@ class DatasetSpec(NamedTuple):
     threshold: int
 
 
-DATASET_SPECS = {
+DATASET_SPECS: dict[str, DatasetSpec] = {
     "NYC": DatasetSpec("NYC", 72626, 237784, 1156, 3.20, 31, 15),
     "LA": DatasetSpec("LA", 45591, 127924, 911, 3.07, 16, 10),
     "GW": DatasetSpec("GW", 1280969, 6442803, 637, 2.82, 85, 100),
@@ -40,7 +42,9 @@ DATASET_SPECS = {
 }
 
 
-def make(name, scale=1.0, seed=0, **overrides):
+def make(
+    name: str, scale: float = 1.0, seed: int = 0, **overrides: Any
+) -> Dataset:
     """Build a synthetic stand-in for one of the paper's data sets.
 
     Parameters
@@ -65,7 +69,7 @@ def make(name, scale=1.0, seed=0, **overrides):
         ) from None
     if not 0.0 < scale <= 1.0:
         raise ValueError("scale must be in (0, 1], got %r" % (scale,))
-    params = dict(
+    params: dict[str, Any] = dict(
         name=spec.name,
         n_pois=max(1, int(spec.n_pois * scale)),
         n_checkins=max(1, int(spec.n_checkins * scale)),

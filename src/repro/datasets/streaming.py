@@ -14,8 +14,20 @@ new epochs as they close (Section 4.2).  These helpers turn a
   where a tree rebuilt from a checkpoint replays the tail).
 """
 
+from __future__ import annotations
 
-def epoch_stream(dataset, clock, start_time=None, end_time=None, poi_ids=None):
+from typing import Any, Iterable, Iterator
+
+from repro.datasets.generator import Dataset
+
+
+def epoch_stream(
+    dataset: Dataset,
+    clock: Any,
+    start_time: float | None = None,
+    end_time: float | None = None,
+    poi_ids: Iterable[int] | None = None,
+) -> Iterator[tuple[int, dict[int, int]]]:
     """Lazily yield ``(epoch_index, counts)`` for epochs in a time range.
 
     ``counts`` maps POI ids to check-ins during that epoch.  Epochs with
@@ -42,7 +54,9 @@ def epoch_stream(dataset, clock, start_time=None, end_time=None, poi_ids=None):
     per_poi = dataset.epoch_counts(clock, poi_ids)
     tie = itertools.count()
 
-    def poi_items(poi_id, epochs):
+    def poi_items(
+        poi_id: int, epochs: dict[int, int]
+    ) -> Iterator[tuple[int, int, int, int]]:
         for epoch, count in sorted(epochs.items()):
             if first_epoch <= epoch <= last_epoch:
                 yield epoch, next(tie), poi_id, count
@@ -50,8 +64,8 @@ def epoch_stream(dataset, clock, start_time=None, end_time=None, poi_ids=None):
     merged = heapq.merge(
         *(poi_items(poi_id, epochs) for poi_id, epochs in per_poi.items())
     )
-    current_epoch = None
-    batch = {}
+    current_epoch: int | None = None
+    batch: dict[int, int] = {}
     for epoch, _, poi_id, count in merged:
         if epoch != current_epoch:
             if current_epoch is not None:
@@ -63,7 +77,9 @@ def epoch_stream(dataset, clock, start_time=None, end_time=None, poi_ids=None):
         yield current_epoch, batch
 
 
-def pending_counts(tree, dataset, poi_ids=None):
+def pending_counts(
+    tree: Any, dataset: Dataset, poi_ids: Iterable[int] | None = None
+) -> dict[int, dict[int, int]]:
     """Per-epoch check-ins ``dataset`` records beyond the tree's TIAs.
 
     Returns ``{epoch_index: {poi_id: positive delta}}`` over the indexed
@@ -73,7 +89,7 @@ def pending_counts(tree, dataset, poi_ids=None):
     if poi_ids is None:
         poi_ids = list(tree.poi_ids())
     full = dataset.epoch_counts(tree.clock, poi_ids)
-    pending = {}
+    pending: dict[int, dict[int, int]] = {}
     for poi_id, epochs in full.items():
         tia = tree.poi_tia(poi_id)
         for epoch, count in epochs.items():
@@ -83,7 +99,7 @@ def pending_counts(tree, dataset, poi_ids=None):
     return pending
 
 
-def catch_up(tree, dataset):
+def catch_up(tree: Any, dataset: Dataset) -> int:
     """Digest whatever ``dataset`` records beyond the tree's TIA content.
 
     For every indexed POI, compares the data set's per-epoch counts with

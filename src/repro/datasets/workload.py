@@ -6,31 +6,37 @@ sampled from 2^0, 2^1, ..., 2^9 days"; defaults are k = 10 and
 alpha0 = 0.3.
 """
 
+from __future__ import annotations
+
 import random
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.query import KNNTAQuery
+from repro.datasets.generator import Dataset
 from repro.temporal.epochs import TimeInterval
 
-DEFAULT_INTERVAL_CHOICES = tuple(2 ** i for i in range(10))
+DEFAULT_INTERVAL_CHOICES: tuple[int, ...] = tuple(2 ** i for i in range(10))
 
 
 class QueryWorkload:
     """A reproducible batch of kNNTA queries over a data set."""
 
-    def __init__(self, queries, seed):
+    def __init__(self, queries: Iterable[KNNTAQuery], seed: int) -> None:
         self.queries = list(queries)
         self.seed = seed
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[KNNTAQuery]:
         return iter(self.queries)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.queries)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> KNNTAQuery:
         return self.queries[index]
 
-    def with_params(self, k=None, alpha0=None):
+    def with_params(
+        self, k: int | None = None, alpha0: float | None = None
+    ) -> "QueryWorkload":
         """Copy of the workload with ``k`` and/or ``alpha0`` replaced."""
         queries = [
             KNNTAQuery(
@@ -45,14 +51,14 @@ class QueryWorkload:
 
 
 def generate_queries(
-    dataset,
-    n_queries=1000,
-    k=10,
-    alpha0=0.3,
-    interval_days_choices=DEFAULT_INTERVAL_CHOICES,
-    anchor="uniform",
-    seed=0,
-):
+    dataset: Dataset,
+    n_queries: int = 1000,
+    k: int = 10,
+    alpha0: float = 0.3,
+    interval_days_choices: Sequence[int] = DEFAULT_INTERVAL_CHOICES,
+    anchor: str = "uniform",
+    seed: int = 0,
+) -> QueryWorkload:
     """Generate a :class:`QueryWorkload` for ``dataset``.
 
     Query points are sampled uniformly from the POI locations.  Interval
@@ -69,7 +75,7 @@ def generate_queries(
     rng = random.Random(seed)
     locations = list(dataset.positions.values())
     span = dataset.span_days
-    queries = []
+    queries: list[KNNTAQuery] = []
     for _ in range(n_queries):
         point = rng.choice(locations)
         length = min(float(rng.choice(interval_days_choices)), span)

@@ -10,6 +10,16 @@ WAL — and those are exactly the invariants the paper's correctness
 arguments rest on (see ``docs/DEVTOOLS.md`` for the rule-by-rule
 rationale).
 
+Rules come in two shapes.  Per-file rules (:class:`Rule`) see one
+:class:`FileContext` at a time.  Whole-program rules
+(:class:`ProgramRule`) run once per lint invocation over a
+:class:`ProgramContext` — every parsed file plus the shared
+interprocedural call graph from :mod:`repro.devtools.callgraph` —
+which is what lets the concurrency rules (RT001, RT007–RT010) follow
+a call from :mod:`repro.service.service` into
+:mod:`repro.continuous.registry` and see the locks acquired on the
+far side.
+
 Suppressions
 ------------
 A finding is silenced by an allow comment **on the same physical line**
@@ -40,6 +50,8 @@ import os
 import re
 import tokenize
 from typing import IO, Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.devtools.callgraph import Program, build_program
 
 #: Meta finding id: an allow comment that suppressed nothing.
 META_UNUSED = "RT000"
@@ -93,7 +105,7 @@ class Suppression:
 
 
 class FileContext:
-    """Everything a rule may inspect about one file."""
+    """Everything a per-file rule may inspect about one file."""
 
     __slots__ = ("path", "module", "tree", "source", "suppressions")
 
@@ -104,6 +116,31 @@ class FileContext:
         self.tree = tree
         self.source = source
         self.suppressions = suppressions
+
+
+class ProgramContext:
+    """Everything a whole-program rule may inspect: all parsed files.
+
+    ``program`` is the shared interprocedural call graph
+    (:class:`~repro.devtools.callgraph.Program`) every program rule
+    works from — built once per lint run, not per rule.  ``cache`` is
+    a scratch mapping rules use to share derived analyses (the
+    RT008/RT009/RT010 lock-flow pass runs once and is read three
+    times).
+    """
+
+    __slots__ = ("files", "program", "cache")
+
+    def __init__(self, files: list[FileContext]) -> None:
+        self.files = files
+        self.program: Program = build_program(files)
+        self.cache: dict[str, object] = {}
+
+    def file_for(self, module: str) -> FileContext | None:
+        for context in self.files:
+            if context.module == module:
+                return context
+        return None
 
 
 class Rule:
@@ -131,6 +168,33 @@ class Rule:
         return Finding(
             self.rule_id,
             context.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            message,
+        )
+
+
+class ProgramRule(Rule):
+    """A rule that runs once over the whole program, not per file.
+
+    Subclasses implement :meth:`check_program`; :meth:`applies_to`
+    still gates which modules the rule *reports in* (the engine uses
+    it in single-file mode, and rules use it internally to scope their
+    candidate set — call edges may cross into any module either way).
+    """
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError(
+            "%s is a whole-program rule; use check_program" % self.rule_id
+        )
+
+    def check_program(self, context: ProgramContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            self.rule_id,
+            path,
             getattr(node, "lineno", 1),
             getattr(node, "col_offset", 0) + 1,
             message,
@@ -198,13 +262,21 @@ def _parse_suppressions(source: str) -> list[Suppression]:
         for token in tokens:
             if token.type != tokenize.COMMENT:
                 continue
-            match = _ALLOW_RE.search(token.string)
-            if match is None:
+            matches = list(_ALLOW_RE.finditer(token.string))
+            if not matches:
                 continue
-            ids = tuple(
-                part.strip() for part in match.group(1).split(",") if part.strip()
-            )
-            suppressions.append(Suppression(token.start[0], ids))
+            # One comment may carry several groups and several ids per
+            # group (an ``allow[RT008,RT009]`` list); collapse to one
+            # Suppression with the ids deduplicated in order, so each
+            # id is tracked (and RT000-reported when unused) exactly
+            # once per line.
+            ids: list[str] = []
+            for match in matches:
+                for part in match.group(1).split(","):
+                    part = part.strip()
+                    if part and part not in ids:
+                        ids.append(part)
+            suppressions.append(Suppression(token.start[0], tuple(ids)))
     except tokenize.TokenError:
         pass  # the ast parse reports the real problem
     return suppressions
@@ -226,32 +298,50 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                     yield os.path.join(dirpath, filename)
 
 
-def lint_file(path: str, rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Run ``rules`` (default: all registered) over one file."""
-    if rules is None:
-        rules = _RULES.values()
+def _parse_file(path: str) -> "FileContext | Finding":
+    """Parse one file into a context, or the RT900 finding."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                META_PARSE_ERROR,
-                path,
-                exc.lineno or 1,
-                (exc.offset or 0) + 1,
-                "file does not parse: %s" % exc.msg,
-            )
-        ]
-    context = FileContext(
+        return Finding(
+            META_PARSE_ERROR,
+            path,
+            exc.lineno or 1,
+            (exc.offset or 0) + 1,
+            "file does not parse: %s" % exc.msg,
+        )
+    return FileContext(
         path, module_name(path), tree, source, _parse_suppressions(source)
     )
+
+
+def lint_file(path: str, rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Run ``rules`` (default: all registered) over one file.
+
+    Whole-program rules see a one-file program here — the form the
+    rule fixtures use; ``lint_paths`` runs them over everything at
+    once.
+    """
+    if rules is None:
+        rules = _RULES.values()
+    parsed = _parse_file(path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    context = parsed
     findings = []
+    program_context: ProgramContext | None = None
     for candidate in rules:
         if not candidate.applies_to(context.module):
             continue
-        for finding in candidate.check(context):
+        if isinstance(candidate, ProgramRule):
+            if program_context is None:
+                program_context = ProgramContext([context])
+            produced: Iterable[Finding] = candidate.check_program(program_context)
+        else:
+            produced = candidate.check(context)
+        for finding in produced:
             if not _suppressed(context, finding):
                 findings.append(finding)
     findings.extend(_unused_suppressions(context))
@@ -268,6 +358,13 @@ def _suppressed(context: FileContext, finding: Finding) -> bool:
 
 def _unused_suppressions(context: FileContext) -> Iterator[Finding]:
     for suppression in context.suppressions:
+        if not suppression.rule_ids:
+            yield Finding(
+                META_UNUSED, context.path, suppression.line, 1,
+                "empty allow[] comment suppresses nothing; list rule ids "
+                "or remove it",
+            )
+            continue
         for rule_id in suppression.rule_ids:
             if rule_id in suppression.used:
                 continue
@@ -288,6 +385,7 @@ def lint_paths(
     paths: Sequence[str],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    artifacts: dict[str, object] | None = None,
 ) -> tuple[list[Finding], int]:
     """Lint every Python file under ``paths``.
 
@@ -295,6 +393,10 @@ def lint_paths(
     from whatever is selected (meta findings included).  Returns the
     sorted findings and the number of files checked.  Unknown ids raise
     ``ValueError`` — the CLI maps that to its usage exit code.
+
+    ``artifacts``, when a dict is passed, receives side products of the
+    whole-program pass — currently ``"lock_edges"``, the derived
+    lock-order edges RT008 computed (for ``repro lint --lock-graph``).
     """
     known = set(rule_ids())
     selected = set(known if select is None else select)
@@ -304,13 +406,43 @@ def lint_paths(
                          % (rule_id, ", ".join(sorted(known))))
     active = selected - ignored
     rules = [r for rule_id, r in sorted(_RULES.items()) if rule_id in active]
+    file_rules = [r for r in rules if not isinstance(r, ProgramRule)]
+    program_rules = [r for r in rules if isinstance(r, ProgramRule)]
     findings = []
+    contexts: list[FileContext] = []
     files_checked = 0
     for path in iter_python_files(paths):
         files_checked += 1
-        for finding in lint_file(path, rules):
+        parsed = _parse_file(path)
+        if isinstance(parsed, Finding):
+            if parsed.rule_id in active:
+                findings.append(parsed)
+            continue
+        contexts.append(parsed)
+    by_path = {context.path: context for context in contexts}
+    for context in contexts:
+        for candidate in file_rules:
+            if not candidate.applies_to(context.module):
+                continue
+            for finding in candidate.check(context):
+                if not _suppressed(context, finding):
+                    findings.append(finding)
+    if program_rules and contexts:
+        program_context = ProgramContext(contexts)
+        for candidate in program_rules:
+            for finding in candidate.check_program(program_context):
+                owner = by_path.get(finding.path)
+                if owner is None or not _suppressed(owner, finding):
+                    findings.append(finding)
+        if artifacts is not None:
+            artifacts["lock_edges"] = program_context.cache.get(
+                "lock_edges", []
+            )
+    for context in contexts:
+        for finding in _unused_suppressions(context):
             if finding.rule_id in active:
                 findings.append(finding)
+    findings = [f for f in findings if f.rule_id in active]
     findings.sort(key=Finding.sort_key)
     return findings, files_checked
 

@@ -2,15 +2,21 @@
 
 Each rule encodes one discipline this repository's correctness arguments
 rest on — the service's lock protocol, the WAL-before-apply contract,
-``-O``-proof invariant checks, float-comparison hygiene in the geometry
-and cost-model hot paths, exception hygiene on the reliability surface,
-and caller-pointing deprecation warnings.  The rule-by-rule rationale
-(with the paper/WAL/lock invariant each protects) lives in
-``docs/DEVTOOLS.md``.
+``-O``-proof invariant checks, float-comparison hygiene in the numeric
+hot paths, exception hygiene on the reliability surface,
+caller-pointing deprecation warnings, guarded shard dispatch, and (from
+this PR) the whole-program concurrency rules: lock ordering against
+the canonical hierarchy (RT008), no blocking operations under
+exclusive locks (RT009), and no foreign callbacks under engine locks
+(RT010).  The rule-by-rule rationale (with the paper/WAL/lock
+invariant each protects) lives in ``docs/DEVTOOLS.md``.
 
-The rules are pure functions of one :class:`~repro.devtools.engine.FileContext`;
-registration happens at import time through the
-:func:`~repro.devtools.engine.rule` decorator.
+Per-file rules are pure functions of one
+:class:`~repro.devtools.engine.FileContext`; the concurrency rules are
+:class:`~repro.devtools.engine.ProgramRule` subclasses sharing one
+interprocedural pass (:class:`LockFlow`) over the
+:class:`~repro.devtools.callgraph.Program`.  Registration happens at
+import time through the :func:`~repro.devtools.engine.rule` decorator.
 """
 
 from __future__ import annotations
@@ -18,14 +24,26 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.devtools.callgraph import (
+    CallSite,
+    FunctionSummary,
+    HeldLock,
+    iter_lambda_thunk_calls,
+)
 from repro.devtools.engine import (
     FileContext,
     Finding,
+    ProgramContext,
+    ProgramRule,
     Rule,
     call_name,
-    for_each_call,
     rule,
-    walk_functions,
+)
+from repro.devtools.lockmodel import (
+    BLOCKING_ALLOWED_MODULES,
+    LOCKS,
+    RANK,
+    classify_site,
 )
 
 #: Tree/TIA mutations that require the exclusive side of the service lock.
@@ -49,6 +67,192 @@ SHARD_DISPATCH_METHODS = frozenset(
     }
 )
 
+#: Attribute names that hold foreign callables: observer, subscriber
+#: and transition callbacks (RT010).
+CALLBACK_ATTRS = frozenset(
+    {"sink", "on_transition", "on_event", "_on_event", "callback",
+     "_callback", "observer"}
+)
+#: Name fragments marking collections of callbacks (RT010 loop targets).
+_CALLBACK_COLLECTION_FRAGMENTS = ("observer", "sink")
+
+#: Receiver-name fragments for thread-join detection (RT009): only
+#: ``<thread-ish>.join(...)`` counts, so ``", ".join(...)`` stays clean.
+_THREADISH_FRAGMENTS = ("thread", "worker", "proc")
+#: Receiver-name fragments for future-result detection (RT009).
+_FUTUREISH_FRAGMENTS = ("future", "pending")
+#: Receiver-name fragments for socket-write detection (RT009).
+_SOCKETISH_FRAGMENTS = ("wfile", "sock")
+
+
+# ---------------------------------------------------------------------------
+# The shared interprocedural lock-flow pass (RT008 / RT009 / RT010)
+# ---------------------------------------------------------------------------
+
+
+class LockFlow:
+    """Everything the concurrency rules derive from the call graph.
+
+    Computed once per :class:`~repro.devtools.engine.ProgramContext`
+    (the engine's cache makes the three rules share it):
+
+    * ``summaries`` — per-function call/acquisition records with the
+      lexically-held lock stack, classified against the lock model;
+    * ``may_acquire`` — transitive lock names each function may take;
+    * ``blocking`` — transitive blocking footprint (RT009), with calls
+      into the allowlisted WAL/storage modules exempt;
+    * ``called_with`` — the lock context a function may *inherit* from
+      its callers (RT010's existential propagation).
+    """
+
+    def __init__(self, context: ProgramContext) -> None:
+        self.program = context.program
+        self.summaries = self.program.summaries(classify_site)
+        self.may_acquire = self.program.transitive_acquisitions(self.summaries)
+        self.module_paths = {
+            module.name: module.path
+            for module in self.program.modules.values()
+        }
+        self.blocking = self._blocking_fixpoint()
+        self.called_with = self._context_fixpoint()
+
+    def path_of(self, module: str) -> str:
+        return self.module_paths.get(module, module)
+
+    # -- RT009: blocking footprint -------------------------------------------
+
+    def _allowlisted(self, module: str) -> bool:
+        return module.startswith(BLOCKING_ALLOWED_MODULES)
+
+    def direct_blocking_kind(self, site: CallSite) -> str | None:
+        """The blocking kind of one call expression, if any."""
+        func = site.node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("sleep", "fsync"):
+                return func.id
+            if func.id == "wait":
+                return "wait"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = _terminal_of(func.value)
+        if attr == "sleep":
+            return "sleep"
+        if attr == "fsync":
+            return "fsync"
+        if attr in ("sendall", "recv", "recv_into", "accept", "connect"):
+            return "socket"
+        if attr in ("write", "flush") and _name_has(receiver,
+                                                    _SOCKETISH_FRAGMENTS):
+            return "socket"
+        if attr == "join" and _name_has(receiver, _THREADISH_FRAGMENTS):
+            return "join"
+        if attr == "result" and _name_has(receiver, _FUTUREISH_FRAGMENTS):
+            return "wait"
+        if attr in ("wait", "wait_for"):
+            # ``cond.wait()`` under ``with cond:`` *releases* the held
+            # condition while waiting — the one blocking call that is
+            # the point of holding the lock.
+            receiver_dump = ast.dump(func.value)
+            for held in site.held:
+                if held.kind == "condition" and held.receiver == receiver_dump:
+                    return None
+            return "wait"
+        return None
+
+    def _blocking_fixpoint(self) -> dict[str, set[tuple[str, str]]]:
+        """``key -> {(kind, origin key)}``, propagated through the graph."""
+        footprint: dict[str, set[tuple[str, str]]] = {}
+        for key, summary in self.summaries.items():
+            direct: set[tuple[str, str]] = set()
+            if not self._allowlisted(summary.function.module):
+                for site in summary.calls:
+                    if site.in_lambda or site.via_thunk:
+                        continue
+                    kind = self.direct_blocking_kind(site)
+                    if kind is not None:
+                        direct.add((kind, key))
+            footprint[key] = direct
+        changed = True
+        while changed:
+            changed = False
+            for key, summary in self.summaries.items():
+                mine = footprint[key]
+                before = len(mine)
+                for site in summary.calls:
+                    if site.in_lambda or site.callee is None:
+                        continue
+                    callee = self.summaries.get(site.callee)
+                    if callee is None:
+                        continue
+                    if self._allowlisted(callee.function.module):
+                        continue  # the documented WAL-before-apply path
+                    mine |= footprint.get(site.callee, set())
+                if len(mine) != before:
+                    changed = True
+        return footprint
+
+    # -- RT010: inherited lock context ---------------------------------------
+
+    @staticmethod
+    def _restricted_locks(held: tuple[HeldLock, ...]) -> set[str]:
+        """Held locks under which foreign callbacks must not run."""
+        names: set[str] = set()
+        for lock in held:
+            if not lock.exclusive():
+                continue
+            decl = LOCKS.get(lock.name)
+            if decl is not None and decl.foreign_callbacks_allowed:
+                continue
+            names.add(lock.name)
+        return names
+
+    def _context_fixpoint(self) -> dict[str, set[str]]:
+        """``key -> locks possibly held at some call site`` (existential)."""
+        context: dict[str, set[str]] = {key: set() for key in self.summaries}
+        changed = True
+        while changed:
+            changed = False
+            for key, summary in self.summaries.items():
+                inherited = context[key]
+                for site in summary.calls:
+                    if site.in_lambda or site.callee is None:
+                        continue
+                    target = context.get(site.callee)
+                    if target is None:
+                        continue
+                    incoming = self._restricted_locks(site.held) | inherited
+                    if not incoming <= target:
+                        target |= incoming
+                        changed = True
+        return context
+
+
+def lock_flow(context: ProgramContext) -> LockFlow:
+    """The shared pass, computed once per lint run."""
+    cached = context.cache.get("lockflow")
+    if isinstance(cached, LockFlow):
+        return cached
+    flow = LockFlow(context)
+    context.cache["lockflow"] = flow
+    return flow
+
+
+def _terminal_of(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _name_has(name: str | None, fragments: tuple[str, ...]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in fragments)
+
 
 def _is_local_call(call: ast.Call) -> bool:
     """Is this an intra-module call (``f(...)`` or ``self.f(...)``)?"""
@@ -62,7 +266,7 @@ def _is_local_call(call: ast.Call) -> bool:
 
 
 @rule
-class LockDisciplineRule(Rule):
+class LockDisciplineRule(ProgramRule):
     """RT001: service-layer tree access must hold the right lock side.
 
     ``insert_poi``/``delete_poi``/``digest_epoch`` and TIA repair
@@ -71,8 +275,8 @@ class LockDisciplineRule(Rule):
     ``write_locked()``.  Query entry points (``knnta_search``,
     ``sequential_scan``, ``CollectiveProcessor(...).run``) need at
     least ``read_locked()``.  A call inside a helper passes when every
-    intra-module call site of that helper (transitively) holds the
-    required lock — the module-local call-graph pass.
+    resolvable call site of that helper (transitively, across modules
+    — the shared whole-program pass) holds the required lock.
     """
 
     rule_id = "RT001"
@@ -91,29 +295,34 @@ class LockDisciplineRule(Rule):
             ("repro.service", "repro.cluster", "repro.continuous")
         )
 
-    def check(self, context: FileContext) -> Iterator[Finding]:
-        functions = {name for name, _ in walk_functions(context.tree)}
+    def check_program(self, context: ProgramContext) -> Iterator[Finding]:
+        flow = lock_flow(context)
         callsites: dict[str, list[tuple[str, str]]] = {}
-        candidates: list[tuple[str, ast.Call, str, str]] = []
-
-        for fname, fnode in walk_functions(context.tree):
-            def visit(call: ast.Call, state: str, fname: str = fname) -> None:
-                name = call_name(call)
+        candidates: list[tuple[str, ast.Call, str, str, FunctionSummary]] = []
+        for key, summary in flow.summaries.items():
+            in_scope = self.applies_to(summary.function.module)
+            for site in summary.calls:
+                if site.callee is not None:
+                    callsites.setdefault(site.callee, []).append(
+                        (key, site.state)
+                    )
+                if site.via_thunk or not in_scope:
+                    continue
+                name = call_name(site.node)
                 if name is None:
-                    return
-                if name in LOCKED_MUTATORS and isinstance(call.func, ast.Attribute):
-                    if state != "write":
-                        candidates.append((fname, call, "write", name))
-                elif self._is_read_entry(call, name) and state == "none":
-                    candidates.append((fname, call, "read", name))
-                if name in functions and _is_local_call(call):
-                    callsites.setdefault(name, []).append((fname, state))
-
-            for_each_call(fnode.body, visit)
-
-        for fname, call, required, name in candidates:
-            if self._dominated(fname, required, callsites, frozenset({fname})):
+                    continue
+                if name in LOCKED_MUTATORS and isinstance(site.node.func,
+                                                          ast.Attribute):
+                    if site.state != "write":
+                        candidates.append((key, site.node, "write", name,
+                                           summary))
+                elif self._is_read_entry(site.node, name) \
+                        and site.state == "none":
+                    candidates.append((key, site.node, "read", name, summary))
+        for key, call, required, name, summary in candidates:
+            if self._dominated(key, required, callsites, frozenset({key})):
                 continue
+            fname = summary.function.name
             if required == "write":
                 message = (
                     "%s() mutates shared tree state; it must run inside "
@@ -126,7 +335,9 @@ class LockDisciplineRule(Rule):
                     "'with ...read_locked():' (or under the write lock)"
                     % (name,)
                 )
-            yield self.finding(context, call, message)
+            yield self.finding_at(
+                flow.path_of(summary.function.module), call, message
+            )
 
     @staticmethod
     def _is_read_entry(call: ast.Call, name: str) -> bool:
@@ -141,13 +352,13 @@ class LockDisciplineRule(Rule):
 
     def _dominated(
         self,
-        fname: str,
+        key: str,
         required: str,
         callsites: dict[str, list[tuple[str, str]]],
         seen: frozenset[str],
     ) -> bool:
-        """Does every intra-module call chain into ``fname`` hold the lock?"""
-        sites = callsites.get(fname)
+        """Does every resolvable call chain into ``key`` hold the lock?"""
+        sites = callsites.get(key)
         if not sites:
             return False
         for caller, state in sites:
@@ -155,7 +366,8 @@ class LockDisciplineRule(Rule):
                 continue
             if caller in seen:
                 return False
-            if not self._dominated(caller, required, callsites, seen | {caller}):
+            if not self._dominated(caller, required, callsites,
+                                   seen | {caller}):
                 return False
         return True
 
@@ -276,10 +488,12 @@ class FloatEqualityRule(Rule):
     """RT004: no ``==``/``!=`` on float expressions in the numeric core.
 
     ``spatial.geometry`` and ``core.costmodel`` feed the kNNTA bound
-    arithmetic; an exact float comparison there encodes an accidental
-    tolerance of zero.  Compare with :func:`math.isclose` or an explicit
-    epsilon.  ``__eq__``/``__ne__``/``__hash__`` bodies are exempt —
-    value types intentionally define exact equality.
+    arithmetic, and the numeric hot paths added since PR 4 — the packed
+    node frames, the incremental evaluator and the resilience scoring —
+    carry the same hazard: an exact float comparison there encodes an
+    accidental tolerance of zero.  Compare with :func:`math.isclose` or
+    an explicit epsilon.  ``__eq__``/``__ne__``/``__hash__`` bodies are
+    exempt — value types intentionally define exact equality.
     """
 
     rule_id = "RT004"
@@ -290,9 +504,18 @@ class FloatEqualityRule(Rule):
     )
 
     _EXEMPT = frozenset({"__eq__", "__ne__", "__hash__"})
+    #: Attributes that are floats by construction in this codebase —
+    #: ranked scores and score bounds (QueryResult.score et al.).
+    _FLOAT_ATTRS = frozenset({"score", "score_bound"})
 
     def applies_to(self, module: str) -> bool:
-        return module in ("repro.spatial.geometry", "repro.core.costmodel")
+        return module in (
+            "repro.spatial.geometry",
+            "repro.core.costmodel",
+            "repro.core.frames",
+            "repro.continuous.evaluator",
+            "repro.cluster.resilience",
+        )
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         yield from self._scan(context, context.tree.body)
@@ -328,6 +551,8 @@ class FloatEqualityRule(Rule):
     def _float_like(self, node: ast.expr) -> bool:
         if isinstance(node, ast.Constant):
             return isinstance(node.value, float)
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._FLOAT_ATTRS
         if isinstance(node, ast.BinOp):
             if isinstance(node.op, ast.Div):
                 return True
@@ -456,7 +681,7 @@ class WarnStacklevelRule(Rule):
 
 
 @rule
-class GuardedShardDispatchRule(Rule):
+class GuardedShardDispatchRule(ProgramRule):
     """RT007: cluster shard dispatch must go through the ShardGuard.
 
     Every shard-tree operation that crosses a fault-domain boundary —
@@ -468,8 +693,8 @@ class GuardedShardDispatchRule(Rule):
     that wrapper owns the timeout, retry/classification, and circuit
     breaker that keep one failing shard from hanging or crashing the
     whole scatter-gather.  A dispatch in a helper passes when the helper
-    itself is a guard thunk or every intra-module call chain into it
-    starts from one (the RT001-style call-graph pass).
+    itself is a guard thunk or every resolvable call chain into it
+    (across modules — the shared whole-program pass) starts from one.
     """
 
     rule_id = "RT007"
@@ -490,60 +715,44 @@ class GuardedShardDispatchRule(Rule):
             and module != "repro.cluster.resilience"
         )
 
-    def check(self, context: FileContext) -> Iterator[Finding]:
-        guard_roots, lambda_calls = self._guard_thunks(context.tree)
-        functions = {name for name, _ in walk_functions(context.tree)}
+    def check_program(self, context: ProgramContext) -> Iterator[Finding]:
+        flow = lock_flow(context)
+        lambda_calls: set[int] = set()
+        guard_roots: set[str] = set()
+        for module in context.program.modules.values():
+            lambda_calls.update(iter_lambda_thunk_calls(module.tree))
         callsites: dict[str, list[str]] = {}
-        candidates: list[tuple[str, ast.Call, str]] = []
-
-        for fname, fnode in walk_functions(context.tree):
-            def visit(call: ast.Call, state: str, fname: str = fname) -> None:
-                name = call_name(call)
+        candidates: list[tuple[str, ast.Call, str, FunctionSummary]] = []
+        for key, summary in flow.summaries.items():
+            in_scope = self.applies_to(summary.function.module)
+            for site in summary.calls:
+                if site.via_thunk:
+                    if site.callee is not None:
+                        guard_roots.add(site.callee)
+                    continue
+                if site.callee is not None:
+                    callsites.setdefault(site.callee, []).append(key)
+                if not in_scope:
+                    continue
+                name = call_name(site.node)
                 if name is None:
-                    return
-                if self._is_dispatch(call, name):
-                    candidates.append((fname, call, name))
-                if name in functions and _is_local_call(call):
-                    callsites.setdefault(name, []).append(fname)
-
-            for_each_call(fnode.body, visit)
-
-        for fname, call, name in candidates:
+                    continue
+                if self._is_dispatch(site.node, name):
+                    candidates.append((key, site.node, name, summary))
+        for key, call, name, summary in candidates:
             if id(call) in lambda_calls:
                 continue
-            if fname in guard_roots:
+            if key in guard_roots:
                 continue
-            if self._dominated(fname, guard_roots, callsites, frozenset({fname})):
+            if self._dominated(key, guard_roots, callsites, frozenset({key})):
                 continue
-            yield self.finding(
-                context,
+            yield self.finding_at(
+                flow.path_of(summary.function.module),
                 call,
                 "%s() dispatches to a shard outside ShardGuard.call; wrap "
                 "it in a guard thunk (directly, or with every call site of "
-                "%s() inside one)" % (name, fname),
+                "%s() inside one)" % (name, summary.function.name),
             )
-
-    @staticmethod
-    def _guard_thunks(tree: ast.AST) -> tuple[set[str], set[int]]:
-        """Names of functions passed as thunks to ``<guard>.call(...)``,
-        plus ``id()``s of Call nodes inside lambda thunks."""
-        roots: set[str] = set()
-        lambda_calls: set[int] = set()
-        for node in ast.walk(tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "call"
-            ):
-                continue
-            for arg in node.args:
-                if isinstance(arg, ast.Name):
-                    roots.add(arg.id)
-                elif isinstance(arg, ast.Lambda):
-                    for inner in ast.walk(arg):
-                        if isinstance(inner, ast.Call):
-                            lambda_calls.add(id(inner))
-        return roots, lambda_calls
 
     @staticmethod
     def _is_dispatch(call: ast.Call, name: str) -> bool:
@@ -569,14 +778,14 @@ class GuardedShardDispatchRule(Rule):
 
     def _dominated(
         self,
-        fname: str,
+        key: str,
         guard_roots: set[str],
         callsites: dict[str, list[str]],
         seen: frozenset[str],
     ) -> bool:
-        """Does every intra-module call chain into ``fname`` start from a
+        """Does every resolvable call chain into ``key`` start from a
         guard thunk?"""
-        sites = callsites.get(fname)
+        sites = callsites.get(key)
         if not sites:
             return False
         for caller in sites:
@@ -584,6 +793,302 @@ class GuardedShardDispatchRule(Rule):
                 continue
             if caller in seen:
                 return False
-            if not self._dominated(caller, guard_roots, callsites, seen | {caller}):
+            if not self._dominated(caller, guard_roots, callsites,
+                                   seen | {caller}):
                 return False
         return True
+
+
+@rule
+class LockOrderRule(ProgramRule):
+    """RT008: nested lock acquisitions must descend the hierarchy.
+
+    The canonical order lives in :mod:`repro.devtools.lockmodel` (and
+    nowhere else).  This rule derives every (held → acquired) edge the
+    call graph can see — lexical nesting plus calls into functions
+    that transitively acquire — and reports: rank ascents, cycles in
+    the derived graph, re-acquisition of non-reentrant locks, and
+    lock-like acquisition sites the model does not declare (the model
+    must stay exhaustive).  Unresolvable dynamic calls contribute no
+    edges: coverage degrades, false certainties never appear.
+    """
+
+    rule_id = "RT008"
+    name = "lock-order"
+    rationale = (
+        "two threads nesting the same locks in different orders deadlock; "
+        "one global strictly-descending hierarchy makes that impossible "
+        "by construction"
+    )
+
+    def check_program(self, context: ProgramContext) -> Iterator[Finding]:
+        flow = lock_flow(context)
+        edges: dict[tuple[str, str], tuple[str, ast.AST, str]] = {}
+        for key, summary in flow.summaries.items():
+            path = flow.path_of(summary.function.module)
+            for expr in summary.unknown_sites:
+                yield self.finding_at(
+                    path, expr,
+                    "acquisition site is not declared in the lock model "
+                    "(repro.devtools.lockmodel); every engine lock must "
+                    "carry a canonical name and rank",
+                )
+            for acq in summary.acquisitions:
+                name = acq.site.name
+                if name is None:
+                    continue
+                for held in acq.held_before:
+                    edges.setdefault(
+                        (held.name, name), (path, acq.node, "acquired here")
+                    )
+            for site in summary.calls:
+                if site.in_lambda or site.callee is None or not site.held:
+                    continue
+                for inner in sorted(flow.may_acquire.get(site.callee, ())):
+                    for held in site.held:
+                        edges.setdefault(
+                            (held.name, inner),
+                            (path, site.node,
+                             "via %s()" % _short_key(site.callee)),
+                        )
+        context.cache["lock_edges"] = [
+            {
+                "src": src,
+                "dst": dst,
+                "ok": not self._violates(src, dst),
+                "site": "%s:%d" % (path, getattr(node, "lineno", 0)),
+                "via": via,
+            }
+            for (src, dst), (path, node, via) in sorted(edges.items())
+        ]
+        for (src, dst), (path, node, via) in sorted(edges.items()):
+            if src == dst:
+                decl = LOCKS.get(src)
+                if decl is not None and decl.reentrant:
+                    continue
+                yield self.finding_at(
+                    path, node,
+                    "re-acquisition of non-reentrant lock '%s' (%s); "
+                    "nesting it deadlocks" % (src, via),
+                )
+            elif RANK.get(src, -1) > RANK.get(dst, 1 << 30):
+                yield self.finding_at(
+                    path, node,
+                    "lock-order violation: '%s' (rank %d) is held while "
+                    "acquiring '%s' (rank %d, %s); the hierarchy requires "
+                    "strictly descending ranks — see "
+                    "repro.devtools.lockmodel" % (
+                        src, RANK[src], dst, RANK[dst], via,
+                    ),
+                )
+        yield from self._cycle_findings(edges)
+
+    @staticmethod
+    def _violates(src: str, dst: str) -> bool:
+        if src == dst:
+            decl = LOCKS.get(src)
+            return decl is None or not decl.reentrant
+        return RANK.get(src, -1) > RANK.get(dst, 1 << 30)
+
+    def _cycle_findings(
+        self, edges: dict[tuple[str, str], tuple[str, ast.AST, str]]
+    ) -> Iterator[Finding]:
+        graph: dict[str, set[str]] = {}
+        for src, dst in edges:
+            if src != dst:
+                graph.setdefault(src, set()).add(dst)
+        seen: set[str] = set()
+
+        def visit(node: str, trail: tuple[str, ...]) -> tuple[str, ...] | None:
+            if node in trail:
+                return trail[trail.index(node):] + (node,)
+            if node in seen:
+                return None
+            seen.add(node)
+            for neighbour in sorted(graph.get(node, ())):
+                cycle = visit(neighbour, trail + (node,))
+                if cycle is not None:
+                    return cycle
+            return None
+
+        for start in sorted(graph):
+            cycle = visit(start, ())
+            if cycle is not None:
+                path, node, _via = edges[(cycle[0], cycle[1])]
+                yield self.finding_at(
+                    path, node,
+                    "derived lock graph has a cycle: %s; a cycle means two "
+                    "threads can deadlock regardless of ranks"
+                    % " -> ".join(cycle),
+                )
+                return
+
+
+@rule
+class NoBlockingUnderLockRule(ProgramRule):
+    """RT009: no blocking operations while holding an exclusive lock.
+
+    Sleeps, fsyncs, socket sends/receives, thread joins and future
+    waits under an exclusive lock convert one slow peer into a stalled
+    engine — every reader and writer queues behind the holder.  The
+    shared read side is exempt by design (queries block under it: that
+    is what shared access is for).  Two documented allowances, both
+    declared in the lock model: the WAL-before-apply and
+    checkpoint/recovery paths (calls into :mod:`repro.reliability` /
+    :mod:`repro.storage` — durability *requires* fsync under the
+    exclusive lock), and the push lock's socket write (it exists to
+    frame one message onto the wire; it is a terminal lock).
+    """
+
+    rule_id = "RT009"
+    name = "no-blocking-under-lock"
+    rationale = (
+        "a blocking call under an exclusive lock turns one slow I/O peer "
+        "into a whole-engine stall; the WAL path is the one documented "
+        "exception"
+    )
+
+    def check_program(self, context: ProgramContext) -> Iterator[Finding]:
+        flow = lock_flow(context)
+        reported: set[tuple[int, str, str]] = set()
+        for key, summary in flow.summaries.items():
+            module = summary.function.module
+            if module.startswith(BLOCKING_ALLOWED_MODULES):
+                continue
+            path = flow.path_of(module)
+            for site in summary.calls:
+                if site.in_lambda:
+                    continue
+                exclusive = [h for h in site.held if h.exclusive()]
+                if not exclusive:
+                    continue
+                kinds: list[tuple[str, str | None]] = []
+                direct = self.direct_kind(flow, site)
+                if direct is not None:
+                    kinds.append((direct, None))
+                if site.callee is not None:
+                    callee = flow.summaries.get(site.callee)
+                    if callee is not None and not callee.function.module \
+                            .startswith(BLOCKING_ALLOWED_MODULES):
+                        for kind, origin in sorted(
+                                flow.blocking.get(site.callee, ())):
+                            kinds.append((kind, origin))
+                for kind, origin in kinds:
+                    blocked = [
+                        h.name for h in exclusive
+                        if kind not in LOCKS[h.name].blocking_allowed
+                    ] if all(h.name in LOCKS for h in exclusive) else [
+                        h.name for h in exclusive
+                    ]
+                    if not blocked:
+                        continue
+                    marker = (id(site.node), kind, ",".join(blocked))
+                    if marker in reported:
+                        continue
+                    reported.add(marker)
+                    where = "" if origin is None else (
+                        " (via %s())" % _short_key(origin)
+                    )
+                    yield self.finding_at(
+                        path, site.node,
+                        "blocking operation (%s)%s while holding exclusive "
+                        "lock(s) %s; move the blocking work outside the "
+                        "lock or add a documented allowance in the lock "
+                        "model" % (kind, where, ", ".join(sorted(set(blocked)))),
+                    )
+
+    @staticmethod
+    def direct_kind(flow: LockFlow, site: CallSite) -> str | None:
+        return flow.direct_blocking_kind(site)
+
+
+@rule
+class NoForeignCallbackUnderLockRule(ProgramRule):
+    """RT010: foreign callbacks run on a snapshot, outside engine locks.
+
+    Observer, subscriber and transition callbacks execute arbitrary
+    user code: invoked under an engine lock, that code re-entering the
+    engine (an unsubscribe from inside a sink, a health probe from a
+    breaker transition) either deadlocks or acquires against the
+    hierarchy.  Collect the callbacks under the lock, release it, then
+    fire.  The fan-out gate is the one declared exception
+    (``foreign_callbacks_allowed``): it protects no engine state, and
+    callbacks re-entering through it only ever acquire lower-ranked
+    locks.  The core tree's mutation-observer protocol is out of scope
+    — its receivers are lock-aware by contract (they may touch only
+    their own leaf locks).
+    """
+
+    rule_id = "RT010"
+    name = "no-foreign-callback-under-lock"
+    rationale = (
+        "a user callback under an engine lock makes every subscriber a "
+        "potential deadlock: re-entering the engine from the callback "
+        "acquires against the hierarchy"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(
+            ("repro.service", "repro.cluster", "repro.continuous")
+        )
+
+    def check_program(self, context: ProgramContext) -> Iterator[Finding]:
+        flow = lock_flow(context)
+        for key, summary in flow.summaries.items():
+            if not self.applies_to(summary.function.module):
+                continue
+            path = flow.path_of(summary.function.module)
+            callback_names = self._callback_locals(summary.function.node)
+            inherited = flow.called_with.get(key, set())
+            for site in summary.calls:
+                if site.in_lambda or site.via_thunk:
+                    continue
+                if not self._is_callback_call(site.node, callback_names):
+                    continue
+                held = LockFlow._restricted_locks(site.held) | inherited
+                if not held:
+                    continue
+                yield self.finding_at(
+                    path, site.node,
+                    "foreign callback invoked under engine lock(s) %s; "
+                    "collect callbacks under the lock, release it, then "
+                    "fire on the snapshot" % ", ".join(sorted(held)),
+                )
+
+    @staticmethod
+    def _callback_locals(fn_node: ast.AST) -> set[str]:
+        """Local names bound to callback attributes or observer loops."""
+        names: set[str] = set()
+        for node in ast.walk(fn_node):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Attribute)
+                    and node.value.attr in CALLBACK_ATTRS):
+                names.add(node.targets[0].id)
+            elif isinstance(node, ast.For) and isinstance(node.target,
+                                                          ast.Name):
+                for inner in ast.walk(node.iter):
+                    terminal = _terminal_of(inner) if isinstance(
+                        inner, (ast.Attribute, ast.Name)) else None
+                    if _name_has(terminal, _CALLBACK_COLLECTION_FRAGMENTS):
+                        names.add(node.target.id)
+                        break
+        return names
+
+    @staticmethod
+    def _is_callback_call(call: ast.Call, callback_names: set[str]) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id in callback_names
+        if isinstance(func, ast.Attribute):
+            return func.attr in CALLBACK_ATTRS
+        return False
+
+
+def _short_key(key: str) -> str:
+    """``repro.service.service.QueryService.digest`` → ``QueryService.digest``."""
+    parts = key.split(".")
+    for index, part in enumerate(parts):
+        if part and part[0].isupper():
+            return ".".join(parts[index:])
+    return parts[-1] if parts else key

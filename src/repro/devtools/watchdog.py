@@ -1,0 +1,238 @@
+"""Runtime lock-order witness: assert the hierarchy on live threads.
+
+The static rules (RT008–RT010) can only see edges the call graph
+resolves; duck-typed dispatch (``self.tree`` may be a ``TARTree`` or a
+``ClusterTree``) hides real nesting from them.  The
+:class:`LockOrderWatchdog` closes that gap from the other side: every
+instrumented acquisition is pushed onto a thread-local stack and
+checked against the canonical ranks in
+:mod:`repro.devtools.lockmodel` *before* the thread blocks on the
+lock, so an ordering violation surfaces as a raised
+:class:`LockOrderViolation` instead of a silent deadlock.  The
+watchdog also records every witnessed (outer → inner) pair, which the
+concurrency tests compare against the declared hierarchy — the
+cross-validation of the static model against reality.
+
+Enabling
+--------
+Set ``REPRO_LOCK_WATCHDOG=1`` before the process starts (the
+concurrency and chaos CI legs do); tests may call :func:`enable` /
+:func:`disable`.  Disabled, the overhead is one module-attribute read
+per instrumented acquisition — and the :func:`monitored_lock` /
+:func:`monitored_rlock` factories return *plain* ``threading`` locks
+when the watchdog is off at construction time, so steady-state
+production paths pay nothing at all.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterator, Protocol
+
+from repro.devtools.lockmodel import LOCKS, RANK
+
+
+class Lockable(Protocol):
+    """What the monitored-lock factories hand back: acquire/release/with."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> object: ...
+
+    def __exit__(self, *exc_info: object) -> object: ...
+
+__all__ = [
+    "Lockable",
+    "LockOrderViolation",
+    "LockOrderWatchdog",
+    "MonitoredLock",
+    "active",
+    "disable",
+    "enable",
+    "iter_rank_violations",
+    "monitored_lock",
+    "monitored_rlock",
+]
+
+
+class LockOrderViolation(RuntimeError):
+    """A thread acquired locks against the canonical hierarchy."""
+
+
+class LockOrderWatchdog:
+    """Thread-local acquisition stacks checked against the lock model."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._edge_lock = threading.Lock()
+        self._edges: set[tuple[str, str]] = set()
+        self._violations = 0
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def note_acquire(self, name: str) -> None:
+        """Record intent to acquire ``name``; raise on a rank ascent.
+
+        Called *before* blocking on the lock, so a would-be deadlock
+        raises instead of hanging the thread.
+        """
+        stack = self._stack()
+        if stack:
+            decl = LOCKS.get(name)
+            rank = RANK.get(name)
+            with self._edge_lock:
+                for held in stack:
+                    self._edges.add((held, name))
+            for held in stack:
+                if held == name:
+                    if decl is not None and decl.reentrant:
+                        continue
+                    self._fail(
+                        "re-acquired non-reentrant lock %r (held: %s)"
+                        % (name, " -> ".join(stack))
+                    )
+                held_rank = RANK.get(held)
+                if rank is not None and held_rank is not None \
+                        and held_rank > rank:
+                    self._fail(
+                        "acquired %r (rank %d) while holding %r (rank %d); "
+                        "the hierarchy requires strictly descending ranks "
+                        "(held: %s)"
+                        % (name, rank, held, held_rank, " -> ".join(stack))
+                    )
+        stack.append(name)
+
+    def note_release(self, name: str) -> None:
+        """Pop the most recent acquisition of ``name``, if any."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    def _fail(self, message: str) -> None:
+        with self._edge_lock:
+            self._violations += 1
+        raise LockOrderViolation(message)
+
+    def held(self) -> tuple[str, ...]:
+        """The calling thread's current lock stack (outermost first)."""
+        return tuple(self._stack())
+
+    def witnessed_edges(self) -> list[tuple[str, str]]:
+        """Every (outer, inner) nesting observed so far, sorted."""
+        with self._edge_lock:
+            return sorted(self._edges)
+
+    def violations(self) -> int:
+        with self._edge_lock:
+            return self._violations
+
+
+#: The process-wide watchdog, or ``None`` when disabled.  Instrumented
+#: sites read this module attribute directly — one dict lookup when off.
+_ACTIVE: LockOrderWatchdog | None = None
+if os.environ.get("REPRO_LOCK_WATCHDOG") == "1":
+    _ACTIVE = LockOrderWatchdog()
+
+
+def active() -> LockOrderWatchdog | None:
+    """The enabled watchdog, or ``None``."""
+    return _ACTIVE
+
+
+def enable() -> LockOrderWatchdog:
+    """Turn the watchdog on (tests); returns it.
+
+    Locks built by the :func:`monitored_lock` factories *before* this
+    call stay unmonitored — construct the objects under test after.
+    """
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = LockOrderWatchdog()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Turn the watchdog off (tests)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class MonitoredLock:
+    """A ``threading.Lock``/``RLock`` wrapper reporting to the watchdog."""
+
+    __slots__ = ("_lock", "name")
+
+    def __init__(self, lock: Lockable, name: str) -> None:
+        self._lock = lock
+        self.name = name
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        watchdog = _ACTIVE
+        if watchdog is not None:
+            watchdog.note_acquire(self.name)
+        acquired = self._lock.acquire(blocking, timeout)
+        if not acquired and watchdog is not None:
+            watchdog.note_release(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        watchdog = _ACTIVE
+        if watchdog is not None:
+            watchdog.note_release(self.name)
+
+    def __enter__(self) -> "MonitoredLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return "MonitoredLock(%r)" % (self.name,)
+
+
+def monitored_lock(name: str) -> Lockable:
+    """A mutex for the declared lock ``name``.
+
+    Plain ``threading.Lock`` when the watchdog is off at construction
+    time — zero steady-state overhead — else a :class:`MonitoredLock`.
+    """
+    if _ACTIVE is None:
+        return threading.Lock()
+    return MonitoredLock(threading.Lock(), name)
+
+
+def monitored_rlock(name: str) -> Lockable:
+    """Reentrant variant of :func:`monitored_lock`."""
+    if _ACTIVE is None:
+        return threading.RLock()
+    return MonitoredLock(threading.RLock(), name)
+
+
+def iter_rank_violations(
+    edges: list[tuple[str, str]]
+) -> Iterator[tuple[str, str]]:
+    """Witnessed edges that ascend the hierarchy (test helper)."""
+    for outer, inner in edges:
+        outer_rank = RANK.get(outer)
+        inner_rank = RANK.get(inner)
+        if outer_rank is None or inner_rank is None:
+            continue
+        if outer == inner:
+            decl = LOCKS.get(outer)
+            if decl is None or not decl.reentrant:
+                yield (outer, inner)
+        elif outer_rank > inner_rank:
+            yield (outer, inner)

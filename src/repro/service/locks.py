@@ -7,31 +7,63 @@ writer is waiting, new readers queue behind it, so a stream of queries
 cannot starve ingest.
 
 Neither side is re-entrant; the service's code paths never nest
-acquisitions.
+acquisitions.  Constructed with a ``name`` from the canonical lock
+hierarchy (:mod:`repro.devtools.lockmodel`), every acquisition is
+reported to the :class:`~repro.devtools.watchdog.LockOrderWatchdog`
+when one is active (``REPRO_LOCK_WATCHDOG=1``) — both sides push the
+same name, so the watchdog also catches the classic readers-writer
+self-deadlocks: read→write upgrade and nested read under a waiting
+writer.  Unnamed locks stay unwitnessed.
 """
 
 import threading
 from contextlib import contextmanager
 
+from repro.devtools import watchdog
+
 
 class ReadWriteLock:
     """Write-preferring readers-writer lock over a single condition."""
 
-    def __init__(self):
+    def __init__(self, name=None):
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self.name = name
+
+    def _note_acquire(self):
+        if self.name is None:
+            return None
+        witness = watchdog.active()
+        if witness is not None:
+            # Before blocking: a would-be deadlock raises instead of
+            # hanging the thread.
+            witness.note_acquire(self.name)
+        return witness
+
+    def _note_failed(self, witness):
+        if witness is not None:
+            witness.note_release(self.name)
+
+    def _note_release(self):
+        if self.name is None:
+            return
+        witness = watchdog.active()
+        if witness is not None:
+            witness.note_release(self.name)
 
     # -- shared (query) side -------------------------------------------------
 
     def acquire_read(self, timeout=None):
         """Take shared access; returns ``False`` on timeout."""
+        witness = self._note_acquire()
         with self._cond:
             if not self._cond.wait_for(
                 lambda: not self._writer_active and not self._writers_waiting,
                 timeout,
             ):
+                self._note_failed(witness)
                 return False
             self._readers += 1
             return True
@@ -43,11 +75,13 @@ class ReadWriteLock:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        self._note_release()
 
     # -- exclusive (mutation) side -------------------------------------------
 
     def acquire_write(self, timeout=None):
         """Take exclusive access; returns ``False`` on timeout."""
+        witness = self._note_acquire()
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -55,6 +89,7 @@ class ReadWriteLock:
                     lambda: not self._writer_active and self._readers == 0,
                     timeout,
                 ):
+                    self._note_failed(witness)
                     return False
                 self._writer_active = True
                 return True
@@ -67,6 +102,7 @@ class ReadWriteLock:
                 raise RuntimeError("release_write without a matching acquire")
             self._writer_active = False
             self._cond.notify_all()
+        self._note_release()
 
     # -- context managers ----------------------------------------------------
 

@@ -68,6 +68,8 @@ import threading
 
 from repro.core.query import KNNTAQuery
 from repro.core.tar_tree import POI
+from repro.devtools.lockmodel import PUSH, SERVER_ERROR
+from repro.devtools.watchdog import monitored_lock
 from repro.service.service import (
     RequestTimeoutError,
     ServiceClosedError,
@@ -114,7 +116,7 @@ class _PushChannel:
 
     def __init__(self, wfile):
         self._wfile = wfile
-        self._lock = threading.Lock()
+        self._lock = monitored_lock(PUSH)
         #: subscription id -> registry handle, for teardown on close.
         self.subscriptions = {}
         self.closed = False
@@ -151,7 +153,7 @@ class JsonLineServer:
         #: ``"Type: message"`` (operator-side; never sent on the wire).
         self.errors = 0
         self.last_error = None
-        self._error_lock = threading.Lock()
+        self._error_lock = monitored_lock(SERVER_ERROR)
         outer = self
 
         class _Handler(socketserver.StreamRequestHandler):

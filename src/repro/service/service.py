@@ -52,6 +52,7 @@ from collections import deque
 from repro.continuous import SubscriptionRegistry
 from repro.core.collective import CollectiveProcessor
 from repro.core.knnta import knnta_search
+from repro.devtools.lockmodel import SERVICE_RW
 from repro.service.locks import ReadWriteLock
 from repro.service.scrubber import HealthEvent, Scrubber
 from repro.service.stats import ServiceStats
@@ -274,7 +275,7 @@ class QueryService:
         self.tree = tree
         self.ingest = ingest
         self.config = config if config is not None else ServiceConfig()
-        self.lock = ReadWriteLock()
+        self.lock = ReadWriteLock(SERVICE_RW)
         self.service_stats = ServiceStats(latency_window=self.config.latency_window)
         if self._cluster:
             # Each shard carries its own scrubber (round-robin via the
@@ -456,10 +457,13 @@ class QueryService:
         Digestion is what advances the clock, so it also drives the
         standing-subscription fan-out: after the batch applies (and the
         write lock is released), every live subscription re-evaluates
-        under the read lock and pushes its delta update.  The fan-out
-        runs even when the digest itself fails mid-way (a cluster
-        shard down, say) — whatever state *did* change is what
-        subscribers must now see, degraded or not.
+        and pushes its delta update.  The registry runs the round under
+        its advance gate, taking this service's lock on the read side
+        for the evaluation phase only (``advance(lock=self.lock)``) —
+        sinks fire on the recorded snapshot outside every service and
+        registry lock.  The fan-out runs even when the digest itself
+        fails mid-way (a cluster shard down, say) — whatever state
+        *did* change is what subscribers must now see, degraded or not.
         """
         try:
             with self.lock.write_locked():
@@ -469,8 +473,7 @@ class QueryService:
                 return self.ingest.digest(epoch_index, counts)
         finally:
             if len(self._registry):
-                with self.lock.read_locked():
-                    self._registry.advance()
+                self._registry.advance(lock=self.lock)
 
     # ------------------------------------------------------------------
     # Standing subscriptions (repro.continuous)
@@ -486,8 +489,11 @@ class QueryService:
         current ranked answer (every row an ``ENTER`` delta).  ``sink``
         — a callable taking a ``WindowUpdate`` — receives each
         *subsequent* update as :meth:`digest` advances the window;
-        sinks run on the digesting thread under the read lock, so they
-        must be quick and must not call back into the service.
+        sinks run on the digesting thread under the registry's advance
+        gate, outside every service and registry lock, so a sink may
+        call back into the service (``unsubscribe`` from inside a sink
+        is safe) — it should still be quick, since delivery serialises
+        the fan-out rounds.
         """
         kwargs = {} if semantics is None else {"semantics": semantics}
         with self.lock.write_locked():

@@ -13,6 +13,8 @@ returns).
 import threading
 from collections import deque
 
+from repro.devtools.lockmodel import STATS
+from repro.devtools.watchdog import monitored_lock
 from repro.storage.stats import AccessStats
 
 DEFAULT_LATENCY_WINDOW = 2048
@@ -37,7 +39,7 @@ class ServiceStats:
     """
 
     def __init__(self, latency_window=DEFAULT_LATENCY_WINDOW):
-        self._mutex = threading.Lock()
+        self._mutex = monitored_lock(STATS)
         self.completed = 0
         self.failed = 0
         self.rejected = 0

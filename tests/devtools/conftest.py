@@ -9,7 +9,7 @@ import textwrap
 
 import pytest
 
-from repro.devtools import lint_file
+from repro.devtools import lint_file, lint_paths
 
 
 @pytest.fixture
@@ -25,6 +25,26 @@ def lint_source(tmp_path):
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(textwrap.dedent(source))
         return lint_file(str(path))
+
+    return _lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write several fixture modules and lint them as one program.
+
+    ``files`` maps relpaths to sources; extra keyword arguments go to
+    :func:`lint_paths` (``select=...`` scopes the run to the rules under
+    test).  Returns the findings list — what the cross-module rules see.
+    """
+
+    def _lint(files, **kwargs):
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        findings, _files_checked = lint_paths([str(tmp_path)], **kwargs)
+        return findings
 
     return _lint
 

@@ -3,6 +3,7 @@
 import io
 import json
 import os
+import time
 
 from repro.cli import main
 from repro.devtools.engine import _parse_suppressions
@@ -22,6 +23,15 @@ class TestShippedTreeSelfCheck:
         code, text = run(["lint", SRC])
         assert code == 0, text
         assert text.startswith("clean:")
+
+    def test_lint_src_stays_inside_the_wall_clock_budget(self):
+        # The whole-program pass (call graph + lock flow) must stay
+        # cheap enough to run on every push; CI holds the same 30s line.
+        start = time.monotonic()
+        code, _ = run(["lint", SRC])
+        elapsed = time.monotonic() - start
+        assert code == 0
+        assert elapsed < 30.0, "lint took %.1fs (budget: 30s)" % elapsed
 
     def test_no_lock_or_wal_suppressions_shipped(self):
         # The acceptance bar for RT001/RT002 is zero allow comments: the
@@ -92,3 +102,77 @@ class TestLintCommand:
         code, text = run(["lint", str(target)])
         assert code == 1
         assert "RT003" in text
+
+
+class TestLockGraph:
+    def write_fixture(self, tmp_path, ascend=False):
+        outer = "self._dirty_lock" if ascend else "self._mutex"
+        inner = "self._mutex" if ascend else "self._dirty_lock"
+        path = tmp_path / "repro" / "continuous" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "class Registry:\n"
+            "    def nest(self):\n"
+            "        with %s:\n"
+            "            with %s:\n"
+            "                pass\n" % (outer, inner)
+        )
+        return tmp_path
+
+    def test_dot_output_and_exit_0_when_acyclic(self, tmp_path):
+        root = self.write_fixture(tmp_path)
+        code, text = run(["lint", str(root), "--lock-graph"])
+        assert code == 0
+        assert text.startswith("digraph lock_order {")
+        assert '"registry" -> "dirty"' in text
+
+    def test_json_output_carries_nodes_and_edges(self, tmp_path):
+        root = self.write_fixture(tmp_path)
+        code, text = run(
+            ["lint", str(root), "--lock-graph", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["acyclic"] is True
+        names = [node["name"] for node in payload["nodes"]]
+        assert "registry" in names and "dirty" in names
+        (edge,) = payload["edges"]
+        assert (edge["src"], edge["dst"], edge["ok"]) == (
+            "registry", "dirty", True
+        )
+
+    def test_violating_edge_exits_1_and_is_marked(self, tmp_path):
+        root = self.write_fixture(tmp_path, ascend=True)
+        code, text = run(
+            ["lint", str(root), "--lock-graph", "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(text)
+        assert payload["acyclic"] is False
+        (edge,) = payload["edges"]
+        assert (edge["src"], edge["dst"], edge["ok"]) == (
+            "dirty", "registry", False
+        )
+
+    def test_lock_graph_requires_the_rt008_pass(self, tmp_path):
+        root = self.write_fixture(tmp_path)
+        code, text = run(
+            ["lint", str(root), "--lock-graph", "--select", "RT003"]
+        )
+        assert code == 2
+        assert "RT008" in text
+        code, text = run(
+            ["lint", str(root), "--lock-graph", "--ignore", "RT008"]
+        )
+        assert code == 2
+
+    def test_shipped_tree_graph_is_acyclic(self):
+        code, text = run(
+            ["lint", SRC, "--lock-graph", "--format", "json"]
+        )
+        assert code == 0, text
+        payload = json.loads(text)
+        assert payload["acyclic"] is True
+        assert payload["edges"], "the engine nests locks somewhere"
+        for edge in payload["edges"]:
+            assert edge["ok"] is True, edge

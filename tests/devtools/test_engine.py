@@ -84,6 +84,69 @@ class TestSuppressions:
         assert rule_ids_of(findings) == [META_UNUSED]
         assert "unknown rule id" in findings[0].message
 
+    def test_multi_id_comment_silences_two_rules_on_one_line(self, lint_source):
+        # RT008 (rank ascent at the inner acquisition) and RT009 (sleep
+        # under the exclusive locks) land on the same physical line; one
+        # allow list covers both.
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            import time
+
+            class Registry:
+                def bad(self):
+                    with self._dirty_lock:
+                        with self._mutex: time.sleep(0.1)  # repro: allow[RT008, RT009]
+            """,
+        )
+        assert findings == []
+
+    def test_unused_ids_in_a_multi_id_comment_report_per_id(self, lint_source):
+        # RT008 fires and is suppressed; RT009 does not fire on the line,
+        # so that id alone comes back as RT000.
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def bad(self):
+                    with self._dirty_lock:
+                        with self._mutex:  # repro: allow[RT008, RT009]
+                            pass
+            """,
+        )
+        assert rule_ids_of(findings) == [META_UNUSED]
+        assert "no RT009 finding" in findings[0].message
+
+    def test_empty_allow_comment_is_reported(self, lint_source):
+        findings = lint_source(
+            "repro/core/mod.py",
+            """
+            x = 1  # repro: allow[]
+            """,
+        )
+        assert rule_ids_of(findings) == [META_UNUSED]
+        assert "empty allow[]" in findings[0].message
+
+    def test_several_allow_groups_on_one_line_collapse(self, lint_source):
+        findings = lint_source(
+            "repro/core/mod.py",
+            """
+            def f(x):
+                assert x  # repro: allow[RT003]  # repro: allow[RT005]
+            """,
+        )
+        assert rule_ids_of(findings) == [META_UNUSED]
+        assert "no RT005 finding" in findings[0].message
+
+    def test_duplicate_ids_in_one_comment_report_once(self, lint_source):
+        findings = lint_source(
+            "repro/core/mod.py",
+            """
+            x = 1  # repro: allow[RT003, RT003]
+            """,
+        )
+        assert rule_ids_of(findings) == [META_UNUSED]
+
 
 class TestParseErrors:
     def test_syntax_error_yields_the_meta_finding(self, lint_source):
@@ -165,9 +228,10 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_all_seven_project_rules_are_registered(self):
+    def test_all_ten_project_rules_are_registered(self):
         assert sorted(registered_rules()) == [
             "RT001", "RT002", "RT003", "RT004", "RT005", "RT006", "RT007",
+            "RT008", "RT009", "RT010",
         ]
 
     def test_rule_ids_include_the_meta_ids(self):

@@ -632,3 +632,375 @@ class TestWarnStacklevel:
             """,
         )
         assert findings == []
+
+
+class TestLockOrder:
+    def test_rank_ascent_fires(self, lint_source):
+        # dirty (rank 75) held while taking the registry mutex (rank 50).
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def bad(self):
+                    with self._dirty_lock:
+                        with self._mutex:
+                            pass
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT008"]
+        assert "lock-order violation" in findings[0].message
+
+    def test_descending_ranks_are_clean(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def good(self):
+                    with self._mutex:
+                        with self._dirty_lock:
+                            pass
+            """,
+        )
+        assert findings == []
+
+    def test_non_reentrant_self_nesting_fires(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def bad(self):
+                    with self._dirty_lock:
+                        with self._dirty_lock:
+                            pass
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT008"]
+        assert "re-acquisition" in findings[0].message
+
+    def test_reentrant_self_nesting_is_clean(self, lint_source):
+        # The registry mutex is a declared-reentrant RLock.
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def reenter(self):
+                    with self._mutex:
+                        with self._mutex:
+                            pass
+            """,
+        )
+        assert findings == []
+
+    def test_undeclared_lockish_site_fires(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def bad(self):
+                    with self._spare_lock:
+                        pass
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT008"]
+        assert "not declared in the lock model" in findings[0].message
+
+    def test_cross_module_call_edge_fires(self, lint_tree):
+        # The ascent only exists interprocedurally: b holds the dirty
+        # lock and calls a.helper(), which takes the registry mutex.
+        findings = lint_tree(
+            {
+                "repro/continuous/a.py": """
+                    import threading
+
+                    _mutex = threading.RLock()
+
+                    def helper():
+                        with _mutex:
+                            return 1
+                    """,
+                "repro/continuous/b.py": """
+                    import threading
+
+                    from repro.continuous.a import helper
+
+                    _dirty_lock = threading.Lock()
+
+                    def outer():
+                        with _dirty_lock:
+                            return helper()
+                    """,
+            },
+            select=["RT008"],
+        )
+        assert rule_ids_of(findings) == ["RT008"]
+        assert "via helper()" in findings[0].message
+        assert findings[0].path.endswith("b.py")
+
+    def test_unresolvable_callee_contributes_no_edge(self, lint_tree):
+        # Same shape, but the call goes through a dynamic attribute the
+        # graph cannot resolve: coverage degrades, no false RT008.
+        findings = lint_tree(
+            {
+                "repro/continuous/a.py": """
+                    import threading
+
+                    _mutex = threading.RLock()
+
+                    def helper():
+                        with _mutex:
+                            return 1
+                    """,
+                "repro/continuous/b.py": """
+                    import threading
+
+                    _dirty_lock = threading.Lock()
+
+                    def outer(handler):
+                        with _dirty_lock:
+                            return handler.helper()
+                    """,
+            },
+            select=["RT008"],
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def bad(self):
+                    with self._dirty_lock:
+                        with self._mutex:  # repro: allow[RT008]
+                            pass
+            """,
+        )
+        assert findings == []
+
+
+class TestNoBlockingUnderLock:
+    def test_sleep_under_write_lock_fires(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            import time
+
+            class Service:
+                def bad(self):
+                    with self.lock.write_locked():
+                        time.sleep(0.1)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT009"]
+        assert "blocking operation (sleep)" in findings[0].message
+
+    def test_sleep_under_read_lock_is_clean(self, lint_source):
+        # The shared side is exempt by design: queries block under it.
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            import time
+
+            class Service:
+                def throttle(self):
+                    with self.lock.read_locked():
+                        time.sleep(0.1)
+            """,
+        )
+        assert findings == []
+
+    def test_transitive_blocking_fires_at_the_locked_call(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            import time
+
+            class Service:
+                def _pause(self):
+                    time.sleep(0.1)
+
+                def bad(self):
+                    with self.lock.write_locked():
+                        self._pause()
+            """,
+        )
+        assert sorted(set(rule_ids_of(findings))) == ["RT009"]
+        locked = [f for f in findings if "via" in f.message]
+        assert locked and "via Service._pause()" in locked[0].message
+
+    def test_thread_join_under_exclusive_lock_fires(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def bad(self):
+                    with self._mutex:
+                        self._worker.join()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT009"]
+        assert "(join)" in findings[0].message
+
+    def test_string_join_is_not_blocking(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def label(self):
+                    with self._mutex:
+                        return ", ".join(self._names)
+            """,
+        )
+        assert findings == []
+
+    def test_socket_write_under_push_lock_is_allowed(self, lint_source):
+        # The push lock's licence: it exists to frame one message onto
+        # the wire.
+        findings = lint_source(
+            "repro/service/server.py",
+            """
+            class Channel:
+                def push(self, payload):
+                    with self._lock:
+                        self.wfile.write(payload)
+            """,
+        )
+        assert findings == []
+
+    def test_condition_wait_on_held_condition_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/service/locks.py",
+            """
+            class ReadWriteLock:
+                def acquire(self):
+                    with self._cond:
+                        self._cond.wait_for(lambda: not self._writer)
+            """,
+        )
+        assert findings == []
+
+    def test_wal_module_callee_is_allowlisted(self, lint_tree):
+        # The documented WAL-before-apply path: fsync under the
+        # exclusive lock is the point, so repro.reliability is exempt.
+        findings = lint_tree(
+            {
+                "repro/reliability/mywal.py": """
+                    import os
+
+                    def append(fd, record):
+                        os.fsync(fd)
+                    """,
+                "repro/service/mod.py": """
+                    from repro.reliability.mywal import append
+
+                    class Service:
+                        def digest(self, record):
+                            with self.lock.write_locked():
+                                append(self._fd, record)
+                    """,
+            },
+            select=["RT009"],
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/service/mod.py",
+            """
+            import time
+
+            class Service:
+                def bad(self):
+                    with self.lock.write_locked():
+                        time.sleep(0.1)  # repro: allow[RT009]
+            """,
+        )
+        assert findings == []
+
+
+class TestNoForeignCallback:
+    def test_sink_under_registry_mutex_fires(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def deliver(self, update):
+                    with self._mutex:
+                        for subscription in self._subscriptions:
+                            subscription.sink(update)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT010"]
+        assert "foreign callback" in findings[0].message
+
+    def test_snapshot_then_fire_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def deliver(self, update):
+                    with self._mutex:
+                        sinks = [s.sink for s in self._subscriptions]
+                    for sink in sinks:
+                        sink(update)
+            """,
+        )
+        assert findings == []
+
+    def test_callbacks_under_the_advance_gate_are_licensed(self, lint_source):
+        # The gate protects no engine state; it is the one lock with the
+        # foreign-callbacks licence.
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def deliver(self, update):
+                    with self._advance_gate:
+                        for subscription in self._subscriptions:
+                            subscription.sink(update)
+            """,
+        )
+        assert findings == []
+
+    def test_inherited_lock_context_fires(self, lint_source):
+        # The callback site holds nothing lexically; the restriction
+        # arrives through the caller's mutex (the call-graph context).
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def notify(self):
+                    with self._mutex:
+                        self._fire()
+
+                def _fire(self):
+                    self._on_event()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RT010"]
+        assert "registry" in findings[0].message
+
+    def test_out_of_scope_module_is_clean(self, lint_source):
+        findings = lint_source(
+            "repro/analysis/mod.py",
+            """
+            class Report:
+                def render(self):
+                    with self._plot_lock:  # repro: allow[RT008]
+                        self.callback()
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, lint_source):
+        findings = lint_source(
+            "repro/continuous/mod.py",
+            """
+            class Registry:
+                def deliver(self, update):
+                    with self._mutex:
+                        for subscription in self._subscriptions:
+                            subscription.sink(update)  # repro: allow[RT010]
+            """,
+        )
+        assert findings == []

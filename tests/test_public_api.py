@@ -126,6 +126,8 @@ class TestDevtoolsSurface:
     EXPECTED = [
         "Finding",
         "FileContext",
+        "ProgramContext",
+        "ProgramRule",
         "Rule",
         "rule",
         "rule_ids",
@@ -136,6 +138,11 @@ class TestDevtoolsSurface:
         "render_json",
         "META_UNUSED",
         "META_PARSE_ERROR",
+        "HIERARCHY",
+        "render_graph_json",
+        "render_graph_dot",
+        "LockOrderWatchdog",
+        "LockOrderViolation",
     ]
 
     def test_exports(self):
@@ -156,6 +163,9 @@ class TestDevtoolsSurface:
             "RT005",
             "RT006",
             "RT007",
+            "RT008",
+            "RT009",
+            "RT010",
             repro.devtools.META_UNUSED,
             repro.devtools.META_PARSE_ERROR,
         ]
