@@ -25,7 +25,11 @@ Commands cover the library's end-to-end flow without writing code:
   and the service fronts the scatter-gather coordinator.
 * ``shard`` — partition a saved data set into N spatial shards
   (:mod:`repro.cluster`), each with its own TAR-tree, WAL and
-  snapshot, tied together by a routing manifest.
+  snapshot, tied together by a routing manifest.  ``serve --cluster
+  --shard-workers`` serves the same directory with one worker
+  *process* per shard behind the scatter-gather coordinator.
+* ``shard-worker`` — run a single shard's worker process over its
+  state directory (normally spawned by ``serve --shard-workers``).
 * ``lint`` — run the project's static-analysis rules
   (:mod:`repro.devtools`): lock discipline, WAL-before-apply, bare
   asserts, float equality, exception hygiene, warn stacklevel.
@@ -274,6 +278,14 @@ def build_parser():
         help="serve a sharded cluster directory instead of a single tree",
     )
     serve.add_argument(
+        "--shard-workers",
+        action="store_true",
+        help="cluster mode: serve each shard from its own worker "
+        "*process* (one per manifest shard) behind the scatter-gather "
+        "coordinator, instead of in-process shard threads; implies "
+        "--cluster",
+    )
+    serve.add_argument(
         "--parallelism",
         type=int,
         default=None,
@@ -382,6 +394,41 @@ def build_parser():
         type=int,
         default=None,
         help="stop after this many pushed updates (default: replay all)",
+    )
+
+    shard_worker = commands.add_parser(
+        "shard-worker",
+        help="run one shard's worker process (spawned by 'serve "
+        "--shard-workers'; runnable standalone for debugging)",
+        description=(
+            "Recover one shard state directory (snapshot + WAL replay) "
+            "and serve its TAR-tree over the JSON-lines wire protocol "
+            "until a client sends {\"op\": \"shutdown\"}. The bound "
+            "endpoint is announced by atomically writing worker.json "
+            "into the shard directory (or --announce). Normally "
+            "spawned per shard by 'serve --shard-workers'; see "
+            "docs/CLUSTER.md."
+        ),
+    )
+    shard_worker.add_argument(
+        "--dir",
+        required=True,
+        dest="directory",
+        help="shard state directory (snapshot + WAL) to serve",
+    )
+    shard_worker.add_argument("--host", default="127.0.0.1")
+    shard_worker.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = OS-assigned)"
+    )
+    shard_worker.add_argument(
+        "--name",
+        default="tree",
+        help="state name inside the shard directory (default 'tree')",
+    )
+    shard_worker.add_argument(
+        "--announce",
+        default=None,
+        help="endpoint announce file (default: <dir>/worker.json)",
     )
 
     lint = commands.add_parser(
@@ -882,7 +929,7 @@ def _command_recover(args, out):
     return 0
 
 
-def _command_serve(args, out):
+def _command_serve(args, out, err):
     import os
 
     from repro.reliability.recovery import CheckpointedIngest, recover
@@ -892,14 +939,14 @@ def _command_serve(args, out):
     ingest = None
     cluster = None
     try:
-        if args.cluster:
+        if args.cluster or args.shard_workers:
             from repro.cluster import ClusterStateError, open_cluster
 
             if args.state_dir:
                 print(
                     "--state-dir does not apply with --cluster: each shard "
                     "keeps its own WAL inside the cluster directory",
-                    file=out,
+                    file=err,
                 )
                 return 2
             resilience = None
@@ -909,21 +956,63 @@ def _command_serve(args, out):
                 resilience = ResilienceConfig(
                     call_timeout=args.shard_timeout_ms / 1000.0
                 )
-            try:
-                tree = cluster = open_cluster(
-                    args.tree,
-                    parallelism=args.parallelism,
-                    resilience=resilience,
-                    allow_degraded=args.allow_degraded,
+            if args.shard_workers:
+                from repro.cluster import RemoteClusterTree
+
+                try:
+                    tree = cluster = RemoteClusterTree.start(
+                        args.tree,
+                        parallelism=args.parallelism,
+                        resilience=resilience,
+                        allow_degraded=args.allow_degraded,
+                    )
+                except ClusterStateError as exc:
+                    # Distinct refusal: a cluster manifest rolled back
+                    # behind committed shard state (or a shard behind
+                    # its checkpoint) must never be served.
+                    print(
+                        "cannot start shard workers for %s: %s"
+                        % (args.tree, exc),
+                        file=err,
+                    )
+                    return 2
+                print(
+                    "cluster %s: %d shard worker process(es), %d POIs"
+                    % (args.tree, len(cluster.shards), len(cluster)),
+                    file=out,
                 )
-            except ClusterStateError as exc:
-                print("cannot open cluster %s: %s" % (args.tree, exc), file=out)
-                return 2
-            print(
-                "cluster %s: %d shards recovered, %d POIs"
-                % (args.tree, len(cluster.shards), len(cluster)),
-                file=out,
-            )
+                for shard in cluster.shards:
+                    handle = shard.handle
+                    print(
+                        "  shard %d: pid %s on %s:%d (%s)"
+                        % (
+                            shard.index,
+                            handle.pid if handle is not None else "?",
+                            shard.client.host,
+                            shard.client.port,
+                            shard.dirname,
+                        ),
+                        file=out,
+                    )
+            else:
+                try:
+                    tree = cluster = open_cluster(
+                        args.tree,
+                        parallelism=args.parallelism,
+                        resilience=resilience,
+                        allow_degraded=args.allow_degraded,
+                    )
+                except ClusterStateError as exc:
+                    print(
+                        "cannot open cluster %s: %s" % (args.tree, exc),
+                        file=err,
+                    )
+                    return 2
+                print(
+                    "cluster %s: %d shards recovered, %d POIs"
+                    % (args.tree, len(cluster.shards), len(cluster)),
+                    file=out,
+                )
             print(
                 "shard fault policy: %s, per-shard timeout %s"
                 % (
@@ -968,17 +1057,17 @@ def _command_serve(args, out):
                             args.name,
                             args.state_dir,
                         ),
-                        file=out,
+                        file=err,
                     )
                     return 2
             tree = load_tree(args.tree)
         if args.state_dir:
             ingest = CheckpointedIngest(tree, args.state_dir, name=args.name)
     except CorruptSnapshotError as exc:
-        print("corrupt state (section %r): %s" % (exc.section, exc), file=out)
+        print("corrupt state (section %r): %s" % (exc.section, exc), file=err)
         return 2
     except OSError as exc:
-        print("cannot read state: %s" % (exc,), file=out)
+        print("cannot read state: %s" % (exc,), file=err)
         return 2
     config = ServiceConfig(
         workers=args.workers,
@@ -1067,6 +1156,45 @@ def _command_shard(args, out):
     return 0
 
 
+def _command_shard_worker(args, out, err):
+    import os
+
+    from repro.cluster import ClusterStateError, run_worker
+    from repro.storage.serialize import CorruptSnapshotError
+
+    if not os.path.isdir(args.directory):
+        print("no shard state directory %s" % args.directory, file=err)
+        return 2
+    if not os.path.exists(
+        os.path.join(args.directory, args.name + ".json")
+    ):
+        print(
+            "%s holds no %s.json checkpoint — not a shard state directory"
+            % (args.directory, args.name),
+            file=err,
+        )
+        return 2
+    try:
+        run_worker(
+            args.directory,
+            host=args.host,
+            port=args.port,
+            name=args.name,
+            announce=args.announce,
+        )
+    except (CorruptSnapshotError, ClusterStateError) as exc:
+        print(
+            "cannot serve shard %s: %s" % (args.directory, exc), file=err
+        )
+        return 2
+    except KeyboardInterrupt:
+        pass
+    print("shard worker shut down", file=out)
+    return 0
+
+
+#: Commands taking (args, out); the serving commands also take err for
+#: their refusal paths (distinct stderr messages, exit code 2).
 _COMMANDS = {
     "generate": _command_generate,
     "fit": _command_fit,
@@ -1078,15 +1206,22 @@ _COMMANDS = {
     "recover": _command_recover,
     "serve": _command_serve,
     "shard": _command_shard,
+    "shard-worker": _command_shard_worker,
     "lint": _command_lint,
 }
 
+_ERR_COMMANDS = frozenset({"serve", "shard-worker"})
 
-def main(argv=None, out=None):
+
+def main(argv=None, out=None, err=None):
     """Entry point; returns the process exit code."""
     if out is None:
         out = sys.stdout
+    if err is None:
+        err = sys.stderr
     args = build_parser().parse_args(argv)
+    if args.command in _ERR_COMMANDS:
+        return _COMMANDS[args.command](args, out, err)
     return _COMMANDS[args.command](args, out)
 
 

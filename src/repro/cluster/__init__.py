@@ -5,19 +5,33 @@
 behind a coordinator that answers :class:`~repro.core.query.KNNTAQuery`
 exactly, visiting shards best-bound-first and pruning those that
 provably cannot contribute to the top-k (Property 1 of the paper gives
-the bound).  The package is three layers:
+the bound).  The package layers:
 
 * :mod:`~repro.cluster.planner` — partition POIs into routable regions;
 * :mod:`~repro.cluster.coordinator` — scatter-gather queries and routed
-  mutations over the live shards;
+  mutations over the live shards, in process;
 * :mod:`~repro.cluster.resilience` — per-shard fault domains: circuit
   breakers, guarded calls, bounded-degradation answers;
 * :mod:`~repro.cluster.state` — the on-disk manifest plus per-shard
-  crash recovery.
+  crash recovery;
+* :mod:`~repro.cluster.workers` — one shard per *process*: a worker
+  owning its shard's tree + WAL + scrubber behind the JSON-lines
+  protocol;
+* :mod:`~repro.cluster.remote` — the out-of-process coordinator:
+  async best-bound-first scatter-gather over worker sockets;
+* :mod:`~repro.cluster.reshard` — live shard splits: drain the WAL
+  tail, cut the routing table over, replay into two successors.
 """
 
 from repro.cluster.coordinator import ClusterStateError, ClusterTree, Shard
-from repro.cluster.planner import ShardPlan, plan_shards
+from repro.cluster.planner import ShardPlan, plan_shards, split_region
+from repro.cluster.remote import (
+    RemoteClusterTree,
+    RemoteShard,
+    WireProtocolError,
+    WorkerClient,
+)
+from repro.cluster.reshard import ReshardPolicy, maybe_split, split_shard
 from repro.cluster.resilience import (
     CircuitBreaker,
     ClusterDegradedError,
@@ -36,6 +50,7 @@ from repro.cluster.state import (
     recover_cluster,
     save_cluster,
 )
+from repro.cluster.workers import ShardWorkerServer, WorkerHandle, run_worker
 
 __all__ = [
     "CircuitBreaker",
@@ -44,6 +59,9 @@ __all__ = [
     "ClusterStateError",
     "ClusterTree",
     "DegradedAnswer",
+    "RemoteClusterTree",
+    "RemoteShard",
+    "ReshardPolicy",
     "ResilienceConfig",
     "Shard",
     "ShardCallTimeout",
@@ -52,9 +70,17 @@ __all__ = [
     "ShardGuard",
     "ShardHealthEvent",
     "ShardPlan",
+    "ShardWorkerServer",
+    "WireProtocolError",
+    "WorkerClient",
+    "WorkerHandle",
     "is_cluster_directory",
+    "maybe_split",
     "open_cluster",
     "plan_shards",
     "recover_cluster",
+    "run_worker",
     "save_cluster",
+    "split_region",
+    "split_shard",
 ]

@@ -97,7 +97,8 @@ class ClusterStateError(RuntimeError):
 class Shard:
     """One partition: a region, its TAR-tree, lock and optional WAL."""
 
-    __slots__ = ("index", "region", "tree", "lock", "ingest", "scrubber")
+    __slots__ = ("index", "region", "tree", "lock", "ingest", "scrubber",
+                 "dirname")
 
     def __init__(
         self,
@@ -105,6 +106,7 @@ class Shard:
         region: Rect,
         tree: TARTree,
         ingest: CheckpointedIngest | None = None,
+        dirname: str | None = None,
     ) -> None:
         self.index = index
         self.region = region
@@ -112,6 +114,10 @@ class Shard:
         self.lock = ReadWriteLock(SHARD_RW)
         self.ingest = ingest
         self.scrubber: Scrubber | None = None
+        #: Shard state directory name inside the cluster directory.  A
+        #: live reshard retires and mints directories, so post-reshard
+        #: names need not be contiguous in the shard index.
+        self.dirname = dirname if dirname is not None else "shard-%d" % index
 
     def __repr__(self) -> str:
         return "Shard(%d, %d POIs, wal=%s)" % (
@@ -210,6 +216,11 @@ class ClusterTree:
         self.parallelism = parallelism
         self.directory = directory
         self.name = name
+        #: Live-reshard generation of ``plan`` (0 = as originally
+        #: saved) and the next free shard-directory ordinal; both ride
+        #: in the manifest so recovery is reshard-consistent.
+        self.plan_epoch = 0
+        self.next_dir: int | None = None
         first = self.shards[0].tree
         self.world = first.world
         self.clock = first.clock
@@ -1177,7 +1188,7 @@ class ClusterTree:
         shard = self.shards[index]
         guard = self._guards[index]
         descriptor = self._descriptors[index]
-        shard_dir = os.path.join(self.directory, "shard-%d" % index)
+        shard_dir = os.path.join(self.directory, shard.dirname)
 
         def reopen(token: CallToken) -> RecoveryReport:
             return cast("RecoveryReport", recover(shard_dir, name="tree"))

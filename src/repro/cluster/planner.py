@@ -31,7 +31,7 @@ from typing import Any, Sequence
 
 from repro.spatial.geometry import Rect
 
-__all__ = ["ShardPlan", "plan_shards"]
+__all__ = ["ShardPlan", "plan_shards", "split_region"]
 
 #: Planning methods accepted by :func:`plan_shards`.
 PLAN_METHODS = ("kd", "grid")
@@ -182,6 +182,22 @@ def _grid_regions(box: Rect, num_shards: int) -> list[Rect]:
             col_high = x0 + (x1 - x0) * (col + 1) / cols if col + 1 < cols else x1
             regions.append(Rect((col_low, row_low), (col_high, row_high)))
     return regions
+
+
+def split_region(
+    region: Rect, points: Sequence[tuple[float, float]]
+) -> tuple[Rect, Rect]:
+    """Split one shard region into two balanced successor cells.
+
+    The live-reshard primitive (:mod:`repro.cluster.reshard`): the cut
+    is the same wider-axis median split :func:`plan_shards` uses, so a
+    grown-and-split plan routes like a freshly planned one.  The two
+    cells tile ``region`` exactly; every point of ``points`` inside
+    ``region`` lands in exactly one successor (boundary points route to
+    the first, matching :meth:`ShardPlan.route`).
+    """
+    low_region, high_region = _kd_regions(region, list(points), 2)
+    return low_region, high_region
 
 
 def plan_shards(

@@ -36,16 +36,25 @@ from repro.reliability.recovery import CheckpointedIngest, recover
 __all__ = [
     "MANIFEST_NAME",
     "ClusterRecoveryReport",
+    "check_reshard_consistency",
     "is_cluster_directory",
+    "manifest_payload",
     "open_cluster",
     "read_manifest",
+    "read_shard_meta",
     "recover_cluster",
     "save_cluster",
     "write_manifest",
+    "write_manifest_payload",
+    "write_shard_meta",
 ]
 
 #: File name of the cluster manifest inside a cluster directory.
 MANIFEST_NAME = "cluster.json"
+
+#: Per-shard reshard metadata (plan epoch + commit flag) inside a
+#: shard state directory; see :func:`check_reshard_consistency`.
+SHARD_META_NAME = "meta.json"
 
 _MANIFEST_VERSION = 1
 
@@ -54,34 +63,42 @@ def _manifest_path(directory: str) -> str:
     return os.path.join(directory, MANIFEST_NAME)
 
 
-def _shard_dirname(index: int) -> str:
-    return "shard-%d" % index
-
-
 def is_cluster_directory(path: str) -> bool:
     """Whether ``path`` holds a cluster manifest (vs. a tree snapshot)."""
     return os.path.isfile(_manifest_path(path))
 
 
-def write_manifest(directory: str, cluster: ClusterTree) -> str:
-    """Atomically (re)write ``directory``'s manifest from ``cluster``.
+def manifest_payload(
+    name: str,
+    parallelism: int,
+    plan: ShardPlan,
+    shards: list[tuple[str, Any]],
+    plan_epoch: int = 0,
+    next_dir: int | None = None,
+) -> dict[str, Any]:
+    """Build a manifest payload from raw parts.
 
-    Called after every cluster checkpoint so the recorded per-shard
-    applied LSNs always describe one consistent set of shard snapshots.
+    ``shards`` is ``[(dirname, applied_lsn), ...]`` in plan order.
+    ``plan_epoch`` counts live resharding generations (0 = the plan as
+    originally saved); ``next_dir`` is the next free shard-directory
+    ordinal, so successor directories never collide with retired ones.
     """
-    payload: dict[str, Any] = {
+    entries = [
+        {"dir": dirname, "applied_lsn": lsn} for dirname, lsn in shards
+    ]
+    return {
         "version": _MANIFEST_VERSION,
-        "name": cluster.name,
-        "parallelism": cluster.parallelism,
-        "plan": cluster.plan.as_json(),
-        "shards": [
-            {
-                "dir": _shard_dirname(shard.index),
-                "applied_lsn": shard.tree.applied_lsn,
-            }
-            for shard in cluster.shards
-        ],
+        "name": name,
+        "parallelism": parallelism,
+        "plan": plan.as_json(),
+        "plan_epoch": plan_epoch,
+        "next_dir": len(entries) if next_dir is None else next_dir,
+        "shards": entries,
     }
+
+
+def write_manifest_payload(directory: str, payload: dict[str, Any]) -> str:
+    """Atomically write a manifest payload under ``directory``."""
     path = _manifest_path(directory)
     temp_path = path + ".tmp"
     with open(temp_path, "w", encoding="utf-8") as handle:
@@ -91,6 +108,102 @@ def write_manifest(directory: str, cluster: ClusterTree) -> str:
         os.fsync(handle.fileno())
     os.replace(temp_path, path)
     return path
+
+
+def write_manifest(directory: str, cluster: ClusterTree) -> str:
+    """Atomically (re)write ``directory``'s manifest from ``cluster``.
+
+    Called after every cluster checkpoint so the recorded per-shard
+    applied LSNs always describe one consistent set of shard snapshots.
+    """
+    payload = manifest_payload(
+        cluster.name,
+        cluster.parallelism,
+        cluster.plan,
+        [(shard.dirname, shard.tree.applied_lsn) for shard in cluster.shards],
+        plan_epoch=getattr(cluster, "plan_epoch", 0),
+        next_dir=getattr(cluster, "next_dir", None),
+    )
+    return write_manifest_payload(directory, payload)
+
+
+def write_shard_meta(
+    shard_dir: str, plan_epoch: int, committed: bool
+) -> str:
+    """Atomically write a shard directory's reshard metadata.
+
+    A reshard writes the successors' meta with ``committed=False``
+    before any data lands, and flips it to ``True`` only *after* the
+    manifest naming them is durable — so a crash anywhere in between
+    leaves either ignorable orphans or detectable manifest rollback
+    (see :func:`check_reshard_consistency`).
+    """
+    path = os.path.join(shard_dir, SHARD_META_NAME)
+    temp_path = path + ".tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"plan_epoch": plan_epoch, "committed": committed},
+            handle,
+            sort_keys=True,
+        )
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+    return path
+
+
+def read_shard_meta(shard_dir: str) -> dict[str, Any] | None:
+    """The shard directory's reshard metadata, or None for pre-reshard dirs."""
+    path = os.path.join(shard_dir, SHARD_META_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        raise ClusterStateError(
+            "unreadable shard metadata %s: %s" % (path, exc)
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ClusterStateError("shard metadata %s is not an object" % path)
+    return payload
+
+
+def check_reshard_consistency(
+    directory: str, payload: dict[str, Any]
+) -> None:
+    """Refuse a manifest that is behind committed reshard state.
+
+    Scans every shard state directory under ``directory`` for committed
+    reshard metadata carrying a plan epoch *newer* than the manifest's:
+    that means a split committed (successor shards hold the data, the
+    source was retired) but the manifest naming them was rolled back —
+    opening with the stale routing table would serve from retired
+    state.  Uncommitted metadata from a crashed split is ignorable by
+    design (the old manifest and source shard are still authoritative).
+    """
+    manifest_epoch = int(payload.get("plan_epoch", 0))
+    named = {entry["dir"] for entry in payload["shards"]}
+    try:
+        children = sorted(os.listdir(directory))
+    except OSError:
+        return
+    for child in children:
+        shard_dir = os.path.join(directory, child)
+        if not os.path.isdir(shard_dir):
+            continue
+        meta = read_shard_meta(shard_dir)
+        if meta is None or not meta.get("committed"):
+            continue
+        meta_epoch = int(meta.get("plan_epoch", 0))
+        if meta_epoch > manifest_epoch and child not in named:
+            raise ClusterStateError(
+                "cluster manifest at plan epoch %d is behind committed "
+                "shard state %s at plan epoch %d — the manifest was "
+                "rolled back across a reshard; refusing to open"
+                % (manifest_epoch, shard_dir, meta_epoch)
+            )
 
 
 def read_manifest(directory: str) -> dict[str, Any]:
@@ -137,7 +250,7 @@ def save_cluster(cluster: ClusterTree, directory: str) -> str:
     attached: list[Shard] = []
     try:
         for shard in cluster.shards:
-            shard_dir = os.path.join(directory, _shard_dirname(shard.index))
+            shard_dir = os.path.join(directory, shard.dirname)
             shard.ingest = CheckpointedIngest(shard.tree, shard_dir, name="tree")
             attached.append(shard)
     except Exception:
@@ -200,6 +313,7 @@ def recover_cluster(
     :class:`~repro.cluster.coordinator.ClusterStateError`.
     """
     payload = read_manifest(directory)
+    check_reshard_consistency(directory, payload)
     plan = ShardPlan.from_json(payload["plan"])
     entries = payload["shards"]
     if len(entries) != len(plan):
@@ -256,17 +370,24 @@ def open_cluster(
     shards: list[Shard] = []
     try:
         for index, shard_report in enumerate(report.shard_reports):
-            shard_dir = os.path.join(directory, _shard_dirname(index))
+            dirname = str(report.manifest["shards"][index]["dir"])
+            shard_dir = os.path.join(directory, dirname)
             ingest = CheckpointedIngest(shard_report.tree, shard_dir, name="tree")
             shards.append(
-                Shard(index, report.plan.regions[index], shard_report.tree, ingest)
+                Shard(
+                    index,
+                    report.plan.regions[index],
+                    shard_report.tree,
+                    ingest,
+                    dirname=dirname,
+                )
             )
     except Exception:
         for shard in shards:
             if shard.ingest is not None:
                 shard.ingest.close()
         raise
-    return ClusterTree(
+    cluster = ClusterTree(
         report.plan,
         shards,
         parallelism=parallelism,
@@ -276,3 +397,6 @@ def open_cluster(
         injector=injector,
         allow_degraded=allow_degraded,
     )
+    cluster.plan_epoch = int(report.manifest.get("plan_epoch", 0))
+    cluster.next_dir = int(report.manifest.get("next_dir", len(shards)))
+    return cluster

@@ -1,0 +1,483 @@
+"""Out-of-process shard workers: one shard per process, JSON-lines wire.
+
+A *shard worker* owns everything PR 5/6 gave an in-process shard — the
+shard's TAR-tree, its write-ahead log (:class:`~repro.reliability
+.recovery.CheckpointedIngest`) and its CRC scrubber — inside its own
+process, behind a JSON-lines TCP socket speaking the same framing as
+``repro serve`` (one request object per line, one response per line,
+every frame carrying the ``proto`` wire version).  The coordinator side
+(:class:`~repro.cluster.remote.RemoteClusterTree`) holds only
+descriptors and sockets, so shard searches run on real cores instead of
+time-slicing one GIL.
+
+Startup *is* recovery: a worker opens its shard directory exactly like
+:func:`~repro.reliability.recovery.recover` — snapshot + WAL tail — so
+restarting a killed worker is the online-recovery story of PR 6 with a
+process boundary around it.
+
+Worker ops (beyond the shared ``hello`` / ``shutdown`` frames):
+
+``query`` / ``batch``
+    One kNNTA search (or a list of them, under a single read lock) with
+    the *cluster-level* normaliser pushed down as ``[d_max, g_max]`` —
+    a shard normalising against its own local maxima would break
+    cross-shard score comparability, so the exact constants ride the
+    wire (JSON floats round-trip exactly; answers stay bit-identical).
+``insert`` / ``delete`` / ``digest``
+    Routed mutations through the shard WAL under the write lock; every
+    response returns the refreshed descriptor (root MBR, per-epoch
+    maxima, POI count) so the coordinator's pruning-bound cache stays
+    synchronous with the mutation, exactly as in-process refresh does.
+``wal_tail``
+    The WAL records after a given LSN, read under the write lock — the
+    drain half of a live reshard (:mod:`repro.cluster.reshard`).
+``contains`` / ``health`` / ``checkpoint`` / ``scrub``
+    Ownership probes and the durability/maintenance surface.
+
+The worker announces its bound endpoint by atomically writing
+``worker.json`` into its shard directory (spawners poll for it), so
+``repro shard-worker`` and :meth:`WorkerHandle.spawn` discover ports
+the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socketserver
+import threading
+import time
+from multiprocessing.process import BaseProcess
+from typing import Any, BinaryIO
+
+from repro.cluster.resilience import ShardDescriptor
+from repro.core.query import KNNTAQuery, Normalizer
+from repro.core.tar_tree import POI
+from repro.devtools.lockmodel import SHARD_RW
+from repro.reliability.recovery import CheckpointedIngest, recover
+from repro.reliability.wal import read_wal
+from repro.service.locks import ReadWriteLock
+from repro.service.server import PROTO_VERSION, proto_mismatch_response
+from repro.service.scrubber import Scrubber
+from repro.spatial.geometry import Rect
+from repro.temporal.epochs import TimeInterval
+from repro.temporal.tia import IntervalSemantics
+
+__all__ = [
+    "ANNOUNCE_NAME",
+    "ShardWorkerServer",
+    "WorkerHandle",
+    "run_worker",
+]
+
+#: Endpoint-announce file a worker writes into its shard directory.
+ANNOUNCE_NAME = "worker.json"
+
+#: Stable redaction for unexpected worker failures (mirrors the
+#: service front end: internal text never crosses the wire).
+INTERNAL_ERROR_MESSAGE = "internal worker error; details logged worker-side"
+
+_CALLER_ERRORS = (ValueError, KeyError, IndexError, TypeError)
+
+
+def _parse_query(payload: dict[str, Any]) -> KNNTAQuery:
+    point = payload["point"]
+    lo, hi = payload["interval"]
+    return KNNTAQuery(
+        point=(float(point[0]), float(point[1])),
+        interval=TimeInterval(lo, hi),
+        k=int(payload.get("k", 10)),
+        alpha0=float(payload.get("alpha0", 0.3)),
+        semantics=IntervalSemantics(payload.get("semantics", "intersects")),
+    )
+
+
+def _parse_normalizer(payload: dict[str, Any]) -> Normalizer:
+    # Direct construction, not .create(): the coordinator's exact
+    # constants must be used verbatim for bit-identical scores.
+    d_max, g_max = payload["normalizer"]
+    return Normalizer(float(d_max), float(g_max))
+
+
+def _rect_pair(rect: Rect) -> list[list[float]]:
+    return [list(rect.lows), list(rect.highs)]
+
+
+def _describe(descriptor: ShardDescriptor) -> dict[str, Any]:
+    """The descriptor's wire shape (epoch maxima as pairs, not keys)."""
+    return {
+        "mbr": None if descriptor.mbr is None else _rect_pair(descriptor.mbr),
+        "epoch_max": sorted(descriptor.epoch_max.items()),
+        "pois": descriptor.pois,
+    }
+
+
+class ShardWorkerServer:
+    """Serve one shard directory over a JSON-lines TCP socket.
+
+    Construction recovers the shard (snapshot + WAL replay), attaches a
+    fresh :class:`CheckpointedIngest` riding the same WAL, and binds the
+    listener; :meth:`serve_forever` (or :meth:`start` for embedding)
+    runs the accept loop.  Port 0 lets the OS pick — the effective
+    endpoint is in ``address`` and in the announce file.
+    """
+
+    def __init__(self, directory: str, host: str = "127.0.0.1",
+                 port: int = 0, name: str = "tree") -> None:
+        self.directory = directory
+        self.name = name
+        report = recover(directory, name=name)
+        self.tree = report.tree
+        self.ingest = CheckpointedIngest(self.tree, directory, name=name)
+        self.lock = ReadWriteLock(SHARD_RW)
+        self.descriptor = ShardDescriptor()
+        with self.lock.read_locked():
+            self.descriptor.refresh(self.tree)
+        manifest_path = (
+            self.ingest.snapshot_path.rsplit(".json", 1)[0] + ".scrub.json"
+        )
+        self.scrubber = Scrubber(self.tree, self.lock,
+                                 manifest_path=manifest_path)
+        self.tree.add_mutation_observer(self.scrubber.observe_mutation)
+        self.errors = 0
+        self.last_error: str | None = None
+        outer = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                wfile: BinaryIO = self.wfile
+                for raw in self.rfile:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    response = outer.handle_request(raw)
+                    data = json.dumps(response, sort_keys=True) + "\n"
+                    try:
+                        wfile.write(data.encode("utf-8"))
+                        wfile.flush()
+                    except (OSError, ValueError):
+                        return
+                    if response.get("bye"):
+                        threading.Thread(
+                            target=outer._server.shutdown, daemon=True
+                        ).start()
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self.address: tuple[str, int] = self._server.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def handle_request(self, raw: bytes | str) -> dict[str, Any]:
+        """Decode one request line and dispatch it; never raises."""
+        response = self._dispatch(raw)
+        response.setdefault("proto", PROTO_VERSION)
+        return response
+
+    def _dispatch(self, raw: bytes | str) -> dict[str, Any]:
+        try:
+            payload = json.loads(
+                raw.decode("utf-8") if isinstance(raw, bytes) else raw
+            )
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+            announced = payload.get("proto", PROTO_VERSION)
+            if announced != PROTO_VERSION:
+                return proto_mismatch_response(announced)
+            op = payload.get("op")
+            if op == "hello":
+                return self._op_hello()
+            if op == "query":
+                return self._op_query(payload)
+            if op == "batch":
+                return self._op_batch(payload)
+            if op == "insert":
+                return self._op_insert(payload)
+            if op == "delete":
+                return self._op_delete(payload)
+            if op == "digest":
+                return self._op_digest(payload)
+            if op == "contains":
+                return {"ok": True,
+                        "contains": payload["poi_id"] in self.tree}
+            if op == "wal_tail":
+                return self._op_wal_tail(payload)
+            if op == "checkpoint":
+                return self._op_checkpoint()
+            if op == "scrub":
+                checked = self.scrubber.tick(payload.get("budget"))
+                return {"ok": True, "nodes_checked": checked}
+            if op == "health":
+                return self._op_health()
+            if op == "shutdown":
+                return {"ok": True, "bye": True}
+            raise ValueError("unknown op %r" % (op,))
+        except _CALLER_ERRORS as exc:
+            return {"ok": False, "code": "bad-request", "error": str(exc)}
+        except Exception as exc:  # redact; keep the connection alive
+            self.errors += 1
+            self.last_error = "%s: %s" % (type(exc).__name__, exc)
+            return {"ok": False, "code": "error",
+                    "error": INTERNAL_ERROR_MESSAGE}
+
+    # -- read path ------------------------------------------------------
+
+    def _op_hello(self) -> dict[str, Any]:
+        with self.lock.read_locked():
+            clock = self.tree.clock
+            return {
+                "ok": True,
+                "proto": PROTO_VERSION,
+                "pid": os.getpid(),
+                "name": self.name,
+                "directory": self.directory,
+                "applied_lsn": self.tree.applied_lsn,
+                "pois": len(self.tree),
+                "current_time": self.tree.current_time,
+                "world": _rect_pair(self.tree.world),
+                "clock": [clock.t0, clock.epoch_length],
+                "aggregate_kind": self.tree.aggregate_kind.value,
+                "descriptor": _describe(self.descriptor),
+            }
+
+    def _query_rows(self, payload: dict[str, Any]) -> list[list[Any]]:
+        """One search against the pushed-down normaliser (lock held)."""
+        query = _parse_query(payload)
+        normalizer = _parse_normalizer(payload)
+        answer = self.tree.query(query, normalizer=normalizer)
+        return [
+            [row.poi_id, row.score, row.distance, row.aggregate]
+            for row in answer.rows
+        ]
+
+    def _op_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        with self.lock.read_locked():
+            if not self.tree.root.entries:
+                return {"ok": True, "results": []}
+            return {"ok": True, "results": self._query_rows(payload)}
+
+    def _op_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        # All riders under one read lock: a consistent snapshot, exactly
+        # like the in-process shard's collective run.
+        with self.lock.read_locked():
+            if not self.tree.root.entries:
+                return {"ok": True,
+                        "results": [[] for _ in payload["queries"]]}
+            results = [self._query_rows(rider)
+                       for rider in payload["queries"]]
+        return {"ok": True, "results": results}
+
+    # -- mutations ------------------------------------------------------
+
+    def _mutation_footer(self) -> dict[str, Any]:
+        """State every mutation response carries (write lock held)."""
+        self.descriptor.refresh(self.tree)
+        return {
+            "descriptor": _describe(self.descriptor),
+            "applied_lsn": self.tree.applied_lsn,
+            "pois": len(self.tree),
+            "current_time": self.tree.current_time,
+        }
+
+    def _op_insert(self, payload: dict[str, Any]) -> dict[str, Any]:
+        point = payload["point"]
+        aggregates = {
+            int(epoch): value
+            for epoch, value in payload.get("aggregates") or []
+        }
+        poi = POI(payload["poi_id"], point[0], point[1])
+        with self.lock.write_locked():
+            lsn = self.ingest.insert(poi, aggregates or None)
+            response = {"ok": True, "lsn": lsn}
+            response.update(self._mutation_footer())
+            return response
+
+    def _op_delete(self, payload: dict[str, Any]) -> dict[str, Any]:
+        with self.lock.write_locked():
+            lsn = self.ingest.delete(payload["poi_id"])
+            response = {"ok": True, "deleted": lsn is not None, "lsn": lsn}
+            response.update(self._mutation_footer())
+            return response
+
+    def _op_digest(self, payload: dict[str, Any]) -> dict[str, Any]:
+        counts = {poi_id: count for poi_id, count in payload["counts"]}
+        with self.lock.write_locked():
+            lsn = self.ingest.digest(int(payload["epoch"]), counts)
+            response = {"ok": True, "digested": len(counts), "lsn": lsn}
+            response.update(self._mutation_footer())
+            return response
+
+    # -- durability / reshard / maintenance -----------------------------
+
+    def _op_wal_tail(self, payload: dict[str, Any]) -> dict[str, Any]:
+        after = payload.get("after")
+        wal_path = os.path.join(self.directory, self.name + ".wal")
+        # Under the *write* lock: no mutation is mid-append, so the tail
+        # read here is a complete drain up to a quiescent LSN.
+        with self.lock.write_locked():
+            records, _dropped = read_wal(wal_path)
+            tail = [
+                [record.lsn, record.type, record.payload]
+                for record in records
+                if record.type != "checkpoint"
+                and (after is None or record.lsn > after)
+            ]
+            return {
+                "ok": True,
+                "records": tail,
+                "applied_lsn": self.tree.applied_lsn,
+            }
+
+    def _op_checkpoint(self) -> dict[str, Any]:
+        with self.lock.write_locked():
+            path = self.ingest.checkpoint()
+            lsn = self.tree.applied_lsn
+        self.scrubber.persist_manifest()
+        return {"ok": True, "path": path, "applied_lsn": lsn}
+
+    def _op_health(self) -> dict[str, Any]:
+        with self.lock.read_locked():
+            return {
+                "ok": True,
+                "pid": os.getpid(),
+                "pois": len(self.tree),
+                "applied_lsn": self.tree.applied_lsn,
+                "current_time": self.tree.current_time,
+                "errors": self.errors,
+            }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def announce(self, path: str | None = None) -> str:
+        """Atomically write the endpoint-announce file; returns its path."""
+        if path is None:
+            path = os.path.join(self.directory, ANNOUNCE_NAME)
+        payload = {
+            "host": self.address[0],
+            "port": self.address[1],
+            "pid": os.getpid(),
+            "proto": PROTO_VERSION,
+            "name": self.name,
+        }
+        temp_path = path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+        return path
+
+    def start(self) -> "ShardWorkerServer":
+        """Serve on a background daemon thread (embedding/tests)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-shard-worker", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.ingest.close()
+
+
+def run_worker(directory: str, host: str = "127.0.0.1", port: int = 0,
+               name: str = "tree", announce: str | None = None) -> None:
+    """Spawn target / CLI entry: recover the shard, announce, serve.
+
+    Module-level so ``multiprocessing``'s spawn start method (the only
+    one safe alongside the coordinator's threads) can import it.
+    """
+    worker = ShardWorkerServer(directory, host=host, port=port, name=name)
+    worker.announce(announce)
+    worker.serve_forever()
+
+
+class WorkerHandle:
+    """A spawned worker process plus its discovered endpoint."""
+
+    def __init__(self, directory: str, process: BaseProcess,
+                 endpoint: dict[str, Any]) -> None:
+        self.directory = directory
+        self.process = process
+        self.endpoint = endpoint
+        self.host: str = str(endpoint["host"])
+        self.port: int = int(endpoint["port"])
+
+    @classmethod
+    def spawn(cls, directory: str, host: str = "127.0.0.1",
+              name: str = "tree", timeout: float = 30.0) -> "WorkerHandle":
+        """Start a worker process over ``directory`` and wait for its
+        endpoint announce.  A stale announce from a killed predecessor
+        is removed first, so the endpoint read is always the new
+        process's."""
+        announce_path = os.path.join(directory, ANNOUNCE_NAME)
+        try:
+            os.remove(announce_path)
+        except FileNotFoundError:
+            pass
+        context = multiprocessing.get_context("spawn")
+        process = context.Process(
+            target=run_worker,
+            args=(directory, host, 0, name, announce_path),
+            daemon=True,
+        )
+        process.start()
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                with open(announce_path, "r", encoding="utf-8") as handle:
+                    endpoint = json.load(handle)
+                break
+            except (FileNotFoundError, ValueError):
+                pass
+            if not process.is_alive():
+                raise RuntimeError(
+                    "shard worker for %s died during startup (exit code %r)"
+                    % (directory, process.exitcode)
+                )
+            if time.monotonic() > deadline:
+                process.terminate()
+                raise RuntimeError(
+                    "shard worker for %s did not announce within %.1fs"
+                    % (directory, timeout)
+                )
+            time.sleep(0.01)
+        return cls(directory, process, endpoint)
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (chaos: no cleanup, no WAL flush)."""
+        self.process.kill()
+        self.process.join(timeout=10.0)
+
+    def terminate(self) -> None:
+        self.process.terminate()
+        self.process.join(timeout=10.0)
+
+    def join(self, timeout: float | None = None) -> None:
+        self.process.join(timeout)

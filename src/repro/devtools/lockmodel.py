@@ -23,12 +23,21 @@ lock                rank  guards
                           under it — the one lock with that licence)
 ``service-rw``      10    the service's tree (readers/writer)
 ``recovery``        20    online shard-recovery cutover
+``routing``         25    the remote coordinator's routing table —
+                          shard plan + worker list vs a live reshard
+                          cutover (readers/writer; the write side
+                          drains and replays WAL tails over sockets
+                          and fsyncs the committing manifest, hence
+                          the socket/wal/fsync allowances)
 ``shard-rw``        30    one shard's tree (readers/writer)
 ``breaker``         40    circuit-breaker + guard counters
 ``registry``        50    subscription-registry state
 ``push``            60    one server push channel (terminal: the
                           socket write itself happens under it, by
                           design — nothing may be acquired inside)
+``conn``            65    one coordinator->worker connection (frames
+                          one request/response pair onto the wire;
+                          socket I/O happens under it by design)
 ``queue-cond``      70    the service's request queue
 ``dirty``           75    the registry's dirty POI set
 ``counter``         80    coordinator counters
@@ -59,6 +68,7 @@ __all__ = [
     "ADVANCE_GATE",
     "BLOCKING_ALLOWED_MODULES",
     "BREAKER",
+    "CONN",
     "COUNTER",
     "DIRTY",
     "HIERARCHY",
@@ -69,6 +79,7 @@ __all__ = [
     "RANK",
     "RECOVERY",
     "REGISTRY",
+    "ROUTING",
     "RW_COND",
     "SERVER_ERROR",
     "SERVICE_RW",
@@ -85,10 +96,12 @@ from repro.devtools.callgraph import LockSite
 ADVANCE_GATE = "advance-gate"
 SERVICE_RW = "service-rw"
 RECOVERY = "recovery"
+ROUTING = "routing"
 SHARD_RW = "shard-rw"
 BREAKER = "breaker"
 REGISTRY = "registry"
 PUSH = "push"
+CONN = "conn"
 QUEUE_COND = "queue-cond"
 DIRTY = "dirty"
 COUNTER = "counter"
@@ -141,12 +154,22 @@ HIERARCHY: tuple[LockDecl, ...] = (
              blocking_allowed=frozenset({"wal"})),
     LockDecl(RECOVERY, 20, "mutex", "online shard-recovery cutover",
              blocking_allowed=frozenset({"wal"})),
+    LockDecl(ROUTING, 25, "rw",
+             "the remote coordinator's routing table (plan + worker "
+             "list vs live reshard cutover; the write side drains and "
+             "replays WAL tails over worker sockets and fsyncs the "
+             "manifest that commits the cutover)",
+             blocking_allowed=frozenset({"fsync", "socket", "wal"})),
     LockDecl(SHARD_RW, 30, "rw", "one shard's tree (readers/writer)",
              blocking_allowed=frozenset({"wal"})),
     LockDecl(BREAKER, 40, "mutex", "circuit-breaker state + guard counters"),
     LockDecl(REGISTRY, 50, "rlock", "subscription-registry state",
              reentrant=True),
     LockDecl(PUSH, 60, "mutex", "one server push channel (terminal)",
+             blocking_allowed=frozenset({"socket"})),
+    LockDecl(CONN, 65, "mutex",
+             "one coordinator->worker connection (frames one framed "
+             "request/response pair onto the wire)",
              blocking_allowed=frozenset({"socket"})),
     LockDecl(QUEUE_COND, 70, "condition", "the service's request queue"),
     LockDecl(DIRTY, 75, "mutex", "the registry's dirty POI set"),
@@ -187,6 +210,11 @@ _ATTR_SITES: tuple[tuple[str, str, str], ...] = (
     ("repro.cluster.resilience", "_lock", BREAKER),
     ("repro.cluster.coordinator", "_counter_lock", COUNTER),
     ("repro.cluster.coordinator", "_recovery_lock", RECOVERY),
+    ("repro.cluster.remote", "_lock", CONN),
+    ("repro.cluster.remote", "_counter_lock", COUNTER),
+    ("repro.cluster.remote", "_recovery_lock", RECOVERY),
+    ("repro.cluster.reshard", "_counter_lock", COUNTER),
+    ("repro.cluster.reshard", "_recovery_lock", RECOVERY),
     ("repro.devtools.watchdog", "_edge_lock", WATCHDOG),
 )
 
@@ -231,6 +259,11 @@ def classify_site(module: str, expr: ast.expr) -> LockSite | None:
         receiver = ast.dump(expr.func.value)
         if module.startswith("repro.service"):
             return LockSite(SERVICE_RW, mode, "rw", receiver)
+        if module.startswith(("repro.cluster.remote", "repro.cluster.reshard")):
+            # The remote coordinator's only RW lock is the routing
+            # table; worker processes (repro.cluster.workers) keep the
+            # per-shard shard-rw classification below.
+            return LockSite(ROUTING, mode, "rw", receiver)
         if module.startswith("repro.cluster"):
             return LockSite(SHARD_RW, mode, "rw", receiver)
         if module.startswith("repro.continuous"):

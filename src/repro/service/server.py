@@ -6,6 +6,12 @@ the op's payload or ``{"error": ..., "code": ...}``.  Supported ops:
 
 ``ping``
     ``{"op": "ping"}`` → ``{"ok": true, "pong": true}``
+``hello``
+    ``{"op": "hello", "proto": 1}`` → ``{"ok": true, "hello": ...,
+    "proto": 1}``.  Every response frame carries ``"proto"`` (the
+    server's wire-protocol version); any request may carry one, and a
+    mismatch is refused with the stable ``proto-mismatch`` error code
+    instead of whatever shape drift would otherwise break first.
 ``query``
     ``{"op": "query", "point": [x, y], "interval": [lo, hi], "k": 3,
     "alpha0": 0.3, "semantics": "intersects"}`` → ranked ``results``
@@ -54,7 +60,8 @@ Aggregates and digest counts ride as ``[key, value]`` pairs, not JSON
 objects, so integer epoch indices and POI ids survive the round trip.
 Error codes: ``overloaded`` (with ``retry_after``), ``timeout``,
 ``closed``, ``degraded`` (with ``missed_shards`` / ``coverage`` /
-``score_bound``), ``crashed``, ``bad-request``, ``error``.
+``score_bound``), ``crashed``, ``bad-request``, ``proto-mismatch``
+(with the server's ``proto``), ``error``.
 
 Exception hygiene (RT005): internal failures are *redacted* on the
 wire — remote clients get a stable message plus the ``error`` code,
@@ -78,6 +85,23 @@ from repro.service.service import (
 )
 from repro.temporal.epochs import TimeInterval
 from repro.temporal.tia import IntervalSemantics
+
+#: JSON-lines wire-protocol version.  Carried on every response frame
+#: (and on worker hello frames, see ``repro.cluster.workers``); a peer
+#: announcing a different version is refused with the stable
+#: ``proto-mismatch`` code rather than failing on some drifted field.
+PROTO_VERSION = 1
+
+
+def proto_mismatch_response(announced):
+    """The stable refusal frame for a peer at a different wire version."""
+    return {
+        "ok": False,
+        "code": "proto-mismatch",
+        "proto": PROTO_VERSION,
+        "error": "peer speaks wire protocol %r but this end speaks %r"
+        % (announced, PROTO_VERSION),
+    }
 
 
 def _parse_query(payload):
@@ -192,15 +216,26 @@ class JsonLineServer:
 
         ``channel`` is the caller's :class:`_PushChannel` when the
         request arrived over a real connection; ``subscribe`` needs it
-        to deliver push frames and is rejected without one.
+        to deliver push frames and is rejected without one.  Every
+        response frame carries the server's ``proto`` version.
         """
+        response = self._dispatch(raw, channel)
+        response.setdefault("proto", PROTO_VERSION)
+        return response
+
+    def _dispatch(self, raw, channel):
         try:
             payload = json.loads(raw.decode("utf-8") if isinstance(raw, bytes) else raw)
             if not isinstance(payload, dict):
                 raise ValueError("request must be a JSON object")
+            announced = payload.get("proto", PROTO_VERSION)
+            if announced != PROTO_VERSION:
+                return proto_mismatch_response(announced)
             op = payload.get("op")
             if op == "ping":
                 return {"ok": True, "pong": True}
+            if op == "hello":
+                return {"ok": True, "hello": "repro", "proto": PROTO_VERSION}
             if op == "query":
                 return self._op_query(payload)
             if op == "subscribe":

@@ -495,6 +495,11 @@ class QueryService:
         is safe) — it should still be quick, since delivery serialises
         the fan-out rounds.
         """
+        if not getattr(self.tree, "supports_subscriptions", True):
+            raise ValueError(
+                "standing subscriptions need an in-process tree; "
+                "%s serves shards out of process" % type(self.tree).__name__
+            )
         kwargs = {} if semantics is None else {"semantics": semantics}
         with self.lock.write_locked():
             if self._closed:

@@ -33,7 +33,7 @@ from repro import (
 )
 from repro.cluster import open_cluster, save_cluster
 from repro.cluster.resilience import CLOSED
-from repro.reliability.faults import FaultInjector, constant
+from repro.reliability.faults import FaultInjector, TransientIOError, constant
 
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
 
@@ -227,3 +227,206 @@ class TestChaosTrichotomy:
         # well under the 3s a hang-and-wait would cost.
         assert elapsed < 2.5
         assert cluster.counters()["shards.timeouts"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Out-of-process worker chaos: SIGKILL is the fault injector
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def worker_chaos_cluster(small_dataset, tmp_path):
+    """A 4-worker remote cluster tuned for fast failure detection."""
+    from repro.cluster import RemoteClusterTree
+
+    built = ClusterTree.build(small_dataset, num_shards=4)
+    save_cluster(built, str(tmp_path / "c"))
+    built.close()
+    resilience = ResilienceConfig(
+        call_timeout=5.0,
+        sleep=lambda _: None,
+        probe_after=2,
+        probe_successes=1,
+    )
+    remote = RemoteClusterTree.start(
+        str(tmp_path / "c"),
+        resilience=resilience,
+        allow_degraded=True,
+        request_timeout=5.0,
+    )
+    yield remote
+    remote.close()
+
+
+def recover_all_workers(remote):
+    """Respawn every dead or quarantined worker; returns the count."""
+    recovered = 0
+    for shard in list(remote.shards):
+        guard = remote._guards[shard.index]
+        dead = shard.handle is not None and not shard.handle.alive
+        if dead or guard.breaker.needs_recovery or guard.breaker.state != CLOSED:
+            remote.recover_worker(shard.index)
+            recovered += 1
+    return recovered
+
+
+@pytest.mark.timeout(300)
+class TestWorkerSigkillChaos:
+    """SIGKILL-ed worker processes obey the same trichotomy as
+    in-process shard faults: every answer is exact or explicitly
+    degraded, never silently wrong and never hung, and an online
+    worker restart returns the cluster to bit-identical serving."""
+
+    def test_sigkill_mid_query_exact_or_degraded_never_hung(
+        self, worker_chaos_cluster, small_dataset
+    ):
+        remote = worker_chaos_cluster
+        single = TARTree.build(small_dataset)
+        queries = make_workload(remote, CHAOS_SEED, count=8)
+        oracle = [single.query(query) for query in queries]
+        failures = []
+        stop = threading.Event()
+
+        def prober(worker_id):
+            rng = random.Random(CHAOS_SEED * 177 + worker_id)
+            while not stop.is_set():
+                index = rng.randrange(len(queries))
+                try:
+                    answer = remote.query(queries[index])
+                except Exception as exc:
+                    failures.append(
+                        "prober %d query %d escaped: %s: %s"
+                        % (worker_id, index, type(exc).__name__, exc)
+                    )
+                    return
+                check_answer(
+                    answer,
+                    oracle[index],
+                    failures,
+                    "prober %d query %d" % (worker_id, index),
+                )
+
+        threads = [
+            threading.Thread(target=prober, args=(worker_id,), daemon=True)
+            for worker_id in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        rng = random.Random(CHAOS_SEED + 4242)
+        try:
+            for _ in range(3):
+                victim = rng.randrange(len(remote.shards))
+                remote.shards[victim].handle.kill()
+                time.sleep(0.2)
+                remote.recover_worker(victim)
+        finally:
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), "probers hung"
+        assert not failures, "\n".join(failures[:10])
+        # Post-storm: every worker alive, answers exact again.
+        recover_all_workers(remote)
+        for _ in range(3):
+            for query in queries:
+                remote.query(query)
+        for index, query in enumerate(queries):
+            answer = remote.query(query)
+            assert not getattr(answer, "degraded", False)
+            assert list(answer) == list(oracle[index])
+        assert remote.counters()["recoveries"] >= 3
+
+    def test_sigkill_mid_insert_is_never_silent(
+        self, worker_chaos_cluster
+    ):
+        from repro import POI
+        from repro.cluster import ShardFaultError
+
+        remote = worker_chaos_cluster
+        rng = random.Random(CHAOS_SEED + 11)
+        world = remote.world
+        accepted = []
+        refused = 0
+        for step in range(24):
+            if step == 8:
+                victim = rng.randrange(len(remote.shards))
+                remote.shards[victim].handle.kill()
+            poi = POI(
+                "chaos-%d" % step,
+                rng.uniform(world.lows[0], world.highs[0]),
+                rng.uniform(world.lows[1], world.highs[1]),
+            )
+            try:
+                lsn = remote.insert_poi(poi, {0: rng.randint(1, 4)})
+            except (ShardFaultError, TransientIOError) as exc:
+                # The loss is explicit, typed and names its fault; the
+                # mutation may or may not be WAL-durable (the worker
+                # died around the append) — what it can never be is
+                # silently dropped after a success reply.
+                refused += 1
+                assert str(exc)
+                continue
+            assert lsn is not None
+            accepted.append(poi.poi_id)
+        assert refused > 0, "the kill never hit an insert"
+        recover_all_workers(remote)
+        # Every acknowledged insert survived the crash + WAL recovery.
+        for poi_id in accepted:
+            assert poi_id in remote, poi_id
+        assert remote.counters()["recoveries"] >= 1
+
+    def test_sigkill_mid_split_aborts_cleanly_then_recovers(
+        self, worker_chaos_cluster, small_dataset, tmp_path
+    ):
+        import os
+
+        from repro.cluster import split_shard
+
+        remote = worker_chaos_cluster
+        single = TARTree.build(small_dataset)
+        queries = make_workload(remote, CHAOS_SEED + 3, count=5)
+        oracle = [single.query(query) for query in queries]
+        shards_before = len(remote.shards)
+        epoch_before = remote.plan_epoch
+        dirs_before = sorted(os.listdir(str(tmp_path / "c")))
+
+        # Kill the split's source worker: Phase A's drain checkpoint
+        # hits a dead socket and the split must abort without touching
+        # the routing table or leaking successor directories.
+        remote.shards[0].handle.kill()
+        with pytest.raises(Exception) as excinfo:
+            split_shard(remote, 0)
+        assert not isinstance(excinfo.value, AssertionError)
+        assert len(remote.shards) == shards_before
+        assert remote.plan_epoch == epoch_before
+        assert sorted(os.listdir(str(tmp_path / "c"))) == dirs_before
+        assert remote.counters()["reshards"] == 0
+
+        # Online recovery brings the source back; answers are exact.
+        recover_all_workers(remote)
+        for _ in range(2):
+            for query in queries:
+                remote.query(query)
+        for index, query in enumerate(queries):
+            answer = remote.query(query)
+            assert not getattr(answer, "degraded", False)
+            assert list(answer) == list(oracle[index])
+
+        # The aborted split released its claim: a retry now succeeds
+        # and stays bit-identical.
+        low, high = split_shard(remote, 0)
+        assert (low, high) == (0, shards_before)
+        for index, query in enumerate(queries):
+            assert list(remote.query(query)) == list(oracle[index])
+
+    def test_killed_worker_surfaces_in_health(self, worker_chaos_cluster):
+        remote = worker_chaos_cluster
+        remote.shards[2].handle.kill()
+        remote.shards[2].handle.join(timeout=10)
+        health = remote.health()
+        entry = health["shards"][2]
+        assert entry["alive"] is False
+        remote.recover_worker(2)
+        health = remote.health()
+        assert health["shards"][2]["alive"] is True
+        assert health["recoveries"] == 1

@@ -141,12 +141,18 @@ class TestPushDelivery:
             writer.close()
 
     def test_unsubscribe_stops_pushes(self, served, client):
+        from repro.service.server import PROTO_VERSION
+
         tree, _ = served
         sub_id = subscribe(client)["subscription"]
         response = client.rpc({"op": "unsubscribe", "subscription": sub_id})
-        assert response == {"ok": True, "unsubscribed": True}
+        assert response == {
+            "ok": True, "unsubscribed": True, "proto": PROTO_VERSION,
+        }
         response = client.rpc({"op": "unsubscribe", "subscription": sub_id})
-        assert response == {"ok": True, "unsubscribed": False}
+        assert response == {
+            "ok": True, "unsubscribed": False, "proto": PROTO_VERSION,
+        }
         client.send(digest_payload(tree))
         assert "push" not in client.recv()  # the ack arrives first
 

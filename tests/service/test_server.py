@@ -45,7 +45,13 @@ def client(served):
 @pytest.mark.timeout(120)
 class TestWireProtocol:
     def test_ping(self, client):
-        assert client.rpc({"op": "ping"}) == {"ok": True, "pong": True}
+        from repro.service.server import PROTO_VERSION
+
+        assert client.rpc({"op": "ping"}) == {
+            "ok": True,
+            "pong": True,
+            "proto": PROTO_VERSION,
+        }
 
     def test_query_round_trip_matches_direct_answer(self, served, client):
         tree, _ = served
@@ -149,10 +155,13 @@ class TestOperatorSurface:
 
         server.service.stats = boom
         response = client.rpc({"op": "stats"})
+        from repro.service.server import PROTO_VERSION
+
         assert response == {
             "ok": False,
             "code": "error",
             "error": JsonLineServer.INTERNAL_ERROR_MESSAGE,
+            "proto": PROTO_VERSION,
         }
         assert secret not in json.dumps(response)
         assert server.errors == 1
@@ -278,3 +287,48 @@ class TestDegradedServing:
             server.shutdown()
             service.close()
             cluster.close()
+
+
+@pytest.mark.timeout(120)
+class TestProtoNegotiation:
+    """Wire-protocol versioning: ``proto`` on every frame, ``hello``
+    handshake, and the stable ``proto-mismatch`` refusal."""
+
+    def test_every_response_frame_carries_proto(self, client):
+        from repro.service.server import PROTO_VERSION
+
+        assert client.rpc({"op": "ping"})["proto"] == PROTO_VERSION
+        assert client.rpc({"op": "nope"})["proto"] == PROTO_VERSION
+        assert client.rpc(
+            {"op": "query", "point": [1, 1], "interval": [2, 6], "k": 2}
+        )["proto"] == PROTO_VERSION
+
+    def test_hello_handshake(self, client):
+        from repro.service.server import PROTO_VERSION
+
+        response = client.rpc({"op": "hello", "proto": PROTO_VERSION})
+        assert response["ok"]
+        assert response["proto"] == PROTO_VERSION
+
+    def test_mismatch_refused_with_stable_code(self, client):
+        from repro.service.server import PROTO_VERSION
+
+        response = client.rpc({"op": "hello", "proto": PROTO_VERSION + 1})
+        assert response["ok"] is False
+        assert response["code"] == "proto-mismatch"
+        assert response["proto"] == PROTO_VERSION
+        # The refusal names both versions, and it applies to any op —
+        # a drifted peer is refused before its payload is interpreted.
+        assert str(PROTO_VERSION + 1) in response["error"]
+        response = client.rpc(
+            {"op": "query", "point": [1, 1], "interval": [2, 6],
+             "proto": PROTO_VERSION + 1}
+        )
+        assert response["code"] == "proto-mismatch"
+        # The connection survives the refusal; a corrected peer serves.
+        assert client.rpc({"op": "ping", "proto": PROTO_VERSION})["ok"]
+
+    def test_unversioned_requests_still_serve(self, client):
+        # Pre-versioning peers send no ``proto`` field: they are assumed
+        # current rather than refused, so rolling upgrades can proceed.
+        assert client.rpc({"op": "ping"})["ok"]

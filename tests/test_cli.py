@@ -13,6 +13,15 @@ def run_cli(argv):
     return code, out.getvalue()
 
 
+def run_cli_err(argv):
+    """Like run_cli but also captures stderr (serve/shard-worker
+    refusals print there so scripts can tell refusal from output)."""
+    out = io.StringIO()
+    err = io.StringIO()
+    code = main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
 @pytest.fixture(scope="module")
 def dataset_file(tmp_path_factory):
     path = tmp_path_factory.mktemp("cli") / "data.npz"
@@ -416,9 +425,12 @@ class TestServe:
         assert args.state_dir is None
 
     def test_missing_tree_exits_two(self, tmp_path):
-        code, output = run_cli(["serve", str(tmp_path / "missing.json")])
+        code, output, error = run_cli_err(
+            ["serve", str(tmp_path / "missing.json")]
+        )
         assert code == 2
-        assert "cannot read state" in output
+        assert output == ""
+        assert "cannot read state" in error
 
     @pytest.mark.timeout(120)
     def test_serves_queries_over_tcp(self, tree_file, tmp_path):
@@ -486,12 +498,13 @@ class TestServe:
         state_dir = tmp_path / "state"
         state_dir.mkdir()
         (state_dir / "tree.wal").write_text("")
-        code, output = run_cli(
+        code, output, error = run_cli_err(
             ["serve", str(tree_file), "--state-dir", str(state_dir)]
         )
         assert code == 2
-        assert "refusing to start" in output
-        assert "repro recover" in output
+        assert output == ""
+        assert "refusing to start" in error
+        assert "repro recover" in error
 
     def test_refuses_legacy_digestlog_without_checkpoint(
         self, tree_file, tmp_path
@@ -499,24 +512,24 @@ class TestServe:
         state_dir = tmp_path / "state"
         state_dir.mkdir()
         (state_dir / "tree.digestlog").write_text("")
-        code, output = run_cli(
+        code, _, error = run_cli_err(
             ["serve", str(tree_file), "--state-dir", str(state_dir)]
         )
         assert code == 2
-        assert "tree.digestlog" in output
+        assert "tree.digestlog" in error
 
     def test_cluster_and_state_dir_conflict(self, cluster_dir, tmp_path):
-        code, output = run_cli(
+        code, _, error = run_cli_err(
             ["serve", str(cluster_dir), "--cluster",
              "--state-dir", str(tmp_path / "state")]
         )
         assert code == 2
-        assert "--state-dir does not apply" in output
+        assert "--state-dir does not apply" in error
 
     def test_cluster_on_a_non_cluster_directory_exits_two(self, tmp_path):
-        code, output = run_cli(["serve", str(tmp_path), "--cluster"])
+        code, _, error = run_cli_err(["serve", str(tmp_path), "--cluster"])
         assert code == 2
-        assert "cannot open cluster" in output
+        assert "cannot open cluster" in error
 
     @pytest.mark.timeout(120)
     def test_serves_cluster_queries_over_tcp(self, cluster_dir, tmp_path):
@@ -581,5 +594,136 @@ class TestServe:
         reopened = open_cluster(str(directory))
         try:
             assert "tcp-cluster-poi" in reopened
+        finally:
+            reopened.close()
+
+
+class TestShardWorkers:
+    """The out-of-process serving surface: ``serve --shard-workers``
+    plus the ``shard-worker`` per-shard entry point."""
+
+    def test_parser_accepts_shard_workers(self):
+        args = build_parser().parse_args(
+            ["serve", "c", "--cluster", "--shard-workers"]
+        )
+        assert args.shard_workers is True
+        args = build_parser().parse_args(["serve", "c", "--shard-workers"])
+        assert args.shard_workers is True  # implies --cluster downstream
+
+    def test_shard_worker_parser_defaults(self):
+        args = build_parser().parse_args(["shard-worker", "--dir", "d"])
+        assert args.directory == "d"
+        assert args.port == 0
+        assert args.name == "tree"
+        assert args.announce is None
+
+    def test_shard_worker_missing_directory_exits_two(self, tmp_path):
+        code, output, error = run_cli_err(
+            ["shard-worker", "--dir", str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert output == ""
+        assert "no shard state directory" in error
+
+    def test_shard_worker_non_shard_directory_exits_two(self, tmp_path):
+        code, _, error = run_cli_err(["shard-worker", "--dir", str(tmp_path)])
+        assert code == 2
+        assert "no tree.json checkpoint" in error
+
+    def test_manifest_behind_committed_reshard_exits_two(
+        self, cluster_dir, tmp_path
+    ):
+        # A successor directory holding *committed* reshard metadata at
+        # a plan epoch newer than the manifest means the manifest was
+        # rolled back across a live split; serving it would resurrect
+        # the retired source shard, so startup refuses on stderr.
+        import shutil
+
+        from repro.cluster.state import write_shard_meta
+
+        directory = tmp_path / "cluster"
+        shutil.copytree(cluster_dir, directory)
+        orphan = directory / "shard-9"
+        orphan.mkdir()
+        write_shard_meta(str(orphan), plan_epoch=1, committed=True)
+        code, output, error = run_cli_err(
+            ["serve", str(directory), "--cluster", "--shard-workers"]
+        )
+        assert code == 2
+        assert output == ""
+        assert "cannot start shard workers" in error
+        assert "rolled back" in error
+        # The distinct messages keep the two refusals tellable apart.
+        assert "refusing to start over durable mutations" not in error
+
+    @pytest.mark.timeout(300)
+    def test_serves_worker_cluster_queries_over_tcp(
+        self, cluster_dir, tmp_path
+    ):
+        import json
+        import re
+        import shutil
+        import socket
+        import threading
+        import time
+
+        directory = tmp_path / "cluster"
+        shutil.copytree(cluster_dir, directory)
+        out = io.StringIO()
+        result = {}
+
+        def serve():
+            result["code"] = main(
+                ["serve", str(directory), "--cluster", "--shard-workers",
+                 "--port", "0", "--scrub-interval-ms", "0"],
+                out=out,
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 120
+        match = None
+        while time.monotonic() < deadline and not match:
+            match = re.search(r"serving on ([\d.]+):(\d+)", out.getvalue())
+            time.sleep(0.02)
+        assert match, out.getvalue()
+        banner = out.getvalue()
+        assert "4 shard worker process(es)" in banner
+        assert banner.count("pid") == 4
+        address = (match.group(1), int(match.group(2)))
+
+        sock = socket.create_connection(address, timeout=30)
+        handle = sock.makefile("rwb")
+
+        def rpc(payload):
+            handle.write((json.dumps(payload) + "\n").encode("utf-8"))
+            handle.flush()
+            return json.loads(handle.readline())
+
+        response = rpc(
+            {"op": "query", "point": [50, 50], "interval": [0, 200], "k": 3}
+        )
+        assert response["ok"]
+        assert len(response["results"]) == 3
+        response = rpc(
+            {"op": "insert", "poi_id": "worker-tcp-poi",
+             "point": [50.0, 50.0], "aggregates": [[1, 4]]}
+        )
+        assert response["ok"]
+        health = rpc({"op": "health"})["health"]
+        assert len(health["shards"]) == 4
+        assert all(entry["alive"] for entry in health["shards"])
+        assert rpc({"op": "shutdown"})["bye"]
+        sock.close()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+        # Shutdown checkpointed through the workers: the insert is
+        # durable in the owning shard's WAL-backed state.
+        from repro.cluster import open_cluster
+
+        reopened = open_cluster(str(directory))
+        try:
+            assert "worker-tcp-poi" in reopened
         finally:
             reopened.close()
