@@ -404,9 +404,11 @@ class RemoteClusterTree:
         self._counter_lock = monitored_lock(COUNTER)
         self._recovery_lock = monitored_lock(RECOVERY)
         self._scrub_cursor = 0
-        #: Claimed (under the counter lock) by a live reshard for its
-        #: whole Phase A/B span — splits serialise without holding any
-        #: lock across the expensive successor build.
+        #: Exclusive-maintenance claim (taken under the counter lock):
+        #: a live reshard holds it for its whole Phase A/B span — splits
+        #: serialise without holding any lock across the expensive
+        #: successor build — and :meth:`checkpoint` claims it too, so a
+        #: checkpoint can never compact a source WAL mid-drain.
         self._resharding = False
         for shard in self.shards:
             hello = shard.client.hello
@@ -612,7 +614,19 @@ class RemoteClusterTree:
         return counters
 
     def _owner_of_locked(self, poi_id: object) -> RemoteShard | None:
-        """Probe workers for ownership; a down worker counts as absent."""
+        """Probe every worker for ownership of ``poi_id``.
+
+        A positive probe is decisive (POI ids are unique cluster-wide),
+        so finding the owner returns even if another worker is down.
+        But an unreachable worker might *be* the owner — concluding
+        "absent" there would let a duplicate insert through or turn a
+        delete of an indexed POI into a silent ``False`` — so when no
+        reachable worker owns the POI and any probe failed, the first
+        probe failure propagates instead (the in-process coordinator's
+        ``_owner_of`` can never fault, and remote semantics must not
+        silently diverge from it).
+        """
+        first_failure: Exception | None = None
         for shard in self.shards:
             guard = self._guards[shard.index]
 
@@ -628,6 +642,10 @@ class RemoteClusterTree:
             except Exception as exc:
                 if classify_error(exc) == CALLER:
                     raise
+                if first_failure is None:
+                    first_failure = exc
+        if first_failure is not None:
+            raise first_failure
         return None
 
     # ------------------------------------------------------------------
@@ -1183,31 +1201,48 @@ class RemoteClusterTree:
     def checkpoint(self) -> str:
         """Checkpoint every worker and rewrite the cluster manifest.
 
-        Runs under the routing write lock: mutations hold the read
-        side, so the per-worker snapshots and the manifest LSNs
-        recorded for them form one consistent cluster checkpoint (and a
-        live reshard cannot interleave).  Worker requests here are
-        deliberately direct — a retry/backoff sleep must never run
-        under an exclusive lock.
+        Mutually exclusive with a live reshard: both claim the same
+        exclusive-maintenance flag, so a checkpoint raises
+        :class:`~repro.cluster.coordinator.ClusterStateError` while a
+        split is in flight (and vice versa).  The routing write lock
+        alone would not be enough — a split's Phase A runs lock-free,
+        and a worker checkpoint interleaving there would compact the
+        split's source WAL out from under its Phase B drain, silently
+        losing the tail.  The body runs under the routing write lock:
+        mutations hold the read side, so the per-worker snapshots and
+        the manifest LSNs recorded for them form one consistent cluster
+        checkpoint.  Worker requests here are deliberately direct — a
+        retry/backoff sleep must never run under an exclusive lock.
         """
-        with self._routing.write_locked():
-            entries: list[tuple[str, Any]] = []
-            for shard in self.shards:
-                response = shard.client.request(
-                    {"op": "checkpoint"}, timeout=self._timeout()
+        with self._counter_lock:
+            if self._resharding:
+                raise ClusterStateError(
+                    "a live reshard is in flight; checkpointing now would "
+                    "compact the split's source WAL out from under its drain"
                 )
-                shard.applied_lsn = response.get("applied_lsn")
-                shard.manifest_lsn = shard.applied_lsn
-                entries.append((shard.dirname, shard.applied_lsn))
-            payload = manifest_payload(
-                self.name,
-                self.parallelism,
-                self.plan,
-                entries,
-                plan_epoch=self.plan_epoch,
-                next_dir=self.next_dir,
-            )
-            return write_manifest_payload(self.directory, payload)
+            self._resharding = True
+        try:
+            with self._routing.write_locked():
+                entries: list[tuple[str, Any]] = []
+                for shard in self.shards:
+                    response = shard.client.request(
+                        {"op": "checkpoint"}, timeout=self._timeout()
+                    )
+                    shard.applied_lsn = response.get("applied_lsn")
+                    shard.manifest_lsn = shard.applied_lsn
+                    entries.append((shard.dirname, shard.applied_lsn))
+                payload = manifest_payload(
+                    self.name,
+                    self.parallelism,
+                    self.plan,
+                    entries,
+                    plan_epoch=self.plan_epoch,
+                    next_dir=self.next_dir,
+                )
+                return write_manifest_payload(self.directory, payload)
+        finally:
+            with self._counter_lock:
+                self._resharding = False
 
     def scrub_tick(self, budget: int | None = None) -> int:
         """One scrub tick on the next worker (round-robin).

@@ -14,7 +14,11 @@ rows, attaches durable state to fresh ``shard-<n>`` directories
 (stamped *uncommitted* reshard metadata, so a crash leaves ignorable
 orphans), and spawns + connects a worker over each.  The source keeps
 serving queries and absorbing mutations the whole time; anything it
-applied past ``L1`` sits in its WAL.
+applied past ``L1`` sits in its WAL.  A cluster checkpoint is mutually
+exclusive with the whole split (both claim the coordinator's
+exclusive-maintenance flag), so nothing compacts that tail before
+Phase B drains it — and the drain itself refuses a non-contiguous
+tail (a ``wal-tail-gap`` error aborts the split) as defence in depth.
 
 **Phase B — drain and cut over (routing write lock held).**  Taking
 the write side of the coordinator's routing lock *is* the quiesce:
@@ -302,6 +306,7 @@ def _split_claimed(remote: RemoteClusterTree, index: int) -> tuple[int, int]:
     handles: list[WorkerHandle] = []
     clients: list[WorkerClient] = []
     created: list[str] = []
+    committed = False
     try:
         for directory, successor_rows in zip(
             directories, (low_rows, high_rows)
@@ -382,6 +387,7 @@ def _split_claimed(remote: RemoteClusterTree, index: int) -> tuple[int, int]:
                 next_dir=ordinal + 2,
             )
             write_manifest_payload(remote.directory, payload)
+            committed = True
             # The commit point is durable; flip the routing table.
             remote.plan = new_plan
             remote.shards = new_shards
@@ -392,6 +398,12 @@ def _split_claimed(remote: RemoteClusterTree, index: int) -> tuple[int, int]:
             remote._absorb_state(low_shard, hellos[0])
             remote._absorb_state(high_shard, hellos[1])
     except Exception:
+        # Roll back only *before* the commit point.  Once the manifest
+        # naming the successors is durable, terminating them or deleting
+        # their directories would leave a cluster that refuses to open —
+        # a post-commit failure keeps the committed state and surfaces.
+        if committed:
+            raise
         for client in clients:
             client.close()
         for handle in handles:

@@ -49,14 +49,14 @@ import socketserver
 import threading
 import time
 from multiprocessing.process import BaseProcess
-from typing import Any, BinaryIO
+from typing import Any, BinaryIO, Callable, TypeVar
 
 from repro.cluster.resilience import ShardDescriptor
 from repro.core.query import KNNTAQuery, Normalizer
 from repro.core.tar_tree import POI
 from repro.devtools.lockmodel import SHARD_RW
 from repro.reliability.recovery import CheckpointedIngest, recover
-from repro.reliability.wal import read_wal
+from repro.reliability.wal import RECORD_CHECKPOINT, read_wal
 from repro.service.locks import ReadWriteLock
 from repro.service.server import PROTO_VERSION, proto_mismatch_response
 from repro.service.scrubber import Scrubber
@@ -78,7 +78,32 @@ ANNOUNCE_NAME = "worker.json"
 #: service front end: internal text never crosses the wire).
 INTERNAL_ERROR_MESSAGE = "internal worker error; details logged worker-side"
 
-_CALLER_ERRORS = (ValueError, KeyError, IndexError, TypeError)
+#: Exception shapes a malformed payload produces while being parsed.
+#: Only the *parse* stage maps these to ``bad-request`` — the same
+#: types raised by tree/WAL operations are internal worker bugs and
+#: take the redacted internal-error path instead.
+_PARSE_ERRORS = (ValueError, KeyError, IndexError, TypeError)
+
+_T = TypeVar("_T")
+
+
+class _BadRequest(Exception):
+    """The request payload is malformed; the worker is healthy."""
+
+
+def _parsed(parse: Callable[[], _T]) -> _T:
+    """Run one op's payload extraction; shape errors → ``bad-request``.
+
+    Keeps the caller-error classification confined to payload parsing:
+    a ``KeyError``/``TypeError`` escaping the op's *execution* is a
+    worker-side bug and must be redacted, not echoed to the caller.
+    """
+    try:
+        return parse()
+    except _PARSE_ERRORS as exc:
+        raise _BadRequest(
+            "malformed request: %s: %s" % (type(exc).__name__, exc)
+        ) from exc
 
 
 def _parse_query(payload: dict[str, Any]) -> KNNTAQuery:
@@ -184,11 +209,13 @@ class ShardWorkerServer:
 
     def _dispatch(self, raw: bytes | str) -> dict[str, Any]:
         try:
-            payload = json.loads(
-                raw.decode("utf-8") if isinstance(raw, bytes) else raw
+            payload = _parsed(
+                lambda: json.loads(
+                    raw.decode("utf-8") if isinstance(raw, bytes) else raw
+                )
             )
             if not isinstance(payload, dict):
-                raise ValueError("request must be a JSON object")
+                raise _BadRequest("request must be a JSON object")
             announced = payload.get("proto", PROTO_VERSION)
             if announced != PROTO_VERSION:
                 return proto_mismatch_response(announced)
@@ -206,8 +233,9 @@ class ShardWorkerServer:
             if op == "digest":
                 return self._op_digest(payload)
             if op == "contains":
-                return {"ok": True,
-                        "contains": payload["poi_id"] in self.tree}
+                poi_id = _parsed(lambda: payload["poi_id"])
+                with self.lock.read_locked():
+                    return {"ok": True, "contains": poi_id in self.tree}
             if op == "wal_tail":
                 return self._op_wal_tail(payload)
             if op == "checkpoint":
@@ -219,8 +247,12 @@ class ShardWorkerServer:
                 return self._op_health()
             if op == "shutdown":
                 return {"ok": True, "bye": True}
-            raise ValueError("unknown op %r" % (op,))
-        except _CALLER_ERRORS as exc:
+            raise _BadRequest("unknown op %r" % (op,))
+        except _BadRequest as exc:
+            return {"ok": False, "code": "bad-request", "error": str(exc)}
+        except ValueError as exc:
+            # Deliberate domain refusals (duplicate POI id, invalid
+            # query parameters) — caller errors, worded worker-side.
             return {"ok": False, "code": "bad-request", "error": str(exc)}
         except Exception as exc:  # redact; keep the connection alive
             self.errors += 1
@@ -248,10 +280,10 @@ class ShardWorkerServer:
                 "descriptor": _describe(self.descriptor),
             }
 
-    def _query_rows(self, payload: dict[str, Any]) -> list[list[Any]]:
+    def _query_rows(
+        self, query: KNNTAQuery, normalizer: Normalizer
+    ) -> list[list[Any]]:
         """One search against the pushed-down normaliser (lock held)."""
-        query = _parse_query(payload)
-        normalizer = _parse_normalizer(payload)
         answer = self.tree.query(query, normalizer=normalizer)
         return [
             [row.poi_id, row.score, row.distance, row.aggregate]
@@ -259,20 +291,31 @@ class ShardWorkerServer:
         ]
 
     def _op_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        query, normalizer = _parsed(
+            lambda: (_parse_query(payload), _parse_normalizer(payload))
+        )
         with self.lock.read_locked():
             if not self.tree.root.entries:
                 return {"ok": True, "results": []}
-            return {"ok": True, "results": self._query_rows(payload)}
+            return {"ok": True,
+                    "results": self._query_rows(query, normalizer)}
 
     def _op_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        riders = _parsed(
+            lambda: [
+                (_parse_query(rider), _parse_normalizer(rider))
+                for rider in payload["queries"]
+            ]
+        )
         # All riders under one read lock: a consistent snapshot, exactly
         # like the in-process shard's collective run.
         with self.lock.read_locked():
             if not self.tree.root.entries:
-                return {"ok": True,
-                        "results": [[] for _ in payload["queries"]]}
-            results = [self._query_rows(rider)
-                       for rider in payload["queries"]]
+                return {"ok": True, "results": [[] for _ in riders]}
+            results = [
+                self._query_rows(query, normalizer)
+                for query, normalizer in riders
+            ]
         return {"ok": True, "results": results}
 
     # -- mutations ------------------------------------------------------
@@ -288,12 +331,15 @@ class ShardWorkerServer:
         }
 
     def _op_insert(self, payload: dict[str, Any]) -> dict[str, Any]:
-        point = payload["point"]
-        aggregates = {
-            int(epoch): value
-            for epoch, value in payload.get("aggregates") or []
-        }
-        poi = POI(payload["poi_id"], point[0], point[1])
+        def parse() -> tuple[POI, dict[int, int]]:
+            point = payload["point"]
+            aggregates = {
+                int(epoch): int(value)
+                for epoch, value in payload.get("aggregates") or []
+            }
+            return POI(payload["poi_id"], point[0], point[1]), aggregates
+
+        poi, aggregates = _parsed(parse)
         with self.lock.write_locked():
             lsn = self.ingest.insert(poi, aggregates or None)
             response = {"ok": True, "lsn": lsn}
@@ -301,16 +347,21 @@ class ShardWorkerServer:
             return response
 
     def _op_delete(self, payload: dict[str, Any]) -> dict[str, Any]:
+        poi_id = _parsed(lambda: payload["poi_id"])
         with self.lock.write_locked():
-            lsn = self.ingest.delete(payload["poi_id"])
+            lsn = self.ingest.delete(poi_id)
             response = {"ok": True, "deleted": lsn is not None, "lsn": lsn}
             response.update(self._mutation_footer())
             return response
 
     def _op_digest(self, payload: dict[str, Any]) -> dict[str, Any]:
-        counts = {poi_id: count for poi_id, count in payload["counts"]}
+        def parse() -> tuple[int, dict[Any, int]]:
+            counts = {poi_id: count for poi_id, count in payload["counts"]}
+            return int(payload["epoch"]), counts
+
+        epoch, counts = _parsed(parse)
         with self.lock.write_locked():
-            lsn = self.ingest.digest(int(payload["epoch"]), counts)
+            lsn = self.ingest.digest(epoch, counts)
             response = {"ok": True, "digested": len(counts), "lsn": lsn}
             response.update(self._mutation_footer())
             return response
@@ -319,15 +370,37 @@ class ShardWorkerServer:
 
     def _op_wal_tail(self, payload: dict[str, Any]) -> dict[str, Any]:
         after = payload.get("after")
-        wal_path = os.path.join(self.directory, self.name + ".wal")
+        if after is not None and (
+            isinstance(after, bool) or not isinstance(after, int)
+        ):
+            raise _BadRequest("wal_tail 'after' must be an integer LSN")
         # Under the *write* lock: no mutation is mid-append, so the tail
-        # read here is a complete drain up to a quiescent LSN.
+        # read here is a complete drain up to a quiescent LSN.  The log
+        # path comes from the live ingest (a legacy directory appends to
+        # '<name>.digestlog' — reading a hardcoded '.wal' there would
+        # silently drain nothing).
         with self.lock.write_locked():
-            records, _dropped = read_wal(wal_path)
+            records, _dropped = read_wal(self.ingest.log_path)
+            if after is not None:
+                for record in records:
+                    if record.type != RECORD_CHECKPOINT:
+                        continue
+                    marker = record.payload[0] if record.payload else None
+                    if marker is not None and marker > after:
+                        # A checkpoint compacted (after, marker] out of
+                        # the log: the requested tail is non-contiguous
+                        # and a drain built on it would lose mutations.
+                        return {
+                            "ok": False,
+                            "code": "wal-tail-gap",
+                            "error": "WAL records after LSN %d were "
+                            "compacted by a checkpoint at LSN %d; the "
+                            "tail is no longer contiguous" % (after, marker),
+                        }
             tail = [
                 [record.lsn, record.type, record.payload]
                 for record in records
-                if record.type != "checkpoint"
+                if record.type != RECORD_CHECKPOINT
                 and (after is None or record.lsn > after)
             ]
             return {

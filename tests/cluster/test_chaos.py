@@ -430,3 +430,35 @@ class TestWorkerSigkillChaos:
         health = remote.health()
         assert health["shards"][2]["alive"] is True
         assert health["recoveries"] == 1
+
+    def test_unreachable_owner_refuses_instead_of_diverging(
+        self, worker_chaos_cluster
+    ):
+        from repro import POI
+        from repro.cluster import ShardFaultError
+
+        remote = worker_chaos_cluster
+        victim = remote.shards[1]
+        with remote._routing.read_locked():
+            hello = victim.client.request({"op": "hello"})
+        assert hello["pois"] > 0, "victim shard must own something"
+        victim.handle.kill()
+        victim.handle.join(timeout=10)
+        refusals = (ShardFaultError, TransientIOError)
+        # The dead worker might own any POI, so an ownership-dependent
+        # operation must refuse loudly — treating the worker as "absent"
+        # would let a duplicate insert through or turn a delete of an
+        # indexed POI into a silent False.
+        world = remote.world
+        poi = POI("owner-probe-poi", world.lows[0], world.lows[1])
+        with pytest.raises(refusals):
+            remote.insert_poi(poi, {0: 1})
+        with pytest.raises(refusals):
+            remote.delete_poi("no-such-poi-anywhere")
+        with pytest.raises(refusals):
+            remote.__contains__("no-such-poi-anywhere")
+        recover_all_workers(remote)
+        # Healthy again: the same probes conclude normally.
+        assert remote.delete_poi("no-such-poi-anywhere") is False
+        assert remote.insert_poi(poi, {0: 1}) is not None
+        assert poi.poi_id in remote

@@ -188,9 +188,18 @@ class TestWorkerProtocol:
             assert [record[0] for record in tail["records"]] == [lsn]
             assert tail["records"][0][1] == "insert"
             checkpointed = client.request({"op": "checkpoint"})
-            assert checkpointed["applied_lsn"] >= lsn
-            tail = client.request({"op": "wal_tail", "after": 0})
+            ckpt_lsn = checkpointed["applied_lsn"]
+            assert ckpt_lsn >= lsn
+            # A tail from the checkpoint LSN onward is contiguous (and
+            # empty: the checkpoint compacted everything before it).
+            tail = client.request({"op": "wal_tail", "after": ckpt_lsn})
             assert tail["records"] == []
+            # The drain that worked before the checkpoint now spans a
+            # compacted record — pretending "empty" there would silently
+            # lose mutations in a reshard drain, so the worker refuses
+            # with a stable code instead.
+            with pytest.raises(RuntimeError, match="wal-tail-gap"):
+                client.request({"op": "wal_tail", "after": lsn - 1})
         finally:
             client.close()
 
@@ -536,3 +545,74 @@ class TestLiveReshard:
             remote._resharding = False
         finally:
             remote.close()
+
+    def test_checkpoint_refuses_during_a_live_reshard(
+        self, small_dataset, tmp_path
+    ):
+        # A cluster checkpoint interleaving with a split's lock-free
+        # Phase A would compact the source WAL out from under the Phase
+        # B drain, silently losing the tail — so checkpoint and split
+        # claim the same exclusive-maintenance flag.
+        directory = make_cluster_dir(
+            small_dataset, tmp_path / "c", num_shards=2
+        )
+        remote = RemoteClusterTree.start(directory)
+        try:
+            remote._resharding = True
+            with pytest.raises(ClusterStateError, match="reshard"):
+                remote.checkpoint()
+            remote._resharding = False
+            assert os.path.exists(remote.checkpoint())
+            # And the flag excludes the other direction too: a split
+            # cannot start while a checkpoint holds the claim.
+            remote._resharding = True
+            with pytest.raises(ClusterStateError, match="in flight"):
+                split_shard(remote, 0)
+            remote._resharding = False
+        finally:
+            remote.close()
+
+    def test_post_commit_failure_keeps_committed_successors(
+        self, small_dataset, tmp_path, monkeypatch
+    ):
+        # Once the manifest naming the successors is durable, a failure
+        # in the remaining cutover steps must NOT tear the successors
+        # down — deleting directories the committed manifest names
+        # would leave a cluster that refuses to open.
+        directory = make_cluster_dir(
+            small_dataset, tmp_path / "c", num_shards=2
+        )
+        single = TARTree.build(small_dataset)
+        rng = random.Random(21)
+        queries = random_queries(single, rng, count=6)
+        oracle = [rows_of(single.query(query)) for query in queries]
+        remote = RemoteClusterTree.start(directory)
+        try:
+            original = RemoteClusterTree._absorb_state
+
+            def boom(self, shard, payload):
+                if remote._resharding:
+                    raise RuntimeError("injected post-commit crash")
+                return original(self, shard, payload)
+
+            monkeypatch.setattr(RemoteClusterTree, "_absorb_state", boom)
+            with pytest.raises(RuntimeError, match="post-commit crash"):
+                split_shard(remote, 0)
+            monkeypatch.setattr(RemoteClusterTree, "_absorb_state", original)
+            # The committed state survived the failure.
+            manifest = read_manifest(directory)
+            assert manifest["plan_epoch"] == 1
+            assert len(manifest["shards"]) == 3
+            for entry in manifest["shards"]:
+                assert os.path.isdir(os.path.join(directory, entry["dir"]))
+        finally:
+            remote.close()
+        # The key regression: the directory still opens, and answers
+        # over the committed successor plan match the oracle.
+        reopened = RemoteClusterTree.start(directory)
+        try:
+            assert len(reopened.shards) == 3
+            for index, query in enumerate(queries):
+                assert rows_of(reopened.query(query)) == oracle[index]
+        finally:
+            reopened.close()
